@@ -1,0 +1,401 @@
+package sqe
+
+// The benchmark harness regenerates every table and figure of the
+// paper's evaluation (see DESIGN.md §4 for the experiment index):
+//
+//	BenchmarkFigure2          — ground-truth cycle analysis (Fig. 2a/2b/2c)
+//	BenchmarkTable1           — configuration study on Image CLEF (Table 1)
+//	BenchmarkFigure5          — % improvement per motif config (Fig. 5)
+//	BenchmarkTable2*          — SQE_C evaluation per dataset (Tables 2a-c)
+//	BenchmarkFigure6*         — % improvement of SQE_C per dataset (Fig. 6)
+//	BenchmarkTable3*          — PRF comparison per dataset (Tables 3a-c)
+//	BenchmarkTable4           — expansion wall-clock times (Table 4)
+//
+// Precision shapes are exported through b.ReportMetric (P@5, P@100, …),
+// so `go test -bench . -benchmem` reproduces both the numbers and the
+// costs. Ablation benches cover the design choices DESIGN.md §5 calls
+// out, and micro-benches cover the substrates.
+
+import (
+	"bytes"
+	"sync"
+	"testing"
+
+	"repro/internal/analysis"
+	"repro/internal/dataset"
+	"repro/internal/eval"
+	"repro/internal/experiments"
+	"repro/internal/kb"
+	"repro/internal/motif"
+	"repro/internal/search"
+	"repro/internal/wikigen"
+)
+
+var (
+	benchOnce  sync.Once
+	benchSuite *experiments.Suite
+	benchErr   error
+)
+
+// suite returns the shared default-scale experimental environment;
+// generated once, deterministic.
+func suite(b *testing.B) *experiments.Suite {
+	b.Helper()
+	benchOnce.Do(func() { benchSuite, benchErr = experiments.NewSuite(dataset.ScaleDefault) })
+	if benchErr != nil {
+		b.Fatal(benchErr)
+	}
+	return benchSuite
+}
+
+func reportPrecision(b *testing.B, rep *eval.Report) {
+	b.Helper()
+	b.ReportMetric(rep.Mean[5], "P@5")
+	b.ReportMetric(rep.Mean[30], "P@30")
+	b.ReportMetric(rep.Mean[1000]*1000, "relret@1000")
+}
+
+// BenchmarkFigure2 regenerates the structural analysis of the
+// ground-truth query graphs (paper Figure 2).
+func BenchmarkFigure2(b *testing.B) {
+	s := suite(b)
+	for i := 0; i < b.N; i++ {
+		f2 := experiments.Figure2(s)
+		b.ReportMetric(f2.CategoryRatio[3], "catRatio@3")
+		b.ReportMetric(f2.Contribution[3], "contrib@3")
+		b.ReportMetric(f2.GroundTruthP[5], "gtP@5")
+	}
+}
+
+// BenchmarkTable1 regenerates the configuration study (paper Table 1).
+func BenchmarkTable1(b *testing.B) {
+	s := suite(b)
+	for i := 0; i < b.N; i++ {
+		t1 := experiments.Table1(s)
+		b.ReportMetric(t1.Reports["SQE_T"].Mean[5], "SQE_T:P@5")
+		b.ReportMetric(t1.Reports["QL_Q"].Mean[5], "QL_Q:P@5")
+		b.ReportMetric(t1.UBRatioAvg*100, "%ofUB")
+	}
+}
+
+// BenchmarkFigure5 regenerates the per-configuration improvement curves
+// (paper Figure 5).
+func BenchmarkFigure5(b *testing.B) {
+	s := suite(b)
+	for i := 0; i < b.N; i++ {
+		t1 := experiments.Table1(s)
+		f5 := experiments.Figure5(t1)
+		for _, series := range f5.Series {
+			if series.Name == "SQE_T" {
+				b.ReportMetric(series.Values[5], "SQE_T:%impr@5")
+			}
+		}
+	}
+}
+
+func benchTable2(b *testing.B, pick func(*experiments.Suite) *dataset.Instance) {
+	s := suite(b)
+	for i := 0; i < b.N; i++ {
+		t2 := experiments.Table2(s, pick(s))
+		reportPrecision(b, t2.Reports["SQE_C (M)"])
+	}
+}
+
+// BenchmarkTable2ImageCLEF regenerates paper Table 2a.
+func BenchmarkTable2ImageCLEF(b *testing.B) {
+	benchTable2(b, func(s *experiments.Suite) *dataset.Instance { return s.ImageCLEF })
+}
+
+// BenchmarkTable2CHiC2012 regenerates paper Table 2b.
+func BenchmarkTable2CHiC2012(b *testing.B) {
+	benchTable2(b, func(s *experiments.Suite) *dataset.Instance { return s.CHiC2012 })
+}
+
+// BenchmarkTable2CHiC2013 regenerates paper Table 2c.
+func BenchmarkTable2CHiC2013(b *testing.B) {
+	benchTable2(b, func(s *experiments.Suite) *dataset.Instance { return s.CHiC2013 })
+}
+
+// BenchmarkFigure6 regenerates the SQE_C improvement curves for every
+// dataset (paper Figure 6a/6b/6c).
+func BenchmarkFigure6(b *testing.B) {
+	s := suite(b)
+	for i := 0; i < b.N; i++ {
+		for _, inst := range s.Instances() {
+			t2 := experiments.Table2(s, inst)
+			f6 := experiments.Figure6(t2)
+			for _, series := range f6.Series {
+				if series.Name == "SQE_C (M)" && inst == s.ImageCLEF {
+					b.ReportMetric(series.Values[5], "IC:%impr@5")
+				}
+			}
+		}
+	}
+}
+
+func benchTable3(b *testing.B, pick func(*experiments.Suite) *dataset.Instance) {
+	s := suite(b)
+	for i := 0; i < b.N; i++ {
+		inst := pick(s)
+		t2 := experiments.Table2(s, inst)
+		t3 := experiments.Table3(s, inst, t2)
+		b.ReportMetric(t3.Reports["PRF_Q"].Mean[5], "PRF_Q:P@5")
+		b.ReportMetric(t3.Reports["SQE_C/PRF"].Mean[5], "SQE∘PRF:P@5")
+	}
+}
+
+// BenchmarkTable3ImageCLEF regenerates paper Table 3a.
+func BenchmarkTable3ImageCLEF(b *testing.B) {
+	benchTable3(b, func(s *experiments.Suite) *dataset.Instance { return s.ImageCLEF })
+}
+
+// BenchmarkTable3CHiC2012 regenerates paper Table 3b.
+func BenchmarkTable3CHiC2012(b *testing.B) {
+	benchTable3(b, func(s *experiments.Suite) *dataset.Instance { return s.CHiC2012 })
+}
+
+// BenchmarkTable3CHiC2013 regenerates paper Table 3c.
+func BenchmarkTable3CHiC2013(b *testing.B) {
+	benchTable3(b, func(s *experiments.Suite) *dataset.Instance { return s.CHiC2013 })
+}
+
+// BenchmarkTable4 regenerates the expansion-time measurements (paper
+// Table 4); the per-dataset expansion time is also this benchmark's own
+// wall-clock, reported as ms per query set.
+func BenchmarkTable4(b *testing.B) {
+	s := suite(b)
+	for i := 0; i < b.N; i++ {
+		t4 := experiments.Table4(s)
+		b.ReportMetric(float64(t4.Expansion[motif.SetTS][s.ImageCLEF.Name].Microseconds())/1000, "IC:T&S_ms")
+		b.ReportMetric(float64(t4.Total[s.ImageCLEF.Name].Microseconds())/1000, "IC:total_ms")
+	}
+}
+
+// --- Ablation benches (DESIGN.md §5) -----------------------------------
+
+func benchAblation(b *testing.B, row string) {
+	s := suite(b)
+	for i := 0; i < b.N; i++ {
+		res := experiments.Ablations(s, s.ImageCLEF)
+		rep := res.Reports[row]
+		if rep == nil {
+			b.Fatalf("no ablation row %q", row)
+		}
+		b.ReportMetric(rep.Mean[5], "P@5")
+		b.ReportMetric(rep.Mean[100], "P@100")
+	}
+}
+
+// BenchmarkAblationFull is the reference SQE_T&S configuration.
+func BenchmarkAblationFull(b *testing.B) { benchAblation(b, "full") }
+
+// BenchmarkAblationUniformWeights drops the |m_a|-proportional feature
+// weighting.
+func BenchmarkAblationUniformWeights(b *testing.B) { benchAblation(b, "uniform-weights") }
+
+// BenchmarkAblationSingleLink drops the double-link requirement.
+func BenchmarkAblationSingleLink(b *testing.B) { benchAblation(b, "single-link") }
+
+// BenchmarkAblationNoCategories drops the category conditions.
+func BenchmarkAblationNoCategories(b *testing.B) { benchAblation(b, "no-categories") }
+
+// BenchmarkAblationSpliceCuts moves the SQE_C cut points to 2/50.
+func BenchmarkAblationSpliceCuts(b *testing.B) { benchAblation(b, "splice-2/50") }
+
+// BenchmarkAblationSmallMu runs the retrieval model with μ=250.
+func BenchmarkAblationSmallMu(b *testing.B) { benchAblation(b, "mu-250") }
+
+// --- Substrate micro-benches -------------------------------------------
+
+// BenchmarkMotifExpansionPerQuery measures one query-graph construction
+// (the unit behind Table 4's per-set times).
+func BenchmarkMotifExpansionPerQuery(b *testing.B) {
+	s := suite(b)
+	r := s.NewRunner(s.ImageCLEF)
+	queries := s.ImageCLEF.Queries
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		q := &queries[i%len(queries)]
+		_ = r.Expander.BuildQueryGraph(r.Entities(q, true), motif.SetTS)
+	}
+}
+
+// BenchmarkParallelExpansion measures the paper's parallelisation remark:
+// all query graphs of a set built on all cores.
+func BenchmarkParallelExpansion(b *testing.B) {
+	s := suite(b)
+	r := s.NewRunner(s.ImageCLEF)
+	var nodeSets [][]kb.NodeID
+	for qi := range s.ImageCLEF.Queries {
+		nodeSets = append(nodeSets, r.Entities(&s.ImageCLEF.Queries[qi], true))
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		_ = r.Expander.BuildQueryGraphs(nodeSets, motif.SetTS, 0)
+	}
+}
+
+// BenchmarkSearchBaseline measures one plain query-likelihood retrieval.
+func BenchmarkSearchBaseline(b *testing.B) {
+	s := suite(b)
+	r := s.NewRunner(s.ImageCLEF)
+	queries := s.ImageCLEF.Queries
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		q := &queries[i%len(queries)]
+		_ = r.Searcher.Search(r.Expander.QLQuery(q.Text), 1000)
+	}
+}
+
+// BenchmarkSearchExpanded measures one full SQE_T&S retrieval including
+// expansion and query construction.
+func BenchmarkSearchExpanded(b *testing.B) {
+	s := suite(b)
+	r := s.NewRunner(s.ImageCLEF)
+	queries := s.ImageCLEF.Queries
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		q := &queries[i%len(queries)]
+		qg := r.Expander.BuildQueryGraph(r.Entities(q, true), motif.SetTS)
+		_ = r.Searcher.Search(r.Expander.BuildQuery(q.Text, qg), 1000)
+	}
+}
+
+// BenchmarkEntityLinking measures the Dexter+Alchemy-like linker on
+// query text.
+func BenchmarkEntityLinking(b *testing.B) {
+	s := suite(b)
+	queries := s.ImageCLEF.Queries
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		_ = s.Linker.LinkArticles(queries[i%len(queries)].Text)
+	}
+}
+
+// BenchmarkWorldGeneration measures synthetic-Wikipedia generation at the
+// default scale.
+func BenchmarkWorldGeneration(b *testing.B) {
+	cfg := wikigen.DefaultConfig()
+	for i := 0; i < b.N; i++ {
+		if _, err := wikigen.Generate(cfg); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkGraphEncodeDecode measures KB graph (de)serialisation.
+func BenchmarkGraphEncodeDecode(b *testing.B) {
+	s := suite(b)
+	var buf bytes.Buffer
+	if err := kb.Encode(&buf, s.World.Graph); err != nil {
+		b.Fatal(err)
+	}
+	data := buf.Bytes()
+	b.SetBytes(int64(len(data)))
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := kb.Decode(bytes.NewReader(data)); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkPorterStem measures the stemmer on a representative word mix.
+func BenchmarkPorterStem(b *testing.B) {
+	words := []string{"generalizations", "running", "cars", "relational", "sky", "hopefulness", "funicular"}
+	for i := 0; i < b.N; i++ {
+		_ = analysis.PorterStem(words[i%len(words)])
+	}
+}
+
+// BenchmarkPhrasePostings measures exact-phrase materialisation on the
+// benchmark index.
+func BenchmarkPhrasePostings(b *testing.B) {
+	s := suite(b)
+	ix := s.ImageCLEF.Index
+	g := s.World.Graph
+	// Use real two-word entity titles as phrases.
+	var phrases [][]string
+	a := analysis.Standard()
+	for _, t := range s.World.Topics[:32] {
+		phrases = append(phrases, a.AnalyzeTerms(g.Title(t.Entity())))
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		_ = ix.PhrasePostings(phrases[i%len(phrases)])
+	}
+}
+
+// BenchmarkMotifMining measures the future-work template miner over the
+// full ground truth.
+func BenchmarkMotifMining(b *testing.B) {
+	s := suite(b)
+	for i := 0; i < b.N; i++ {
+		_ = experiments.MineMotifs(s, s.ImageCLEF)
+	}
+}
+
+// BenchmarkModelComparison runs the retrieval-model study (Dirichlet vs
+// JM vs BM25 under the same expansion).
+func BenchmarkModelComparison(b *testing.B) {
+	s := suite(b)
+	for i := 0; i < b.N; i++ {
+		res := experiments.ModelComparison(s, s.ImageCLEF)
+		b.ReportMetric(res.Gain["dirichlet"], "dirichlet:%gain@10")
+		b.ReportMetric(res.Gain["bm25"], "bm25:%gain@10")
+	}
+}
+
+// BenchmarkCrossKBMining runs the template miner on both KB profiles
+// (the paper's "other KBs, other structures" conjecture).
+func BenchmarkCrossKBMining(b *testing.B) {
+	s := suite(b)
+	for i := 0; i < b.N; i++ {
+		if _, err := experiments.CrossKBMining(s, dataset.ScaleDefault); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkSearchBM25 measures one plain retrieval under BM25.
+func BenchmarkSearchBM25(b *testing.B) {
+	s := suite(b)
+	r := s.NewRunner(s.ImageCLEF)
+	r.Searcher.Model = search.ModelBM25
+	queries := s.ImageCLEF.Queries
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		q := &queries[i%len(queries)]
+		_ = r.Searcher.Search(r.Expander.QLQuery(q.Text), 1000)
+	}
+}
+
+// BenchmarkParseQuery measures the structured-query parser.
+func BenchmarkParseQuery(b *testing.B) {
+	a := analysis.Standard()
+	q := `#weight(2 #combine(cable car rides) 1 #1(san francisco) 1 #uw8(golden gate bridge))`
+	for i := 0; i < b.N; i++ {
+		if _, err := search.Parse(a, q); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkUnorderedWindow measures #uwN postings materialisation.
+func BenchmarkUnorderedWindow(b *testing.B) {
+	s := suite(b)
+	ix := s.ImageCLEF.Index
+	a := analysis.Standard()
+	var windows [][]string
+	for _, t := range s.World.Topics[:32] {
+		terms := a.AnalyzeTerms(s.World.Graph.Title(t.Entity()))
+		if len(terms) >= 2 {
+			windows = append(windows, terms)
+		}
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		w := windows[i%len(windows)]
+		_ = ix.UnorderedWindowPostings(w, len(w)+2)
+	}
+}

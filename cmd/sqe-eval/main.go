@@ -1,0 +1,102 @@
+// Command sqe-eval evaluates TREC-format run files against TREC-format
+// qrels, trec_eval-style: precision at the standard tops, MAP, MRR,
+// nDCG@10, R-precision and recall, plus a paired significance test
+// between two runs.
+//
+// Usage:
+//
+//	sqe-eval -qrels file.qrels run1.run [run2.run ...]
+//	sqe-eval -qrels file.qrels -compare base.run treatment.run
+//
+// Files in these formats round-trip with `sqe-bench -trec <dir>`.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+	"os"
+	"path/filepath"
+
+	"repro/internal/eval"
+)
+
+func main() {
+	log.SetFlags(0)
+	log.SetPrefix("sqe-eval: ")
+	qrelsFlag := flag.String("qrels", "", "TREC qrels file (required)")
+	compareFlag := flag.Bool("compare", false, "treat the two runs as base and treatment; print paired t-test")
+	flag.Parse()
+	if *qrelsFlag == "" || flag.NArg() == 0 {
+		flag.Usage()
+		os.Exit(2)
+	}
+	qf, err := os.Open(*qrelsFlag)
+	if err != nil {
+		log.Fatal(err)
+	}
+	qrels, err := eval.ReadQrelsTREC(qf)
+	qf.Close()
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("qrels: %d queries, %.1f relevant/query\n\n", len(qrels), qrels.AvgRelevant())
+
+	loadRun := func(path string) eval.Run {
+		f, err := os.Open(path)
+		if err != nil {
+			log.Fatal(err)
+		}
+		defer f.Close()
+		run, err := eval.ReadRunTREC(f)
+		if err != nil {
+			log.Fatalf("%s: %v", path, err)
+		}
+		return run
+	}
+
+	if *compareFlag {
+		if flag.NArg() != 2 {
+			log.Fatal("-compare needs exactly two run files (base, treatment)")
+		}
+		base := loadRun(flag.Arg(0))
+		treat := loadRun(flag.Arg(1))
+		printSummary(filepath.Base(flag.Arg(0)), qrels, base)
+		printSummary(filepath.Base(flag.Arg(1)), qrels, treat)
+		fmt.Println("paired two-tailed t-test, treatment vs base:")
+		for _, k := range []int{5, 10, 30, 100} {
+			a := eval.PerQuery(qrels, treat, k)
+			b := eval.PerQuery(qrels, base, k)
+			tstat, p := eval.PairedTTest(a, b)
+			marker := ""
+			if tstat > 0 && p < 0.05 {
+				marker = " †"
+			}
+			fmt.Printf("  P@%-4d Δ=%+.4f  t=%+.3f  p=%.4f%s\n",
+				k, eval.Mean(a)-eval.Mean(b), tstat, p, marker)
+		}
+		fmt.Printf("robustness index at P@10: %+.2f\n", eval.RobustnessIndex(qrels, treat, base, 10))
+		return
+	}
+
+	for _, path := range flag.Args() {
+		printSummary(filepath.Base(path), qrels, loadRun(path))
+	}
+}
+
+func printSummary(name string, qrels eval.Qrels, run eval.Run) {
+	s := eval.Summarize(name, qrels, run)
+	fmt.Printf("%s:\n", name)
+	fmt.Printf("  MAP %.4f  MRR %.4f  nDCG@10 %.4f  Rprec %.4f\n", s.MAP, s.MRR, s.NDCG10, s.RPrec)
+	fmt.Printf("  P@k   ")
+	for _, k := range eval.Tops {
+		fmt.Printf(" %d:%.3f", k, s.P[k])
+	}
+	fmt.Println()
+	fmt.Printf("  R@k   ")
+	for _, k := range eval.Tops {
+		fmt.Printf(" %d:%.3f", k, s.Recall[k])
+	}
+	fmt.Println()
+	fmt.Println()
+}

@@ -1,0 +1,150 @@
+// Command sqe-gen materialises the synthetic benchmark to disk so
+// external retrieval systems (a real Indri, Terrier, Anserini, …) can
+// run the same experiments: the corpus as JSON lines, the query sets as
+// TSV, the relevance judgments as TREC qrels, and the KB graph in the
+// binary graph format.
+//
+// Usage:
+//
+//	sqe-gen -out dir [-scale small|default] [-collection imageclef|chic|all]
+//
+// Layout under -out:
+//
+//	imageclef.docs.jsonl      {"name": "...", "text": "..."} per line
+//	imageclef.queries.tsv     id <tab> text <tab> entity titles (|-joined)
+//	imageclef.qrels            TREC qrels
+//	chic.docs.jsonl, chic2012.queries.tsv, chic2012.qrels, chic2013.…
+//	kb.graph                   binary KB graph (kb.Decode reads it)
+package main
+
+import (
+	"bufio"
+	"encoding/json"
+	"flag"
+	"fmt"
+	"log"
+	"os"
+	"path/filepath"
+	"strings"
+
+	"repro/internal/dataset"
+	"repro/internal/eval"
+	"repro/internal/kb"
+	"repro/internal/wikigen"
+)
+
+func main() {
+	log.SetFlags(0)
+	log.SetPrefix("sqe-gen: ")
+	outFlag := flag.String("out", "", "output directory (required)")
+	scaleFlag := flag.String("scale", "default", "small|default")
+	collFlag := flag.String("collection", "all", "imageclef|chic|all")
+	flag.Parse()
+	if *outFlag == "" {
+		flag.Usage()
+		os.Exit(2)
+	}
+	if err := os.MkdirAll(*outFlag, 0o755); err != nil {
+		log.Fatal(err)
+	}
+	scale := dataset.ScaleDefault
+	cfg := wikigen.DefaultConfig()
+	if *scaleFlag == "small" {
+		scale = dataset.ScaleSmall
+		cfg = wikigen.SmallConfig()
+	}
+	world, err := wikigen.Generate(cfg)
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	if *collFlag == "imageclef" || *collFlag == "all" {
+		export(world, dataset.ImageCLEFProfile(scale), *outFlag, "imageclef")
+	}
+	if *collFlag == "chic" || *collFlag == "all" {
+		export(world, dataset.CHiCProfile(scale), *outFlag, "chic")
+	}
+
+	graphPath := filepath.Join(*outFlag, "kb.graph")
+	f, err := os.Create(graphPath)
+	if err != nil {
+		log.Fatal(err)
+	}
+	if err := kb.Encode(f, world.Graph); err != nil {
+		log.Fatal(err)
+	}
+	if err := f.Close(); err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("wrote %s\n", graphPath)
+}
+
+// export writes one collection: corpus JSONL plus per-query-set queries
+// and qrels.
+func export(world *wikigen.World, p dataset.CollectionProfile, dir, base string) {
+	docsPath := filepath.Join(dir, base+".docs.jsonl")
+	df, err := os.Create(docsPath)
+	if err != nil {
+		log.Fatal(err)
+	}
+	bw := bufio.NewWriter(df)
+	enc := json.NewEncoder(bw)
+	type docLine struct {
+		Name string `json:"name"`
+		Text string `json:"text"`
+	}
+	docs := 0
+	instances, err := dataset.BuildWithSink(world, p, func(name, text string) {
+		docs++
+		if err := enc.Encode(docLine{Name: name, Text: text}); err != nil {
+			log.Fatal(err)
+		}
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+	if err := bw.Flush(); err != nil {
+		log.Fatal(err)
+	}
+	if err := df.Close(); err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("wrote %s (%d docs)\n", docsPath, docs)
+
+	for _, inst := range instances {
+		tag := strings.ToLower(strings.ReplaceAll(inst.Name, " ", ""))
+		qPath := filepath.Join(dir, tag+".queries.tsv")
+		qf, err := os.Create(qPath)
+		if err != nil {
+			log.Fatal(err)
+		}
+		qw := bufio.NewWriter(qf)
+		for _, q := range inst.Queries {
+			titles := make([]string, len(q.Entities))
+			for i, e := range q.Entities {
+				titles[i] = world.Graph.Title(e)
+			}
+			fmt.Fprintf(qw, "%s\t%s\t%s\n", q.ID, q.Text, strings.Join(titles, "|"))
+		}
+		if err := qw.Flush(); err != nil {
+			log.Fatal(err)
+		}
+		if err := qf.Close(); err != nil {
+			log.Fatal(err)
+		}
+		fmt.Printf("wrote %s (%d queries)\n", qPath, len(inst.Queries))
+
+		rPath := filepath.Join(dir, tag+".qrels")
+		rf, err := os.Create(rPath)
+		if err != nil {
+			log.Fatal(err)
+		}
+		if err := eval.WriteQrelsTREC(rf, inst.Qrels); err != nil {
+			log.Fatal(err)
+		}
+		if err := rf.Close(); err != nil {
+			log.Fatal(err)
+		}
+		fmt.Printf("wrote %s\n", rPath)
+	}
+}

@@ -1,0 +1,135 @@
+// Command sqe-search is an interactive retrieval shell over the demo
+// environment, built entirely on the public sqe API. Type a query to see
+// the automatic entity links, the motif expansion and the top results of
+// the baseline vs. the SQE_C pipeline; prefix a query with "q:" followed
+// by a benchmark query ID (e.g. "q:IC-07") to run a benchmark query with
+// relevance marks.
+//
+// Usage:
+//
+//	sqe-search [-scale small|default] [-top 10]
+//
+// Commands inside the shell:
+//
+//	<free text>       search with automatic entity linking
+//	q:<query-id>      run a benchmark query (shows R/. relevance marks)
+//	queries           list the benchmark queries
+//	quit              exit
+package main
+
+import (
+	"bufio"
+	"flag"
+	"fmt"
+	"log"
+	"os"
+	"strings"
+
+	sqe "repro"
+)
+
+func main() {
+	log.SetFlags(0)
+	log.SetPrefix("sqe-search: ")
+	scaleFlag := flag.String("scale", "small", "small|default")
+	topFlag := flag.Int("top", 10, "results to display")
+	flag.Parse()
+
+	scale := sqe.DemoSmall
+	if *scaleFlag == "default" {
+		scale = sqe.DemoDefault
+	}
+	fmt.Println("generating demo environment …")
+	env, err := sqe.GenerateDemo(scale)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("ready: %s, %d benchmark queries. Type 'queries' to list them, 'quit' to exit.\n",
+		env.DatasetName, len(env.Queries))
+
+	sc := bufio.NewScanner(os.Stdin)
+	for {
+		fmt.Print("sqe> ")
+		if !sc.Scan() {
+			break
+		}
+		line := strings.TrimSpace(sc.Text())
+		switch {
+		case line == "":
+			continue
+		case line == "quit" || line == "exit":
+			return
+		case line == "queries":
+			for _, q := range env.Queries {
+				fmt.Printf("  %s  %q  entities=%v  (%d relevant)\n", q.ID, q.Text, q.EntityTitles, len(q.Relevant))
+			}
+		case strings.HasPrefix(line, "q:"):
+			runBenchmark(env, strings.TrimPrefix(line, "q:"), *topFlag)
+		default:
+			runFreeText(env, line, *topFlag)
+		}
+	}
+	if err := sc.Err(); err != nil {
+		log.Fatal(err)
+	}
+}
+
+func runFreeText(env *sqe.DemoEnv, text string, top int) {
+	exp, err := env.Engine.Expand(text, nil, sqe.MotifTS)
+	if err != nil {
+		fmt.Println("expand:", err)
+		return
+	}
+	fmt.Printf("entities: %v\n", exp.QueryNodeTitles)
+	fmt.Printf("expansion features (%d):", len(exp.Features))
+	for i, f := range exp.Features {
+		if i == 8 {
+			fmt.Print(" …")
+			break
+		}
+		fmt.Printf(" %q(%.0f)", f.Title, f.Weight)
+	}
+	fmt.Println()
+	res, err := env.Engine.Search(text, nil, top)
+	if err != nil {
+		fmt.Println("search:", err)
+		return
+	}
+	for i, r := range res {
+		fmt.Printf("  %2d. %-12s %.4f\n", i+1, r.Name, r.Score)
+	}
+}
+
+func runBenchmark(env *sqe.DemoEnv, id string, top int) {
+	var q *sqe.DemoQuery
+	for i := range env.Queries {
+		if env.Queries[i].ID == id {
+			q = &env.Queries[i]
+			break
+		}
+	}
+	if q == nil {
+		fmt.Printf("unknown query id %q\n", id)
+		return
+	}
+	fmt.Printf("%s: %q entities=%v\n", q.ID, q.Text, q.EntityTitles)
+	base := env.Engine.BaselineSearch(q.Text, top)
+	res, err := env.Engine.Search(q.Text, q.EntityTitles, top)
+	if err != nil {
+		fmt.Println("search:", err)
+		return
+	}
+	show := func(name string, rs []sqe.Result) {
+		marks := make([]byte, 0, len(rs))
+		for _, r := range rs {
+			if q.Relevant[r.Name] {
+				marks = append(marks, 'R')
+			} else {
+				marks = append(marks, '.')
+			}
+		}
+		fmt.Printf("  %-8s P@%d=%.2f [%s]\n", name, top, sqe.PrecisionAt(rs, q.Relevant, top), marks)
+	}
+	show("QL_Q", base)
+	show("SQE_C", res)
+}

@@ -1,0 +1,113 @@
+package sqe
+
+import (
+	"repro/internal/dataset"
+	"repro/internal/entitylink"
+	"repro/internal/wikigen"
+)
+
+// DemoScale selects the size of the generated demo environment.
+type DemoScale int
+
+const (
+	// DemoSmall generates in well under a second; used by examples and
+	// tests.
+	DemoSmall DemoScale = iota
+	// DemoDefault is the benchmark-harness scale (a few seconds).
+	DemoDefault
+)
+
+// DemoQuery is one benchmark query of a demo environment, with its
+// manually selected entity titles and relevance judgments.
+type DemoQuery struct {
+	ID string
+	// Text is what the user typed.
+	Text string
+	// EntityTitles are the manually selected query entities.
+	EntityTitles []string
+	// Relevant is the set of relevant document names.
+	Relevant map[string]bool
+}
+
+// DemoEnv is a ready-to-search environment: a synthetic Wikipedia-like
+// KB, an indexed caption collection coupled to it, an engine wired over
+// both (with an entity linker installed) and an evaluable query set.
+//
+// The real assets of the paper (the 2012 Wikipedia dump and the Image
+// CLEF / CHiC collections) are not redistributable; DESIGN.md §2
+// explains why this synthetic environment preserves the behaviours SQE
+// depends on.
+type DemoEnv struct {
+	Engine  *Engine
+	Queries []DemoQuery
+	// DatasetName names the generated instance ("Image CLEF").
+	DatasetName string
+}
+
+// GenerateDemo builds the Image CLEF-like demo environment. Generation
+// is deterministic: the same scale always yields the same environment.
+func GenerateDemo(scale DemoScale) (*DemoEnv, error) {
+	cfg := wikigen.DefaultConfig()
+	ds := dataset.ScaleDefault
+	if scale == DemoSmall {
+		cfg = wikigen.SmallConfig()
+		ds = dataset.ScaleSmall
+	}
+	world, err := wikigen.Generate(cfg)
+	if err != nil {
+		return nil, err
+	}
+	inst, err := dataset.BuildImageCLEF(world, ds)
+	if err != nil {
+		return nil, err
+	}
+	eng := NewEngine(world.Graph, inst.Index)
+	eng.linker = dataset.BuildLinker(world, dataset.DefaultLinkerOptions())
+
+	env := &DemoEnv{Engine: eng, DatasetName: inst.Name}
+	for _, q := range inst.Queries {
+		dq := DemoQuery{ID: q.ID, Text: q.Text, Relevant: inst.Qrels[q.ID]}
+		for _, e := range q.Entities {
+			dq.EntityTitles = append(dq.EntityTitles, world.Graph.Title(e))
+		}
+		env.Queries = append(env.Queries, dq)
+	}
+	return env, nil
+}
+
+// MustGenerateDemo is GenerateDemo but panics on error; the error paths
+// are configuration mistakes that cannot happen with the built-in
+// scales.
+func MustGenerateDemo(scale DemoScale) *DemoEnv {
+	env, err := GenerateDemo(scale)
+	if err != nil {
+		panic(err)
+	}
+	return env
+}
+
+// PrecisionAt computes precision-at-k of a ranked result list against a
+// relevance set, TrecEval-style (lists shorter than k count the missing
+// ranks as non-relevant).
+func PrecisionAt(results []Result, relevant map[string]bool, k int) float64 {
+	if k <= 0 {
+		return 0
+	}
+	hits := 0
+	for i, r := range results {
+		if i >= k {
+			break
+		}
+		if relevant[r.Name] {
+			hits++
+		}
+	}
+	return float64(hits) / float64(k)
+}
+
+// NewEntityDictionary returns an empty entity-linking dictionary using
+// the engine's text pipeline; fill it with AddTitle/AddSurface and
+// install it with Engine.SetLinker.
+func NewEntityDictionary(e *Engine) *entitylink.Dictionary {
+	return entitylink.NewDictionary(e.Index().Analyzer())
+}

@@ -1,0 +1,95 @@
+// Image CLEF-style evaluation through the public API: runs the whole
+// benchmark query set with manual and automatic entity selection, prints
+// mean precision at the paper's tops and the percentage improvement of
+// SQE over the non-expanded baseline (the shape of the paper's Table 2a
+// and Figure 6a).
+//
+// Run with:
+//
+//	go run ./examples/imageclef [-scale small|default]
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+
+	sqe "repro"
+)
+
+var tops = []int{5, 10, 20, 100, 1000}
+
+func main() {
+	log.SetFlags(0)
+	scaleFlag := flag.String("scale", "small", "small|default")
+	flag.Parse()
+	scale := sqe.DemoSmall
+	if *scaleFlag == "default" {
+		scale = sqe.DemoDefault
+	}
+	env, err := sqe.GenerateDemo(scale)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("%s: %d queries\n\n", env.DatasetName, len(env.Queries))
+
+	type runner func(q sqe.DemoQuery) ([]sqe.Result, error)
+	configs := []struct {
+		name string
+		run  runner
+	}{
+		{"QL_Q", func(q sqe.DemoQuery) ([]sqe.Result, error) {
+			return env.Engine.BaselineSearch(q.Text, 1000), nil
+		}},
+		{"SQE_C (M)", func(q sqe.DemoQuery) ([]sqe.Result, error) {
+			return env.Engine.Search(q.Text, q.EntityTitles, 1000)
+		}},
+		{"SQE_C (A)", func(q sqe.DemoQuery) ([]sqe.Result, error) {
+			// nil entity titles → the engine's Dexter-like linker
+			// resolves entities from the query text.
+			return env.Engine.Search(q.Text, nil, 1000)
+		}},
+	}
+
+	means := map[string]map[int]float64{}
+	for _, cfg := range configs {
+		sums := map[int]float64{}
+		for _, q := range env.Queries {
+			rs, err := cfg.run(q)
+			if err != nil {
+				log.Fatalf("%s/%s: %v", cfg.name, q.ID, err)
+			}
+			for _, k := range tops {
+				sums[k] += sqe.PrecisionAt(rs, q.Relevant, k)
+			}
+		}
+		means[cfg.name] = map[int]float64{}
+		for _, k := range tops {
+			means[cfg.name][k] = sums[k] / float64(len(env.Queries))
+		}
+	}
+
+	fmt.Printf("%-12s", "")
+	for _, k := range tops {
+		fmt.Printf("%9s", fmt.Sprintf("P@%d", k))
+	}
+	fmt.Println()
+	for _, cfg := range configs {
+		fmt.Printf("%-12s", cfg.name)
+		for _, k := range tops {
+			fmt.Printf("%9.3f", means[cfg.name][k])
+		}
+		fmt.Println()
+	}
+	fmt.Println()
+	for _, name := range []string{"SQE_C (M)", "SQE_C (A)"} {
+		fmt.Printf("%-12s improvement over QL_Q:", name)
+		for _, k := range tops {
+			base := means["QL_Q"][k]
+			if base > 0 {
+				fmt.Printf("  P@%d %+.0f%%", k, (means[name][k]-base)/base*100)
+			}
+		}
+		fmt.Println()
+	}
+}

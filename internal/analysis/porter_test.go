@@ -1,0 +1,142 @@
+package analysis
+
+import (
+	"testing"
+	"testing/quick"
+)
+
+// TestPorterVectors checks the stemmer against vectors from Porter's
+// published sample vocabulary (the canonical voc.txt/output.txt pairs).
+func TestPorterVectors(t *testing.T) {
+	vectors := map[string]string{
+		// step 1a
+		"caresses": "caress",
+		"ponies":   "poni",
+		"ties":     "ti",
+		"caress":   "caress",
+		"cats":     "cat",
+		// step 1b
+		"feed":      "feed",
+		"agreed":    "agre",
+		"plastered": "plaster",
+		"bled":      "bled",
+		"motoring":  "motor",
+		"sing":      "sing",
+		// step 1b cleanup
+		"conflated": "conflat",
+		"troubled":  "troubl",
+		"sized":     "size",
+		"hopping":   "hop",
+		"tanned":    "tan",
+		"falling":   "fall",
+		"hissing":   "hiss",
+		"fizzed":    "fizz",
+		"failing":   "fail",
+		"filing":    "file",
+		// step 1c
+		"happy": "happi",
+		"sky":   "sky",
+		// step 2
+		"relational":     "relat",
+		"conditional":    "condit",
+		"rational":       "ration",
+		"valenci":        "valenc",
+		"hesitanci":      "hesit",
+		"digitizer":      "digit",
+		"conformabli":    "conform",
+		"radicalli":      "radic",
+		"differentli":    "differ",
+		"vileli":         "vile",
+		"analogousli":    "analog",
+		"vietnamization": "vietnam",
+		"predication":    "predic",
+		"operator":       "oper",
+		"feudalism":      "feudal",
+		"decisiveness":   "decis",
+		"hopefulness":    "hope",
+		"callousness":    "callous",
+		"formaliti":      "formal",
+		"sensitiviti":    "sensit",
+		"sensibiliti":    "sensibl",
+		// step 3
+		"triplicate":  "triplic",
+		"formative":   "form",
+		"formalize":   "formal",
+		"electriciti": "electr",
+		"electrical":  "electr",
+		"hopeful":     "hope",
+		"goodness":    "good",
+		// step 4
+		"revival":     "reviv",
+		"allowance":   "allow",
+		"inference":   "infer",
+		"airliner":    "airlin",
+		"gyroscopic":  "gyroscop",
+		"adjustable":  "adjust",
+		"defensible":  "defens",
+		"irritant":    "irrit",
+		"replacement": "replac",
+		"adjustment":  "adjust",
+		"dependent":   "depend",
+		"adoption":    "adopt",
+		"homologou":   "homolog",
+		"communism":   "commun",
+		"activate":    "activ",
+		"angulariti":  "angular",
+		"homologous":  "homolog",
+		"effective":   "effect",
+		"bowdlerize":  "bowdler",
+		// step 5
+		"probate":  "probat",
+		"rate":     "rate",
+		"cease":    "ceas",
+		"controll": "control",
+		"roll":     "roll",
+		// general
+		"generalizations": "gener",
+		"oscillators":     "oscil",
+	}
+	for in, want := range vectors {
+		if got := PorterStem(in); got != want {
+			t.Errorf("PorterStem(%q) = %q, want %q", in, got, want)
+		}
+	}
+}
+
+func TestPorterShortAndNonASCII(t *testing.T) {
+	for _, w := range []string{"", "a", "is", "be", "café", "über", "Hello", "a1b"} {
+		if got := PorterStem(w); got != w {
+			t.Errorf("PorterStem(%q) = %q, want unchanged", w, got)
+		}
+	}
+}
+
+// Property: the stem is never longer than the word and never empty for a
+// non-empty lowercase ASCII word.
+func TestPorterProperties(t *testing.T) {
+	f := func(raw string) bool {
+		// Build a lowercase ASCII word from the raw input.
+		w := make([]byte, 0, len(raw))
+		for i := 0; i < len(raw); i++ {
+			c := raw[i] | 0x20
+			if c >= 'a' && c <= 'z' {
+				w = append(w, c)
+			}
+		}
+		word := string(w)
+		stem := PorterStem(word)
+		if len(stem) > len(word) {
+			return false
+		}
+		if word != "" && stem == "" {
+			return false
+		}
+		// Stemming is idempotent on its own output for the vast
+		// majority of forms; Porter is not strictly idempotent in
+		// general, so only check the stem is stable in length order.
+		return len(PorterStem(stem)) <= len(stem)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 2000}); err != nil {
+		t.Error(err)
+	}
+}

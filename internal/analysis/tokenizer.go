@@ -1,0 +1,103 @@
+// Package analysis provides the lexical layer of the retrieval substrate:
+// tokenization, stopword filtering and Porter stemming. It mirrors the
+// text pipeline Indri applies to both documents and queries so that the
+// query-likelihood scores computed by internal/search are consistent on
+// both sides.
+package analysis
+
+import (
+	"strings"
+	"unicode"
+)
+
+// Token is a single term occurrence produced by the tokenizer.
+type Token struct {
+	// Term is the (possibly normalised) surface form.
+	Term string
+	// Position is the 0-based token offset within the input, counted
+	// before any stopword removal so that phrase windows measured on
+	// positions remain faithful to the original text.
+	Position int
+}
+
+// Tokenize splits text into lowercase alphanumeric terms. Unicode letters
+// and digits are kept; everything else separates tokens. Positions are
+// assigned in input order starting at 0.
+func Tokenize(text string) []Token {
+	tokens := make([]Token, 0, len(text)/6+1)
+	var sb strings.Builder
+	pos := 0
+	flush := func() {
+		if sb.Len() == 0 {
+			return
+		}
+		tokens = append(tokens, Token{Term: sb.String(), Position: pos})
+		pos++
+		sb.Reset()
+	}
+	for _, r := range text {
+		switch {
+		case unicode.IsLetter(r) || unicode.IsDigit(r):
+			sb.WriteRune(unicode.ToLower(r))
+		default:
+			flush()
+		}
+	}
+	flush()
+	return tokens
+}
+
+// Terms returns just the term strings of Tokenize(text), preserving order.
+func Terms(text string) []string {
+	toks := Tokenize(text)
+	out := make([]string, len(toks))
+	for i, t := range toks {
+		out[i] = t.Term
+	}
+	return out
+}
+
+// Analyzer is a configurable text pipeline: tokenize, optionally drop
+// stopwords, optionally stem. The zero value tokenizes only.
+type Analyzer struct {
+	// RemoveStopwords drops terms found in the standard stopword list.
+	RemoveStopwords bool
+	// Stem applies the Porter stemmer to each surviving term.
+	Stem bool
+}
+
+// Standard returns the analyzer used throughout the reproduction:
+// stopword removal plus Porter stemming, matching Indri's usual krovetz/
+// porter configuration closely enough for query-likelihood retrieval.
+func Standard() Analyzer { return Analyzer{RemoveStopwords: true, Stem: true} }
+
+// Analyze runs the pipeline over text. Positions are preserved from
+// tokenization, so removed stopwords leave gaps; phrase matching uses
+// those original positions.
+func (a Analyzer) Analyze(text string) []Token {
+	toks := Tokenize(text)
+	out := toks[:0]
+	for _, t := range toks {
+		if a.RemoveStopwords && IsStopword(t.Term) {
+			continue
+		}
+		if a.Stem {
+			t.Term = PorterStem(t.Term)
+		}
+		if t.Term == "" {
+			continue
+		}
+		out = append(out, t)
+	}
+	return out
+}
+
+// AnalyzeTerms is Analyze but returns only the term strings.
+func (a Analyzer) AnalyzeTerms(text string) []string {
+	toks := a.Analyze(text)
+	out := make([]string, len(toks))
+	for i, t := range toks {
+		out[i] = t.Term
+	}
+	return out
+}

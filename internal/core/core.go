@@ -1,0 +1,296 @@
+// Package core implements Structural Query Expansion (SQE), the paper's
+// primary contribution: the query-graph builder that materialises the
+// structural motifs (Section 2.2), the query builder that assembles the
+// three-part weighted expanded query (Section 2.3), and the SQE_C
+// result-list combination (Section 2.2.1).
+package core
+
+import (
+	"fmt"
+	"sort"
+
+	"repro/internal/analysis"
+	"repro/internal/kb"
+	"repro/internal/motif"
+	"repro/internal/search"
+)
+
+// Feature is an expansion feature: an article whose title will be added
+// to the query, weighted by the number of motifs it appeared in.
+type Feature struct {
+	Article kb.NodeID
+	// Weight is |m_a| for motif-built graphs, or an externally supplied
+	// weight for ground-truth graphs.
+	Weight float64
+}
+
+// QueryGraph is the paper's query graph: the query nodes plus the
+// expansion nodes found around them.
+type QueryGraph struct {
+	QueryNodes []kb.NodeID
+	Features   []Feature
+}
+
+// ExpansionArticles returns the expansion node IDs in feature order.
+func (qg *QueryGraph) ExpansionArticles() []kb.NodeID {
+	out := make([]kb.NodeID, len(qg.Features))
+	for i, f := range qg.Features {
+		out[i] = f.Article
+	}
+	return out
+}
+
+// Expander builds query graphs and expanded queries over a KB graph.
+type Expander struct {
+	graph    *kb.Graph
+	matcher  *motif.Matcher
+	analyzer analysis.Analyzer
+
+	// Weights are the three-part combination weights (user query,
+	// entity titles, expansion titles). The zero value means equal
+	// thirds.
+	Weights PartWeights
+	// MaxFeatures caps the number of expansion features per query
+	// (highest |m_a| first); 0 means unlimited, which is the paper's
+	// configuration.
+	MaxFeatures int
+	// UniformFeatureWeights disables the |m_a|-proportional weighting
+	// (ablation: every expansion feature weighs 1).
+	UniformFeatureWeights bool
+	// TitleWindowSlack switches title matching from exact phrases to
+	// unordered windows of width len(title)+slack when non-negative
+	// (Indri's #uwN; the looser proximity the paper's feature function
+	// also supports). -1, the default, keeps exact phrase matching.
+	TitleWindowSlack int
+}
+
+// PartWeights weights the three parts of the expanded query.
+type PartWeights struct {
+	Query     float64
+	Entities  float64
+	Expansion float64
+}
+
+// DefaultPartWeights are the three-part combination weights used when
+// the Expander's Weights field is left zero: equal thirds, the natural
+// reading of the paper's "three-part combination". The paper prescribes
+// the within-part weighting (expansion features ∝ |m_a|) but not the
+// part weights.
+var DefaultPartWeights = PartWeights{Query: 1, Entities: 1, Expansion: 1}
+
+// normalized returns the weights with the zero value defaulting to
+// DefaultPartWeights.
+func (w PartWeights) normalized() PartWeights {
+	if w.Query == 0 && w.Entities == 0 && w.Expansion == 0 {
+		return DefaultPartWeights
+	}
+	return w
+}
+
+// NewExpander returns an Expander with the paper's motif conditions.
+func NewExpander(g *kb.Graph, a analysis.Analyzer) *Expander {
+	return &Expander{graph: g, matcher: motif.NewMatcher(g), analyzer: a, TitleWindowSlack: -1}
+}
+
+// titleNode renders one title under the configured proximity operator.
+func (e *Expander) titleNode(title string) search.Node {
+	if e.TitleWindowSlack >= 0 {
+		return search.TitleWindow(e.analyzer, title, e.TitleWindowSlack)
+	}
+	return search.TitlePhrase(e.analyzer, title)
+}
+
+// Matcher exposes the underlying motif matcher so callers can toggle the
+// ablation switches (reciprocity, category conditions).
+func (e *Expander) Matcher() *motif.Matcher { return e.matcher }
+
+// Graph returns the KB graph the expander works on.
+func (e *Expander) Graph() *kb.Graph { return e.graph }
+
+// BuildQueryGraph runs motif search from queryNodes with the given motif
+// set and returns the resulting query graph. Features arrive sorted by
+// descending |m_a|.
+func (e *Expander) BuildQueryGraph(queryNodes []kb.NodeID, set motif.Set) QueryGraph {
+	matches := e.matcher.Expand(queryNodes, set)
+	if e.MaxFeatures > 0 && len(matches) > e.MaxFeatures {
+		matches = matches[:e.MaxFeatures]
+	}
+	qg := QueryGraph{QueryNodes: append([]kb.NodeID(nil), queryNodes...)}
+	for _, m := range matches {
+		w := float64(m.Motifs)
+		if e.UniformFeatureWeights {
+			w = 1
+		}
+		qg.Features = append(qg.Features, Feature{Article: m.Article, Weight: w})
+	}
+	return qg
+}
+
+// GroundTruthGraph wraps an externally supplied optimal query graph
+// (paper's ground truth [10]) in the QueryGraph form used by the query
+// builder, for the SQE^UB upper bound.
+func GroundTruthGraph(queryNodes []kb.NodeID, features []Feature) QueryGraph {
+	return QueryGraph{
+		QueryNodes: append([]kb.NodeID(nil), queryNodes...),
+		Features:   append([]Feature(nil), features...),
+	}
+}
+
+// entityPart builds the #combine of query-node title phrases.
+func (e *Expander) entityPart(queryNodes []kb.NodeID) search.Node {
+	nodes := make([]search.Node, 0, len(queryNodes))
+	for _, q := range queryNodes {
+		nodes = append(nodes, e.titleNode(e.graph.Title(q)))
+	}
+	return search.Combine(nodes...)
+}
+
+// expansionPart builds the #weight over expansion-feature title phrases,
+// each weighted proportionally to |m_a|.
+func (e *Expander) expansionPart(features []Feature) search.Node {
+	weights := make([]float64, 0, len(features))
+	nodes := make([]search.Node, 0, len(features))
+	for _, f := range features {
+		weights = append(weights, f.Weight)
+		nodes = append(nodes, e.titleNode(e.graph.Title(f.Article)))
+	}
+	return search.Weight(weights, nodes)
+}
+
+// BuildQuery assembles the expanded query of Section 2.3: a three-part
+// weighted combination of (i) the user's raw query, (ii) the query-node
+// titles and (iii) the expansion-feature titles. Parts that are empty
+// (no entities, no features) drop out with their weight renormalised by
+// the #weight semantics.
+func (e *Expander) BuildQuery(userQuery string, qg QueryGraph) search.Node {
+	w := e.Weights.normalized()
+	return search.Weight(
+		[]float64{w.Query, w.Entities, w.Expansion},
+		[]search.Node{
+			search.BagOfWords(e.analyzer, userQuery),
+			e.entityPart(qg.QueryNodes),
+			e.expansionPart(qg.Features),
+		},
+	)
+}
+
+// Baseline query builders (Section 4's QL_Q, QL_E, QL_Q&E and Q_X).
+
+// QLQuery is the non-expanded user query (QL_Q).
+func (e *Expander) QLQuery(userQuery string) search.Node {
+	return search.BagOfWords(e.analyzer, userQuery)
+}
+
+// QLEntities queries with the query-node titles only (QL_E).
+func (e *Expander) QLEntities(queryNodes []kb.NodeID) search.Node {
+	return e.entityPart(queryNodes)
+}
+
+// QLQueryEntities combines the user query and the query-node titles with
+// equal weight (QL_Q&E).
+func (e *Expander) QLQueryEntities(userQuery string, queryNodes []kb.NodeID) search.Node {
+	return search.Weight(
+		[]float64{1, 1},
+		[]search.Node{search.BagOfWords(e.analyzer, userQuery), e.entityPart(queryNodes)},
+	)
+}
+
+// QLExpansionOnly queries with the expansion features alone (Q_X) — the
+// configuration the paper shows is *not* useful in isolation.
+func (e *Expander) QLExpansionOnly(qg QueryGraph) search.Node {
+	return e.expansionPart(qg.Features)
+}
+
+// Segment describes one slice of an SQE_C combination: take results from
+// Run until the combined list reaches Upto entries (Upto <= 0 means "the
+// rest").
+type Segment struct {
+	Run  []string
+	Upto int
+}
+
+// Splice implements the SQE_C combination (Section 2.2.1): result lists
+// from differently-configured expansions are concatenated range-wise —
+// the paper uses ranks 1–5 from SQE_T, 6–200 from SQE_T&S and 201+ from
+// SQE_S. Duplicates are kept only at their first occurrence; segments
+// are consumed in order and each contributes documents (skipping ones
+// already taken) until the output reaches its Upto bound.
+func Splice(limit int, segments ...Segment) []string {
+	out := make([]string, 0, limit)
+	seen := make(map[string]bool, limit)
+	for _, seg := range segments {
+		upto := seg.Upto
+		if upto <= 0 || upto > limit {
+			upto = limit
+		}
+		for _, doc := range seg.Run {
+			if len(out) >= upto {
+				break
+			}
+			if seen[doc] {
+				continue
+			}
+			seen[doc] = true
+			out = append(out, doc)
+		}
+		if len(out) >= limit {
+			break
+		}
+	}
+	return out
+}
+
+// DefaultSpliceCuts are the paper's SQE_C cut points: first 5 results
+// from SQE_T, through rank 200 from SQE_T&S, remainder from SQE_S.
+var DefaultSpliceCuts = [2]int{5, 200}
+
+// SpliceC applies the paper's SQE_C configuration to three ranked lists.
+func SpliceC(limit int, runT, runTS, runS []string) []string {
+	return Splice(limit,
+		Segment{Run: runT, Upto: DefaultSpliceCuts[0]},
+		Segment{Run: runTS, Upto: DefaultSpliceCuts[1]},
+		Segment{Run: runS},
+	)
+}
+
+// ResultNames extracts the document names from a ranked result list.
+func ResultNames(results []search.Result) []string {
+	out := make([]string, len(results))
+	for i, r := range results {
+		out[i] = r.Name
+	}
+	return out
+}
+
+// DescribeGraph renders a query graph for debugging and the CLI: query
+// node titles plus the top expansion features with weights.
+func (e *Expander) DescribeGraph(qg QueryGraph, maxFeatures int) string {
+	names := make([]string, len(qg.QueryNodes))
+	for i, q := range qg.QueryNodes {
+		names[i] = e.graph.Title(q)
+	}
+	s := fmt.Sprintf("query nodes: %v; %d expansion features", names, len(qg.Features))
+	feats := qg.Features
+	if maxFeatures > 0 && len(feats) > maxFeatures {
+		feats = feats[:maxFeatures]
+	}
+	if len(feats) > 0 {
+		s += ":"
+		for _, f := range feats {
+			s += fmt.Sprintf(" %q(%.0f)", e.graph.Title(f.Article), f.Weight)
+		}
+	}
+	return s
+}
+
+// SortFeatures orders features by descending weight then ascending
+// article ID (the canonical order produced by BuildQueryGraph); exposed
+// for callers that assemble graphs manually.
+func SortFeatures(features []Feature) {
+	sort.Slice(features, func(i, j int) bool {
+		if features[i].Weight != features[j].Weight {
+			return features[i].Weight > features[j].Weight
+		}
+		return features[i].Article < features[j].Article
+	})
+}

@@ -1,0 +1,238 @@
+package core
+
+import (
+	"reflect"
+	"strings"
+	"testing"
+
+	"repro/internal/analysis"
+	"repro/internal/kb"
+	"repro/internal/motif"
+	"repro/internal/search"
+)
+
+// graph: Q ↔ {E1,E2}, all sharing category C; E1 additionally shares a
+// second category so triangular counts differ.
+func expander(t *testing.T) (*Expander, map[string]kb.NodeID) {
+	t.Helper()
+	b := kb.NewBuilder(8)
+	ids := map[string]kb.NodeID{}
+	for _, n := range []string{"Query Article", "First Expansion", "Second Expansion"} {
+		id, err := b.AddArticle(n)
+		if err != nil {
+			t.Fatal(err)
+		}
+		ids[n] = id
+	}
+	c1, _ := b.AddCategory("Category:C1")
+	c2, _ := b.AddCategory("Category:C2")
+	ids["C1"], ids["C2"] = c1, c2
+	must := func(err error) {
+		if err != nil {
+			t.Fatal(err)
+		}
+	}
+	must(b.AddMembership(ids["Query Article"], c1))
+	must(b.AddMembership(ids["First Expansion"], c1))
+	must(b.AddMembership(ids["First Expansion"], c2))
+	must(b.AddMembership(ids["Second Expansion"], c1))
+	for _, e := range []string{"First Expansion", "Second Expansion"} {
+		must(b.AddLink(ids["Query Article"], ids[e]))
+		must(b.AddLink(ids[e], ids["Query Article"]))
+	}
+	g := b.Build()
+	return NewExpander(g, analysis.Standard()), ids
+}
+
+func TestBuildQueryGraph(t *testing.T) {
+	e, ids := expander(t)
+	qg := e.BuildQueryGraph([]kb.NodeID{ids["Query Article"]}, motif.SetT)
+	if len(qg.Features) != 2 {
+		t.Fatalf("features = %+v", qg.Features)
+	}
+	arts := qg.ExpansionArticles()
+	if arts[0] == ids["Query Article"] || arts[1] == ids["Query Article"] {
+		t.Error("query node leaked into features")
+	}
+	// Both share exactly C1 with Q → one instance each; weights 1.
+	for _, f := range qg.Features {
+		if f.Weight != 1 {
+			t.Errorf("weight = %v, want 1", f.Weight)
+		}
+	}
+}
+
+func TestMaxFeaturesCap(t *testing.T) {
+	e, ids := expander(t)
+	e.MaxFeatures = 1
+	qg := e.BuildQueryGraph([]kb.NodeID{ids["Query Article"]}, motif.SetT)
+	if len(qg.Features) != 1 {
+		t.Errorf("cap ignored: %+v", qg.Features)
+	}
+}
+
+func TestUniformFeatureWeights(t *testing.T) {
+	e, ids := expander(t)
+	e.UniformFeatureWeights = true
+	qg := e.BuildQueryGraph([]kb.NodeID{ids["Query Article"]}, motif.SetTS)
+	for _, f := range qg.Features {
+		if f.Weight != 1 {
+			t.Errorf("uniform weights violated: %+v", f)
+		}
+	}
+}
+
+func TestBuildQueryStructure(t *testing.T) {
+	e, ids := expander(t)
+	qg := e.BuildQueryGraph([]kb.NodeID{ids["Query Article"]}, motif.SetT)
+	node := e.BuildQuery("user words", qg)
+	s := node.String()
+	// Three-part weight with the user query terms, entity phrase and
+	// expansion phrases.
+	for _, want := range []string{"#weight(", "user", "word", "#1(queri articl)", "#1(first expans)", "#1(second expans)"} {
+		if !strings.Contains(s, want) {
+			t.Errorf("query %q missing %q", s, want)
+		}
+	}
+}
+
+func TestBuildQueryEmptyParts(t *testing.T) {
+	e, _ := expander(t)
+	// No entities, no features: only the user part remains and the
+	// query must still be non-empty and searchable.
+	node := e.BuildQuery("hello world", QueryGraph{})
+	if search.IsEmpty(node) {
+		t.Error("query with only user part should not be empty")
+	}
+	// Everything empty → empty query.
+	if !search.IsEmpty(e.BuildQuery("", QueryGraph{})) {
+		t.Error("fully empty query should be empty")
+	}
+}
+
+func TestBaselineBuilders(t *testing.T) {
+	e, ids := expander(t)
+	q := ids["Query Article"]
+	if got := e.QLQuery("cable cars").String(); !strings.Contains(got, "cabl") {
+		t.Errorf("QLQuery = %q", got)
+	}
+	if got := e.QLEntities([]kb.NodeID{q}).String(); !strings.Contains(got, "#1(queri articl)") {
+		t.Errorf("QLEntities = %q", got)
+	}
+	qe := e.QLQueryEntities("cable cars", []kb.NodeID{q}).String()
+	if !strings.Contains(qe, "cabl") || !strings.Contains(qe, "#1(queri articl)") {
+		t.Errorf("QLQueryEntities = %q", qe)
+	}
+	qg := e.BuildQueryGraph([]kb.NodeID{q}, motif.SetT)
+	qx := e.QLExpansionOnly(qg).String()
+	if strings.Contains(qx, "cabl") || !strings.Contains(qx, "expans") {
+		t.Errorf("QLExpansionOnly = %q", qx)
+	}
+}
+
+func TestGroundTruthGraphCopies(t *testing.T) {
+	nodes := []kb.NodeID{1}
+	feats := []Feature{{Article: 2, Weight: 3}}
+	qg := GroundTruthGraph(nodes, feats)
+	nodes[0] = 99
+	feats[0].Weight = 99
+	if qg.QueryNodes[0] != 1 || qg.Features[0].Weight != 3 {
+		t.Error("GroundTruthGraph must copy its inputs")
+	}
+}
+
+func TestSortFeatures(t *testing.T) {
+	f := []Feature{{Article: 3, Weight: 1}, {Article: 1, Weight: 2}, {Article: 2, Weight: 2}}
+	SortFeatures(f)
+	want := []Feature{{Article: 1, Weight: 2}, {Article: 2, Weight: 2}, {Article: 3, Weight: 1}}
+	if !reflect.DeepEqual(f, want) {
+		t.Errorf("SortFeatures = %+v", f)
+	}
+}
+
+func TestSplice(t *testing.T) {
+	runA := []string{"a1", "a2", "a3"}
+	runB := []string{"a1", "b1", "b2", "b3"}
+	runC := []string{"c1", "b1", "c2"}
+	got := Splice(10,
+		Segment{Run: runA, Upto: 2},
+		Segment{Run: runB, Upto: 5},
+		Segment{Run: runC},
+	)
+	// First 2 from A; B fills to 5 skipping the duplicate a1; C fills the
+	// rest skipping duplicate b1.
+	want := []string{"a1", "a2", "b1", "b2", "b3", "c1", "c2"}
+	if !reflect.DeepEqual(got, want) {
+		t.Errorf("Splice = %v, want %v", got, want)
+	}
+}
+
+func TestSpliceLimit(t *testing.T) {
+	got := Splice(3, Segment{Run: []string{"a", "b", "c", "d"}})
+	if !reflect.DeepEqual(got, []string{"a", "b", "c"}) {
+		t.Errorf("Splice limit = %v", got)
+	}
+}
+
+func TestSpliceC(t *testing.T) {
+	mk := func(prefix string, n int) []string {
+		out := make([]string, n)
+		for i := range out {
+			out[i] = prefix + string(rune('0'+i/10)) + string(rune('0'+i%10))
+		}
+		return out
+	}
+	runT := mk("t", 300)
+	runTS := mk("s", 300)
+	runS := mk("u", 300)
+	got := SpliceC(250, runT, runTS, runS)
+	if len(got) != 250 {
+		t.Fatalf("len = %d", len(got))
+	}
+	// Ranks 1-5 from T, 6-200 from TS, 201+ from S.
+	if got[0] != "t00" || got[4] != "t04" {
+		t.Errorf("head = %v", got[:5])
+	}
+	if got[5] != "s00" || got[199][0] != 's' {
+		t.Errorf("middle segment wrong: got[5]=%s got[199]=%s", got[5], got[199])
+	}
+	if got[200][0] != 'u' {
+		t.Errorf("tail segment wrong: %s", got[200])
+	}
+}
+
+func TestSpliceEmptySegments(t *testing.T) {
+	if got := Splice(5); len(got) != 0 {
+		t.Errorf("no segments should splice to empty, got %v", got)
+	}
+	got := Splice(5, Segment{Run: nil, Upto: 3}, Segment{Run: []string{"x"}})
+	if !reflect.DeepEqual(got, []string{"x"}) {
+		t.Errorf("empty first segment: %v", got)
+	}
+}
+
+func TestResultNames(t *testing.T) {
+	rs := []search.Result{{Name: "a"}, {Name: "b"}}
+	if got := ResultNames(rs); !reflect.DeepEqual(got, []string{"a", "b"}) {
+		t.Errorf("ResultNames = %v", got)
+	}
+}
+
+func TestDescribeGraph(t *testing.T) {
+	e, ids := expander(t)
+	qg := e.BuildQueryGraph([]kb.NodeID{ids["Query Article"]}, motif.SetT)
+	s := e.DescribeGraph(qg, 1)
+	if !strings.Contains(s, "Query Article") || !strings.Contains(s, "2 expansion features") {
+		t.Errorf("DescribeGraph = %q", s)
+	}
+}
+
+func TestPartWeightsNormalized(t *testing.T) {
+	if w := (PartWeights{}).normalized(); w != DefaultPartWeights {
+		t.Errorf("zero weights should default, got %+v", w)
+	}
+	custom := PartWeights{Query: 2, Entities: 0, Expansion: 1}
+	if w := custom.normalized(); w != custom {
+		t.Errorf("custom weights altered: %+v", w)
+	}
+}

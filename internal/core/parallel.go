@@ -1,0 +1,46 @@
+package core
+
+import (
+	"runtime"
+	"sync"
+
+	"repro/internal/kb"
+	"repro/internal/motif"
+)
+
+// BuildQueryGraphs expands many queries concurrently. The paper's
+// Section 4.4 notes that expansion "would probably be easily reduced by
+// parallelizing the expansion process"; this implements that: motif
+// search is read-only over the immutable KB graph, so queries fan out
+// over a worker pool with no locking. workers <= 0 uses GOMAXPROCS.
+//
+// Results are positionally aligned with queryNodeSets.
+func (e *Expander) BuildQueryGraphs(queryNodeSets [][]kb.NodeID, set motif.Set, workers int) []QueryGraph {
+	if workers <= 0 {
+		workers = runtime.GOMAXPROCS(0)
+	}
+	if workers > len(queryNodeSets) {
+		workers = len(queryNodeSets)
+	}
+	out := make([]QueryGraph, len(queryNodeSets))
+	if len(queryNodeSets) == 0 {
+		return out
+	}
+	var wg sync.WaitGroup
+	jobs := make(chan int)
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := range jobs {
+				out[i] = e.BuildQueryGraph(queryNodeSets[i], set)
+			}
+		}()
+	}
+	for i := range queryNodeSets {
+		jobs <- i
+	}
+	close(jobs)
+	wg.Wait()
+	return out
+}

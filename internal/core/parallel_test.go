@@ -1,0 +1,38 @@
+package core
+
+import (
+	"reflect"
+	"testing"
+
+	"repro/internal/kb"
+	"repro/internal/motif"
+)
+
+func TestBuildQueryGraphsMatchesSequential(t *testing.T) {
+	e, ids := expander(t)
+	sets := [][]kb.NodeID{
+		{ids["Query Article"]},
+		{ids["First Expansion"]},
+		{ids["Query Article"], ids["Second Expansion"]},
+		nil,
+	}
+	for _, workers := range []int{0, 1, 2, 8} {
+		got := e.BuildQueryGraphs(sets, motif.SetTS, workers)
+		if len(got) != len(sets) {
+			t.Fatalf("workers=%d: %d results", workers, len(got))
+		}
+		for i, nodes := range sets {
+			want := e.BuildQueryGraph(nodes, motif.SetTS)
+			if !reflect.DeepEqual(got[i], want) {
+				t.Errorf("workers=%d query %d: parallel result differs", workers, i)
+			}
+		}
+	}
+}
+
+func TestBuildQueryGraphsEmpty(t *testing.T) {
+	e, _ := expander(t)
+	if got := e.BuildQueryGraphs(nil, motif.SetT, 4); len(got) != 0 {
+		t.Errorf("empty input should return empty output, got %v", got)
+	}
+}

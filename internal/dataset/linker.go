@@ -1,0 +1,64 @@
+package dataset
+
+import (
+	"math/rand"
+
+	"repro/internal/analysis"
+	"repro/internal/entitylink"
+	"repro/internal/wikigen"
+)
+
+// LinkerOptions controls the automatically built entity linker.
+type LinkerOptions struct {
+	// Seed drives the ambiguity assignment.
+	Seed int64
+	// AliasAmbiguity is the fraction of topics whose leading alias is
+	// also a (more common) surface form of a different topic's entity —
+	// the source of genuine linking errors in the (A) runs. The paper's
+	// Dexter+Alchemy stack reaches ~80% linking precision, which an
+	// ambiguity around 0.2 reproduces.
+	AliasAmbiguity float64
+}
+
+// DefaultLinkerOptions reproduces the paper's ~80% linking precision.
+func DefaultLinkerOptions() LinkerOptions {
+	return LinkerOptions{Seed: 7, AliasAmbiguity: 0.2}
+}
+
+// BuildLinker assembles the Dexter-like dictionary for a world: every
+// article title is a surface form of its article; every topic's alias
+// terms are surface forms of the topic's entity article (the anchor-text
+// dictionary); and a fraction of aliases are deliberately ambiguous —
+// they also name a different topic's entity with higher commonness, so
+// greedy commonness disambiguation links them wrongly, exactly like a
+// real dictionary linker on polysemous anchors.
+func BuildLinker(world *wikigen.World, opts LinkerOptions) *entitylink.Linker {
+	rng := rand.New(rand.NewSource(opts.Seed))
+	dict := entitylink.NewDictionary(analysis.Standard())
+
+	for ti := range world.Topics {
+		t := &world.Topics[ti]
+		for i, a := range t.Articles {
+			// Commonness decays with popularity rank so the fallback
+			// recognizer prefers prominent articles.
+			dict.AddTitle(world.Graph.Title(a), a, 1/float64(i+1))
+		}
+		for _, alias := range t.AliasTerms {
+			dict.AddSurface(alias, t.Entity(), 0.6)
+		}
+	}
+	// Ambiguity pass: confuse the leading alias of a sample of topics
+	// with a random other topic's entity at higher commonness.
+	for ti := range world.Topics {
+		if rng.Float64() >= opts.AliasAmbiguity {
+			continue
+		}
+		other := rng.Intn(len(world.Topics))
+		if other == ti {
+			continue
+		}
+		alias := world.Topics[ti].AliasTerms[0]
+		dict.AddSurface(alias, world.Topics[other].Entity(), 0.8)
+	}
+	return entitylink.NewLinker(dict)
+}

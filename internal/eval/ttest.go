@@ -1,0 +1,123 @@
+package eval
+
+import "math"
+
+// PairedTTest runs a paired two-tailed Student t-test on equal-length
+// samples a and b. It returns the t statistic of the differences a-b and
+// the two-tailed p-value. With fewer than two pairs, or zero variance in
+// the differences, it returns t=0, p=1 (no evidence either way) unless
+// the zero-variance differences are all non-zero, in which case the
+// improvement is deterministic and p=0 is returned with t=±Inf.
+func PairedTTest(a, b []float64) (t, p float64) {
+	n := len(a)
+	if n != len(b) || n < 2 {
+		return 0, 1
+	}
+	var mean float64
+	for i := range a {
+		mean += a[i] - b[i]
+	}
+	mean /= float64(n)
+	var ss float64
+	for i := range a {
+		d := a[i] - b[i] - mean
+		ss += d * d
+	}
+	variance := ss / float64(n-1)
+	if variance == 0 {
+		if mean == 0 {
+			return 0, 1
+		}
+		return math.Inf(int(math.Copysign(1, mean))), 0
+	}
+	se := math.Sqrt(variance / float64(n))
+	t = mean / se
+	df := float64(n - 1)
+	// Two-tailed p-value from the regularised incomplete beta function:
+	// p = I_{df/(df+t²)}(df/2, 1/2).
+	x := df / (df + t*t)
+	p = regIncBeta(df/2, 0.5, x)
+	if p > 1 {
+		p = 1
+	}
+	if p < 0 {
+		p = 0
+	}
+	return t, p
+}
+
+// regIncBeta computes the regularised incomplete beta function
+// I_x(a, b) using the continued-fraction expansion (Numerical Recipes
+// §6.4, modified Lentz algorithm).
+func regIncBeta(a, b, x float64) float64 {
+	switch {
+	case x <= 0:
+		return 0
+	case x >= 1:
+		return 1
+	}
+	lbeta := lgamma(a+b) - lgamma(a) - lgamma(b)
+	front := math.Exp(lbeta + a*math.Log(x) + b*math.Log(1-x))
+	if x < (a+1)/(a+b+2) {
+		return front * betaCF(a, b, x) / a
+	}
+	return 1 - front*betaCF(b, a, 1-x)/b
+}
+
+// betaCF evaluates the continued fraction for the incomplete beta
+// function by the modified Lentz method.
+func betaCF(a, b, x float64) float64 {
+	const (
+		maxIter = 300
+		eps     = 3e-14
+		fpMin   = 1e-300
+	)
+	qab := a + b
+	qap := a + 1
+	qam := a - 1
+	c := 1.0
+	d := 1 - qab*x/qap
+	if math.Abs(d) < fpMin {
+		d = fpMin
+	}
+	d = 1 / d
+	h := d
+	for m := 1; m <= maxIter; m++ {
+		fm := float64(m)
+		m2 := 2 * fm
+		aa := fm * (b - fm) * x / ((qam + m2) * (a + m2))
+		d = 1 + aa*d
+		if math.Abs(d) < fpMin {
+			d = fpMin
+		}
+		c = 1 + aa/c
+		if math.Abs(c) < fpMin {
+			c = fpMin
+		}
+		d = 1 / d
+		h *= d * c
+		aa = -(a + fm) * (qab + fm) * x / ((a + m2) * (qap + m2))
+		d = 1 + aa*d
+		if math.Abs(d) < fpMin {
+			d = fpMin
+		}
+		c = 1 + aa/c
+		if math.Abs(c) < fpMin {
+			c = fpMin
+		}
+		d = 1 / d
+		del := d * c
+		h *= del
+		if math.Abs(del-1) < eps {
+			break
+		}
+	}
+	return h
+}
+
+// lgamma wraps math.Lgamma discarding the sign (arguments here are
+// always positive).
+func lgamma(x float64) float64 {
+	v, _ := math.Lgamma(x)
+	return v
+}

@@ -1,0 +1,74 @@
+package experiments
+
+import (
+	"strings"
+	"testing"
+
+	"repro/internal/dataset"
+	"repro/internal/search"
+)
+
+func TestModelComparison(t *testing.T) {
+	s := smallSuite(t)
+	res := ModelComparison(s, s.ImageCLEF)
+	if len(res.Table.Rows) != 6 {
+		t.Fatalf("rows = %d", len(res.Table.Rows))
+	}
+	for _, model := range []search.Model{search.ModelDirichlet, search.ModelJelinekMercer, search.ModelBM25} {
+		gain, ok := res.Gain[model.String()]
+		if !ok {
+			t.Fatalf("no gain for %v", model)
+		}
+		// SQE must improve over the baseline under every retrieval
+		// model — the expansion is model-agnostic.
+		if gain <= 0 {
+			t.Errorf("%v: SQE gain %+.1f%% not positive", model, gain)
+		}
+	}
+	if !strings.Contains(res.String(), "bm25") {
+		t.Error("rendering incomplete")
+	}
+}
+
+func TestCrossKBMining(t *testing.T) {
+	s := smallSuite(t)
+	res, err := CrossKBMining(s, dataset.ScaleSmall)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Wikipedia.Scores) == 0 || len(res.Ontology.Scores) == 0 {
+		t.Fatal("missing rankings")
+	}
+	// The paper's conjecture, made concrete: the template structure that
+	// works on the Wikipedia-like KB is not the same as on the
+	// taxonomy-like KB. Assert a structural difference rather than exact
+	// templates: the per-template footprints must differ.
+	wiki := map[string]float64{}
+	for _, sc := range res.Wikipedia.Scores {
+		wiki[sc.Template.String()] = sc.AvgSelected
+	}
+	differs := false
+	for _, sc := range res.Ontology.Scores {
+		w := wiki[sc.Template.String()]
+		if w == 0 && sc.AvgSelected == 0 {
+			continue
+		}
+		ratio := sc.AvgSelected / maxf(w, 0.001)
+		if ratio < 0.5 || ratio > 2 {
+			differs = true
+		}
+	}
+	if !differs {
+		t.Error("the two KB profiles produced structurally identical template footprints")
+	}
+	if !strings.Contains(res.String(), "Ontology-like") {
+		t.Error("rendering incomplete")
+	}
+}
+
+func maxf(a, b float64) float64 {
+	if a > b {
+		return a
+	}
+	return b
+}

@@ -1,0 +1,84 @@
+package experiments
+
+import (
+	"fmt"
+	"strings"
+
+	"repro/internal/eval"
+)
+
+// SigMatrixResult is the pairwise significance matrix of a Table-2 run
+// set at one top: cell (row, col) holds the paired two-tailed p-value of
+// row vs col, signed by the direction of the difference. The paper only
+// tests SQE against the baselines; the full matrix answers the follow-up
+// questions (is (M) significantly better than (A)? is QL_E better than
+// QL_Q?).
+type SigMatrixResult struct {
+	Dataset string
+	Top     int
+	Runs    []string
+	// P[i][j] is the two-tailed p-value between Runs[i] and Runs[j],
+	// negative when Runs[i]'s mean is below Runs[j]'s. Diagonal is 1.
+	P [][]float64
+}
+
+// SigMatrix computes the matrix from an existing Table-2 result at the
+// given precision cutoff.
+func SigMatrix(t2 *Table2Result, top int) *SigMatrixResult {
+	runs := []string{"QL_Q", "QL_E (M)", "QL_E (A)", "QL_Q&E (M)", "QL_Q&E (A)", "Q_X", "SQE_C (M)", "SQE_C (A)"}
+	res := &SigMatrixResult{Dataset: t2.Dataset, Top: top, Runs: runs}
+	res.P = make([][]float64, len(runs))
+	for i := range runs {
+		res.P[i] = make([]float64, len(runs))
+		for j := range runs {
+			if i == j {
+				res.P[i][j] = 1
+				continue
+			}
+			a := t2.Reports[runs[i]].PerQuery[top]
+			b := t2.Reports[runs[j]].PerQuery[top]
+			tstat, p := eval.PairedTTest(a, b)
+			if tstat < 0 {
+				p = -p
+			}
+			res.P[i][j] = p
+		}
+	}
+	return res
+}
+
+// String renders the matrix; cells show the p-value, starred when
+// p < 0.05, with a leading '-' when the row run is *worse* than the
+// column run.
+func (m *SigMatrixResult) String() string {
+	var sb strings.Builder
+	fmt.Fprintf(&sb, "Pairwise significance matrix (%s, P@%d; row vs column, * = p<0.05)\n", m.Dataset, m.Top)
+	fmt.Fprintf(&sb, "%-12s", "")
+	for j := range m.Runs {
+		fmt.Fprintf(&sb, "%9s", abbrev(m.Runs[j]))
+	}
+	sb.WriteByte('\n')
+	for i, name := range m.Runs {
+		fmt.Fprintf(&sb, "%-12s", abbrev(name))
+		for j := range m.Runs {
+			if i == j {
+				fmt.Fprintf(&sb, "%9s", "·")
+				continue
+			}
+			p := m.P[i][j]
+			cell := fmt.Sprintf("%+.3f", p)
+			if p > -0.05 && p < 0.05 {
+				cell += "*"
+			}
+			fmt.Fprintf(&sb, "%9s", cell)
+		}
+		sb.WriteByte('\n')
+	}
+	return sb.String()
+}
+
+// abbrev shortens run names for matrix columns.
+func abbrev(name string) string {
+	r := strings.NewReplacer("QL_Q&E", "Q&E", "QL_E", "E", "QL_Q", "Q", "SQE_C", "SQE", " (M)", "m", " (A)", "a")
+	return r.Replace(name)
+}

@@ -1,0 +1,100 @@
+package experiments
+
+import (
+	"fmt"
+	"io"
+	"os"
+	"path/filepath"
+	"strings"
+
+	"repro/internal/dataset"
+	"repro/internal/eval"
+)
+
+// SummaryResult reports the full-metric view (MAP, MRR, nDCG@10, Rprec,
+// robustness index) of the main runs — measures the paper does not
+// print, included because any downstream comparison will ask for them.
+type SummaryResult struct {
+	Dataset   string
+	Summaries []*eval.Summary
+	// Robustness is the per-query win/loss index of SQE_C (M) vs QL_Q at
+	// P@10.
+	Robustness float64
+}
+
+// SummaryMetrics computes the extended-metric summary for inst.
+func SummaryMetrics(s *Suite, inst *dataset.Instance) *SummaryResult {
+	r := s.NewRunner(inst)
+	qlq := r.QLQ()
+	sqeM := r.SQEC(true)
+	sqeA := r.SQEC(false)
+	return &SummaryResult{
+		Dataset: inst.Name,
+		Summaries: []*eval.Summary{
+			eval.Summarize("QL_Q", inst.Qrels, qlq),
+			eval.Summarize("SQE_C (M)", inst.Qrels, sqeM),
+			eval.Summarize("SQE_C (A)", inst.Qrels, sqeA),
+		},
+		Robustness: eval.RobustnessIndex(inst.Qrels, sqeM, qlq, 10),
+	}
+}
+
+// String renders the summary.
+func (s *SummaryResult) String() string {
+	var sb strings.Builder
+	fmt.Fprintf(&sb, "Extended metrics (%s)\n", s.Dataset)
+	fmt.Fprintf(&sb, "%-12s %8s %8s %8s %8s %8s %8s\n", "", "MAP", "MRR", "nDCG@10", "Rprec", "P@10", "R@100")
+	for _, sum := range s.Summaries {
+		fmt.Fprintf(&sb, "%-12s %8.3f %8.3f %8.3f %8.3f %8.3f %8.3f\n",
+			sum.Name, sum.MAP, sum.MRR, sum.NDCG10, sum.RPrec, sum.P[10], sum.Recall[100])
+	}
+	fmt.Fprintf(&sb, "robustness index SQE_C(M) vs QL_Q at P@10: %+.2f\n", s.Robustness)
+	return sb.String()
+}
+
+// ExportTREC writes qrels and the principal runs of every dataset in
+// TREC format under dir, so results round-trip with the standard
+// trec_eval toolchain. Returns the written file names.
+func ExportTREC(s *Suite, dir string) ([]string, error) {
+	var written []string
+	writeFile := func(name string, fn func(io.Writer) error) error {
+		path := filepath.Join(dir, name)
+		f, err := os.Create(path)
+		if err != nil {
+			return err
+		}
+		if err := fn(f); err != nil {
+			f.Close()
+			return err
+		}
+		if err := f.Close(); err != nil {
+			return err
+		}
+		written = append(written, path)
+		return nil
+	}
+	for _, inst := range s.Instances() {
+		r := s.NewRunner(inst)
+		tag := strings.ToLower(strings.ReplaceAll(inst.Name, " ", ""))
+		if err := writeFile(tag+".qrels", func(w io.Writer) error {
+			return eval.WriteQrelsTREC(w, inst.Qrels)
+		}); err != nil {
+			return written, err
+		}
+		runs := map[string]eval.Run{
+			"qlq":  r.QLQ(),
+			"sqem": r.SQEC(true),
+			"sqea": r.SQEC(false),
+		}
+		for rn, run := range runs {
+			run := run
+			runTag := tag + "-" + rn
+			if err := writeFile(runTag+".run", func(w io.Writer) error {
+				return eval.WriteRunTREC(w, run, runTag)
+			}); err != nil {
+				return written, err
+			}
+		}
+	}
+	return written, nil
+}

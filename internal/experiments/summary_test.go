@@ -1,0 +1,135 @@
+package experiments
+
+import (
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"repro/internal/eval"
+)
+
+func TestSummaryMetrics(t *testing.T) {
+	s := smallSuite(t)
+	res := SummaryMetrics(s, s.ImageCLEF)
+	if len(res.Summaries) != 3 {
+		t.Fatalf("summaries = %d", len(res.Summaries))
+	}
+	for _, sum := range res.Summaries {
+		if sum.NumQueries != len(s.ImageCLEF.Queries) {
+			t.Errorf("%s: NumQueries = %d", sum.Name, sum.NumQueries)
+		}
+		if sum.MAP < 0 || sum.MAP > 1 || sum.MRR < 0 || sum.MRR > 1 {
+			t.Errorf("%s: metrics out of range: %+v", sum.Name, sum)
+		}
+	}
+	// SQE must improve MRR over the baseline (the first relevant doc
+	// arrives earlier with expansion).
+	var qlq, sqe *eval.Summary
+	for _, sum := range res.Summaries {
+		switch sum.Name {
+		case "QL_Q":
+			qlq = sum
+		case "SQE_C (M)":
+			sqe = sum
+		}
+	}
+	if sqe.MRR <= qlq.MRR {
+		t.Errorf("SQE MRR %.3f not above baseline %.3f", sqe.MRR, qlq.MRR)
+	}
+	if res.Robustness < -1 || res.Robustness > 1 {
+		t.Errorf("robustness index out of range: %f", res.Robustness)
+	}
+	if !strings.Contains(res.String(), "MAP") {
+		t.Error("rendering incomplete")
+	}
+}
+
+func TestExportTRECRoundTrip(t *testing.T) {
+	s := smallSuite(t)
+	dir := t.TempDir()
+	files, err := ExportTREC(s, dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(files) != 12 { // 3 datasets × (1 qrels + 3 runs)
+		t.Fatalf("wrote %d files", len(files))
+	}
+	// Round-trip the Image CLEF qrels and the baseline run, and verify
+	// the reloaded artifacts evaluate identically.
+	qf, err := os.Open(filepath.Join(dir, "imageclef.qrels"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer qf.Close()
+	qrels, err := eval.ReadQrelsTREC(qf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(qrels) != len(s.ImageCLEF.Queries) {
+		t.Errorf("qrels queries = %d", len(qrels))
+	}
+	rf, err := os.Open(filepath.Join(dir, "imageclef-qlq.run"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer rf.Close()
+	run, err := eval.ReadRunTREC(rf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	r := s.NewRunner(s.ImageCLEF)
+	orig := r.QLQ()
+	for id := range orig {
+		if len(orig[id]) == 0 {
+			continue
+		}
+		if len(run[id]) != len(orig[id]) {
+			t.Fatalf("%s: run depth %d vs %d", id, len(run[id]), len(orig[id]))
+		}
+		if run[id][0] != orig[id][0] {
+			t.Fatalf("%s: top doc %s vs %s", id, run[id][0], orig[id][0])
+		}
+	}
+	p1 := eval.MeanPrecisionAt(s.ImageCLEF.Qrels, orig, 10)
+	p2 := eval.MeanPrecisionAt(qrels, run, 10)
+	if p1 != p2 {
+		t.Errorf("round-tripped P@10 %f != %f", p2, p1)
+	}
+}
+
+func TestSigMatrix(t *testing.T) {
+	s := smallSuite(t)
+	t2 := Table2(s, s.ImageCLEF)
+	m := SigMatrix(t2, 10)
+	if len(m.Runs) != 8 || len(m.P) != 8 {
+		t.Fatalf("matrix shape: %d runs, %d rows", len(m.Runs), len(m.P))
+	}
+	for i := range m.P {
+		if m.P[i][i] != 1 {
+			t.Errorf("diagonal [%d] = %f", i, m.P[i][i])
+		}
+		for j := range m.P[i] {
+			// Antisymmetric in sign, symmetric in magnitude.
+			if i != j {
+				pij, pji := m.P[i][j], m.P[j][i]
+				if absf(absf(pij)-absf(pji)) > 1e-9 {
+					t.Errorf("p magnitudes differ: [%d][%d]=%f [%d][%d]=%f", i, j, pij, j, i, pji)
+				}
+				if pij != 0 && pji != 0 && (pij > 0) == (pji > 0) && absf(pij) < 0.999 {
+					t.Errorf("signs not opposite: [%d][%d]=%f [%d][%d]=%f", i, j, pij, j, i, pji)
+				}
+			}
+		}
+	}
+	if !strings.Contains(m.String(), "SQEm") {
+		t.Error("rendering incomplete")
+	}
+}
+
+func absf(x float64) float64 {
+	if x < 0 {
+		return -x
+	}
+	return x
+}

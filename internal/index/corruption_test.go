@@ -1,0 +1,54 @@
+package index
+
+import (
+	"bytes"
+	"math/rand"
+	"testing"
+
+	"repro/internal/analysis"
+)
+
+// TestIndexDecodeCorruptionRobust mirrors the kb corruption test: random
+// bit flips and truncations of a valid index encoding must error, never
+// panic.
+func TestIndexDecodeCorruptionRobust(t *testing.T) {
+	b := NewBuilder(analysis.Standard())
+	b.Add("d1", "cable car in the fog over the bay")
+	b.Add("d2", "funicular railways climb mountains")
+	b.Add("d3", "graffiti on brick walls downtown")
+	ix := b.Build()
+	var buf bytes.Buffer
+	if err := Encode(&buf, ix); err != nil {
+		t.Fatal(err)
+	}
+	valid := buf.Bytes()
+	rng := rand.New(rand.NewSource(7))
+	for trial := 0; trial < 500; trial++ {
+		data := append([]byte(nil), valid...)
+		switch trial % 3 {
+		case 0:
+			data[rng.Intn(len(data))] ^= byte(1 + rng.Intn(255))
+		case 1:
+			data = data[:rng.Intn(len(data))]
+		case 2:
+			for i := 0; i < 4; i++ {
+				data[rng.Intn(len(data))] ^= byte(1 + rng.Intn(255))
+			}
+		}
+		func() {
+			defer func() {
+				if r := recover(); r != nil {
+					t.Fatalf("trial %d: decoder panicked: %v", trial, r)
+				}
+			}()
+			got, err := Decode(bytes.NewReader(data))
+			if err != nil || got == nil {
+				return
+			}
+			// If it decoded, the result must be internally consistent
+			// enough to search without panicking.
+			_ = got.PostingsFor("cabl")
+			_ = got.PhrasePostings([]string{"cabl", "car"})
+		}()
+	}
+}

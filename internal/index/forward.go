@@ -1,0 +1,26 @@
+package index
+
+// TermFreq is one entry of a document's forward vector.
+type TermFreq struct {
+	Term int32
+	Freq int32
+}
+
+// DocVector returns the term-frequency vector of doc (term IDs with
+// frequencies, unordered). The forward index is materialised lazily on
+// first use and cached; it is what pseudo-relevance feedback needs to
+// estimate P(w|D) over the feedback documents.
+func (ix *Index) DocVector(doc DocID) []TermFreq {
+	ix.fwdOnce.Do(ix.buildForward)
+	return ix.forward[doc]
+}
+
+func (ix *Index) buildForward() {
+	ix.forward = make([][]TermFreq, len(ix.docNames))
+	for tid := range ix.postings {
+		p := &ix.postings[tid]
+		for i, doc := range p.Docs {
+			ix.forward[doc] = append(ix.forward[doc], TermFreq{Term: int32(tid), Freq: p.Freqs[i]})
+		}
+	}
+}

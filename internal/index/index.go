@@ -1,0 +1,234 @@
+// Package index implements the positional inverted index behind the
+// reproduction's Indri-like retrieval substrate. It stores, per term, the
+// documents it occurs in, term frequencies and token positions, plus the
+// collection statistics (collection frequency, total token count) that
+// Dirichlet-smoothed query-likelihood scoring needs.
+package index
+
+import (
+	"fmt"
+	"sort"
+	"sync"
+
+	"repro/internal/analysis"
+)
+
+// DocID identifies a document in an Index; IDs are dense, 0..NumDocs-1,
+// assigned in insertion order.
+type DocID int32
+
+// Postings is the inverted list of one term: parallel slices sorted by
+// document ID.
+type Postings struct {
+	// Docs are the documents containing the term, ascending.
+	Docs []DocID
+	// Freqs[i] is the term frequency in Docs[i].
+	Freqs []int32
+	// Positions[i] are the token positions of the term in Docs[i],
+	// ascending.
+	Positions [][]int32
+}
+
+// CollectionFreq returns the total number of occurrences of the term in
+// the collection.
+func (p *Postings) CollectionFreq() int64 {
+	var cf int64
+	for _, f := range p.Freqs {
+		cf += int64(f)
+	}
+	return cf
+}
+
+// Index is an immutable positional inverted index. Build one with a
+// Builder.
+type Index struct {
+	analyzer analysis.Analyzer
+	terms    map[string]int32
+	postings []Postings
+	termText []string
+
+	docNames  []string
+	docLens   []int32
+	docTexts  []string // raw text, only when built with EnableTextStore
+	totalToks int64
+
+	fwdOnce sync.Once
+	forward [][]TermFreq
+}
+
+// Analyzer returns the analyzer documents were indexed with; queries must
+// use the same one.
+func (ix *Index) Analyzer() analysis.Analyzer { return ix.analyzer }
+
+// NumDocs returns the number of indexed documents.
+func (ix *Index) NumDocs() int { return len(ix.docNames) }
+
+// NumTerms returns the vocabulary size.
+func (ix *Index) NumTerms() int { return len(ix.postings) }
+
+// TotalTokens returns the collection length |C| in tokens (post-analysis).
+func (ix *Index) TotalTokens() int64 { return ix.totalToks }
+
+// DocName returns the external name of doc.
+func (ix *Index) DocName(doc DocID) string { return ix.docNames[doc] }
+
+// DocLen returns the document length |D| in tokens (post-analysis).
+func (ix *Index) DocLen(doc DocID) int32 { return ix.docLens[doc] }
+
+// TermID resolves an analyzed term to its internal ID; ok is false when
+// the term does not occur in the collection.
+func (ix *Index) TermID(term string) (int32, bool) {
+	id, ok := ix.terms[term]
+	return id, ok
+}
+
+// TermText returns the text of term id.
+func (ix *Index) TermText(id int32) string { return ix.termText[id] }
+
+// PostingsFor returns the postings of an analyzed term, or nil when the
+// term is out of vocabulary. The returned struct is shared with the index
+// and must not be modified.
+func (ix *Index) PostingsFor(term string) *Postings {
+	id, ok := ix.terms[term]
+	if !ok {
+		return nil
+	}
+	return &ix.postings[id]
+}
+
+// CollectionProb returns the collection language-model probability
+// P(w|C) = cf(w)/|C|, with add-epsilon flooring for out-of-vocabulary
+// terms so that log-probabilities stay finite.
+func (ix *Index) CollectionProb(term string) float64 {
+	cf := int64(0)
+	if p := ix.PostingsFor(term); p != nil {
+		cf = p.CollectionFreq()
+	}
+	return ix.FloorProb(cf)
+}
+
+// FloorProb converts a collection frequency into a probability with a
+// 0.5-occurrence floor (the usual OOV treatment in LM retrieval).
+func (ix *Index) FloorProb(cf int64) float64 {
+	if ix.totalToks == 0 {
+		return 1e-12
+	}
+	if cf <= 0 {
+		return 0.5 / float64(ix.totalToks)
+	}
+	return float64(cf) / float64(ix.totalToks)
+}
+
+// AvgDocLen returns the mean document length.
+func (ix *Index) AvgDocLen() float64 {
+	if len(ix.docLens) == 0 {
+		return 0
+	}
+	return float64(ix.totalToks) / float64(len(ix.docLens))
+}
+
+// String summarises the index.
+func (ix *Index) String() string {
+	return fmt.Sprintf("index: %d docs, %d terms, %d tokens", ix.NumDocs(), ix.NumTerms(), ix.TotalTokens())
+}
+
+// Builder accumulates documents and produces an Index. Not safe for
+// concurrent use.
+type Builder struct {
+	analyzer analysis.Analyzer
+	terms    map[string]int32
+	termText []string
+	// per-term accumulation, parallel to termText
+	docs  [][]DocID
+	freqs [][]int32
+	pos   [][][]int32
+
+	docNames  []string
+	docLens   []int32
+	docTexts  []string
+	storeText bool
+	totalToks int64
+}
+
+// NewBuilder returns a Builder using the given analyzer.
+func NewBuilder(a analysis.Analyzer) *Builder {
+	return &Builder{analyzer: a, terms: make(map[string]int32)}
+}
+
+// Add indexes one document and returns its DocID. name is the external
+// document identifier used in run files and qrels.
+func (b *Builder) Add(name, text string) DocID {
+	doc := DocID(len(b.docNames))
+	b.docNames = append(b.docNames, name)
+	if b.storeText {
+		b.docTexts = append(b.docTexts, text)
+	}
+	toks := b.analyzer.Analyze(text)
+	b.docLens = append(b.docLens, int32(len(toks)))
+	b.totalToks += int64(len(toks))
+	for _, t := range toks {
+		id, ok := b.terms[t.Term]
+		if !ok {
+			id = int32(len(b.termText))
+			b.terms[t.Term] = id
+			b.termText = append(b.termText, t.Term)
+			b.docs = append(b.docs, nil)
+			b.freqs = append(b.freqs, nil)
+			b.pos = append(b.pos, nil)
+		}
+		n := len(b.docs[id])
+		if n > 0 && b.docs[id][n-1] == doc {
+			b.freqs[id][n-1]++
+			b.pos[id][n-1] = append(b.pos[id][n-1], int32(t.Position))
+		} else {
+			b.docs[id] = append(b.docs[id], doc)
+			b.freqs[id] = append(b.freqs[id], 1)
+			b.pos[id] = append(b.pos[id], []int32{int32(t.Position)})
+		}
+	}
+	return doc
+}
+
+// Build finalises the index; the Builder must not be used afterwards.
+func (b *Builder) Build() *Index {
+	ix := &Index{
+		analyzer:  b.analyzer,
+		terms:     b.terms,
+		termText:  b.termText,
+		docNames:  b.docNames,
+		docLens:   b.docLens,
+		docTexts:  b.docTexts,
+		totalToks: b.totalToks,
+		postings:  make([]Postings, len(b.termText)),
+	}
+	for id := range b.termText {
+		// Documents are added in increasing DocID order, so postings are
+		// already sorted; assert in development builds via a cheap check.
+		if !sort.SliceIsSorted(b.docs[id], func(i, j int) bool { return b.docs[id][i] < b.docs[id][j] }) {
+			sortPostings(b.docs[id], b.freqs[id], b.pos[id])
+		}
+		ix.postings[id] = Postings{Docs: b.docs[id], Freqs: b.freqs[id], Positions: b.pos[id]}
+	}
+	b.docs, b.freqs, b.pos = nil, nil, nil
+	return ix
+}
+
+// sortPostings sorts the three parallel slices by DocID. Only needed if a
+// caller ever feeds documents out of order (future-proofing for merge
+// builds).
+func sortPostings(docs []DocID, freqs []int32, pos [][]int32) {
+	idx := make([]int, len(docs))
+	for i := range idx {
+		idx[i] = i
+	}
+	sort.Slice(idx, func(i, j int) bool { return docs[idx[i]] < docs[idx[j]] })
+	nd := make([]DocID, len(docs))
+	nf := make([]int32, len(freqs))
+	np := make([][]int32, len(pos))
+	for i, k := range idx {
+		nd[i], nf[i], np[i] = docs[k], freqs[k], pos[k]
+	}
+	copy(docs, nd)
+	copy(freqs, nf)
+	copy(pos, np)
+}

@@ -1,0 +1,233 @@
+package index
+
+import (
+	"bufio"
+	"encoding/binary"
+	"fmt"
+	"io"
+
+	"repro/internal/analysis"
+)
+
+// Binary index format:
+//
+//	magic "SQEIX\x01"
+//	byte analyzer flags (bit0 stopwords, bit1 stemming)
+//	uvarint numDocs; per doc: uvarint len(name), name, uvarint docLen
+//	uvarint numTerms; per term:
+//	    uvarint len(text), text
+//	    uvarint numPostings; per posting:
+//	        delta-uvarint doc, uvarint freq, delta-uvarint positions
+//
+// TotalTokens is reconstructed from the doc lengths on load.
+
+var indexMagic = []byte("SQEIX\x01")
+
+// Encode writes the index in the binary format.
+func Encode(w io.Writer, ix *Index) error {
+	bw := bufio.NewWriter(w)
+	if _, err := bw.Write(indexMagic); err != nil {
+		return err
+	}
+	var flags byte
+	if ix.analyzer.RemoveStopwords {
+		flags |= 1
+	}
+	if ix.analyzer.Stem {
+		flags |= 2
+	}
+	if err := bw.WriteByte(flags); err != nil {
+		return err
+	}
+	var buf [binary.MaxVarintLen64]byte
+	writeUvarint := func(x uint64) error {
+		n := binary.PutUvarint(buf[:], x)
+		_, err := bw.Write(buf[:n])
+		return err
+	}
+	writeString := func(s string) error {
+		if err := writeUvarint(uint64(len(s))); err != nil {
+			return err
+		}
+		_, err := bw.WriteString(s)
+		return err
+	}
+	if err := writeUvarint(uint64(len(ix.docNames))); err != nil {
+		return err
+	}
+	for d, name := range ix.docNames {
+		if err := writeString(name); err != nil {
+			return err
+		}
+		if err := writeUvarint(uint64(ix.docLens[d])); err != nil {
+			return err
+		}
+	}
+	if err := writeUvarint(uint64(len(ix.termText))); err != nil {
+		return err
+	}
+	for tid, text := range ix.termText {
+		if err := writeString(text); err != nil {
+			return err
+		}
+		p := &ix.postings[tid]
+		if err := writeUvarint(uint64(len(p.Docs))); err != nil {
+			return err
+		}
+		prevDoc := DocID(0)
+		for i, doc := range p.Docs {
+			d := uint64(doc)
+			if i > 0 {
+				d = uint64(doc - prevDoc)
+			}
+			prevDoc = doc
+			if err := writeUvarint(d); err != nil {
+				return err
+			}
+			if err := writeUvarint(uint64(p.Freqs[i])); err != nil {
+				return err
+			}
+			prevPos := int32(0)
+			for j, pos := range p.Positions[i] {
+				pd := uint64(pos)
+				if j > 0 {
+					pd = uint64(pos - prevPos)
+				}
+				prevPos = pos
+				if err := writeUvarint(pd); err != nil {
+					return err
+				}
+			}
+		}
+	}
+	return bw.Flush()
+}
+
+// Decode reads an index previously written by Encode.
+func Decode(r io.Reader) (*Index, error) {
+	br := bufio.NewReader(r)
+	head := make([]byte, len(indexMagic))
+	if _, err := io.ReadFull(br, head); err != nil {
+		return nil, fmt.Errorf("index: reading magic: %w", err)
+	}
+	if string(head) != string(indexMagic) {
+		return nil, fmt.Errorf("index: bad magic %q", head)
+	}
+	flags, err := br.ReadByte()
+	if err != nil {
+		return nil, fmt.Errorf("index: reading flags: %w", err)
+	}
+	readString := func(what string, maxLen uint64) (string, error) {
+		n, err := binary.ReadUvarint(br)
+		if err != nil {
+			return "", fmt.Errorf("index: reading %s length: %w", what, err)
+		}
+		if n > maxLen {
+			return "", fmt.Errorf("index: %s length %d exceeds limit %d", what, n, maxLen)
+		}
+		b := make([]byte, n)
+		if _, err := io.ReadFull(br, b); err != nil {
+			return "", fmt.Errorf("index: reading %s: %w", what, err)
+		}
+		return string(b), nil
+	}
+
+	ix := &Index{
+		analyzer: analysis.Analyzer{RemoveStopwords: flags&1 != 0, Stem: flags&2 != 0},
+		terms:    make(map[string]int32),
+	}
+	numDocs, err := binary.ReadUvarint(br)
+	if err != nil {
+		return nil, fmt.Errorf("index: reading doc count: %w", err)
+	}
+	const maxDocs = 1 << 31
+	if numDocs > maxDocs {
+		return nil, fmt.Errorf("index: doc count %d exceeds limit", numDocs)
+	}
+	ix.docNames = make([]string, numDocs)
+	ix.docLens = make([]int32, numDocs)
+	for d := uint64(0); d < numDocs; d++ {
+		name, err := readString("doc name", 1<<16)
+		if err != nil {
+			return nil, err
+		}
+		dl, err := binary.ReadUvarint(br)
+		if err != nil {
+			return nil, fmt.Errorf("index: reading doc %d length: %w", d, err)
+		}
+		ix.docNames[d] = name
+		ix.docLens[d] = int32(dl)
+		ix.totalToks += int64(dl)
+	}
+	numTerms, err := binary.ReadUvarint(br)
+	if err != nil {
+		return nil, fmt.Errorf("index: reading term count: %w", err)
+	}
+	if numTerms > maxDocs {
+		return nil, fmt.Errorf("index: term count %d exceeds limit", numTerms)
+	}
+	ix.termText = make([]string, numTerms)
+	ix.postings = make([]Postings, numTerms)
+	for t := uint64(0); t < numTerms; t++ {
+		text, err := readString("term", 1<<16)
+		if err != nil {
+			return nil, err
+		}
+		if _, dup := ix.terms[text]; dup {
+			return nil, fmt.Errorf("index: duplicate term %q", text)
+		}
+		ix.termText[t] = text
+		ix.terms[text] = int32(t)
+		np, err := binary.ReadUvarint(br)
+		if err != nil {
+			return nil, fmt.Errorf("index: term %q posting count: %w", text, err)
+		}
+		if np > numDocs {
+			return nil, fmt.Errorf("index: term %q has %d postings for %d docs", text, np, numDocs)
+		}
+		p := &ix.postings[t]
+		p.Docs = make([]DocID, np)
+		p.Freqs = make([]int32, np)
+		p.Positions = make([][]int32, np)
+		prevDoc := DocID(0)
+		for i := uint64(0); i < np; i++ {
+			dd, err := binary.ReadUvarint(br)
+			if err != nil {
+				return nil, fmt.Errorf("index: term %q doc delta: %w", text, err)
+			}
+			doc := DocID(dd)
+			if i > 0 {
+				doc = prevDoc + DocID(dd)
+			}
+			if uint64(doc) >= numDocs {
+				return nil, fmt.Errorf("index: term %q references doc %d of %d", text, doc, numDocs)
+			}
+			prevDoc = doc
+			freq, err := binary.ReadUvarint(br)
+			if err != nil {
+				return nil, fmt.Errorf("index: term %q freq: %w", text, err)
+			}
+			if freq == 0 || freq > 1<<24 {
+				return nil, fmt.Errorf("index: term %q has invalid freq %d", text, freq)
+			}
+			p.Docs[i] = doc
+			p.Freqs[i] = int32(freq)
+			pos := make([]int32, freq)
+			prevPos := int32(0)
+			for j := uint64(0); j < freq; j++ {
+				pd, err := binary.ReadUvarint(br)
+				if err != nil {
+					return nil, fmt.Errorf("index: term %q position: %w", text, err)
+				}
+				pp := int32(pd)
+				if j > 0 {
+					pp = prevPos + int32(pd)
+				}
+				prevPos = pp
+				pos[j] = pp
+			}
+			p.Positions[i] = pos
+		}
+	}
+	return ix, nil
+}

@@ -1,0 +1,116 @@
+package index
+
+import (
+	"bytes"
+	"math/rand"
+	"reflect"
+	"strings"
+	"testing"
+	"testing/quick"
+
+	"repro/internal/analysis"
+)
+
+func TestIndexEncodeDecodeRoundTrip(t *testing.T) {
+	b := NewBuilder(analysis.Standard())
+	b.Add("doc-1", "The cable car climbs the foggy hills")
+	b.Add("doc-2", "funiculars and cable cars share rails")
+	b.Add("doc-3", "")
+	ix := b.Build()
+
+	var buf bytes.Buffer
+	if err := Encode(&buf, ix); err != nil {
+		t.Fatal(err)
+	}
+	got, err := Decode(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	assertIndexesEqual(t, ix, got)
+	if got.Analyzer() != ix.Analyzer() {
+		t.Error("analyzer flags lost")
+	}
+}
+
+func assertIndexesEqual(t *testing.T, a, b *Index) {
+	t.Helper()
+	if a.NumDocs() != b.NumDocs() || a.NumTerms() != b.NumTerms() || a.TotalTokens() != b.TotalTokens() {
+		t.Fatalf("shape differs: %s vs %s", a, b)
+	}
+	for d := 0; d < a.NumDocs(); d++ {
+		if a.DocName(DocID(d)) != b.DocName(DocID(d)) || a.DocLen(DocID(d)) != b.DocLen(DocID(d)) {
+			t.Fatalf("doc %d differs", d)
+		}
+	}
+	for tid := 0; tid < a.NumTerms(); tid++ {
+		text := a.TermText(int32(tid))
+		pa := a.PostingsFor(text)
+		pb := b.PostingsFor(text)
+		if pb == nil {
+			t.Fatalf("term %q lost", text)
+		}
+		if !reflect.DeepEqual(pa.Docs, pb.Docs) || !reflect.DeepEqual(pa.Freqs, pb.Freqs) || !reflect.DeepEqual(pa.Positions, pb.Positions) {
+			t.Fatalf("postings for %q differ", text)
+		}
+	}
+}
+
+func TestIndexDecodeErrors(t *testing.T) {
+	if _, err := Decode(bytes.NewReader([]byte("garbage!"))); err == nil {
+		t.Error("garbage should fail")
+	}
+	if _, err := Decode(bytes.NewReader(indexMagic)); err == nil {
+		t.Error("truncated should fail")
+	}
+	// Corrupt body: valid header then junk.
+	data := append(append([]byte{}, indexMagic...), 0, 0xFF, 0xFF, 0xFF, 0xFF, 0xFF, 0xFF, 0xFF, 0xFF, 0xFF, 0x01)
+	if _, err := Decode(bytes.NewReader(data)); err == nil {
+		t.Error("absurd doc count should fail")
+	}
+}
+
+// Property: round trip preserves search-relevant state for random
+// indexes, and scoring over the decoded index matches.
+func TestIndexRoundTripProperty(t *testing.T) {
+	words := []string{"alpha", "beta", "gamma", "delta", "epsilon", "zeta"}
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		b := NewBuilder(analysis.Analyzer{})
+		nd := 1 + rng.Intn(12)
+		for d := 0; d < nd; d++ {
+			var sb strings.Builder
+			for i := 0; i < rng.Intn(25); i++ {
+				sb.WriteString(words[rng.Intn(len(words))] + " ")
+			}
+			b.Add("doc"+string(rune('a'+d)), sb.String())
+		}
+		ix := b.Build()
+		var buf bytes.Buffer
+		if err := Encode(&buf, ix); err != nil {
+			return false
+		}
+		got, err := Decode(&buf)
+		if err != nil {
+			return false
+		}
+		if got.TotalTokens() != ix.TotalTokens() || got.NumTerms() != ix.NumTerms() {
+			return false
+		}
+		for _, w := range words {
+			pa, pb := ix.PostingsFor(w), got.PostingsFor(w)
+			if (pa == nil) != (pb == nil) {
+				return false
+			}
+			if pa != nil && !reflect.DeepEqual(pa.Positions, pb.Positions) {
+				return false
+			}
+		}
+		// Phrase machinery must agree on the decoded index.
+		p1 := ix.PhrasePostings([]string{"alpha", "beta"})
+		p2 := got.PhrasePostings([]string{"alpha", "beta"})
+		return reflect.DeepEqual(p1.Docs, p2.Docs)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 50}); err != nil {
+		t.Error(err)
+	}
+}

@@ -1,0 +1,125 @@
+package index
+
+// PhrasePostings computes the postings of an exact ordered phrase
+// (Indri's #1 ordered window): the i-th constituent must occur at
+// position p+i. The result is materialised from the constituents'
+// positional postings via k-way document intersection followed by
+// position-chain matching, so it can be scored exactly like a term,
+// including an exact collection frequency for the phrase background
+// model — the generalisation "to n-grams" of the paper's feature
+// function.
+//
+// Phrases with out-of-vocabulary constituents have empty postings.
+// A single-constituent "phrase" returns that term's postings.
+func (ix *Index) PhrasePostings(terms []string) Postings {
+	if len(terms) == 0 {
+		return Postings{}
+	}
+	lists := make([]*Postings, len(terms))
+	for i, t := range terms {
+		lists[i] = ix.PostingsFor(t)
+		if lists[i] == nil || len(lists[i].Docs) == 0 {
+			return Postings{}
+		}
+	}
+	if len(lists) == 1 {
+		return *lists[0]
+	}
+	// Intersect document lists, driving from the rarest constituent.
+	rarest := 0
+	for i, l := range lists {
+		if len(l.Docs) < len(lists[rarest].Docs) {
+			rarest = i
+		}
+	}
+	var out Postings
+	cursors := make([]int, len(lists))
+	for _, doc := range lists[rarest].Docs {
+		rows := make([]int, len(lists))
+		ok := true
+		for i, l := range lists {
+			j := advance(l.Docs, cursors[i], doc)
+			cursors[i] = j
+			if j == len(l.Docs) || l.Docs[j] != doc {
+				ok = false
+				break
+			}
+			rows[i] = j
+		}
+		if !ok {
+			continue
+		}
+		positions := chainPositions(lists, rows)
+		if len(positions) == 0 {
+			continue
+		}
+		out.Docs = append(out.Docs, doc)
+		out.Freqs = append(out.Freqs, int32(len(positions)))
+		out.Positions = append(out.Positions, positions)
+	}
+	return out
+}
+
+// advance moves cursor forward in docs (sorted ascending) until
+// docs[cursor] >= target, using galloping search to stay near O(log gap).
+func advance(docs []DocID, cursor int, target DocID) int {
+	if cursor >= len(docs) || docs[cursor] >= target {
+		return cursor
+	}
+	// Gallop to find an upper bound.
+	step := 1
+	lo := cursor
+	hi := cursor + step
+	for hi < len(docs) && docs[hi] < target {
+		lo = hi
+		step *= 2
+		hi = cursor + step
+	}
+	if hi > len(docs) {
+		hi = len(docs)
+	}
+	// Binary search in (lo, hi].
+	for lo < hi {
+		mid := int(uint(lo+hi) >> 1)
+		if docs[mid] < target {
+			lo = mid + 1
+		} else {
+			hi = mid
+		}
+	}
+	return lo
+}
+
+// chainPositions returns the start positions p such that constituent i
+// occurs at p+i for all i, given each constituent's row in its postings.
+func chainPositions(lists []*Postings, rows []int) []int32 {
+	starts := lists[0].Positions[rows[0]]
+	matched := make([]int32, 0, len(starts))
+	for _, p := range starts {
+		ok := true
+		for i := 1; i < len(lists); i++ {
+			if !containsPos(lists[i].Positions[rows[i]], p+int32(i)) {
+				ok = false
+				break
+			}
+		}
+		if ok {
+			matched = append(matched, p)
+		}
+	}
+	return matched
+}
+
+// containsPos binary-searches a sorted position list.
+func containsPos(pos []int32, x int32) bool {
+	lo, hi := 0, len(pos)
+	for lo < hi {
+		mid := int(uint(lo+hi) >> 1)
+		if pos[mid] < x {
+			lo = mid + 1
+		} else {
+			hi = mid
+		}
+	}
+	return lo < len(pos) && pos[lo] == x
+}

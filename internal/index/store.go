@@ -1,0 +1,94 @@
+package index
+
+// Optional raw-text document store. Retrieval itself never needs the
+// original text, but the interactive tools (cmd/sqe-search) and snippet
+// generation do; storing is opt-in to keep experiment indexes lean.
+
+// EnableTextStore makes subsequent Add calls retain the raw document
+// text. Call before adding documents.
+func (b *Builder) EnableTextStore() { b.storeText = true }
+
+// DocText returns the stored raw text of doc, or "" when the index was
+// built without a text store.
+func (ix *Index) DocText(doc DocID) string {
+	if int(doc) >= len(ix.docTexts) {
+		return ""
+	}
+	return ix.docTexts[doc]
+}
+
+// HasTextStore reports whether raw document text is available.
+func (ix *Index) HasTextStore() bool { return len(ix.docTexts) > 0 }
+
+// Snippet returns a short window of the stored document text centred on
+// the first occurrence of any of the given analyzed terms, or the text's
+// head when none occurs. Width is in bytes (the snippet is cut at word
+// boundaries when possible).
+func (ix *Index) Snippet(doc DocID, terms []string, width int) string {
+	text := ix.DocText(doc)
+	if text == "" || width <= 0 {
+		return ""
+	}
+	if len(text) <= width {
+		return text
+	}
+	// Locate the first term occurrence by scanning the raw text word by
+	// word and pushing each word through the index's analyzer, which
+	// keeps stemming/stopping consistent with how terms was produced.
+	termSet := make(map[string]bool, len(terms))
+	for _, t := range terms {
+		termSet[t] = true
+	}
+	center := 0
+	for start := 0; start < len(text); {
+		for start < len(text) && !isWordByte(text[start]) {
+			start++
+		}
+		end := start
+		for end < len(text) && isWordByte(text[end]) {
+			end++
+		}
+		if end == start {
+			break
+		}
+		if analyzed := ix.analyzer.AnalyzeTerms(text[start:end]); len(analyzed) == 1 && termSet[analyzed[0]] {
+			center = start
+			break
+		}
+		start = end
+	}
+	start := center - width/2
+	if start < 0 {
+		start = 0
+	}
+	end := start + width
+	if end > len(text) {
+		end = len(text)
+		start = end - width
+	}
+	// Snap to word boundaries.
+	for start > 0 && text[start] != ' ' {
+		start--
+	}
+	for end < len(text) && text[end] != ' ' {
+		end++
+	}
+	out := text[start:end]
+	if start > 0 {
+		out = "…" + out
+	}
+	if end < len(text) {
+		out += "…"
+	}
+	return out
+}
+
+// isWordByte reports whether b belongs to an ASCII word; multi-byte
+// runes are treated as word bytes so UTF-8 words survive the scan.
+func isWordByte(b byte) bool {
+	switch {
+	case b >= 'a' && b <= 'z', b >= 'A' && b <= 'Z', b >= '0' && b <= '9', b >= 0x80:
+		return true
+	}
+	return false
+}

@@ -1,0 +1,63 @@
+package index
+
+import (
+	"strings"
+	"testing"
+
+	"repro/internal/analysis"
+)
+
+func TestTextStore(t *testing.T) {
+	b := NewBuilder(analysis.Standard())
+	b.EnableTextStore()
+	text := "The cable car climbs the foggy hill"
+	b.Add("d1", text)
+	ix := b.Build()
+	if !ix.HasTextStore() {
+		t.Fatal("text store missing")
+	}
+	if ix.DocText(0) != text {
+		t.Errorf("DocText = %q", ix.DocText(0))
+	}
+	if ix.DocText(99) != "" {
+		t.Error("out-of-range DocText should be empty")
+	}
+}
+
+func TestTextStoreDisabledByDefault(t *testing.T) {
+	b := NewBuilder(analysis.Standard())
+	b.Add("d1", "some text")
+	ix := b.Build()
+	if ix.HasTextStore() || ix.DocText(0) != "" {
+		t.Error("text store should be off by default")
+	}
+}
+
+func TestSnippet(t *testing.T) {
+	b := NewBuilder(analysis.Standard())
+	b.EnableTextStore()
+	long := strings.Repeat("filler words here and there ", 20) +
+		"the funicular railway appears once " +
+		strings.Repeat("more filler at the end ", 20)
+	b.Add("d1", long)
+	b.Add("d2", "short doc")
+	ix := b.Build()
+
+	snip := ix.Snippet(0, []string{"funicular"}, 60)
+	if !strings.Contains(snip, "funicular") {
+		t.Errorf("snippet %q misses the term", snip)
+	}
+	if len(snip) > 90 { // width + boundary slack + ellipses
+		t.Errorf("snippet too long: %d bytes", len(snip))
+	}
+	// Short docs come back whole.
+	if got := ix.Snippet(1, []string{"anything"}, 60); got != "short doc" {
+		t.Errorf("short snippet = %q", got)
+	}
+	// No store → empty.
+	b2 := NewBuilder(analysis.Standard())
+	b2.Add("d", "x")
+	if got := b2.Build().Snippet(0, nil, 10); got != "" {
+		t.Errorf("snippet without store = %q", got)
+	}
+}

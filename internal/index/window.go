@@ -1,0 +1,92 @@
+package index
+
+// UnorderedWindowPostings computes the postings of Indri's #uwN
+// operator: all constituents occur, in any order, within a window of at
+// most `window` token positions. It completes the paper's retrieval
+// model, whose feature function "generalizes to n-grams and unordered
+// term proximity" (Section 2.3).
+//
+// The per-document frequency counts minimal windows: the standard sweep
+// keeps one cursor per constituent and, whenever the current span fits,
+// records a match and advances the cursor at the lowest position.
+// Constituents must be distinct terms; a window smaller than the number
+// of constituents can never match.
+func (ix *Index) UnorderedWindowPostings(terms []string, window int) Postings {
+	if len(terms) == 0 || window < len(terms) {
+		return Postings{}
+	}
+	lists := make([]*Postings, len(terms))
+	for i, t := range terms {
+		lists[i] = ix.PostingsFor(t)
+		if lists[i] == nil || len(lists[i].Docs) == 0 {
+			return Postings{}
+		}
+	}
+	if len(lists) == 1 {
+		return *lists[0]
+	}
+	rarest := 0
+	for i, l := range lists {
+		if len(l.Docs) < len(lists[rarest].Docs) {
+			rarest = i
+		}
+	}
+	var out Postings
+	cursors := make([]int, len(lists))
+	for _, doc := range lists[rarest].Docs {
+		rows := make([]int, len(lists))
+		ok := true
+		for i, l := range lists {
+			j := advance(l.Docs, cursors[i], doc)
+			cursors[i] = j
+			if j == len(l.Docs) || l.Docs[j] != doc {
+				ok = false
+				break
+			}
+			rows[i] = j
+		}
+		if !ok {
+			continue
+		}
+		positions := windowMatches(lists, rows, int32(window))
+		if len(positions) == 0 {
+			continue
+		}
+		out.Docs = append(out.Docs, doc)
+		out.Freqs = append(out.Freqs, int32(len(positions)))
+		out.Positions = append(out.Positions, positions)
+	}
+	return out
+}
+
+// windowMatches sweeps the constituents' position lists and returns the
+// start position of every minimal window of width ≤ window covering one
+// occurrence of each constituent.
+func windowMatches(lists []*Postings, rows []int, window int32) []int32 {
+	ptr := make([]int, len(lists))
+	pos := make([][]int32, len(lists))
+	for i := range lists {
+		pos[i] = lists[i].Positions[rows[i]]
+	}
+	var matches []int32
+	for {
+		lo, hi := int32(1<<30), int32(-1)
+		loIdx := -1
+		for i := range pos {
+			p := pos[i][ptr[i]]
+			if p < lo {
+				lo, loIdx = p, i
+			}
+			if p > hi {
+				hi = p
+			}
+		}
+		if hi-lo+1 <= window {
+			matches = append(matches, lo)
+		}
+		ptr[loIdx]++
+		if ptr[loIdx] == len(pos[loIdx]) {
+			return matches
+		}
+	}
+}

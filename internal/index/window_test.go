@@ -1,0 +1,107 @@
+package index
+
+import (
+	"reflect"
+	"testing"
+
+	"repro/internal/analysis"
+)
+
+func windowIndex(t *testing.T) *Index {
+	t.Helper()
+	b := NewBuilder(analysis.Analyzer{})
+	// positions:         0     1      2      3     4
+	b.Add("close", "cable car station near town")
+	b.Add("reversed", "car cable")
+	b.Add("spread", "cable x y z car")
+	b.Add("far", "cable a b c d e f g h i j car")
+	b.Add("repeat", "cable car cable q car")
+	b.Add("partial", "cable only here")
+	return b.Build()
+}
+
+func TestUnorderedWindowBasics(t *testing.T) {
+	ix := windowIndex(t)
+	// Window 2: adjacent in any order.
+	p := ix.UnorderedWindowPostings([]string{"cable", "car"}, 2)
+	gotDocs := map[string]int32{}
+	for i, d := range p.Docs {
+		gotDocs[ix.DocName(d)] = p.Freqs[i]
+	}
+	want := map[string]int32{"close": 1, "reversed": 1, "repeat": 2}
+	if !reflect.DeepEqual(gotDocs, want) {
+		t.Errorf("window-2 matches = %v, want %v", gotDocs, want)
+	}
+}
+
+func TestUnorderedWindowWidths(t *testing.T) {
+	ix := windowIndex(t)
+	// Window 5 additionally admits "spread" (positions 0 and 4).
+	p := ix.UnorderedWindowPostings([]string{"cable", "car"}, 5)
+	names := map[string]bool{}
+	for _, d := range p.Docs {
+		names[ix.DocName(d)] = true
+	}
+	if !names["spread"] || names["far"] {
+		t.Errorf("window-5 matches = %v", names)
+	}
+	// Window 12 admits "far" too.
+	p = ix.UnorderedWindowPostings([]string{"cable", "car"}, 12)
+	names = map[string]bool{}
+	for _, d := range p.Docs {
+		names[ix.DocName(d)] = true
+	}
+	if !names["far"] {
+		t.Errorf("window-12 matches = %v", names)
+	}
+}
+
+func TestUnorderedWindowEdgeCases(t *testing.T) {
+	ix := windowIndex(t)
+	if got := ix.UnorderedWindowPostings(nil, 4); len(got.Docs) != 0 {
+		t.Error("no terms should match nothing")
+	}
+	// Window below constituent count can never match.
+	if got := ix.UnorderedWindowPostings([]string{"cable", "car"}, 1); len(got.Docs) != 0 {
+		t.Error("window 1 with 2 terms should match nothing")
+	}
+	// OOV constituent.
+	if got := ix.UnorderedWindowPostings([]string{"cable", "zzz"}, 4); len(got.Docs) != 0 {
+		t.Error("OOV constituent should match nothing")
+	}
+	// Single term behaves like the term itself.
+	p := ix.UnorderedWindowPostings([]string{"station"}, 1)
+	if len(p.Docs) != 1 || ix.DocName(p.Docs[0]) != "close" {
+		t.Errorf("single-term window = %v", p.Docs)
+	}
+}
+
+func TestUnorderedSupersetOfOrdered(t *testing.T) {
+	ix := windowIndex(t)
+	ordered := ix.PhrasePostings([]string{"cable", "car"})
+	unordered := ix.UnorderedWindowPostings([]string{"cable", "car"}, 2)
+	in := map[DocID]bool{}
+	for _, d := range unordered.Docs {
+		in[d] = true
+	}
+	for _, d := range ordered.Docs {
+		if !in[d] {
+			t.Errorf("ordered match %s missing from unordered window", ix.DocName(d))
+		}
+	}
+}
+
+func TestUnorderedWindowTrigram(t *testing.T) {
+	b := NewBuilder(analysis.Analyzer{})
+	b.Add("hit", "gamma alpha beta")
+	b.Add("miss", "alpha filler beta filler filler gamma")
+	ix := b.Build()
+	p := ix.UnorderedWindowPostings([]string{"alpha", "beta", "gamma"}, 3)
+	if len(p.Docs) != 1 || ix.DocName(p.Docs[0]) != "hit" {
+		t.Errorf("trigram window = %v", p.Docs)
+	}
+	p = ix.UnorderedWindowPostings([]string{"alpha", "beta", "gamma"}, 6)
+	if len(p.Docs) != 2 {
+		t.Errorf("wide trigram window = %v", p.Docs)
+	}
+}

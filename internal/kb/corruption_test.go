@@ -1,0 +1,43 @@
+package kb
+
+import (
+	"bytes"
+	"math/rand"
+	"testing"
+)
+
+// TestDecodeCorruptionRobust flips bytes of a valid encoding at random
+// offsets and asserts the decoder fails cleanly (error, not panic) or
+// decodes to *some* valid graph — truncations and corruptions never
+// crash the process. This is the failure-injection counterpart to the
+// round-trip tests.
+func TestDecodeCorruptionRobust(t *testing.T) {
+	g, _ := buildTestGraph(t)
+	var buf bytes.Buffer
+	if err := Encode(&buf, g); err != nil {
+		t.Fatal(err)
+	}
+	valid := buf.Bytes()
+	rng := rand.New(rand.NewSource(42))
+	for trial := 0; trial < 500; trial++ {
+		data := append([]byte(nil), valid...)
+		switch trial % 3 {
+		case 0: // flip a byte
+			data[rng.Intn(len(data))] ^= byte(1 + rng.Intn(255))
+		case 1: // truncate
+			data = data[:rng.Intn(len(data))]
+		case 2: // flip several bytes
+			for i := 0; i < 4; i++ {
+				data[rng.Intn(len(data))] ^= byte(1 + rng.Intn(255))
+			}
+		}
+		func() {
+			defer func() {
+				if r := recover(); r != nil {
+					t.Fatalf("trial %d: decoder panicked: %v", trial, r)
+				}
+			}()
+			_, _ = Decode(bytes.NewReader(data))
+		}()
+	}
+}

@@ -1,0 +1,62 @@
+package kb
+
+import "sort"
+
+// csr is a compressed-sparse-row adjacency structure over NodeIDs. Row i
+// occupies targets[offsets[i]:offsets[i+1]] and every row is sorted
+// ascending with duplicates removed, enabling O(log d) membership tests.
+type csr struct {
+	offsets []int32
+	targets []NodeID
+}
+
+// row returns the adjacency list of node id. For nodes beyond the
+// structure's range (e.g. a relation that only covers articles) it
+// returns nil.
+func (c *csr) row(id NodeID) []NodeID {
+	if int(id)+1 >= len(c.offsets) {
+		return nil
+	}
+	return c.targets[c.offsets[id]:c.offsets[id+1]]
+}
+
+// numEdges returns the total number of edges stored.
+func (c *csr) numEdges() int { return len(c.targets) }
+
+// edge is a directed pair used during construction.
+type edge struct{ from, to NodeID }
+
+// buildCSR constructs a csr over numNodes rows from an unsorted edge
+// list, deduplicating parallel edges. The input slice is sorted in place.
+func buildCSR(numNodes int, edges []edge) csr {
+	sort.Slice(edges, func(i, j int) bool {
+		if edges[i].from != edges[j].from {
+			return edges[i].from < edges[j].from
+		}
+		return edges[i].to < edges[j].to
+	})
+	offsets := make([]int32, numNodes+1)
+	targets := make([]NodeID, 0, len(edges))
+	prev := edge{from: -1, to: -1}
+	for _, e := range edges {
+		if e == prev {
+			continue
+		}
+		prev = e
+		targets = append(targets, e.to)
+		offsets[e.from+1]++
+	}
+	for i := 1; i <= numNodes; i++ {
+		offsets[i] += offsets[i-1]
+	}
+	return csr{offsets: offsets, targets: targets}
+}
+
+// reverse returns the transposed edge list.
+func reverseEdges(edges []edge) []edge {
+	out := make([]edge, len(edges))
+	for i, e := range edges {
+		out[i] = edge{from: e.to, to: e.from}
+	}
+	return out
+}

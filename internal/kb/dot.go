@@ -1,0 +1,90 @@
+package kb
+
+import (
+	"bufio"
+	"fmt"
+	"io"
+	"sort"
+	"strings"
+)
+
+// WriteDOT renders the subgraph induced by nodes in Graphviz DOT format,
+// reproducing the visual language of the paper's figures: round nodes
+// are articles, box nodes are categories, highlighted (filled) nodes are
+// the query nodes, solid arrows are hyperlinks, dashed edges are
+// category memberships, and dotted edges are containment. Feeding the
+// query graph of a real expansion to this writer reproduces the paper's
+// Figure 4 drawings for any query.
+func WriteDOT(w io.Writer, g *Graph, nodes []NodeID, highlight []NodeID) error {
+	bw := bufio.NewWriter(w)
+	included := make(map[NodeID]bool, len(nodes))
+	for _, n := range nodes {
+		included[n] = true
+	}
+	for _, n := range highlight {
+		included[n] = true
+	}
+	hi := make(map[NodeID]bool, len(highlight))
+	for _, n := range highlight {
+		hi[n] = true
+	}
+	ordered := make([]NodeID, 0, len(included))
+	for n := range included {
+		ordered = append(ordered, n)
+	}
+	sort.Slice(ordered, func(i, j int) bool { return ordered[i] < ordered[j] })
+
+	fmt.Fprintln(bw, "graph kb {")
+	fmt.Fprintln(bw, "  // articles: ellipses; categories: boxes; query nodes: filled")
+	for _, n := range ordered {
+		shape := "ellipse"
+		if g.Kind(n) == KindCategory {
+			shape = "box"
+		}
+		style := ""
+		if hi[n] {
+			style = `, style=filled, fillcolor="gray85"`
+		}
+		fmt.Fprintf(bw, "  n%d [label=%q, shape=%s%s];\n", n, dotLabel(g.Title(n)), shape, style)
+	}
+	// Hyperlinks (render reciprocal pairs once, with both arrowheads).
+	for _, a := range ordered {
+		if g.Kind(a) != KindArticle {
+			continue
+		}
+		for _, b := range g.OutLinks(a) {
+			if !included[b] {
+				continue
+			}
+			if g.HasLink(b, a) {
+				if a < b {
+					fmt.Fprintf(bw, "  n%d -- n%d [dir=both];\n", a, b)
+				}
+			} else {
+				fmt.Fprintf(bw, "  n%d -- n%d [dir=forward];\n", a, b)
+			}
+		}
+		for _, c := range g.Categories(a) {
+			if included[c] {
+				fmt.Fprintf(bw, "  n%d -- n%d [style=dashed];\n", a, c)
+			}
+		}
+	}
+	for _, c := range ordered {
+		if g.Kind(c) != KindCategory {
+			continue
+		}
+		for _, child := range g.ChildCategories(c) {
+			if included[child] {
+				fmt.Fprintf(bw, "  n%d -- n%d [style=dotted];\n", c, child)
+			}
+		}
+	}
+	fmt.Fprintln(bw, "}")
+	return bw.Flush()
+}
+
+// dotLabel escapes a title for a DOT quoted string.
+func dotLabel(s string) string {
+	return strings.ReplaceAll(s, `"`, `\"`)
+}

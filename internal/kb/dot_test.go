@@ -1,0 +1,56 @@
+package kb
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+)
+
+func TestWriteDOT(t *testing.T) {
+	g, ids := buildTestGraph(t)
+	var buf bytes.Buffer
+	nodes := []NodeID{ids["A"], ids["B"], ids["C2"], ids["C1"]}
+	if err := WriteDOT(&buf, g, nodes, []NodeID{ids["A"]}); err != nil {
+		t.Fatal(err)
+	}
+	out := buf.String()
+	for _, want := range []string{
+		"graph kb {",
+		"shape=ellipse",   // articles
+		"shape=box",       // categories
+		"style=filled",    // highlighted query node
+		"[dir=both];",     // reciprocal A↔B once
+		"[style=dashed];", // membership
+		"[style=dotted];", // containment C1→C2
+		"}",
+	} {
+		if !strings.Contains(out, want) {
+			t.Errorf("DOT output missing %q:\n%s", want, out)
+		}
+	}
+	// Reciprocal pair must be rendered exactly once.
+	if strings.Count(out, "[dir=both];") != 1 {
+		t.Errorf("reciprocal edge count wrong:\n%s", out)
+	}
+	// Nodes outside the induced set never appear.
+	if strings.Contains(out, "\"H\"") {
+		t.Errorf("excluded node leaked:\n%s", out)
+	}
+}
+
+func TestWriteDOTOneWayEdge(t *testing.T) {
+	g, ids := buildTestGraph(t)
+	var buf bytes.Buffer
+	if err := WriteDOT(&buf, g, []NodeID{ids["B"], ids["H"]}, nil); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(buf.String(), "[dir=forward];") {
+		t.Errorf("one-way edge missing:\n%s", buf.String())
+	}
+}
+
+func TestDOTLabelEscaping(t *testing.T) {
+	if dotLabel(`a "quoted" title`) != `a \"quoted\" title` {
+		t.Errorf("escaping = %q", dotLabel(`a "quoted" title`))
+	}
+}

@@ -1,0 +1,194 @@
+// Package kb implements the knowledge-base graph substrate that SQE
+// traverses. The graph mirrors the structure the paper extracts from
+// Wikipedia: two node kinds (articles and categories) and three edge
+// relations — hyperlinks among articles, membership links between
+// articles and categories, and containment links among categories.
+//
+// The graph is immutable after construction (see Builder) and stores each
+// relation in compressed sparse row (CSR) form, forward and reverse, with
+// sorted adjacency lists so that membership tests (is there a link a→b?)
+// are O(log d). That is the only primitive the motif matchers need to run
+// in sub-second time, which is the performance claim of the paper's
+// Table 4.
+package kb
+
+import (
+	"fmt"
+	"sort"
+)
+
+// NodeID identifies a node (article or category) in a Graph. IDs are
+// dense: articles and categories share one ID space, 0..NumNodes-1.
+type NodeID int32
+
+// Invalid is returned by lookups that find no node.
+const Invalid NodeID = -1
+
+// NodeKind distinguishes article nodes from category nodes.
+type NodeKind uint8
+
+const (
+	// KindArticle marks a Wikipedia-article-like node; query nodes and
+	// expansion nodes are always articles.
+	KindArticle NodeKind = iota
+	// KindCategory marks a category node.
+	KindCategory
+)
+
+// String implements fmt.Stringer.
+func (k NodeKind) String() string {
+	switch k {
+	case KindArticle:
+		return "article"
+	case KindCategory:
+		return "category"
+	default:
+		return fmt.Sprintf("NodeKind(%d)", uint8(k))
+	}
+}
+
+// Graph is an immutable KB graph. Construct one with a Builder or by
+// decoding a previously encoded graph.
+type Graph struct {
+	kinds  []NodeKind
+	titles []string
+	byName map[string]NodeID
+
+	// article → article hyperlinks (directed)
+	linkOut csr
+	linkIn  csr
+	// article → category membership
+	memberOf csr
+	members  csr
+	// category(child) → category(parent) containment
+	parents  csr
+	children csr
+
+	numArticles   int
+	numCategories int
+}
+
+// NumNodes returns the total number of nodes.
+func (g *Graph) NumNodes() int { return len(g.kinds) }
+
+// NumArticles returns the number of article nodes.
+func (g *Graph) NumArticles() int { return g.numArticles }
+
+// NumCategories returns the number of category nodes.
+func (g *Graph) NumCategories() int { return g.numCategories }
+
+// Kind returns the node kind of id.
+func (g *Graph) Kind(id NodeID) NodeKind { return g.kinds[id] }
+
+// Title returns the canonical title of id.
+func (g *Graph) Title(id NodeID) string { return g.titles[id] }
+
+// ByTitle resolves a canonical title to a node, or Invalid when absent.
+func (g *Graph) ByTitle(title string) NodeID {
+	if id, ok := g.byName[title]; ok {
+		return id
+	}
+	return Invalid
+}
+
+// valid panics unless id names an existing node of kind k; internal guard
+// used by the typed accessors below.
+func (g *Graph) valid(id NodeID, k NodeKind, op string) {
+	if id < 0 || int(id) >= len(g.kinds) {
+		panic(fmt.Sprintf("kb: %s: node %d out of range [0,%d)", op, id, len(g.kinds)))
+	}
+	if g.kinds[id] != k {
+		panic(fmt.Sprintf("kb: %s: node %d (%s) is a %s, want %s", op, id, g.titles[id], g.kinds[id], k))
+	}
+}
+
+// OutLinks returns the articles that article a links to. The slice is
+// shared with the graph and must not be modified.
+func (g *Graph) OutLinks(a NodeID) []NodeID {
+	g.valid(a, KindArticle, "OutLinks")
+	return g.linkOut.row(a)
+}
+
+// InLinks returns the articles that link to article a.
+func (g *Graph) InLinks(a NodeID) []NodeID {
+	g.valid(a, KindArticle, "InLinks")
+	return g.linkIn.row(a)
+}
+
+// HasLink reports whether article a hyperlinks to article b.
+func (g *Graph) HasLink(a, b NodeID) bool {
+	g.valid(a, KindArticle, "HasLink")
+	return contains(g.linkOut.row(a), b)
+}
+
+// Reciprocal reports whether articles a and b are doubly linked, i.e.
+// a links to b and b links to a. This is the core structural condition of
+// both the triangular and the square motif.
+func (g *Graph) Reciprocal(a, b NodeID) bool {
+	return g.HasLink(a, b) && g.HasLink(b, a)
+}
+
+// Categories returns the categories article a belongs to, sorted.
+func (g *Graph) Categories(a NodeID) []NodeID {
+	g.valid(a, KindArticle, "Categories")
+	return g.memberOf.row(a)
+}
+
+// InCategory reports whether article a belongs to category c.
+func (g *Graph) InCategory(a, c NodeID) bool {
+	g.valid(a, KindArticle, "InCategory")
+	return contains(g.memberOf.row(a), c)
+}
+
+// Members returns the articles belonging to category c, sorted.
+func (g *Graph) Members(c NodeID) []NodeID {
+	g.valid(c, KindCategory, "Members")
+	return g.members.row(c)
+}
+
+// ParentCategories returns the categories that contain category c.
+func (g *Graph) ParentCategories(c NodeID) []NodeID {
+	g.valid(c, KindCategory, "ParentCategories")
+	return g.parents.row(c)
+}
+
+// ChildCategories returns the categories contained in category c.
+func (g *Graph) ChildCategories(c NodeID) []NodeID {
+	g.valid(c, KindCategory, "ChildCategories")
+	return g.children.row(c)
+}
+
+// IsParentCategory reports whether parent directly contains child.
+func (g *Graph) IsParentCategory(parent, child NodeID) bool {
+	g.valid(child, KindCategory, "IsParentCategory")
+	return contains(g.parents.row(child), parent)
+}
+
+// Articles iterates over all article IDs in increasing order, invoking fn
+// for each. Iteration stops early when fn returns false.
+func (g *Graph) Articles(fn func(NodeID) bool) {
+	for id := range g.kinds {
+		if g.kinds[id] == KindArticle {
+			if !fn(NodeID(id)) {
+				return
+			}
+		}
+	}
+}
+
+// CategoriesAll iterates over all category IDs in increasing order.
+func (g *Graph) CategoriesAll(fn func(NodeID) bool) {
+	for id := range g.kinds {
+		if g.kinds[id] == KindCategory {
+			if !fn(NodeID(id)) {
+				return
+			}
+		}
+	}
+}
+
+// contains does a binary-search membership test on a sorted adjacency row.
+func contains(row []NodeID, x NodeID) bool {
+	i := sort.Search(len(row), func(i int) bool { return row[i] >= x })
+	return i < len(row) && row[i] == x
+}

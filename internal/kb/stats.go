@@ -1,0 +1,46 @@
+package kb
+
+import "fmt"
+
+// Stats summarises a Graph with the same counters the paper reports for
+// the 2012-07-02 English Wikipedia dump in Section 3 (articles, links
+// among articles, categories, links among categories, links between
+// articles and categories).
+type Stats struct {
+	Articles             int
+	Categories           int
+	ArticleLinks         int
+	CategoryLinks        int
+	ArticleCategoryLinks int
+	// ReciprocalPairs counts unordered article pairs {a,b} with links in
+	// both directions — the pool from which motifs can draw expansion
+	// nodes.
+	ReciprocalPairs int
+}
+
+// ComputeStats walks the graph and returns its Stats.
+func ComputeStats(g *Graph) Stats {
+	s := Stats{
+		Articles:             g.NumArticles(),
+		Categories:           g.NumCategories(),
+		ArticleLinks:         g.linkOut.numEdges(),
+		CategoryLinks:        g.parents.numEdges(),
+		ArticleCategoryLinks: g.memberOf.numEdges(),
+	}
+	g.Articles(func(a NodeID) bool {
+		for _, b := range g.OutLinks(a) {
+			if b > a && g.HasLink(b, a) {
+				s.ReciprocalPairs++
+			}
+		}
+		return true
+	})
+	return s
+}
+
+// String renders the stats in the paper's phrasing.
+func (s Stats) String() string {
+	return fmt.Sprintf(
+		"%d articles, %d links among articles, %d categories, %d links among categories, %d links among articles and categories (%d reciprocal article pairs)",
+		s.Articles, s.ArticleLinks, s.Categories, s.CategoryLinks, s.ArticleCategoryLinks, s.ReciprocalPairs)
+}

@@ -1,0 +1,241 @@
+package motif
+
+import (
+	"sort"
+
+	"repro/internal/kb"
+)
+
+// Cycle is a closed sequence of distinct nodes (paper Section 2.1:
+// "a closed sequence of nodes, either articles or categories, with at
+// least one edge among each pair of consecutive nodes"). Nodes[0] is the
+// query node the enumeration started from; the closing edge
+// Nodes[len-1]→Nodes[0] is implicit.
+type Cycle struct {
+	Nodes []kb.NodeID
+}
+
+// Len returns the cycle length (number of nodes).
+func (c Cycle) Len() int { return len(c.Nodes) }
+
+// CycleEnumerator enumerates simple cycles of bounded length through a
+// query node within an induced subgraph of the KB — the structural
+// analysis tool of the paper's Section 2.1 (Figure 2). Adjacency is
+// undirected: two nodes are adjacent when any edge (hyperlink in either
+// direction, membership, or containment) connects them.
+type CycleEnumerator struct {
+	g *kb.Graph
+	// allowed restricts the search to an induced subgraph; nil means the
+	// whole graph (only sensible for tiny graphs).
+	allowed map[kb.NodeID]bool
+	// ReciprocalArticleEdges, when set, admits an article-article edge
+	// into the undirected view only when the hyperlink is reciprocated.
+	// The paper's cycle definition accepts any edge, but its Wikipedia
+	// subgraphs are far sparser than a synthetic topic cluster; requiring
+	// reciprocity restores a comparable edge density, so the per-length
+	// statistics stay informative instead of saturating (see DESIGN.md).
+	ReciprocalArticleEdges bool
+}
+
+// NewCycleEnumerator returns an enumerator over the subgraph induced by
+// allowed (plus whatever query node is passed to Enumerate).
+func NewCycleEnumerator(g *kb.Graph, allowed map[kb.NodeID]bool) *CycleEnumerator {
+	return &CycleEnumerator{g: g, allowed: allowed}
+}
+
+// InducedNodes builds the allowed-node set the paper's analysis uses for
+// one query graph: the query node, the expansion articles, the categories
+// of all those articles and the direct parents of those categories.
+func InducedNodes(g *kb.Graph, queryNode kb.NodeID, expansion []kb.NodeID) map[kb.NodeID]bool {
+	allowed := map[kb.NodeID]bool{queryNode: true}
+	articles := append([]kb.NodeID{queryNode}, expansion...)
+	for _, a := range articles {
+		allowed[a] = true
+		if g.Kind(a) != kb.KindArticle {
+			continue
+		}
+		for _, c := range g.Categories(a) {
+			allowed[c] = true
+			for _, p := range g.ParentCategories(c) {
+				allowed[p] = true
+			}
+		}
+	}
+	return allowed
+}
+
+// neighbors returns the undirected neighbours of n restricted to the
+// allowed set.
+func (ce *CycleEnumerator) neighbors(n kb.NodeID) []kb.NodeID {
+	var out []kb.NodeID
+	add := func(ids []kb.NodeID) {
+		for _, id := range ids {
+			if ce.allowed == nil || ce.allowed[id] {
+				out = append(out, id)
+			}
+		}
+	}
+	if ce.g.Kind(n) == kb.KindArticle {
+		if ce.ReciprocalArticleEdges {
+			for _, to := range ce.g.OutLinks(n) {
+				if (ce.allowed == nil || ce.allowed[to]) && ce.g.HasLink(to, n) {
+					out = append(out, to)
+				}
+			}
+		} else {
+			add(ce.g.OutLinks(n))
+			add(ce.g.InLinks(n))
+		}
+		add(ce.g.Categories(n))
+	} else {
+		add(ce.g.Members(n))
+		add(ce.g.ParentCategories(n))
+		add(ce.g.ChildCategories(n))
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i] < out[j] })
+	// dedupe (a node can be both out- and in-neighbour)
+	w := 0
+	for i, id := range out {
+		if i == 0 || id != out[w-1] {
+			out[w] = id
+			w++
+		}
+	}
+	return out[:w]
+}
+
+// Enumerate returns all simple cycles of length minLen..maxLen through
+// start. Each cycle is reported once: traversal direction is canonicalised
+// by requiring the second node's ID to be smaller than the last node's.
+func (ce *CycleEnumerator) Enumerate(start kb.NodeID, minLen, maxLen int) []Cycle {
+	if minLen < 3 {
+		minLen = 3
+	}
+	var cycles []Cycle
+	onPath := map[kb.NodeID]bool{start: true}
+	path := []kb.NodeID{start}
+	var dfs func(cur kb.NodeID)
+	dfs = func(cur kb.NodeID) {
+		for _, nxt := range ce.neighbors(cur) {
+			if nxt == start {
+				if len(path) >= minLen && path[1] < path[len(path)-1] {
+					cycles = append(cycles, Cycle{Nodes: append([]kb.NodeID(nil), path...)})
+				}
+				continue
+			}
+			if onPath[nxt] || len(path) == maxLen {
+				continue
+			}
+			onPath[nxt] = true
+			path = append(path, nxt)
+			dfs(nxt)
+			path = path[:len(path)-1]
+			delete(onPath, nxt)
+		}
+	}
+	dfs(start)
+	return cycles
+}
+
+// edgeMultiplicity counts the edges between two nodes, honouring that two
+// consecutive articles can be connected by two (directed) hyperlinks
+// while membership and containment contribute at most one edge.
+func (ce *CycleEnumerator) edgeMultiplicity(a, b kb.NodeID) int {
+	ka, kc := ce.g.Kind(a), ce.g.Kind(b)
+	switch {
+	case ka == kb.KindArticle && kc == kb.KindArticle:
+		n := 0
+		if ce.g.HasLink(a, b) {
+			n++
+		}
+		if ce.g.HasLink(b, a) {
+			n++
+		}
+		return n
+	case ka == kb.KindArticle && kc == kb.KindCategory:
+		if ce.g.InCategory(a, b) {
+			return 1
+		}
+	case ka == kb.KindCategory && kc == kb.KindArticle:
+		if ce.g.InCategory(b, a) {
+			return 1
+		}
+	default:
+		if ce.g.IsParentCategory(a, b) || ce.g.IsParentCategory(b, a) {
+			return 1
+		}
+	}
+	return 0
+}
+
+// LengthStats aggregates the paper's Figure 2 measurements for one cycle
+// length.
+type LengthStats struct {
+	Length int
+	Count  int
+	// CategoryRatio is the mean fraction of category nodes per cycle
+	// (Figure 2b; the paper observes ≈ 1/3).
+	CategoryRatio float64
+	// ExtraEdgeDensity is the mean of (edges − L) / L per cycle, where
+	// edges counts every edge between consecutive nodes (two consecutive
+	// articles may contribute two) — Figure 2c.
+	ExtraEdgeDensity float64
+}
+
+// Analyze computes per-length statistics over cycles.
+func (ce *CycleEnumerator) Analyze(cycles []Cycle) map[int]LengthStats {
+	agg := make(map[int]*LengthStats)
+	for _, c := range cycles {
+		l := c.Len()
+		st, ok := agg[l]
+		if !ok {
+			st = &LengthStats{Length: l}
+			agg[l] = st
+		}
+		st.Count++
+		cats := 0
+		edges := 0
+		for i, n := range c.Nodes {
+			if ce.g.Kind(n) == kb.KindCategory {
+				cats++
+			}
+			next := c.Nodes[(i+1)%len(c.Nodes)]
+			edges += ce.edgeMultiplicity(n, next)
+		}
+		st.CategoryRatio += float64(cats) / float64(l)
+		st.ExtraEdgeDensity += float64(edges-l) / float64(l)
+	}
+	out := make(map[int]LengthStats, len(agg))
+	for l, st := range agg {
+		st.CategoryRatio /= float64(st.Count)
+		st.ExtraEdgeDensity /= float64(st.Count)
+		out[l] = *st
+	}
+	return out
+}
+
+// ArticlesOnCycles returns the distinct non-query articles appearing on
+// cycles of exactly the given length, sorted by ID. Pass length 0 for all
+// lengths.
+func (ce *CycleEnumerator) ArticlesOnCycles(cycles []Cycle, length int) []kb.NodeID {
+	seen := make(map[kb.NodeID]bool)
+	for _, c := range cycles {
+		if length != 0 && c.Len() != length {
+			continue
+		}
+		for i, n := range c.Nodes {
+			if i == 0 {
+				continue // query node
+			}
+			if ce.g.Kind(n) == kb.KindArticle {
+				seen[n] = true
+			}
+		}
+	}
+	out := make([]kb.NodeID, 0, len(seen))
+	for n := range seen {
+		out = append(out, n)
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i] < out[j] })
+	return out
+}

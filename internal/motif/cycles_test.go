@@ -1,0 +1,175 @@
+package motif
+
+import (
+	"testing"
+
+	"repro/internal/kb"
+)
+
+// triangleFixture: Q↔E both in category C — the canonical length-3 cycle
+// Q–E–C.
+func triangleFixture(t *testing.T) (*kb.Graph, kb.NodeID, kb.NodeID, kb.NodeID) {
+	t.Helper()
+	b := kb.NewBuilder(4)
+	q, _ := b.AddArticle("Q")
+	e, _ := b.AddArticle("E")
+	c, _ := b.AddCategory("Category:C")
+	for _, err := range []error{
+		b.AddLink(q, e), b.AddLink(e, q),
+		b.AddMembership(q, c), b.AddMembership(e, c),
+	} {
+		if err != nil {
+			t.Fatal(err)
+		}
+	}
+	return b.Build(), q, e, c
+}
+
+func TestEnumerateTriangle(t *testing.T) {
+	g, q, e, c := triangleFixture(t)
+	ce := NewCycleEnumerator(g, map[kb.NodeID]bool{q: true, e: true, c: true})
+	cycles := ce.Enumerate(q, 3, 5)
+	if len(cycles) != 1 {
+		t.Fatalf("got %d cycles, want 1: %v", len(cycles), cycles)
+	}
+	if cycles[0].Len() != 3 {
+		t.Errorf("cycle length = %d", cycles[0].Len())
+	}
+	if cycles[0].Nodes[0] != q {
+		t.Error("cycle must start at the query node")
+	}
+}
+
+func TestCycleDirectionCanonical(t *testing.T) {
+	// A 4-cycle Q–A–C–B (A,B articles linked to Q; C category holding A
+	// and B) must be enumerated exactly once despite two traversal
+	// directions.
+	b := kb.NewBuilder(8)
+	q, _ := b.AddArticle("Q")
+	a, _ := b.AddArticle("A")
+	bb, _ := b.AddArticle("B")
+	c, _ := b.AddCategory("Category:C")
+	for _, err := range []error{
+		b.AddLink(q, a), b.AddLink(q, bb),
+		b.AddMembership(a, c), b.AddMembership(bb, c),
+	} {
+		if err != nil {
+			t.Fatal(err)
+		}
+	}
+	g := b.Build()
+	ce := NewCycleEnumerator(g, map[kb.NodeID]bool{q: true, a: true, bb: true, c: true})
+	cycles := ce.Enumerate(q, 3, 5)
+	if len(cycles) != 1 {
+		t.Fatalf("got %d cycles, want 1 (canonical direction): %+v", len(cycles), cycles)
+	}
+	if cycles[0].Len() != 4 {
+		t.Errorf("cycle length = %d, want 4", cycles[0].Len())
+	}
+}
+
+func TestEnumerateRespectsMaxLen(t *testing.T) {
+	// Path of 5 articles closed back to Q: a 6-cycle, beyond maxLen 5.
+	b := kb.NewBuilder(8)
+	var arts []kb.NodeID
+	for _, n := range []string{"Q", "A", "B", "C2", "D", "E"} {
+		id, _ := b.AddArticle(n)
+		arts = append(arts, id)
+	}
+	for i := range arts {
+		next := arts[(i+1)%len(arts)]
+		if err := b.AddLink(arts[i], next); err != nil {
+			t.Fatal(err)
+		}
+	}
+	g := b.Build()
+	allowed := map[kb.NodeID]bool{}
+	for _, a := range arts {
+		allowed[a] = true
+	}
+	ce := NewCycleEnumerator(g, allowed)
+	if cycles := ce.Enumerate(arts[0], 3, 5); len(cycles) != 0 {
+		t.Errorf("6-cycle enumerated with maxLen 5: %v", cycles)
+	}
+	if cycles := ce.Enumerate(arts[0], 3, 6); len(cycles) != 1 {
+		t.Errorf("6-cycle should appear with maxLen 6")
+	}
+}
+
+func TestAnalyzeStats(t *testing.T) {
+	g, q, e, c := triangleFixture(t)
+	ce := NewCycleEnumerator(g, map[kb.NodeID]bool{q: true, e: true, c: true})
+	cycles := ce.Enumerate(q, 3, 5)
+	stats := ce.Analyze(cycles)
+	st, ok := stats[3]
+	if !ok {
+		t.Fatal("no stats for length 3")
+	}
+	if st.Count != 1 {
+		t.Errorf("Count = %d", st.Count)
+	}
+	if got, want := st.CategoryRatio, 1.0/3; got != want {
+		t.Errorf("CategoryRatio = %f, want %f", got, want)
+	}
+	// Edges: Q↔E contributes 2, Q–C and E–C contribute 1 each → 4 edges,
+	// minimum 3 → density (4-3)/3.
+	if got, want := st.ExtraEdgeDensity, 1.0/3; got != want {
+		t.Errorf("ExtraEdgeDensity = %f, want %f", got, want)
+	}
+}
+
+func TestArticlesOnCycles(t *testing.T) {
+	g, q, e, c := triangleFixture(t)
+	ce := NewCycleEnumerator(g, map[kb.NodeID]bool{q: true, e: true, c: true})
+	cycles := ce.Enumerate(q, 3, 5)
+	arts := ce.ArticlesOnCycles(cycles, 3)
+	if len(arts) != 1 || arts[0] != e {
+		t.Errorf("ArticlesOnCycles = %v, want [E]", arts)
+	}
+	if got := ce.ArticlesOnCycles(cycles, 4); len(got) != 0 {
+		t.Errorf("no length-4 cycles expected, got %v", got)
+	}
+	if got := ce.ArticlesOnCycles(cycles, 0); len(got) != 1 {
+		t.Errorf("length 0 means all lengths, got %v", got)
+	}
+}
+
+func TestInducedNodes(t *testing.T) {
+	// Category C (of E) has parent P; InducedNodes must include E's
+	// categories and their parents.
+	b := kb.NewBuilder(8)
+	q, _ := b.AddArticle("Q")
+	e, _ := b.AddArticle("E")
+	c, _ := b.AddCategory("Category:C")
+	p, _ := b.AddCategory("Category:P")
+	other, _ := b.AddArticle("Other")
+	for _, err := range []error{
+		b.AddMembership(e, c),
+		b.AddContainment(p, c),
+		b.AddLink(q, e),
+	} {
+		if err != nil {
+			t.Fatal(err)
+		}
+	}
+	g := b.Build()
+	allowed := InducedNodes(g, q, []kb.NodeID{e})
+	for _, want := range []kb.NodeID{q, e, c, p} {
+		if !allowed[want] {
+			t.Errorf("InducedNodes missing %s", g.Title(want))
+		}
+	}
+	if allowed[other] {
+		t.Error("InducedNodes must not include unrelated articles")
+	}
+}
+
+func TestEnumeratorHonoursAllowedSet(t *testing.T) {
+	g, q, e, c := triangleFixture(t)
+	// Exclude the category: only the 2-node "cycle" Q–E would remain,
+	// which is below minimum length 3 — no cycles.
+	ce := NewCycleEnumerator(g, map[kb.NodeID]bool{q: true, e: true})
+	if cycles := ce.Enumerate(q, 3, 5); len(cycles) != 0 {
+		t.Errorf("cycle through excluded node %v: %v", c, cycles)
+	}
+}

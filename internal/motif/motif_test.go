@@ -1,0 +1,289 @@
+package motif
+
+import (
+	"reflect"
+	"testing"
+
+	"repro/internal/kb"
+)
+
+// fixture builds a small KB with known motif structure around query
+// article Q:
+//
+//	categories: DOM (domain), TOP (topic, child of DOM), SUB (child of TOP),
+//	            FAC (facet, child of DOM)
+//	articles:
+//	  Q    ∈ {TOP, FAC}          — the query node
+//	  TRI  ∈ {TOP, FAC}, Q↔TRI   — triangular match (superset of Q's cats)
+//	  TRI2 ∈ {TOP, FAC, SUB}, Q↔TRI2 — triangular (2 shared) AND square
+//	                               (SUB inside TOP... via TOP parent SUB)
+//	  SQ   ∈ {SUB}, Q↔SQ         — square only (TOP is parent of SUB)
+//	  SQ2  ∈ {DOM}, Q↔SQ2        — square only (DOM is parent of TOP and FAC: 2 instances)
+//	  ONEWAY ∈ {TOP, FAC}, Q→ONEWAY only — fails reciprocity
+//	  SUBSET ∈ {TOP}, Q↔SUBSET   — fails triangle (missing FAC), no parent rel
+//	  FAR  ∈ {TOP, FAC}, no links — fails link condition
+type fixture struct {
+	g   *kb.Graph
+	ids map[string]kb.NodeID
+}
+
+func build(t *testing.T) fixture {
+	t.Helper()
+	b := kb.NewBuilder(16)
+	ids := map[string]kb.NodeID{}
+	cat := func(n string) {
+		id, err := b.AddCategory("Category:" + n)
+		if err != nil {
+			t.Fatal(err)
+		}
+		ids[n] = id
+	}
+	art := func(n string) {
+		id, err := b.AddArticle(n)
+		if err != nil {
+			t.Fatal(err)
+		}
+		ids[n] = id
+	}
+	for _, c := range []string{"DOM", "TOP", "SUB", "FAC"} {
+		cat(c)
+	}
+	for _, a := range []string{"Q", "TRI", "TRI2", "SQ", "SQ2", "ONEWAY", "SUBSET", "FAR"} {
+		art(a)
+	}
+	must := func(err error) {
+		t.Helper()
+		if err != nil {
+			t.Fatal(err)
+		}
+	}
+	must(b.AddContainment(ids["DOM"], ids["TOP"]))
+	must(b.AddContainment(ids["DOM"], ids["FAC"]))
+	must(b.AddContainment(ids["TOP"], ids["SUB"]))
+	member := func(a string, cats ...string) {
+		for _, c := range cats {
+			must(b.AddMembership(ids[a], ids[c]))
+		}
+	}
+	member("Q", "TOP", "FAC")
+	member("TRI", "TOP", "FAC")
+	member("TRI2", "TOP", "FAC", "SUB")
+	member("SQ", "SUB")
+	member("SQ2", "DOM")
+	member("ONEWAY", "TOP", "FAC")
+	member("SUBSET", "TOP")
+	member("FAR", "TOP", "FAC")
+	link2 := func(a, b2 string) {
+		must(b.AddLink(ids[a], ids[b2]))
+		must(b.AddLink(ids[b2], ids[a]))
+	}
+	link2("Q", "TRI")
+	link2("Q", "TRI2")
+	link2("Q", "SQ")
+	link2("Q", "SQ2")
+	link2("Q", "SUBSET")
+	must(b.AddLink(ids["Q"], ids["ONEWAY"]))
+	return fixture{g: b.Build(), ids: ids}
+}
+
+// matchMap converts matches to title→count for readable assertions.
+func (f fixture) matchMap(ms []Match) map[string]int {
+	out := map[string]int{}
+	for _, m := range ms {
+		out[f.g.Title(m.Article)] = m.Motifs
+	}
+	return out
+}
+
+func TestTriangularMotif(t *testing.T) {
+	f := build(t)
+	m := NewMatcher(f.g)
+	got := f.matchMap(m.Expand([]kb.NodeID{f.ids["Q"]}, SetT))
+	// TRI shares exactly {TOP, FAC} (2 instances); TRI2 is a superset
+	// with the same 2 shared categories.
+	want := map[string]int{"TRI": 2, "TRI2": 2}
+	if !reflect.DeepEqual(got, want) {
+		t.Errorf("triangular matches = %v, want %v", got, want)
+	}
+}
+
+func TestSquareMotif(t *testing.T) {
+	f := build(t)
+	m := NewMatcher(f.g)
+	got := f.matchMap(m.Expand([]kb.NodeID{f.ids["Q"]}, SetS))
+	// SQ: Q's TOP is parent of SQ's SUB → 1 instance.
+	// SQ2: SQ2's DOM is parent of Q's TOP and of Q's FAC → 2 instances.
+	// TRI2: Q's TOP is parent of TRI2's SUB → 1 instance.
+	want := map[string]int{"SQ": 1, "SQ2": 2, "TRI2": 1}
+	if !reflect.DeepEqual(got, want) {
+		t.Errorf("square matches = %v, want %v", got, want)
+	}
+}
+
+func TestCombinedMotifSumsCounts(t *testing.T) {
+	f := build(t)
+	m := NewMatcher(f.g)
+	got := f.matchMap(m.Expand([]kb.NodeID{f.ids["Q"]}, SetTS))
+	want := map[string]int{"TRI": 2, "TRI2": 3, "SQ": 1, "SQ2": 2}
+	if !reflect.DeepEqual(got, want) {
+		t.Errorf("T&S matches = %v, want %v", got, want)
+	}
+}
+
+func TestMatchesSortedByWeight(t *testing.T) {
+	f := build(t)
+	m := NewMatcher(f.g)
+	ms := m.Expand([]kb.NodeID{f.ids["Q"]}, SetTS)
+	for i := 1; i < len(ms); i++ {
+		if ms[i-1].Motifs < ms[i].Motifs {
+			t.Fatalf("matches not sorted by |m_a|: %v", ms)
+		}
+		if ms[i-1].Motifs == ms[i].Motifs && ms[i-1].Article >= ms[i].Article {
+			t.Fatalf("ties not sorted by article: %v", ms)
+		}
+	}
+}
+
+func TestReciprocityRequired(t *testing.T) {
+	f := build(t)
+	m := NewMatcher(f.g)
+	got := f.matchMap(m.Expand([]kb.NodeID{f.ids["Q"]}, SetTS))
+	if _, ok := got["ONEWAY"]; ok {
+		t.Error("one-way linked article must not match")
+	}
+	if _, ok := got["FAR"]; ok {
+		t.Error("unlinked article must not match")
+	}
+	// Ablation: dropping reciprocity admits ONEWAY.
+	m.RequireReciprocal = false
+	got = f.matchMap(m.Expand([]kb.NodeID{f.ids["Q"]}, SetTS))
+	if _, ok := got["ONEWAY"]; !ok {
+		t.Error("single-link ablation should admit ONEWAY")
+	}
+}
+
+func TestCategoryConditionRequired(t *testing.T) {
+	f := build(t)
+	m := NewMatcher(f.g)
+	got := f.matchMap(m.Expand([]kb.NodeID{f.ids["Q"]}, SetT))
+	if _, ok := got["SUBSET"]; ok {
+		t.Error("article with a strict subset of Q's categories must not triangle-match")
+	}
+	// Ablation: no category conditions → every reciprocal neighbour
+	// matches with count 1.
+	m.UseCategories = false
+	got = f.matchMap(m.Expand([]kb.NodeID{f.ids["Q"]}, SetT))
+	want := map[string]int{"TRI": 1, "TRI2": 1, "SQ": 1, "SQ2": 1, "SUBSET": 1}
+	if !reflect.DeepEqual(got, want) {
+		t.Errorf("no-category ablation = %v, want %v", got, want)
+	}
+}
+
+func TestQueryNodesNeverExpand(t *testing.T) {
+	f := build(t)
+	m := NewMatcher(f.g)
+	// Using Q and TRI as query nodes: neither may appear as a feature.
+	got := f.matchMap(m.Expand([]kb.NodeID{f.ids["Q"], f.ids["TRI"]}, SetTS))
+	if _, ok := got["Q"]; ok {
+		t.Error("query node Q reported as expansion")
+	}
+	if _, ok := got["TRI"]; ok {
+		t.Error("query node TRI reported as expansion")
+	}
+}
+
+func TestMultipleQueryNodesAccumulate(t *testing.T) {
+	f := build(t)
+	m := NewMatcher(f.g)
+	one := f.matchMap(m.Expand([]kb.NodeID{f.ids["Q"]}, SetT))
+	// TRI and TRI2 are reciprocal with Q; querying from both Q and SUBSET
+	// can only increase counts for articles matched from both.
+	both := f.matchMap(m.Expand([]kb.NodeID{f.ids["Q"], f.ids["SUBSET"]}, SetT))
+	for a, c := range one {
+		if a == "SUBSET" {
+			continue
+		}
+		if both[a] < c {
+			t.Errorf("count for %s decreased with more query nodes: %d < %d", a, both[a], c)
+		}
+	}
+}
+
+func TestCategoryQueryNodeIgnored(t *testing.T) {
+	f := build(t)
+	m := NewMatcher(f.g)
+	got := m.Expand([]kb.NodeID{f.ids["TOP"]}, SetTS)
+	if len(got) != 0 {
+		t.Errorf("category query node should yield no matches, got %v", got)
+	}
+}
+
+func TestEmptyQueryNodes(t *testing.T) {
+	f := build(t)
+	m := NewMatcher(f.g)
+	if got := m.Expand(nil, SetTS); len(got) != 0 {
+		t.Errorf("no query nodes should yield no matches, got %v", got)
+	}
+}
+
+func TestArticleWithNoCategories(t *testing.T) {
+	b := kb.NewBuilder(4)
+	q, _ := b.AddArticle("q")
+	e, _ := b.AddArticle("e")
+	c, _ := b.AddCategory("Category:c")
+	if err := b.AddMembership(e, c); err != nil {
+		t.Fatal(err)
+	}
+	if err := b.AddLink(q, e); err != nil {
+		t.Fatal(err)
+	}
+	if err := b.AddLink(e, q); err != nil {
+		t.Fatal(err)
+	}
+	g := b.Build()
+	m := NewMatcher(g)
+	// Q has no categories: the paper's triangle requires shared
+	// categories, so no match; square requires a parent pair, none.
+	if got := m.Expand([]kb.NodeID{q}, SetTS); len(got) != 0 {
+		t.Errorf("category-less query node matched: %v", got)
+	}
+}
+
+func TestSetStringAndHas(t *testing.T) {
+	if SetT.String() != "T" || SetS.String() != "S" || SetTS.String() != "T&S" {
+		t.Error("Set.String wrong")
+	}
+	if Set(0).String() != "none" {
+		t.Error("empty set should print none")
+	}
+	if !SetTS.Has(Triangular) || !SetTS.Has(Square) || SetT.Has(Square) {
+		t.Error("Set.Has wrong")
+	}
+}
+
+func TestTriangularInstancesTable(t *testing.T) {
+	mk := func(xs ...int) []kb.NodeID {
+		out := make([]kb.NodeID, len(xs))
+		for i, x := range xs {
+			out[i] = kb.NodeID(x)
+		}
+		return out
+	}
+	tests := []struct {
+		q, e []kb.NodeID
+		want int
+	}{
+		{mk(), mk(1, 2), 0},        // empty query cats never match
+		{mk(1), mk(1), 1},          // exact
+		{mk(1, 2), mk(1, 2), 2},    // exact, two shared
+		{mk(1, 2), mk(1, 2, 3), 2}, // superset
+		{mk(1, 2), mk(1), 0},       // subset fails
+		{mk(1, 3), mk(1, 2), 0},    // partial overlap fails
+		{mk(5), mk(1, 2, 5), 1},    // superset with gap
+	}
+	for _, tc := range tests {
+		if got := triangularInstances(tc.q, tc.e); got != tc.want {
+			t.Errorf("triangularInstances(%v, %v) = %d, want %d", tc.q, tc.e, got, tc.want)
+		}
+	}
+}

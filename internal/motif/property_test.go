@@ -1,0 +1,174 @@
+package motif
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"repro/internal/kb"
+)
+
+// randomKB builds a random small KB for property testing.
+func randomKB(rng *rand.Rand) (*kb.Graph, []kb.NodeID) {
+	nArt := 4 + rng.Intn(20)
+	nCat := 2 + rng.Intn(6)
+	b := kb.NewBuilder(nArt + nCat)
+	arts := make([]kb.NodeID, nArt)
+	cats := make([]kb.NodeID, nCat)
+	for i := range arts {
+		arts[i], _ = b.AddArticle("a" + string(rune('a'+i%26)) + string(rune('0'+i/26)))
+	}
+	for i := range cats {
+		cats[i], _ = b.AddCategory("Category:c" + string(rune('a'+i)))
+	}
+	for i := 0; i < nArt*4; i++ {
+		from, to := arts[rng.Intn(nArt)], arts[rng.Intn(nArt)]
+		if from != to {
+			_ = b.AddLink(from, to)
+		}
+	}
+	for i := 0; i < nArt*2; i++ {
+		_ = b.AddMembership(arts[rng.Intn(nArt)], cats[rng.Intn(nCat)])
+	}
+	for i := 0; i < nCat; i++ {
+		p, c := cats[rng.Intn(nCat)], cats[rng.Intn(nCat)]
+		if p != c {
+			_ = b.AddContainment(p, c)
+		}
+	}
+	return b.Build(), arts
+}
+
+// TestMatcherSoundnessProperty verifies on random graphs that every
+// match reported by the matcher actually satisfies the motif's formal
+// conditions, checked independently against the graph primitives.
+func TestMatcherSoundnessProperty(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		g, arts := randomKB(rng)
+		q := arts[rng.Intn(len(arts))]
+		m := NewMatcher(g)
+
+		verifyTriangle := func(e kb.NodeID) bool {
+			if !g.Reciprocal(q, e) {
+				return false
+			}
+			for _, c := range g.Categories(q) {
+				if !g.InCategory(e, c) {
+					return false
+				}
+			}
+			return len(g.Categories(q)) > 0
+		}
+		verifySquare := func(e kb.NodeID) bool {
+			if !g.Reciprocal(q, e) {
+				return false
+			}
+			for _, cq := range g.Categories(q) {
+				for _, ce := range g.Categories(e) {
+					if cq == ce {
+						continue
+					}
+					if g.IsParentCategory(ce, cq) || g.IsParentCategory(cq, ce) {
+						return true
+					}
+				}
+			}
+			return false
+		}
+
+		for _, match := range m.Expand([]kb.NodeID{q}, SetT) {
+			if !verifyTriangle(match.Article) {
+				return false
+			}
+			if match.Motifs != len(g.Categories(q)) {
+				return false // one instance per (shared ⊇) query category
+			}
+		}
+		for _, match := range m.Expand([]kb.NodeID{q}, SetS) {
+			if !verifySquare(match.Article) {
+				return false
+			}
+			if match.Motifs <= 0 {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 150}); err != nil {
+		t.Error(err)
+	}
+}
+
+// TestMatcherCompletenessProperty verifies the other direction: every
+// article satisfying a motif's conditions is reported.
+func TestMatcherCompletenessProperty(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		g, arts := randomKB(rng)
+		q := arts[rng.Intn(len(arts))]
+		m := NewMatcher(g)
+		reported := map[kb.NodeID]bool{}
+		for _, match := range m.Expand([]kb.NodeID{q}, SetT) {
+			reported[match.Article] = true
+		}
+		qCats := g.Categories(q)
+		if len(qCats) == 0 {
+			return len(reported) == 0
+		}
+		ok := true
+		g.Articles(func(e kb.NodeID) bool {
+			if e == q || !g.Reciprocal(q, e) {
+				return true
+			}
+			superset := true
+			for _, c := range qCats {
+				if !g.InCategory(e, c) {
+					superset = false
+					break
+				}
+			}
+			if superset && !reported[e] {
+				ok = false
+			}
+			return ok
+		})
+		return ok
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 150}); err != nil {
+		t.Error(err)
+	}
+}
+
+// TestCombinedCountsAdditiveProperty: |m_a| under T&S equals the sum of
+// the counts under T and S separately.
+func TestCombinedCountsAdditiveProperty(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		g, arts := randomKB(rng)
+		q := arts[rng.Intn(len(arts))]
+		m := NewMatcher(g)
+		sum := map[kb.NodeID]int{}
+		for _, set := range []Set{SetT, SetS} {
+			for _, match := range m.Expand([]kb.NodeID{q}, set) {
+				sum[match.Article] += match.Motifs
+			}
+		}
+		combined := map[kb.NodeID]int{}
+		for _, match := range m.Expand([]kb.NodeID{q}, SetTS) {
+			combined[match.Article] = match.Motifs
+		}
+		if len(sum) != len(combined) {
+			return false
+		}
+		for a, c := range sum {
+			if combined[a] != c {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 150}); err != nil {
+		t.Error(err)
+	}
+}

@@ -1,0 +1,127 @@
+package search
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+
+	"repro/internal/index"
+)
+
+// Explanation breaks a document's score into per-leaf contributions —
+// the debugging view behind cmd/sqe-inspect: which expansion features
+// actually moved a document up the ranking.
+type Explanation struct {
+	Doc    index.DocID
+	Name   string
+	Score  float64
+	Leaves []LeafContribution
+}
+
+// LeafContribution is one leaf's share of a document score.
+type LeafContribution struct {
+	// Leaf is the leaf's query syntax ("cable", "#1(cable car)").
+	Leaf string
+	// Weight is the leaf's normalised effective weight.
+	Weight float64
+	// TF is the document's term/phrase frequency for the leaf.
+	TF int32
+	// Contribution is weight · log P(leaf|D).
+	Contribution float64
+	// BackgroundOnly marks leaves the document does not contain (their
+	// contribution is pure smoothing mass).
+	BackgroundOnly bool
+}
+
+// Explain scores one document under q and attributes the score to the
+// query's leaves, sorted by descending contribution above background
+// (i.e. the leaves that helped most come first).
+func (s *Searcher) Explain(q Node, doc index.DocID) Explanation {
+	var leaves []leaf
+	var names []string
+	s.flattenNamed(q, 1, &leaves, &names)
+	score := s.newScorer()
+	dl := float64(s.ix.DocLen(doc))
+	ex := Explanation{Doc: doc, Name: s.ix.DocName(doc)}
+	for li := range leaves {
+		l := &leaves[li]
+		tf := int32(0)
+		if i := findDoc(l.postings.Docs, doc); i >= 0 {
+			tf = l.postings.Freqs[i]
+		}
+		contrib := score(l, tf, dl)
+		ex.Score += contrib
+		ex.Leaves = append(ex.Leaves, LeafContribution{
+			Leaf:           names[li],
+			Weight:         l.weight,
+			TF:             tf,
+			Contribution:   contrib,
+			BackgroundOnly: tf == 0,
+		})
+	}
+	// Sort by how much the leaf lifted the document above its own
+	// background mass: matched leaves first, strongest lift first.
+	lift := func(c LeafContribution) float64 {
+		if c.BackgroundOnly {
+			return 0
+		}
+		l := leaves[indexOfLeaf(names, c.Leaf)]
+		bg := score(&l, 0, dl)
+		return c.Contribution - bg
+	}
+	sort.SliceStable(ex.Leaves, func(i, j int) bool { return lift(ex.Leaves[i]) > lift(ex.Leaves[j]) })
+	return ex
+}
+
+func indexOfLeaf(names []string, name string) int {
+	for i, n := range names {
+		if n == name {
+			return i
+		}
+	}
+	return 0
+}
+
+// flattenNamed mirrors flatten but also records each leaf's syntax.
+func (s *Searcher) flattenNamed(n Node, w float64, out *[]leaf, names *[]string) {
+	if w <= 0 {
+		return
+	}
+	switch x := n.(type) {
+	case Term, Phrase, Unordered:
+		before := len(*out)
+		s.flatten(n, w, out)
+		for i := before; i < len(*out); i++ {
+			*names = append(*names, x.(Node).String())
+		}
+	case Weighted:
+		var total float64
+		for _, c := range x.Children {
+			if c.Weight > 0 && !IsEmpty(c.Node) {
+				total += c.Weight
+			}
+		}
+		if total <= 0 {
+			return
+		}
+		for _, c := range x.Children {
+			if c.Weight > 0 && !IsEmpty(c.Node) {
+				s.flattenNamed(c.Node, w*c.Weight/total, out, names)
+			}
+		}
+	}
+}
+
+// String renders the explanation, matched leaves first.
+func (e Explanation) String() string {
+	var sb strings.Builder
+	fmt.Fprintf(&sb, "%s score=%.4f\n", e.Name, e.Score)
+	for _, l := range e.Leaves {
+		marker := " "
+		if !l.BackgroundOnly {
+			marker = "*"
+		}
+		fmt.Fprintf(&sb, "  %s %-30s w=%.3f tf=%d contrib=%.4f\n", marker, l.Leaf, l.Weight, l.TF, l.Contribution)
+	}
+	return sb.String()
+}

@@ -1,0 +1,54 @@
+package search
+
+import (
+	"testing"
+
+	"repro/internal/analysis"
+)
+
+// FuzzParse asserts the query parser never panics and that anything it
+// accepts renders to syntax it accepts again (parse∘render fixpoint).
+func FuzzParse(f *testing.F) {
+	for _, seed := range []string{
+		"cable car",
+		"#1(cable car)",
+		"#weight(2 a 1 #combine(b c))",
+		"#uw8(a b c)",
+		`"quoted phrase"`,
+		"#weight(",
+		"a ) b",
+		"#frob(x)",
+		"###",
+		"#weight(1e309 a)",
+	} {
+		f.Add(seed)
+	}
+	std := analysis.Standard()
+	plain := analysis.Analyzer{}
+	f.Fuzz(func(t *testing.T, input string) {
+		// Under the full pipeline, anything that parses must render to
+		// syntax that re-parses without error. (Render *stability* is
+		// not guaranteed here: Porter stemming is not idempotent — e.g.
+		// "…ll" can lose one l per round — and a stem can itself be a
+		// stopword.)
+		if n, err := Parse(std, input); err == nil {
+			if _, err := Parse(std, n.String()); err != nil {
+				t.Fatalf("rendered query %q does not re-parse: %v", n.String(), err)
+			}
+		}
+		// Under the plain tokenizer (idempotent), parse∘render is a
+		// fixpoint.
+		n, err := Parse(plain, input)
+		if err != nil {
+			return
+		}
+		rendered := n.String()
+		n2, err := Parse(plain, rendered)
+		if err != nil {
+			t.Fatalf("plain rendered query %q does not re-parse: %v", rendered, err)
+		}
+		if n2.String() != rendered {
+			t.Fatalf("plain render not stable: %q vs %q", n2.String(), rendered)
+		}
+	})
+}

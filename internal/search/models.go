@@ -1,0 +1,109 @@
+package search
+
+import "math"
+
+// Model selects the retrieval function. The paper's model is Dirichlet-
+// smoothed query likelihood; the alternatives exist for comparison
+// studies (the "retrieval substrate" ablation) and for downstream users
+// who prefer them.
+type Model int
+
+const (
+	// ModelDirichlet is Dirichlet-smoothed query likelihood (the paper's
+	// retrieval model, Section 2.3). Parameter: Mu.
+	ModelDirichlet Model = iota
+	// ModelJelinekMercer is JM-smoothed query likelihood:
+	// P(w|D) = (1−λ)·tf/|D| + λ·P(w|C). Parameter: Lambda.
+	ModelJelinekMercer
+	// ModelBM25 is Okapi BM25 with IDF per leaf. Parameters: K1, B.
+	// Phrase and window leaves score like terms, with df/cf computed
+	// from their materialised postings.
+	ModelBM25
+)
+
+// String implements fmt.Stringer.
+func (m Model) String() string {
+	switch m {
+	case ModelDirichlet:
+		return "dirichlet"
+	case ModelJelinekMercer:
+		return "jelinek-mercer"
+	case ModelBM25:
+		return "bm25"
+	default:
+		return "unknown"
+	}
+}
+
+// ModelParams bundles every model's parameters with sensible defaults.
+type ModelParams struct {
+	// Mu is Dirichlet's pseudo-count (default 2500).
+	Mu float64
+	// Lambda is JM's collection interpolation (default 0.4).
+	Lambda float64
+	// K1 and B are BM25's saturation and length normalisation
+	// (defaults 1.2 and 0.75).
+	K1, B float64
+}
+
+func (p ModelParams) withDefaults() ModelParams {
+	if p.Mu <= 0 {
+		p.Mu = DefaultMu
+	}
+	if p.Lambda <= 0 || p.Lambda >= 1 {
+		p.Lambda = 0.4
+	}
+	if p.K1 <= 0 {
+		p.K1 = 1.2
+	}
+	if p.B <= 0 || p.B > 1 {
+		// B = 0 (no length normalisation) must be requested via an
+		// explicit tiny value; the zero value means "default".
+		p.B = 0.75
+	}
+	return p
+}
+
+// scorer computes one leaf's contribution for a document.
+type scorer func(l *leaf, tf int32, docLen float64) float64
+
+// newScorer builds the scoring closure for the searcher's model.
+func (s *Searcher) newScorer() scorer {
+	params := s.Params.withDefaults()
+	// Back-compat: the Mu field predates Params and wins when set.
+	if s.Mu > 0 {
+		params.Mu = s.Mu
+	}
+	switch s.Model {
+	case ModelJelinekMercer:
+		lambda := params.Lambda
+		return func(l *leaf, tf int32, docLen float64) float64 {
+			var ml float64
+			if docLen > 0 {
+				ml = float64(tf) / docLen
+			}
+			return l.weight * math.Log((1-lambda)*ml+lambda*l.collProb)
+		}
+	case ModelBM25:
+		k1, b := params.K1, params.B
+		n := float64(s.ix.NumDocs())
+		avgdl := s.ix.AvgDocLen()
+		if avgdl == 0 {
+			avgdl = 1
+		}
+		return func(l *leaf, tf int32, docLen float64) float64 {
+			if tf == 0 {
+				return 0 // BM25 has no background mass
+			}
+			df := float64(len(l.postings.Docs))
+			idf := math.Log((n-df+0.5)/(df+0.5) + 1)
+			t := float64(tf)
+			return l.weight * idf * (t * (k1 + 1)) / (t + k1*(1-b+b*docLen/avgdl))
+		}
+	default:
+		mu := params.Mu
+		return func(l *leaf, tf int32, docLen float64) float64 {
+			return l.weight * math.Log((float64(tf)+mu*l.collProb)/(docLen+mu))
+		}
+	}
+}

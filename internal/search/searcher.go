@@ -1,0 +1,185 @@
+package search
+
+import (
+	"sort"
+
+	"repro/internal/index"
+)
+
+// DefaultMu is the Dirichlet smoothing parameter μ. 2500 is Indri's
+// long-standing default and works well for short caption-style documents.
+const DefaultMu = 2500
+
+// Result is one ranked document.
+type Result struct {
+	Doc   index.DocID
+	Name  string
+	Score float64
+}
+
+// Searcher evaluates structured queries against an index.
+type Searcher struct {
+	ix *index.Index
+	// Mu is the Dirichlet smoothing parameter; zero means DefaultMu.
+	// Kept as a top-level field (rather than only Params.Mu) because it
+	// is the one knob experiments sweep.
+	Mu float64
+	// Model selects the retrieval function (default Dirichlet QL).
+	Model Model
+	// Params holds the other models' parameters.
+	Params ModelParams
+}
+
+// NewSearcher returns a Searcher over ix with the default μ.
+func NewSearcher(ix *index.Index) *Searcher { return &Searcher{ix: ix, Mu: DefaultMu} }
+
+// Index returns the underlying index.
+func (s *Searcher) Index() *index.Index { return s.ix }
+
+// leaf is a flattened query leaf: its postings, its collection
+// probability and its accumulated (normalised, multiplied-through)
+// weight.
+type leaf struct {
+	weight   float64
+	postings index.Postings
+	collProb float64
+}
+
+// flatten walks the query tree multiplying normalised weights down to the
+// leaves. Empty leaves are kept (they contribute only background mass) —
+// dropping them would change ranking between two queries that differ in
+// an OOV term, which matters for the QL baselines.
+func (s *Searcher) flatten(n Node, w float64, out *[]leaf) {
+	if w <= 0 {
+		return
+	}
+	switch x := n.(type) {
+	case Term:
+		if x.Text == "" {
+			return
+		}
+		var p index.Postings
+		if pp := s.ix.PostingsFor(x.Text); pp != nil {
+			p = *pp
+		}
+		*out = append(*out, leaf{weight: w, postings: p, collProb: s.ix.FloorProb(p.CollectionFreq())})
+	case Phrase:
+		if len(x.Terms) == 0 {
+			return
+		}
+		p := s.ix.PhrasePostings(x.Terms)
+		*out = append(*out, leaf{weight: w, postings: p, collProb: s.ix.FloorProb(p.CollectionFreq())})
+	case Unordered:
+		if len(x.Terms) == 0 {
+			return
+		}
+		p := s.ix.UnorderedWindowPostings(x.Terms, x.Width)
+		*out = append(*out, leaf{weight: w, postings: p, collProb: s.ix.FloorProb(p.CollectionFreq())})
+	case Weighted:
+		var total float64
+		for _, c := range x.Children {
+			if c.Weight > 0 && !IsEmpty(c.Node) {
+				total += c.Weight
+			}
+		}
+		if total <= 0 {
+			return
+		}
+		for _, c := range x.Children {
+			if c.Weight > 0 && !IsEmpty(c.Node) {
+				s.flatten(c.Node, w*c.Weight/total, out)
+			}
+		}
+	}
+}
+
+// Search scores the query and returns the top k documents ordered by
+// descending score; ties break on ascending DocID so results are
+// deterministic. Only documents containing at least one query leaf are
+// ranked (standard practice in LM retrieval engines: documents matching
+// nothing carry only background mass and sort below every match of the
+// best leaf in all but degenerate cases).
+func (s *Searcher) Search(q Node, k int) []Result {
+	if k <= 0 {
+		return nil
+	}
+	var leaves []leaf
+	s.flatten(q, 1, &leaves)
+	if len(leaves) == 0 {
+		return nil
+	}
+	score := s.newScorer()
+
+	// Per-candidate term frequencies, leaf-major.
+	type cand struct {
+		tfs []int32
+	}
+	cands := make(map[index.DocID]*cand)
+	for li := range leaves {
+		l := &leaves[li]
+		for pi, doc := range l.postings.Docs {
+			c, ok := cands[doc]
+			if !ok {
+				c = &cand{tfs: make([]int32, len(leaves))}
+				cands[doc] = c
+			}
+			c.tfs[li] = l.postings.Freqs[pi]
+		}
+	}
+	results := make([]Result, 0, len(cands))
+	for doc, c := range cands {
+		dl := float64(s.ix.DocLen(doc))
+		total := 0.0
+		for li := range leaves {
+			total += score(&leaves[li], c.tfs[li], dl)
+		}
+		results = append(results, Result{Doc: doc, Name: s.ix.DocName(doc), Score: total})
+	}
+	sort.Slice(results, func(i, j int) bool {
+		if results[i].Score != results[j].Score {
+			return results[i].Score > results[j].Score
+		}
+		return results[i].Doc < results[j].Doc
+	})
+	if len(results) > k {
+		results = results[:k]
+	}
+	return results
+}
+
+// ScoreDoc computes the query-likelihood score of a single document; used
+// by the relevance-model PRF, which needs P(Q|D) for the feedback set.
+func (s *Searcher) ScoreDoc(q Node, doc index.DocID) float64 {
+	var leaves []leaf
+	s.flatten(q, 1, &leaves)
+	score := s.newScorer()
+	dl := float64(s.ix.DocLen(doc))
+	total := 0.0
+	for li := range leaves {
+		l := &leaves[li]
+		tf := int32(0)
+		if i := findDoc(l.postings.Docs, doc); i >= 0 {
+			tf = l.postings.Freqs[i]
+		}
+		total += score(l, tf, dl)
+	}
+	return total
+}
+
+// findDoc binary-searches a sorted doc list, returning the row index or
+// -1.
+func findDoc(docs []index.DocID, doc index.DocID) int {
+	lo, hi := 0, len(docs)
+	for lo < hi {
+		mid := int(uint(lo+hi) >> 1)
+		if docs[mid] < doc {
+			lo = mid + 1
+		} else {
+			hi = mid
+		}
+	}
+	if lo < len(docs) && docs[lo] == doc {
+		return lo
+	}
+	return -1
+}

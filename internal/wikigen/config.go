@@ -1,0 +1,191 @@
+package wikigen
+
+import "fmt"
+
+// Config controls the shape of the generated world. DefaultConfig matches
+// the scale used by the benchmark harness; SmallConfig keeps unit tests
+// fast. All randomness flows from Seed.
+type Config struct {
+	// Seed drives every random choice; equal configs generate equal
+	// worlds.
+	Seed int64
+
+	// Domains is the number of top-level knowledge domains (each gets a
+	// domain category).
+	Domains int
+	// TopicsPerDomain is the number of topics under each domain. Each
+	// topic gets its own category, child of the domain category.
+	TopicsPerDomain int
+	// ArticlesPerTopic is the mean number of articles per topic; actual
+	// counts vary ±30%.
+	ArticlesPerTopic int
+
+	// CoreTermsPerTopic is the size of each topic's core vocabulary —
+	// the words its article titles and its relevant documents are built
+	// from.
+	CoreTermsPerTopic int
+	// CoreTermPool is the size of the shared content-word pool topics
+	// sample their core terms from. Because the pool is smaller than
+	// Domains·TopicsPerDomain·CoreTermsPerTopic, words belong to more
+	// than one topic on average — the lexical ambiguity that makes
+	// single-term matching noisy (and query expansion worthwhile), just
+	// like "car" or "wall" in real text. Zero derives a pool ~60% of
+	// the total demand.
+	CoreTermPool int
+	// AliasTermsPerTopic is the size of each topic's user-facing alias
+	// vocabulary: words users type in queries but that rarely occur in
+	// documents (the paper's "vocabulary mismatch").
+	AliasTermsPerTopic int
+	// BackgroundTerms is the size of the shared noise vocabulary.
+	BackgroundTerms int
+
+	// FacetsPerDomain is the number of facet categories per domain
+	// (children of the domain category). Facets make the triangular
+	// motif's exact-category condition selective.
+	FacetsPerDomain int
+	// MaxFacetsPerArticle bounds how many facet categories an article
+	// belongs to (uniform in [0, MaxFacetsPerArticle]).
+	MaxFacetsPerArticle int
+	// SubtopicFraction is the fraction of topics that get a subtopic
+	// category (child of the topic category) holding part of their
+	// articles; these power square-motif matches downward.
+	SubtopicFraction float64
+	// DomainDirectFraction is the probability that an article is also a
+	// direct member of its domain category; these power square-motif
+	// matches upward.
+	DomainDirectFraction float64
+
+	// IntraTopicLinks is the mean number of outgoing links from an
+	// article to other articles of the same topic.
+	IntraTopicLinks int
+	// IntraReciprocalProb is the probability that an intra-topic link is
+	// reciprocated.
+	IntraReciprocalProb float64
+	// CrossTopicLinks is the mean number of links to articles of other
+	// topics in the same domain.
+	CrossTopicLinks int
+	// CrossReciprocalProb is the probability a cross-topic link is
+	// reciprocated.
+	CrossReciprocalProb float64
+	// NoiseLinks is the mean number of links to random articles
+	// anywhere (rarely reciprocated; reciprocation happens only by the
+	// chance of the reverse noise link).
+	NoiseLinks int
+
+	// HubArticles is the number of generic hub articles ("United
+	// States"-style): topic-less, heavily and reciprocally linked from
+	// everywhere, and members of several domain categories — so they
+	// square-match almost any query node. Hubs are the principal source
+	// of *bad* expansion features, the reason expansion features alone
+	// (the paper's Q_X run) degrade retrieval.
+	HubArticles int
+	// HubLinkProb is the probability an article links to a random hub.
+	HubLinkProb float64
+	// HubReciprocalProb is the probability a hub links back.
+	HubReciprocalProb float64
+	// HubDomainMemberships is how many domain categories each hub
+	// belongs to.
+	HubDomainMemberships int
+}
+
+// DefaultConfig is the world used by benches, examples and experiments.
+func DefaultConfig() Config {
+	return Config{
+		Seed:                 1,
+		Domains:              12,
+		TopicsPerDomain:      16,
+		ArticlesPerTopic:     30,
+		CoreTermsPerTopic:    28,
+		AliasTermsPerTopic:   4,
+		BackgroundTerms:      2500,
+		FacetsPerDomain:      8,
+		MaxFacetsPerArticle:  2,
+		SubtopicFraction:     0.5,
+		DomainDirectFraction: 0.30,
+		IntraTopicLinks:      10,
+		IntraReciprocalProb:  0.75,
+		CrossTopicLinks:      5,
+		CrossReciprocalProb:  0.40,
+		NoiseLinks:           2,
+		HubArticles:          48,
+		HubLinkProb:          0.35,
+		HubReciprocalProb:    0.5,
+		HubDomainMemberships: 3,
+	}
+}
+
+// OntologyConfig is an alternative KB profile: a taxonomy-like knowledge
+// base (DBpedia/WordNet flavour) rather than an encyclopedia — every
+// topic has a subtopic layer, there are no facet categories, and
+// hyperlinking is sparser and less reciprocal. The paper's conclusion
+// conjectures that "each KB probably has its own relevant structures";
+// mining motif templates on this profile vs the Wikipedia-like default
+// makes that concrete (see experiments.CrossKBMining).
+func OntologyConfig() Config {
+	c := DefaultConfig()
+	c.Seed = 2
+	c.FacetsPerDomain = 1
+	c.MaxFacetsPerArticle = 0
+	c.SubtopicFraction = 1.0
+	c.IntraTopicLinks = 5
+	c.IntraReciprocalProb = 0.35
+	c.CrossTopicLinks = 3
+	c.CrossReciprocalProb = 0.2
+	c.HubArticles = 12
+	return c
+}
+
+// SmallConfig is a miniature world for unit tests.
+func SmallConfig() Config {
+	c := DefaultConfig()
+	c.Domains = 6
+	c.TopicsPerDomain = 8
+	c.ArticlesPerTopic = 14
+	c.BackgroundTerms = 600
+	c.HubArticles = 16
+	return c
+}
+
+// NumTopics returns the total number of topics the config yields.
+func (c Config) NumTopics() int { return c.Domains * c.TopicsPerDomain }
+
+// validate reports configuration errors early with a descriptive message.
+func (c Config) validate() error {
+	switch {
+	case c.Domains <= 0:
+		return cfgErr("Domains", c.Domains)
+	case c.TopicsPerDomain <= 0:
+		return cfgErr("TopicsPerDomain", c.TopicsPerDomain)
+	case c.ArticlesPerTopic < 2:
+		return cfgErr("ArticlesPerTopic", c.ArticlesPerTopic)
+	case c.CoreTermsPerTopic < 2:
+		return cfgErr("CoreTermsPerTopic", c.CoreTermsPerTopic)
+	case c.AliasTermsPerTopic < 1:
+		return cfgErr("AliasTermsPerTopic", c.AliasTermsPerTopic)
+	case c.BackgroundTerms < 10:
+		return cfgErr("BackgroundTerms", c.BackgroundTerms)
+	case c.FacetsPerDomain < 1:
+		return cfgErr("FacetsPerDomain", c.FacetsPerDomain)
+	case c.MaxFacetsPerArticle < 0:
+		return cfgErr("MaxFacetsPerArticle", c.MaxFacetsPerArticle)
+	case c.SubtopicFraction < 0 || c.SubtopicFraction > 1:
+		return cfgErr("SubtopicFraction", c.SubtopicFraction)
+	case c.DomainDirectFraction < 0 || c.DomainDirectFraction > 1:
+		return cfgErr("DomainDirectFraction", c.DomainDirectFraction)
+	case c.IntraReciprocalProb < 0 || c.IntraReciprocalProb > 1:
+		return cfgErr("IntraReciprocalProb", c.IntraReciprocalProb)
+	case c.CrossReciprocalProb < 0 || c.CrossReciprocalProb > 1:
+		return cfgErr("CrossReciprocalProb", c.CrossReciprocalProb)
+	case c.HubArticles < 0:
+		return cfgErr("HubArticles", c.HubArticles)
+	case c.HubLinkProb < 0 || c.HubLinkProb > 1:
+		return cfgErr("HubLinkProb", c.HubLinkProb)
+	case c.HubReciprocalProb < 0 || c.HubReciprocalProb > 1:
+		return cfgErr("HubReciprocalProb", c.HubReciprocalProb)
+	}
+	return nil
+}
+
+func cfgErr(field string, value any) error {
+	return fmt.Errorf("wikigen: invalid config: %s = %v", field, value)
+}

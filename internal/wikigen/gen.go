@@ -1,0 +1,420 @@
+package wikigen
+
+import (
+	"fmt"
+	"math/rand"
+	"strings"
+
+	"repro/internal/kb"
+)
+
+// World is a generated knowledge base plus the topic model behind it. The
+// topic model is what the dataset generator (internal/dataset) uses to
+// produce corpora and queries that are semantically coupled to the KB,
+// mirroring how real Wikipedia vocabulary overlaps real document
+// collections.
+type World struct {
+	Config  Config
+	Graph   *kb.Graph
+	Domains []Domain
+	Topics  []Topic
+
+	// topicOf maps every article node to its topic index.
+	topicOf map[kb.NodeID]int
+	// Background is the shared noise vocabulary used by document
+	// generators.
+	Background []string
+	// Hubs are the generic hub articles (see Config.HubArticles); they
+	// belong to no topic.
+	Hubs []kb.NodeID
+	// corePool is the shared content-word pool topics draw their core
+	// terms from (see Config.CoreTermPool).
+	corePool []string
+}
+
+// Domain is a top-level knowledge area: a domain category plus facet
+// categories and member topics.
+type Domain struct {
+	ID       int
+	Name     string
+	Category kb.NodeID
+	Facets   []kb.NodeID
+	Topics   []int
+}
+
+// Topic is a coherent subject: a set of articles sharing a category and a
+// core vocabulary.
+type Topic struct {
+	ID     int
+	Domain int
+	Name   string
+	// CoreTerms is the topic's document/title vocabulary.
+	CoreTerms []string
+	// AliasTerms is the topic's query-side vocabulary (the words users
+	// type; they rarely occur in documents — vocabulary mismatch).
+	AliasTerms []string
+	// Articles are all article nodes of the topic; Articles[0] is the
+	// topic's canonical entity article.
+	Articles []kb.NodeID
+	// Category is the topic category node.
+	Category kb.NodeID
+	// Subtopic is a child category of Category holding a subset of the
+	// topic's articles, or kb.Invalid when the topic has none.
+	Subtopic kb.NodeID
+}
+
+// Entity returns the topic's canonical entity article — the node an
+// entity linker should resolve the topic's aliases to.
+func (t *Topic) Entity() kb.NodeID { return t.Articles[0] }
+
+// TopicOf returns the topic index of an article node and whether the node
+// is a generated topic article.
+func (w *World) TopicOf(a kb.NodeID) (int, bool) {
+	t, ok := w.topicOf[a]
+	return t, ok
+}
+
+// Generate builds a world from cfg. Identical configs produce identical
+// worlds.
+func Generate(cfg Config) (*World, error) {
+	if err := cfg.validate(); err != nil {
+		return nil, err
+	}
+	rng := rand.New(rand.NewSource(cfg.Seed))
+	vocab := NewVocab(rng)
+
+	w := &World{
+		Config:     cfg,
+		Background: vocab.Words(cfg.BackgroundTerms),
+		topicOf:    make(map[kb.NodeID]int),
+	}
+
+	poolSize := cfg.CoreTermPool
+	if poolSize <= 0 {
+		poolSize = cfg.NumTopics() * cfg.CoreTermsPerTopic * 4 / 10
+	}
+	if poolSize < cfg.CoreTermsPerTopic {
+		poolSize = cfg.CoreTermsPerTopic
+	}
+	w.corePool = vocab.Words(poolSize)
+
+	numTopics := cfg.NumTopics()
+	estArticles := numTopics * cfg.ArticlesPerTopic
+	b := kb.NewBuilder(estArticles + numTopics*2 + cfg.Domains*(cfg.FacetsPerDomain+1))
+
+	// Category layer.
+	if err := w.genCategories(cfg, rng, vocab, b); err != nil {
+		return nil, err
+	}
+	// Topics and their articles.
+	if err := w.genArticles(cfg, rng, vocab, b); err != nil {
+		return nil, err
+	}
+	// Generic hub articles.
+	if err := w.genHubs(cfg, rng, vocab, b); err != nil {
+		return nil, err
+	}
+	// Hyperlinks.
+	if err := w.genLinks(cfg, rng, b); err != nil {
+		return nil, err
+	}
+
+	w.Graph = b.Build()
+	return w, nil
+}
+
+// MustGenerate is Generate but panics on error; convenient in tests and
+// examples where the config is a compile-time constant.
+func MustGenerate(cfg Config) *World {
+	w, err := Generate(cfg)
+	if err != nil {
+		panic(err)
+	}
+	return w
+}
+
+func (w *World) genCategories(cfg Config, rng *rand.Rand, vocab *Vocab, b *kb.Builder) error {
+	for d := 0; d < cfg.Domains; d++ {
+		name := vocab.Word()
+		cat, err := b.AddCategory("Category:" + name)
+		if err != nil {
+			return err
+		}
+		dom := Domain{ID: d, Name: name, Category: cat}
+		for f := 0; f < cfg.FacetsPerDomain; f++ {
+			fc, err := b.AddCategory("Category:" + name + " " + vocab.Word())
+			if err != nil {
+				return err
+			}
+			if err := b.AddContainment(cat, fc); err != nil {
+				return err
+			}
+			dom.Facets = append(dom.Facets, fc)
+		}
+		w.Domains = append(w.Domains, dom)
+	}
+
+	usedNames := make(map[string]struct{})
+	for d := 0; d < cfg.Domains; d++ {
+		for i := 0; i < cfg.TopicsPerDomain; i++ {
+			id := len(w.Topics)
+			t := Topic{
+				ID:         id,
+				Domain:     d,
+				CoreTerms:  w.sampleCoreTerms(cfg, rng),
+				AliasTerms: vocab.Words(cfg.AliasTermsPerTopic),
+				Subtopic:   kb.Invalid,
+			}
+			// The topic (and its entity article) is named by its two
+			// leading core terms; because core terms come from a shared
+			// pool, qualify on collision to keep titles unique.
+			t.Name = t.CoreTerms[0] + " " + t.CoreTerms[1]
+			for {
+				if _, dup := usedNames[t.Name]; !dup {
+					break
+				}
+				t.Name += " " + vocab.Word()
+			}
+			usedNames[t.Name] = struct{}{}
+			cat, err := b.AddCategory("Category:" + t.Name)
+			if err != nil {
+				return err
+			}
+			t.Category = cat
+			if err := b.AddContainment(w.Domains[d].Category, cat); err != nil {
+				return err
+			}
+			if rng.Float64() < cfg.SubtopicFraction {
+				sub, err := b.AddCategory("Category:" + t.Name + " " + vocab.Word())
+				if err != nil {
+					return err
+				}
+				if err := b.AddContainment(cat, sub); err != nil {
+					return err
+				}
+				t.Subtopic = sub
+			}
+			w.Domains[d].Topics = append(w.Domains[d].Topics, id)
+			w.Topics = append(w.Topics, t)
+		}
+	}
+	return nil
+}
+
+func (w *World) genArticles(cfg Config, rng *rand.Rand, vocab *Vocab, b *kb.Builder) error {
+	usedTitles := make(map[string]struct{})
+	for ti := range w.Topics {
+		t := &w.Topics[ti]
+		dom := &w.Domains[t.Domain]
+		// Actual article count varies ±30% around the mean.
+		n := cfg.ArticlesPerTopic
+		jitter := int(float64(n) * 0.3)
+		if jitter > 0 {
+			n += rng.Intn(2*jitter+1) - jitter
+		}
+		if n < 2 {
+			n = 2
+		}
+		for i := 0; i < n; i++ {
+			title := w.articleTitle(t, i, rng, vocab, usedTitles)
+			a, err := b.AddArticle(title)
+			if err != nil {
+				return err
+			}
+			t.Articles = append(t.Articles, a)
+			w.topicOf[a] = ti
+
+			// Category memberships. Every article carries its topic
+			// category; the entity article gets exactly one facet so
+			// the triangular motif's superset condition has a realistic
+			// (small, non-zero) match rate.
+			if err := b.AddMembership(a, t.Category); err != nil {
+				return err
+			}
+			var facets int
+			if i == 0 {
+				facets = 1
+			} else {
+				facets = rng.Intn(cfg.MaxFacetsPerArticle + 1)
+			}
+			for _, f := range pickDistinct(rng, len(dom.Facets), facets) {
+				if err := b.AddMembership(a, dom.Facets[f]); err != nil {
+					return err
+				}
+			}
+			if t.Subtopic != kb.Invalid && i > 0 && rng.Float64() < 1.0/3 {
+				if err := b.AddMembership(a, t.Subtopic); err != nil {
+					return err
+				}
+			}
+			if rng.Float64() < cfg.DomainDirectFraction {
+				if err := b.AddMembership(a, dom.Category); err != nil {
+					return err
+				}
+			}
+		}
+	}
+	return nil
+}
+
+// articleTitle builds a unique title over the topic's core vocabulary:
+// the entity article is named by the topic's two leading core terms, the
+// rest sample 1–3 core terms, qualified with a fresh word on collision.
+func (w *World) articleTitle(t *Topic, i int, rng *rand.Rand, vocab *Vocab, used map[string]struct{}) string {
+	var title string
+	if i == 0 {
+		title = t.Name
+	} else {
+		k := 1 + rng.Intn(3)
+		idx := pickDistinct(rng, len(t.CoreTerms), k)
+		parts := make([]string, k)
+		for j, ix := range idx {
+			parts[j] = t.CoreTerms[ix]
+		}
+		title = strings.Join(parts, " ")
+	}
+	for {
+		if _, dup := used[title]; !dup {
+			break
+		}
+		title += " " + vocab.Word()
+	}
+	used[title] = struct{}{}
+	return title
+}
+
+// genHubs creates the generic hub articles: named from the background
+// vocabulary (their titles are everyday phrases, not topic terminology)
+// and members of several domain categories, which is what lets them
+// square-match query nodes of many topics.
+func (w *World) genHubs(cfg Config, rng *rand.Rand, vocab *Vocab, b *kb.Builder) error {
+	for i := 0; i < cfg.HubArticles; i++ {
+		title := vocab.Word() + " " + vocab.Word()
+		a, err := b.AddArticle(title)
+		if err != nil {
+			return err
+		}
+		w.Hubs = append(w.Hubs, a)
+		k := cfg.HubDomainMemberships
+		if k < 1 {
+			k = 1
+		}
+		for _, d := range pickDistinct(rng, len(w.Domains), k) {
+			if err := b.AddMembership(a, w.Domains[d].Category); err != nil {
+				return err
+			}
+		}
+	}
+	return nil
+}
+
+func (w *World) genLinks(cfg Config, rng *rand.Rand, b *kb.Builder) error {
+	allArticles := make([]kb.NodeID, 0, len(w.topicOf))
+	for ti := range w.Topics {
+		allArticles = append(allArticles, w.Topics[ti].Articles...)
+	}
+	addLink := func(from, to kb.NodeID, reciprocalProb float64) error {
+		if from == to {
+			return nil
+		}
+		if err := b.AddLink(from, to); err != nil {
+			return err
+		}
+		if rng.Float64() < reciprocalProb {
+			if err := b.AddLink(to, from); err != nil {
+				return err
+			}
+		}
+		return nil
+	}
+	for ti := range w.Topics {
+		t := &w.Topics[ti]
+		dom := &w.Domains[t.Domain]
+		for ai, a := range t.Articles {
+			// Intra-topic links: dense, often reciprocal. The entity
+			// article is a hub: every article links to it and it links
+			// back to a share of them, matching Wikipedia's main-article
+			// centrality.
+			if a != t.Entity() {
+				if err := addLink(a, t.Entity(), cfg.IntraReciprocalProb); err != nil {
+					return err
+				}
+			}
+			for k := 0; k < cfg.IntraTopicLinks; k++ {
+				to := t.Articles[rng.Intn(len(t.Articles))]
+				if err := addLink(a, to, cfg.IntraReciprocalProb); err != nil {
+					return err
+				}
+			}
+			// Cross-topic (same domain) links: sparser, less reciprocal.
+			for k := 0; k < cfg.CrossTopicLinks; k++ {
+				other := &w.Topics[dom.Topics[rng.Intn(len(dom.Topics))]]
+				if other.ID == t.ID {
+					continue
+				}
+				to := other.Articles[rng.Intn(len(other.Articles))]
+				if err := addLink(a, to, cfg.CrossReciprocalProb); err != nil {
+					return err
+				}
+			}
+			// Noise links: anywhere, never deliberately reciprocated.
+			for k := 0; k < cfg.NoiseLinks; k++ {
+				to := allArticles[rng.Intn(len(allArticles))]
+				if err := addLink(a, to, 0); err != nil {
+					return err
+				}
+			}
+			// Hub links: everything points at the generic hubs, and the
+			// hubs (being list-like overview articles) often link back —
+			// especially to a topic's head articles, which overview
+			// pages enumerate.
+			if len(w.Hubs) > 0 {
+				if rng.Float64() < cfg.HubLinkProb {
+					hub := w.Hubs[rng.Intn(len(w.Hubs))]
+					if err := addLink(a, hub, cfg.HubReciprocalProb); err != nil {
+						return err
+					}
+				}
+				if ai < 2 {
+					for k := 0; k < 2; k++ {
+						hub := w.Hubs[rng.Intn(len(w.Hubs))]
+						if err := addLink(a, hub, 0.8); err != nil {
+							return err
+						}
+					}
+				}
+			}
+		}
+	}
+	return nil
+}
+
+// sampleCoreTerms draws a topic's core vocabulary: distinct words from
+// the shared pool.
+func (w *World) sampleCoreTerms(cfg Config, rng *rand.Rand) []string {
+	idx := pickDistinct(rng, len(w.corePool), cfg.CoreTermsPerTopic)
+	out := make([]string, len(idx))
+	for i, ix := range idx {
+		out[i] = w.corePool[ix]
+	}
+	return out
+}
+
+// pickDistinct returns k distinct indices from [0,n) in random order.
+// When k >= n it returns all n indices.
+func pickDistinct(rng *rand.Rand, n, k int) []int {
+	if k >= n {
+		k = n
+	}
+	if k <= 0 {
+		return nil
+	}
+	perm := rng.Perm(n)
+	return perm[:k]
+}
+
+// Describe returns a short human-readable summary of the world.
+func (w *World) Describe() string {
+	st := kb.ComputeStats(w.Graph)
+	return fmt.Sprintf("world: %d domains, %d topics; %s", len(w.Domains), len(w.Topics), st)
+}

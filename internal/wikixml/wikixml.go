@@ -1,0 +1,328 @@
+// Package wikixml imports MediaWiki XML exports (the format of the
+// Wikipedia dumps the paper uses, e.g. enwiki-20120702-pages-articles)
+// into the KB graph substrate. The reproduction's experiments run on the
+// synthetic world, but this importer is the adoption path for running
+// SQE against a real dump: articles and categories become graph nodes,
+// wikitext [[links]] become hyperlinks, [[Category:…]] tags become
+// membership (from articles) and containment (from category pages), and
+// redirects are resolved transitively.
+//
+// The parser streams the XML (a full English dump does not fit in
+// memory as a DOM) but buffers one pass of page records so that links to
+// pages defined later in the dump resolve; red links (targets that never
+// appear) are dropped, matching how the paper's graph counts only
+// existing entries.
+//
+// As a by-product the importer collects anchor-text statistics
+// (surface → target counts), which is exactly the commonness dictionary
+// a Dexter-style entity linker needs (internal/entitylink).
+package wikixml
+
+import (
+	"encoding/xml"
+	"fmt"
+	"io"
+	"strings"
+	"unicode"
+	"unicode/utf8"
+
+	"repro/internal/kb"
+)
+
+// Options controls the import.
+type Options struct {
+	// MaxPages stops after this many pages (0 = no limit); useful for
+	// sampling a huge dump.
+	MaxPages int
+	// MaxRedirectDepth bounds transitive redirect resolution (default 5).
+	MaxRedirectDepth int
+}
+
+func (o Options) withDefaults() Options {
+	if o.MaxRedirectDepth <= 0 {
+		o.MaxRedirectDepth = 5
+	}
+	return o
+}
+
+// Stats reports what the import saw.
+type Stats struct {
+	PagesRead      int
+	Articles       int
+	Categories     int
+	Redirects      int
+	SkippedNS      int
+	LinksResolved  int
+	LinksRed       int
+	AnchorSurfaces int
+}
+
+// Result is the imported graph plus the anchor dictionary.
+type Result struct {
+	Graph *kb.Graph
+	Stats Stats
+	// Anchors maps normalised anchor text to the canonical page titles
+	// it linked to, with counts — the raw material for a commonness
+	// dictionary.
+	Anchors map[string]map[string]int
+}
+
+// xmlPage mirrors the subset of the MediaWiki export schema we read.
+type xmlPage struct {
+	Title    string `xml:"title"`
+	NS       int    `xml:"ns"`
+	Redirect *struct {
+		Title string `xml:"title,attr"`
+	} `xml:"redirect"`
+	Revision struct {
+		Text string `xml:"text"`
+	} `xml:"revision"`
+}
+
+// pageRecord is the buffered form of one page.
+type pageRecord struct {
+	title    string
+	category bool
+	links    []wikiLink
+}
+
+type wikiLink struct {
+	target string // canonical title (with "Category:" prefix when applicable)
+	anchor string
+	isCat  bool
+}
+
+const categoryPrefix = "Category:"
+
+// Parse imports a MediaWiki XML export.
+func Parse(r io.Reader, opts Options) (*Result, error) {
+	opts = opts.withDefaults()
+	dec := xml.NewDecoder(r)
+
+	var pages []pageRecord
+	redirects := map[string]string{}
+	stats := Stats{}
+
+	for {
+		tok, err := dec.Token()
+		if err == io.EOF {
+			break
+		}
+		if err != nil {
+			return nil, fmt.Errorf("wikixml: %w", err)
+		}
+		se, ok := tok.(xml.StartElement)
+		if !ok || se.Name.Local != "page" {
+			continue
+		}
+		var p xmlPage
+		if err := dec.DecodeElement(&p, &se); err != nil {
+			return nil, fmt.Errorf("wikixml: decoding page: %w", err)
+		}
+		stats.PagesRead++
+		if opts.MaxPages > 0 && stats.PagesRead > opts.MaxPages {
+			break
+		}
+		title, isCat, keep := canonicalTitle(p.Title, p.NS)
+		if !keep {
+			stats.SkippedNS++
+			continue
+		}
+		if p.Redirect != nil {
+			target, tCat, tKeep := canonicalTitle(p.Redirect.Title, nsOf(p.Redirect.Title))
+			if tKeep && isCat == tCat {
+				redirects[title] = target
+				stats.Redirects++
+			}
+			continue
+		}
+		rec := pageRecord{title: title, category: isCat}
+		rec.links = extractLinks(p.Revision.Text)
+		pages = append(pages, rec)
+	}
+
+	resolve := func(title string) string {
+		for depth := 0; depth < opts.MaxRedirectDepth; depth++ {
+			target, ok := redirects[title]
+			if !ok {
+				return title
+			}
+			title = target
+		}
+		return title
+	}
+
+	// First pass: nodes.
+	b := kb.NewBuilder(len(pages))
+	nodes := make(map[string]kb.NodeID, len(pages))
+	for _, rec := range pages {
+		var id kb.NodeID
+		var err error
+		if rec.category {
+			id, err = b.AddCategory(rec.title)
+		} else {
+			id, err = b.AddArticle(rec.title)
+		}
+		if err != nil {
+			return nil, fmt.Errorf("wikixml: page %q: %w", rec.title, err)
+		}
+		nodes[rec.title] = id
+	}
+
+	// Second pass: edges + anchors.
+	res := &Result{Anchors: map[string]map[string]int{}}
+	for _, rec := range pages {
+		from := nodes[rec.title]
+		for _, l := range rec.links {
+			target := resolve(l.target)
+			to, exists := nodes[target]
+			if !exists {
+				stats.LinksRed++
+				continue
+			}
+			var err error
+			switch {
+			case l.isCat && !rec.category:
+				err = b.AddMembership(from, to)
+			case l.isCat && rec.category:
+				// A [[Category:X]] tag on a category page means X
+				// contains this category.
+				err = b.AddContainment(to, from)
+			case !l.isCat && !rec.category && from != to:
+				err = b.AddLink(from, to)
+			default:
+				continue // category body links to articles carry no motif semantics here
+			}
+			if err != nil {
+				// Kind conflicts (an article linking a category title in
+				// text) are data noise in real dumps; count as red.
+				stats.LinksRed++
+				continue
+			}
+			stats.LinksResolved++
+			if !l.isCat && l.anchor != "" {
+				key := strings.ToLower(l.anchor)
+				m, ok := res.Anchors[key]
+				if !ok {
+					m = map[string]int{}
+					res.Anchors[key] = m
+				}
+				m[target]++
+			}
+		}
+	}
+
+	res.Graph = b.Build()
+	stats.Articles = res.Graph.NumArticles()
+	stats.Categories = res.Graph.NumCategories()
+	stats.AnchorSurfaces = len(res.Anchors)
+	res.Stats = stats
+	return res, nil
+}
+
+// nsOf guesses a namespace from a title prefix (redirect targets carry
+// no <ns> element).
+func nsOf(title string) int {
+	if strings.HasPrefix(title, categoryPrefix) {
+		return 14
+	}
+	return 0
+}
+
+// canonicalTitle normalises a page title: first rune upper-cased
+// (MediaWiki semantics), underscores to spaces. Returns keep=false for
+// namespaces other than articles (0) and categories (14).
+func canonicalTitle(title string, ns int) (canonical string, isCat, keep bool) {
+	title = strings.TrimSpace(strings.ReplaceAll(title, "_", " "))
+	switch ns {
+	case 0:
+		if title == "" {
+			return "", false, false
+		}
+		return upperFirst(title), false, true
+	case 14:
+		name := strings.TrimPrefix(title, categoryPrefix)
+		name = strings.TrimSpace(name)
+		if name == "" {
+			return "", false, false
+		}
+		return categoryPrefix + upperFirst(name), true, true
+	default:
+		return "", false, false
+	}
+}
+
+func upperFirst(s string) string {
+	r, size := utf8.DecodeRuneInString(s)
+	if r == utf8.RuneError {
+		return s
+	}
+	u := unicode.ToUpper(r)
+	if u == r {
+		return s
+	}
+	return string(u) + s[size:]
+}
+
+// extractLinks pulls [[target]] and [[target|anchor]] links out of
+// wikitext, classifying category tags. Pipes inside file/image links and
+// nested brackets are skipped conservatively.
+func extractLinks(text string) []wikiLink {
+	var out []wikiLink
+	for i := 0; i < len(text); {
+		open := strings.Index(text[i:], "[[")
+		if open < 0 {
+			break
+		}
+		open += i
+		closing := strings.Index(text[open:], "]]")
+		if closing < 0 {
+			break
+		}
+		closing += open
+		inner := text[open+2 : closing]
+		i = closing + 2
+		if strings.Contains(inner, "[[") {
+			continue // nested / malformed
+		}
+		target := inner
+		anchor := ""
+		if p := strings.IndexByte(inner, '|'); p >= 0 {
+			target = inner[:p]
+			anchor = inner[p+1:]
+		}
+		// Drop section anchors.
+		if h := strings.IndexByte(target, '#'); h >= 0 {
+			target = target[:h]
+		}
+		target = strings.TrimSpace(target)
+		if target == "" {
+			continue
+		}
+		// Namespace classification. A leading colon ("[[:Category:X]]")
+		// is a link *about* the category, not a tag.
+		escaped := strings.HasPrefix(target, ":")
+		target = strings.TrimPrefix(target, ":")
+		lower := strings.ToLower(target)
+		switch {
+		case strings.HasPrefix(lower, "category:"):
+			name := strings.TrimSpace(target[len("category:"):])
+			if name == "" {
+				continue
+			}
+			out = append(out, wikiLink{
+				target: categoryPrefix + upperFirst(name),
+				isCat:  !escaped,
+			})
+		case strings.ContainsRune(target, ':'):
+			// Other namespaces (File:, Template:, interwiki): skip.
+			continue
+		default:
+			if anchor == "" {
+				anchor = target
+			}
+			out = append(out, wikiLink{target: upperFirst(target), anchor: strings.TrimSpace(anchor)})
+		}
+	}
+	return out
+}

@@ -1,0 +1,238 @@
+package wikixml
+
+import (
+	"strings"
+	"testing"
+
+	"repro/internal/kb"
+)
+
+const sampleDump = `<?xml version="1.0"?>
+<mediawiki>
+  <page>
+    <title>Cable car</title>
+    <ns>0</ns>
+    <revision><text>A [[funicular]] is similar. See [[Tram|trams]] and [[San Francisco]].
+[[Category:Cable railways]] [[File:Photo.jpg|thumb]] [[:Category:Cable railways|the category]]</text></revision>
+  </page>
+  <page>
+    <title>Funicular</title>
+    <ns>0</ns>
+    <revision><text>Linked back to the [[cable car]]. [[Category:Cable railways]]</text></revision>
+  </page>
+  <page>
+    <title>Tram</title>
+    <ns>0</ns>
+    <revision><text>Rails in streets. [[Category:Rail transport]]</text></revision>
+  </page>
+  <page>
+    <title>San Francisco</title>
+    <ns>0</ns>
+    <revision><text>Famous for [[Cable car|cable cars]]. See [[Golden Gate#History]].</text></revision>
+  </page>
+  <page>
+    <title>Trolley</title>
+    <ns>0</ns>
+    <redirect title="Tram"/>
+    <revision><text>#REDIRECT [[Tram]]</text></revision>
+  </page>
+  <page>
+    <title>Category:Cable railways</title>
+    <ns>14</ns>
+    <revision><text>[[Category:Rail transport]]</text></revision>
+  </page>
+  <page>
+    <title>Category:Rail transport</title>
+    <ns>14</ns>
+    <revision><text></text></revision>
+  </page>
+  <page>
+    <title>Template:Infobox</title>
+    <ns>10</ns>
+    <revision><text>skip me</text></revision>
+  </page>
+  <page>
+    <title>Streetcar</title>
+    <ns>0</ns>
+    <revision><text>Also called a [[trolley]].</text></revision>
+  </page>
+</mediawiki>`
+
+func parseSample(t *testing.T) *Result {
+	t.Helper()
+	res, err := Parse(strings.NewReader(sampleDump), Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return res
+}
+
+func TestParseNodes(t *testing.T) {
+	res := parseSample(t)
+	g := res.Graph
+	if g.NumArticles() != 5 { // Cable car, Funicular, Tram, San Francisco, Streetcar
+		t.Errorf("articles = %d", g.NumArticles())
+	}
+	if g.NumCategories() != 2 {
+		t.Errorf("categories = %d", g.NumCategories())
+	}
+	if res.Stats.SkippedNS != 1 {
+		t.Errorf("skipped = %d, want the Template page", res.Stats.SkippedNS)
+	}
+	if res.Stats.Redirects != 1 {
+		t.Errorf("redirects = %d", res.Stats.Redirects)
+	}
+}
+
+func TestParseLinksAndReciprocity(t *testing.T) {
+	res := parseSample(t)
+	g := res.Graph
+	cable := g.ByTitle("Cable car")
+	funi := g.ByTitle("Funicular")
+	if cable == kb.Invalid || funi == kb.Invalid {
+		t.Fatal("articles missing")
+	}
+	// "cable car" in Funicular's text upper-cases to the canonical title.
+	if !g.Reciprocal(cable, funi) {
+		t.Error("Cable car ↔ Funicular should be reciprocal")
+	}
+	sf := g.ByTitle("San Francisco")
+	if !g.Reciprocal(cable, sf) {
+		t.Error("Cable car ↔ San Francisco should be reciprocal (piped + plain)")
+	}
+}
+
+func TestParseCategories(t *testing.T) {
+	res := parseSample(t)
+	g := res.Graph
+	cableCat := g.ByTitle("Category:Cable railways")
+	railCat := g.ByTitle("Category:Rail transport")
+	if cableCat == kb.Invalid || railCat == kb.Invalid {
+		t.Fatal("categories missing")
+	}
+	if !g.InCategory(g.ByTitle("Cable car"), cableCat) {
+		t.Error("Cable car should be in Category:Cable railways")
+	}
+	if !g.IsParentCategory(railCat, cableCat) {
+		t.Error("Rail transport should contain Cable railways")
+	}
+	// The escaped [[:Category:…]] link must NOT create a membership for
+	// a second time or confuse the kind system; Cable car has exactly
+	// one category.
+	if cats := g.Categories(g.ByTitle("Cable car")); len(cats) != 1 {
+		t.Errorf("Cable car categories = %d, want 1", len(cats))
+	}
+}
+
+func TestRedirectResolution(t *testing.T) {
+	res := parseSample(t)
+	g := res.Graph
+	street := g.ByTitle("Streetcar")
+	tram := g.ByTitle("Tram")
+	// [[trolley]] redirects to Tram.
+	if !g.HasLink(street, tram) {
+		t.Error("redirect-mediated link Streetcar→Tram missing")
+	}
+	if g.ByTitle("Trolley") != kb.Invalid {
+		t.Error("redirect page must not become a node")
+	}
+}
+
+func TestAnchors(t *testing.T) {
+	res := parseSample(t)
+	// [[Tram|trams]] and [[trolley]] (→ Tram) both contribute anchors.
+	if res.Anchors["trams"]["Tram"] != 1 {
+		t.Errorf("anchor 'trams' = %v", res.Anchors["trams"])
+	}
+	if res.Anchors["trolley"]["Tram"] != 1 {
+		t.Errorf("anchor 'trolley' = %v", res.Anchors["trolley"])
+	}
+	// Plain links use the target as anchor.
+	if res.Anchors["funicular"]["Funicular"] != 1 {
+		t.Errorf("anchor 'funicular' = %v", res.Anchors["funicular"])
+	}
+	if res.Stats.AnchorSurfaces == 0 {
+		t.Error("no anchor surfaces")
+	}
+}
+
+func TestFileAndSectionLinksSkipped(t *testing.T) {
+	res := parseSample(t)
+	g := res.Graph
+	if g.ByTitle("File:Photo.jpg") != kb.Invalid {
+		t.Error("file link created a node")
+	}
+	// [[Golden Gate#History]] is a red link (no Golden Gate page);
+	// counted, not created.
+	if g.ByTitle("Golden Gate") != kb.Invalid {
+		t.Error("red link created a node")
+	}
+	if res.Stats.LinksRed == 0 {
+		t.Error("red links should be counted")
+	}
+}
+
+func TestMaxPages(t *testing.T) {
+	res, err := Parse(strings.NewReader(sampleDump), Options{MaxPages: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Stats.PagesRead != 3 { // stops after reading the 3rd
+		t.Errorf("PagesRead = %d", res.Stats.PagesRead)
+	}
+	if res.Graph.NumArticles() > 2 {
+		t.Errorf("articles = %d, want ≤ 2", res.Graph.NumArticles())
+	}
+}
+
+func TestParseMalformedXML(t *testing.T) {
+	if _, err := Parse(strings.NewReader("<mediawiki><page><title>X</title"), Options{}); err == nil {
+		t.Error("malformed XML should error")
+	}
+}
+
+func TestExtractLinksTable(t *testing.T) {
+	links := extractLinks("[[A]] [[b|Bee]] [[Category:Cats]] [[:Category:Cats]] [[File:x.png]] [[C#sec|see]] [[]] [[nested [[x]]]]")
+	var targets []string
+	for _, l := range links {
+		targets = append(targets, l.target)
+	}
+	want := map[string]bool{"A": true, "B": true, "Category:Cats": true, "C": true}
+	for _, tgt := range targets {
+		if !want[tgt] {
+			t.Errorf("unexpected target %q", tgt)
+		}
+	}
+	// Category appears twice: once as tag, once escaped.
+	catTags := 0
+	for _, l := range links {
+		if l.target == "Category:Cats" && l.isCat {
+			catTags++
+		}
+	}
+	if catTags != 1 {
+		t.Errorf("category tags = %d, want 1 (escaped link is not a tag)", catTags)
+	}
+}
+
+func TestCanonicalTitle(t *testing.T) {
+	for _, tc := range []struct {
+		in    string
+		ns    int
+		want  string
+		isCat bool
+		keep  bool
+	}{
+		{"cable car", 0, "Cable car", false, true},
+		{"Cable_car", 0, "Cable car", false, true},
+		{"Category:cable railways", 14, "Category:Cable railways", true, true},
+		{"Template:X", 10, "", false, false},
+		{"", 0, "", false, false},
+	} {
+		got, isCat, keep := canonicalTitle(tc.in, tc.ns)
+		if got != tc.want || isCat != tc.isCat || keep != tc.keep {
+			t.Errorf("canonicalTitle(%q,%d) = (%q,%v,%v), want (%q,%v,%v)",
+				tc.in, tc.ns, got, isCat, keep, tc.want, tc.isCat, tc.keep)
+		}
+	}
+}

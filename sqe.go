@@ -1,0 +1,286 @@
+// Package sqe is the public API of this reproduction of "Structural
+// Query Expansion via motifs from Wikipedia" (Guisado-Gámez, Prat-Pérez,
+// Larriba-Pey; ExploreDB'17). It exposes the complete pipeline:
+//
+//	KB graph  ──►  motif search  ──►  expanded query  ──►  retrieval
+//
+// The heavy lifting lives in the internal packages (see DESIGN.md for
+// the system inventory); this package re-exports the types a downstream
+// user needs and wires them into an Engine with the paper's defaults:
+// triangular + square motifs, |m_a|-weighted expansion features, a
+// Dirichlet-smoothed query-likelihood retrieval model and the SQE_C
+// result combination.
+//
+// Quickstart:
+//
+//	env := sqe.GenerateDemo(sqe.DemoSmall)   // synthetic Wikipedia + corpus
+//	eng := env.Engine
+//	res := eng.Search("cable cars", []string{"cable car"}, 10)
+//	for _, r := range res {
+//		fmt.Println(r.Name, r.Score)
+//	}
+package sqe
+
+import (
+	"fmt"
+
+	"repro/internal/analysis"
+	"repro/internal/core"
+	"repro/internal/entitylink"
+	"repro/internal/index"
+	"repro/internal/kb"
+	"repro/internal/motif"
+	"repro/internal/prf"
+	"repro/internal/search"
+)
+
+// Re-exported substrate types. The KB graph and the inverted index are
+// constructed with their own builders (GraphBuilder, IndexBuilder below)
+// or by the demo generator.
+type (
+	// Graph is the knowledge-base graph (articles, categories, links).
+	Graph = kb.Graph
+	// NodeID identifies a node in a Graph.
+	NodeID = kb.NodeID
+	// Index is the positional inverted index of a document collection.
+	Index = index.Index
+	// Result is one ranked document.
+	Result = search.Result
+	// MotifSet selects which structural motifs drive the expansion.
+	MotifSet = motif.Set
+	// GraphBuilder constructs immutable Graphs.
+	GraphBuilder = kb.Builder
+	// PRFConfig parameterises pseudo-relevance feedback.
+	PRFConfig = prf.Config
+	// RetrievalModel selects the scoring function (Dirichlet QL, JM,
+	// BM25).
+	RetrievalModel = search.Model
+	// ModelParams holds the retrieval models' parameters.
+	ModelParams = search.ModelParams
+)
+
+// Retrieval models.
+const (
+	// ModelDirichlet is the paper's Dirichlet-smoothed query likelihood.
+	ModelDirichlet = search.ModelDirichlet
+	// ModelJelinekMercer is JM-smoothed query likelihood.
+	ModelJelinekMercer = search.ModelJelinekMercer
+	// ModelBM25 is Okapi BM25.
+	ModelBM25 = search.ModelBM25
+)
+
+// Motif configurations, named after the paper's runs.
+const (
+	// MotifT uses the triangular motif only (best for small tops).
+	MotifT = motif.SetT
+	// MotifS uses the square motif only (best for large tops).
+	MotifS = motif.SetS
+	// MotifTS combines both motifs (best in between).
+	MotifTS = motif.SetTS
+)
+
+// NewGraphBuilder returns a builder for a KB graph, with a capacity hint
+// for the expected number of nodes.
+func NewGraphBuilder(nodeHint int) *GraphBuilder { return kb.NewBuilder(nodeHint) }
+
+// NewIndexBuilder returns a builder for the document index using the
+// standard analyzer (stopwords + Porter stemming) — the same pipeline
+// queries go through.
+func NewIndexBuilder() *index.Builder { return index.NewBuilder(analysis.Standard()) }
+
+// Feature is one expansion feature of an expanded query.
+type Feature struct {
+	// Article is the expansion node.
+	Article NodeID
+	// Title is the article's title; it enters the query as an exact
+	// phrase.
+	Title string
+	// Weight is |m_a|, the number of motif instances the article
+	// appeared in.
+	Weight float64
+}
+
+// Expansion is the result of running SQE's query-graph builder.
+type Expansion struct {
+	// QueryNodes are the resolved query entities.
+	QueryNodes []NodeID
+	// QueryNodeTitles are their titles.
+	QueryNodeTitles []string
+	// Features are the expansion features, sorted by descending weight.
+	Features []Feature
+}
+
+// Engine bundles a KB graph and a document index into the full SQE
+// retrieval pipeline.
+type Engine struct {
+	graph    *Graph
+	searcher *search.Searcher
+	expander *core.Expander
+	linker   *entitylink.Linker
+}
+
+// NewEngine builds an Engine over a KB graph and a document index.
+func NewEngine(g *Graph, ix *Index) *Engine {
+	return &Engine{
+		graph:    g,
+		searcher: search.NewSearcher(ix),
+		expander: core.NewExpander(g, ix.Analyzer()),
+	}
+}
+
+// Graph returns the engine's KB graph.
+func (e *Engine) Graph() *Graph { return e.graph }
+
+// Index returns the engine's document index.
+func (e *Engine) Index() *Index { return e.searcher.Index() }
+
+// SetLinker installs an entity-linking dictionary so that Search and
+// Expand can resolve entities from free text when no explicit entity
+// titles are given.
+func (e *Engine) SetLinker(dict *entitylink.Dictionary) {
+	e.linker = entitylink.NewLinker(dict)
+}
+
+// SetDirichletMu overrides the retrieval model's smoothing parameter μ
+// (default 2500).
+func (e *Engine) SetDirichletMu(mu float64) { e.searcher.Mu = mu }
+
+// SetRetrievalModel switches the scoring function. The paper's model is
+// ModelDirichlet (the default); ModelJelinekMercer and ModelBM25 are
+// provided for comparison studies — SQE's expansions are model-agnostic.
+func (e *Engine) SetRetrievalModel(m RetrievalModel, params ModelParams) {
+	e.searcher.Model = m
+	e.searcher.Params = params
+}
+
+// ParseQuery parses an Indri-like structured query (#weight/#combine/
+// #1/#uwN/quotes) with the engine's analyzer and retrieves the top k.
+func (e *Engine) ParseQuery(query string, k int) ([]Result, error) {
+	node, err := search.Parse(e.searcher.Index().Analyzer(), query)
+	if err != nil {
+		return nil, err
+	}
+	return e.searcher.Search(node, k), nil
+}
+
+// resolveEntities maps entity titles to query nodes; unknown titles are
+// reported, not silently dropped. With no titles and a configured
+// linker, entities are linked automatically from the query text.
+func (e *Engine) resolveEntities(query string, entityTitles []string) ([]NodeID, error) {
+	if len(entityTitles) == 0 {
+		if e.linker == nil {
+			return nil, nil
+		}
+		return e.linker.LinkArticles(query), nil
+	}
+	nodes := make([]NodeID, 0, len(entityTitles))
+	for _, t := range entityTitles {
+		id := e.graph.ByTitle(t)
+		if id == kb.Invalid {
+			return nil, fmt.Errorf("sqe: unknown entity title %q", t)
+		}
+		if e.graph.Kind(id) != kb.KindArticle {
+			return nil, fmt.Errorf("sqe: entity %q is a category, not an article", t)
+		}
+		nodes = append(nodes, id)
+	}
+	return nodes, nil
+}
+
+// Expand runs the query-graph builder from the given entities (titles
+// resolved against the graph; empty means "link automatically") and
+// returns the expansion features.
+func (e *Engine) Expand(query string, entityTitles []string, set MotifSet) (*Expansion, error) {
+	nodes, err := e.resolveEntities(query, entityTitles)
+	if err != nil {
+		return nil, err
+	}
+	qg := e.expander.BuildQueryGraph(nodes, set)
+	exp := &Expansion{QueryNodes: qg.QueryNodes}
+	for _, n := range qg.QueryNodes {
+		exp.QueryNodeTitles = append(exp.QueryNodeTitles, e.graph.Title(n))
+	}
+	for _, f := range qg.Features {
+		exp.Features = append(exp.Features, Feature{
+			Article: f.Article,
+			Title:   e.graph.Title(f.Article),
+			Weight:  f.Weight,
+		})
+	}
+	return exp, nil
+}
+
+// SearchSet runs the full SQE pipeline with one motif configuration:
+// expansion, three-part query construction, retrieval.
+func (e *Engine) SearchSet(set MotifSet, query string, entityTitles []string, k int) ([]Result, error) {
+	nodes, err := e.resolveEntities(query, entityTitles)
+	if err != nil {
+		return nil, err
+	}
+	qg := e.expander.BuildQueryGraph(nodes, set)
+	return e.searcher.Search(e.expander.BuildQuery(query, qg), k), nil
+}
+
+// Search runs the paper's SQE_C configuration: the first five results
+// come from the triangular-motif expansion, results through rank 200
+// from the combined expansion, and the remainder from the square-motif
+// expansion.
+func (e *Engine) Search(query string, entityTitles []string, k int) ([]Result, error) {
+	runT, err := e.SearchSet(MotifT, query, entityTitles, k)
+	if err != nil {
+		return nil, err
+	}
+	runTS, err := e.SearchSet(MotifTS, query, entityTitles, k)
+	if err != nil {
+		return nil, err
+	}
+	runS, err := e.SearchSet(MotifS, query, entityTitles, k)
+	if err != nil {
+		return nil, err
+	}
+	names := core.SpliceC(k, core.ResultNames(runT), core.ResultNames(runTS), core.ResultNames(runS))
+	byName := make(map[string]Result, len(runT)+len(runTS)+len(runS))
+	for _, rs := range [][]Result{runT, runTS, runS} {
+		for _, r := range rs {
+			if _, ok := byName[r.Name]; !ok {
+				byName[r.Name] = r
+			}
+		}
+	}
+	out := make([]Result, 0, len(names))
+	for _, n := range names {
+		out = append(out, byName[n])
+	}
+	return out, nil
+}
+
+// BaselineSearch runs the plain query-likelihood baseline (QL_Q): the
+// user's query with no expansion.
+func (e *Engine) BaselineSearch(query string, k int) []Result {
+	return e.searcher.Search(e.expander.QLQuery(query), k)
+}
+
+// SearchPRF applies pseudo-relevance feedback (Lavrenko relevance model)
+// on top of the SQE expansion for one motif set — the paper's
+// orthogonality experiment (Section 4.3).
+func (e *Engine) SearchPRF(set MotifSet, query string, entityTitles []string, cfg PRFConfig, k int) ([]Result, error) {
+	nodes, err := e.resolveEntities(query, entityTitles)
+	if err != nil {
+		return nil, err
+	}
+	qg := e.expander.BuildQueryGraph(nodes, set)
+	node := prf.Reformulate(e.searcher, e.expander.BuildQuery(query, qg), cfg)
+	return e.searcher.Search(node, k), nil
+}
+
+// BaselineSearchPRF applies pseudo-relevance feedback to the plain
+// user query with no expansion — the paper's PRF_Q configuration, whose
+// collapse on vocabulary-mismatched collections Section 4.3 demonstrates.
+func (e *Engine) BaselineSearchPRF(query string, cfg PRFConfig, k int) []Result {
+	node := prf.Reformulate(e.searcher, e.expander.QLQuery(query), cfg)
+	return e.searcher.Search(node, k)
+}
+
+// Expander exposes the underlying expander for advanced configuration
+// (part weights, feature caps, motif-condition ablations).
+func (e *Engine) Expander() *core.Expander { return e.expander }

@@ -1,0 +1,264 @@
+package sqe
+
+import (
+	"strings"
+	"sync"
+	"testing"
+)
+
+var (
+	envOnce sync.Once
+	env     *DemoEnv
+	envErr  error
+)
+
+func demo(t *testing.T) *DemoEnv {
+	t.Helper()
+	envOnce.Do(func() { env, envErr = GenerateDemo(DemoSmall) })
+	if envErr != nil {
+		t.Fatal(envErr)
+	}
+	return env
+}
+
+func TestGenerateDemo(t *testing.T) {
+	e := demo(t)
+	if e.Engine == nil || len(e.Queries) == 0 {
+		t.Fatal("demo environment incomplete")
+	}
+	if e.DatasetName == "" {
+		t.Error("dataset name missing")
+	}
+	for _, q := range e.Queries {
+		if q.ID == "" || q.Text == "" {
+			t.Fatalf("query incomplete: %+v", q)
+		}
+		if len(q.EntityTitles) == 0 {
+			t.Fatalf("%s: no entity titles", q.ID)
+		}
+	}
+}
+
+func TestExpandReturnsFeatures(t *testing.T) {
+	e := demo(t)
+	withFeatures := 0
+	for _, q := range e.Queries {
+		exp, err := e.Engine.Expand(q.Text, q.EntityTitles, MotifTS)
+		if err != nil {
+			t.Fatalf("%s: %v", q.ID, err)
+		}
+		if len(exp.QueryNodes) != len(q.EntityTitles) {
+			t.Fatalf("%s: query nodes %d != entities %d", q.ID, len(exp.QueryNodes), len(q.EntityTitles))
+		}
+		if len(exp.Features) > 0 {
+			withFeatures++
+			for i := 1; i < len(exp.Features); i++ {
+				if exp.Features[i-1].Weight < exp.Features[i].Weight {
+					t.Fatalf("%s: features not sorted", q.ID)
+				}
+			}
+			for _, f := range exp.Features {
+				if f.Title == "" {
+					t.Fatalf("%s: feature without title", q.ID)
+				}
+			}
+		}
+	}
+	if withFeatures < len(e.Queries)/2 {
+		t.Errorf("only %d/%d queries expanded", withFeatures, len(e.Queries))
+	}
+}
+
+func TestSearchImprovesOverBaseline(t *testing.T) {
+	e := demo(t)
+	var base, sqe float64
+	for _, q := range e.Queries {
+		b := e.Engine.BaselineSearch(q.Text, 10)
+		s, err := e.Engine.Search(q.Text, q.EntityTitles, 10)
+		if err != nil {
+			t.Fatal(err)
+		}
+		base += PrecisionAt(b, q.Relevant, 10)
+		sqe += PrecisionAt(s, q.Relevant, 10)
+	}
+	if sqe <= base {
+		t.Errorf("SQE P@10 sum %.2f not above baseline %.2f", sqe, base)
+	}
+}
+
+func TestSearchSetConfigurations(t *testing.T) {
+	e := demo(t)
+	q := e.Queries[0]
+	for _, set := range []MotifSet{MotifT, MotifS, MotifTS} {
+		res, err := e.Engine.SearchSet(set, q.Text, q.EntityTitles, 20)
+		if err != nil {
+			t.Fatalf("set %v: %v", set, err)
+		}
+		if len(res) == 0 {
+			t.Fatalf("set %v returned nothing", set)
+		}
+		for i := 1; i < len(res); i++ {
+			if res[i-1].Score < res[i].Score {
+				t.Fatalf("set %v: results not sorted", set)
+			}
+		}
+	}
+}
+
+func TestSearchSplicesWithoutDuplicates(t *testing.T) {
+	e := demo(t)
+	q := e.Queries[0]
+	res, err := e.Engine.Search(q.Text, q.EntityTitles, 300)
+	if err != nil {
+		t.Fatal(err)
+	}
+	seen := map[string]bool{}
+	for _, r := range res {
+		if seen[r.Name] {
+			t.Fatalf("duplicate %s in spliced results", r.Name)
+		}
+		seen[r.Name] = true
+	}
+}
+
+func TestAutomaticEntityLinking(t *testing.T) {
+	e := demo(t)
+	linked := 0
+	for _, q := range e.Queries {
+		exp, err := e.Engine.Expand(q.Text, nil, MotifTS) // nil titles → linker
+		if err != nil {
+			t.Fatal(err)
+		}
+		if len(exp.QueryNodes) > 0 {
+			linked++
+		}
+	}
+	if linked < len(e.Queries)/2 {
+		t.Errorf("linker resolved only %d/%d queries", linked, len(e.Queries))
+	}
+}
+
+func TestUnknownEntityTitle(t *testing.T) {
+	e := demo(t)
+	if _, err := e.Engine.Expand("x", []string{"No Such Article"}, MotifT); err == nil {
+		t.Error("unknown entity title should error")
+	}
+	if _, err := e.Engine.Search("x", []string{"No Such Article"}, 5); err == nil {
+		t.Error("unknown entity title should error in Search")
+	}
+}
+
+func TestCategoryAsEntityRejected(t *testing.T) {
+	e := demo(t)
+	g := e.Engine.Graph()
+	var catTitle string
+	g.CategoriesAll(func(id NodeID) bool {
+		catTitle = g.Title(id)
+		return false
+	})
+	if catTitle == "" {
+		t.Fatal("no categories in demo graph")
+	}
+	if _, err := e.Engine.Expand("x", []string{catTitle}, MotifT); err == nil ||
+		!strings.Contains(err.Error(), "category") {
+		t.Errorf("category entity should be rejected, got %v", err)
+	}
+}
+
+func TestSearchPRF(t *testing.T) {
+	e := demo(t)
+	q := e.Queries[0]
+	res, err := e.Engine.SearchPRF(MotifTS, q.Text, q.EntityTitles, PRFConfig{FbDocs: 5, FbTerms: 10, OrigWeight: 0.5}, 10)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res) == 0 {
+		t.Error("PRF search returned nothing")
+	}
+}
+
+func TestPrecisionAtHelper(t *testing.T) {
+	rel := map[string]bool{"a": true}
+	res := []Result{{Name: "a"}, {Name: "b"}}
+	if got := PrecisionAt(res, rel, 2); got != 0.5 {
+		t.Errorf("PrecisionAt = %f", got)
+	}
+	if got := PrecisionAt(res, rel, 0); got != 0 {
+		t.Errorf("PrecisionAt k=0 = %f", got)
+	}
+	if got := PrecisionAt(nil, rel, 5); got != 0 {
+		t.Errorf("PrecisionAt empty = %f", got)
+	}
+}
+
+func TestSetDirichletMu(t *testing.T) {
+	e := demo(t)
+	q := e.Queries[0]
+	before := e.Engine.BaselineSearch(q.Text, 5)
+	e.Engine.SetDirichletMu(10)
+	after := e.Engine.BaselineSearch(q.Text, 5)
+	e.Engine.SetDirichletMu(0) // restore default
+	if len(before) == 0 || len(after) == 0 {
+		t.Fatal("searches returned nothing")
+	}
+	if before[0].Score == after[0].Score {
+		t.Error("changing μ should change scores")
+	}
+}
+
+func TestNewEntityDictionary(t *testing.T) {
+	// Fresh environment: this test swaps the engine's linker, which must
+	// not leak into the shared demo env other tests use.
+	e := MustGenerateDemo(DemoSmall)
+	d := NewEntityDictionary(e.Engine)
+	var title string
+	g := e.Engine.Graph()
+	g.Articles(func(id NodeID) bool { title = g.Title(id); return false })
+	d.AddTitle(title, g.ByTitle(title), 1)
+	e.Engine.SetLinker(d)
+	exp, err := e.Engine.Expand(title, nil, MotifTS)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(exp.QueryNodes) != 1 {
+		t.Errorf("custom dictionary failed to link %q", title)
+	}
+}
+
+func TestSetRetrievalModel(t *testing.T) {
+	e := MustGenerateDemo(DemoSmall)
+	q := e.Queries[0]
+	dirichlet := e.Engine.BaselineSearch(q.Text, 5)
+	e.Engine.SetRetrievalModel(ModelBM25, ModelParams{})
+	bm25 := e.Engine.BaselineSearch(q.Text, 5)
+	if len(dirichlet) == 0 || len(bm25) == 0 {
+		t.Fatal("searches returned nothing")
+	}
+	if dirichlet[0].Score == bm25[0].Score {
+		t.Error("model switch had no effect on scores")
+	}
+	// SQE still works under BM25.
+	res, err := e.Engine.Search(q.Text, q.EntityTitles, 10)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res) == 0 {
+		t.Error("SQE under BM25 returned nothing")
+	}
+}
+
+func TestParseQuery(t *testing.T) {
+	e := demo(t)
+	q := e.Queries[0]
+	words := strings.Fields(q.Text)
+	res, err := e.Engine.ParseQuery("#weight(2 "+words[0]+" 1 "+words[1]+")", 5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res) == 0 {
+		t.Error("parsed query retrieved nothing")
+	}
+	if _, err := e.Engine.ParseQuery("#weight(", 5); err == nil {
+		t.Error("bad query should error")
+	}
+}

@@ -1,0 +1,62 @@
+package sqe
+
+import (
+	"io"
+
+	"repro/internal/analysis"
+	"repro/internal/entitylink"
+	"repro/internal/kb"
+	"repro/internal/wikixml"
+)
+
+// WikiImportOptions re-exports the MediaWiki importer's options.
+type WikiImportOptions = wikixml.Options
+
+// WikiImport is the result of importing a MediaWiki XML export: the KB
+// graph, import statistics, and an entity-linking dictionary built from
+// the dump's own anchor text (anchor → target counts give Dexter-style
+// commonness).
+type WikiImport struct {
+	Graph *Graph
+	Stats wikixml.Stats
+	// Dictionary is ready for Engine.SetLinker.
+	Dictionary *entitylink.Dictionary
+}
+
+// ImportWikiXML reads a MediaWiki XML export (e.g. a Wikipedia
+// pages-articles dump, or a sample of one via MaxPages) and prepares
+// everything SQE needs from it. Index your document collection with
+// NewIndexBuilder, then:
+//
+//	imp, _ := sqe.ImportWikiXML(f, sqe.WikiImportOptions{})
+//	eng := sqe.NewEngine(imp.Graph, ix)
+//	eng.SetLinker(imp.Dictionary)
+func ImportWikiXML(r io.Reader, opts WikiImportOptions) (*WikiImport, error) {
+	res, err := wikixml.Parse(r, opts)
+	if err != nil {
+		return nil, err
+	}
+	imp := &WikiImport{Graph: res.Graph, Stats: res.Stats}
+	imp.Dictionary = entitylink.NewDictionary(analysis.Standard())
+
+	// Titles always link to their own article.
+	res.Graph.Articles(func(a kb.NodeID) bool {
+		imp.Dictionary.AddTitle(res.Graph.Title(a), a, 1)
+		return true
+	})
+	// Anchor text with per-target commonness = count / total.
+	for surface, targets := range res.Anchors {
+		total := 0
+		for _, c := range targets {
+			total += c
+		}
+		for title, c := range targets {
+			id := res.Graph.ByTitle(title)
+			if id == kb.Invalid {
+				continue
+			}
+			imp.Dictionary.AddSurface(surface, id, float64(c)/float64(total))
+		}
+	}
+	return imp, nil
+}
