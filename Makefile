@@ -1,0 +1,24 @@
+GO ?= go
+
+.PHONY: build test race vet bench verify
+
+build:
+	$(GO) build ./...
+
+vet:
+	$(GO) vet ./...
+
+test:
+	$(GO) test ./...
+
+# Race-checks the packages with concurrency (parallel expansion) and the
+# retrieval hot path.
+race:
+	$(GO) test -race ./internal/core/... ./internal/search/...
+
+bench:
+	$(GO) test -run NONE -bench 'SearchExpandedTopK' -benchmem .
+
+# The full gate run before every commit.
+verify: vet build race test
+	@echo "verify: OK"

@@ -247,6 +247,35 @@ func BenchmarkSearchBaseline(b *testing.B) {
 	}
 }
 
+// benchSearchTopK measures top-k (k=10) retrieval alone on the fully
+// expanded SQE_T&S queries — the many-phrase-feature workload the
+// document-at-a-time evaluator targets — under either evaluator.
+// Compare the DAAT and Legacy variants with -benchmem: DAAT must show
+// fewer allocations and lower ns/op at identical rankings.
+func benchSearchTopK(b *testing.B, legacy bool) {
+	s := suite(b)
+	r := s.NewRunner(s.ImageCLEF)
+	r.Searcher.UseLegacyScorer = legacy
+	queries := s.ImageCLEF.Queries
+	nodes := make([]search.Node, len(queries))
+	for qi := range queries {
+		q := &queries[qi]
+		qg := r.Expander.BuildQueryGraph(r.Entities(q, true), motif.SetTS)
+		nodes[qi] = r.Expander.BuildQuery(q.Text, qg)
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		_ = r.Searcher.Search(nodes[i%len(nodes)], 10)
+	}
+}
+
+// BenchmarkSearchExpandedTopKDAAT is the document-at-a-time evaluator.
+func BenchmarkSearchExpandedTopKDAAT(b *testing.B) { benchSearchTopK(b, false) }
+
+// BenchmarkSearchExpandedTopKLegacy is the retained map-and-sort oracle.
+func BenchmarkSearchExpandedTopKLegacy(b *testing.B) { benchSearchTopK(b, true) }
+
 // BenchmarkSearchExpanded measures one full SQE_T&S retrieval including
 // expansion and query construction.
 func BenchmarkSearchExpanded(b *testing.B) {

@@ -3,7 +3,7 @@
 //
 // Usage:
 //
-//	sqe-bench [-scale small|default] [-exp all|fig2|tab1|fig5|tab2|fig6|tab3|tab4]
+//	sqe-bench [-scale small|default] [-exp all|fig2|tab1|fig5|tab2|fig6|tab3|tab4|stages]
 package main
 
 import (
@@ -22,7 +22,7 @@ func main() {
 	log.SetFlags(0)
 	log.SetPrefix("sqe-bench: ")
 	scaleFlag := flag.String("scale", "default", "environment scale: small|default")
-	expFlag := flag.String("exp", "all", "experiment: all or substring list of fig2,tab1,fig5,tab2,fig6,tab3,tab4,ablation,mining,summary")
+	expFlag := flag.String("exp", "all", "experiment: all or substring list of fig2,tab1,fig5,tab2,fig6,tab3,tab4,stages,ablation,mining,summary")
 	trecFlag := flag.String("trec", "", "directory to export TREC qrels/run files into")
 	flag.Parse()
 
@@ -86,6 +86,13 @@ func main() {
 	}
 	if want("tab4") {
 		fmt.Println(experiments.Table4(suite))
+	}
+	if want("stages") {
+		// Per-stage cost attribution of the SQE_C workload (see README
+		// "Reading the stage timings").
+		for _, inst := range suite.Instances() {
+			fmt.Println(experiments.StageProfile(suite, inst))
+		}
 	}
 	if want("models") {
 		fmt.Println(experiments.ModelComparison(suite, suite.ImageCLEF))

@@ -14,6 +14,7 @@
 //	<free text>       search with automatic entity linking
 //	q:<query-id>      run a benchmark query (shows R/. relevance marks)
 //	queries           list the benchmark queries
+//	stats             toggle per-stage timings after each search
 //	quit              exit
 package main
 
@@ -47,6 +48,7 @@ func main() {
 	fmt.Printf("ready: %s, %d benchmark queries. Type 'queries' to list them, 'quit' to exit.\n",
 		env.DatasetName, len(env.Queries))
 
+	showStats := false
 	sc := bufio.NewScanner(os.Stdin)
 	for {
 		fmt.Print("sqe> ")
@@ -59,14 +61,17 @@ func main() {
 			continue
 		case line == "quit" || line == "exit":
 			return
+		case line == "stats":
+			showStats = !showStats
+			fmt.Printf("stage timings %s\n", map[bool]string{true: "on", false: "off"}[showStats])
 		case line == "queries":
 			for _, q := range env.Queries {
 				fmt.Printf("  %s  %q  entities=%v  (%d relevant)\n", q.ID, q.Text, q.EntityTitles, len(q.Relevant))
 			}
 		case strings.HasPrefix(line, "q:"):
-			runBenchmark(env, strings.TrimPrefix(line, "q:"), *topFlag)
+			runBenchmark(env, strings.TrimPrefix(line, "q:"), *topFlag, showStats)
 		default:
-			runFreeText(env, line, *topFlag)
+			runFreeText(env, line, *topFlag, showStats)
 		}
 	}
 	if err := sc.Err(); err != nil {
@@ -74,7 +79,7 @@ func main() {
 	}
 }
 
-func runFreeText(env *sqe.DemoEnv, text string, top int) {
+func runFreeText(env *sqe.DemoEnv, text string, top int, showStats bool) {
 	exp, err := env.Engine.Expand(text, nil, sqe.MotifTS)
 	if err != nil {
 		fmt.Println("expand:", err)
@@ -90,7 +95,11 @@ func runFreeText(env *sqe.DemoEnv, text string, top int) {
 		fmt.Printf(" %q(%.0f)", f.Title, f.Weight)
 	}
 	fmt.Println()
-	res, err := env.Engine.Search(text, nil, top)
+	var ps *sqe.PipelineStats
+	if showStats {
+		ps = &sqe.PipelineStats{}
+	}
+	res, err := env.Engine.SearchWithStats(text, nil, top, ps)
 	if err != nil {
 		fmt.Println("search:", err)
 		return
@@ -98,9 +107,12 @@ func runFreeText(env *sqe.DemoEnv, text string, top int) {
 	for i, r := range res {
 		fmt.Printf("  %2d. %-12s %.4f\n", i+1, r.Name, r.Score)
 	}
+	if ps != nil {
+		fmt.Println(ps)
+	}
 }
 
-func runBenchmark(env *sqe.DemoEnv, id string, top int) {
+func runBenchmark(env *sqe.DemoEnv, id string, top int, showStats bool) {
 	var q *sqe.DemoQuery
 	for i := range env.Queries {
 		if env.Queries[i].ID == id {
@@ -114,7 +126,11 @@ func runBenchmark(env *sqe.DemoEnv, id string, top int) {
 	}
 	fmt.Printf("%s: %q entities=%v\n", q.ID, q.Text, q.EntityTitles)
 	base := env.Engine.BaselineSearch(q.Text, top)
-	res, err := env.Engine.Search(q.Text, q.EntityTitles, top)
+	var ps *sqe.PipelineStats
+	if showStats {
+		ps = &sqe.PipelineStats{}
+	}
+	res, err := env.Engine.SearchWithStats(q.Text, q.EntityTitles, top, ps)
 	if err != nil {
 		fmt.Println("search:", err)
 		return
@@ -132,4 +148,7 @@ func runBenchmark(env *sqe.DemoEnv, id string, top int) {
 	}
 	show("QL_Q", base)
 	show("SQE_C", res)
+	if ps != nil {
+		fmt.Println(ps)
+	}
 }

@@ -1,7 +1,9 @@
 package core
 
 import (
+	"fmt"
 	"runtime"
+	"runtime/debug"
 	"sync"
 
 	"repro/internal/kb"
@@ -15,6 +17,12 @@ import (
 // over a worker pool with no locking. workers <= 0 uses GOMAXPROCS.
 //
 // Results are positionally aligned with queryNodeSets.
+//
+// A panic inside one worker does not kill the process with an unrelated
+// goroutine stack: the worker recovers, records which query was being
+// expanded, keeps draining the job channel (so the feeder never blocks
+// on a dead worker), and the panic is rethrown on the calling goroutine
+// with the query index and the original stack attached.
 func (e *Expander) BuildQueryGraphs(queryNodeSets [][]kb.NodeID, set motif.Set, workers int) []QueryGraph {
 	if workers <= 0 {
 		workers = runtime.GOMAXPROCS(0)
@@ -27,13 +35,26 @@ func (e *Expander) BuildQueryGraphs(queryNodeSets [][]kb.NodeID, set motif.Set, 
 		return out
 	}
 	var wg sync.WaitGroup
+	var panicMu sync.Mutex
+	var firstPanic *workerPanic
 	jobs := make(chan int)
 	for w := 0; w < workers; w++ {
 		wg.Add(1)
 		go func() {
 			defer wg.Done()
 			for i := range jobs {
-				out[i] = e.BuildQueryGraph(queryNodeSets[i], set)
+				func() {
+					defer func() {
+						if r := recover(); r != nil {
+							panicMu.Lock()
+							if firstPanic == nil {
+								firstPanic = &workerPanic{query: i, value: r, stack: debug.Stack()}
+							}
+							panicMu.Unlock()
+						}
+					}()
+					out[i] = e.BuildQueryGraph(queryNodeSets[i], set)
+				}()
 			}
 		}()
 	}
@@ -42,5 +63,18 @@ func (e *Expander) BuildQueryGraphs(queryNodeSets [][]kb.NodeID, set motif.Set, 
 	}
 	close(jobs)
 	wg.Wait()
+	if firstPanic != nil {
+		panic(fmt.Sprintf("core: BuildQueryGraphs: query %d panicked: %v\n%s",
+			firstPanic.query, firstPanic.value, firstPanic.stack))
+	}
 	return out
+}
+
+// workerPanic records the first panic observed by any worker so it can
+// be rethrown, with context, on the goroutine that called
+// BuildQueryGraphs.
+type workerPanic struct {
+	query int
+	value any
+	stack []byte
 }

@@ -2,6 +2,7 @@ package core
 
 import (
 	"reflect"
+	"strings"
 	"testing"
 
 	"repro/internal/kb"
@@ -35,4 +36,32 @@ func TestBuildQueryGraphsEmpty(t *testing.T) {
 	if got := e.BuildQueryGraphs(nil, motif.SetT, 4); len(got) != 0 {
 		t.Errorf("empty input should return empty output, got %v", got)
 	}
+}
+
+// TestBuildQueryGraphsPanicCarriesQueryIndex poisons one query of a
+// parallel batch with a node ID far outside the graph and asserts the
+// resulting panic surfaces on the calling goroutine, names the offending
+// query, and does not deadlock the worker pool.
+func TestBuildQueryGraphsPanicCarriesQueryIndex(t *testing.T) {
+	e, ids := expander(t)
+	sets := [][]kb.NodeID{
+		{ids["Query Article"]},
+		{ids["First Expansion"]},
+		{kb.NodeID(1 << 30)}, // poisoned: out of range, panics in BuildQueryGraph
+		{ids["Query Article"]},
+	}
+	defer func() {
+		r := recover()
+		if r == nil {
+			t.Fatal("expected a panic from the poisoned query set")
+		}
+		msg, ok := r.(string)
+		if !ok {
+			t.Fatalf("panic value %T, want string with context", r)
+		}
+		if !strings.Contains(msg, "query 2") {
+			t.Errorf("panic message does not name the offending query: %q", msg)
+		}
+	}()
+	e.BuildQueryGraphs(sets, motif.SetTS, 2)
 }

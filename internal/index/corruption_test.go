@@ -3,6 +3,7 @@ package index
 import (
 	"bytes"
 	"math/rand"
+	"runtime"
 	"testing"
 
 	"repro/internal/analysis"
@@ -50,5 +51,71 @@ func TestIndexDecodeCorruptionRobust(t *testing.T) {
 			_ = got.PostingsFor("cabl")
 			_ = got.PhrasePostings([]string{"cabl", "car"})
 		}()
+	}
+}
+
+// hostileHeader builds a file that begins like a valid index and then
+// lies with the given uvarint values.
+func hostileHeader(uvarints ...uint64) []byte {
+	data := append([]byte(nil), indexMagic...)
+	data = append(data, 0) // analyzer flags
+	var buf [10]byte
+	for _, v := range uvarints {
+		n := putUvarint(buf[:], v)
+		data = append(data, buf[:n]...)
+	}
+	return data
+}
+
+func putUvarint(buf []byte, x uint64) int {
+	i := 0
+	for x >= 0x80 {
+		buf[i] = byte(x) | 0x80
+		x >>= 7
+		i++
+	}
+	buf[i] = byte(x)
+	return i + 1
+}
+
+// TestDecodeHostileLengthPrefixes feeds the decoder truncated files whose
+// length prefixes claim astronomically more data than the input holds.
+// The decoder must fail with an error — quickly, and without performing
+// allocations proportional to the claimed (multi-GB) sizes.
+func TestDecodeHostileLengthPrefixes(t *testing.T) {
+	cases := map[string][]byte{
+		// 2^30 documents claimed, zero documents present: the naive
+		// decoder allocated ~24 GB of doc-name/doc-len backing first.
+		"huge doc count": hostileHeader(1 << 30),
+		// One real doc, then a term section claiming 2^30 terms.
+		"huge term count": append(hostileHeader(1, 1, 'x', 3), func() []byte {
+			var buf [10]byte
+			n := putUvarint(buf[:], 1<<30)
+			return buf[:n]
+		}()...),
+		// Doc section OK, one term whose single posting claims the
+		// maximum legal frequency (2^24 positions) and then truncates.
+		"huge freq": append(hostileHeader(1, 1, 'x', 3), func() []byte {
+			var out []byte
+			var buf [10]byte
+			for _, v := range []uint64{1, 1, 'y', 1, 0, 1 << 24} {
+				n := putUvarint(buf[:], v)
+				out = append(out, buf[:n]...)
+			}
+			return out
+		}()...),
+	}
+	for name, data := range cases {
+		var before, after runtime.MemStats
+		runtime.GC()
+		runtime.ReadMemStats(&before)
+		got, err := Decode(bytes.NewReader(data))
+		runtime.ReadMemStats(&after)
+		if err == nil {
+			t.Errorf("%s: decoded %v, want error", name, got)
+		}
+		if alloc := after.TotalAlloc - before.TotalAlloc; alloc > 32<<20 {
+			t.Errorf("%s: decoder allocated %d bytes on a %d-byte input", name, alloc, len(data))
+		}
 	}
 }

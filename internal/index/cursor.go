@@ -1,0 +1,51 @@
+package index
+
+// Cursor walks one postings list in document order — the abstraction the
+// document-at-a-time evaluator in internal/search merges over (its hot
+// loop inlines the same position/current-doc state into flat slices, so
+// Cursor is the reference form plus the API for external consumers). A
+// cursor on an empty (or nil) postings list starts exhausted.
+type Cursor struct {
+	p *Postings
+	i int
+}
+
+// NewCursor returns a cursor positioned on the first posting of p.
+// p may be nil (an OOV leaf); the cursor is then exhausted immediately.
+func NewCursor(p *Postings) Cursor {
+	if p == nil {
+		return Cursor{}
+	}
+	return Cursor{p: p}
+}
+
+// Valid reports whether the cursor is positioned on a posting.
+func (c *Cursor) Valid() bool { return c.p != nil && c.i < len(c.p.Docs) }
+
+// Doc returns the current document. Only meaningful while Valid.
+func (c *Cursor) Doc() DocID { return c.p.Docs[c.i] }
+
+// Freq returns the term frequency at the current document.
+func (c *Cursor) Freq() int32 { return c.p.Freqs[c.i] }
+
+// Next advances to the following posting.
+func (c *Cursor) Next() { c.i++ }
+
+// Seek advances the cursor until Doc() >= target (galloping search); it
+// never moves backwards. Returns true when the cursor lands exactly on
+// target.
+func (c *Cursor) Seek(target DocID) bool {
+	if !c.Valid() {
+		return false
+	}
+	c.i = Advance(c.p.Docs, c.i, target)
+	return c.i < len(c.p.Docs) && c.p.Docs[c.i] == target
+}
+
+// Advance moves cursor forward in docs (sorted ascending) until
+// docs[cursor] >= target, using galloping search to stay near O(log gap).
+// It is the exported form of the intersection primitive shared by the
+// phrase, window and DAAT evaluators.
+func Advance(docs []DocID, cursor int, target DocID) int {
+	return advance(docs, cursor, target)
+}

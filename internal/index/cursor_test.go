@@ -1,0 +1,74 @@
+package index
+
+import "testing"
+
+func TestCursorWalk(t *testing.T) {
+	p := &Postings{Docs: []DocID{1, 4, 7, 9}, Freqs: []int32{2, 1, 3, 5}}
+	c := NewCursor(p)
+	var docs []DocID
+	var freqs []int32
+	for c.Valid() {
+		docs = append(docs, c.Doc())
+		freqs = append(freqs, c.Freq())
+		c.Next()
+	}
+	if len(docs) != 4 || docs[0] != 1 || docs[3] != 9 || freqs[2] != 3 {
+		t.Fatalf("walked docs=%v freqs=%v", docs, freqs)
+	}
+	if c.Valid() {
+		t.Error("cursor still valid after walking off the end")
+	}
+}
+
+func TestCursorSeek(t *testing.T) {
+	p := &Postings{Docs: []DocID{1, 4, 7, 9}, Freqs: []int32{2, 1, 3, 5}}
+	c := NewCursor(p)
+	if !c.Seek(4) || c.Doc() != 4 {
+		t.Fatalf("Seek(4): valid=%v doc=%v", c.Valid(), c.Doc())
+	}
+	// Seek to a missing doc lands on the next larger one.
+	if c.Seek(5) {
+		t.Error("Seek(5) claimed an exact hit")
+	}
+	if !c.Valid() || c.Doc() != 7 {
+		t.Fatalf("after Seek(5): valid=%v doc=%v", c.Valid(), c.Doc())
+	}
+	// Seek never moves backwards.
+	if c.Seek(1) {
+		t.Error("Seek(1) claimed an exact hit after passing doc 1")
+	}
+	if c.Doc() != 7 {
+		t.Errorf("Seek moved backwards to %v", c.Doc())
+	}
+	if c.Seek(100) {
+		t.Error("Seek past the end claimed a hit")
+	}
+	if c.Valid() {
+		t.Error("cursor valid after seeking past the end")
+	}
+}
+
+func TestCursorEmptyAndNil(t *testing.T) {
+	for name, c := range map[string]Cursor{
+		"nil postings":   NewCursor(nil),
+		"empty postings": NewCursor(&Postings{}),
+		"zero value":     {},
+	} {
+		if c.Valid() {
+			t.Errorf("%s: cursor should start exhausted", name)
+		}
+		if c.Seek(3) {
+			t.Errorf("%s: Seek on exhausted cursor claimed a hit", name)
+		}
+	}
+}
+
+func TestAdvanceExported(t *testing.T) {
+	docs := []DocID{1, 3, 5, 8, 13, 21}
+	if got := Advance(docs, 0, 8); got != 3 {
+		t.Errorf("Advance(…, 0, 8) = %d, want 3", got)
+	}
+	if got := Advance(docs, 2, 22); got != len(docs) {
+		t.Errorf("Advance past end = %d, want %d", got, len(docs))
+	}
+}

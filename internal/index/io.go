@@ -23,6 +23,21 @@ import (
 
 var indexMagic = []byte("SQEIX\x01")
 
+// maxPrealloc bounds any allocation driven by a length prefix read from
+// untrusted input. Slices are allocated with at most this capacity and
+// grown by append as elements actually decode, so a truncated or corrupt
+// file claiming billions of entries fails on EOF after a ~64K-element
+// allocation instead of triggering a multi-GB make up front.
+const maxPrealloc = 1 << 16
+
+// prealloc converts a claimed element count into a safe initial capacity.
+func prealloc(n uint64) int {
+	if n > maxPrealloc {
+		return maxPrealloc
+	}
+	return int(n)
+}
+
 // Encode writes the index in the binary format.
 func Encode(w io.Writer, ix *Index) error {
 	bw := bufio.NewWriter(w)
@@ -144,8 +159,8 @@ func Decode(r io.Reader) (*Index, error) {
 	if numDocs > maxDocs {
 		return nil, fmt.Errorf("index: doc count %d exceeds limit", numDocs)
 	}
-	ix.docNames = make([]string, numDocs)
-	ix.docLens = make([]int32, numDocs)
+	ix.docNames = make([]string, 0, prealloc(numDocs))
+	ix.docLens = make([]int32, 0, prealloc(numDocs))
 	for d := uint64(0); d < numDocs; d++ {
 		name, err := readString("doc name", 1<<16)
 		if err != nil {
@@ -155,8 +170,8 @@ func Decode(r io.Reader) (*Index, error) {
 		if err != nil {
 			return nil, fmt.Errorf("index: reading doc %d length: %w", d, err)
 		}
-		ix.docNames[d] = name
-		ix.docLens[d] = int32(dl)
+		ix.docNames = append(ix.docNames, name)
+		ix.docLens = append(ix.docLens, int32(dl))
 		ix.totalToks += int64(dl)
 	}
 	numTerms, err := binary.ReadUvarint(br)
@@ -166,8 +181,8 @@ func Decode(r io.Reader) (*Index, error) {
 	if numTerms > maxDocs {
 		return nil, fmt.Errorf("index: term count %d exceeds limit", numTerms)
 	}
-	ix.termText = make([]string, numTerms)
-	ix.postings = make([]Postings, numTerms)
+	ix.termText = make([]string, 0, prealloc(numTerms))
+	ix.postings = make([]Postings, 0, prealloc(numTerms))
 	for t := uint64(0); t < numTerms; t++ {
 		text, err := readString("term", 1<<16)
 		if err != nil {
@@ -176,7 +191,7 @@ func Decode(r io.Reader) (*Index, error) {
 		if _, dup := ix.terms[text]; dup {
 			return nil, fmt.Errorf("index: duplicate term %q", text)
 		}
-		ix.termText[t] = text
+		ix.termText = append(ix.termText, text)
 		ix.terms[text] = int32(t)
 		np, err := binary.ReadUvarint(br)
 		if err != nil {
@@ -185,10 +200,10 @@ func Decode(r io.Reader) (*Index, error) {
 		if np > numDocs {
 			return nil, fmt.Errorf("index: term %q has %d postings for %d docs", text, np, numDocs)
 		}
-		p := &ix.postings[t]
-		p.Docs = make([]DocID, np)
-		p.Freqs = make([]int32, np)
-		p.Positions = make([][]int32, np)
+		var p Postings
+		p.Docs = make([]DocID, 0, prealloc(np))
+		p.Freqs = make([]int32, 0, prealloc(np))
+		p.Positions = make([][]int32, 0, prealloc(np))
 		prevDoc := DocID(0)
 		for i := uint64(0); i < np; i++ {
 			dd, err := binary.ReadUvarint(br)
@@ -210,9 +225,9 @@ func Decode(r io.Reader) (*Index, error) {
 			if freq == 0 || freq > 1<<24 {
 				return nil, fmt.Errorf("index: term %q has invalid freq %d", text, freq)
 			}
-			p.Docs[i] = doc
-			p.Freqs[i] = int32(freq)
-			pos := make([]int32, freq)
+			p.Docs = append(p.Docs, doc)
+			p.Freqs = append(p.Freqs, int32(freq))
+			pos := make([]int32, 0, prealloc(freq))
 			prevPos := int32(0)
 			for j := uint64(0); j < freq; j++ {
 				pd, err := binary.ReadUvarint(br)
@@ -224,10 +239,11 @@ func Decode(r io.Reader) (*Index, error) {
 					pp = prevPos + int32(pd)
 				}
 				prevPos = pp
-				pos[j] = pp
+				pos = append(pos, pp)
 			}
-			p.Positions[i] = pos
+			p.Positions = append(p.Positions, pos)
 		}
+		ix.postings = append(ix.postings, p)
 	}
 	return ix, nil
 }

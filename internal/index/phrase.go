@@ -10,7 +10,12 @@ package index
 // function.
 //
 // Phrases with out-of-vocabulary constituents have empty postings.
-// A single-constituent "phrase" returns that term's postings.
+// A single-constituent "phrase" returns a copy of that term's postings.
+//
+// The returned Postings is always owned by the caller: multi-constituent
+// results are materialised fresh, and the single-constituent case is
+// deep-copied rather than aliased, so mutating the result can never
+// corrupt the index's live postings.
 func (ix *Index) PhrasePostings(terms []string) Postings {
 	if len(terms) == 0 {
 		return Postings{}
@@ -23,7 +28,7 @@ func (ix *Index) PhrasePostings(terms []string) Postings {
 		}
 	}
 	if len(lists) == 1 {
-		return *lists[0]
+		return clonePostings(lists[0])
 	}
 	// Intersect document lists, driving from the rarest constituent.
 	rarest := 0
@@ -56,6 +61,20 @@ func (ix *Index) PhrasePostings(terms []string) Postings {
 		out.Docs = append(out.Docs, doc)
 		out.Freqs = append(out.Freqs, int32(len(positions)))
 		out.Positions = append(out.Positions, positions)
+	}
+	return out
+}
+
+// clonePostings deep-copies p; the caller owns every slice of the
+// result, including the per-document position lists.
+func clonePostings(p *Postings) Postings {
+	out := Postings{
+		Docs:      append([]DocID(nil), p.Docs...),
+		Freqs:     append([]int32(nil), p.Freqs...),
+		Positions: make([][]int32, len(p.Positions)),
+	}
+	for i, pos := range p.Positions {
+		out.Positions[i] = append([]int32(nil), pos...)
 	}
 	return out
 }

@@ -1,0 +1,44 @@
+package index
+
+import (
+	"testing"
+
+	"repro/internal/analysis"
+)
+
+// TestSingleConstituentPostingsDoNotAliasIndex is the regression test
+// for PhrasePostings (and UnorderedWindowPostings) returning the index's
+// live postings struct for single-constituent inputs: mutating the
+// returned value must never corrupt subsequent retrievals.
+func TestSingleConstituentPostingsDoNotAliasIndex(t *testing.T) {
+	build := func() *Index {
+		b := NewBuilder(analysis.Analyzer{})
+		b.Add("d0", "alpha beta alpha")
+		b.Add("d1", "alpha gamma")
+		return b.Build()
+	}
+	cases := map[string]func(ix *Index) Postings{
+		"phrase": func(ix *Index) Postings { return ix.PhrasePostings([]string{"alpha"}) },
+		"window": func(ix *Index) Postings { return ix.UnorderedWindowPostings([]string{"alpha"}, 4) },
+	}
+	for name, get := range cases {
+		ix := build()
+		got := get(ix)
+		if len(got.Docs) != 2 || got.Freqs[0] != 2 {
+			t.Fatalf("%s: unexpected postings %+v", name, got)
+		}
+		// Vandalise every level of the returned struct.
+		got.Docs[0] = 999
+		got.Freqs[0] = 999
+		got.Positions[0][0] = 999
+		got.Positions[0] = nil
+
+		live := ix.PostingsFor("alpha")
+		if live.Docs[0] != 0 || live.Freqs[0] != 2 {
+			t.Errorf("%s: caller mutation reached the index: %+v", name, live)
+		}
+		if live.Positions[0][0] != 0 || live.Positions[0][1] != 2 {
+			t.Errorf("%s: caller mutation corrupted live positions: %v", name, live.Positions[0])
+		}
+	}
+}

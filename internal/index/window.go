@@ -23,7 +23,9 @@ func (ix *Index) UnorderedWindowPostings(terms []string, window int) Postings {
 		}
 	}
 	if len(lists) == 1 {
-		return *lists[0]
+		// Copy, as in PhrasePostings: aliasing the index's live postings
+		// would let caller mutations corrupt the index.
+		return clonePostings(lists[0])
 	}
 	rarest := 0
 	for i, l := range lists {

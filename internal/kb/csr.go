@@ -10,11 +10,12 @@ type csr struct {
 	targets []NodeID
 }
 
-// row returns the adjacency list of node id. For nodes beyond the
-// structure's range (e.g. a relation that only covers articles) it
-// returns nil.
+// row returns the adjacency list of node id. For nodes outside the
+// structure's range — negative IDs (e.g. kb.Invalid leaking out of a
+// failed entity-link lookup) or nodes beyond a relation that only
+// covers articles — it returns nil instead of indexing out of bounds.
 func (c *csr) row(id NodeID) []NodeID {
-	if int(id)+1 >= len(c.offsets) {
+	if id < 0 || int(id)+1 >= len(c.offsets) {
 		return nil
 	}
 	return c.targets[c.offsets[id]:c.offsets[id+1]]

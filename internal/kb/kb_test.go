@@ -382,3 +382,21 @@ func TestEncodeDecodeProperty(t *testing.T) {
 		t.Error(err)
 	}
 }
+
+// TestCSRRowNegativeID is the regression test for csr.row panicking on a
+// negative NodeID: a bogus entity-link result (kb.Invalid) reaching any
+// adjacency accessor must see an empty row, not an out-of-bounds slice.
+func TestCSRRowNegativeID(t *testing.T) {
+	g, _ := buildTestGraph(t)
+	for _, id := range []NodeID{Invalid, -5} {
+		for name, c := range map[string]*csr{
+			"linkOut": &g.linkOut, "linkIn": &g.linkIn,
+			"memberOf": &g.memberOf, "members": &g.members,
+			"parents": &g.parents, "children": &g.children,
+		} {
+			if row := c.row(id); row != nil {
+				t.Errorf("%s.row(%d) = %v, want nil", name, id, row)
+			}
+		}
+	}
+}

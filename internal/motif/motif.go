@@ -101,7 +101,9 @@ func (m *Matcher) Expand(queryNodes []kb.NodeID, set Set) []Match {
 		isQuery[q] = true
 	}
 	for _, q := range queryNodes {
-		if m.g.Kind(q) != kb.KindArticle {
+		// Skip invalid IDs (kb.Invalid from a failed entity-link lookup)
+		// instead of indexing out of range deep inside the CSR rows.
+		if q < 0 || m.g.Kind(q) != kb.KindArticle {
 			continue
 		}
 		m.expandFrom(q, set, isQuery, counts)

@@ -287,3 +287,19 @@ func TestTriangularInstancesTable(t *testing.T) {
 		}
 	}
 }
+
+// TestExpandSkipsInvalidQueryNode feeds a bogus entity-link ID
+// (kb.Invalid) through motif search: expansion must neither panic nor
+// change the matches produced by the valid query nodes.
+func TestExpandSkipsInvalidQueryNode(t *testing.T) {
+	f := build(t)
+	m := NewMatcher(f.g)
+	want := m.Expand([]kb.NodeID{f.ids["Q"]}, SetTS)
+	got := m.Expand([]kb.NodeID{kb.Invalid, f.ids["Q"], -42}, SetTS)
+	if !reflect.DeepEqual(got, want) {
+		t.Errorf("with invalid IDs: %v, want %v", got, want)
+	}
+	if got := m.Expand([]kb.NodeID{kb.Invalid}, SetTS); len(got) != 0 {
+		t.Errorf("all-invalid query nodes: %v, want none", got)
+	}
+}

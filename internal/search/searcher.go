@@ -2,6 +2,7 @@ package search
 
 import (
 	"sort"
+	"time"
 
 	"repro/internal/index"
 )
@@ -28,6 +29,11 @@ type Searcher struct {
 	Model Model
 	// Params holds the other models' parameters.
 	Params ModelParams
+	// UseLegacyScorer switches Search back to the map-accumulate-then-
+	// sort evaluator that predates the document-at-a-time path. It is
+	// retained as the reference oracle for differential tests and as an
+	// escape hatch; results are identical either way.
+	UseLegacyScorer bool
 }
 
 // NewSearcher returns a Searcher over ix with the default μ.
@@ -99,7 +105,25 @@ func (s *Searcher) flatten(n Node, w float64, out *[]leaf) {
 // ranked (standard practice in LM retrieval engines: documents matching
 // nothing carry only background mass and sort below every match of the
 // best leaf in all but degenerate cases).
+//
+// The default evaluator is document-at-a-time (see searchDAAT); the
+// pre-DAAT evaluator remains available via UseLegacyScorer and produces
+// identical rankings and scores.
 func (s *Searcher) Search(q Node, k int) []Result {
+	return s.search(q, k, nil)
+}
+
+// SearchWithStats is Search plus per-query instrumentation: candidate,
+// postings and heap counters, and the evaluation wall-clock.
+func (s *Searcher) SearchWithStats(q Node, k int) ([]Result, SearchStats) {
+	var st SearchStats
+	start := time.Now()
+	res := s.search(q, k, &st)
+	st.Elapsed = time.Since(start)
+	return res, st
+}
+
+func (s *Searcher) search(q Node, k int, st *SearchStats) []Result {
 	if k <= 0 {
 		return nil
 	}
@@ -108,8 +132,20 @@ func (s *Searcher) Search(q Node, k int) []Result {
 	if len(leaves) == 0 {
 		return nil
 	}
+	if st != nil {
+		st.Leaves = len(leaves)
+	}
 	score := s.newScorer()
+	if s.UseLegacyScorer {
+		return s.searchLegacy(leaves, k, score, st)
+	}
+	return s.searchDAAT(leaves, k, score, st)
+}
 
+// searchLegacy is the original term-at-a-time evaluator: accumulate a
+// per-candidate tf vector in a map, score every candidate, fully sort.
+// Kept as the reference oracle for the DAAT differential tests.
+func (s *Searcher) searchLegacy(leaves []leaf, k int, score scorer, st *SearchStats) []Result {
 	// Per-candidate term frequencies, leaf-major.
 	type cand struct {
 		tfs []int32
@@ -124,7 +160,13 @@ func (s *Searcher) Search(q Node, k int) []Result {
 				cands[doc] = c
 			}
 			c.tfs[li] = l.postings.Freqs[pi]
+			if st != nil {
+				st.PostingsAdvanced++
+			}
 		}
+	}
+	if st != nil {
+		st.CandidatesExamined = int64(len(cands))
 	}
 	results := make([]Result, 0, len(cands))
 	for doc, c := range cands {

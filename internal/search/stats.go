@@ -1,0 +1,47 @@
+package search
+
+import (
+	"fmt"
+	"time"
+)
+
+// SearchStats instruments one retrieval: how much work the evaluator did
+// and how long it took. All counters are cheap increments on the hot
+// path; collecting them costs nothing measurable next to scoring, so
+// Search always fills them when the caller asks (SearchWithStats).
+type SearchStats struct {
+	// Leaves is the number of flattened query leaves scored.
+	Leaves int
+	// CandidatesExamined counts the distinct documents scored (the size
+	// of the union of the leaves' postings).
+	CandidatesExamined int64
+	// PostingsAdvanced counts cursor advances across all leaves — the
+	// total postings traffic of the query.
+	PostingsAdvanced int64
+	// HeapPushes counts insertions into the bounded top-k heap while it
+	// was still filling.
+	HeapPushes int64
+	// HeapEvictions counts candidates that displaced the current k-th
+	// best; CandidatesExamined − HeapPushes − HeapEvictions documents
+	// were rejected without touching the heap.
+	HeapEvictions int64
+	// Elapsed is the wall-clock time of the evaluation.
+	Elapsed time.Duration
+}
+
+// Add accumulates o into s (for aggregating per-query stats over a run).
+func (s *SearchStats) Add(o SearchStats) {
+	s.Leaves += o.Leaves
+	s.CandidatesExamined += o.CandidatesExamined
+	s.PostingsAdvanced += o.PostingsAdvanced
+	s.HeapPushes += o.HeapPushes
+	s.HeapEvictions += o.HeapEvictions
+	s.Elapsed += o.Elapsed
+}
+
+// String renders the counters compactly.
+func (s SearchStats) String() string {
+	return fmt.Sprintf("leaves=%d cands=%d advanced=%d pushes=%d evictions=%d elapsed=%v",
+		s.Leaves, s.CandidatesExamined, s.PostingsAdvanced, s.HeapPushes, s.HeapEvictions,
+		s.Elapsed.Round(time.Microsecond))
+}

@@ -23,6 +23,7 @@ package sqe
 
 import (
 	"fmt"
+	"time"
 
 	"repro/internal/analysis"
 	"repro/internal/core"
@@ -57,6 +58,14 @@ type (
 	RetrievalModel = search.Model
 	// ModelParams holds the retrieval models' parameters.
 	ModelParams = search.ModelParams
+	// SearchStats carries the retrieval evaluator's per-query counters.
+	SearchStats = search.SearchStats
+	// PipelineStats aggregates per-stage timings (entity linking, motif
+	// search, query build, retrieval) and evaluator counters.
+	PipelineStats = core.PipelineStats
+	// StageTimings is the per-stage wall-clock breakdown inside
+	// PipelineStats.
+	StageTimings = core.StageTimings
 )
 
 // Retrieval models.
@@ -153,6 +162,11 @@ func (e *Engine) SetRetrievalModel(m RetrievalModel, params ModelParams) {
 	e.searcher.Params = params
 }
 
+// SetLegacyScorer switches retrieval back to the pre-DAAT map-and-sort
+// evaluator (the reference oracle used by the differential tests).
+// Rankings and scores are identical either way; only cost differs.
+func (e *Engine) SetLegacyScorer(on bool) { e.searcher.UseLegacyScorer = on }
+
 // ParseQuery parses an Indri-like structured query (#weight/#combine/
 // #1/#uwN/quotes) with the engine's analyzer and retrieves the top k.
 func (e *Engine) ParseQuery(query string, k int) ([]Result, error) {
@@ -213,12 +227,32 @@ func (e *Engine) Expand(query string, entityTitles []string, set MotifSet) (*Exp
 // SearchSet runs the full SQE pipeline with one motif configuration:
 // expansion, three-part query construction, retrieval.
 func (e *Engine) SearchSet(set MotifSet, query string, entityTitles []string, k int) ([]Result, error) {
+	return e.SearchSetStats(set, query, entityTitles, k, nil)
+}
+
+// SearchSetStats is SearchSet with per-stage instrumentation: entity
+// linking, motif search, query build and retrieval timings plus the
+// evaluator's counters are accumulated into ps (which may be nil).
+func (e *Engine) SearchSetStats(set MotifSet, query string, entityTitles []string, k int, ps *PipelineStats) ([]Result, error) {
+	start := time.Now()
 	nodes, err := e.resolveEntities(query, entityTitles)
+	if ps != nil {
+		ps.Stages.EntityLink += time.Since(start)
+	}
 	if err != nil {
 		return nil, err
 	}
-	qg := e.expander.BuildQueryGraph(nodes, set)
-	return e.searcher.Search(e.expander.BuildQuery(query, qg), k), nil
+	qg := e.expander.BuildQueryGraphStats(nodes, set, ps)
+	node := e.expander.BuildQueryStats(query, qg, ps)
+	if ps == nil {
+		return e.searcher.Search(node, k), nil
+	}
+	start = time.Now()
+	res, st := e.searcher.SearchWithStats(node, k)
+	ps.Stages.Retrieval += time.Since(start)
+	ps.Search.Add(st)
+	ps.Retrievals++
+	return res, nil
 }
 
 // Search runs the paper's SQE_C configuration: the first five results
@@ -226,17 +260,27 @@ func (e *Engine) SearchSet(set MotifSet, query string, entityTitles []string, k 
 // from the combined expansion, and the remainder from the square-motif
 // expansion.
 func (e *Engine) Search(query string, entityTitles []string, k int) ([]Result, error) {
-	runT, err := e.SearchSet(MotifT, query, entityTitles, k)
+	return e.SearchWithStats(query, entityTitles, k, nil)
+}
+
+// SearchWithStats is Search (the full SQE_C pipeline) with per-stage
+// instrumentation accumulated into ps (which may be nil): the three
+// per-set expansions and retrievals are all attributed to their stages.
+func (e *Engine) SearchWithStats(query string, entityTitles []string, k int, ps *PipelineStats) ([]Result, error) {
+	runT, err := e.SearchSetStats(MotifT, query, entityTitles, k, ps)
 	if err != nil {
 		return nil, err
 	}
-	runTS, err := e.SearchSet(MotifTS, query, entityTitles, k)
+	runTS, err := e.SearchSetStats(MotifTS, query, entityTitles, k, ps)
 	if err != nil {
 		return nil, err
 	}
-	runS, err := e.SearchSet(MotifS, query, entityTitles, k)
+	runS, err := e.SearchSetStats(MotifS, query, entityTitles, k, ps)
 	if err != nil {
 		return nil, err
+	}
+	if ps != nil {
+		ps.Queries++
 	}
 	names := core.SpliceC(k, core.ResultNames(runT), core.ResultNames(runTS), core.ResultNames(runS))
 	byName := make(map[string]Result, len(runT)+len(runTS)+len(runS))
