@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: build test race vet bench verify
+.PHONY: build test race vet bench serve-smoke verify
 
 build:
 	$(GO) build ./...
@@ -11,14 +11,20 @@ vet:
 test:
 	$(GO) test ./...
 
-# Race-checks the packages with concurrency (parallel expansion) and the
-# retrieval hot path.
+# Race-checks the packages with concurrency: parallel expansion, the
+# retrieval hot path, the HTTP serving layer, and the root package's
+# parallel-SQE_C / shared-Engine stress tests.
 race:
-	$(GO) test -race ./internal/core/... ./internal/search/...
+	$(GO) test -race . ./internal/core/... ./internal/search/... ./internal/serve/...
 
 bench:
 	$(GO) test -run NONE -bench 'SearchExpandedTopK' -benchmem .
 
+# Boots sqe-serve on the demo corpus, drives one in-process request
+# through every endpoint (200 + non-empty payload checks) and exits.
+serve-smoke:
+	$(GO) run ./cmd/sqe-serve -smoke
+
 # The full gate run before every commit.
-verify: vet build race test
+verify: vet build race test serve-smoke
 	@echo "verify: OK"

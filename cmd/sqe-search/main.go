@@ -125,7 +125,11 @@ func runBenchmark(env *sqe.DemoEnv, id string, top int, showStats bool) {
 		return
 	}
 	fmt.Printf("%s: %q entities=%v\n", q.ID, q.Text, q.EntityTitles)
-	base := env.Engine.BaselineSearch(q.Text, top)
+	base, err := env.Engine.BaselineSearch(q.Text, top)
+	if err != nil {
+		fmt.Println("baseline:", err)
+		return
+	}
 	var ps *sqe.PipelineStats
 	if showStats {
 		ps = &sqe.PipelineStats{}

@@ -1,0 +1,193 @@
+// Command sqe-serve boots the HTTP serving layer (internal/serve) over
+// the demo environment: the full SQE_C pipeline with parallel motif-set
+// runs, an expansion cache, per-request deadlines, max-in-flight load
+// shedding and Prometheus metrics.
+//
+// Usage:
+//
+//	sqe-serve [-addr :8344] [-scale small|default] [-timeout 10s]
+//	          [-max-inflight 64] [-cache 4096] [-workers 0] [-smoke]
+//
+// Endpoints (see internal/serve):
+//
+//	GET /search?q=cable+cars&entities=Cable+car&k=10     SQE_C search
+//	GET /expand?q=…&entities=…&set=TS                    expansion only
+//	GET /baseline?q=…&k=10                               QL_Q baseline
+//	GET /healthz                                          liveness
+//	GET /metrics                                          Prometheus text
+//
+// All work endpoints also accept POST with a JSON body
+// {"query": …, "entities": […], "k": …, "set": …}.
+//
+// -smoke runs the self-test instead of serving: it binds an ephemeral
+// port, issues one in-process request per endpoint, checks HTTP 200 and
+// non-empty payloads, and exits 0/1. The Makefile's serve-smoke target
+// (part of `make verify`) runs exactly this — no curl required.
+package main
+
+import (
+	"context"
+	"encoding/json"
+	"errors"
+	"flag"
+	"fmt"
+	"io"
+	"log"
+	"net"
+	"net/http"
+	"net/url"
+	"os"
+	"os/signal"
+	"strings"
+	"syscall"
+	"time"
+
+	sqe "repro"
+	"repro/internal/serve"
+)
+
+func main() {
+	log.SetFlags(0)
+	log.SetPrefix("sqe-serve: ")
+	addr := flag.String("addr", ":8344", "listen address")
+	scaleFlag := flag.String("scale", "small", "demo corpus scale: small|default")
+	timeout := flag.Duration("timeout", 10*time.Second, "per-request deadline (0 = default, negative = off)")
+	maxInFlight := flag.Int("max-inflight", 64, "work requests evaluating concurrently before shedding 429s")
+	cacheSize := flag.Int("cache", 4096, "expansion cache entries (0 = off)")
+	workers := flag.Int("workers", 0, "concurrent SQE_C runs engine-wide (0 = GOMAXPROCS, 1 = sequential)")
+	smoke := flag.Bool("smoke", false, "boot on an ephemeral port, self-test every endpoint, exit")
+	flag.Parse()
+
+	scale := sqe.DemoSmall
+	if *scaleFlag == "default" {
+		scale = sqe.DemoDefault
+	}
+	log.Println("generating demo environment …")
+	opts := []sqe.Option{sqe.WithExpansionCache(*cacheSize)}
+	if *workers != 0 {
+		opts = append(opts, sqe.WithSQECWorkers(*workers))
+	}
+	env, err := sqe.GenerateDemo(scale, opts...)
+	if err != nil {
+		log.Fatal(err)
+	}
+	srv := serve.New(serve.Config{
+		Engine:      env.Engine,
+		Timeout:     *timeout,
+		MaxInFlight: *maxInFlight,
+	})
+
+	if *smoke {
+		if err := runSmoke(srv, env); err != nil {
+			log.Fatalf("SMOKE FAIL: %v", err)
+		}
+		log.Println("SMOKE OK")
+		return
+	}
+
+	httpSrv := &http.Server{Addr: *addr, Handler: srv}
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+	errc := make(chan error, 1)
+	go func() { errc <- httpSrv.ListenAndServe() }()
+	log.Printf("serving %s on %s (%d queries in corpus; try /search?q=%s)",
+		env.DatasetName, *addr, len(env.Queries), url.QueryEscape(env.Queries[0].Text))
+	select {
+	case err := <-errc:
+		log.Fatal(err)
+	case <-ctx.Done():
+		// Graceful drain: stop accepting, let in-flight requests finish
+		// under a bounded deadline, then exit.
+		log.Println("shutting down …")
+		shutCtx, cancel := context.WithTimeout(context.Background(), 15*time.Second)
+		defer cancel()
+		if err := httpSrv.Shutdown(shutCtx); err != nil {
+			log.Fatalf("shutdown: %v", err)
+		}
+	}
+}
+
+// runSmoke boots the server on an ephemeral loopback port and drives one
+// request through every endpoint, checking status and payload shape.
+func runSmoke(srv *serve.Server, env *sqe.DemoEnv) error {
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		return err
+	}
+	httpSrv := &http.Server{Handler: srv}
+	go func() { _ = httpSrv.Serve(ln) }()
+	defer httpSrv.Close()
+	base := "http://" + ln.Addr().String()
+	q := env.Queries[0]
+	params := "q=" + url.QueryEscape(q.Text) + "&entities=" + url.QueryEscape(strings.Join(q.EntityTitles, ","))
+
+	checks := []struct {
+		name, path string
+		check      func(body []byte) error
+	}{
+		{"search", "/search?" + params + "&k=10", wantResults},
+		{"search set=T", "/search?" + params + "&k=5&set=T", wantResults},
+		{"expand", "/expand?" + params, func(b []byte) error {
+			var resp struct {
+				QueryNodeTitles []string `json:"query_node_titles"`
+			}
+			if err := json.Unmarshal(b, &resp); err != nil {
+				return err
+			}
+			if len(resp.QueryNodeTitles) == 0 {
+				return errors.New("no query nodes resolved")
+			}
+			return nil
+		}},
+		{"baseline", "/baseline?" + params + "&k=10", wantResults},
+		{"healthz", "/healthz", func(b []byte) error {
+			if !strings.Contains(string(b), `"ok"`) {
+				return fmt.Errorf("unexpected body %s", b)
+			}
+			return nil
+		}},
+		{"metrics", "/metrics", func(b []byte) error {
+			for _, m := range []string{"sqe_http_requests_total", "sqe_pipeline_retrievals_total", "sqe_expansion_cache_hits_total"} {
+				if !strings.Contains(string(b), m) {
+					return fmt.Errorf("metric %s missing", m)
+				}
+			}
+			return nil
+		}},
+	}
+	client := &http.Client{Timeout: 30 * time.Second}
+	for _, c := range checks {
+		resp, err := client.Get(base + c.path)
+		if err != nil {
+			return fmt.Errorf("%s: %v", c.name, err)
+		}
+		body, err := io.ReadAll(resp.Body)
+		resp.Body.Close()
+		if err != nil {
+			return fmt.Errorf("%s: read: %v", c.name, err)
+		}
+		if resp.StatusCode != http.StatusOK {
+			return fmt.Errorf("%s: HTTP %d: %s", c.name, resp.StatusCode, body)
+		}
+		if err := c.check(body); err != nil {
+			return fmt.Errorf("%s: %v", c.name, err)
+		}
+		log.Printf("  ok %-12s %s", c.name, c.path)
+	}
+	return nil
+}
+
+func wantResults(b []byte) error {
+	var resp struct {
+		Results []struct {
+			Name string `json:"name"`
+		} `json:"results"`
+	}
+	if err := json.Unmarshal(b, &resp); err != nil {
+		return err
+	}
+	if len(resp.Results) == 0 {
+		return errors.New("empty results")
+	}
+	return nil
+}

@@ -46,7 +46,9 @@ type DemoEnv struct {
 
 // GenerateDemo builds the Image CLEF-like demo environment. Generation
 // is deterministic: the same scale always yields the same environment.
-func GenerateDemo(scale DemoScale) (*DemoEnv, error) {
+// Engine options (WithExpansionCache, WithSQECWorkers, …) are applied to
+// the environment's engine; the demo linker is installed regardless.
+func GenerateDemo(scale DemoScale, opts ...Option) (*DemoEnv, error) {
 	cfg := wikigen.DefaultConfig()
 	ds := dataset.ScaleDefault
 	if scale == DemoSmall {
@@ -61,7 +63,7 @@ func GenerateDemo(scale DemoScale) (*DemoEnv, error) {
 	if err != nil {
 		return nil, err
 	}
-	eng := NewEngine(world.Graph, inst.Index)
+	eng := NewEngine(world.Graph, inst.Index, opts...)
 	eng.linker = dataset.BuildLinker(world, dataset.DefaultLinkerOptions())
 
 	env := &DemoEnv{Engine: eng, DatasetName: inst.Name}
@@ -78,8 +80,8 @@ func GenerateDemo(scale DemoScale) (*DemoEnv, error) {
 // MustGenerateDemo is GenerateDemo but panics on error; the error paths
 // are configuration mistakes that cannot happen with the built-in
 // scales.
-func MustGenerateDemo(scale DemoScale) *DemoEnv {
-	env, err := GenerateDemo(scale)
+func MustGenerateDemo(scale DemoScale, opts ...Option) *DemoEnv {
+	env, err := GenerateDemo(scale, opts...)
 	if err != nil {
 		panic(err)
 	}

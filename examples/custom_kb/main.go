@@ -87,9 +87,10 @@ func main() {
 	}
 	ix := ib.Build()
 
-	engine := sqe.NewEngine(graph, ix)
-	// A small μ suits a seven-document collection.
-	engine.SetDirichletMu(10)
+	// A small μ suits a seven-document collection. Options configure the
+	// engine at construction; it is immutable (and concurrency-safe)
+	// afterwards.
+	engine := sqe.NewEngine(graph, ix, sqe.WithDirichletMu(10))
 
 	// 3. Expansion in action: "cable cars" reaches the funicular docs.
 	exp, err := engine.Expand("cable cars", []string{"Cable car"}, sqe.MotifTS)
@@ -103,7 +104,10 @@ func main() {
 	}
 	fmt.Println()
 
-	baseline := engine.BaselineSearch("cable cars", 5)
+	baseline, err := engine.BaselineSearch("cable cars", 5)
+	if err != nil {
+		log.Fatal(err)
+	}
 	expanded, err := engine.SearchSet(sqe.MotifTS, "cable cars", []string{"Cable car"}, 5)
 	if err != nil {
 		log.Fatal(err)

@@ -39,7 +39,7 @@ func main() {
 		run  runner
 	}{
 		{"QL_Q", func(q sqe.DemoQuery) ([]sqe.Result, error) {
-			return env.Engine.BaselineSearch(q.Text, 1000), nil
+			return env.Engine.BaselineSearch(q.Text, 1000)
 		}},
 		{"SQE_C (M)", func(q sqe.DemoQuery) ([]sqe.Result, error) {
 			return env.Engine.Search(q.Text, q.EntityTitles, 1000)

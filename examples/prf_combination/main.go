@@ -30,12 +30,18 @@ func main() {
 	const k = 10
 
 	for _, q := range env.Queries {
-		base := eng.BaselineSearch(q.Text, k)
+		base, err := eng.BaselineSearch(q.Text, k)
+		if err != nil {
+			log.Fatal(err)
+		}
 		sumBase += sqe.PrecisionAt(base, q.Relevant, k)
 
 		// PRF over the raw query: feedback concepts come from the top
 		// documents of a bad ranking — garbage in, garbage out.
-		prfOnly := eng.BaselineSearchPRF(q.Text, prfCfg, k)
+		prfOnly, err := eng.BaselineSearchPRF(q.Text, prfCfg, k)
+		if err != nil {
+			log.Fatal(err)
+		}
 		sumPRF += sqe.PrecisionAt(prfOnly, q.Relevant, k)
 
 		s, err := eng.SearchSet(sqe.MotifTS, q.Text, q.EntityTitles, k)

@@ -46,7 +46,10 @@ func main() {
 	}
 
 	// 2. Retrieval: plain query likelihood vs the full SQE_C pipeline.
-	baseline := eng.BaselineSearch(q.Text, 10)
+	baseline, err := eng.BaselineSearch(q.Text, 10)
+	if err != nil {
+		log.Fatal(err)
+	}
 	expanded, err := eng.Search(q.Text, q.EntityTitles, 10)
 	if err != nil {
 		log.Fatal(err)

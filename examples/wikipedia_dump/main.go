@@ -55,9 +55,9 @@ func main() {
 	} {
 		ib.Add(name, text)
 	}
-	eng := sqe.NewEngine(imp.Graph, ib.Build())
-	eng.SetLinker(imp.Dictionary)
-	eng.SetDirichletMu(25) // small μ for a tiny collection
+	eng := sqe.NewEngine(imp.Graph, ib.Build(),
+		sqe.WithLinker(imp.Dictionary),
+		sqe.WithDirichletMu(25)) // small μ for a tiny collection
 
 	for _, query := range []string{"cable cars", "graffiti street art on walls"} {
 		fmt.Printf("query: %q\n", query)

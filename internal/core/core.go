@@ -262,6 +262,35 @@ func ResultNames(results []search.Result) []string {
 	return out
 }
 
+// SpliceResultsC applies the SQE_C combination to three ranked Result
+// lists and materialises the combined list with scores attached.
+//
+// Tie rule: when the same document name appears in more than one run —
+// necessarily with different scores, since the three expansions build
+// different queries — the Result (doc, score) of the *first* run in
+// T → T&S → S order wins, regardless of which segment the name was
+// spliced from. The rule is deterministic and order-independent of the
+// evaluation schedule, which is what lets the parallel SQE_C path return
+// byte-identical output to the sequential one. Every spliced name is
+// guaranteed present in the map (names come from the runs themselves),
+// so no result is ever dropped.
+func SpliceResultsC(limit int, runT, runTS, runS []search.Result) []search.Result {
+	names := SpliceC(limit, ResultNames(runT), ResultNames(runTS), ResultNames(runS))
+	byName := make(map[string]search.Result, len(runT)+len(runTS)+len(runS))
+	for _, rs := range [][]search.Result{runT, runTS, runS} {
+		for _, r := range rs {
+			if _, ok := byName[r.Name]; !ok {
+				byName[r.Name] = r
+			}
+		}
+	}
+	out := make([]search.Result, 0, len(names))
+	for _, n := range names {
+		out = append(out, byName[n])
+	}
+	return out
+}
+
 // DescribeGraph renders a query graph for debugging and the CLI: query
 // node titles plus the top expansion features with weights.
 func (e *Expander) DescribeGraph(qg QueryGraph, maxFeatures int) string {

@@ -1,0 +1,224 @@
+package core
+
+import (
+	"container/list"
+	"encoding/binary"
+	"sort"
+	"sync"
+	"time"
+
+	"repro/internal/kb"
+	"repro/internal/motif"
+)
+
+// ExpansionCache memoises BuildQueryGraph results across requests. The
+// companion paper ("Massive Query Expansion by Exploiting Graph
+// Knowledge Bases") frames motif expansion as a precomputable,
+// high-throughput operation; in a serving deployment the same entity
+// sets recur constantly (head queries, retries, the three SQE_C runs of
+// repeated queries), so the expensive motif search is worth caching.
+//
+// The cache is a sharded LRU: the key hashes to one of the shards, each
+// shard holds its own mutex, recency list and map, so concurrent
+// requests rarely contend on the same lock. Entries are keyed by the
+// *sorted* query-node set plus the motif set and the expander knobs that
+// change the output (MaxFeatures, UniformFeatureWeights) — permutations
+// of the same entity set share one cached expansion. A hit returns the
+// stored QueryGraph verbatim (shared slices, bit-identical to the miss
+// that populated it); callers must treat cached graphs as immutable,
+// which every consumer of BuildQueryGraph already does.
+//
+// Toggling matcher-level ablations (reciprocity, category conditions)
+// changes expansion output without changing the key; do that only with a
+// fresh cache (or none), as the experiments code does.
+type ExpansionCache struct {
+	shards [cacheShards]cacheShard
+}
+
+// cacheShards is the fixed shard count; a power of two so the hash maps
+// to a shard with a mask. 16 shards keep lock contention negligible up
+// to hundreds of concurrent requests.
+const cacheShards = 16
+
+type cacheShard struct {
+	mu        sync.Mutex
+	capacity  int
+	ll        *list.List // front = most recently used
+	entries   map[string]*list.Element
+	hits      int64
+	misses    int64
+	evictions int64
+}
+
+type cacheEntry struct {
+	key string
+	qg  QueryGraph
+}
+
+// CacheStats are the cache's monotonic counters plus the current size.
+type CacheStats struct {
+	Hits      int64
+	Misses    int64
+	Evictions int64
+	Entries   int64
+}
+
+// Add accumulates o into s.
+func (s *CacheStats) Add(o CacheStats) {
+	s.Hits += o.Hits
+	s.Misses += o.Misses
+	s.Evictions += o.Evictions
+	s.Entries += o.Entries
+}
+
+// NewExpansionCache returns a cache bounded to capacity entries in
+// total. capacity < cacheShards is rounded up so every shard can hold at
+// least one entry.
+func NewExpansionCache(capacity int) *ExpansionCache {
+	perShard := (capacity + cacheShards - 1) / cacheShards
+	if perShard < 1 {
+		perShard = 1
+	}
+	c := &ExpansionCache{}
+	for i := range c.shards {
+		c.shards[i] = cacheShard{
+			capacity: perShard,
+			ll:       list.New(),
+			entries:  make(map[string]*list.Element),
+		}
+	}
+	return c
+}
+
+// shard picks the shard for a key with an FNV-1a hash.
+func (c *ExpansionCache) shard(key string) *cacheShard {
+	const (
+		offset64 = 14695981039346656037
+		prime64  = 1099511628211
+	)
+	h := uint64(offset64)
+	for i := 0; i < len(key); i++ {
+		h ^= uint64(key[i])
+		h *= prime64
+	}
+	return &c.shards[h&(cacheShards-1)]
+}
+
+// Get returns the cached graph for key, promoting it to most recently
+// used.
+func (c *ExpansionCache) Get(key string) (QueryGraph, bool) {
+	s := c.shard(key)
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	el, ok := s.entries[key]
+	if !ok {
+		s.misses++
+		return QueryGraph{}, false
+	}
+	s.hits++
+	s.ll.MoveToFront(el)
+	return el.Value.(*cacheEntry).qg, true
+}
+
+// Put stores qg under key, evicting the shard's least recently used
+// entry when the shard is full. Re-putting an existing key refreshes its
+// recency without duplicating it.
+func (c *ExpansionCache) Put(key string, qg QueryGraph) {
+	s := c.shard(key)
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if el, ok := s.entries[key]; ok {
+		el.Value.(*cacheEntry).qg = qg
+		s.ll.MoveToFront(el)
+		return
+	}
+	if s.ll.Len() >= s.capacity {
+		oldest := s.ll.Back()
+		if oldest != nil {
+			s.ll.Remove(oldest)
+			delete(s.entries, oldest.Value.(*cacheEntry).key)
+			s.evictions++
+		}
+	}
+	s.entries[key] = s.ll.PushFront(&cacheEntry{key: key, qg: qg})
+}
+
+// Len returns the current number of cached entries.
+func (c *ExpansionCache) Len() int {
+	n := 0
+	for i := range c.shards {
+		s := &c.shards[i]
+		s.mu.Lock()
+		n += s.ll.Len()
+		s.mu.Unlock()
+	}
+	return n
+}
+
+// Stats sums the per-shard counters. The snapshot is not atomic across
+// shards, which is fine for monitoring.
+func (c *ExpansionCache) Stats() CacheStats {
+	var st CacheStats
+	for i := range c.shards {
+		s := &c.shards[i]
+		s.mu.Lock()
+		st.Hits += s.hits
+		st.Misses += s.misses
+		st.Evictions += s.evictions
+		st.Entries += int64(s.ll.Len())
+		s.mu.Unlock()
+	}
+	return st
+}
+
+// expansionKey encodes (sorted query nodes, motif set, output-shaping
+// expander knobs) into a compact string key.
+func (e *Expander) expansionKey(queryNodes []kb.NodeID, set motif.Set) string {
+	sorted := append([]kb.NodeID(nil), queryNodes...)
+	sort.Slice(sorted, func(i, j int) bool { return sorted[i] < sorted[j] })
+	buf := make([]byte, 0, 2+10+4*len(sorted))
+	buf = append(buf, byte(set))
+	flags := byte(0)
+	if e.UniformFeatureWeights {
+		flags = 1
+	}
+	buf = append(buf, flags)
+	buf = binary.AppendVarint(buf, int64(e.MaxFeatures))
+	for _, n := range sorted {
+		buf = binary.AppendVarint(buf, int64(n))
+	}
+	return string(buf)
+}
+
+// BuildQueryGraphCached is BuildQueryGraph through cache c: a hit
+// returns the stored graph (treat it as immutable), a miss builds and
+// stores it. c == nil degrades to a plain build.
+func (e *Expander) BuildQueryGraphCached(queryNodes []kb.NodeID, set motif.Set, c *ExpansionCache) QueryGraph {
+	if c == nil {
+		return e.BuildQueryGraph(queryNodes, set)
+	}
+	key := e.expansionKey(queryNodes, set)
+	if qg, ok := c.Get(key); ok {
+		return qg
+	}
+	qg := e.BuildQueryGraph(queryNodes, set)
+	c.Put(key, qg)
+	return qg
+}
+
+// BuildQueryGraphCachedStats is BuildQueryGraphCached with the motif
+// stage timed and the feature count recorded into ps (which may be
+// nil). Cache hits still account their (tiny) lookup time to the motif
+// stage, so stage percentages stay truthful under caching.
+func (e *Expander) BuildQueryGraphCachedStats(queryNodes []kb.NodeID, set motif.Set, c *ExpansionCache, ps *PipelineStats) QueryGraph {
+	if c == nil {
+		return e.BuildQueryGraphStats(queryNodes, set, ps)
+	}
+	start := time.Now()
+	qg := e.BuildQueryGraphCached(queryNodes, set, c)
+	if ps != nil {
+		ps.Stages.MotifSearch += time.Since(start)
+		ps.Features += len(qg.Features)
+	}
+	return qg
+}

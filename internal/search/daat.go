@@ -1,6 +1,7 @@
 package search
 
 import (
+	"context"
 	"math"
 
 	"repro/internal/index"
@@ -25,7 +26,12 @@ const exhausted = index.DocID(math.MaxInt32)
 // already determines the next candidate. Compared to searchLegacy this
 // allocates O(leaves + k) instead of O(candidates · leaves), and
 // resolves document names only for the k survivors.
-func (s *Searcher) searchDAAT(leaves []leaf, k int, score scorer, st *SearchStats) []Result {
+//
+// The loop checks ctx every cancelCheckEvery candidates so a serving
+// deadline or a disconnected client abandons the evaluation instead of
+// finishing a retrieval nobody will read; the cancelled call returns
+// ctx.Err() and no results.
+func (s *Searcher) searchDAAT(ctx context.Context, leaves []leaf, k int, score scorer, st *SearchStats) ([]Result, error) {
 	n := len(leaves)
 	cur := make([]int, n)
 	curDoc := make([]index.DocID, n)
@@ -44,6 +50,15 @@ func (s *Searcher) searchDAAT(leaves []leaf, k int, score scorer, st *SearchStat
 	h := topK{docs: make([]index.DocID, 0, k), scores: make([]float64, 0, k), k: k}
 	var advanced, cands int64
 	for next != exhausted {
+		if cands%cancelCheckEvery == 0 {
+			if err := ctx.Err(); err != nil {
+				if st != nil {
+					st.PostingsAdvanced += advanced
+					st.CandidatesExamined += cands
+				}
+				return nil, err
+			}
+		}
 		doc := next
 		dl := float64(s.ix.DocLen(doc))
 		total := 0.0
@@ -80,7 +95,7 @@ func (s *Searcher) searchDAAT(leaves []leaf, k int, score scorer, st *SearchStat
 		st.PostingsAdvanced += advanced
 		st.CandidatesExamined += cands
 	}
-	return h.drain(s.ix)
+	return h.drain(s.ix), nil
 }
 
 // topK is a bounded min-heap keyed by the result ordering (score desc,

@@ -1,6 +1,7 @@
 package search
 
 import (
+	"context"
 	"sort"
 	"time"
 
@@ -109,49 +110,87 @@ func (s *Searcher) flatten(n Node, w float64, out *[]leaf) {
 // The default evaluator is document-at-a-time (see searchDAAT); the
 // pre-DAAT evaluator remains available via UseLegacyScorer and produces
 // identical rankings and scores.
+//
+// Search never fails; it is a thin wrapper over SearchContext with a
+// background context.
 func (s *Searcher) Search(q Node, k int) []Result {
-	return s.search(q, k, nil)
+	res, _ := s.SearchContext(context.Background(), q, k)
+	return res
+}
+
+// SearchContext is Search under a context: the evaluator checks ctx
+// periodically (every cancelCheckEvery candidates) and abandons the
+// evaluation with ctx.Err() once the deadline passes or the caller
+// cancels. This is the primary retrieval entry point; the context-free
+// Search delegates here.
+func (s *Searcher) SearchContext(ctx context.Context, q Node, k int) ([]Result, error) {
+	return s.search(ctx, q, k, nil)
 }
 
 // SearchWithStats is Search plus per-query instrumentation: candidate,
 // postings and heap counters, and the evaluation wall-clock.
 func (s *Searcher) SearchWithStats(q Node, k int) ([]Result, SearchStats) {
-	var st SearchStats
-	start := time.Now()
-	res := s.search(q, k, &st)
-	st.Elapsed = time.Since(start)
+	res, st, _ := s.SearchWithStatsContext(context.Background(), q, k)
 	return res, st
 }
 
-func (s *Searcher) search(q Node, k int, st *SearchStats) []Result {
+// SearchWithStatsContext is SearchContext plus instrumentation. On
+// cancellation the counters cover the work done up to the abort point.
+func (s *Searcher) SearchWithStatsContext(ctx context.Context, q Node, k int) ([]Result, SearchStats, error) {
+	var st SearchStats
+	start := time.Now()
+	res, err := s.search(ctx, q, k, &st)
+	st.Elapsed = time.Since(start)
+	return res, st, err
+}
+
+// cancelCheckEvery is how many candidates the evaluators score between
+// context checks. Checking costs one atomic load; at this granularity it
+// is invisible next to scoring while still bounding the cancellation
+// latency to a few hundred microseconds on any realistic index.
+const cancelCheckEvery = 4096
+
+func (s *Searcher) search(ctx context.Context, q Node, k int, st *SearchStats) ([]Result, error) {
 	if k <= 0 {
-		return nil
+		return nil, nil
+	}
+	if err := ctx.Err(); err != nil {
+		return nil, err
 	}
 	var leaves []leaf
 	s.flatten(q, 1, &leaves)
 	if len(leaves) == 0 {
-		return nil
+		return nil, nil
 	}
 	if st != nil {
 		st.Leaves = len(leaves)
 	}
+	// Flattening materialises phrase/window postings, which can be the
+	// bulk of the work for heavily expanded queries; re-check before the
+	// evaluation loop starts.
+	if err := ctx.Err(); err != nil {
+		return nil, err
+	}
 	score := s.newScorer()
 	if s.UseLegacyScorer {
-		return s.searchLegacy(leaves, k, score, st)
+		return s.searchLegacy(ctx, leaves, k, score, st)
 	}
-	return s.searchDAAT(leaves, k, score, st)
+	return s.searchDAAT(ctx, leaves, k, score, st)
 }
 
 // searchLegacy is the original term-at-a-time evaluator: accumulate a
 // per-candidate tf vector in a map, score every candidate, fully sort.
 // Kept as the reference oracle for the DAAT differential tests.
-func (s *Searcher) searchLegacy(leaves []leaf, k int, score scorer, st *SearchStats) []Result {
+func (s *Searcher) searchLegacy(ctx context.Context, leaves []leaf, k int, score scorer, st *SearchStats) ([]Result, error) {
 	// Per-candidate term frequencies, leaf-major.
 	type cand struct {
 		tfs []int32
 	}
 	cands := make(map[index.DocID]*cand)
 	for li := range leaves {
+		if err := ctx.Err(); err != nil {
+			return nil, err
+		}
 		l := &leaves[li]
 		for pi, doc := range l.postings.Docs {
 			c, ok := cands[doc]
@@ -169,7 +208,14 @@ func (s *Searcher) searchLegacy(leaves []leaf, k int, score scorer, st *SearchSt
 		st.CandidatesExamined = int64(len(cands))
 	}
 	results := make([]Result, 0, len(cands))
+	scored := 0
 	for doc, c := range cands {
+		if scored%cancelCheckEvery == 0 {
+			if err := ctx.Err(); err != nil {
+				return nil, err
+			}
+		}
+		scored++
 		dl := float64(s.ix.DocLen(doc))
 		total := 0.0
 		for li := range leaves {
@@ -186,7 +232,7 @@ func (s *Searcher) searchLegacy(leaves []leaf, k int, score scorer, st *SearchSt
 	if len(results) > k {
 		results = results[:k]
 	}
-	return results
+	return results, nil
 }
 
 // ScoreDoc computes the query-likelihood score of a single document; used

@@ -1,0 +1,101 @@
+package serve
+
+import (
+	"fmt"
+	"net/http"
+	"strings"
+	"time"
+
+	sqe "repro"
+)
+
+// handleMetrics renders the server's counters in the Prometheus text
+// exposition format (hand-rendered: the repo takes no dependencies, and
+// the format is a few lines of fmt). Three families:
+//
+//   - sqe_http_*      — the serving layer (requests, errors, shedding)
+//   - sqe_pipeline_*  — aggregated PipelineStats from every served query
+//     (the same per-stage counters cmd/sqe-bench reports per run)
+//   - sqe_expansion_cache_* — the engine's expansion cache, if enabled
+func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
+	s.mu.Lock()
+	ps := s.pipeline
+	s.mu.Unlock()
+
+	var sb strings.Builder
+	counter := func(name, help string) {
+		fmt.Fprintf(&sb, "# HELP %s %s\n# TYPE %s counter\n", name, help, name)
+	}
+	gauge := func(name, help string) {
+		fmt.Fprintf(&sb, "# HELP %s %s\n# TYPE %s gauge\n", name, help, name)
+	}
+
+	counter("sqe_http_requests_total", "HTTP requests received, by endpoint.")
+	fmt.Fprintf(&sb, "sqe_http_requests_total{endpoint=\"search\"} %d\n", s.search.requests.Load())
+	fmt.Fprintf(&sb, "sqe_http_requests_total{endpoint=\"expand\"} %d\n", s.expand.requests.Load())
+	fmt.Fprintf(&sb, "sqe_http_requests_total{endpoint=\"baseline\"} %d\n", s.baseline.requests.Load())
+	counter("sqe_http_errors_total", "HTTP requests answered with a non-200 status, by endpoint.")
+	fmt.Fprintf(&sb, "sqe_http_errors_total{endpoint=\"search\"} %d\n", s.search.errors.Load())
+	fmt.Fprintf(&sb, "sqe_http_errors_total{endpoint=\"expand\"} %d\n", s.expand.errors.Load())
+	fmt.Fprintf(&sb, "sqe_http_errors_total{endpoint=\"baseline\"} %d\n", s.baseline.errors.Load())
+	counter("sqe_http_shed_total", "Requests shed with 429 by the max-in-flight limiter.")
+	fmt.Fprintf(&sb, "sqe_http_shed_total %d\n", s.shed.Load())
+	counter("sqe_http_timeouts_total", "Requests that hit the per-request deadline (504).")
+	fmt.Fprintf(&sb, "sqe_http_timeouts_total %d\n", s.timeouts.Load())
+	gauge("sqe_http_in_flight", "Work requests currently evaluating.")
+	fmt.Fprintf(&sb, "sqe_http_in_flight %d\n", s.inFlight.Load())
+	gauge("sqe_uptime_seconds", "Seconds since the server started.")
+	fmt.Fprintf(&sb, "sqe_uptime_seconds %g\n", time.Since(s.start).Seconds())
+
+	counter("sqe_pipeline_queries_total", "SQE pipeline executions served.")
+	fmt.Fprintf(&sb, "sqe_pipeline_queries_total %d\n", ps.Queries)
+	counter("sqe_pipeline_retrievals_total", "Index retrievals (SQE_C runs three per query).")
+	fmt.Fprintf(&sb, "sqe_pipeline_retrievals_total %d\n", ps.Retrievals)
+	counter("sqe_pipeline_features_total", "Expansion features produced by motif search.")
+	fmt.Fprintf(&sb, "sqe_pipeline_features_total %d\n", ps.Features)
+	counter("sqe_pipeline_stage_seconds_total", "Cumulative wall-clock per pipeline stage.")
+	for _, st := range []struct {
+		name string
+		d    time.Duration
+	}{
+		{"entity_link", ps.Stages.EntityLink},
+		{"motif_search", ps.Stages.MotifSearch},
+		{"query_build", ps.Stages.QueryBuild},
+		{"retrieval", ps.Stages.Retrieval},
+	} {
+		fmt.Fprintf(&sb, "sqe_pipeline_stage_seconds_total{stage=%q} %g\n", st.name, st.d.Seconds())
+	}
+
+	counter("sqe_search_leaves_total", "Flattened query leaves scored.")
+	fmt.Fprintf(&sb, "sqe_search_leaves_total %d\n", ps.Search.Leaves)
+	counter("sqe_search_candidates_examined_total", "Distinct documents scored.")
+	fmt.Fprintf(&sb, "sqe_search_candidates_examined_total %d\n", ps.Search.CandidatesExamined)
+	counter("sqe_search_postings_advanced_total", "Posting-cursor advances across all leaves.")
+	fmt.Fprintf(&sb, "sqe_search_postings_advanced_total %d\n", ps.Search.PostingsAdvanced)
+	counter("sqe_search_heap_pushes_total", "Insertions into the bounded top-k heap.")
+	fmt.Fprintf(&sb, "sqe_search_heap_pushes_total %d\n", ps.Search.HeapPushes)
+	counter("sqe_search_heap_evictions_total", "Candidates that displaced the current k-th best.")
+	fmt.Fprintf(&sb, "sqe_search_heap_evictions_total %d\n", ps.Search.HeapEvictions)
+
+	if cs, ok := s.cfg.Engine.ExpansionCacheStats(); ok {
+		counter("sqe_expansion_cache_hits_total", "Expansion cache hits.")
+		fmt.Fprintf(&sb, "sqe_expansion_cache_hits_total %d\n", cs.Hits)
+		counter("sqe_expansion_cache_misses_total", "Expansion cache misses.")
+		fmt.Fprintf(&sb, "sqe_expansion_cache_misses_total %d\n", cs.Misses)
+		counter("sqe_expansion_cache_evictions_total", "Expansion cache LRU evictions.")
+		fmt.Fprintf(&sb, "sqe_expansion_cache_evictions_total %d\n", cs.Evictions)
+		gauge("sqe_expansion_cache_entries", "Expansions currently cached.")
+		fmt.Fprintf(&sb, "sqe_expansion_cache_entries %d\n", cs.Entries)
+	}
+
+	w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
+	_, _ = w.Write([]byte(sb.String()))
+}
+
+// Pipeline returns a copy of the aggregated pipeline stats served so far
+// (what /metrics exports); useful for tests and the -smoke self-check.
+func (s *Server) Pipeline() sqe.PipelineStats {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.pipeline
+}

@@ -1,0 +1,391 @@
+// Package serve is the HTTP serving layer over an sqe.Engine: the
+// ROADMAP's production-traffic north star needs more than a library —
+// it needs an endpoint with per-request deadlines, load shedding and
+// observability. The server exposes
+//
+//	POST/GET /search    — the paper's SQE_C pipeline (or one motif set)
+//	POST/GET /expand    — motif expansion only (query graph features)
+//	POST/GET /baseline  — the non-expanded QL_Q baseline
+//	GET      /healthz   — liveness + uptime
+//	GET      /metrics   — Prometheus text metrics (pipeline stages,
+//	                      evaluator counters, expansion cache, HTTP)
+//
+// Work endpoints accept either query parameters (?q=…&entities=a,b&k=10)
+// or a JSON body ({"query": …, "entities": […], "k": …}); responses are
+// JSON. Every work request runs under the configured timeout and the
+// engine's context-aware entry points, so a deadline or a disconnected
+// client aborts retrieval mid-evaluation instead of finishing work
+// nobody will read. A max-in-flight limiter sheds excess load with 429
+// before it queues, keeping tail latency bounded under overload.
+package serve
+
+import (
+	"context"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"net/http"
+	"strconv"
+	"strings"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	sqe "repro"
+)
+
+// Config parameterises the server. Engine is required; zero values for
+// the rest select the defaults noted on each field.
+type Config struct {
+	// Engine serves every request; it must be safe for concurrent use
+	// (any options-constructed Engine is).
+	Engine *sqe.Engine
+	// DefaultK is the result depth when a request omits k (default 10).
+	DefaultK int
+	// MaxK caps the requestable result depth (default 1000).
+	MaxK int
+	// Timeout bounds each work request end to end (default 10s; <0
+	// disables).
+	Timeout time.Duration
+	// MaxInFlight bounds concurrently evaluating work requests; excess
+	// requests are shed immediately with 429 (default 64; <0 disables).
+	MaxInFlight int
+}
+
+func (c Config) withDefaults() Config {
+	if c.DefaultK == 0 {
+		c.DefaultK = 10
+	}
+	if c.MaxK == 0 {
+		c.MaxK = 1000
+	}
+	if c.Timeout == 0 {
+		c.Timeout = 10 * time.Second
+	}
+	if c.MaxInFlight == 0 {
+		c.MaxInFlight = 64
+	}
+	return c
+}
+
+// endpointStats are one endpoint's atomic counters.
+type endpointStats struct {
+	requests atomic.Int64
+	errors   atomic.Int64
+}
+
+// Server is the http.Handler. Construct with New.
+type Server struct {
+	cfg     Config
+	mux     *http.ServeMux
+	limiter chan struct{}
+	start   time.Time
+
+	search   endpointStats
+	expand   endpointStats
+	baseline endpointStats
+
+	shed     atomic.Int64
+	timeouts atomic.Int64
+	inFlight atomic.Int64
+
+	// mu guards the aggregated pipeline stats fed by every search and
+	// baseline request (the same counters sqe-bench reports per run).
+	mu       sync.Mutex
+	pipeline sqe.PipelineStats
+}
+
+// New returns a Server over cfg.Engine. It panics if the engine is nil —
+// a configuration error no request could recover from.
+func New(cfg Config) *Server {
+	if cfg.Engine == nil {
+		panic("serve: Config.Engine is nil")
+	}
+	cfg = cfg.withDefaults()
+	s := &Server{cfg: cfg, mux: http.NewServeMux(), start: time.Now()}
+	if cfg.MaxInFlight > 0 {
+		s.limiter = make(chan struct{}, cfg.MaxInFlight)
+	}
+	s.mux.HandleFunc("/search", s.work(&s.search, s.handleSearch))
+	s.mux.HandleFunc("/expand", s.work(&s.expand, s.handleExpand))
+	s.mux.HandleFunc("/baseline", s.work(&s.baseline, s.handleBaseline))
+	s.mux.HandleFunc("/healthz", s.handleHealthz)
+	s.mux.HandleFunc("/metrics", s.handleMetrics)
+	return s
+}
+
+// ServeHTTP implements http.Handler.
+func (s *Server) ServeHTTP(w http.ResponseWriter, r *http.Request) {
+	s.mux.ServeHTTP(w, r)
+}
+
+// apiError is the JSON error envelope every non-200 response carries.
+type apiError struct {
+	Error string `json:"error"`
+}
+
+func writeJSON(w http.ResponseWriter, status int, v any) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(status)
+	enc := json.NewEncoder(w)
+	enc.SetEscapeHTML(false)
+	_ = enc.Encode(v)
+}
+
+// statusClientClosedRequest is nginx's conventional status for requests
+// abandoned by the client; no standard constant exists.
+const statusClientClosedRequest = 499
+
+// work wraps a handler with the serving policies: method check,
+// max-in-flight shedding, the per-request timeout, counters, and the
+// mapping from context errors to HTTP statuses.
+func (s *Server) work(st *endpointStats, h func(context.Context, *http.Request) (any, error)) http.HandlerFunc {
+	return func(w http.ResponseWriter, r *http.Request) {
+		st.requests.Add(1)
+		if r.Method != http.MethodGet && r.Method != http.MethodPost {
+			st.errors.Add(1)
+			writeJSON(w, http.StatusMethodNotAllowed, apiError{"use GET or POST"})
+			return
+		}
+		if s.limiter != nil {
+			select {
+			case s.limiter <- struct{}{}:
+				defer func() { <-s.limiter }()
+			default:
+				// Shed instead of queueing: under overload a bounded
+				// queue only converts excess load into timeouts.
+				s.shed.Add(1)
+				st.errors.Add(1)
+				w.Header().Set("Retry-After", "1")
+				writeJSON(w, http.StatusTooManyRequests, apiError{"server at max in-flight requests"})
+				return
+			}
+		}
+		s.inFlight.Add(1)
+		defer s.inFlight.Add(-1)
+		ctx := r.Context()
+		if s.cfg.Timeout > 0 {
+			var cancel context.CancelFunc
+			ctx, cancel = context.WithTimeout(ctx, s.cfg.Timeout)
+			defer cancel()
+		}
+		resp, err := h(ctx, r)
+		if err != nil {
+			st.errors.Add(1)
+			switch {
+			case errors.Is(err, context.DeadlineExceeded):
+				s.timeouts.Add(1)
+				writeJSON(w, http.StatusGatewayTimeout, apiError{"request timed out"})
+			case errors.Is(err, context.Canceled):
+				// The client is gone; the status is for the access log.
+				writeJSON(w, statusClientClosedRequest, apiError{"client closed request"})
+			default:
+				writeJSON(w, http.StatusBadRequest, apiError{err.Error()})
+			}
+			return
+		}
+		writeJSON(w, http.StatusOK, resp)
+	}
+}
+
+// request is the decoded form of a work request, from either query
+// parameters or a JSON body.
+type request struct {
+	Query    string   `json:"query"`
+	Entities []string `json:"entities"`
+	K        int      `json:"k"`
+	Set      string   `json:"set"`
+}
+
+// decodeRequest reads query parameters (GET or POST) and, for POST with
+// a body, merges the JSON fields over them.
+func (s *Server) decodeRequest(r *http.Request) (request, error) {
+	var req request
+	q := r.URL.Query()
+	req.Query = q.Get("q")
+	if req.Query == "" {
+		req.Query = q.Get("query")
+	}
+	for _, ent := range q["entities"] {
+		for _, e := range strings.Split(ent, ",") {
+			if e = strings.TrimSpace(e); e != "" {
+				req.Entities = append(req.Entities, e)
+			}
+		}
+	}
+	if ks := q.Get("k"); ks != "" {
+		k, err := strconv.Atoi(ks)
+		if err != nil {
+			return req, fmt.Errorf("bad k %q", ks)
+		}
+		req.K = k
+	}
+	req.Set = q.Get("set")
+	if r.Method == http.MethodPost && r.Body != nil && r.ContentLength != 0 {
+		if err := json.NewDecoder(r.Body).Decode(&req); err != nil {
+			return req, fmt.Errorf("bad JSON body: %v", err)
+		}
+	}
+	if strings.TrimSpace(req.Query) == "" {
+		return req, errors.New("missing query (q parameter or JSON body)")
+	}
+	if req.K <= 0 {
+		req.K = s.cfg.DefaultK
+	}
+	if req.K > s.cfg.MaxK {
+		req.K = s.cfg.MaxK
+	}
+	return req, nil
+}
+
+// motifSet maps the wire form ("T", "TS"/"T&S", "S") to a MotifSet.
+func motifSet(s string) (sqe.MotifSet, error) {
+	switch strings.ToUpper(strings.TrimSpace(s)) {
+	case "T":
+		return sqe.MotifT, nil
+	case "TS", "T&S", "T+S":
+		return sqe.MotifTS, nil
+	case "S":
+		return sqe.MotifS, nil
+	}
+	return 0, fmt.Errorf("unknown motif set %q (want T, TS or S)", s)
+}
+
+// resultJSON is one ranked document on the wire.
+type resultJSON struct {
+	Rank  int     `json:"rank"`
+	Name  string  `json:"name"`
+	Score float64 `json:"score"`
+}
+
+func toResultJSON(rs []sqe.Result) []resultJSON {
+	out := make([]resultJSON, len(rs))
+	for i, r := range rs {
+		out[i] = resultJSON{Rank: i + 1, Name: r.Name, Score: r.Score}
+	}
+	return out
+}
+
+// searchResponse is the /search and /baseline response body.
+type searchResponse struct {
+	Query    string       `json:"query"`
+	Entities []string     `json:"entities,omitempty"`
+	Set      string       `json:"set,omitempty"`
+	K        int          `json:"k"`
+	Results  []resultJSON `json:"results"`
+	TookMs   float64      `json:"took_ms"`
+}
+
+// recordPipeline merges one request's pipeline stats into the server
+// aggregate that /metrics exports.
+func (s *Server) recordPipeline(ps *sqe.PipelineStats) {
+	s.mu.Lock()
+	s.pipeline.Add(ps)
+	s.mu.Unlock()
+}
+
+func (s *Server) handleSearch(ctx context.Context, r *http.Request) (any, error) {
+	req, err := s.decodeRequest(r)
+	if err != nil {
+		return nil, err
+	}
+	start := time.Now()
+	var ps sqe.PipelineStats
+	var res []sqe.Result
+	if req.Set != "" {
+		set, err := motifSet(req.Set)
+		if err != nil {
+			return nil, err
+		}
+		res, err = s.cfg.Engine.SearchSetStatsContext(ctx, set, req.Query, req.Entities, req.K, &ps)
+		if err != nil {
+			return nil, err
+		}
+		ps.Queries++ // SearchSet* counts retrievals only; one pipeline execution happened
+	} else {
+		res, err = s.cfg.Engine.SearchWithStatsContext(ctx, req.Query, req.Entities, req.K, &ps)
+		if err != nil {
+			return nil, err
+		}
+	}
+	s.recordPipeline(&ps)
+	return &searchResponse{
+		Query:    req.Query,
+		Entities: req.Entities,
+		Set:      req.Set,
+		K:        req.K,
+		Results:  toResultJSON(res),
+		TookMs:   float64(time.Since(start).Microseconds()) / 1000,
+	}, nil
+}
+
+func (s *Server) handleBaseline(ctx context.Context, r *http.Request) (any, error) {
+	req, err := s.decodeRequest(r)
+	if err != nil {
+		return nil, err
+	}
+	start := time.Now()
+	res, err := s.cfg.Engine.BaselineSearchContext(ctx, req.Query, req.K)
+	if err != nil {
+		return nil, err
+	}
+	return &searchResponse{
+		Query:   req.Query,
+		K:       req.K,
+		Results: toResultJSON(res),
+		TookMs:  float64(time.Since(start).Microseconds()) / 1000,
+	}, nil
+}
+
+// featureJSON is one expansion feature on the wire.
+type featureJSON struct {
+	Title  string  `json:"title"`
+	Weight float64 `json:"weight"`
+}
+
+// expandResponse is the /expand response body.
+type expandResponse struct {
+	Query           string        `json:"query"`
+	Set             string        `json:"set"`
+	QueryNodeTitles []string      `json:"query_node_titles"`
+	Features        []featureJSON `json:"features"`
+	TookMs          float64       `json:"took_ms"`
+}
+
+func (s *Server) handleExpand(ctx context.Context, r *http.Request) (any, error) {
+	req, err := s.decodeRequest(r)
+	if err != nil {
+		return nil, err
+	}
+	if req.Set == "" {
+		req.Set = "TS"
+	}
+	set, err := motifSet(req.Set)
+	if err != nil {
+		return nil, err
+	}
+	start := time.Now()
+	exp, err := s.cfg.Engine.ExpandContext(ctx, req.Query, req.Entities, set)
+	if err != nil {
+		return nil, err
+	}
+	features := make([]featureJSON, len(exp.Features))
+	for i, f := range exp.Features {
+		features[i] = featureJSON{Title: f.Title, Weight: f.Weight}
+	}
+	return &expandResponse{
+		Query:           req.Query,
+		Set:             req.Set,
+		QueryNodeTitles: exp.QueryNodeTitles,
+		Features:        features,
+		TookMs:          float64(time.Since(start).Microseconds()) / 1000,
+	}, nil
+}
+
+func (s *Server) handleHealthz(w http.ResponseWriter, r *http.Request) {
+	writeJSON(w, http.StatusOK, map[string]any{
+		"status":    "ok",
+		"uptime_s":  time.Since(s.start).Seconds(),
+		"in_flight": s.inFlight.Load(),
+	})
+}

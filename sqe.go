@@ -15,14 +15,31 @@
 //
 //	env := sqe.GenerateDemo(sqe.DemoSmall)   // synthetic Wikipedia + corpus
 //	eng := env.Engine
-//	res := eng.Search("cable cars", []string{"cable car"}, 10)
+//	res, err := eng.Search("cable cars", []string{"cable car"}, 10)
 //	for _, r := range res {
 //		fmt.Println(r.Name, r.Score)
 //	}
+//
+// An Engine is configured at construction with functional options and is
+// immutable and safe for concurrent use afterwards:
+//
+//	eng := sqe.NewEngine(graph, ix,
+//		sqe.WithLinker(dict),
+//		sqe.WithDirichletMu(500),
+//		sqe.WithExpansionCache(4096),
+//	)
+//
+// Every Search/Expand entry point has a context-accepting primary form
+// (SearchContext, SearchSetContext, ExpandContext, …) whose deadline or
+// cancellation aborts retrieval mid-evaluation; the context-free forms
+// are thin wrappers over context.Background().
 package sqe
 
 import (
+	"context"
 	"fmt"
+	"runtime"
+	"sync"
 	"time"
 
 	"repro/internal/analysis"
@@ -66,6 +83,9 @@ type (
 	// StageTimings is the per-stage wall-clock breakdown inside
 	// PipelineStats.
 	StageTimings = core.StageTimings
+	// CacheStats are the expansion cache's hit/miss/eviction counters
+	// (see WithExpansionCache).
+	CacheStats = core.CacheStats
 )
 
 // Retrieval models.
@@ -121,20 +141,102 @@ type Expansion struct {
 
 // Engine bundles a KB graph and a document index into the full SQE
 // retrieval pipeline.
+//
+// An Engine is configured through the Options passed to NewEngine and is
+// immutable afterwards: any number of goroutines may call its Search,
+// Expand and Baseline methods concurrently. (The deprecated Set*
+// mutators remain for old callers; they are construction-time-only and
+// not synchronised.)
 type Engine struct {
 	graph    *Graph
 	searcher *search.Searcher
 	expander *core.Expander
 	linker   *entitylink.Linker
+	// cache memoises motif expansions across requests; nil when caching
+	// is off (the default outside serving).
+	cache *core.ExpansionCache
+	// workers bounds how many of an SQE_C call's three runs evaluate
+	// concurrently, engine-wide across requests; <= 1 runs them
+	// sequentially on the caller's goroutine.
+	workers int
+	// sem is the engine-wide worker semaphore (nil when workers <= 1).
+	sem chan struct{}
 }
 
-// NewEngine builds an Engine over a KB graph and a document index.
-func NewEngine(g *Graph, ix *Index) *Engine {
-	return &Engine{
+// Option configures an Engine at construction (see NewEngine).
+type Option func(*Engine)
+
+// WithLinker installs an entity-linking dictionary so that Search and
+// Expand can resolve entities from free text when no explicit entity
+// titles are given.
+func WithLinker(dict *entitylink.Dictionary) Option {
+	return func(e *Engine) { e.linker = entitylink.NewLinker(dict) }
+}
+
+// WithRetrievalModel switches the scoring function. The paper's model is
+// ModelDirichlet (the default); ModelJelinekMercer and ModelBM25 are
+// provided for comparison studies — SQE's expansions are model-agnostic.
+func WithRetrievalModel(m RetrievalModel, params ModelParams) Option {
+	return func(e *Engine) {
+		e.searcher.Model = m
+		e.searcher.Params = params
+	}
+}
+
+// WithDirichletMu overrides the retrieval model's smoothing parameter μ
+// (default 2500).
+func WithDirichletMu(mu float64) Option {
+	return func(e *Engine) { e.searcher.Mu = mu }
+}
+
+// WithLegacyScorer switches retrieval to the pre-DAAT map-and-sort
+// evaluator (the reference oracle used by the differential tests).
+// Rankings and scores are identical either way; only cost differs.
+func WithLegacyScorer() Option {
+	return func(e *Engine) { e.searcher.UseLegacyScorer = true }
+}
+
+// WithExpansionCache bounds a sharded LRU cache over motif expansions to
+// the given number of entries (keyed by sorted query nodes + motif set).
+// Repeated queries — including the three runs of a repeated SQE_C call —
+// skip motif search entirely; hits are bit-identical to the expansion
+// that populated them. entries <= 0 disables caching.
+func WithExpansionCache(entries int) Option {
+	return func(e *Engine) {
+		if entries > 0 {
+			e.cache = core.NewExpansionCache(entries)
+		} else {
+			e.cache = nil
+		}
+	}
+}
+
+// WithSQECWorkers bounds how many of SQE_C's three independent runs
+// (T, T&S, S) evaluate concurrently, shared engine-wide across requests.
+// n <= 1 forces the sequential path; the default is GOMAXPROCS. Parallel
+// and sequential paths return byte-identical results — the runs are
+// independent and the combination is deterministic.
+func WithSQECWorkers(n int) Option {
+	return func(e *Engine) { e.workers = n }
+}
+
+// NewEngine builds an Engine over a KB graph and a document index,
+// configured by the given options. The returned Engine is safe for
+// concurrent use.
+func NewEngine(g *Graph, ix *Index, opts ...Option) *Engine {
+	e := &Engine{
 		graph:    g,
 		searcher: search.NewSearcher(ix),
 		expander: core.NewExpander(g, ix.Analyzer()),
+		workers:  runtime.GOMAXPROCS(0),
 	}
+	for _, opt := range opts {
+		opt(e)
+	}
+	if e.workers > 1 {
+		e.sem = make(chan struct{}, e.workers)
+	}
+	return e
 }
 
 // Graph returns the engine's KB graph.
@@ -143,38 +245,57 @@ func (e *Engine) Graph() *Graph { return e.graph }
 // Index returns the engine's document index.
 func (e *Engine) Index() *Index { return e.searcher.Index() }
 
-// SetLinker installs an entity-linking dictionary so that Search and
-// Expand can resolve entities from free text when no explicit entity
-// titles are given.
+// ExpansionCacheStats reports the expansion cache's counters; ok is
+// false when the engine was built without WithExpansionCache.
+func (e *Engine) ExpansionCacheStats() (stats CacheStats, ok bool) {
+	if e.cache == nil {
+		return CacheStats{}, false
+	}
+	return e.cache.Stats(), true
+}
+
+// SetLinker installs an entity-linking dictionary.
+//
+// Deprecated: pass WithLinker to NewEngine instead. Mutating a live
+// Engine is not synchronised and must not race with searches.
 func (e *Engine) SetLinker(dict *entitylink.Dictionary) {
 	e.linker = entitylink.NewLinker(dict)
 }
 
-// SetDirichletMu overrides the retrieval model's smoothing parameter μ
-// (default 2500).
+// SetDirichletMu overrides the smoothing parameter μ (default 2500).
+//
+// Deprecated: pass WithDirichletMu to NewEngine instead. Mutating a live
+// Engine is not synchronised and must not race with searches.
 func (e *Engine) SetDirichletMu(mu float64) { e.searcher.Mu = mu }
 
-// SetRetrievalModel switches the scoring function. The paper's model is
-// ModelDirichlet (the default); ModelJelinekMercer and ModelBM25 are
-// provided for comparison studies — SQE's expansions are model-agnostic.
+// SetRetrievalModel switches the scoring function.
+//
+// Deprecated: pass WithRetrievalModel to NewEngine instead. Mutating a
+// live Engine is not synchronised and must not race with searches.
 func (e *Engine) SetRetrievalModel(m RetrievalModel, params ModelParams) {
 	e.searcher.Model = m
 	e.searcher.Params = params
 }
 
-// SetLegacyScorer switches retrieval back to the pre-DAAT map-and-sort
-// evaluator (the reference oracle used by the differential tests).
-// Rankings and scores are identical either way; only cost differs.
+// SetLegacyScorer toggles the pre-DAAT map-and-sort evaluator.
+//
+// Deprecated: pass WithLegacyScorer to NewEngine instead. Mutating a
+// live Engine is not synchronised and must not race with searches.
 func (e *Engine) SetLegacyScorer(on bool) { e.searcher.UseLegacyScorer = on }
 
 // ParseQuery parses an Indri-like structured query (#weight/#combine/
 // #1/#uwN/quotes) with the engine's analyzer and retrieves the top k.
 func (e *Engine) ParseQuery(query string, k int) ([]Result, error) {
+	return e.ParseQueryContext(context.Background(), query, k)
+}
+
+// ParseQueryContext is ParseQuery under a context deadline.
+func (e *Engine) ParseQueryContext(ctx context.Context, query string, k int) ([]Result, error) {
 	node, err := search.Parse(e.searcher.Index().Analyzer(), query)
 	if err != nil {
 		return nil, err
 	}
-	return e.searcher.Search(node, k), nil
+	return e.searcher.SearchContext(ctx, node, k)
 }
 
 // resolveEntities maps entity titles to query nodes; unknown titles are
@@ -205,11 +326,21 @@ func (e *Engine) resolveEntities(query string, entityTitles []string) ([]NodeID,
 // resolved against the graph; empty means "link automatically") and
 // returns the expansion features.
 func (e *Engine) Expand(query string, entityTitles []string, set MotifSet) (*Expansion, error) {
+	return e.ExpandContext(context.Background(), query, entityTitles, set)
+}
+
+// ExpandContext is Expand under a context: the check happens before the
+// motif search starts (motif search itself is not interruptible — it is
+// bounded by the query's neighbourhood, not the corpus).
+func (e *Engine) ExpandContext(ctx context.Context, query string, entityTitles []string, set MotifSet) (*Expansion, error) {
 	nodes, err := e.resolveEntities(query, entityTitles)
 	if err != nil {
 		return nil, err
 	}
-	qg := e.expander.BuildQueryGraph(nodes, set)
+	if err := ctx.Err(); err != nil {
+		return nil, err
+	}
+	qg := e.expander.BuildQueryGraphCached(nodes, set, e.cache)
 	exp := &Expansion{QueryNodes: qg.QueryNodes}
 	for _, n := range qg.QueryNodes {
 		exp.QueryNodeTitles = append(exp.QueryNodeTitles, e.graph.Title(n))
@@ -227,13 +358,25 @@ func (e *Engine) Expand(query string, entityTitles []string, set MotifSet) (*Exp
 // SearchSet runs the full SQE pipeline with one motif configuration:
 // expansion, three-part query construction, retrieval.
 func (e *Engine) SearchSet(set MotifSet, query string, entityTitles []string, k int) ([]Result, error) {
-	return e.SearchSetStats(set, query, entityTitles, k, nil)
+	return e.SearchSetStatsContext(context.Background(), set, query, entityTitles, k, nil)
+}
+
+// SearchSetContext is SearchSet under a context deadline; cancellation
+// aborts retrieval mid-evaluation.
+func (e *Engine) SearchSetContext(ctx context.Context, set MotifSet, query string, entityTitles []string, k int) ([]Result, error) {
+	return e.SearchSetStatsContext(ctx, set, query, entityTitles, k, nil)
 }
 
 // SearchSetStats is SearchSet with per-stage instrumentation: entity
 // linking, motif search, query build and retrieval timings plus the
 // evaluator's counters are accumulated into ps (which may be nil).
 func (e *Engine) SearchSetStats(set MotifSet, query string, entityTitles []string, k int, ps *PipelineStats) ([]Result, error) {
+	return e.SearchSetStatsContext(context.Background(), set, query, entityTitles, k, ps)
+}
+
+// SearchSetStatsContext is the primary single-configuration entry point:
+// SearchSetStats under a context.
+func (e *Engine) SearchSetStatsContext(ctx context.Context, set MotifSet, query string, entityTitles []string, k int, ps *PipelineStats) ([]Result, error) {
 	start := time.Now()
 	nodes, err := e.resolveEntities(query, entityTitles)
 	if ps != nil {
@@ -242,16 +385,19 @@ func (e *Engine) SearchSetStats(set MotifSet, query string, entityTitles []strin
 	if err != nil {
 		return nil, err
 	}
-	qg := e.expander.BuildQueryGraphStats(nodes, set, ps)
+	qg := e.expander.BuildQueryGraphCachedStats(nodes, set, e.cache, ps)
 	node := e.expander.BuildQueryStats(query, qg, ps)
 	if ps == nil {
-		return e.searcher.Search(node, k), nil
+		return e.searcher.SearchContext(ctx, node, k)
 	}
 	start = time.Now()
-	res, st := e.searcher.SearchWithStats(node, k)
+	res, st, err := e.searcher.SearchWithStatsContext(ctx, node, k)
 	ps.Stages.Retrieval += time.Since(start)
 	ps.Search.Add(st)
 	ps.Retrievals++
+	if err != nil {
+		return nil, err
+	}
 	return res, nil
 }
 
@@ -259,72 +405,131 @@ func (e *Engine) SearchSetStats(set MotifSet, query string, entityTitles []strin
 // come from the triangular-motif expansion, results through rank 200
 // from the combined expansion, and the remainder from the square-motif
 // expansion.
+//
+// When a document surfaces in more than one of the three runs, the
+// Result (and score) of the first run in T → T&S → S order is kept —
+// see core.SpliceResultsC for the tie rule.
 func (e *Engine) Search(query string, entityTitles []string, k int) ([]Result, error) {
-	return e.SearchWithStats(query, entityTitles, k, nil)
+	return e.SearchWithStatsContext(context.Background(), query, entityTitles, k, nil)
+}
+
+// SearchContext is Search under a context deadline; cancellation aborts
+// the in-flight retrievals mid-evaluation.
+func (e *Engine) SearchContext(ctx context.Context, query string, entityTitles []string, k int) ([]Result, error) {
+	return e.SearchWithStatsContext(ctx, query, entityTitles, k, nil)
 }
 
 // SearchWithStats is Search (the full SQE_C pipeline) with per-stage
 // instrumentation accumulated into ps (which may be nil): the three
 // per-set expansions and retrievals are all attributed to their stages.
 func (e *Engine) SearchWithStats(query string, entityTitles []string, k int, ps *PipelineStats) ([]Result, error) {
-	runT, err := e.SearchSetStats(MotifT, query, entityTitles, k, ps)
-	if err != nil {
-		return nil, err
-	}
-	runTS, err := e.SearchSetStats(MotifTS, query, entityTitles, k, ps)
-	if err != nil {
-		return nil, err
-	}
-	runS, err := e.SearchSetStats(MotifS, query, entityTitles, k, ps)
-	if err != nil {
-		return nil, err
+	return e.SearchWithStatsContext(context.Background(), query, entityTitles, k, ps)
+}
+
+// sqecSets are SQE_C's three runs in splice order.
+var sqecSets = [3]MotifSet{MotifT, MotifTS, MotifS}
+
+// SearchWithStatsContext is the primary SQE_C entry point. The three
+// motif-set runs are independent (Section 2.2.1); with the engine's
+// worker count above one they evaluate concurrently, bounded by the
+// engine-wide semaphore, and the result lists are spliced exactly as in
+// the sequential path — output is byte-identical either way. Per-run
+// stats are accumulated privately and merged in run order so ps sums
+// deterministically.
+func (e *Engine) SearchWithStatsContext(ctx context.Context, query string, entityTitles []string, k int, ps *PipelineStats) ([]Result, error) {
+	var runs [3][]Result
+	var errs [3]error
+	if e.workers <= 1 {
+		for i, set := range sqecSets {
+			runs[i], errs[i] = e.SearchSetStatsContext(ctx, set, query, entityTitles, k, ps)
+			if errs[i] != nil {
+				return nil, errs[i]
+			}
+		}
+	} else {
+		var pss [3]*PipelineStats
+		var wg sync.WaitGroup
+		for i, set := range sqecSets {
+			if ps != nil {
+				pss[i] = &PipelineStats{}
+			}
+			wg.Add(1)
+			go func(i int, set MotifSet) {
+				defer wg.Done()
+				e.sem <- struct{}{}
+				defer func() { <-e.sem }()
+				runs[i], errs[i] = e.SearchSetStatsContext(ctx, set, query, entityTitles, k, pss[i])
+			}(i, set)
+		}
+		wg.Wait()
+		if ps != nil {
+			for _, p := range pss {
+				ps.Add(p)
+			}
+		}
+		// First error in run order, so parallel failures are reported
+		// identically to sequential ones.
+		for _, err := range errs {
+			if err != nil {
+				return nil, err
+			}
+		}
 	}
 	if ps != nil {
 		ps.Queries++
 	}
-	names := core.SpliceC(k, core.ResultNames(runT), core.ResultNames(runTS), core.ResultNames(runS))
-	byName := make(map[string]Result, len(runT)+len(runTS)+len(runS))
-	for _, rs := range [][]Result{runT, runTS, runS} {
-		for _, r := range rs {
-			if _, ok := byName[r.Name]; !ok {
-				byName[r.Name] = r
-			}
-		}
-	}
-	out := make([]Result, 0, len(names))
-	for _, n := range names {
-		out = append(out, byName[n])
-	}
-	return out, nil
+	return core.SpliceResultsC(k, runs[0], runs[1], runs[2]), nil
 }
 
 // BaselineSearch runs the plain query-likelihood baseline (QL_Q): the
 // user's query with no expansion.
-func (e *Engine) BaselineSearch(query string, k int) []Result {
-	return e.searcher.Search(e.expander.QLQuery(query), k)
+func (e *Engine) BaselineSearch(query string, k int) ([]Result, error) {
+	return e.BaselineSearchContext(context.Background(), query, k)
+}
+
+// BaselineSearchContext is BaselineSearch under a context deadline.
+func (e *Engine) BaselineSearchContext(ctx context.Context, query string, k int) ([]Result, error) {
+	return e.searcher.SearchContext(ctx, e.expander.QLQuery(query), k)
 }
 
 // SearchPRF applies pseudo-relevance feedback (Lavrenko relevance model)
 // on top of the SQE expansion for one motif set — the paper's
 // orthogonality experiment (Section 4.3).
 func (e *Engine) SearchPRF(set MotifSet, query string, entityTitles []string, cfg PRFConfig, k int) ([]Result, error) {
+	return e.SearchPRFContext(context.Background(), set, query, entityTitles, cfg, k)
+}
+
+// SearchPRFContext is SearchPRF under a context. The context governs the
+// final retrieval; the feedback pass (a small fixed-depth retrieval) is
+// not interruptible.
+func (e *Engine) SearchPRFContext(ctx context.Context, set MotifSet, query string, entityTitles []string, cfg PRFConfig, k int) ([]Result, error) {
 	nodes, err := e.resolveEntities(query, entityTitles)
 	if err != nil {
 		return nil, err
 	}
-	qg := e.expander.BuildQueryGraph(nodes, set)
+	qg := e.expander.BuildQueryGraphCached(nodes, set, e.cache)
 	node := prf.Reformulate(e.searcher, e.expander.BuildQuery(query, qg), cfg)
-	return e.searcher.Search(node, k), nil
+	return e.searcher.SearchContext(ctx, node, k)
 }
 
 // BaselineSearchPRF applies pseudo-relevance feedback to the plain
 // user query with no expansion — the paper's PRF_Q configuration, whose
 // collapse on vocabulary-mismatched collections Section 4.3 demonstrates.
-func (e *Engine) BaselineSearchPRF(query string, cfg PRFConfig, k int) []Result {
+func (e *Engine) BaselineSearchPRF(query string, cfg PRFConfig, k int) ([]Result, error) {
+	return e.BaselineSearchPRFContext(context.Background(), query, cfg, k)
+}
+
+// BaselineSearchPRFContext is BaselineSearchPRF under a context (final
+// retrieval only, as in SearchPRFContext).
+func (e *Engine) BaselineSearchPRFContext(ctx context.Context, query string, cfg PRFConfig, k int) ([]Result, error) {
 	node := prf.Reformulate(e.searcher, e.expander.QLQuery(query), cfg)
-	return e.searcher.Search(node, k)
+	return e.searcher.SearchContext(ctx, node, k)
 }
 
 // Expander exposes the underlying expander for advanced configuration
-// (part weights, feature caps, motif-condition ablations).
+// (part weights, feature caps, motif-condition ablations). Reconfigure
+// it only before the Engine starts serving concurrent traffic; with an
+// expansion cache installed, matcher-level ablation toggles additionally
+// require a fresh Engine (they change expansion output without changing
+// the cache key).
 func (e *Engine) Expander() *core.Expander { return e.expander }

@@ -73,7 +73,10 @@ func TestSearchImprovesOverBaseline(t *testing.T) {
 	e := demo(t)
 	var base, sqe float64
 	for _, q := range e.Queries {
-		b := e.Engine.BaselineSearch(q.Text, 10)
+		b, err := e.Engine.BaselineSearch(q.Text, 10)
+		if err != nil {
+			t.Fatal(err)
+		}
 		s, err := e.Engine.Search(q.Text, q.EntityTitles, 10)
 		if err != nil {
 			t.Fatal(err)
@@ -191,12 +194,20 @@ func TestPrecisionAtHelper(t *testing.T) {
 	}
 }
 
+// TestSetDirichletMu exercises the deprecated mutator wrapper; the
+// options form is covered by TestEngineOptions.
 func TestSetDirichletMu(t *testing.T) {
 	e := demo(t)
 	q := e.Queries[0]
-	before := e.Engine.BaselineSearch(q.Text, 5)
+	before, err := e.Engine.BaselineSearch(q.Text, 5)
+	if err != nil {
+		t.Fatal(err)
+	}
 	e.Engine.SetDirichletMu(10)
-	after := e.Engine.BaselineSearch(q.Text, 5)
+	after, err := e.Engine.BaselineSearch(q.Text, 5)
+	if err != nil {
+		t.Fatal(err)
+	}
 	e.Engine.SetDirichletMu(0) // restore default
 	if len(before) == 0 || len(after) == 0 {
 		t.Fatal("searches returned nothing")
@@ -228,9 +239,15 @@ func TestNewEntityDictionary(t *testing.T) {
 func TestSetRetrievalModel(t *testing.T) {
 	e := MustGenerateDemo(DemoSmall)
 	q := e.Queries[0]
-	dirichlet := e.Engine.BaselineSearch(q.Text, 5)
+	dirichlet, err := e.Engine.BaselineSearch(q.Text, 5)
+	if err != nil {
+		t.Fatal(err)
+	}
 	e.Engine.SetRetrievalModel(ModelBM25, ModelParams{})
-	bm25 := e.Engine.BaselineSearch(q.Text, 5)
+	bm25, err := e.Engine.BaselineSearch(q.Text, 5)
+	if err != nil {
+		t.Fatal(err)
+	}
 	if len(dirichlet) == 0 || len(bm25) == 0 {
 		t.Fatal("searches returned nothing")
 	}

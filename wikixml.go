@@ -19,7 +19,7 @@ type WikiImportOptions = wikixml.Options
 type WikiImport struct {
 	Graph *Graph
 	Stats wikixml.Stats
-	// Dictionary is ready for Engine.SetLinker.
+	// Dictionary is ready for WithLinker.
 	Dictionary *entitylink.Dictionary
 }
 
@@ -29,8 +29,7 @@ type WikiImport struct {
 // NewIndexBuilder, then:
 //
 //	imp, _ := sqe.ImportWikiXML(f, sqe.WikiImportOptions{})
-//	eng := sqe.NewEngine(imp.Graph, ix)
-//	eng.SetLinker(imp.Dictionary)
+//	eng := sqe.NewEngine(imp.Graph, ix, sqe.WithLinker(imp.Dictionary))
 func ImportWikiXML(r io.Reader, opts WikiImportOptions) (*WikiImport, error) {
 	res, err := wikixml.Parse(r, opts)
 	if err != nil {
