@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: build test race vet bench serve-smoke verify
+.PHONY: build test race vet bench bench-shards shard-parity serve-smoke verify
 
 build:
 	$(GO) build ./...
@@ -20,11 +20,24 @@ race:
 bench:
 	$(GO) test -run NONE -bench 'SearchExpandedTopK' -benchmem .
 
-# Boots sqe-serve on the demo corpus, drives one in-process request
-# through every endpoint (200 + non-empty payload checks) and exits.
+# Sharded-retrieval throughput at 1/2/4/8 shards on the expanded-query
+# workload; writes the measurements (including GOMAXPROCS, so readers
+# can judge whether parallel speedup was even possible) to
+# BENCH_shards.json.
+bench-shards:
+	$(GO) run ./cmd/sqe-bench -scale small -exp shards -shards 1,2,4,8 -shards-json BENCH_shards.json
+
+# The bit-identity gates for sharded retrieval: evaluator-level and
+# engine-level differential tests across shard counts and models.
+shard-parity:
+	$(GO) test -run 'Sharded' -count=1 . ./internal/index/... ./internal/search/...
+
+# Boots sqe-serve on the demo corpus with a sharded engine, drives one
+# in-process request through every endpoint (200 + non-empty payload
+# checks, including per-shard metrics) and exits.
 serve-smoke:
-	$(GO) run ./cmd/sqe-serve -smoke
+	$(GO) run ./cmd/sqe-serve -smoke -shards 4
 
 # The full gate run before every commit.
-verify: vet build race test serve-smoke
+verify: vet build race test shard-parity serve-smoke
 	@echo "verify: OK"

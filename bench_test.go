@@ -25,6 +25,7 @@ import (
 	"repro/internal/dataset"
 	"repro/internal/eval"
 	"repro/internal/experiments"
+	"repro/internal/index"
 	"repro/internal/kb"
 	"repro/internal/motif"
 	"repro/internal/search"
@@ -275,6 +276,31 @@ func BenchmarkSearchExpandedTopKDAAT(b *testing.B) { benchSearchTopK(b, false) }
 
 // BenchmarkSearchExpandedTopKLegacy is the retained map-and-sort oracle.
 func BenchmarkSearchExpandedTopKLegacy(b *testing.B) { benchSearchTopK(b, true) }
+
+// benchSearchTopKSharded is benchSearchTopK routed through S index
+// shards. On a multi-core runner the per-shard evaluations overlap; on
+// one core the numbers expose the fan-out's coordination overhead.
+func benchSearchTopKSharded(b *testing.B, shards int) {
+	s := suite(b)
+	r := s.NewRunner(s.ImageCLEF)
+	queries := s.ImageCLEF.Queries
+	nodes := make([]search.Node, len(queries))
+	for qi := range queries {
+		q := &queries[qi]
+		qg := r.Expander.BuildQueryGraph(r.Entities(q, true), motif.SetTS)
+		nodes[qi] = r.Expander.BuildQuery(q.Text, qg)
+	}
+	ss := search.NewShardedSearcher(index.NewSharded(s.ImageCLEF.Index, shards))
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		_ = ss.Search(nodes[i%len(nodes)], 10)
+	}
+}
+
+func BenchmarkSearchExpandedTopKSharded2(b *testing.B) { benchSearchTopKSharded(b, 2) }
+func BenchmarkSearchExpandedTopKSharded4(b *testing.B) { benchSearchTopKSharded(b, 4) }
+func BenchmarkSearchExpandedTopKSharded8(b *testing.B) { benchSearchTopKSharded(b, 8) }
 
 // BenchmarkSearchExpanded measures one full SQE_T&S retrieval including
 // expansion and query construction.

@@ -3,7 +3,8 @@
 //
 // Usage:
 //
-//	sqe-bench [-scale small|default] [-exp all|fig2|tab1|fig5|tab2|fig6|tab3|tab4|stages]
+//	sqe-bench [-scale small|default] [-exp all|fig2|tab1|fig5|tab2|fig6|tab3|tab4|stages|shards]
+//	          [-shards 1,2,4,8] [-shards-json BENCH_shards.json]
 package main
 
 import (
@@ -24,6 +25,8 @@ func main() {
 	scaleFlag := flag.String("scale", "default", "environment scale: small|default")
 	expFlag := flag.String("exp", "all", "experiment: all or substring list of fig2,tab1,fig5,tab2,fig6,tab3,tab4,stages,ablation,mining,summary")
 	trecFlag := flag.String("trec", "", "directory to export TREC qrels/run files into")
+	shardsFlag := flag.String("shards", "1,2,4,8", "comma-separated shard counts for -exp shards")
+	shardsJSON := flag.String("shards-json", "", "file to write the shard bench result to as JSON")
 	flag.Parse()
 
 	scale := dataset.ScaleDefault
@@ -114,6 +117,28 @@ func main() {
 		}
 		if len(t2s) > 0 {
 			fmt.Println(experiments.SigMatrix(t2s[0], 10))
+		}
+	}
+	if want("shards") {
+		var counts []int
+		for _, f := range strings.Split(*shardsFlag, ",") {
+			var n int
+			if _, err := fmt.Sscanf(strings.TrimSpace(f), "%d", &n); err != nil {
+				log.Fatalf("bad -shards %q", *shardsFlag)
+			}
+			counts = append(counts, n)
+		}
+		sb := experiments.ShardBench(suite, suite.ImageCLEF, counts, 10, 3)
+		fmt.Println(sb)
+		if *shardsJSON != "" {
+			data, err := sb.JSON()
+			if err != nil {
+				log.Fatal(err)
+			}
+			if err := os.WriteFile(*shardsJSON, append(data, '\n'), 0o644); err != nil {
+				log.Fatal(err)
+			}
+			fmt.Printf("wrote %s\n", *shardsJSON)
 		}
 	}
 	if *trecFlag != "" {

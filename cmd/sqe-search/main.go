@@ -20,6 +20,7 @@ package main
 
 import (
 	"bufio"
+	"context"
 	"flag"
 	"fmt"
 	"log"
@@ -80,35 +81,32 @@ func main() {
 }
 
 func runFreeText(env *sqe.DemoEnv, text string, top int, showStats bool) {
-	exp, err := env.Engine.Expand(text, nil, sqe.MotifTS)
-	if err != nil {
-		fmt.Println("expand:", err)
-		return
-	}
-	fmt.Printf("entities: %v\n", exp.QueryNodeTitles)
-	fmt.Printf("expansion features (%d):", len(exp.Features))
-	for i, f := range exp.Features {
-		if i == 8 {
-			fmt.Print(" …")
-			break
-		}
-		fmt.Printf(" %q(%.0f)", f.Title, f.Weight)
-	}
-	fmt.Println()
-	var ps *sqe.PipelineStats
-	if showStats {
-		ps = &sqe.PipelineStats{}
-	}
-	res, err := env.Engine.SearchWithStats(text, nil, top, ps)
+	// One Do call runs the SQE_C pipeline and returns the combined
+	// (T&S) run's expansion alongside the results.
+	resp, err := env.Engine.Do(context.Background(), sqe.SearchRequest{
+		Query: text, K: top, CollectStats: showStats,
+	})
 	if err != nil {
 		fmt.Println("search:", err)
 		return
 	}
-	for i, r := range res {
+	if exp := resp.Expansion; exp != nil {
+		fmt.Printf("entities: %v\n", exp.QueryNodeTitles)
+		fmt.Printf("expansion features (%d):", len(exp.Features))
+		for i, f := range exp.Features {
+			if i == 8 {
+				fmt.Print(" …")
+				break
+			}
+			fmt.Printf(" %q(%.0f)", f.Title, f.Weight)
+		}
+		fmt.Println()
+	}
+	for i, r := range resp.Results {
 		fmt.Printf("  %2d. %-12s %.4f\n", i+1, r.Name, r.Score)
 	}
-	if ps != nil {
-		fmt.Println(ps)
+	if resp.Stats != nil {
+		fmt.Println(resp.Stats)
 	}
 }
 
@@ -125,16 +123,15 @@ func runBenchmark(env *sqe.DemoEnv, id string, top int, showStats bool) {
 		return
 	}
 	fmt.Printf("%s: %q entities=%v\n", q.ID, q.Text, q.EntityTitles)
-	base, err := env.Engine.BaselineSearch(q.Text, top)
+	ctx := context.Background()
+	baseResp, err := env.Engine.Do(ctx, sqe.SearchRequest{Query: q.Text, K: top, Baseline: true})
 	if err != nil {
 		fmt.Println("baseline:", err)
 		return
 	}
-	var ps *sqe.PipelineStats
-	if showStats {
-		ps = &sqe.PipelineStats{}
-	}
-	res, err := env.Engine.SearchWithStats(q.Text, q.EntityTitles, top, ps)
+	sqeResp, err := env.Engine.Do(ctx, sqe.SearchRequest{
+		Query: q.Text, EntityTitles: q.EntityTitles, K: top, CollectStats: showStats,
+	})
 	if err != nil {
 		fmt.Println("search:", err)
 		return
@@ -150,9 +147,9 @@ func runBenchmark(env *sqe.DemoEnv, id string, top int, showStats bool) {
 		}
 		fmt.Printf("  %-8s P@%d=%.2f [%s]\n", name, top, sqe.PrecisionAt(rs, q.Relevant, top), marks)
 	}
-	show("QL_Q", base)
-	show("SQE_C", res)
-	if ps != nil {
-		fmt.Println(ps)
+	show("QL_Q", baseResp.Results)
+	show("SQE_C", sqeResp.Results)
+	if sqeResp.Stats != nil {
+		fmt.Println(sqeResp.Stats)
 	}
 }

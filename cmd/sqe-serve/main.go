@@ -6,7 +6,8 @@
 // Usage:
 //
 //	sqe-serve [-addr :8344] [-scale small|default] [-timeout 10s]
-//	          [-max-inflight 64] [-cache 4096] [-workers 0] [-smoke]
+//	          [-max-inflight 64] [-cache 4096] [-workers 0] [-shards 1]
+//	          [-smoke]
 //
 // Endpoints (see internal/serve):
 //
@@ -55,6 +56,7 @@ func main() {
 	maxInFlight := flag.Int("max-inflight", 64, "work requests evaluating concurrently before shedding 429s")
 	cacheSize := flag.Int("cache", 4096, "expansion cache entries (0 = off)")
 	workers := flag.Int("workers", 0, "concurrent SQE_C runs engine-wide (0 = GOMAXPROCS, 1 = sequential)")
+	shards := flag.Int("shards", 1, "index shards evaluated in parallel per retrieval (1 = unsharded)")
 	smoke := flag.Bool("smoke", false, "boot on an ephemeral port, self-test every endpoint, exit")
 	flag.Parse()
 
@@ -66,6 +68,9 @@ func main() {
 	opts := []sqe.Option{sqe.WithExpansionCache(*cacheSize)}
 	if *workers != 0 {
 		opts = append(opts, sqe.WithSQECWorkers(*workers))
+	}
+	if *shards > 1 {
+		opts = append(opts, sqe.WithShards(*shards))
 	}
 	env, err := sqe.GenerateDemo(scale, opts...)
 	if err != nil {
@@ -147,7 +152,11 @@ func runSmoke(srv *serve.Server, env *sqe.DemoEnv) error {
 			return nil
 		}},
 		{"metrics", "/metrics", func(b []byte) error {
-			for _, m := range []string{"sqe_http_requests_total", "sqe_pipeline_retrievals_total", "sqe_expansion_cache_hits_total"} {
+			want := []string{"sqe_http_requests_total", "sqe_pipeline_retrievals_total", "sqe_expansion_cache_hits_total"}
+			if env.Engine.Shards() > 1 {
+				want = append(want, `sqe_search_shard_seconds_total{shard="0"}`)
+			}
+			for _, m := range want {
 				if !strings.Contains(string(b), m) {
 					return fmt.Errorf("metric %s missing", m)
 				}

@@ -14,6 +14,7 @@
 package main
 
 import (
+	"context"
 	"fmt"
 	"log"
 
@@ -104,20 +105,23 @@ func main() {
 	}
 	fmt.Println()
 
-	baseline, err := engine.BaselineSearch("cable cars", 5)
+	ctx := context.Background()
+	baseline, err := engine.Do(ctx, sqe.SearchRequest{Query: "cable cars", K: 5, Baseline: true})
 	if err != nil {
 		log.Fatal(err)
 	}
-	expanded, err := engine.SearchSet(sqe.MotifTS, "cable cars", []string{"Cable car"}, 5)
+	expanded, err := engine.Do(ctx, sqe.SearchRequest{
+		Query: "cable cars", EntityTitles: []string{"Cable car"}, MotifSet: sqe.MotifTS, K: 5,
+	})
 	if err != nil {
 		log.Fatal(err)
 	}
 	fmt.Println("\nbaseline ranking:")
-	for i, r := range baseline {
+	for i, r := range baseline.Results {
 		fmt.Printf("  %d. %s\n", i+1, r.Name)
 	}
 	fmt.Println("expanded ranking:")
-	for i, r := range expanded {
+	for i, r := range expanded.Results {
 		fmt.Printf("  %d. %s\n", i+1, r.Name)
 	}
 

@@ -10,6 +10,7 @@
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
 	"log"
@@ -33,34 +34,35 @@ func main() {
 	}
 	fmt.Printf("%s: %d queries\n\n", env.DatasetName, len(env.Queries))
 
-	type runner func(q sqe.DemoQuery) ([]sqe.Result, error)
+	// Each configuration is one Engine.Do request shape.
 	configs := []struct {
 		name string
-		run  runner
+		req  func(q sqe.DemoQuery) sqe.SearchRequest
 	}{
-		{"QL_Q", func(q sqe.DemoQuery) ([]sqe.Result, error) {
-			return env.Engine.BaselineSearch(q.Text, 1000)
+		{"QL_Q", func(q sqe.DemoQuery) sqe.SearchRequest {
+			return sqe.SearchRequest{Query: q.Text, K: 1000, Baseline: true}
 		}},
-		{"SQE_C (M)", func(q sqe.DemoQuery) ([]sqe.Result, error) {
-			return env.Engine.Search(q.Text, q.EntityTitles, 1000)
+		{"SQE_C (M)", func(q sqe.DemoQuery) sqe.SearchRequest {
+			return sqe.SearchRequest{Query: q.Text, EntityTitles: q.EntityTitles, K: 1000}
 		}},
-		{"SQE_C (A)", func(q sqe.DemoQuery) ([]sqe.Result, error) {
-			// nil entity titles → the engine's Dexter-like linker
+		{"SQE_C (A)", func(q sqe.DemoQuery) sqe.SearchRequest {
+			// No entity titles → the engine's Dexter-like linker
 			// resolves entities from the query text.
-			return env.Engine.Search(q.Text, nil, 1000)
+			return sqe.SearchRequest{Query: q.Text, K: 1000}
 		}},
 	}
 
+	ctx := context.Background()
 	means := map[string]map[int]float64{}
 	for _, cfg := range configs {
 		sums := map[int]float64{}
 		for _, q := range env.Queries {
-			rs, err := cfg.run(q)
+			resp, err := env.Engine.Do(ctx, cfg.req(q))
 			if err != nil {
 				log.Fatalf("%s/%s: %v", cfg.name, q.ID, err)
 			}
 			for _, k := range tops {
-				sums[k] += sqe.PrecisionAt(rs, q.Relevant, k)
+				sums[k] += sqe.PrecisionAt(resp.Results, q.Relevant, k)
 			}
 		}
 		means[cfg.name] = map[int]float64{}

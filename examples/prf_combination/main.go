@@ -10,6 +10,7 @@
 package main
 
 import (
+	"context"
 	"fmt"
 	"log"
 
@@ -23,39 +24,38 @@ func main() {
 		log.Fatal(err)
 	}
 	eng := env.Engine
+	ctx := context.Background()
 
 	var sumBase, sumPRF, sumSQE, sumSQEPRF float64
 	prfCfg := sqe.PRFConfig{FbDocs: 10, FbTerms: 20} // pure replacement, as in the paper
 	rm3 := sqe.PRFConfig{FbDocs: 10, FbTerms: 20, OrigWeight: 0.5}
 	const k = 10
 
-	for _, q := range env.Queries {
-		base, err := eng.BaselineSearch(q.Text, k)
+	// Every configuration is one Engine.Do request; pAt runs it and
+	// scores the ranking.
+	pAt := func(q sqe.DemoQuery, req sqe.SearchRequest) float64 {
+		resp, err := eng.Do(ctx, req)
 		if err != nil {
 			log.Fatal(err)
 		}
-		sumBase += sqe.PrecisionAt(base, q.Relevant, k)
+		return sqe.PrecisionAt(resp.Results, q.Relevant, k)
+	}
+
+	for _, q := range env.Queries {
+		sumBase += pAt(q, sqe.SearchRequest{Query: q.Text, K: k, Baseline: true})
 
 		// PRF over the raw query: feedback concepts come from the top
 		// documents of a bad ranking — garbage in, garbage out.
-		prfOnly, err := eng.BaselineSearchPRF(q.Text, prfCfg, k)
-		if err != nil {
-			log.Fatal(err)
-		}
-		sumPRF += sqe.PrecisionAt(prfOnly, q.Relevant, k)
+		sumPRF += pAt(q, sqe.SearchRequest{Query: q.Text, K: k, Baseline: true, PRF: &prfCfg})
 
-		s, err := eng.SearchSet(sqe.MotifTS, q.Text, q.EntityTitles, k)
-		if err != nil {
-			log.Fatal(err)
-		}
-		sumSQE += sqe.PrecisionAt(s, q.Relevant, k)
+		sumSQE += pAt(q, sqe.SearchRequest{
+			Query: q.Text, EntityTitles: q.EntityTitles, MotifSet: sqe.MotifTS, K: k,
+		})
 
 		// SQE ∘ PRF: feedback over the expanded query's ranking.
-		sp, err := eng.SearchPRF(sqe.MotifTS, q.Text, q.EntityTitles, rm3, k)
-		if err != nil {
-			log.Fatal(err)
-		}
-		sumSQEPRF += sqe.PrecisionAt(sp, q.Relevant, k)
+		sumSQEPRF += pAt(q, sqe.SearchRequest{
+			Query: q.Text, EntityTitles: q.EntityTitles, MotifSet: sqe.MotifTS, K: k, PRF: &rm3,
+		})
 	}
 
 	n := float64(len(env.Queries))

@@ -8,6 +8,7 @@
 package main
 
 import (
+	"context"
 	"fmt"
 	"log"
 
@@ -45,12 +46,14 @@ func main() {
 		fmt.Printf("  %-40q |m_a| = %.0f\n", f.Title, f.Weight)
 	}
 
-	// 2. Retrieval: plain query likelihood vs the full SQE_C pipeline.
-	baseline, err := eng.BaselineSearch(q.Text, 10)
+	// 2. Retrieval through Engine.Do, the unified request/response entry
+	// point: plain query likelihood vs the full SQE_C pipeline.
+	ctx := context.Background()
+	baseline, err := eng.Do(ctx, sqe.SearchRequest{Query: q.Text, K: 10, Baseline: true})
 	if err != nil {
 		log.Fatal(err)
 	}
-	expanded, err := eng.Search(q.Text, q.EntityTitles, 10)
+	expanded, err := eng.Do(ctx, sqe.SearchRequest{Query: q.Text, EntityTitles: q.EntityTitles, K: 10})
 	if err != nil {
 		log.Fatal(err)
 	}
@@ -64,6 +67,6 @@ func main() {
 			fmt.Printf("  %2d. [%s] %s\n", i+1, mark, r.Name)
 		}
 	}
-	show("QL_Q baseline", baseline)
-	show("SQE_C", expanded)
+	show("QL_Q baseline", baseline.Results)
+	show("SQE_C", expanded.Results)
 }

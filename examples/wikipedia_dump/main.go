@@ -13,6 +13,7 @@
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
 	"log"
@@ -61,21 +62,21 @@ func main() {
 
 	for _, query := range []string{"cable cars", "graffiti street art on walls"} {
 		fmt.Printf("query: %q\n", query)
-		exp, err := eng.Expand(query, nil, sqe.MotifTS) // entities via anchor dictionary
+		// One Do call: SQE_C retrieval with entities linked through the
+		// anchor dictionary, expansion reported alongside the results.
+		resp, err := eng.Do(context.Background(), sqe.SearchRequest{Query: query, K: 5})
 		if err != nil {
 			log.Fatal(err)
 		}
-		fmt.Printf("  linked entities: %v\n", exp.QueryNodeTitles)
-		fmt.Printf("  expansion features:")
-		for _, feat := range exp.Features {
-			fmt.Printf(" %q(|m_a|=%.0f)", feat.Title, feat.Weight)
+		if exp := resp.Expansion; exp != nil {
+			fmt.Printf("  linked entities: %v\n", exp.QueryNodeTitles)
+			fmt.Printf("  expansion features:")
+			for _, feat := range exp.Features {
+				fmt.Printf(" %q(|m_a|=%.0f)", feat.Title, feat.Weight)
+			}
+			fmt.Println()
 		}
-		fmt.Println()
-		res, err := eng.Search(query, nil, 5)
-		if err != nil {
-			log.Fatal(err)
-		}
-		for i, r := range res {
+		for i, r := range resp.Results {
 			fmt.Printf("  %d. %s\n", i+1, r.Name)
 		}
 		fmt.Println()

@@ -190,19 +190,58 @@ func (e *Expander) expansionKey(queryNodes []kb.NodeID, set motif.Set) string {
 	return string(buf)
 }
 
+// canonicalGraph returns qg in the cache's canonical storage form:
+// query nodes sorted ascending, features in SortFeatures order
+// (descending weight, ascending article). BuildQueryGraph already
+// emits canonical features, so the sort is a defensive no-op there;
+// slices are copied only when they actually need reordering, and the
+// input graph is never mutated.
+func canonicalGraph(qg QueryGraph) QueryGraph {
+	nodeLess := func(i, j int) bool { return qg.QueryNodes[i] < qg.QueryNodes[j] }
+	if !sort.SliceIsSorted(qg.QueryNodes, nodeLess) {
+		sorted := append([]kb.NodeID(nil), qg.QueryNodes...)
+		sort.Slice(sorted, func(i, j int) bool { return sorted[i] < sorted[j] })
+		qg.QueryNodes = sorted
+	}
+	fs := qg.Features
+	featLess := func(i, j int) bool {
+		if fs[i].Weight != fs[j].Weight {
+			return fs[i].Weight > fs[j].Weight
+		}
+		return fs[i].Article < fs[j].Article
+	}
+	if !sort.SliceIsSorted(fs, featLess) {
+		sorted := append([]Feature(nil), fs...)
+		SortFeatures(sorted)
+		qg.Features = sorted
+	}
+	return qg
+}
+
 // BuildQueryGraphCached is BuildQueryGraph through cache c: a hit
 // returns the stored graph (treat it as immutable), a miss builds and
 // stores it. c == nil degrades to a plain build.
+//
+// Entries are stored in canonical form (canonicalGraph) and a hit
+// rebinds the caller's own query-node order, so permutations of one
+// entity set share a single entry *and* every request — hit or cold
+// miss — sees byte-identical output: the features are canonical and
+// order-independent of the node permutation, while the query-node
+// order (which fixes the entity part's child order and therefore the
+// floating-point summation order downstream) is always the caller's.
 func (e *Expander) BuildQueryGraphCached(queryNodes []kb.NodeID, set motif.Set, c *ExpansionCache) QueryGraph {
 	if c == nil {
 		return e.BuildQueryGraph(queryNodes, set)
 	}
 	key := e.expansionKey(queryNodes, set)
 	if qg, ok := c.Get(key); ok {
-		return qg
+		return QueryGraph{
+			QueryNodes: append([]kb.NodeID(nil), queryNodes...),
+			Features:   qg.Features,
+		}
 	}
 	qg := e.BuildQueryGraph(queryNodes, set)
-	c.Put(key, qg)
+	c.Put(key, canonicalGraph(qg))
 	return qg
 }
 

@@ -88,6 +88,88 @@ func TestExpansionCachePermutationsShareEntry(t *testing.T) {
 	}
 }
 
+// TestExpansionCachePermutedHitMatchesColdMiss is the regression test
+// for the canonical-storage guarantee: permutations of one entity set
+// share a cache entry, yet each permutation's hit must be byte-identical
+// to the cold (uncached) build for that same permutation — the hit
+// rebinds the caller's query-node order while sharing the canonical
+// features.
+func TestExpansionCachePermutedHitMatchesColdMiss(t *testing.T) {
+	b := kb.NewBuilder(8)
+	must := func(id kb.NodeID, err error) kb.NodeID {
+		if err != nil {
+			t.Fatal(err)
+		}
+		return id
+	}
+	a := must(b.AddArticle("Cable car"))
+	f := must(b.AddArticle("Funicular"))
+	g := must(b.AddArticle("Gondola lift"))
+	c := must(b.AddCategory("Category:Cable railways"))
+	for _, err := range []error{
+		b.AddMembership(a, c), b.AddMembership(f, c), b.AddMembership(g, c),
+		b.AddLink(a, g), b.AddLink(g, a),
+		b.AddLink(f, g), b.AddLink(g, f),
+		b.AddLink(a, f), b.AddLink(f, a),
+	} {
+		if err != nil {
+			t.Fatal(err)
+		}
+	}
+	e := NewExpander(b.Build(), analysis.Standard())
+	perm1 := []kb.NodeID{a, f}
+	perm2 := []kb.NodeID{f, a}
+	cold1 := e.BuildQueryGraph(perm1, motif.SetTS)
+	cold2 := e.BuildQueryGraph(perm2, motif.SetTS)
+	if len(cold1.Features) == 0 {
+		t.Fatal("fixture produced no expansion features")
+	}
+	cache := NewExpansionCache(16)
+	miss := e.BuildQueryGraphCached(perm1, motif.SetTS, cache)
+	hit := e.BuildQueryGraphCached(perm2, motif.SetTS, cache)
+	if st := cache.Stats(); st.Hits != 1 || st.Misses != 1 {
+		t.Fatalf("permutations should share one entry: %+v", st)
+	}
+	if !reflect.DeepEqual(miss, cold1) {
+		t.Fatalf("miss differs from cold build: %+v vs %+v", miss, cold1)
+	}
+	if !reflect.DeepEqual(hit, cold2) {
+		t.Fatalf("permuted hit differs from its own cold build: %+v vs %+v", hit, cold2)
+	}
+	if !reflect.DeepEqual(hit.Features, miss.Features) {
+		t.Fatalf("features diverge across permutations: %+v vs %+v", hit.Features, miss.Features)
+	}
+}
+
+// TestCanonicalGraph pins the storage form: unsorted nodes and features
+// come back sorted without mutating the input graph's slices.
+func TestCanonicalGraph(t *testing.T) {
+	in := QueryGraph{
+		QueryNodes: []kb.NodeID{3, 1, 2},
+		Features: []Feature{
+			{Article: 5, Weight: 1},
+			{Article: 9, Weight: 4},
+			{Article: 4, Weight: 4},
+		},
+	}
+	got := canonicalGraph(in)
+	if want := []kb.NodeID{1, 2, 3}; !reflect.DeepEqual(got.QueryNodes, want) {
+		t.Fatalf("QueryNodes = %v, want %v", got.QueryNodes, want)
+	}
+	wantF := []Feature{{Article: 4, Weight: 4}, {Article: 9, Weight: 4}, {Article: 5, Weight: 1}}
+	if !reflect.DeepEqual(got.Features, wantF) {
+		t.Fatalf("Features = %+v, want %+v", got.Features, wantF)
+	}
+	if in.QueryNodes[0] != 3 || in.Features[0].Article != 5 {
+		t.Fatalf("canonicalGraph mutated its input: %+v", in)
+	}
+	// An already-canonical graph passes through with its slices shared.
+	again := canonicalGraph(got)
+	if &again.QueryNodes[0] != &got.QueryNodes[0] || &again.Features[0] != &got.Features[0] {
+		t.Fatal("canonical input should not be copied")
+	}
+}
+
 func TestExpansionCacheEvictionBounded(t *testing.T) {
 	c := NewExpansionCache(32)
 	for i := 0; i < 1000; i++ {

@@ -1,0 +1,43 @@
+package experiments
+
+import (
+	"encoding/json"
+	"strings"
+	"testing"
+)
+
+func TestShardBench(t *testing.T) {
+	s := smallSuite(t)
+	res := ShardBench(s, s.ImageCLEF, []int{1, 2, 4}, 10, 1)
+	if res.GOMAXPROCS < 1 || res.Queries == 0 {
+		t.Fatalf("bad result header: %+v", res)
+	}
+	if len(res.Rows) != 3 {
+		t.Fatalf("rows = %d, want 3 (S=1 baseline + 2, 4)", len(res.Rows))
+	}
+	if res.Rows[0].Shards != 1 || res.Rows[0].Speedup != 1 {
+		t.Fatalf("first row must be the unsharded baseline: %+v", res.Rows[0])
+	}
+	for _, row := range res.Rows {
+		if !row.Identical {
+			t.Fatalf("S=%d rankings diverged from unsharded", row.Shards)
+		}
+		if row.NsPerQry <= 0 || row.Speedup <= 0 {
+			t.Fatalf("S=%d: non-positive measurement %+v", row.Shards, row)
+		}
+	}
+	data, err := res.JSON()
+	if err != nil {
+		t.Fatal(err)
+	}
+	var back ShardBenchResult
+	if err := json.Unmarshal(data, &back); err != nil {
+		t.Fatalf("JSON round-trip: %v", err)
+	}
+	if back.GOMAXPROCS != res.GOMAXPROCS || len(back.Rows) != len(res.Rows) {
+		t.Fatalf("round-trip mismatch: %+v", back)
+	}
+	if out := res.String(); !strings.Contains(out, "GOMAXPROCS") || !strings.Contains(out, "bit-identical") {
+		t.Fatalf("String() missing fields:\n%s", out)
+	}
+}

@@ -1,0 +1,160 @@
+package index
+
+import (
+	"fmt"
+	"math/rand"
+	"reflect"
+	"testing"
+
+	"repro/internal/analysis"
+)
+
+// buildRandomIndex indexes docs synthetic documents over a small
+// vocabulary with a fixed seed, so shard invariants are exercised on
+// realistic (skewed, multi-occurrence) postings.
+func buildRandomIndex(t *testing.T, docs, seed int) *Index {
+	t.Helper()
+	rng := rand.New(rand.NewSource(int64(seed)))
+	vocab := []string{"cable", "car", "tram", "funicular", "railway", "gondola", "lift", "museum", "bridge", "harbour"}
+	b := NewBuilder(analysis.Standard())
+	for d := 0; d < docs; d++ {
+		n := 3 + rng.Intn(20)
+		text := ""
+		for i := 0; i < n; i++ {
+			text += vocab[rng.Intn(len(vocab))] + " "
+		}
+		b.Add(fmt.Sprintf("doc%03d", d), text)
+	}
+	return b.Build()
+}
+
+func TestNewShardedPartitionInvariants(t *testing.T) {
+	ix := buildRandomIndex(t, 57, 1)
+	for _, n := range []int{1, 2, 3, 4, 8} {
+		sh := NewSharded(ix, n)
+		if sh.NumShards() != n {
+			t.Fatalf("n=%d: NumShards=%d", n, sh.NumShards())
+		}
+		if sh.NumDocs() != ix.NumDocs() || sh.TotalTokens() != ix.TotalTokens() {
+			t.Fatalf("n=%d: global stats %d/%d want %d/%d", n, sh.NumDocs(), sh.TotalTokens(), ix.NumDocs(), ix.TotalTokens())
+		}
+		if sh.AvgDocLen() != ix.AvgDocLen() {
+			t.Fatalf("n=%d: AvgDocLen %v want %v", n, sh.AvgDocLen(), ix.AvgDocLen())
+		}
+		// Every document appears exactly once, in the right shard, with
+		// its name and length intact; GlobalDoc round-trips.
+		var docsSeen, toks int64
+		for s := 0; s < n; s++ {
+			shard := sh.Shard(s)
+			docsSeen += int64(shard.NumDocs())
+			toks += shard.TotalTokens()
+			for local := 0; local < shard.NumDocs(); local++ {
+				g := sh.GlobalDoc(s, DocID(local))
+				if int(g)%n != s || int(g)/n != local {
+					t.Fatalf("n=%d: GlobalDoc(%d,%d)=%d does not round-trip", n, s, local, g)
+				}
+				if shard.DocName(DocID(local)) != ix.DocName(g) {
+					t.Fatalf("n=%d shard=%d local=%d: name %q want %q", n, s, local, shard.DocName(DocID(local)), ix.DocName(g))
+				}
+				if shard.DocLen(DocID(local)) != ix.DocLen(g) {
+					t.Fatalf("n=%d shard=%d local=%d: len mismatch", n, s, local)
+				}
+			}
+		}
+		if docsSeen != int64(ix.NumDocs()) || toks != ix.TotalTokens() {
+			t.Fatalf("n=%d: shard sums docs=%d toks=%d", n, docsSeen, toks)
+		}
+		// Per term: the remapped union of shard postings reconstructs the
+		// original postings exactly (docs, freqs, positions), and global
+		// collection frequencies match.
+		for tid := 0; tid < ix.NumTerms(); tid++ {
+			term := ix.TermText(int32(tid))
+			orig := ix.PostingsFor(term)
+			type row struct {
+				doc  DocID
+				freq int32
+				pos  []int32
+			}
+			var rows []row
+			var cf int64
+			for s := 0; s < n; s++ {
+				p := sh.Shard(s).PostingsFor(term)
+				if p == nil {
+					continue
+				}
+				cf += p.CollectionFreq()
+				for i, local := range p.Docs {
+					rows = append(rows, row{sh.GlobalDoc(s, local), p.Freqs[i], p.Positions[i]})
+				}
+			}
+			if cf != orig.CollectionFreq() {
+				t.Fatalf("n=%d term %q: cf %d want %d", n, term, cf, orig.CollectionFreq())
+			}
+			if len(rows) != len(orig.Docs) {
+				t.Fatalf("n=%d term %q: %d rows want %d", n, term, len(rows), len(orig.Docs))
+			}
+			// Sort rows by global doc to compare against the original.
+			for i := 0; i < len(rows); i++ {
+				for j := i + 1; j < len(rows); j++ {
+					if rows[j].doc < rows[i].doc {
+						rows[i], rows[j] = rows[j], rows[i]
+					}
+				}
+			}
+			for i, r := range rows {
+				if r.doc != orig.Docs[i] || r.freq != orig.Freqs[i] || !reflect.DeepEqual(r.pos, orig.Positions[i]) {
+					t.Fatalf("n=%d term %q row %d: got (%d,%d,%v) want (%d,%d,%v)",
+						n, term, i, r.doc, r.freq, r.pos, orig.Docs[i], orig.Freqs[i], orig.Positions[i])
+				}
+			}
+		}
+		// Shard postings must stay sorted (the DAAT evaluator requires it).
+		for s := 0; s < n; s++ {
+			shard := sh.Shard(s)
+			for tid := 0; tid < shard.NumTerms(); tid++ {
+				p := shard.PostingsFor(shard.TermText(int32(tid)))
+				for i := 1; i < len(p.Docs); i++ {
+					if p.Docs[i-1] >= p.Docs[i] {
+						t.Fatalf("n=%d shard=%d term %d: unsorted postings", n, s, tid)
+					}
+				}
+			}
+		}
+	}
+}
+
+func TestNewShardedClamps(t *testing.T) {
+	ix := buildRandomIndex(t, 3, 2)
+	if got := NewSharded(ix, 0).NumShards(); got != 1 {
+		t.Fatalf("n=0 clamped to %d, want 1", got)
+	}
+	if got := NewSharded(ix, -4).NumShards(); got != 1 {
+		t.Fatalf("n=-4 clamped to %d, want 1", got)
+	}
+	if got := NewSharded(ix, 100).NumShards(); got != 3 {
+		t.Fatalf("n=100 clamped to %d, want NumDocs=3", got)
+	}
+	// n == 1 shares the original index rather than copying it.
+	if sh := NewSharded(ix, 1); sh.Shard(0) != ix {
+		t.Fatal("n=1 should share the original index")
+	}
+	// Empty index: a single empty shard, no panic.
+	empty := NewBuilder(analysis.Standard()).Build()
+	sh := NewSharded(empty, 4)
+	if sh.NumShards() != 1 || sh.NumDocs() != 0 {
+		t.Fatalf("empty index: %d shards, %d docs", sh.NumShards(), sh.NumDocs())
+	}
+	if sh.FloorProb(0) != 1e-12 {
+		t.Fatalf("empty FloorProb = %v", sh.FloorProb(0))
+	}
+}
+
+func TestShardedFloorProbMatchesIndex(t *testing.T) {
+	ix := buildRandomIndex(t, 40, 3)
+	sh := NewSharded(ix, 4)
+	for _, cf := range []int64{0, 1, 2, 17, ix.TotalTokens()} {
+		if got, want := sh.FloorProb(cf), ix.FloorProb(cf); got != want {
+			t.Fatalf("FloorProb(%d): sharded %v != index %v", cf, got, want)
+		}
+	}
+}

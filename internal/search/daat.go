@@ -31,7 +31,9 @@ const exhausted = index.DocID(math.MaxInt32)
 // deadline or a disconnected client abandons the evaluation instead of
 // finishing a retrieval nobody will read; the cancelled call returns
 // ctx.Err() and no results.
-func (s *Searcher) searchDAAT(ctx context.Context, leaves []leaf, k int, score scorer, st *SearchStats) ([]Result, error) {
+// searchDAAT is a free function over an explicit index so the sharded
+// evaluator can drive it per shard with globally-statted leaves.
+func searchDAAT(ctx context.Context, ix *index.Index, leaves []leaf, k int, score scorer, st *SearchStats) ([]Result, error) {
 	n := len(leaves)
 	cur := make([]int, n)
 	curDoc := make([]index.DocID, n)
@@ -60,7 +62,7 @@ func (s *Searcher) searchDAAT(ctx context.Context, leaves []leaf, k int, score s
 			}
 		}
 		doc := next
-		dl := float64(s.ix.DocLen(doc))
+		dl := float64(ix.DocLen(doc))
 		total := 0.0
 		next = exhausted
 		for li := range leaves {
@@ -95,7 +97,7 @@ func (s *Searcher) searchDAAT(ctx context.Context, leaves []leaf, k int, score s
 		st.PostingsAdvanced += advanced
 		st.CandidatesExamined += cands
 	}
-	return h.drain(s.ix), nil
+	return h.drain(ix), nil
 }
 
 // topK is a bounded min-heap keyed by the result ordering (score desc,

@@ -67,14 +67,41 @@ func (p ModelParams) withDefaults() ModelParams {
 // scorer computes one leaf's contribution for a document.
 type scorer func(l *leaf, tf int32, docLen float64) float64
 
-// newScorer builds the scoring closure for the searcher's model.
-func (s *Searcher) newScorer() scorer {
+// collStats are the collection-level statistics a scorer closes over.
+// For an unsharded searcher they come straight from the index; the
+// sharded evaluator passes the cross-shard globals so every shard builds
+// the same closure (the global-stats invariant behind bit-identical
+// sharded scoring).
+type collStats struct {
+	numDocs   float64
+	avgDocLen float64
+}
+
+// resolveParams merges the back-compat Mu field into the model params.
+func (s *Searcher) resolveParams() ModelParams {
 	params := s.Params.withDefaults()
 	// Back-compat: the Mu field predates Params and wins when set.
 	if s.Mu > 0 {
 		params.Mu = s.Mu
 	}
-	switch s.Model {
+	return params
+}
+
+// newScorer builds the scoring closure for the searcher's model.
+func (s *Searcher) newScorer() scorer {
+	return buildScorer(s.Model, s.resolveParams(), collStats{
+		numDocs:   float64(s.ix.NumDocs()),
+		avgDocLen: s.ix.AvgDocLen(),
+	})
+}
+
+// buildScorer builds the scoring closure for a model from explicit
+// collection statistics. Per-leaf statistics (collProb, df) are read
+// from the leaf at scoring time, so overriding them steers smoothing
+// without touching the closure. The closure is read-only after
+// construction and safe to share across goroutines.
+func buildScorer(model Model, params ModelParams, cs collStats) scorer {
+	switch model {
 	case ModelJelinekMercer:
 		lambda := params.Lambda
 		return func(l *leaf, tf int32, docLen float64) float64 {
@@ -86,8 +113,8 @@ func (s *Searcher) newScorer() scorer {
 		}
 	case ModelBM25:
 		k1, b := params.K1, params.B
-		n := float64(s.ix.NumDocs())
-		avgdl := s.ix.AvgDocLen()
+		n := cs.numDocs
+		avgdl := cs.avgDocLen
 		if avgdl == 0 {
 			avgdl = 1
 		}
@@ -95,8 +122,7 @@ func (s *Searcher) newScorer() scorer {
 			if tf == 0 {
 				return 0 // BM25 has no background mass
 			}
-			df := float64(len(l.postings.Docs))
-			idf := math.Log((n-df+0.5)/(df+0.5) + 1)
+			idf := math.Log((n-l.df+0.5)/(l.df+0.5) + 1)
 			t := float64(tf)
 			return l.weight * idf * (t * (k1 + 1)) / (t + k1*(1-b+b*docLen/avgdl))
 		}

@@ -44,12 +44,17 @@ func NewSearcher(ix *index.Index) *Searcher { return &Searcher{ix: ix, Mu: Defau
 func (s *Searcher) Index() *index.Index { return s.ix }
 
 // leaf is a flattened query leaf: its postings, its collection
-// probability and its accumulated (normalised, multiplied-through)
-// weight.
+// statistics and its accumulated (normalised, multiplied-through)
+// weight. cf (collection frequency) and df (document frequency) default
+// to the index the leaf was flattened against; the sharded evaluator
+// overrides them — and collProb — with global cross-shard sums so every
+// shard scores with identical collection statistics.
 type leaf struct {
 	weight   float64
 	postings index.Postings
 	collProb float64
+	cf       int64
+	df       float64
 }
 
 // flatten walks the query tree multiplying normalised weights down to the
@@ -69,19 +74,17 @@ func (s *Searcher) flatten(n Node, w float64, out *[]leaf) {
 		if pp := s.ix.PostingsFor(x.Text); pp != nil {
 			p = *pp
 		}
-		*out = append(*out, leaf{weight: w, postings: p, collProb: s.ix.FloorProb(p.CollectionFreq())})
+		*out = append(*out, newLeaf(s.ix, w, p))
 	case Phrase:
 		if len(x.Terms) == 0 {
 			return
 		}
-		p := s.ix.PhrasePostings(x.Terms)
-		*out = append(*out, leaf{weight: w, postings: p, collProb: s.ix.FloorProb(p.CollectionFreq())})
+		*out = append(*out, newLeaf(s.ix, w, s.ix.PhrasePostings(x.Terms)))
 	case Unordered:
 		if len(x.Terms) == 0 {
 			return
 		}
-		p := s.ix.UnorderedWindowPostings(x.Terms, x.Width)
-		*out = append(*out, leaf{weight: w, postings: p, collProb: s.ix.FloorProb(p.CollectionFreq())})
+		*out = append(*out, newLeaf(s.ix, w, s.ix.UnorderedWindowPostings(x.Terms, x.Width)))
 	case Weighted:
 		var total float64
 		for _, c := range x.Children {
@@ -97,6 +100,19 @@ func (s *Searcher) flatten(n Node, w float64, out *[]leaf) {
 				s.flatten(c.Node, w*c.Weight/total, out)
 			}
 		}
+	}
+}
+
+// newLeaf fills a leaf's collection statistics from the index it was
+// flattened against.
+func newLeaf(ix *index.Index, w float64, p index.Postings) leaf {
+	cf := p.CollectionFreq()
+	return leaf{
+		weight:   w,
+		postings: p,
+		collProb: ix.FloorProb(cf),
+		cf:       cf,
+		df:       float64(len(p.Docs)),
 	}
 }
 
@@ -175,7 +191,7 @@ func (s *Searcher) search(ctx context.Context, q Node, k int, st *SearchStats) (
 	if s.UseLegacyScorer {
 		return s.searchLegacy(ctx, leaves, k, score, st)
 	}
-	return s.searchDAAT(ctx, leaves, k, score, st)
+	return searchDAAT(ctx, s.ix, leaves, k, score, st)
 }
 
 // searchLegacy is the original term-at-a-time evaluator: accumulate a

@@ -27,9 +27,26 @@ type SearchStats struct {
 	HeapEvictions int64
 	// Elapsed is the wall-clock time of the evaluation.
 	Elapsed time.Duration
+	// Shards holds per-shard instrumentation when the retrieval ran on a
+	// ShardedSearcher (indexed by shard; nil for unsharded retrievals).
+	// The aggregate counters above already include every shard's work.
+	Shards []ShardStats
+}
+
+// ShardStats instruments one shard's slice of a sharded retrieval.
+type ShardStats struct {
+	// Elapsed is the shard evaluation's wall-clock time. Shards evaluate
+	// concurrently, so the sum across shards can exceed SearchStats.Elapsed.
+	Elapsed time.Duration
+	// CandidatesExamined counts the documents this shard scored.
+	CandidatesExamined int64
+	// PostingsAdvanced counts the shard's posting-cursor advances.
+	PostingsAdvanced int64
 }
 
 // Add accumulates o into s (for aggregating per-query stats over a run).
+// Per-shard entries add element-wise; aggregating runs with different
+// shard counts extends the slice to the larger of the two.
 func (s *SearchStats) Add(o SearchStats) {
 	s.Leaves += o.Leaves
 	s.CandidatesExamined += o.CandidatesExamined
@@ -37,6 +54,15 @@ func (s *SearchStats) Add(o SearchStats) {
 	s.HeapPushes += o.HeapPushes
 	s.HeapEvictions += o.HeapEvictions
 	s.Elapsed += o.Elapsed
+	for i, sh := range o.Shards {
+		if i < len(s.Shards) {
+			s.Shards[i].Elapsed += sh.Elapsed
+			s.Shards[i].CandidatesExamined += sh.CandidatesExamined
+			s.Shards[i].PostingsAdvanced += sh.PostingsAdvanced
+		} else {
+			s.Shards = append(s.Shards, sh)
+		}
+	}
 }
 
 // String renders the counters compactly.

@@ -77,6 +77,22 @@ func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
 	counter("sqe_search_heap_evictions_total", "Candidates that displaced the current k-th best.")
 	fmt.Fprintf(&sb, "sqe_search_heap_evictions_total %d\n", ps.Search.HeapEvictions)
 
+	// Per-shard evaluator breakdown; present only on sharded engines.
+	if len(ps.Search.Shards) > 0 {
+		counter("sqe_search_shard_seconds_total", "Cumulative evaluation wall-clock per index shard.")
+		for i, sh := range ps.Search.Shards {
+			fmt.Fprintf(&sb, "sqe_search_shard_seconds_total{shard=\"%d\"} %g\n", i, sh.Elapsed.Seconds())
+		}
+		counter("sqe_search_shard_candidates_examined_total", "Distinct documents scored per index shard.")
+		for i, sh := range ps.Search.Shards {
+			fmt.Fprintf(&sb, "sqe_search_shard_candidates_examined_total{shard=\"%d\"} %d\n", i, sh.CandidatesExamined)
+		}
+		counter("sqe_search_shard_postings_advanced_total", "Posting-cursor advances per index shard.")
+		for i, sh := range ps.Search.Shards {
+			fmt.Fprintf(&sb, "sqe_search_shard_postings_advanced_total{shard=\"%d\"} %d\n", i, sh.PostingsAdvanced)
+		}
+	}
+
 	if cs, ok := s.cfg.Engine.ExpansionCacheStats(); ok {
 		counter("sqe_expansion_cache_hits_total", "Expansion cache hits.")
 		fmt.Fprintf(&sb, "sqe_expansion_cache_hits_total %d\n", cs.Hits)

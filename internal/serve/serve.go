@@ -284,37 +284,42 @@ func (s *Server) recordPipeline(ps *sqe.PipelineStats) {
 	s.mu.Unlock()
 }
 
+// runDo executes one engine request with stats collection and folds the
+// instrumentation into the /metrics aggregate. All work endpoints that
+// retrieve go through here — the per-endpoint request assembly that used
+// to pick between the deprecated Search* variants is gone.
+func (s *Server) runDo(ctx context.Context, req sqe.SearchRequest) (*sqe.SearchResponse, error) {
+	req.CollectStats = true
+	resp, err := s.cfg.Engine.Do(ctx, req)
+	if err != nil {
+		return nil, err
+	}
+	s.recordPipeline(resp.Stats)
+	return resp, nil
+}
+
 func (s *Server) handleSearch(ctx context.Context, r *http.Request) (any, error) {
 	req, err := s.decodeRequest(r)
 	if err != nil {
 		return nil, err
 	}
-	start := time.Now()
-	var ps sqe.PipelineStats
-	var res []sqe.Result
+	er := sqe.SearchRequest{Query: req.Query, EntityTitles: req.Entities, K: req.K}
 	if req.Set != "" {
-		set, err := motifSet(req.Set)
-		if err != nil {
-			return nil, err
-		}
-		res, err = s.cfg.Engine.SearchSetStatsContext(ctx, set, req.Query, req.Entities, req.K, &ps)
-		if err != nil {
-			return nil, err
-		}
-		ps.Queries++ // SearchSet* counts retrievals only; one pipeline execution happened
-	} else {
-		res, err = s.cfg.Engine.SearchWithStatsContext(ctx, req.Query, req.Entities, req.K, &ps)
-		if err != nil {
+		if er.MotifSet, err = motifSet(req.Set); err != nil {
 			return nil, err
 		}
 	}
-	s.recordPipeline(&ps)
+	start := time.Now()
+	resp, err := s.runDo(ctx, er)
+	if err != nil {
+		return nil, err
+	}
 	return &searchResponse{
 		Query:    req.Query,
 		Entities: req.Entities,
 		Set:      req.Set,
 		K:        req.K,
-		Results:  toResultJSON(res),
+		Results:  toResultJSON(resp.Results),
 		TookMs:   float64(time.Since(start).Microseconds()) / 1000,
 	}, nil
 }
@@ -325,14 +330,14 @@ func (s *Server) handleBaseline(ctx context.Context, r *http.Request) (any, erro
 		return nil, err
 	}
 	start := time.Now()
-	res, err := s.cfg.Engine.BaselineSearchContext(ctx, req.Query, req.K)
+	resp, err := s.runDo(ctx, sqe.SearchRequest{Query: req.Query, K: req.K, Baseline: true})
 	if err != nil {
 		return nil, err
 	}
 	return &searchResponse{
 		Query:   req.Query,
 		K:       req.K,
-		Results: toResultJSON(res),
+		Results: toResultJSON(resp.Results),
 		TookMs:  float64(time.Since(start).Microseconds()) / 1000,
 	}, nil
 }

@@ -159,6 +159,38 @@ func TestHealthzAndMetrics(t *testing.T) {
 	}
 }
 
+// TestShardMetrics: a sharded engine surfaces per-shard evaluator
+// counters in /metrics; baseline requests contribute pipeline stats too
+// (they go through the same Do path as /search).
+func TestShardMetrics(t *testing.T) {
+	envOnce.Do(func() { env = sqe.MustGenerateDemo(sqe.DemoSmall) })
+	eng := sqe.NewEngine(env.Engine.Graph(), env.Engine.Index(), sqe.WithShards(4))
+	s, q := testServer(t, Config{Engine: eng})
+	if w := do(t, s, http.MethodGet, "/search?q="+paramEscape(q.Text)+"&entities="+paramEscape(entitiesParam(q))+"&set=TS", ""); w.Code != http.StatusOK {
+		t.Fatalf("search status %d: %s", w.Code, w.Body.String())
+	}
+	if w := do(t, s, http.MethodGet, "/baseline?q="+paramEscape(q.Text), ""); w.Code != http.StatusOK {
+		t.Fatalf("baseline status %d: %s", w.Code, w.Body.String())
+	}
+	body := do(t, s, http.MethodGet, "/metrics", "").Body.String()
+	for _, m := range []string{
+		"sqe_search_shard_seconds_total{shard=\"0\"}",
+		"sqe_search_shard_seconds_total{shard=\"3\"}",
+		"sqe_search_shard_candidates_examined_total{shard=\"0\"}",
+		"sqe_search_shard_postings_advanced_total{shard=\"0\"}",
+		"sqe_pipeline_queries_total 2", // search + baseline both counted
+		"sqe_pipeline_retrievals_total 2",
+	} {
+		if !strings.Contains(body, m) {
+			t.Errorf("metrics output missing %q\n%s", m, body)
+		}
+	}
+	ps := s.Pipeline()
+	if len(ps.Search.Shards) != 4 {
+		t.Fatalf("aggregated shard stats = %d entries, want 4", len(ps.Search.Shards))
+	}
+}
+
 func TestBadRequests(t *testing.T) {
 	s, q := testServer(t, Config{})
 	cases := []struct {

@@ -1,0 +1,280 @@
+package sqe
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"math"
+	"sync"
+	"time"
+
+	"repro/internal/core"
+	"repro/internal/prf"
+	"repro/internal/search"
+)
+
+// SearchRequest describes one retrieval through the SQE pipeline — the
+// single request shape behind Engine.Do, which replaces the old
+// Search/SearchSet/SearchWithStats/SearchPRF × Context × Stats method
+// matrix.
+type SearchRequest struct {
+	// Query is the user's free-text query.
+	Query string
+	// EntityTitles names the query entities explicitly (resolved against
+	// the KB graph; unknown titles are errors). Empty means "link
+	// automatically" when the engine has a linker, or "no entities".
+	EntityTitles []string
+	// MotifSet selects the expansion configuration. The zero value runs
+	// the paper's SQE_C combination (T, T&S and S runs spliced at ranks
+	// 5 and 200); MotifT/MotifTS/MotifS run a single configuration.
+	MotifSet MotifSet
+	// K is the number of results to return; it must be positive.
+	K int
+	// PRF, when non-nil, applies pseudo-relevance feedback on top of the
+	// expanded (or baseline) query. It requires an explicit MotifSet or
+	// Baseline — the SQE_C combination has no PRF variant in the paper.
+	PRF *PRFConfig
+	// Baseline runs the plain query-likelihood baseline (QL_Q): no
+	// expansion, no entities. It excludes MotifSet and EntityTitles.
+	Baseline bool
+	// CollectStats asks for per-stage instrumentation in the response.
+	CollectStats bool
+}
+
+// Validate reports whether the request describes a well-formed pipeline
+// run. Do rejects invalid requests with the same error before doing any
+// work.
+func (r SearchRequest) Validate() error {
+	if r.K <= 0 {
+		return fmt.Errorf("sqe: K must be positive, got %d", r.K)
+	}
+	switch r.MotifSet {
+	case 0, MotifT, MotifS, MotifTS:
+	default:
+		return fmt.Errorf("sqe: unknown motif set %d", r.MotifSet)
+	}
+	if r.Baseline {
+		if r.MotifSet != 0 {
+			return errors.New("sqe: Baseline excludes MotifSet (the baseline runs no expansion)")
+		}
+		if len(r.EntityTitles) > 0 {
+			return errors.New("sqe: Baseline excludes EntityTitles (the baseline runs no expansion)")
+		}
+	} else if r.PRF != nil && r.MotifSet == 0 {
+		return errors.New("sqe: PRF requires an explicit MotifSet or Baseline (SQE_C has no PRF variant)")
+	}
+	if p := r.PRF; p != nil {
+		if p.FbDocs < 0 {
+			return fmt.Errorf("sqe: PRF.FbDocs must not be negative, got %d", p.FbDocs)
+		}
+		if p.FbTerms < 0 {
+			return fmt.Errorf("sqe: PRF.FbTerms must not be negative, got %d", p.FbTerms)
+		}
+		if math.IsNaN(p.OrigWeight) || p.OrigWeight < 0 || p.OrigWeight > 1 {
+			return fmt.Errorf("sqe: PRF.OrigWeight must be in [0,1], got %v", p.OrigWeight)
+		}
+	}
+	return nil
+}
+
+// SearchResponse is the result of one Engine.Do call.
+type SearchResponse struct {
+	// Results is the final ranking, at most K entries.
+	Results []Result
+	// Stats holds the pipeline instrumentation when the request set
+	// CollectStats (Queries is always 1 — aggregate across requests with
+	// PipelineStats.Add); nil otherwise.
+	Stats *PipelineStats
+	// Expansion is the expansion used to build the final query: the
+	// single run's for an explicit MotifSet, the combined (T&S) run's
+	// for SQE_C. Nil for Baseline requests, which expand nothing.
+	Expansion *Expansion
+}
+
+// Do runs one retrieval through the SQE pipeline. It is the primary
+// entry point: every deprecated Search* method is a thin wrapper over
+// the same machinery. The context's deadline or cancellation aborts
+// retrieval mid-evaluation (including inside every shard's loop on a
+// sharded engine).
+func (e *Engine) Do(ctx context.Context, req SearchRequest) (*SearchResponse, error) {
+	if err := req.Validate(); err != nil {
+		return nil, err
+	}
+	if err := ctx.Err(); err != nil {
+		return nil, err
+	}
+	var ps *PipelineStats
+	if req.CollectStats {
+		ps = &PipelineStats{}
+	}
+	resp := &SearchResponse{}
+	var err error
+	switch {
+	case req.Baseline:
+		resp.Results, err = e.doBaseline(ctx, req.Query, req.K, req.PRF, ps)
+	case req.MotifSet == 0:
+		resp.Results, resp.Expansion, err = e.doC(ctx, req.Query, req.EntityTitles, req.K, ps)
+	default:
+		resp.Results, resp.Expansion, err = e.doSet(ctx, req.MotifSet, req.Query, req.EntityTitles, req.K, req.PRF, ps)
+	}
+	if err != nil {
+		return nil, err
+	}
+	if ps != nil {
+		ps.Queries++
+		resp.Stats = ps
+	}
+	return resp, nil
+}
+
+// doSet runs one motif configuration end to end: entity resolution,
+// (cached) motif expansion, three-part query construction, optional PRF
+// reformulation, retrieval. Stage timings and evaluator counters
+// accumulate into ps when non-nil.
+func (e *Engine) doSet(ctx context.Context, set MotifSet, query string, entityTitles []string, k int, prfCfg *PRFConfig, ps *PipelineStats) ([]Result, *Expansion, error) {
+	start := time.Now()
+	nodes, err := e.resolveEntities(query, entityTitles)
+	if ps != nil {
+		ps.Stages.EntityLink += time.Since(start)
+	}
+	if err != nil {
+		return nil, nil, err
+	}
+	if err := ctx.Err(); err != nil {
+		return nil, nil, err
+	}
+	qg := e.expander.BuildQueryGraphCachedStats(nodes, set, e.cache, ps)
+	exp := e.expansionOf(qg)
+	node := e.expander.BuildQueryStats(query, qg, ps)
+	if prfCfg != nil {
+		// The feedback pass is a small fixed-depth retrieval over the
+		// unsharded searcher; it contributes to query construction, not
+		// to the final retrieval's timing.
+		start = time.Now()
+		node = prf.Reformulate(e.searcher, node, *prfCfg)
+		if ps != nil {
+			ps.Stages.QueryBuild += time.Since(start)
+		}
+	}
+	res, err := e.retrieveTimed(ctx, node, k, ps)
+	if err != nil {
+		return nil, nil, err
+	}
+	return res, exp, nil
+}
+
+// doC runs the paper's SQE_C combination: three independent runs (T,
+// T&S, S) spliced at ranks 5 and 200. With the engine's worker count
+// above one the runs evaluate concurrently behind the engine-wide
+// semaphore; per-run stats are accumulated privately and merged in run
+// order, so output and stats are byte-identical to the sequential path.
+// The returned Expansion is the combined (T&S) run's.
+func (e *Engine) doC(ctx context.Context, query string, entityTitles []string, k int, ps *PipelineStats) ([]Result, *Expansion, error) {
+	var runs [3][]Result
+	var exps [3]*Expansion
+	var errs [3]error
+	if e.workers <= 1 {
+		for i, set := range sqecSets {
+			runs[i], exps[i], errs[i] = e.doSet(ctx, set, query, entityTitles, k, nil, ps)
+			if errs[i] != nil {
+				return nil, nil, errs[i]
+			}
+		}
+	} else {
+		var pss [3]*PipelineStats
+		var wg sync.WaitGroup
+		for i, set := range sqecSets {
+			if ps != nil {
+				pss[i] = &PipelineStats{}
+			}
+			wg.Add(1)
+			go func(i int, set MotifSet) {
+				defer wg.Done()
+				e.sem <- struct{}{}
+				defer func() { <-e.sem }()
+				runs[i], exps[i], errs[i] = e.doSet(ctx, set, query, entityTitles, k, nil, pss[i])
+			}(i, set)
+		}
+		wg.Wait()
+		if ps != nil {
+			for _, p := range pss {
+				ps.Add(p)
+			}
+		}
+		// First error in run order, so parallel failures are reported
+		// identically to sequential ones.
+		for _, err := range errs {
+			if err != nil {
+				return nil, nil, err
+			}
+		}
+	}
+	return core.SpliceResultsC(k, runs[0], runs[1], runs[2]), exps[1], nil
+}
+
+// doBaseline runs the plain query-likelihood baseline (QL_Q), optionally
+// with PRF on top.
+func (e *Engine) doBaseline(ctx context.Context, query string, k int, prfCfg *PRFConfig, ps *PipelineStats) ([]Result, error) {
+	start := time.Now()
+	node := e.expander.QLQuery(query)
+	if prfCfg != nil {
+		node = prf.Reformulate(e.searcher, node, *prfCfg)
+	}
+	if ps != nil {
+		ps.Stages.QueryBuild += time.Since(start)
+	}
+	return e.retrieveTimed(ctx, node, k, ps)
+}
+
+// expansionOf converts the expander's query graph into the public
+// Expansion shape.
+func (e *Engine) expansionOf(qg core.QueryGraph) *Expansion {
+	exp := &Expansion{QueryNodes: qg.QueryNodes}
+	for _, n := range qg.QueryNodes {
+		exp.QueryNodeTitles = append(exp.QueryNodeTitles, e.graph.Title(n))
+	}
+	for _, f := range qg.Features {
+		exp.Features = append(exp.Features, Feature{
+			Article: f.Article,
+			Title:   e.graph.Title(f.Article),
+			Weight:  f.Weight,
+		})
+	}
+	return exp
+}
+
+// retrieve routes a retrieval to the sharded searcher when the engine
+// was built with WithShards (the legacy scorer has no sharded variant
+// and keeps the unsharded path). Results are bit-identical either way.
+func (e *Engine) retrieve(ctx context.Context, node search.Node, k int) ([]Result, error) {
+	if e.sharded != nil && !e.searcher.UseLegacyScorer {
+		return e.sharded.SearchContext(ctx, node, k)
+	}
+	return e.searcher.SearchContext(ctx, node, k)
+}
+
+// retrieveStats is retrieve with evaluator instrumentation (including
+// per-shard timings on a sharded engine).
+func (e *Engine) retrieveStats(ctx context.Context, node search.Node, k int) ([]Result, SearchStats, error) {
+	if e.sharded != nil && !e.searcher.UseLegacyScorer {
+		return e.sharded.SearchWithStatsContext(ctx, node, k)
+	}
+	return e.searcher.SearchWithStatsContext(ctx, node, k)
+}
+
+// retrieveTimed runs the routed retrieval, attributing wall-clock and
+// evaluator counters to ps when non-nil.
+func (e *Engine) retrieveTimed(ctx context.Context, node search.Node, k int, ps *PipelineStats) ([]Result, error) {
+	if ps == nil {
+		return e.retrieve(ctx, node, k)
+	}
+	start := time.Now()
+	res, st, err := e.retrieveStats(ctx, node, k)
+	ps.Stages.Retrieval += time.Since(start)
+	ps.Search.Add(st)
+	ps.Retrievals++
+	if err != nil {
+		return nil, err
+	}
+	return res, nil
+}

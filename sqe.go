@@ -15,8 +15,12 @@
 //
 //	env := sqe.GenerateDemo(sqe.DemoSmall)   // synthetic Wikipedia + corpus
 //	eng := env.Engine
-//	res, err := eng.Search("cable cars", []string{"cable car"}, 10)
-//	for _, r := range res {
+//	resp, err := eng.Do(ctx, sqe.SearchRequest{
+//		Query:        "cable cars",
+//		EntityTitles: []string{"cable car"},
+//		K:            10,
+//	})
+//	for _, r := range resp.Results {
 //		fmt.Println(r.Name, r.Score)
 //	}
 //
@@ -27,20 +31,27 @@
 //		sqe.WithLinker(dict),
 //		sqe.WithDirichletMu(500),
 //		sqe.WithExpansionCache(4096),
+//		sqe.WithShards(4),
 //	)
 //
-// Every Search/Expand entry point has a context-accepting primary form
-// (SearchContext, SearchSetContext, ExpandContext, …) whose deadline or
-// cancellation aborts retrieval mid-evaluation; the context-free forms
-// are thin wrappers over context.Background().
+// Engine.Do is the primary retrieval entry point: one context-first
+// call whose SearchRequest selects the configuration (SQE_C by default;
+// an explicit MotifSet, the QL baseline, or PRF on top of either) and
+// whose SearchResponse carries the ranking, the expansion used, and
+// optional per-stage instrumentation. The pre-Do method matrix
+// (Search/SearchSet/SearchWithStats/SearchPRF × Context × Stats) remains
+// as deprecated wrappers over the same machinery. Expansion without
+// retrieval stays on Expand/ExpandContext.
+//
+// WithShards(n) partitions the index into n round-robin shards whose
+// retrievals evaluate in parallel and merge into a final top-k —
+// bit-identical to the unsharded engine for every retrieval model.
 package sqe
 
 import (
 	"context"
 	"fmt"
 	"runtime"
-	"sync"
-	"time"
 
 	"repro/internal/analysis"
 	"repro/internal/core"
@@ -160,7 +171,16 @@ type Engine struct {
 	// sequentially on the caller's goroutine.
 	workers int
 	// sem is the engine-wide worker semaphore (nil when workers <= 1).
+	// SQE_C runs block on it; shard fan-outs only try-acquire it (see
+	// search.ShardedSearcher.Sem), so sharing one pool cannot deadlock.
 	sem chan struct{}
+	// shards is the shard count requested via WithShards (0/1 =
+	// unsharded).
+	shards int
+	// sharded is the parallel per-shard retrieval path; nil when the
+	// engine is unsharded. Results are bit-identical to the unsharded
+	// searcher — see internal/search.ShardedSearcher.
+	sharded *search.ShardedSearcher
 }
 
 // Option configures an Engine at construction (see NewEngine).
@@ -220,6 +240,20 @@ func WithSQECWorkers(n int) Option {
 	return func(e *Engine) { e.workers = n }
 }
 
+// WithShards partitions the document index across n round-robin shards
+// at engine construction and evaluates every retrieval as a parallel
+// per-shard document-at-a-time scan with a final top-k merge. Each query
+// leaf's collection statistics are replaced by their exact cross-shard
+// sums before scoring, so rankings and scores are bit-identical to the
+// unsharded engine for every retrieval model (the differential tests in
+// sharded_diff_test.go enforce this). n is clamped to the document
+// count; n <= 1 keeps the single-index path. Shard evaluations share the
+// engine-wide worker semaphore with SQE_C runs (see WithSQECWorkers),
+// falling back to inline evaluation when the pool is saturated.
+func WithShards(n int) Option {
+	return func(e *Engine) { e.shards = n }
+}
+
 // NewEngine builds an Engine over a KB graph and a document index,
 // configured by the given options. The returned Engine is safe for
 // concurrent use.
@@ -236,7 +270,26 @@ func NewEngine(g *Graph, ix *Index, opts ...Option) *Engine {
 	if e.workers > 1 {
 		e.sem = make(chan struct{}, e.workers)
 	}
+	if e.shards > 1 {
+		if sh := index.NewSharded(ix, e.shards); sh.NumShards() > 1 {
+			e.sharded = search.NewShardedSearcher(sh)
+			// Mirror the retrieval configuration the options set on the
+			// unsharded searcher; the two paths must score identically.
+			e.sharded.Mu = e.searcher.Mu
+			e.sharded.Model = e.searcher.Model
+			e.sharded.Params = e.searcher.Params
+			e.sharded.Sem = e.sem
+		}
+	}
 	return e
+}
+
+// Shards returns the engine's effective shard count (1 when unsharded).
+func (e *Engine) Shards() int {
+	if e.sharded != nil {
+		return e.sharded.Sharded().NumShards()
+	}
+	return 1
 }
 
 // Graph returns the engine's KB graph.
@@ -266,7 +319,12 @@ func (e *Engine) SetLinker(dict *entitylink.Dictionary) {
 //
 // Deprecated: pass WithDirichletMu to NewEngine instead. Mutating a live
 // Engine is not synchronised and must not race with searches.
-func (e *Engine) SetDirichletMu(mu float64) { e.searcher.Mu = mu }
+func (e *Engine) SetDirichletMu(mu float64) {
+	e.searcher.Mu = mu
+	if e.sharded != nil {
+		e.sharded.Mu = mu
+	}
+}
 
 // SetRetrievalModel switches the scoring function.
 //
@@ -275,6 +333,10 @@ func (e *Engine) SetDirichletMu(mu float64) { e.searcher.Mu = mu }
 func (e *Engine) SetRetrievalModel(m RetrievalModel, params ModelParams) {
 	e.searcher.Model = m
 	e.searcher.Params = params
+	if e.sharded != nil {
+		e.sharded.Model = m
+		e.sharded.Params = params
+	}
 }
 
 // SetLegacyScorer toggles the pre-DAAT map-and-sort evaluator.
@@ -295,7 +357,7 @@ func (e *Engine) ParseQueryContext(ctx context.Context, query string, k int) ([]
 	if err != nil {
 		return nil, err
 	}
-	return e.searcher.SearchContext(ctx, node, k)
+	return e.retrieve(ctx, node, k)
 }
 
 // resolveEntities maps entity titles to query nodes; unknown titles are
@@ -341,28 +403,21 @@ func (e *Engine) ExpandContext(ctx context.Context, query string, entityTitles [
 		return nil, err
 	}
 	qg := e.expander.BuildQueryGraphCached(nodes, set, e.cache)
-	exp := &Expansion{QueryNodes: qg.QueryNodes}
-	for _, n := range qg.QueryNodes {
-		exp.QueryNodeTitles = append(exp.QueryNodeTitles, e.graph.Title(n))
-	}
-	for _, f := range qg.Features {
-		exp.Features = append(exp.Features, Feature{
-			Article: f.Article,
-			Title:   e.graph.Title(f.Article),
-			Weight:  f.Weight,
-		})
-	}
-	return exp, nil
+	return e.expansionOf(qg), nil
 }
 
 // SearchSet runs the full SQE pipeline with one motif configuration:
 // expansion, three-part query construction, retrieval.
+//
+// Deprecated: use Do with an explicit MotifSet.
 func (e *Engine) SearchSet(set MotifSet, query string, entityTitles []string, k int) ([]Result, error) {
 	return e.SearchSetStatsContext(context.Background(), set, query, entityTitles, k, nil)
 }
 
 // SearchSetContext is SearchSet under a context deadline; cancellation
 // aborts retrieval mid-evaluation.
+//
+// Deprecated: use Do with an explicit MotifSet.
 func (e *Engine) SearchSetContext(ctx context.Context, set MotifSet, query string, entityTitles []string, k int) ([]Result, error) {
 	return e.SearchSetStatsContext(ctx, set, query, entityTitles, k, nil)
 }
@@ -370,35 +425,38 @@ func (e *Engine) SearchSetContext(ctx context.Context, set MotifSet, query strin
 // SearchSetStats is SearchSet with per-stage instrumentation: entity
 // linking, motif search, query build and retrieval timings plus the
 // evaluator's counters are accumulated into ps (which may be nil).
+//
+// Deprecated: use Do with an explicit MotifSet and CollectStats.
 func (e *Engine) SearchSetStats(set MotifSet, query string, entityTitles []string, k int, ps *PipelineStats) ([]Result, error) {
 	return e.SearchSetStatsContext(context.Background(), set, query, entityTitles, k, ps)
 }
 
-// SearchSetStatsContext is the primary single-configuration entry point:
-// SearchSetStats under a context.
+// SearchSetStatsContext is SearchSetStats under a context. Unlike Do,
+// it leaves PipelineStats.Queries untouched (its callers historically
+// counted queries themselves).
+//
+// Deprecated: use Do with an explicit MotifSet and CollectStats.
 func (e *Engine) SearchSetStatsContext(ctx context.Context, set MotifSet, query string, entityTitles []string, k int, ps *PipelineStats) ([]Result, error) {
-	start := time.Now()
-	nodes, err := e.resolveEntities(query, entityTitles)
+	if k <= 0 || set == 0 {
+		// Legacy quirks Do rejects or reinterprets: a non-positive k runs
+		// the pipeline and retrieves nothing, and a zero set means "no
+		// motifs", not Do's SQE_C default.
+		res, _, err := e.doSet(ctx, set, query, entityTitles, k, nil, ps)
+		return res, err
+	}
+	resp, err := e.Do(ctx, SearchRequest{
+		Query: query, EntityTitles: entityTitles, MotifSet: set, K: k,
+		CollectStats: ps != nil,
+	})
+	if err != nil {
+		return nil, err
+	}
 	if ps != nil {
-		ps.Stages.EntityLink += time.Since(start)
+		st := *resp.Stats
+		st.Queries = 0
+		ps.Add(&st)
 	}
-	if err != nil {
-		return nil, err
-	}
-	qg := e.expander.BuildQueryGraphCachedStats(nodes, set, e.cache, ps)
-	node := e.expander.BuildQueryStats(query, qg, ps)
-	if ps == nil {
-		return e.searcher.SearchContext(ctx, node, k)
-	}
-	start = time.Now()
-	res, st, err := e.searcher.SearchWithStatsContext(ctx, node, k)
-	ps.Stages.Retrieval += time.Since(start)
-	ps.Search.Add(st)
-	ps.Retrievals++
-	if err != nil {
-		return nil, err
-	}
-	return res, nil
+	return resp.Results, nil
 }
 
 // Search runs the paper's SQE_C configuration: the first five results
@@ -409,12 +467,16 @@ func (e *Engine) SearchSetStatsContext(ctx context.Context, set MotifSet, query 
 // When a document surfaces in more than one of the three runs, the
 // Result (and score) of the first run in T → T&S → S order is kept —
 // see core.SpliceResultsC for the tie rule.
+//
+// Deprecated: use Do (the zero MotifSet selects SQE_C).
 func (e *Engine) Search(query string, entityTitles []string, k int) ([]Result, error) {
 	return e.SearchWithStatsContext(context.Background(), query, entityTitles, k, nil)
 }
 
 // SearchContext is Search under a context deadline; cancellation aborts
 // the in-flight retrievals mid-evaluation.
+//
+// Deprecated: use Do (the zero MotifSet selects SQE_C).
 func (e *Engine) SearchContext(ctx context.Context, query string, entityTitles []string, k int) ([]Result, error) {
 	return e.SearchWithStatsContext(ctx, query, entityTitles, k, nil)
 }
@@ -422,6 +484,8 @@ func (e *Engine) SearchContext(ctx context.Context, query string, entityTitles [
 // SearchWithStats is Search (the full SQE_C pipeline) with per-stage
 // instrumentation accumulated into ps (which may be nil): the three
 // per-set expansions and retrievals are all attributed to their stages.
+//
+// Deprecated: use Do with CollectStats.
 func (e *Engine) SearchWithStats(query string, entityTitles []string, k int, ps *PipelineStats) ([]Result, error) {
 	return e.SearchWithStatsContext(context.Background(), query, entityTitles, k, ps)
 }
@@ -429,72 +493,62 @@ func (e *Engine) SearchWithStats(query string, entityTitles []string, k int, ps 
 // sqecSets are SQE_C's three runs in splice order.
 var sqecSets = [3]MotifSet{MotifT, MotifTS, MotifS}
 
-// SearchWithStatsContext is the primary SQE_C entry point. The three
-// motif-set runs are independent (Section 2.2.1); with the engine's
-// worker count above one they evaluate concurrently, bounded by the
-// engine-wide semaphore, and the result lists are spliced exactly as in
-// the sequential path — output is byte-identical either way. Per-run
-// stats are accumulated privately and merged in run order so ps sums
-// deterministically.
+// SearchWithStatsContext is SearchWithStats under a context.
+//
+// Deprecated: use Do with CollectStats.
 func (e *Engine) SearchWithStatsContext(ctx context.Context, query string, entityTitles []string, k int, ps *PipelineStats) ([]Result, error) {
-	var runs [3][]Result
-	var errs [3]error
-	if e.workers <= 1 {
-		for i, set := range sqecSets {
-			runs[i], errs[i] = e.SearchSetStatsContext(ctx, set, query, entityTitles, k, ps)
-			if errs[i] != nil {
-				return nil, errs[i]
-			}
+	if k <= 0 {
+		// Legacy behaviour: the pipeline runs (and counts a query) but
+		// retrieves nothing; Do rejects non-positive k instead.
+		res, _, err := e.doC(ctx, query, entityTitles, k, ps)
+		if err != nil {
+			return nil, err
 		}
-	} else {
-		var pss [3]*PipelineStats
-		var wg sync.WaitGroup
-		for i, set := range sqecSets {
-			if ps != nil {
-				pss[i] = &PipelineStats{}
-			}
-			wg.Add(1)
-			go func(i int, set MotifSet) {
-				defer wg.Done()
-				e.sem <- struct{}{}
-				defer func() { <-e.sem }()
-				runs[i], errs[i] = e.SearchSetStatsContext(ctx, set, query, entityTitles, k, pss[i])
-			}(i, set)
-		}
-		wg.Wait()
 		if ps != nil {
-			for _, p := range pss {
-				ps.Add(p)
-			}
+			ps.Queries++
 		}
-		// First error in run order, so parallel failures are reported
-		// identically to sequential ones.
-		for _, err := range errs {
-			if err != nil {
-				return nil, err
-			}
-		}
+		return res, nil
+	}
+	resp, err := e.Do(ctx, SearchRequest{
+		Query: query, EntityTitles: entityTitles, K: k,
+		CollectStats: ps != nil,
+	})
+	if err != nil {
+		return nil, err
 	}
 	if ps != nil {
-		ps.Queries++
+		ps.Add(resp.Stats)
 	}
-	return core.SpliceResultsC(k, runs[0], runs[1], runs[2]), nil
+	return resp.Results, nil
 }
 
 // BaselineSearch runs the plain query-likelihood baseline (QL_Q): the
 // user's query with no expansion.
+//
+// Deprecated: use Do with Baseline set.
 func (e *Engine) BaselineSearch(query string, k int) ([]Result, error) {
 	return e.BaselineSearchContext(context.Background(), query, k)
 }
 
 // BaselineSearchContext is BaselineSearch under a context deadline.
+//
+// Deprecated: use Do with Baseline set.
 func (e *Engine) BaselineSearchContext(ctx context.Context, query string, k int) ([]Result, error) {
-	return e.searcher.SearchContext(ctx, e.expander.QLQuery(query), k)
+	if k <= 0 {
+		return e.doBaseline(ctx, query, k, nil, nil)
+	}
+	resp, err := e.Do(ctx, SearchRequest{Query: query, K: k, Baseline: true})
+	if err != nil {
+		return nil, err
+	}
+	return resp.Results, nil
 }
 
 // SearchPRF applies pseudo-relevance feedback (Lavrenko relevance model)
 // on top of the SQE expansion for one motif set — the paper's
 // orthogonality experiment (Section 4.3).
+//
+// Deprecated: use Do with an explicit MotifSet and PRF.
 func (e *Engine) SearchPRF(set MotifSet, query string, entityTitles []string, cfg PRFConfig, k int) ([]Result, error) {
 	return e.SearchPRFContext(context.Background(), set, query, entityTitles, cfg, k)
 }
@@ -502,28 +556,44 @@ func (e *Engine) SearchPRF(set MotifSet, query string, entityTitles []string, cf
 // SearchPRFContext is SearchPRF under a context. The context governs the
 // final retrieval; the feedback pass (a small fixed-depth retrieval) is
 // not interruptible.
+//
+// Deprecated: use Do with an explicit MotifSet and PRF.
 func (e *Engine) SearchPRFContext(ctx context.Context, set MotifSet, query string, entityTitles []string, cfg PRFConfig, k int) ([]Result, error) {
-	nodes, err := e.resolveEntities(query, entityTitles)
-	if err != nil {
-		return nil, err
-	}
-	qg := e.expander.BuildQueryGraphCached(nodes, set, e.cache)
-	node := prf.Reformulate(e.searcher, e.expander.BuildQuery(query, qg), cfg)
-	return e.searcher.SearchContext(ctx, node, k)
+	res, _, err := e.doSet(ctx, set, query, entityTitles, k, normalizePRF(cfg), nil)
+	return res, err
 }
 
 // BaselineSearchPRF applies pseudo-relevance feedback to the plain
 // user query with no expansion — the paper's PRF_Q configuration, whose
 // collapse on vocabulary-mismatched collections Section 4.3 demonstrates.
+//
+// Deprecated: use Do with Baseline and PRF.
 func (e *Engine) BaselineSearchPRF(query string, cfg PRFConfig, k int) ([]Result, error) {
 	return e.BaselineSearchPRFContext(context.Background(), query, cfg, k)
 }
 
 // BaselineSearchPRFContext is BaselineSearchPRF under a context (final
 // retrieval only, as in SearchPRFContext).
+//
+// Deprecated: use Do with Baseline and PRF.
 func (e *Engine) BaselineSearchPRFContext(ctx context.Context, query string, cfg PRFConfig, k int) ([]Result, error) {
-	node := prf.Reformulate(e.searcher, e.expander.QLQuery(query), cfg)
-	return e.searcher.SearchContext(ctx, node, k)
+	return e.doBaseline(ctx, query, k, normalizePRF(cfg), nil)
+}
+
+// normalizePRF maps the out-of-range PRF values the legacy methods
+// silently accepted (prf applies its own defaults for non-positive
+// counts) onto values Do's validation admits, preserving behaviour.
+func normalizePRF(cfg PRFConfig) *PRFConfig {
+	if cfg.FbDocs < 0 {
+		cfg.FbDocs = 0
+	}
+	if cfg.FbTerms < 0 {
+		cfg.FbTerms = 0
+	}
+	if cfg.OrigWeight < 0 || cfg.OrigWeight != cfg.OrigWeight {
+		cfg.OrigWeight = 0
+	}
+	return &cfg
 }
 
 // Expander exposes the underlying expander for advanced configuration
