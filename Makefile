@@ -1,12 +1,16 @@
 GO ?= go
 
-.PHONY: build test race vet bench bench-shards shard-parity serve-smoke verify
+.PHONY: build test race vet fmt bench bench-shards bench-pruning bench-check shard-parity serve-smoke verify
 
 build:
 	$(GO) build ./...
 
 vet:
 	$(GO) vet ./...
+
+# Fails (listing the offenders) if any file is not gofmt-clean.
+fmt:
+	@out="$$(gofmt -l .)"; if [ -n "$$out" ]; then echo "gofmt needed:"; echo "$$out"; exit 1; fi
 
 test:
 	$(GO) test ./...
@@ -27,6 +31,19 @@ bench:
 bench-shards:
 	$(GO) run ./cmd/sqe-bench -scale small -exp shards -shards 1,2,4,8 -shards-json BENCH_shards.json
 
+# MaxScore pruning effectiveness (documents scored, postings skipped,
+# single-core wall clock) on the expanded-query workload; regenerates
+# the committed BENCH_pruning.json artifact that bench-check gates on.
+bench-pruning:
+	$(GO) run ./cmd/sqe-bench -scale small -exp pruning -pruning-json BENCH_pruning.json
+
+# The benchmark regression gate: validates the committed BENCH_*.json
+# artifacts (bit-identity flags, >=2x documents-scored reduction) and
+# re-runs the pruning bench to demand its deterministic counters match
+# the artifact exactly. See cmd/bench-check for what is gated how hard.
+bench-check:
+	$(GO) run ./cmd/bench-check
+
 # The bit-identity gates for sharded retrieval: evaluator-level and
 # engine-level differential tests across shard counts and models.
 shard-parity:
@@ -39,5 +56,5 @@ serve-smoke:
 	$(GO) run ./cmd/sqe-serve -smoke -shards 4
 
 # The full gate run before every commit.
-verify: vet build race test shard-parity serve-smoke
+verify: vet fmt build race test shard-parity bench-check serve-smoke
 	@echo "verify: OK"

@@ -1,0 +1,155 @@
+// Command bench-check is the repository's benchmark regression gate,
+// run by `make verify`. It validates the committed benchmark artifacts
+// (BENCH_pruning.json, BENCH_shards.json) and — unless -fresh=false —
+// re-runs the pruning bench to compare its DETERMINISTIC counters
+// against the committed numbers.
+//
+// What is gated, and how hard:
+//
+//   - Correctness flags are absolute: every committed row must report
+//     bit-identical results (pruned vs exhaustive, sharded vs
+//     unsharded). A false flag fails the build.
+//   - Documents-scored reduction is a hard floor (-min-reduction,
+//     default 2x): pruning that stops paying for itself is a
+//     regression even if nothing is wrong numerically.
+//   - The deterministic work counters (documents scored, postings
+//     skipped) of a fresh run must EXACTLY match the committed
+//     artifact: the synthetic environment is seeded, so any drift
+//     means evaluator behaviour changed without regenerating the
+//     artifact (`make bench-pruning`).
+//   - Wall-clock gets only a wide sanity band (-max-slowdown, default
+//     3x, fresh run only): ns/query on a loaded CI box routinely
+//     swings 2x either way, so the band exists to catch catastrophic
+//     slowdowns (an accidental O(n^2)), not to measure performance.
+//     Committed ns values are never compared across machines.
+//
+// Exit status is non-zero on any failure, with one line per check so
+// the log shows exactly which gate tripped.
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"log"
+	"os"
+
+	"repro/internal/dataset"
+	"repro/internal/experiments"
+)
+
+func main() {
+	log.SetFlags(0)
+	log.SetPrefix("bench-check: ")
+	pruningPath := flag.String("pruning", "BENCH_pruning.json", "committed pruning bench artifact")
+	shardsPath := flag.String("shards", "BENCH_shards.json", "committed shard bench artifact")
+	minReduction := flag.Float64("min-reduction", 2.0, "documents-scored reduction floor every model must sustain")
+	maxSlowdown := flag.Float64("max-slowdown", 3.0, "fresh-run wall-clock band: pruned ns/query must stay under full x this")
+	fresh := flag.Bool("fresh", true, "re-run the pruning bench and compare deterministic counters")
+	flag.Parse()
+
+	failed := false
+	fail := func(format string, args ...any) {
+		failed = true
+		fmt.Printf("FAIL  "+format+"\n", args...)
+	}
+	ok := func(format string, args ...any) {
+		fmt.Printf("ok    "+format+"\n", args...)
+	}
+
+	// Committed pruning artifact.
+	var committed experiments.PruningBenchResult
+	if err := loadJSON(*pruningPath, &committed); err != nil {
+		log.Fatal(err)
+	}
+	if len(committed.Rows) == 0 {
+		fail("%s: no rows", *pruningPath)
+	}
+	for _, row := range committed.Rows {
+		switch {
+		case !row.Identical:
+			fail("%s/%s: committed run was not bit-identical to the exhaustive evaluator", *pruningPath, row.Model)
+		case row.DocsScoredPruned > row.DocsScoredFull:
+			fail("%s/%s: pruned path scored more documents (%d) than the exhaustive one (%d)",
+				*pruningPath, row.Model, row.DocsScoredPruned, row.DocsScoredFull)
+		case row.Reduction < *minReduction:
+			fail("%s/%s: documents-scored reduction %.2fx below the %.2fx floor",
+				*pruningPath, row.Model, row.Reduction, *minReduction)
+		case row.DocsSkipped == 0:
+			fail("%s/%s: pruning skipped no postings at all", *pruningPath, row.Model)
+		default:
+			ok("%s/%s: bit-identical, %.2fx fewer documents scored (floor %.2fx)",
+				*pruningPath, row.Model, row.Reduction, *minReduction)
+		}
+	}
+
+	// Committed shard artifact: the identity flags are the contract;
+	// shard-count wall clocks are machine-dependent and not gated.
+	var shards experiments.ShardBenchResult
+	if err := loadJSON(*shardsPath, &shards); err != nil {
+		log.Fatal(err)
+	}
+	if len(shards.Rows) == 0 {
+		fail("%s: no rows", *shardsPath)
+	}
+	for _, row := range shards.Rows {
+		if !row.Identical {
+			fail("%s/S=%d: committed run was not identical to unsharded retrieval", *shardsPath, row.Shards)
+		} else {
+			ok("%s/S=%d: identical to unsharded", *shardsPath, row.Shards)
+		}
+	}
+
+	// Fresh run: regenerate the seeded environment and demand the
+	// deterministic counters match the artifact exactly. One rep is
+	// enough — reps only smooth the (ungated) wall clock.
+	if *fresh {
+		suite, err := experiments.NewSuite(dataset.ScaleSmall)
+		if err != nil {
+			log.Fatal(err)
+		}
+		got := experiments.PruningBench(suite, suite.ImageCLEF, committed.K, 1)
+		if len(got.Rows) != len(committed.Rows) {
+			fail("fresh run produced %d rows, artifact has %d", len(got.Rows), len(committed.Rows))
+		}
+		for i, row := range got.Rows {
+			if i >= len(committed.Rows) {
+				break
+			}
+			want := committed.Rows[i]
+			switch {
+			case row.Model != want.Model:
+				fail("fresh/%s: artifact row %d is %s — row order changed", row.Model, i, want.Model)
+			case !row.Identical:
+				fail("fresh/%s: pruned results diverged from the exhaustive evaluator", row.Model)
+			case row.DocsScoredFull != want.DocsScoredFull ||
+				row.DocsScoredPruned != want.DocsScoredPruned ||
+				row.DocsSkipped != want.DocsSkipped:
+				fail("fresh/%s: counters (full=%d pruned=%d skipped=%d) != artifact (full=%d pruned=%d skipped=%d); evaluator behaviour changed — regenerate with `make bench-pruning`",
+					row.Model, row.DocsScoredFull, row.DocsScoredPruned, row.DocsSkipped,
+					want.DocsScoredFull, want.DocsScoredPruned, want.DocsSkipped)
+			case row.NsPrunedPerQry > row.NsFullPerQry*(*maxSlowdown):
+				fail("fresh/%s: pruned %.0f ns/query vs full %.0f — beyond the %.1fx sanity band",
+					row.Model, row.NsPrunedPerQry, row.NsFullPerQry, *maxSlowdown)
+			default:
+				ok("fresh/%s: counters match artifact, wall clock within %.1fx band", row.Model, *maxSlowdown)
+			}
+		}
+	}
+
+	if failed {
+		os.Exit(1)
+	}
+	fmt.Println("bench-check: OK")
+}
+
+func loadJSON(path string, v any) error {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return err
+	}
+	if err := json.Unmarshal(data, v); err != nil {
+		return fmt.Errorf("%s: %w", path, err)
+	}
+	return nil
+}

@@ -3,8 +3,9 @@
 //
 // Usage:
 //
-//	sqe-bench [-scale small|default] [-exp all|fig2|tab1|fig5|tab2|fig6|tab3|tab4|stages|shards]
+//	sqe-bench [-scale small|default] [-exp all|fig2|tab1|fig5|tab2|fig6|tab3|tab4|stages|shards|pruning]
 //	          [-shards 1,2,4,8] [-shards-json BENCH_shards.json]
+//	          [-pruning-json BENCH_pruning.json]
 package main
 
 import (
@@ -23,10 +24,11 @@ func main() {
 	log.SetFlags(0)
 	log.SetPrefix("sqe-bench: ")
 	scaleFlag := flag.String("scale", "default", "environment scale: small|default")
-	expFlag := flag.String("exp", "all", "experiment: all or substring list of fig2,tab1,fig5,tab2,fig6,tab3,tab4,stages,ablation,mining,summary")
+	expFlag := flag.String("exp", "all", "experiment: all or substring list of fig2,tab1,fig5,tab2,fig6,tab3,tab4,stages,ablation,mining,summary,shards,pruning")
 	trecFlag := flag.String("trec", "", "directory to export TREC qrels/run files into")
 	shardsFlag := flag.String("shards", "1,2,4,8", "comma-separated shard counts for -exp shards")
 	shardsJSON := flag.String("shards-json", "", "file to write the shard bench result to as JSON")
+	pruningJSON := flag.String("pruning-json", "", "file to write the pruning bench result to as JSON")
 	flag.Parse()
 
 	scale := dataset.ScaleDefault
@@ -139,6 +141,22 @@ func main() {
 				log.Fatal(err)
 			}
 			fmt.Printf("wrote %s\n", *shardsJSON)
+		}
+	}
+	if want("pruning") {
+		// MaxScore pruning effectiveness on the expanded-query workload
+		// (single-core honest numbers; see README "Dynamic pruning").
+		pr := experiments.PruningBench(suite, suite.ImageCLEF, 10, 3)
+		fmt.Println(pr)
+		if *pruningJSON != "" {
+			data, err := pr.JSON()
+			if err != nil {
+				log.Fatal(err)
+			}
+			if err := os.WriteFile(*pruningJSON, append(data, '\n'), 0o644); err != nil {
+				log.Fatal(err)
+			}
+			fmt.Printf("wrote %s\n", *pruningJSON)
 		}
 	}
 	if *trecFlag != "" {

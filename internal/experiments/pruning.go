@@ -1,0 +1,159 @@
+package experiments
+
+import (
+	"encoding/json"
+	"fmt"
+	"runtime"
+	"strings"
+	"time"
+
+	"repro/internal/dataset"
+	"repro/internal/motif"
+	"repro/internal/search"
+)
+
+// PruningBenchRow is one retrieval model's pruned-vs-exhaustive
+// measurement on the expanded-query workload.
+type PruningBenchRow struct {
+	Model string `json:"model"`
+	// DocsScoredFull / DocsScoredPruned are documents FULLY scored
+	// across the workload (CandidatesExamined — candidates rejected by
+	// the bound filter don't count), deterministic for a fixed dataset
+	// seed — the honest "work saved" metric.
+	DocsScoredFull   int64 `json:"docs_scored_full"`
+	DocsScoredPruned int64 `json:"docs_scored_pruned"`
+	// Reduction = full/pruned documents scored (≥ 1 when pruning helps).
+	Reduction float64 `json:"docs_scored_reduction"`
+	// DocsSkipped is the postings entries galloped over without scoring.
+	DocsSkipped int64 `json:"docs_skipped"`
+	// NsFullPerQry / NsPrunedPerQry are single-threaded wall-clock per
+	// query; Speedup = full/pruned. Wall-clock varies with hardware —
+	// the regression gate treats it with a wide tolerance, unlike the
+	// deterministic counters above.
+	NsFullPerQry   float64 `json:"ns_per_query_full"`
+	NsPrunedPerQry float64 `json:"ns_per_query_pruned"`
+	Speedup        float64 `json:"speedup_vs_full"`
+	// Identical asserts the pruned rankings and scores matched the
+	// exhaustive evaluator's exactly (==, no tolerance) on every query.
+	Identical bool `json:"identical_to_full"`
+}
+
+// PruningBenchResult reports MaxScore pruning effectiveness on the
+// fully expanded SQE_T&S query workload of one dataset instance, per
+// retrieval model. Numbers are single-core honest: the evaluation is
+// one goroutine end to end, and GOMAXPROCS is recorded for context.
+type PruningBenchResult struct {
+	Dataset    string            `json:"dataset"`
+	GOMAXPROCS int               `json:"gomaxprocs"`
+	K          int               `json:"k"`
+	Reps       int               `json:"reps"`
+	Queries    int               `json:"queries"`
+	Rows       []PruningBenchRow `json:"rows"`
+}
+
+// PruningBench times top-k retrieval of every query's expanded SQE_T&S
+// form with the exhaustive DAAT evaluator and the MaxScore-pruned one,
+// for all three retrieval models. One counting pass per configuration
+// collects the deterministic work counters and the rankings for the
+// identity check; reps timed passes follow.
+func PruningBench(s *Suite, inst *dataset.Instance, k, reps int) *PruningBenchResult {
+	if k <= 0 {
+		k = 10
+	}
+	if reps <= 0 {
+		reps = 3
+	}
+	r := s.NewRunner(inst)
+	queries := inst.Queries
+	nodes := make([]search.Node, len(queries))
+	for qi := range queries {
+		q := &queries[qi]
+		qg := r.Expander.BuildQueryGraph(r.Entities(q, true), motif.SetTS)
+		nodes[qi] = r.Expander.BuildQuery(q.Text, qg)
+	}
+
+	out := &PruningBenchResult{
+		Dataset:    inst.Name,
+		GOMAXPROCS: runtime.GOMAXPROCS(0),
+		K:          k,
+		Reps:       reps,
+		Queries:    len(queries),
+	}
+	models := []struct {
+		name  string
+		model search.Model
+	}{
+		{"dirichlet", search.ModelDirichlet},
+		{"jelinek-mercer", search.ModelJelinekMercer},
+		{"bm25", search.ModelBM25},
+	}
+	for _, m := range models {
+		full := search.NewSearcher(inst.Index)
+		full.Model = m.model
+		full.DisablePruning = true
+		pruned := search.NewSearcher(inst.Index)
+		pruned.Model = m.model
+
+		row := PruningBenchRow{Model: m.name, Identical: true}
+		prunedRes := make([][]search.Result, len(nodes))
+		for i, n := range nodes {
+			fres, fst := full.SearchWithStats(n, k)
+			pres, pst := pruned.SearchWithStats(n, k)
+			row.DocsScoredFull += fst.CandidatesExamined
+			row.DocsScoredPruned += pst.CandidatesExamined
+			row.DocsSkipped += pst.DocsSkipped
+			prunedRes[i] = pres
+			if len(pres) != len(fres) {
+				row.Identical = false
+				continue
+			}
+			for j := range fres {
+				if pres[j] != fres[j] {
+					row.Identical = false
+					break
+				}
+			}
+		}
+		timeAll := func(sr *search.Searcher) float64 {
+			start := time.Now()
+			for rep := 0; rep < reps; rep++ {
+				for _, n := range nodes {
+					_ = sr.Search(n, k)
+				}
+			}
+			return float64(time.Since(start)) / float64(reps*len(nodes))
+		}
+		row.NsFullPerQry = timeAll(full)
+		row.NsPrunedPerQry = timeAll(pruned)
+		if row.DocsScoredPruned > 0 {
+			row.Reduction = float64(row.DocsScoredFull) / float64(row.DocsScoredPruned)
+		}
+		if row.NsPrunedPerQry > 0 {
+			row.Speedup = row.NsFullPerQry / row.NsPrunedPerQry
+		}
+		out.Rows = append(out.Rows, row)
+	}
+	return out
+}
+
+// JSON renders the result as indented JSON (the BENCH_pruning.json
+// artifact written by `make bench-pruning`).
+func (r *PruningBenchResult) JSON() ([]byte, error) {
+	return json.MarshalIndent(r, "", "  ")
+}
+
+func (r *PruningBenchResult) String() string {
+	var sb strings.Builder
+	fmt.Fprintf(&sb, "maxscore pruning, %s (%d queries, k=%d, %d reps, GOMAXPROCS=%d):\n",
+		r.Dataset, r.Queries, r.K, r.Reps, r.GOMAXPROCS)
+	for _, row := range r.Rows {
+		mark := "bit-identical"
+		if !row.Identical {
+			mark = "RANKINGS DIVERGED"
+		}
+		fmt.Fprintf(&sb, "  %-15s docs scored %8d -> %8d (%.2fx fewer, %d skipped)  %8.0f -> %8.0f ns/query (%.2fx)  %s\n",
+			row.Model, row.DocsScoredFull, row.DocsScoredPruned, row.Reduction,
+			row.DocsSkipped, row.NsFullPerQry, row.NsPrunedPerQry, row.Speedup, mark)
+	}
+	return sb.String()
+}

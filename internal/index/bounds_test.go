@@ -1,0 +1,221 @@
+package index
+
+import (
+	"bufio"
+	"bytes"
+	"encoding/binary"
+	"strings"
+	"testing"
+
+	"repro/internal/analysis"
+)
+
+func boundsIndex(t *testing.T) *Index {
+	t.Helper()
+	b := NewBuilder(analysis.Analyzer{})
+	b.Add("D0", "a a a b")    // len 4: a tf=3, b tf=1
+	b.Add("D1", "a b b")      // len 3: a tf=1, b tf=2
+	b.Add("D2", "c")          // len 1: c tf=1
+	b.Add("D3", "a c c c c ") // len 5
+	return b.Build()
+}
+
+func TestBoundsFor(t *testing.T) {
+	ix := boundsIndex(t)
+	cases := []struct {
+		term string
+		want TermBounds
+	}{
+		// a: postings (D0 tf=3 dl=4), (D1 tf=1 dl=3), (D3 tf=1 dl=5);
+		// best ratio 3/4.
+		{"a", TermBounds{MaxTF: 3, MinDL: 3, MaxRatioTF: 3, MaxRatioDL: 4}},
+		// b: (D0 tf=1 dl=4), (D1 tf=2 dl=3); best ratio 2/3.
+		{"b", TermBounds{MaxTF: 2, MinDL: 3, MaxRatioTF: 2, MaxRatioDL: 3}},
+		// c: (D2 tf=1 dl=1), (D3 tf=4 dl=5); 1/1 > 4/5, argmax keeps D2.
+		{"c", TermBounds{MaxTF: 4, MinDL: 1, MaxRatioTF: 1, MaxRatioDL: 1}},
+	}
+	for _, c := range cases {
+		got, ok := ix.BoundsFor(c.term)
+		if !ok {
+			t.Fatalf("BoundsFor(%q): not found", c.term)
+		}
+		if got != c.want {
+			t.Errorf("BoundsFor(%q) = %+v, want %+v", c.term, got, c.want)
+		}
+	}
+	if _, ok := ix.BoundsFor("zzz"); ok {
+		t.Error("BoundsFor(OOV) reported ok")
+	}
+	if got := ix.MinDocLen(); got != 1 {
+		t.Errorf("MinDocLen = %d, want 1", got)
+	}
+}
+
+func TestBoundsRatioTieKeepsEarliest(t *testing.T) {
+	// Two postings with the exact same ratio (1/2 and 2/4): the argmax
+	// comparison is strict, so the earlier posting wins.
+	b := NewBuilder(analysis.Analyzer{})
+	b.Add("D0", "a x")     // tf=1 dl=2
+	b.Add("D1", "a a x x") // tf=2 dl=4
+	ix := b.Build()
+	got, _ := ix.BoundsFor("a")
+	if got.MaxRatioTF != 1 || got.MaxRatioDL != 2 {
+		t.Fatalf("ratio argmax = (%d,%d), want earliest (1,2)", got.MaxRatioTF, got.MaxRatioDL)
+	}
+}
+
+func TestPostingsBoundsEmpty(t *testing.T) {
+	ix := boundsIndex(t)
+	var empty Postings
+	if got := ix.PostingsBounds(&empty); got != (TermBounds{}) {
+		t.Fatalf("empty postings bounds = %+v, want zero", got)
+	}
+}
+
+func TestMinDocLenEmptyIndex(t *testing.T) {
+	ix := NewBuilder(analysis.Analyzer{}).Build()
+	if got := ix.MinDocLen(); got != 0 {
+		t.Fatalf("empty index MinDocLen = %d, want 0", got)
+	}
+}
+
+// TestBoundsRoundTrip: v2 files carry the bounds and reload them intact.
+func TestBoundsRoundTrip(t *testing.T) {
+	ix := boundsIndex(t)
+	var buf bytes.Buffer
+	if err := Encode(&buf, ix); err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.HasPrefix(buf.Bytes(), indexMagic) {
+		t.Fatalf("encoded file does not start with the v2 magic")
+	}
+	got, err := Decode(bytes.NewReader(buf.Bytes()))
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, term := range []string{"a", "b", "c"} {
+		wb, _ := ix.BoundsFor(term)
+		gb, ok := got.BoundsFor(term)
+		if !ok || gb != wb {
+			t.Errorf("decoded BoundsFor(%q) = %+v ok=%v, want %+v", term, gb, ok, wb)
+		}
+	}
+	if got.MinDocLen() != ix.MinDocLen() {
+		t.Errorf("decoded MinDocLen = %d, want %d", got.MinDocLen(), ix.MinDocLen())
+	}
+}
+
+// encodeV1 writes ix in the version-1 format (no bounds section) so the
+// decoder's back-compat path can be pinned without checked-in fixtures.
+func encodeV1(t *testing.T, ix *Index) []byte {
+	t.Helper()
+	var buf bytes.Buffer
+	bw := bufio.NewWriter(&buf)
+	bw.Write(indexMagicV1)
+	var flags byte
+	if ix.analyzer.RemoveStopwords {
+		flags |= 1
+	}
+	if ix.analyzer.Stem {
+		flags |= 2
+	}
+	bw.WriteByte(flags)
+	var vb [binary.MaxVarintLen64]byte
+	wu := func(x uint64) { bw.Write(vb[:binary.PutUvarint(vb[:], x)]) }
+	ws := func(s string) { wu(uint64(len(s))); bw.WriteString(s) }
+	wu(uint64(len(ix.docNames)))
+	for d, name := range ix.docNames {
+		ws(name)
+		wu(uint64(ix.docLens[d]))
+	}
+	wu(uint64(len(ix.termText)))
+	for tid, text := range ix.termText {
+		ws(text)
+		p := &ix.postings[tid]
+		wu(uint64(len(p.Docs)))
+		prevDoc := DocID(0)
+		for i, doc := range p.Docs {
+			d := uint64(doc)
+			if i > 0 {
+				d = uint64(doc - prevDoc)
+			}
+			prevDoc = doc
+			wu(d)
+			wu(uint64(p.Freqs[i]))
+			prevPos := int32(0)
+			for j, pos := range p.Positions[i] {
+				pd := uint64(pos)
+				if j > 0 {
+					pd = uint64(pos - prevPos)
+				}
+				prevPos = pos
+				wu(pd)
+			}
+		}
+	}
+	bw.Flush()
+	return buf.Bytes()
+}
+
+// TestDecodeV1Compat: version-1 files (no bounds section) still load,
+// and the bounds are recomputed from the decoded postings.
+func TestDecodeV1Compat(t *testing.T) {
+	ix := boundsIndex(t)
+	got, err := Decode(bytes.NewReader(encodeV1(t, ix)))
+	if err != nil {
+		t.Fatalf("v1 decode: %v", err)
+	}
+	if got.NumDocs() != ix.NumDocs() || got.NumTerms() != ix.NumTerms() {
+		t.Fatalf("v1 decode shape: %v vs %v", got, ix)
+	}
+	for _, term := range []string{"a", "b", "c"} {
+		wb, _ := ix.BoundsFor(term)
+		gb, ok := got.BoundsFor(term)
+		if !ok || gb != wb {
+			t.Errorf("v1 BoundsFor(%q) = %+v ok=%v, want %+v", term, gb, ok, wb)
+		}
+	}
+}
+
+// TestDecodeRejectsCorruptBounds: a v2 file whose stored bounds disagree
+// with its postings must be rejected — an understated bound would make
+// the pruned evaluator silently drop documents.
+func TestDecodeRejectsCorruptBounds(t *testing.T) {
+	ix := boundsIndex(t)
+	var buf bytes.Buffer
+	if err := Encode(&buf, ix); err != nil {
+		t.Fatal(err)
+	}
+	good := buf.Bytes()
+	if _, err := Decode(bytes.NewReader(good)); err != nil {
+		t.Fatalf("sanity: %v", err)
+	}
+	// The last uvarints of the stream are the final term's bounds; a
+	// single-byte perturbation there must either fail the bounds
+	// cross-check or break varint framing — never load quietly with
+	// wrong metadata.
+	corrupted := 0
+	for off := len(good) - 1; off >= len(good)-8 && off > 0; off-- {
+		bad := append([]byte(nil), good...)
+		bad[off] ^= 0x01
+		got, err := Decode(bytes.NewReader(bad))
+		if err == nil {
+			// A flip that happens to produce the same decoded values is
+			// acceptable only if the bounds still match the postings.
+			for tid, text := range got.termText {
+				want := boundsOf(&got.postings[tid], got.docLens)
+				if gb, _ := got.BoundsFor(text); gb != want {
+					t.Fatalf("offset %d: corrupt bounds %+v accepted (postings say %+v)", off, gb, want)
+				}
+			}
+			continue
+		}
+		corrupted++
+		if !strings.Contains(err.Error(), "bound") && !strings.Contains(err.Error(), "index:") {
+			t.Fatalf("offset %d: unexpected error %v", off, err)
+		}
+	}
+	if corrupted == 0 {
+		t.Fatal("no bound perturbation was rejected")
+	}
+}

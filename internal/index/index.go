@@ -54,6 +54,14 @@ type Index struct {
 
 	fwdOnce sync.Once
 	forward [][]TermFreq
+
+	// Per-term score-bound metadata (see bounds.go). Computed lazily on
+	// first use — shard indexes are assembled by struct literal and must
+	// not pay the scan unless pruning runs — or eagerly by Decode, which
+	// derives the values during its postings walk.
+	boundsOnce sync.Once
+	termBounds []TermBounds
+	minDocLen  int32
 }
 
 // Analyzer returns the analyzer documents were indexed with; queries must

@@ -11,17 +11,30 @@ import (
 
 // Binary index format:
 //
-//	magic "SQEIX\x01"
+//	magic "SQEIX\x02"
 //	byte analyzer flags (bit0 stopwords, bit1 stemming)
 //	uvarint numDocs; per doc: uvarint len(name), name, uvarint docLen
 //	uvarint numTerms; per term:
 //	    uvarint len(text), text
 //	    uvarint numPostings; per posting:
 //	        delta-uvarint doc, uvarint freq, delta-uvarint positions
+//	    uvarint MaxTF, MinDL, MaxRatioTF, MaxRatioDL   (v2 only)
 //
 // TotalTokens is reconstructed from the doc lengths on load.
+//
+// Version 2 appends each term's TermBounds after its postings so loads
+// skip the bound-derivation scan. The values are fully redundant with
+// the postings, and the decoder exploits that: it re-derives them during
+// the postings walk it does anyway and rejects the file on any mismatch,
+// so a corrupt or hostile bounds section can never make the pruned
+// evaluator drop documents (score-safety survives untrusted input).
+// Version 1 files (no bounds section) still load; their summaries are
+// recomputed from the decoded postings.
 
-var indexMagic = []byte("SQEIX\x01")
+var (
+	indexMagic   = []byte("SQEIX\x02")
+	indexMagicV1 = []byte("SQEIX\x01")
+)
 
 // maxPrealloc bounds any allocation driven by a length prefix read from
 // untrusted input. Slices are allocated with at most this capacity and
@@ -40,6 +53,7 @@ func prealloc(n uint64) int {
 
 // Encode writes the index in the binary format.
 func Encode(w io.Writer, ix *Index) error {
+	ix.ensureBounds() // the v2 trailer of every term table entry
 	bw := bufio.NewWriter(w)
 	if _, err := bw.Write(indexMagic); err != nil {
 		return err
@@ -114,6 +128,12 @@ func Encode(w io.Writer, ix *Index) error {
 				}
 			}
 		}
+		b := ix.termBounds[tid]
+		for _, v := range [4]int32{b.MaxTF, b.MinDL, b.MaxRatioTF, b.MaxRatioDL} {
+			if err := writeUvarint(uint64(v)); err != nil {
+				return err
+			}
+		}
 	}
 	return bw.Flush()
 }
@@ -125,7 +145,12 @@ func Decode(r io.Reader) (*Index, error) {
 	if _, err := io.ReadFull(br, head); err != nil {
 		return nil, fmt.Errorf("index: reading magic: %w", err)
 	}
-	if string(head) != string(indexMagic) {
+	hasBounds := false
+	switch string(head) {
+	case string(indexMagic):
+		hasBounds = true
+	case string(indexMagicV1):
+	default:
 		return nil, fmt.Errorf("index: bad magic %q", head)
 	}
 	flags, err := br.ReadByte()
@@ -183,6 +208,7 @@ func Decode(r io.Reader) (*Index, error) {
 	}
 	ix.termText = make([]string, 0, prealloc(numTerms))
 	ix.postings = make([]Postings, 0, prealloc(numTerms))
+	ix.termBounds = make([]TermBounds, 0, prealloc(numTerms))
 	for t := uint64(0); t < numTerms; t++ {
 		text, err := readString("term", 1<<16)
 		if err != nil {
@@ -243,7 +269,30 @@ func Decode(r io.Reader) (*Index, error) {
 			}
 			p.Positions = append(p.Positions, pos)
 		}
+		// The walk above visited every posting, so the bound summary
+		// comes for free; v2 files additionally store it, and stored-vs-
+		// derived disagreement means the file is corrupt (trusting an
+		// understated bound would silently break score-safe pruning).
+		derived := boundsOf(&p, ix.docLens)
+		if hasBounds {
+			var stored TermBounds
+			for _, field := range [4]*int32{&stored.MaxTF, &stored.MinDL, &stored.MaxRatioTF, &stored.MaxRatioDL} {
+				v, err := binary.ReadUvarint(br)
+				if err != nil {
+					return nil, fmt.Errorf("index: term %q bounds: %w", text, err)
+				}
+				if v > 1<<31-1 {
+					return nil, fmt.Errorf("index: term %q bound value %d out of range", text, v)
+				}
+				*field = int32(v)
+			}
+			if stored != derived {
+				return nil, fmt.Errorf("index: term %q stored bounds %+v disagree with postings (%+v)", text, stored, derived)
+			}
+		}
 		ix.postings = append(ix.postings, p)
+		ix.termBounds = append(ix.termBounds, derived)
 	}
+	ix.minDocLen = minDocLenOf(ix.docLens)
 	return ix, nil
 }

@@ -1,0 +1,233 @@
+package motif
+
+import (
+	"fmt"
+	"math/rand"
+	"reflect"
+	"testing"
+	"testing/quick"
+
+	"repro/internal/kb"
+)
+
+// This file pins the slice-accumulator Expand and the merge-based
+// squareInstances to the original implementations (map accumulator,
+// pairwise IsParentCategory probing), which are retained below as the
+// executable specification. Any behavioural drift — counts, ordering,
+// nil-ness — fails the differential test.
+
+// referenceExpand is the original Expand: a map accumulator keyed by
+// article, converted to a slice and sorted at the end.
+func referenceExpand(m *Matcher, queryNodes []kb.NodeID, set Set) []Match {
+	counts := make(map[kb.NodeID]int)
+	isQuery := make(map[kb.NodeID]bool, len(queryNodes))
+	for _, q := range queryNodes {
+		isQuery[q] = true
+	}
+	for _, q := range queryNodes {
+		if q < 0 || m.g.Kind(q) != kb.KindArticle {
+			continue
+		}
+		referenceExpandFrom(m, q, set, isQuery, counts)
+	}
+	matches := make([]Match, 0, len(counts))
+	for a, c := range counts {
+		matches = append(matches, Match{Article: a, Motifs: c})
+	}
+	sortMatchesByWeight(matches)
+	return matches
+}
+
+func referenceExpandFrom(m *Matcher, q kb.NodeID, set Set, isQuery map[kb.NodeID]bool, counts map[kb.NodeID]int) {
+	qCats := m.g.Categories(q)
+	for _, e := range m.g.OutLinks(q) {
+		if isQuery[e] {
+			continue
+		}
+		if m.RequireReciprocal && !m.g.HasLink(e, q) {
+			continue
+		}
+		if !m.UseCategories {
+			counts[e]++
+			continue
+		}
+		eCats := m.g.Categories(e)
+		if set.Has(Triangular) {
+			if n := triangularInstances(qCats, eCats); n > 0 {
+				counts[e] += n
+			}
+		}
+		if set.Has(Square) {
+			if n := referenceSquareInstances(m, qCats, eCats); n > 0 {
+				counts[e] += n
+			}
+		}
+	}
+}
+
+// referenceSquareInstances is the original pairwise containment test:
+// every (cq, ce) pair probed with two binary searches.
+func referenceSquareInstances(m *Matcher, qCats, eCats []kb.NodeID) int {
+	n := 0
+	for _, cq := range qCats {
+		for _, ce := range eCats {
+			if cq == ce {
+				continue
+			}
+			if m.g.IsParentCategory(ce, cq) || m.g.IsParentCategory(cq, ce) {
+				n++
+			}
+		}
+	}
+	return n
+}
+
+func sortMatchesByWeight(matches []Match) {
+	for i := 1; i < len(matches); i++ {
+		for j := i; j > 0; j-- {
+			a, b := matches[j-1], matches[j]
+			if a.Motifs > b.Motifs || (a.Motifs == b.Motifs && a.Article < b.Article) {
+				break
+			}
+			matches[j-1], matches[j] = b, a
+		}
+	}
+}
+
+// TestExpandMatchesReference runs both implementations over random
+// graphs, motif sets, ablation flags, and query lists that include
+// duplicates and invalid IDs, and demands byte-for-byte equal output.
+func TestExpandMatchesReference(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		g, arts := randomKB(rng)
+		m := NewMatcher(g)
+		m.RequireReciprocal = rng.Intn(4) > 0 // mostly the paper's setting
+		m.UseCategories = rng.Intn(4) > 0
+
+		// 1–4 query nodes, with a chance of a duplicate (counted twice
+		// by both implementations) and of an invalid ID (skipped).
+		qn := make([]kb.NodeID, 0, 6)
+		for i := 0; i < 1+rng.Intn(4); i++ {
+			qn = append(qn, arts[rng.Intn(len(arts))])
+		}
+		if rng.Intn(3) == 0 {
+			qn = append(qn, qn[0])
+		}
+		if rng.Intn(3) == 0 {
+			qn = append(qn, kb.Invalid)
+		}
+
+		for _, set := range []Set{SetT, SetS, SetTS} {
+			got := m.Expand(qn, set)
+			want := referenceExpand(m, qn, set)
+			if got == nil {
+				t.Logf("seed %d set %v: Expand returned nil", seed, set)
+				return false
+			}
+			if !reflect.DeepEqual(got, want) {
+				t.Logf("seed %d set %v qn %v: got %v, want %v", seed, set, qn, got, want)
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Error(err)
+	}
+}
+
+// TestSquareInstancesMatchesReference targets the merge rewrite alone,
+// on category lists drawn from random graphs.
+func TestSquareInstancesMatchesReference(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		g, arts := randomKB(rng)
+		m := NewMatcher(g)
+		a := g.Categories(arts[rng.Intn(len(arts))])
+		b := g.Categories(arts[rng.Intn(len(arts))])
+		got, want := m.squareInstances(a, b), referenceSquareInstances(m, a, b)
+		if got != want {
+			t.Logf("seed %d: squareInstances(%v, %v) = %d, want %d", seed, a, b, got, want)
+			return false
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 500}); err != nil {
+		t.Error(err)
+	}
+}
+
+// benchKB builds a dense seeded graph big enough for the hot path to
+// dominate: articles with ~40 reciprocal neighbours, 6 categories each,
+// and a category hierarchy with parents to intersect against.
+func benchKB(nArt, nCat int) (*kb.Graph, []kb.NodeID) {
+	rng := rand.New(rand.NewSource(7))
+	b := kb.NewBuilder(nArt + nCat)
+	arts := make([]kb.NodeID, nArt)
+	cats := make([]kb.NodeID, nCat)
+	for i := range arts {
+		arts[i], _ = b.AddArticle(fmt.Sprintf("a%d", i))
+	}
+	for i := range cats {
+		cats[i], _ = b.AddCategory(fmt.Sprintf("Category:c%d", i))
+	}
+	for i := 0; i < nCat*2; i++ {
+		p, c := cats[rng.Intn(nCat)], cats[rng.Intn(nCat)]
+		if p != c {
+			_ = b.AddContainment(p, c)
+		}
+	}
+	for _, a := range arts {
+		for i := 0; i < 6; i++ {
+			_ = b.AddMembership(a, cats[rng.Intn(nCat)])
+		}
+	}
+	for i, a := range arts {
+		for j := 0; j < 20; j++ {
+			o := arts[(i+1+rng.Intn(nArt-1))%nArt]
+			_ = b.AddLink(a, o)
+			_ = b.AddLink(o, a)
+		}
+	}
+	return b.Build(), arts
+}
+
+func BenchmarkExpand(b *testing.B) {
+	g, arts := benchKB(600, 40)
+	m := NewMatcher(g)
+	qn := []kb.NodeID{arts[11], arts[222], arts[433]}
+	if len(m.Expand(qn, SetTS)) == 0 {
+		b.Fatal("benchmark graph produced no matches")
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		m.Expand(qn, SetTS)
+	}
+}
+
+// BenchmarkExpandReference measures the retained original
+// implementation on the same workload, so `-bench Expand` prints the
+// rewrite and its baseline side by side.
+func BenchmarkExpandReference(b *testing.B) {
+	g, arts := benchKB(600, 40)
+	m := NewMatcher(g)
+	qn := []kb.NodeID{arts[11], arts[222], arts[433]}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		referenceExpand(m, qn, SetTS)
+	}
+}
+
+func BenchmarkSquareInstances(b *testing.B) {
+	g, arts := benchKB(600, 40)
+	m := NewMatcher(g)
+	qCats := g.Categories(arts[11])
+	eCats := g.Categories(arts[222])
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		m.squareInstances(qCats, eCats)
+	}
+}

@@ -94,31 +94,62 @@ func NewMatcher(g *kb.Graph) *Matcher {
 // Expand runs motif search from the given query nodes and returns all
 // matches sorted by descending |m_a| (ties: ascending article ID).
 // Query nodes themselves are never reported as expansion nodes.
+//
+// The accumulator is a flat slice, not a map: each query node's
+// candidate scan appends at most one entry per out-neighbour (CSR rows
+// are sorted and deduplicated), and the handful of cross-query-node
+// duplicates is folded by one sort-and-merge pass at the end. Queries
+// have 1–5 nodes with hundreds of neighbours, so this trades hashing
+// every candidate for two O(M log M) sorts of a slice that was going
+// to be sorted anyway.
 func (m *Matcher) Expand(queryNodes []kb.NodeID, set Set) []Match {
-	counts := make(map[kb.NodeID]int)
-	isQuery := make(map[kb.NodeID]bool, len(queryNodes))
-	for _, q := range queryNodes {
-		isQuery[q] = true
-	}
+	var acc []Match
 	for _, q := range queryNodes {
 		// Skip invalid IDs (kb.Invalid from a failed entity-link lookup)
 		// instead of indexing out of range deep inside the CSR rows.
 		if q < 0 || m.g.Kind(q) != kb.KindArticle {
 			continue
 		}
-		m.expandFrom(q, set, isQuery, counts)
+		m.expandFrom(q, set, queryNodes, &acc)
 	}
-	matches := make([]Match, 0, len(counts))
-	for a, c := range counts {
-		matches = append(matches, Match{Article: a, Motifs: c})
+	return foldMatches(acc)
+}
+
+// foldMatches merges per-(query node, article) entries into one entry
+// per article, in place, and applies the output order (descending
+// |m_a|, ties ascending article ID). Always returns a non-nil slice —
+// callers treat "no matches" as an empty expansion, not a missing one.
+func foldMatches(acc []Match) []Match {
+	if len(acc) == 0 {
+		return []Match{}
 	}
-	sort.Slice(matches, func(i, j int) bool {
-		if matches[i].Motifs != matches[j].Motifs {
-			return matches[i].Motifs > matches[j].Motifs
+	sort.Slice(acc, func(i, j int) bool { return acc[i].Article < acc[j].Article })
+	out := acc[:1]
+	for _, e := range acc[1:] {
+		if last := &out[len(out)-1]; last.Article == e.Article {
+			last.Motifs += e.Motifs
+		} else {
+			out = append(out, e)
 		}
-		return matches[i].Article < matches[j].Article
+	}
+	sort.Slice(out, func(i, j int) bool {
+		if out[i].Motifs != out[j].Motifs {
+			return out[i].Motifs > out[j].Motifs
+		}
+		return out[i].Article < out[j].Article
 	})
-	return matches
+	return out
+}
+
+func containsNode(nodes []kb.NodeID, n kb.NodeID) bool {
+	// Linear scan: queryNodes is the query's entity list (1–5 IDs),
+	// below the break-even of any map or binary search.
+	for _, q := range nodes {
+		if q == n {
+			return true
+		}
+	}
+	return false
 }
 
 // expandFrom accumulates motif instance counts for one query node.
@@ -126,29 +157,29 @@ func (m *Matcher) Expand(queryNodes []kb.NodeID, set Set) []Match {
 // out-neighbours under the single-link ablation), so the scan cost is
 // O(outdeg(q) · log d) — this is what keeps expansion sub-second
 // (paper Table 4).
-func (m *Matcher) expandFrom(q kb.NodeID, set Set, isQuery map[kb.NodeID]bool, counts map[kb.NodeID]int) {
+func (m *Matcher) expandFrom(q kb.NodeID, set Set, queryNodes []kb.NodeID, acc *[]Match) {
 	qCats := m.g.Categories(q)
 	for _, e := range m.g.OutLinks(q) {
-		if isQuery[e] {
+		if containsNode(queryNodes, e) {
 			continue
 		}
 		if m.RequireReciprocal && !m.g.HasLink(e, q) {
 			continue
 		}
 		if !m.UseCategories {
-			counts[e]++
+			*acc = append(*acc, Match{Article: e, Motifs: 1})
 			continue
 		}
 		eCats := m.g.Categories(e)
+		n := 0
 		if set.Has(Triangular) {
-			if n := triangularInstances(qCats, eCats); n > 0 {
-				counts[e] += n
-			}
+			n += triangularInstances(qCats, eCats)
 		}
 		if set.Has(Square) {
-			if n := m.squareInstances(qCats, eCats); n > 0 {
-				counts[e] += n
-			}
+			n += m.squareInstances(qCats, eCats)
+		}
+		if n > 0 {
+			*acc = append(*acc, Match{Article: e, Motifs: n})
 		}
 	}
 }
@@ -180,16 +211,59 @@ func triangularInstances(qCats, eCats []kb.NodeID) int {
 
 // squareInstances counts category pairs (cq, ce) with cq inside ce or ce
 // inside cq (direct containment either way).
+//
+// Instead of testing every (cq, ce) pair — O(|qCats|·|eCats|) binary
+// searches — it intersects each category's sorted parent list against
+// the other side's sorted category list: the pairs with ce above cq are
+// exactly eCats ∩ parents(cq), and symmetrically for cq above ce. Each
+// intersection is a linear merge, so the cost is driven by list lengths,
+// not their product.
 func (m *Matcher) squareInstances(qCats, eCats []kb.NodeID) int {
 	n := 0
 	for _, cq := range qCats {
-		for _, ce := range eCats {
-			if cq == ce {
-				continue // shared category is the triangle's business
+		n += countCommon(eCats, m.g.ParentCategories(cq), cq)
+	}
+	for _, ce := range eCats {
+		parents := m.g.ParentCategories(ce)
+		i, j := 0, 0
+		for i < len(qCats) && j < len(parents) {
+			switch {
+			case qCats[i] == parents[j]:
+				// A pair contained both ways still counts once (the
+				// pairwise test was an OR), so skip pairs the first
+				// pass already saw.
+				if cq := qCats[i]; cq != ce && !m.g.IsParentCategory(ce, cq) {
+					n++
+				}
+				i++
+				j++
+			case qCats[i] < parents[j]:
+				i++
+			default:
+				j++
 			}
-			if m.g.IsParentCategory(ce, cq) || m.g.IsParentCategory(cq, ce) {
+		}
+	}
+	return n
+}
+
+// countCommon returns |a ∩ b| excluding skip; both inputs sorted
+// ascending.
+func countCommon(a, b []kb.NodeID, skip kb.NodeID) int {
+	n := 0
+	i, j := 0, 0
+	for i < len(a) && j < len(b) {
+		switch {
+		case a[i] == b[j]:
+			if a[i] != skip {
 				n++
 			}
+			i++
+			j++
+		case a[i] < b[j]:
+			i++
+		default:
+			j++
 		}
 	}
 	return n

@@ -131,6 +131,10 @@ func join(words []string) string {
 func TestSearchWithStatsCounters(t *testing.T) {
 	ix := buildIndex("a b", "a c", "a d", "b c")
 	s := NewSearcher(ix)
+	// The exact counts below describe the exhaustive evaluator (every
+	// candidate scored, every posting consumed); the pruned path's
+	// counters are asserted in maxscore_test.go.
+	s.DisablePruning = true
 	q := Combine(Term{Text: "a"}, Term{Text: "b"})
 	res, st := s.SearchWithStats(q, 2)
 	if len(res) != 2 {

@@ -1,0 +1,431 @@
+package search
+
+import (
+	"context"
+	"math"
+	"sort"
+
+	"repro/internal/index"
+)
+
+// MaxScore-style score-safe dynamic pruning (Turtle & Flood 1995) for
+// the document-at-a-time evaluator. The idea: once the top-k heap is
+// full, its worst retained score θ is a floor every new result must
+// beat. Each leaf carries a precomputed upper bound on how much it can
+// add over its background (no-match) contribution; sorting leaves by
+// that bound splits them into a "non-essential" prefix — whose bounds,
+// plus the maximum background mass, sum below θ — and an "essential"
+// rest. A document matching no essential leaf cannot reach θ, so the
+// merge only draws candidates from essential cursors and gallops the
+// non-essential ones forward, never scoring the skipped documents.
+//
+// The implementation is score-SAFE, meaning bit-identical to searchDAAT
+// (asserted by differential and fuzz tests at every layer):
+//
+//   - Candidates that are scored go through the same code shape:
+//     contributions summed over ALL leaves in original leaf order, so
+//     float summation order — and thus every scored value — is
+//     unchanged.
+//   - Candidates are produced in ascending DocID order in both paths,
+//     and only provably-losing documents are withheld; rejected offers
+//     never mutate the heap, so the heap's state evolves identically.
+//   - The skip test is strict (bound < θ) with a small relative slack
+//     (see pruneSlack), so a document whose bound ties θ — which could
+//     displace the heap root on the DocID tiebreak — is always scored.
+//
+// Two pruning mechanisms compose, both judged against θ:
+//
+//  1. Partition skipping: documents in no essential list are never even
+//     enumerated — the merge draws candidates from essential cursors
+//     only, and non-essential cursors gallop forward in bulk.
+//  2. Candidate filtering: an enumerated candidate is bounded BEFORE
+//     full scoring by its background mass (exact at its document length
+//     when the model permits), the non-essential mass, and the EXACT
+//     contributions of the essential leaves that actually match it —
+//     their (tf, dl) already sit under the cursors, so evaluating them
+//     costs one log per matching leaf against a full evaluation's one
+//     per leaf. If that provably loses, the matching entries are
+//     consumed and the document is never fully scored. Exactness is
+//     what gives this test teeth: with whole-list upper bounds alone a
+//     single essential match already implies bound ≥ prefix[ness] ≥ θ —
+//     by construction of the partition — and nothing would ever be
+//     filtered.
+//
+// θ only rises, so the non-essential prefix only grows; the partition
+// is recomputed just after threshold increases, and each filter check
+// is counted in SearchStats.BoundEvaluations.
+type pruneBounds struct {
+	// ub[i] bounds leaf i's score delta over its background
+	// contribution for ANY document in the index:
+	//   ub[i] ≥ score(leaf i, tf, dl) − score(leaf i, 0, dl)  ∀ (tf, dl).
+	// +Inf marks a leaf with no safe bound; it stays essential forever,
+	// which degrades pruning but never safety.
+	ub []float64
+	// deltaExact evaluates one leaf's delta for a concrete (tf, dl) —
+	// the same quantity ub[i] bounds, computed exactly. The candidate
+	// filter uses it on matching essential leaves, whose (tf, dl) are
+	// already under the cursors. It is exact for every leaf type (the
+	// scorer needs nothing but tf and dl either), so it applies even to
+	// leaves with no safe whole-list bound.
+	deltaExact func(l *leaf, tf int32, dl float64) float64
+	// bg bounds the total background mass: for every document,
+	// Σ_i score(leaf i, 0, dl) ≤ bg. Zero for BM25 (no background).
+	bg float64
+	// Dirichlet's background is the one model-dependent piece the filter
+	// can evaluate EXACTLY once a candidate's length is known:
+	//   Σ_i w_i·log(μ·p_i/(dl+μ)) = bgConst − wSum·log(dl+μ)
+	// with bgConst = Σ w_i·log(μ·p_i) and wSum = Σ w_i. exactBG marks
+	// that decomposition as valid; other models use the constant bg
+	// (already exact for Jelinek-Mercer, zero for BM25).
+	exactBG       bool
+	bgConst, wSum float64
+	mu            float64
+}
+
+// derivePruneBounds computes the per-leaf bounds for a model at query-
+// compile time, mirroring buildScorer's model switch (including its
+// "unknown models score as Dirichlet" default). Derivations and safety
+// arguments are in DESIGN.md §5f; in brief:
+//
+//   - Dirichlet: the delta w·[log((tf+μp)/(dl+μ)) − log(μp/(dl+μ))]
+//     collapses to w·log(1 + tf/(μp)) — document length cancels — so
+//     MaxTF alone gives the exact per-leaf maximum. The background
+//     w·log(μp/(dl+μ)) is maximised at the corpus-wide minimum
+//     document length.
+//   - Jelinek-Mercer: the delta w·log(1 + (1−λ)(tf/dl)/(λp)) is
+//     monotone in tf/dl, so the stored (tf, dl) argmax-ratio pair gives
+//     the exact maximum. The background w·log(λp) is constant.
+//   - BM25: no background; the contribution increases in tf and
+//     decreases in dl, so evaluating at (MaxTF, MinDL) bounds it. Note
+//     the ratio pair is NOT safe here (tf saturates: a (1,1) posting
+//     has the best ratio but a (100,200) posting scores higher), which
+//     is why TermBounds carries MaxTF/MinDL separately.
+//
+// The whole-list ub[i] is deltaExact evaluated at the summary's argmax
+// (Dirichlet: MaxTF; Jelinek-Mercer: the ratio pair; BM25: MaxTF at
+// MinDL). For Dirichlet the background is additionally kept decomposed
+// (bgConst, wSum) so the candidate filter can evaluate it exactly at a
+// candidate's length; see pruneBounds.
+//
+// All weights are positive (flatten drops non-positive ones), which
+// every "maximise each summand independently" step above relies on.
+func derivePruneBounds(model Model, params ModelParams, cs collStats, minDocLen int32, leaves []leaf) *pruneBounds {
+	pb := &pruneBounds{ub: make([]float64, len(leaves))}
+	// argmax maps a whole-list summary to the (tf, dl) at which
+	// deltaExact attains the list's maximum delta under this model.
+	var argmax func(b index.TermBounds) (int32, float64)
+	switch model {
+	case ModelJelinekMercer:
+		lambda := params.Lambda
+		for i := range leaves {
+			pb.bg += leaves[i].weight * math.Log(lambda*leaves[i].collProb)
+		}
+		pb.deltaExact = func(l *leaf, tf int32, dl float64) float64 {
+			return l.weight * math.Log(1+(1-lambda)*(float64(tf)/dl)/(lambda*l.collProb))
+		}
+		argmax = func(b index.TermBounds) (int32, float64) {
+			return b.MaxRatioTF, float64(b.MaxRatioDL)
+		}
+	case ModelBM25:
+		k1, bp := params.K1, params.B
+		avgdl := cs.avgDocLen
+		if avgdl == 0 {
+			avgdl = 1
+		}
+		pb.deltaExact = func(l *leaf, tf int32, dl float64) float64 {
+			idf := math.Log((cs.numDocs-l.df+0.5)/(l.df+0.5) + 1)
+			t := float64(tf)
+			return l.weight * idf * (t * (k1 + 1)) / (t + k1*(1-bp+bp*dl/avgdl))
+		}
+		argmax = func(b index.TermBounds) (int32, float64) {
+			return b.MaxTF, float64(b.MinDL)
+		}
+	default: // Dirichlet, and whatever buildScorer scores as Dirichlet
+		mu := params.Mu
+		dlMin := float64(minDocLen)
+		pb.exactBG = true
+		pb.mu = mu
+		for i := range leaves {
+			l := &leaves[i]
+			pb.bg += l.weight * math.Log(mu*l.collProb/(dlMin+mu))
+			pb.bgConst += l.weight * math.Log(mu*l.collProb)
+			pb.wSum += l.weight
+		}
+		pb.deltaExact = func(l *leaf, tf int32, dl float64) float64 {
+			return l.weight * math.Log(1+float64(tf)/(mu*l.collProb))
+		}
+		argmax = func(b index.TermBounds) (int32, float64) {
+			return b.MaxTF, 1 // the Dirichlet delta is dl-independent
+		}
+	}
+	for i := range leaves {
+		l := &leaves[i]
+		switch {
+		case !l.bounded:
+			pb.ub[i] = math.Inf(1)
+		case l.bounds.MaxTF == 0:
+			// Empty postings never match: delta is exactly 0.
+		default:
+			tf, dl := argmax(l.bounds)
+			pb.ub[i] = pb.deltaExact(l, tf, dl)
+		}
+	}
+	return pb
+}
+
+// pruneSlack is the safety margin added to a bound before comparing it
+// against the heap threshold. The bound arithmetic sums the same
+// quantities as the scorer in a different order and form, so a bound
+// can sit a few ulps below a score it is supposed to dominate; skipping
+// demands the bound be below θ by clearly more than that noise. 1e-9
+// relative is many orders of magnitude above the worst accumulated
+// rounding of a few hundred double operations, and costs effectively
+// nothing in pruning power (scores that close to θ are genuine
+// contenders that must be evaluated anyway).
+func pruneSlack(bound, threshold float64) float64 {
+	s := math.Abs(bound)
+	if t := math.Abs(threshold); t > s {
+		s = t
+	}
+	return s * 1e-9
+}
+
+// searchMaxScore is searchDAAT with MaxScore pruning. Same contract and
+// bit-identical results; see the file comment for the safety argument.
+func searchMaxScore(ctx context.Context, ix *index.Index, leaves []leaf, k int, score scorer, pb *pruneBounds, st *SearchStats) ([]Result, error) {
+	if k <= 0 {
+		return nil, nil
+	}
+	n := len(leaves)
+
+	// order lists leaf indices by ascending bound (ties: leaf order);
+	// prefix[m] = bg + Σ bounds of order[:m+1]; rank inverts order. The
+	// first ness entries of order are the current non-essential set.
+	order := make([]int, n)
+	for i := range order {
+		order[i] = i
+	}
+	sort.Slice(order, func(a, b int) bool {
+		if pb.ub[order[a]] != pb.ub[order[b]] {
+			return pb.ub[order[a]] < pb.ub[order[b]]
+		}
+		return order[a] < order[b]
+	})
+	prefix := make([]float64, n)
+	rank := make([]int, n)
+	cum := pb.bg
+	for m, li := range order {
+		cum += pb.ub[li]
+		prefix[m] = cum
+		rank[li] = m
+	}
+
+	cur := make([]int, n)
+	curDoc := make([]index.DocID, n)
+	next := exhausted
+	for li := range leaves {
+		docs := leaves[li].postings.Docs
+		if len(docs) == 0 {
+			curDoc[li] = exhausted
+			continue
+		}
+		curDoc[li] = docs[0]
+		if docs[0] < next {
+			next = docs[0]
+		}
+	}
+
+	h := topK{docs: make([]index.DocID, 0, k), scores: make([]float64, 0, k), k: k}
+	threshold := math.Inf(-1)
+	ness := 0          // leaves order[:ness] are non-essential
+	nonEssDelta := 0.0 // Σ bounds of order[:ness], maintained as ness grows
+	var iters int64    // loop trips, for the cancellation cadence
+	var advanced, cands, skipped, boundEvals int64
+	flushStats := func() {
+		if st != nil {
+			st.PostingsAdvanced += advanced
+			st.CandidatesExamined += cands
+			st.DocsSkipped += skipped
+			st.BoundEvaluations += boundEvals
+		}
+	}
+
+	for next != exhausted {
+		if iters%cancelCheckEvery == 0 {
+			if err := ctx.Err(); err != nil {
+				flushStats()
+				return nil, err
+			}
+		}
+		iters++
+		doc := next
+		dl := float64(ix.DocLen(doc))
+		// Candidate filter: once the heap is full, bound this document's
+		// best possible score — its background mass (evaluated exactly at
+		// its length when the model permits), the non-essential mass, and
+		// the EXACT contributions of the essential leaves that hold it,
+		// whose (tf, dl) already sit under the cursors (essential cursors
+		// are never behind the merge frontier, so curDoc==doc detects
+		// every essential match). If that provably loses against θ, the
+		// matching entries are consumed and the document is never fully
+		// scored.
+		if len(h.docs) == k {
+			bound := pb.bg
+			if pb.exactBG {
+				bound = pb.bgConst - pb.wSum*math.Log(dl+pb.mu)
+			}
+			bound += nonEssDelta
+			for _, li := range order[ness:] {
+				if curDoc[li] == doc {
+					l := &leaves[li]
+					bound += pb.deltaExact(l, l.postings.Freqs[cur[li]], dl)
+				}
+			}
+			boundEvals++
+			// Progressive refinement: while the bound is inconclusive,
+			// replace the largest non-essential upper bound still in it
+			// with that leaf's exact contribution, galloping its cursor
+			// to the candidate (a gallop the scoring loop would perform
+			// anyway if the candidate survives). The loop ends when the
+			// candidate provably loses or the bound has become its exact
+			// score — a genuine contender worth full evaluation.
+			for m := ness; bound+pruneSlack(bound, threshold) >= threshold && m > 0; {
+				m--
+				li := order[m]
+				l := &leaves[li]
+				d := curDoc[li]
+				if d < doc {
+					i := index.Advance(l.postings.Docs, cur[li], doc)
+					skipped += int64(i - cur[li])
+					cur[li] = i
+					if i < len(l.postings.Docs) {
+						d = l.postings.Docs[i]
+					} else {
+						d = exhausted
+					}
+					curDoc[li] = d
+				}
+				bound -= pb.ub[li]
+				if d == doc {
+					bound += pb.deltaExact(l, l.postings.Freqs[cur[li]], dl)
+				}
+				boundEvals++
+			}
+			if bound+pruneSlack(bound, threshold) < threshold {
+				next = exhausted
+				for _, li := range order[ness:] {
+					d := curDoc[li]
+					if d == doc {
+						i := cur[li] + 1
+						cur[li] = i
+						if docs := leaves[li].postings.Docs; i < len(docs) {
+							d = docs[i]
+						} else {
+							d = exhausted
+						}
+						curDoc[li] = d
+						advanced++
+					}
+					if d < next {
+						next = d
+					}
+				}
+				continue
+			}
+		}
+		total := 0.0
+		next = exhausted
+		for li := range leaves {
+			l := &leaves[li]
+			d := curDoc[li]
+			var tf int32
+			if rank[li] < ness {
+				// Non-essential: position on demand with a galloping
+				// seek; the postings rows jumped over are documents this
+				// leaf never scored — the work pruning saved.
+				if d < doc {
+					i := index.Advance(l.postings.Docs, cur[li], doc)
+					skipped += int64(i - cur[li])
+					cur[li] = i
+					if i < len(l.postings.Docs) {
+						d = l.postings.Docs[i]
+					} else {
+						d = exhausted
+					}
+					curDoc[li] = d
+				}
+				if d == doc {
+					i := cur[li]
+					tf = l.postings.Freqs[i]
+					i++
+					cur[li] = i
+					if i < len(l.postings.Docs) {
+						curDoc[li] = l.postings.Docs[i]
+					} else {
+						curDoc[li] = exhausted
+					}
+					advanced++
+				}
+				// Contribute in leaf order like searchDAAT — but do not
+				// let a non-essential cursor drive candidate selection.
+				total += score(l, tf, dl)
+				continue
+			}
+			// Essential: the same fused consume-and-advance as searchDAAT.
+			if d == doc {
+				i := cur[li]
+				tf = l.postings.Freqs[i]
+				i++
+				cur[li] = i
+				if i < len(l.postings.Docs) {
+					d = l.postings.Docs[i]
+				} else {
+					d = exhausted
+				}
+				curDoc[li] = d
+				advanced++
+			}
+			total += score(l, tf, dl)
+			if d < next {
+				next = d
+			}
+		}
+		cands++
+		h.offer(doc, total, st)
+		if len(h.docs) == k && h.scores[0] > threshold {
+			threshold = h.scores[0]
+			boundEvals++
+			moved := false
+			for ness < n {
+				ub := prefix[ness]
+				if !(ub+pruneSlack(ub, threshold) < threshold) {
+					break
+				}
+				nonEssDelta += pb.ub[order[ness]]
+				ness++
+				moved = true
+			}
+			if moved {
+				// Freshly demoted leaves stop driving candidate
+				// selection; recompute the pending minimum over what is
+				// still essential. (At most n such recomputations over
+				// the whole evaluation — ness never shrinks.)
+				next = exhausted
+				for _, li := range order[ness:] {
+					if curDoc[li] < next {
+						next = curDoc[li]
+					}
+				}
+			}
+		}
+	}
+	// Postings left unconsumed on non-essential cursors were skipped
+	// wholesale — searchDAAT would have advanced through every one.
+	for li := range leaves {
+		if rank[li] < ness {
+			skipped += int64(len(leaves[li].postings.Docs) - cur[li])
+		}
+	}
+	flushStats()
+	return h.drain(ix), nil
+}

@@ -35,6 +35,12 @@ type Searcher struct {
 	// retained as the reference oracle for differential tests and as an
 	// escape hatch; results are identical either way.
 	UseLegacyScorer bool
+	// DisablePruning turns off MaxScore-style dynamic pruning and scores
+	// every candidate (the PR-1 DAAT behaviour). Pruning is score-safe —
+	// rankings and scores are bit-identical either way (see maxscore.go)
+	// — so the switch exists for debugging, for the full-evaluation side
+	// of benchmarks, and for tests that assert exhaustive-path counters.
+	DisablePruning bool
 }
 
 // NewSearcher returns a Searcher over ix with the default μ.
@@ -55,6 +61,15 @@ type leaf struct {
 	collProb float64
 	cf       int64
 	df       float64
+	// bounds summarises the postings for score-bound derivation: term
+	// leaves read the index's precomputed metadata, phrase/window leaves
+	// summarise their materialised postings, so positional bounds are
+	// just as tight. bounded=false marks a leaf with no safe summary;
+	// the pruned evaluator gives it an infinite upper bound, keeping it
+	// permanently essential (full evaluation), which preserves safety
+	// for any future leaf type that cannot produce one.
+	bounds  index.TermBounds
+	bounded bool
 }
 
 // flatten walks the query tree multiplying normalised weights down to the
@@ -71,20 +86,24 @@ func (s *Searcher) flatten(n Node, w float64, out *[]leaf) {
 			return
 		}
 		var p index.Postings
+		var b index.TermBounds
 		if pp := s.ix.PostingsFor(x.Text); pp != nil {
 			p = *pp
+			b, _ = s.ix.BoundsFor(x.Text)
 		}
-		*out = append(*out, newLeaf(s.ix, w, p))
+		*out = append(*out, newLeaf(s.ix, w, p, b))
 	case Phrase:
 		if len(x.Terms) == 0 {
 			return
 		}
-		*out = append(*out, newLeaf(s.ix, w, s.ix.PhrasePostings(x.Terms)))
+		p := s.ix.PhrasePostings(x.Terms)
+		*out = append(*out, newLeaf(s.ix, w, p, s.ix.PostingsBounds(&p)))
 	case Unordered:
 		if len(x.Terms) == 0 {
 			return
 		}
-		*out = append(*out, newLeaf(s.ix, w, s.ix.UnorderedWindowPostings(x.Terms, x.Width)))
+		p := s.ix.UnorderedWindowPostings(x.Terms, x.Width)
+		*out = append(*out, newLeaf(s.ix, w, p, s.ix.PostingsBounds(&p)))
 	case Weighted:
 		var total float64
 		for _, c := range x.Children {
@@ -105,7 +124,7 @@ func (s *Searcher) flatten(n Node, w float64, out *[]leaf) {
 
 // newLeaf fills a leaf's collection statistics from the index it was
 // flattened against.
-func newLeaf(ix *index.Index, w float64, p index.Postings) leaf {
+func newLeaf(ix *index.Index, w float64, p index.Postings, b index.TermBounds) leaf {
 	cf := p.CollectionFreq()
 	return leaf{
 		weight:   w,
@@ -113,6 +132,8 @@ func newLeaf(ix *index.Index, w float64, p index.Postings) leaf {
 		collProb: ix.FloorProb(cf),
 		cf:       cf,
 		df:       float64(len(p.Docs)),
+		bounds:   b,
+		bounded:  true,
 	}
 }
 
@@ -187,11 +208,17 @@ func (s *Searcher) search(ctx context.Context, q Node, k int, st *SearchStats) (
 	if err := ctx.Err(); err != nil {
 		return nil, err
 	}
-	score := s.newScorer()
+	params := s.resolveParams()
+	cs := collStats{numDocs: float64(s.ix.NumDocs()), avgDocLen: s.ix.AvgDocLen()}
+	score := buildScorer(s.Model, params, cs)
 	if s.UseLegacyScorer {
 		return s.searchLegacy(ctx, leaves, k, score, st)
 	}
-	return searchDAAT(ctx, s.ix, leaves, k, score, st)
+	if s.DisablePruning {
+		return searchDAAT(ctx, s.ix, leaves, k, score, st)
+	}
+	pb := derivePruneBounds(s.Model, params, cs, s.ix.MinDocLen(), leaves)
+	return searchMaxScore(ctx, s.ix, leaves, k, score, pb, st)
 }
 
 // searchLegacy is the original term-at-a-time evaluator: accumulate a

@@ -40,6 +40,13 @@ type ShardedSearcher struct {
 	Model Model
 	// Params holds the other models' parameters.
 	Params ModelParams
+	// DisablePruning turns off MaxScore pruning in every shard's
+	// evaluator (see Searcher.DisablePruning). With pruning on, each
+	// shard prunes against its own top-k threshold — shared-nothing, no
+	// cross-shard coordination — which is safe because every shard must
+	// surface its local top k for the merge regardless of what other
+	// shards hold. Results are bit-identical either way.
+	DisablePruning bool
 	// Sem, when non-nil, bounds how many shard evaluations run on extra
 	// goroutines (it is shared with the engine's SQE_C run pool). The
 	// fan-out only try-acquires: when the pool is saturated the shard
@@ -155,10 +162,12 @@ func (ss *ShardedSearcher) search(ctx context.Context, q Node, k int, st *Search
 			l.cf, l.df, l.collProb = cf, df, collProb
 		}
 	}
-	score := buildScorer(ss.Model, ss.resolveParams(), collStats{
+	params := ss.resolveParams()
+	cs := collStats{
 		numDocs:   float64(ss.sh.NumDocs()),
 		avgDocLen: ss.sh.AvgDocLen(),
-	})
+	}
+	score := buildScorer(ss.Model, params, cs)
 
 	// Phase 3: per-shard DAAT evaluation into bounded top-k heaps, then
 	// remap the survivors' local DocIDs back to global.
@@ -178,7 +187,19 @@ func (ss *ShardedSearcher) search(ctx context.Context, q Node, k int, st *Search
 			sst = &shardStats[i]
 			start = time.Now()
 		}
-		res, err := searchDAAT(ctx, ss.sh.Shard(i), shardLeaves[i], k, score, sst)
+		var res []Result
+		var err error
+		if ss.DisablePruning {
+			res, err = searchDAAT(ctx, ss.sh.Shard(i), shardLeaves[i], k, score, sst)
+		} else {
+			// Bounds derive AFTER the global-stats override, so the bound
+			// arithmetic sees the same collProb/df the scorer does, while
+			// the postings summaries (MaxTF, MinDL, ratio pair) and the
+			// minimum document length stay shard-local — bounds only need
+			// to dominate the documents this shard can produce.
+			pb := derivePruneBounds(ss.Model, params, cs, ss.sh.Shard(i).MinDocLen(), shardLeaves[i])
+			res, err = searchMaxScore(ctx, ss.sh.Shard(i), shardLeaves[i], k, score, pb, sst)
+		}
 		if sst != nil {
 			sst.Elapsed = time.Since(start)
 		}
@@ -192,12 +213,15 @@ func (ss *ShardedSearcher) search(ctx context.Context, q Node, k int, st *Search
 		for i, sst := range shardStats {
 			st.CandidatesExamined += sst.CandidatesExamined
 			st.PostingsAdvanced += sst.PostingsAdvanced
+			st.DocsSkipped += sst.DocsSkipped
+			st.BoundEvaluations += sst.BoundEvaluations
 			st.HeapPushes += sst.HeapPushes
 			st.HeapEvictions += sst.HeapEvictions
 			st.Shards[i] = ShardStats{
 				Elapsed:            sst.Elapsed,
 				CandidatesExamined: sst.CandidatesExamined,
 				PostingsAdvanced:   sst.PostingsAdvanced,
+				DocsSkipped:        sst.DocsSkipped,
 			}
 		}
 	}

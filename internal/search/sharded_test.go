@@ -181,8 +181,14 @@ func TestShardedCancellation(t *testing.T) {
 func TestShardedStats(t *testing.T) {
 	ix := buildShardCorpus(120, 13)
 	const S = 4
+	// Exhaustive evaluation on both sides: the exact-partition
+	// assertions below do not hold under pruning, where every shard
+	// prunes against its own local threshold (see TestShardedPruning
+	// for the pruned-mode invariants).
 	ref := NewSearcher(ix)
+	ref.DisablePruning = true
 	ss := NewShardedSearcher(index.NewSharded(ix, S))
+	ss.DisablePruning = true
 	q := Combine(Term{Text: "cable"}, Term{Text: "bay"})
 	_, wantSt := ref.SearchWithStats(q, 10)
 	res, st, err := ss.SearchWithStatsContext(context.Background(), q, 10)

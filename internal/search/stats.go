@@ -9,15 +9,35 @@ import (
 // and how long it took. All counters are cheap increments on the hot
 // path; collecting them costs nothing measurable next to scoring, so
 // Search always fills them when the caller asks (SearchWithStats).
+//
+// Aggregation convention for sharded retrievals: every top-level counter
+// is the SUM of the per-shard evaluators' work (each shard evaluates
+// independently, so e.g. CandidatesExamined is total documents scored
+// across shards, not a per-shard figure), while Shards[i] carries shard
+// i's own slice of the work. New counters must follow the same rule —
+// the pruning counters (DocsSkipped, BoundEvaluations) do.
 type SearchStats struct {
-	// Leaves is the number of flattened query leaves scored.
+	// Leaves is the number of flattened query leaves scored. Sharded:
+	// the per-shard leaf count (identical on every shard), NOT a sum.
 	Leaves int
-	// CandidatesExamined counts the distinct documents scored (the size
-	// of the union of the leaves' postings).
+	// CandidatesExamined counts the distinct documents scored (without
+	// pruning: the size of the union of the leaves' postings; with
+	// pruning: the subset of that union actually evaluated).
 	CandidatesExamined int64
 	// PostingsAdvanced counts cursor advances across all leaves — the
-	// total postings traffic of the query.
+	// postings entries the evaluator consumed.
 	PostingsAdvanced int64
+	// DocsSkipped counts postings entries the pruned evaluator galloped
+	// over without scoring their documents (0 on the unpruned and
+	// legacy paths). An entry is either consumed or skipped, so
+	// PostingsAdvanced + DocsSkipped equals the query's total postings
+	// mass — what PostingsAdvanced alone is without pruning.
+	DocsSkipped int64
+	// BoundEvaluations counts score-bound tests against the running
+	// top-k threshold: one per candidate upper-bound check once the
+	// heap is full, plus one per essential/non-essential re-partition
+	// after a threshold increase.
+	BoundEvaluations int64
 	// HeapPushes counts insertions into the bounded top-k heap while it
 	// was still filling.
 	HeapPushes int64
@@ -42,6 +62,12 @@ type ShardStats struct {
 	CandidatesExamined int64
 	// PostingsAdvanced counts the shard's posting-cursor advances.
 	PostingsAdvanced int64
+	// DocsSkipped counts the postings entries this shard's pruned
+	// evaluator galloped over. Each shard prunes against its own top-k
+	// threshold (shared-nothing), so the split of skips across shards —
+	// unlike the candidate split of the unpruned path — is not a simple
+	// partition of the unsharded figure.
+	DocsSkipped int64
 }
 
 // Add accumulates o into s (for aggregating per-query stats over a run).
@@ -51,6 +77,8 @@ func (s *SearchStats) Add(o SearchStats) {
 	s.Leaves += o.Leaves
 	s.CandidatesExamined += o.CandidatesExamined
 	s.PostingsAdvanced += o.PostingsAdvanced
+	s.DocsSkipped += o.DocsSkipped
+	s.BoundEvaluations += o.BoundEvaluations
 	s.HeapPushes += o.HeapPushes
 	s.HeapEvictions += o.HeapEvictions
 	s.Elapsed += o.Elapsed
@@ -59,6 +87,7 @@ func (s *SearchStats) Add(o SearchStats) {
 			s.Shards[i].Elapsed += sh.Elapsed
 			s.Shards[i].CandidatesExamined += sh.CandidatesExamined
 			s.Shards[i].PostingsAdvanced += sh.PostingsAdvanced
+			s.Shards[i].DocsSkipped += sh.DocsSkipped
 		} else {
 			s.Shards = append(s.Shards, sh)
 		}
@@ -67,7 +96,7 @@ func (s *SearchStats) Add(o SearchStats) {
 
 // String renders the counters compactly.
 func (s SearchStats) String() string {
-	return fmt.Sprintf("leaves=%d cands=%d advanced=%d pushes=%d evictions=%d elapsed=%v",
-		s.Leaves, s.CandidatesExamined, s.PostingsAdvanced, s.HeapPushes, s.HeapEvictions,
-		s.Elapsed.Round(time.Microsecond))
+	return fmt.Sprintf("leaves=%d cands=%d advanced=%d skipped=%d bound-evals=%d pushes=%d evictions=%d elapsed=%v",
+		s.Leaves, s.CandidatesExamined, s.PostingsAdvanced, s.DocsSkipped, s.BoundEvaluations,
+		s.HeapPushes, s.HeapEvictions, s.Elapsed.Round(time.Microsecond))
 }

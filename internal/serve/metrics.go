@@ -72,6 +72,10 @@ func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
 	fmt.Fprintf(&sb, "sqe_search_candidates_examined_total %d\n", ps.Search.CandidatesExamined)
 	counter("sqe_search_postings_advanced_total", "Posting-cursor advances across all leaves.")
 	fmt.Fprintf(&sb, "sqe_search_postings_advanced_total %d\n", ps.Search.PostingsAdvanced)
+	counter("sqe_search_docs_skipped_total", "Postings entries skipped by score-safe dynamic pruning without scoring their documents.")
+	fmt.Fprintf(&sb, "sqe_search_docs_skipped_total %d\n", ps.Search.DocsSkipped)
+	counter("sqe_search_bound_evaluations_total", "Score-bound tests against the top-k threshold (per-candidate checks plus leaf re-partitions).")
+	fmt.Fprintf(&sb, "sqe_search_bound_evaluations_total %d\n", ps.Search.BoundEvaluations)
 	counter("sqe_search_heap_pushes_total", "Insertions into the bounded top-k heap.")
 	fmt.Fprintf(&sb, "sqe_search_heap_pushes_total %d\n", ps.Search.HeapPushes)
 	counter("sqe_search_heap_evictions_total", "Candidates that displaced the current k-th best.")
@@ -90,6 +94,10 @@ func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
 		counter("sqe_search_shard_postings_advanced_total", "Posting-cursor advances per index shard.")
 		for i, sh := range ps.Search.Shards {
 			fmt.Fprintf(&sb, "sqe_search_shard_postings_advanced_total{shard=\"%d\"} %d\n", i, sh.PostingsAdvanced)
+		}
+		counter("sqe_search_shard_docs_skipped_total", "Postings entries skipped by pruning per index shard.")
+		for i, sh := range ps.Search.Shards {
+			fmt.Fprintf(&sb, "sqe_search_shard_docs_skipped_total{shard=\"%d\"} %d\n", i, sh.DocsSkipped)
 		}
 	}
 

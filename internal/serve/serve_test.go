@@ -148,6 +148,8 @@ func TestHealthzAndMetrics(t *testing.T) {
 		"sqe_pipeline_retrievals_total 3", // SQE_C = three runs
 		"sqe_pipeline_stage_seconds_total{stage=\"retrieval\"}",
 		"sqe_search_candidates_examined_total",
+		"sqe_search_docs_skipped_total",
+		"sqe_search_bound_evaluations_total",
 		"sqe_expansion_cache_misses_total",
 	} {
 		if !strings.Contains(body, m) {
@@ -178,6 +180,7 @@ func TestShardMetrics(t *testing.T) {
 		"sqe_search_shard_seconds_total{shard=\"3\"}",
 		"sqe_search_shard_candidates_examined_total{shard=\"0\"}",
 		"sqe_search_shard_postings_advanced_total{shard=\"0\"}",
+		"sqe_search_shard_docs_skipped_total{shard=\"0\"}",
 		"sqe_pipeline_queries_total 2", // search + baseline both counted
 		"sqe_pipeline_retrievals_total 2",
 	} {

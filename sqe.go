@@ -216,6 +216,20 @@ func WithLegacyScorer() Option {
 	return func(e *Engine) { e.searcher.UseLegacyScorer = true }
 }
 
+// WithPruning toggles MaxScore-style score-safe dynamic pruning in the
+// document-at-a-time evaluator (default on). With pruning, candidates
+// that provably cannot enter the current top-k — judged against
+// per-leaf score upper bounds derived from index metadata at
+// query-compile time — are skipped without being scored; rankings and
+// scores stay bit-identical to the unpruned evaluator for every
+// retrieval model and shard count (the differential tests in
+// pruning_diff_test.go enforce this). WithPruning(false) is the escape
+// hatch for debugging and the full-evaluation side of
+// `sqe-bench -exp pruning`; the legacy scorer ignores the flag.
+func WithPruning(on bool) Option {
+	return func(e *Engine) { e.searcher.DisablePruning = !on }
+}
+
 // WithExpansionCache bounds a sharded LRU cache over motif expansions to
 // the given number of entries (keyed by sorted query nodes + motif set).
 // Repeated queries — including the three runs of a repeated SQE_C call —
@@ -278,6 +292,7 @@ func NewEngine(g *Graph, ix *Index, opts ...Option) *Engine {
 			e.sharded.Mu = e.searcher.Mu
 			e.sharded.Model = e.searcher.Model
 			e.sharded.Params = e.searcher.Params
+			e.sharded.DisablePruning = e.searcher.DisablePruning
 			e.sharded.Sem = e.sem
 		}
 	}
