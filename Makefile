@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: build test race vet fmt bench bench-shards bench-pruning bench-check shard-parity serve-smoke verify
+.PHONY: build test race vet fmt bench bench-shards bench-pruning bench-check shard-parity serve-smoke chaos fuzz verify
 
 build:
 	$(GO) build ./...
@@ -55,6 +55,23 @@ shard-parity:
 serve-smoke:
 	$(GO) run ./cmd/sqe-serve -smoke -shards 4
 
+# The chaos gate: the fault-injection registry's unit tests plus the
+# chaos harness (seeded random faults at every registered point against
+# a sharded, cached, degradation-enabled engine) under -race, then the
+# sqe-serve chaos smoke over HTTP. See DESIGN.md §5g.
+chaos:
+	$(GO) test -race -count=1 -run 'Chaos|Fault|Schedule|Degrad|MaxFaults|Disarmed|Panic|ErrorClassification|Points' ./internal/fault/
+	$(GO) test -race -count=1 -run 'Degrad|Backend|ErrorPaths' ./internal/serve/
+	$(GO) test -count=1 -run 'TestGoldenRetrieval' .
+	$(GO) run ./cmd/sqe-serve -chaos -shards 4
+
+# Short fuzz rounds over every fuzz target with a committed seed corpus
+# (wikixml parser, index decoder). Not part of verify — run on demand or
+# in CI's cron lane.
+fuzz:
+	$(GO) test -fuzz FuzzWikiXMLParse -fuzztime 30s -run '^$$' ./internal/wikixml/
+	$(GO) test -fuzz FuzzIndexDecode -fuzztime 30s -run '^$$' ./internal/index/
+
 # The full gate run before every commit.
-verify: vet fmt build race test shard-parity bench-check serve-smoke
+verify: vet fmt build race test shard-parity bench-check serve-smoke chaos
 	@echo "verify: OK"

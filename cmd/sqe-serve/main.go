@@ -7,7 +7,7 @@
 //
 //	sqe-serve [-addr :8344] [-scale small|default] [-timeout 10s]
 //	          [-max-inflight 64] [-cache 4096] [-workers 0] [-shards 1]
-//	          [-smoke]
+//	          [-degrade] [-smoke] [-chaos] [-chaos-seed 1]
 //
 // Endpoints (see internal/serve):
 //
@@ -24,6 +24,16 @@
 // port, issues one in-process request per endpoint, checks HTTP 200 and
 // non-empty payloads, and exits 0/1. The Makefile's serve-smoke target
 // (part of `make verify`) runs exactly this — no curl required.
+//
+// -chaos runs the chaos smoke instead of serving: with graceful
+// degradation enabled it arms the fault-injection registry (seeded by
+// -chaos-seed) with error, latency and panic policies at every
+// registered point, hammers /search and /baseline, and demands every
+// response be well-formed — 200 with results (degraded or not) or a
+// clean 5xx error envelope; no hangs, no crashes. It then disarms the
+// registry, replays a request, and verifies the response is fault-free
+// again. The Makefile's chaos target runs this after the -race chaos
+// tests.
 package main
 
 import (
@@ -44,6 +54,7 @@ import (
 	"time"
 
 	sqe "repro"
+	"repro/internal/fault"
 	"repro/internal/serve"
 )
 
@@ -57,7 +68,10 @@ func main() {
 	cacheSize := flag.Int("cache", 4096, "expansion cache entries (0 = off)")
 	workers := flag.Int("workers", 0, "concurrent SQE_C runs engine-wide (0 = GOMAXPROCS, 1 = sequential)")
 	shards := flag.Int("shards", 1, "index shards evaluated in parallel per retrieval (1 = unsharded)")
+	degrade := flag.Bool("degrade", true, "enable graceful degradation (partial shard merges, expansion fallback, partial SQE_C, transient retries)")
 	smoke := flag.Bool("smoke", false, "boot on an ephemeral port, self-test every endpoint, exit")
+	chaos := flag.Bool("chaos", false, "boot on an ephemeral port, hammer the work endpoints under fault injection, exit")
+	chaosSeed := flag.Int64("chaos-seed", 1, "fault-schedule seed for -chaos")
 	flag.Parse()
 
 	scale := sqe.DemoSmall
@@ -71,6 +85,9 @@ func main() {
 	}
 	if *shards > 1 {
 		opts = append(opts, sqe.WithShards(*shards))
+	}
+	if *degrade || *chaos {
+		opts = append(opts, sqe.WithDegradation(sqe.DefaultDegradation()))
 	}
 	env, err := sqe.GenerateDemo(scale, opts...)
 	if err != nil {
@@ -87,6 +104,13 @@ func main() {
 			log.Fatalf("SMOKE FAIL: %v", err)
 		}
 		log.Println("SMOKE OK")
+		return
+	}
+	if *chaos {
+		if err := runChaos(srv, env, *chaosSeed); err != nil {
+			log.Fatalf("CHAOS FAIL: %v", err)
+		}
+		log.Println("CHAOS OK")
 		return
 	}
 
@@ -198,5 +222,129 @@ func wantResults(b []byte) error {
 	if len(resp.Results) == 0 {
 		return errors.New("empty results")
 	}
+	return nil
+}
+
+// runChaos boots the server on an ephemeral loopback port, arms the
+// fault-injection registry with a policy at every registered point, and
+// hammers the work endpoints. Every response must be well-formed: 200
+// with results (degraded or not) or a clean 5xx JSON error envelope.
+// The client timeout is the watchdog — a hang fails the smoke. Finally
+// it disarms the registry and verifies a replayed request is fault-free.
+func runChaos(srv *serve.Server, env *sqe.DemoEnv, seed int64) error {
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		return err
+	}
+	httpSrv := &http.Server{Handler: srv}
+	go func() { _ = httpSrv.Serve(ln) }()
+	defer httpSrv.Close()
+	base := "http://" + ln.Addr().String()
+
+	reg := fault.NewRegistry(seed)
+	for _, p := range fault.Points() {
+		pol := fault.Policy{ErrRate: 0.02, Transient: true, LatencyRate: 0.01, Latency: 200 * time.Microsecond}
+		switch p {
+		case fault.ShardEval, fault.SQECRun:
+			pol.ErrRate, pol.PanicRate = 0.15, 0.05
+		case fault.MotifExpand:
+			pol.ErrRate, pol.Transient = 0.25, false
+		case fault.ExpansionCache:
+			pol.ErrRate = 0.30
+		}
+		reg.Set(p, pol)
+	}
+	fault.Arm(reg)
+	defer fault.Disarm()
+
+	client := &http.Client{Timeout: 30 * time.Second}
+	q := env.Queries[0]
+	params := "q=" + url.QueryEscape(q.Text) + "&entities=" + url.QueryEscape(strings.Join(q.EntityTitles, ","))
+	paths := []string{
+		"/search?" + params + "&k=10",
+		"/search?" + params + "&k=5&set=T",
+		"/baseline?" + params + "&k=10",
+	}
+
+	const iters = 60
+	type tally struct{ ok, degraded, failed int }
+	var counts tally
+	hit := func(path string) error {
+		resp, err := client.Get(base + path)
+		if err != nil {
+			return fmt.Errorf("GET %s: %v", path, err)
+		}
+		body, err := io.ReadAll(resp.Body)
+		resp.Body.Close()
+		if err != nil {
+			return fmt.Errorf("GET %s: read: %v", path, err)
+		}
+		switch {
+		case resp.StatusCode == http.StatusOK:
+			if err := wantResults(body); err != nil {
+				return fmt.Errorf("GET %s: 200 but %v", path, err)
+			}
+			counts.ok++
+			if resp.Header.Get(serve.DegradedHeader) != "" {
+				counts.degraded++
+			}
+		case resp.StatusCode >= 500:
+			var envl struct {
+				Error string `json:"error"`
+			}
+			if err := json.Unmarshal(body, &envl); err != nil || envl.Error == "" {
+				return fmt.Errorf("GET %s: HTTP %d with malformed error envelope %q", path, resp.StatusCode, body)
+			}
+			counts.failed++
+		default:
+			return fmt.Errorf("GET %s: unexpected HTTP %d: %s", path, resp.StatusCode, body)
+		}
+		return nil
+	}
+	for i := 0; i < iters; i++ {
+		if err := hit(paths[i%len(paths)]); err != nil {
+			return err
+		}
+	}
+	log.Printf("  chaos: %d requests — %d ok (%d degraded), %d clean 5xx",
+		iters, counts.ok, counts.degraded, counts.failed)
+	if reg.TotalInjected() == 0 {
+		return errors.New("registry injected no faults; chaos exercised nothing")
+	}
+
+	resp, err := client.Get(base + "/metrics")
+	if err != nil {
+		return fmt.Errorf("metrics: %v", err)
+	}
+	body, err := io.ReadAll(resp.Body)
+	resp.Body.Close()
+	if err != nil {
+		return fmt.Errorf("metrics: read: %v", err)
+	}
+	if !strings.Contains(string(body), "sqe_fault_injected_total") {
+		return errors.New("metrics: sqe_fault_injected_total family missing while registry armed")
+	}
+
+	// Disarm and replay: the engine must return to full-fidelity serving.
+	fault.Disarm()
+	resp, err = client.Get(base + paths[0])
+	if err != nil {
+		return fmt.Errorf("post-disarm: %v", err)
+	}
+	body, err = io.ReadAll(resp.Body)
+	resp.Body.Close()
+	if err != nil {
+		return fmt.Errorf("post-disarm: read: %v", err)
+	}
+	if resp.StatusCode != http.StatusOK {
+		return fmt.Errorf("post-disarm: HTTP %d: %s", resp.StatusCode, body)
+	}
+	if err := wantResults(body); err != nil {
+		return fmt.Errorf("post-disarm: %v", err)
+	}
+	if resp.Header.Get(serve.DegradedHeader) != "" {
+		return errors.New("post-disarm: response still marked degraded")
+	}
+	log.Printf("  ok post-disarm replay fault-free")
 	return nil
 }

@@ -7,6 +7,7 @@ import (
 	"sync"
 	"time"
 
+	"repro/internal/fault"
 	"repro/internal/kb"
 	"repro/internal/motif"
 )
@@ -105,8 +106,13 @@ func (c *ExpansionCache) shard(key string) *cacheShard {
 }
 
 // Get returns the cached graph for key, promoting it to most recently
-// used.
+// used. An injected cache fault degrades the lookup to a miss — a
+// failing cache backend slows requests down (they rebuild the
+// expansion) but never fails them.
 func (c *ExpansionCache) Get(key string) (QueryGraph, bool) {
+	if fault.Check(fault.ExpansionCache) != nil {
+		return QueryGraph{}, false
+	}
 	s := c.shard(key)
 	s.mu.Lock()
 	defer s.mu.Unlock()
@@ -122,8 +128,12 @@ func (c *ExpansionCache) Get(key string) (QueryGraph, bool) {
 
 // Put stores qg under key, evicting the shard's least recently used
 // entry when the shard is full. Re-putting an existing key refreshes its
-// recency without duplicating it.
+// recency without duplicating it. An injected cache fault skips the
+// store (the write-side twin of Get's degrade-to-miss).
 func (c *ExpansionCache) Put(key string, qg QueryGraph) {
+	if fault.Check(fault.ExpansionCache) != nil {
+		return
+	}
 	s := c.shard(key)
 	s.mu.Lock()
 	defer s.mu.Unlock()

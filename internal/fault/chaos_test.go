@@ -1,0 +1,425 @@
+// Chaos harness: arms the fault registry against a real engine (the
+// demo environment, sharded and cached, with graceful degradation on)
+// and checks the degradation contract end to end — no hangs, no panic
+// escapes, well-formed partial responses, and bit-identical results
+// once the registry is disarmed. Run under -race (`make chaos`).
+package fault_test
+
+import (
+	"context"
+	"fmt"
+	"reflect"
+	"testing"
+	"time"
+
+	sqe "repro"
+	"repro/internal/fault"
+)
+
+func demoEnv(t *testing.T, opts ...sqe.Option) *sqe.DemoEnv {
+	t.Helper()
+	env, err := sqe.GenerateDemo(sqe.DemoSmall, opts...)
+	if err != nil {
+		t.Fatalf("GenerateDemo: %v", err)
+	}
+	return env
+}
+
+// directedPolicy degrades everything but never retries, so a directed
+// single-fault schedule maps to exactly one degradation event.
+func directedPolicy() sqe.DegradationPolicy {
+	return sqe.DegradationPolicy{PartialShards: true, ExpansionFallback: true, PartialSQEC: true}
+}
+
+// chaosRequests builds a request mix over the demo queries: the full
+// SQE_C combination, a single-set run, and the QL baseline.
+func chaosRequests(env *sqe.DemoEnv) []sqe.SearchRequest {
+	var reqs []sqe.SearchRequest
+	for i, q := range env.Queries {
+		if i >= 3 {
+			break
+		}
+		reqs = append(reqs,
+			sqe.SearchRequest{Query: q.Text, EntityTitles: q.EntityTitles, K: 10},
+			sqe.SearchRequest{Query: q.Text, EntityTitles: q.EntityTitles, K: 5, MotifSet: sqe.MotifTS},
+			sqe.SearchRequest{Query: q.Text, K: 10, Baseline: true},
+		)
+	}
+	return reqs
+}
+
+// TestChaosEngineUnderRandomFaults is the main harness: seeded random
+// fault policies at every registered point, hammered concurrently. Any
+// hang (watchdog), escaped panic (crashes the test binary), or
+// malformed response fails; after Disarm, results must be bit-identical
+// to the pre-chaos baseline.
+func TestChaosEngineUnderRandomFaults(t *testing.T) {
+	defer fault.Disarm()
+	env := demoEnv(t, sqe.WithShards(4), sqe.WithExpansionCache(256),
+		sqe.WithDegradation(sqe.DefaultDegradation()))
+	reqs := chaosRequests(env)
+	ctx := context.Background()
+
+	fault.Disarm()
+	base := make([]*sqe.SearchResponse, len(reqs))
+	for i, r := range reqs {
+		resp, err := env.Engine.Do(ctx, r)
+		if err != nil {
+			t.Fatalf("baseline request %d: %v", i, err)
+		}
+		if resp.Degraded != nil {
+			t.Fatalf("baseline request %d degraded with no registry armed: %+v", i, resp.Degraded)
+		}
+		base[i] = resp
+	}
+
+	reg := fault.NewRegistry(7)
+	for _, p := range fault.Points() {
+		pol := fault.Policy{ErrRate: 0.03, Transient: true, LatencyRate: 0.02, Latency: 100 * time.Microsecond}
+		switch p {
+		case fault.ShardEval, fault.SQECRun:
+			pol.ErrRate, pol.PanicRate = 0.2, 0.05
+		case fault.MotifExpand:
+			pol.ErrRate, pol.Transient = 0.3, false
+		case fault.ExpansionCache:
+			pol.ErrRate = 0.5
+		}
+		reg.Set(p, pol)
+	}
+	fault.Arm(reg)
+
+	const workers, iters = 8, 25
+	done := make(chan error, workers)
+	for w := 0; w < workers; w++ {
+		go func(w int) {
+			for i := 0; i < iters; i++ {
+				req := reqs[(w+i)%len(reqs)]
+				resp, err := env.Engine.Do(ctx, req)
+				if err != nil {
+					continue // failing is allowed under chaos; hanging and panicking are not
+				}
+				if len(resp.Results) > req.K {
+					done <- fmt.Errorf("worker %d: %d results for k=%d", w, len(resp.Results), req.K)
+					return
+				}
+				if resp.Degraded == nil && len(resp.Results) == 0 {
+					done <- fmt.Errorf("worker %d: empty non-degraded results", w)
+					return
+				}
+			}
+			done <- nil
+		}(w)
+	}
+	watchdog := time.After(2 * time.Minute)
+	for w := 0; w < workers; w++ {
+		select {
+		case err := <-done:
+			if err != nil {
+				t.Fatal(err)
+			}
+		case <-watchdog:
+			t.Fatal("chaos hammer hung: workers did not finish within 2m")
+		}
+	}
+
+	if reg.TotalInjected() == 0 {
+		t.Fatal("registry injected nothing; the chaos run exercised no fault paths")
+	}
+	stats := reg.Stats()
+	for _, p := range fault.Points() {
+		if stats[p].Hits == 0 {
+			t.Errorf("point %s was never consulted — its hook is unreachable from the request mix", p)
+		}
+	}
+
+	fault.Disarm()
+	for i, r := range reqs {
+		resp, err := env.Engine.Do(ctx, r)
+		if err != nil {
+			t.Fatalf("post-disarm request %d: %v", i, err)
+		}
+		if resp.Degraded != nil {
+			t.Fatalf("post-disarm request %d still degraded: %+v", i, resp.Degraded)
+		}
+		if !reflect.DeepEqual(resp.Results, base[i].Results) {
+			t.Fatalf("post-disarm request %d: results differ from the pre-chaos baseline", i)
+		}
+	}
+}
+
+// TestChaosShardDropIsExactSubset fails exactly one shard (no retries)
+// and checks the partial merge: one dropped shard reported, and every
+// surviving result carries a score bit-identical to the full ranking's
+// — partial merges happen after the cross-shard statistics override.
+func TestChaosShardDropIsExactSubset(t *testing.T) {
+	defer fault.Disarm()
+	env := demoEnv(t, sqe.WithShards(4), sqe.WithDegradation(directedPolicy()))
+	q := env.Queries[0]
+	ctx := context.Background()
+
+	full, err := env.Engine.Do(ctx, sqe.SearchRequest{Query: q.Text, K: 500, Baseline: true})
+	if err != nil {
+		t.Fatalf("full baseline: %v", err)
+	}
+	scores := make(map[string]float64, len(full.Results))
+	for _, r := range full.Results {
+		scores[r.Name] = r.Score
+	}
+
+	fault.Arm(fault.NewRegistry(3).Set(fault.ShardEval, fault.Policy{ErrRate: 1, MaxFaults: 1}))
+	resp, err := env.Engine.Do(ctx, sqe.SearchRequest{Query: q.Text, K: 20, Baseline: true})
+	if err != nil {
+		t.Fatalf("degraded request failed outright: %v", err)
+	}
+	d := resp.Degraded
+	if d == nil || len(d.DroppedShards) != 1 || len(d.ShardErrors) != 1 {
+		t.Fatalf("Degraded = %+v, want exactly one dropped shard with its error", d)
+	}
+	if !d.Degraded() {
+		t.Fatal("Degraded() false despite a dropped shard")
+	}
+	if d.Retries != 0 {
+		t.Fatalf("Retries = %d with MaxRetries=0", d.Retries)
+	}
+	if len(resp.Results) == 0 {
+		t.Fatal("partial merge produced no results")
+	}
+	for _, r := range resp.Results {
+		want, ok := scores[r.Name]
+		if !ok {
+			t.Fatalf("degraded result %q absent from the full ranking", r.Name)
+		}
+		if r.Score != want {
+			t.Fatalf("degraded score for %q = %v, want bit-identical %v", r.Name, r.Score, want)
+		}
+	}
+}
+
+// TestChaosTransientRetryRestoresExactResults fails one shard with a
+// transient fault under MaxRetries=2: the retry must succeed, results
+// must match the fault-free run exactly, and the response must report
+// the retry without claiming degradation.
+func TestChaosTransientRetryRestoresExactResults(t *testing.T) {
+	defer fault.Disarm()
+	pol := directedPolicy()
+	pol.MaxRetries = 2
+	pol.RetryBackoff = time.Millisecond
+	env := demoEnv(t, sqe.WithShards(4), sqe.WithDegradation(pol))
+	q := env.Queries[0]
+	ctx := context.Background()
+	req := sqe.SearchRequest{Query: q.Text, K: 20, Baseline: true}
+
+	clean, err := env.Engine.Do(ctx, req)
+	if err != nil {
+		t.Fatalf("clean run: %v", err)
+	}
+
+	fault.Arm(fault.NewRegistry(5).Set(fault.ShardEval,
+		fault.Policy{ErrRate: 1, Transient: true, MaxFaults: 1}))
+	resp, err := env.Engine.Do(ctx, req)
+	if err != nil {
+		t.Fatalf("request failed despite retry budget: %v", err)
+	}
+	if resp.Degraded == nil || resp.Degraded.Retries == 0 {
+		t.Fatalf("Degraded = %+v, want a recorded retry", resp.Degraded)
+	}
+	if resp.Degraded.Degraded() {
+		t.Fatalf("retry-only response claims degradation: %+v", resp.Degraded)
+	}
+	if !reflect.DeepEqual(resp.Results, clean.Results) {
+		t.Fatal("results after a successful retry differ from the fault-free run")
+	}
+}
+
+// TestChaosExpansionFallback fails every motif expansion: the request
+// must degrade to the plain unexpanded query — same results as the QL
+// baseline, no Expansion, fallback counted.
+func TestChaosExpansionFallback(t *testing.T) {
+	defer fault.Disarm()
+	env := demoEnv(t, sqe.WithDegradation(directedPolicy()))
+	q := env.Queries[0]
+	ctx := context.Background()
+
+	baseline, err := env.Engine.Do(ctx, sqe.SearchRequest{Query: q.Text, K: 10, Baseline: true})
+	if err != nil {
+		t.Fatalf("baseline: %v", err)
+	}
+
+	fault.Arm(fault.NewRegistry(11).Set(fault.MotifExpand, fault.Policy{ErrRate: 1}))
+	resp, err := env.Engine.Do(ctx, sqe.SearchRequest{
+		Query: q.Text, EntityTitles: q.EntityTitles, K: 10, MotifSet: sqe.MotifTS,
+	})
+	if err != nil {
+		t.Fatalf("request failed instead of falling back: %v", err)
+	}
+	if resp.Degraded == nil || resp.Degraded.ExpansionFallbacks != 1 {
+		t.Fatalf("Degraded = %+v, want one expansion fallback", resp.Degraded)
+	}
+	if resp.Expansion != nil {
+		t.Fatal("fallback response still carries an Expansion")
+	}
+	if !reflect.DeepEqual(resp.Results, baseline.Results) {
+		t.Fatal("fallback results differ from the plain QL baseline")
+	}
+}
+
+// TestChaosSQECRunDrop fails exactly one of SQE_C's three sub-runs: the
+// splice must continue over the survivors and name the dropped run.
+func TestChaosSQECRunDrop(t *testing.T) {
+	defer fault.Disarm()
+	env := demoEnv(t, sqe.WithDegradation(directedPolicy()))
+	q := env.Queries[0]
+	ctx := context.Background()
+
+	fault.Arm(fault.NewRegistry(13).Set(fault.SQECRun, fault.Policy{ErrRate: 1, MaxFaults: 1}))
+	resp, err := env.Engine.Do(ctx, sqe.SearchRequest{
+		Query: q.Text, EntityTitles: q.EntityTitles, K: 10,
+	})
+	if err != nil {
+		t.Fatalf("SQE_C failed instead of continuing partially: %v", err)
+	}
+	d := resp.Degraded
+	if d == nil || len(d.DroppedRuns) != 1 {
+		t.Fatalf("Degraded = %+v, want exactly one dropped run", d)
+	}
+	switch d.DroppedRuns[0] {
+	case "T", "TS", "S":
+	default:
+		t.Fatalf("dropped run named %q, want T, TS or S", d.DroppedRuns[0])
+	}
+	if len(resp.Results) == 0 {
+		t.Fatal("partial splice produced no results")
+	}
+}
+
+// TestChaosCacheFaultIsHarmless fails every expansion-cache access: the
+// cache must degrade to misses/skips — identical results, no error, and
+// no degradation marker (a cold cache is not a degraded response).
+func TestChaosCacheFaultIsHarmless(t *testing.T) {
+	defer fault.Disarm()
+	env := demoEnv(t, sqe.WithExpansionCache(256), sqe.WithDegradation(directedPolicy()))
+	q := env.Queries[0]
+	ctx := context.Background()
+	req := sqe.SearchRequest{Query: q.Text, EntityTitles: q.EntityTitles, K: 10, MotifSet: sqe.MotifTS}
+
+	clean, err := env.Engine.Do(ctx, req)
+	if err != nil {
+		t.Fatalf("clean run: %v", err)
+	}
+
+	fault.Arm(fault.NewRegistry(17).Set(fault.ExpansionCache, fault.Policy{ErrRate: 1}))
+	for i := 0; i < 2; i++ {
+		resp, err := env.Engine.Do(ctx, req)
+		if err != nil {
+			t.Fatalf("run %d: cache fault failed the request: %v", i, err)
+		}
+		if resp.Degraded != nil {
+			t.Fatalf("run %d: cache fault marked the response degraded: %+v", i, resp.Degraded)
+		}
+		if !reflect.DeepEqual(resp.Results, clean.Results) {
+			t.Fatalf("run %d: results differ under cache faults", i)
+		}
+	}
+}
+
+// TestChaosPanicContained injects panics (not errors) at the guarded
+// stages and checks they degrade like any other failure instead of
+// escaping: a panicking shard is dropped, a panicking expansion falls
+// back, a panicking SQE_C run is spliced around.
+func TestChaosPanicContained(t *testing.T) {
+	defer fault.Disarm()
+	ctx := context.Background()
+	cases := []struct {
+		name  string
+		point fault.Point
+		opts  []sqe.Option
+		req   func(q sqe.DemoQuery) sqe.SearchRequest
+		check func(t *testing.T, resp *sqe.SearchResponse)
+	}{
+		{
+			"shard", fault.ShardEval,
+			[]sqe.Option{sqe.WithShards(4), sqe.WithDegradation(directedPolicy())},
+			func(q sqe.DemoQuery) sqe.SearchRequest {
+				return sqe.SearchRequest{Query: q.Text, K: 10, Baseline: true}
+			},
+			func(t *testing.T, resp *sqe.SearchResponse) {
+				if resp.Degraded == nil || len(resp.Degraded.DroppedShards) != 1 {
+					t.Fatalf("Degraded = %+v, want one dropped shard", resp.Degraded)
+				}
+			},
+		},
+		{
+			"expansion", fault.MotifExpand,
+			[]sqe.Option{sqe.WithDegradation(directedPolicy())},
+			func(q sqe.DemoQuery) sqe.SearchRequest {
+				return sqe.SearchRequest{Query: q.Text, EntityTitles: q.EntityTitles, K: 10, MotifSet: sqe.MotifT}
+			},
+			func(t *testing.T, resp *sqe.SearchResponse) {
+				if resp.Degraded == nil || resp.Degraded.ExpansionFallbacks == 0 {
+					t.Fatalf("Degraded = %+v, want an expansion fallback", resp.Degraded)
+				}
+			},
+		},
+		{
+			"sqec run", fault.SQECRun,
+			[]sqe.Option{sqe.WithDegradation(directedPolicy())},
+			func(q sqe.DemoQuery) sqe.SearchRequest {
+				return sqe.SearchRequest{Query: q.Text, EntityTitles: q.EntityTitles, K: 10}
+			},
+			func(t *testing.T, resp *sqe.SearchResponse) {
+				if resp.Degraded == nil || len(resp.Degraded.DroppedRuns) != 1 {
+					t.Fatalf("Degraded = %+v, want one dropped run", resp.Degraded)
+				}
+			},
+		},
+	}
+	for _, c := range cases {
+		t.Run(c.name, func(t *testing.T) {
+			defer fault.Disarm()
+			env := demoEnv(t, c.opts...)
+			fault.Arm(fault.NewRegistry(19).Set(c.point, fault.Policy{PanicRate: 1, MaxFaults: 1}))
+			resp, err := env.Engine.Do(ctx, c.req(env.Queries[0]))
+			if err != nil {
+				t.Fatalf("injected panic failed the request instead of degrading: %v", err)
+			}
+			if len(resp.Results) == 0 {
+				t.Fatal("degraded response has no results")
+			}
+			c.check(t, resp)
+		})
+	}
+}
+
+// TestChaosAllShardsFailedIsAnError checks the never-silent rule: when
+// every shard fails there is nothing to merge, and the request must
+// fail with the underlying injected error — not return an empty 200.
+func TestChaosAllShardsFailedIsAnError(t *testing.T) {
+	defer fault.Disarm()
+	env := demoEnv(t, sqe.WithShards(4), sqe.WithDegradation(directedPolicy()))
+	q := env.Queries[0]
+
+	fault.Arm(fault.NewRegistry(23).Set(fault.ShardEval, fault.Policy{ErrRate: 1}))
+	resp, err := env.Engine.Do(context.Background(), sqe.SearchRequest{Query: q.Text, K: 10, Baseline: true})
+	if err == nil {
+		t.Fatalf("all shards failing returned %+v, want an error", resp)
+	}
+	if !fault.IsInjected(err) {
+		t.Fatalf("error %v does not unwrap to the injected fault", err)
+	}
+}
+
+// TestChaosCancelledContextIsNotDegraded checks that parent-context
+// cancellation always wins over degradation: a cancelled request fails
+// with the context error instead of returning a partial response.
+func TestChaosCancelledContextIsNotDegraded(t *testing.T) {
+	defer fault.Disarm()
+	env := demoEnv(t, sqe.WithShards(4), sqe.WithDegradation(sqe.DefaultDegradation()))
+	q := env.Queries[0]
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+
+	fault.Arm(fault.NewRegistry(29).Set(fault.ShardEval, fault.Policy{ErrRate: 1}))
+	if _, err := env.Engine.Do(ctx, sqe.SearchRequest{Query: q.Text, K: 10, Baseline: true}); err == nil {
+		t.Fatal("cancelled request degraded into a response, want the context error")
+	}
+}

@@ -1,0 +1,56 @@
+package index
+
+import (
+	"bytes"
+	"testing"
+
+	"repro/internal/analysis"
+)
+
+// fuzzSeedIndex is a small but representative encoded index: several
+// docs, shared terms (multi-entry postings with delta gaps), phrase
+// positions, and the v2 bounds trailer.
+func fuzzSeedIndex(f *testing.F) []byte {
+	f.Helper()
+	b := NewBuilder(analysis.Standard())
+	b.Add("DocA", "cable cars climb the steep hill")
+	b.Add("DocB", "the tram shares rails with the cable car")
+	b.Add("DocC", "funicular railways and cable cars")
+	var buf bytes.Buffer
+	if err := Encode(&buf, b.Build()); err != nil {
+		f.Fatal(err)
+	}
+	return buf.Bytes()
+}
+
+// FuzzIndexDecode feeds arbitrary bytes to the binary index decoder.
+// The contract under hostile input: an error or a usable index — never
+// a panic, never an unbounded allocation (length prefixes are clamped
+// by maxPrealloc), and never a corrupt accepted index: anything Decode
+// accepts must survive a full Encode/Decode round trip.
+func FuzzIndexDecode(f *testing.F) {
+	enc := fuzzSeedIndex(f)
+	f.Add(enc)
+	f.Add(enc[:len(enc)/2])
+	f.Add(enc[:len(indexMagic)+1])
+	f.Add([]byte("SQEIX\x02"))
+	f.Add([]byte("SQEIX\x01\x03"))
+	f.Add([]byte("SQEIX\x03\x00"))
+	f.Add([]byte{})
+	// A claimed-huge doc count followed by nothing: must fail on EOF,
+	// not allocate multi-GB up front.
+	f.Add(append(append([]byte{}, "SQEIX\x02\x03"...), 0xff, 0xff, 0xff, 0xff, 0xff, 0xff, 0xff, 0xff, 0x7f))
+	f.Fuzz(func(t *testing.T, data []byte) {
+		ix, err := Decode(bytes.NewReader(data))
+		if err != nil {
+			return // rejecting corrupt input is the job; panicking is not
+		}
+		var out bytes.Buffer
+		if err := Encode(&out, ix); err != nil {
+			t.Fatalf("decoded index does not re-encode: %v", err)
+		}
+		if _, err := Decode(bytes.NewReader(out.Bytes())); err != nil {
+			t.Fatalf("accepted index fails its own round trip: %v", err)
+		}
+	})
+}

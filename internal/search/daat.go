@@ -4,6 +4,7 @@ import (
 	"context"
 	"math"
 
+	"repro/internal/fault"
 	"repro/internal/index"
 )
 
@@ -53,7 +54,11 @@ func searchDAAT(ctx context.Context, ix *index.Index, leaves []leaf, k int, scor
 	var advanced, cands int64
 	for next != exhausted {
 		if cands%cancelCheckEvery == 0 {
-			if err := ctx.Err(); err != nil {
+			err := ctx.Err()
+			if err == nil {
+				err = fault.Check(fault.IndexPostings)
+			}
+			if err != nil {
 				if st != nil {
 					st.PostingsAdvanced += advanced
 					st.CandidatesExamined += cands

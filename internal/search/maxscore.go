@@ -5,6 +5,7 @@ import (
 	"math"
 	"sort"
 
+	"repro/internal/fault"
 	"repro/internal/index"
 )
 
@@ -252,7 +253,11 @@ func searchMaxScore(ctx context.Context, ix *index.Index, leaves []leaf, k int, 
 
 	for next != exhausted {
 		if iters%cancelCheckEvery == 0 {
-			if err := ctx.Err(); err != nil {
+			err := ctx.Err()
+			if err == nil {
+				err = fault.Check(fault.IndexPostings)
+			}
+			if err != nil {
 				flushStats()
 				return nil, err
 			}

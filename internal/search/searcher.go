@@ -5,6 +5,7 @@ import (
 	"sort"
 	"time"
 
+	"repro/internal/fault"
 	"repro/internal/index"
 )
 
@@ -254,7 +255,11 @@ func (s *Searcher) searchLegacy(ctx context.Context, leaves []leaf, k int, score
 	scored := 0
 	for doc, c := range cands {
 		if scored%cancelCheckEvery == 0 {
-			if err := ctx.Err(); err != nil {
+			err := ctx.Err()
+			if err == nil {
+				err = fault.Check(fault.IndexPostings)
+			}
+			if err != nil {
 				return nil, err
 			}
 		}

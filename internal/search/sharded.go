@@ -79,7 +79,7 @@ func (ss *ShardedSearcher) Search(q Node, k int) []Result {
 // SearchContext is Search under a context; cancellation propagates into
 // every shard's evaluation loop.
 func (ss *ShardedSearcher) SearchContext(ctx context.Context, q Node, k int) ([]Result, error) {
-	return ss.search(ctx, q, k, nil)
+	return ss.search(ctx, q, k, nil, nil, nil)
 }
 
 // SearchWithStats is Search plus instrumentation, including per-shard
@@ -93,7 +93,7 @@ func (ss *ShardedSearcher) SearchWithStats(q Node, k int) ([]Result, SearchStats
 func (ss *ShardedSearcher) SearchWithStatsContext(ctx context.Context, q Node, k int) ([]Result, SearchStats, error) {
 	var st SearchStats
 	start := time.Now()
-	res, err := ss.search(ctx, q, k, &st)
+	res, err := ss.search(ctx, q, k, &st, nil, nil)
 	st.Elapsed = time.Since(start)
 	return res, st, err
 }
@@ -106,7 +106,11 @@ func (ss *ShardedSearcher) resolveParams() ModelParams {
 	return params
 }
 
-func (ss *ShardedSearcher) search(ctx context.Context, q Node, k int, st *SearchStats) ([]Result, error) {
+// search runs the four-phase sharded evaluation. opts/pi, when non-nil,
+// enable graceful degradation (see SearchDegraded): failures are
+// confined to phase 3, AFTER the cross-shard statistics override, so a
+// partial merge never changes a surviving shard's scores.
+func (ss *ShardedSearcher) search(ctx context.Context, q Node, k int, st *SearchStats, opts *DegradeOptions, pi *PartialInfo) ([]Result, error) {
 	if k <= 0 {
 		return nil, nil
 	}
@@ -172,8 +176,9 @@ func (ss *ShardedSearcher) search(ctx context.Context, q Node, k int, st *Search
 	// Phase 3: per-shard DAAT evaluation into bounded top-k heaps, then
 	// remap the survivors' local DocIDs back to global.
 	type shardOut struct {
-		res []Result
-		err error
+		res     []Result
+		retries int
+		err     error
 	}
 	outs := make([]shardOut, n)
 	var shardStats []SearchStats
@@ -187,26 +192,25 @@ func (ss *ShardedSearcher) search(ctx context.Context, q Node, k int, st *Search
 			sst = &shardStats[i]
 			start = time.Now()
 		}
-		var res []Result
-		var err error
-		if ss.DisablePruning {
-			res, err = searchDAAT(ctx, ss.sh.Shard(i), shardLeaves[i], k, score, sst)
-		} else {
+		res, retries, err := evalShardDegraded(ctx, opts, func(sctx context.Context) ([]Result, error) {
+			if ss.DisablePruning {
+				return searchDAAT(sctx, ss.sh.Shard(i), shardLeaves[i], k, score, sst)
+			}
 			// Bounds derive AFTER the global-stats override, so the bound
 			// arithmetic sees the same collProb/df the scorer does, while
 			// the postings summaries (MaxTF, MinDL, ratio pair) and the
 			// minimum document length stay shard-local — bounds only need
 			// to dominate the documents this shard can produce.
 			pb := derivePruneBounds(ss.Model, params, cs, ss.sh.Shard(i).MinDocLen(), shardLeaves[i])
-			res, err = searchMaxScore(ctx, ss.sh.Shard(i), shardLeaves[i], k, score, pb, sst)
-		}
+			return searchMaxScore(sctx, ss.sh.Shard(i), shardLeaves[i], k, score, pb, sst)
+		})
 		if sst != nil {
 			sst.Elapsed = time.Since(start)
 		}
 		for r := range res {
 			res[r].Doc = ss.sh.GlobalDoc(i, res[r].Doc)
 		}
-		outs[i] = shardOut{res: res, err: err}
+		outs[i] = shardOut{res: res, retries: retries, err: err}
 	})
 	if st != nil {
 		st.Shards = make([]ShardStats, n)
@@ -225,9 +229,36 @@ func (ss *ShardedSearcher) search(ctx context.Context, q Node, k int, st *Search
 			}
 		}
 	}
+	if pi != nil {
+		for i := range outs {
+			pi.Retries += outs[i].retries
+		}
+	}
+	dropped := make([]bool, n)
+	failed := 0
 	for i := range outs {
-		if outs[i].err != nil {
+		if outs[i].err == nil {
+			continue
+		}
+		// Parent-context cancellation is the caller's signal, not a shard
+		// failure; it is never degraded into a partial result.
+		if opts == nil || !opts.AllowPartial || ctx.Err() != nil {
 			return nil, outs[i].err
+		}
+		dropped[i] = true
+		failed++
+		if pi != nil {
+			pi.DroppedShards = append(pi.DroppedShards, i)
+			pi.ShardErrors = append(pi.ShardErrors, outs[i].err.Error())
+		}
+	}
+	if failed == n {
+		// Nothing survived; a fully empty "partial" result would be
+		// indistinguishable from a query matching nothing.
+		for i := range outs {
+			if outs[i].err != nil {
+				return nil, outs[i].err
+			}
 		}
 	}
 
@@ -236,7 +267,9 @@ func (ss *ShardedSearcher) search(ctx context.Context, q Node, k int, st *Search
 	// the original names), so survivors are complete Results already.
 	var all []Result
 	for i := range outs {
-		all = append(all, outs[i].res...)
+		if !dropped[i] {
+			all = append(all, outs[i].res...)
+		}
 	}
 	sort.Slice(all, func(i, j int) bool {
 		if all[i].Score != all[j].Score {

@@ -1,0 +1,236 @@
+package serve
+
+import (
+	"net/http"
+	"strconv"
+	"strings"
+	"testing"
+	"time"
+
+	sqe "repro"
+	"repro/internal/fault"
+)
+
+// metricValue scrapes one un-labelled (or fully-labelled) counter from
+// a /metrics exposition body.
+func metricValue(t *testing.T, s *Server, name string) float64 {
+	t.Helper()
+	body := do(t, s, http.MethodGet, "/metrics", "").Body.String()
+	for _, line := range strings.Split(body, "\n") {
+		if rest, ok := strings.CutPrefix(line, name+" "); ok {
+			v, err := strconv.ParseFloat(strings.TrimSpace(rest), 64)
+			if err != nil {
+				t.Fatalf("metric %s has unparsable value %q", name, rest)
+			}
+			return v
+		}
+	}
+	t.Fatalf("metric %s missing from /metrics:\n%s", name, body)
+	return 0
+}
+
+// TestErrorPaths is the table gate for the serving layer's failure
+// mapping: every row checks the HTTP status, the JSON error envelope,
+// and the counters the failure must move in /metrics.
+func TestErrorPaths(t *testing.T) {
+	bigBody := `{"query": "` + strings.Repeat("x", 200) + `", "k": 10}`
+	cases := []struct {
+		name        string
+		cfg         Config
+		setup       func(s *Server) func()
+		method      string
+		target      string
+		body        string
+		wantStatus  int
+		wantErr     string             // substring of the error envelope
+		wantMetrics map[string]float64 // absolute values on a fresh server
+	}{
+		{
+			name:       "malformed JSON body",
+			method:     http.MethodPost,
+			target:     "/search",
+			body:       `{"query": "cable cars",`,
+			wantStatus: http.StatusBadRequest,
+			wantErr:    "bad JSON body",
+			wantMetrics: map[string]float64{
+				`sqe_http_requests_total{endpoint="search"}`: 1,
+				`sqe_http_errors_total{endpoint="search"}`:   1,
+			},
+		},
+		{
+			name:       "unknown JSON field",
+			method:     http.MethodPost,
+			target:     "/search",
+			body:       `{"query": "cable cars", "entites": ["Cable car"]}`,
+			wantStatus: http.StatusBadRequest,
+			wantErr:    `unknown field`,
+		},
+		{
+			name:       "wrong JSON type",
+			method:     http.MethodPost,
+			target:     "/baseline",
+			body:       `{"query": "cable cars", "k": "ten"}`,
+			wantStatus: http.StatusBadRequest,
+			wantErr:    "bad JSON body",
+			wantMetrics: map[string]float64{
+				`sqe_http_errors_total{endpoint="baseline"}`: 1,
+			},
+		},
+		{
+			name:       "oversized body",
+			cfg:        Config{MaxBodyBytes: 64},
+			method:     http.MethodPost,
+			target:     "/search",
+			body:       bigBody,
+			wantStatus: http.StatusRequestEntityTooLarge,
+			wantErr:    "request body exceeds 64 bytes",
+			wantMetrics: map[string]float64{
+				`sqe_http_errors_total{endpoint="search"}`: 1,
+			},
+		},
+		{
+			name:       "missing query",
+			method:     http.MethodGet,
+			target:     "/search?k=10",
+			wantStatus: http.StatusBadRequest,
+			wantErr:    "missing query",
+		},
+		{
+			name:       "method not allowed",
+			method:     http.MethodDelete,
+			target:     "/search?q=x",
+			wantStatus: http.StatusMethodNotAllowed,
+			wantErr:    "use GET or POST",
+		},
+		{
+			name: "shed at max in-flight",
+			cfg:  Config{MaxInFlight: 1},
+			setup: func(s *Server) func() {
+				s.limiter <- struct{}{} // occupy the only slot
+				return func() { <-s.limiter }
+			},
+			method:     http.MethodGet,
+			target:     "/search?q=whatever",
+			wantStatus: http.StatusTooManyRequests,
+			wantErr:    "max in-flight",
+			wantMetrics: map[string]float64{
+				"sqe_http_shed_total":                      1,
+				`sqe_http_errors_total{endpoint="search"}`: 1,
+			},
+		},
+		{
+			name:       "deadline exceeded",
+			cfg:        Config{Timeout: time.Nanosecond},
+			method:     http.MethodGet,
+			target:     "/search?q=whatever",
+			wantStatus: http.StatusGatewayTimeout,
+			wantErr:    "timed out",
+			wantMetrics: map[string]float64{
+				"sqe_http_timeouts_total": 1,
+			},
+		},
+	}
+	for _, c := range cases {
+		t.Run(c.name, func(t *testing.T) {
+			s, _ := testServer(t, c.cfg)
+			if c.setup != nil {
+				defer c.setup(s)()
+			}
+			w := do(t, s, c.method, c.target, c.body)
+			if w.Code != c.wantStatus {
+				t.Fatalf("status %d, want %d: %s", w.Code, c.wantStatus, w.Body.String())
+			}
+			if ct := w.Header().Get("Content-Type"); !strings.HasPrefix(ct, "application/json") {
+				t.Errorf("error response content-type %q, want JSON envelope", ct)
+			}
+			if !strings.Contains(w.Body.String(), c.wantErr) {
+				t.Errorf("error envelope %s does not mention %q", w.Body.String(), c.wantErr)
+			}
+			for name, want := range c.wantMetrics {
+				if got := metricValue(t, s, name); got != want {
+					t.Errorf("metric %s = %g, want %g", name, got, want)
+				}
+			}
+		})
+	}
+}
+
+// degradingServer builds a server over a sharded engine with graceful
+// degradation on (no retries, so one injected fault is one event).
+func degradingServer(t *testing.T) (*Server, sqe.DemoQuery) {
+	t.Helper()
+	envOnce.Do(func() { env = sqe.MustGenerateDemo(sqe.DemoSmall) })
+	eng := sqe.NewEngine(env.Engine.Graph(), env.Engine.Index(),
+		sqe.WithShards(4),
+		sqe.WithDegradation(sqe.DegradationPolicy{
+			PartialShards: true, ExpansionFallback: true, PartialSQEC: true,
+		}))
+	return testServer(t, Config{Engine: eng})
+}
+
+// TestDegradedResponseSurfacing drops exactly one shard and checks the
+// full serving contract: 200, the degraded JSON field, the X-SQE-
+// Degraded header, and the degradation + fault counters in /metrics.
+func TestDegradedResponseSurfacing(t *testing.T) {
+	defer fault.Disarm()
+	s, q := degradingServer(t)
+	fault.Arm(fault.NewRegistry(31).Set(fault.ShardEval, fault.Policy{ErrRate: 1, MaxFaults: 1}))
+
+	w := do(t, s, http.MethodGet, "/baseline?q="+paramEscape(q.Text)+"&k=10", "")
+	if w.Code != http.StatusOK {
+		t.Fatalf("status %d, want 200 with a partial merge: %s", w.Code, w.Body.String())
+	}
+	resp := decodeSearch(t, w)
+	if len(resp.Results) == 0 {
+		t.Fatal("partial merge served no results")
+	}
+	if resp.Degraded == nil || len(resp.Degraded.DroppedShards) != 1 {
+		t.Fatalf("degraded field = %+v, want one dropped shard", resp.Degraded)
+	}
+	if h := w.Header().Get(DegradedHeader); !strings.Contains(h, "shards=1") {
+		t.Errorf("%s header = %q, want shards=1", DegradedHeader, h)
+	}
+	for name, want := range map[string]float64{
+		"sqe_degraded_responses_total":                        1,
+		"sqe_degraded_dropped_shards_total":                   1,
+		"sqe_retries_total":                                   0,
+		`sqe_fault_injected_total{point="search.shard_eval"}`: 1,
+	} {
+		if got := metricValue(t, s, name); got != want {
+			t.Errorf("metric %s = %g, want %g", name, got, want)
+		}
+	}
+
+	// Disarmed, the same request serves clean: no header, no field.
+	fault.Disarm()
+	w = do(t, s, http.MethodGet, "/baseline?q="+paramEscape(q.Text)+"&k=10", "")
+	if w.Code != http.StatusOK {
+		t.Fatalf("post-disarm status %d: %s", w.Code, w.Body.String())
+	}
+	if h := w.Header().Get(DegradedHeader); h != "" {
+		t.Errorf("post-disarm response still carries %s=%q", DegradedHeader, h)
+	}
+	if resp := decodeSearch(t, w); resp.Degraded != nil {
+		t.Errorf("post-disarm degraded field: %+v", resp.Degraded)
+	}
+}
+
+// TestBackendFailureIs503: when degradation cannot absorb the fault
+// (every shard fails) the request maps to 503 — a backend problem —
+// with the usual JSON envelope, not a 400.
+func TestBackendFailureIs503(t *testing.T) {
+	defer fault.Disarm()
+	s, q := degradingServer(t)
+	fault.Arm(fault.NewRegistry(37).Set(fault.ShardEval, fault.Policy{ErrRate: 1}))
+
+	w := do(t, s, http.MethodGet, "/baseline?q="+paramEscape(q.Text)+"&k=10", "")
+	if w.Code != http.StatusServiceUnavailable {
+		t.Fatalf("status %d, want 503: %s", w.Code, w.Body.String())
+	}
+	if !strings.Contains(w.Body.String(), "injected") {
+		t.Errorf("503 envelope %s does not carry the fault", w.Body.String())
+	}
+	if got := metricValue(t, s, `sqe_http_errors_total{endpoint="baseline"}`); got != 1 {
+		t.Errorf("error counter = %g, want 1", got)
+	}
+}

@@ -7,6 +7,7 @@ import (
 	"time"
 
 	sqe "repro"
+	"repro/internal/fault"
 )
 
 // handleMetrics renders the server's counters in the Prometheus text
@@ -46,6 +47,36 @@ func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
 	fmt.Fprintf(&sb, "sqe_http_in_flight %d\n", s.inFlight.Load())
 	gauge("sqe_uptime_seconds", "Seconds since the server started.")
 	fmt.Fprintf(&sb, "sqe_uptime_seconds %g\n", time.Since(s.start).Seconds())
+
+	counter("sqe_degraded_responses_total", "200 responses whose results were degraded (shards or runs dropped, expansion replaced).")
+	fmt.Fprintf(&sb, "sqe_degraded_responses_total %d\n", s.degraded.Load())
+	counter("sqe_degraded_dropped_shards_total", "Shard results missing from partial merges.")
+	fmt.Fprintf(&sb, "sqe_degraded_dropped_shards_total %d\n", s.droppedShards.Load())
+	counter("sqe_degraded_dropped_runs_total", "SQE_C run lists missing from splices.")
+	fmt.Fprintf(&sb, "sqe_degraded_dropped_runs_total %d\n", s.droppedRuns.Load())
+	counter("sqe_retries_total", "Pipeline stage re-runs after transient faults.")
+	fmt.Fprintf(&sb, "sqe_retries_total %d\n", s.degRetries.Load())
+	counter("sqe_expansion_fallbacks_total", "Motif expansions replaced by the plain unexpanded query.")
+	fmt.Fprintf(&sb, "sqe_expansion_fallbacks_total %d\n", s.degFallbacks.Load())
+
+	// Fault-injection counters, present only while a chaos registry is
+	// armed (fault.Arm); production serves without one and omits the
+	// family entirely.
+	if reg := fault.Armed(); reg != nil {
+		stats := reg.Stats()
+		counter("sqe_fault_injected_total", "Faults (errors + panics) injected by the armed fault registry, by point.")
+		for _, p := range fault.Points() {
+			if st, ok := stats[p]; ok {
+				fmt.Fprintf(&sb, "sqe_fault_injected_total{point=%q} %d\n", string(p), st.Faults())
+			}
+		}
+		counter("sqe_fault_delays_total", "Latency injections by the armed fault registry, by point.")
+		for _, p := range fault.Points() {
+			if st, ok := stats[p]; ok {
+				fmt.Fprintf(&sb, "sqe_fault_delays_total{point=%q} %d\n", string(p), st.Delays)
+			}
+		}
+	}
 
 	counter("sqe_pipeline_queries_total", "SQE pipeline executions served.")
 	fmt.Fprintf(&sb, "sqe_pipeline_queries_total %d\n", ps.Queries)

@@ -32,6 +32,7 @@ import (
 	"time"
 
 	sqe "repro"
+	"repro/internal/fault"
 )
 
 // Config parameterises the server. Engine is required; zero values for
@@ -50,6 +51,9 @@ type Config struct {
 	// MaxInFlight bounds concurrently evaluating work requests; excess
 	// requests are shed immediately with 429 (default 64; <0 disables).
 	MaxInFlight int
+	// MaxBodyBytes caps a work request's body; oversized bodies are
+	// rejected with 413 (default 1 MiB; <0 disables).
+	MaxBodyBytes int64
 }
 
 func (c Config) withDefaults() Config {
@@ -64,6 +68,9 @@ func (c Config) withDefaults() Config {
 	}
 	if c.MaxInFlight == 0 {
 		c.MaxInFlight = 64
+	}
+	if c.MaxBodyBytes == 0 {
+		c.MaxBodyBytes = 1 << 20
 	}
 	return c
 }
@@ -88,6 +95,14 @@ type Server struct {
 	shed     atomic.Int64
 	timeouts atomic.Int64
 	inFlight atomic.Int64
+
+	// Degradation counters, folded from SearchResponse.Degraded by every
+	// work request that goes through runDo.
+	degraded      atomic.Int64 // responses whose results were degraded
+	degRetries    atomic.Int64 // transient-fault stage retries
+	degFallbacks  atomic.Int64 // expansions replaced by the raw query
+	droppedShards atomic.Int64 // shard results missing from merges
+	droppedRuns   atomic.Int64 // SQE_C run lists missing from splices
 
 	// mu guards the aggregated pipeline stats fed by every search and
 	// baseline request (the same counters sqe-bench reports per run).
@@ -136,9 +151,36 @@ func writeJSON(w http.ResponseWriter, status int, v any) {
 // abandoned by the client; no standard constant exists.
 const statusClientClosedRequest = 499
 
+// degrader lets work surface a response's degradation in the X-SQE-
+// Degraded header without knowing each endpoint's response shape.
+type degrader interface {
+	degradation() *sqe.Degradation
+}
+
+// DegradedHeader is the response header set when a 200 response's
+// results were degraded (shards or runs dropped, expansion replaced).
+// Its value is a compact summary, e.g. "shards=1 runs=T".
+const DegradedHeader = "X-SQE-Degraded"
+
+// degradedHeaderValue renders the compact header summary.
+func degradedHeaderValue(d *sqe.Degradation) string {
+	var parts []string
+	if len(d.DroppedShards) > 0 {
+		parts = append(parts, fmt.Sprintf("shards=%d", len(d.DroppedShards)))
+	}
+	if len(d.DroppedRuns) > 0 {
+		parts = append(parts, "runs="+strings.Join(d.DroppedRuns, ","))
+	}
+	if d.ExpansionFallbacks > 0 {
+		parts = append(parts, fmt.Sprintf("expansion_fallback=%d", d.ExpansionFallbacks))
+	}
+	return strings.Join(parts, " ")
+}
+
 // work wraps a handler with the serving policies: method check,
-// max-in-flight shedding, the per-request timeout, counters, and the
-// mapping from context errors to HTTP statuses.
+// max-in-flight shedding, the body-size cap, the per-request timeout,
+// counters, the mapping from context/fault errors to HTTP statuses, and
+// the degraded-response header.
 func (s *Server) work(st *endpointStats, h func(context.Context, *http.Request) (any, error)) http.HandlerFunc {
 	return func(w http.ResponseWriter, r *http.Request) {
 		st.requests.Add(1)
@@ -146,6 +188,9 @@ func (s *Server) work(st *endpointStats, h func(context.Context, *http.Request) 
 			st.errors.Add(1)
 			writeJSON(w, http.StatusMethodNotAllowed, apiError{"use GET or POST"})
 			return
+		}
+		if s.cfg.MaxBodyBytes > 0 && r.Body != nil {
+			r.Body = http.MaxBytesReader(w, r.Body, s.cfg.MaxBodyBytes)
 		}
 		if s.limiter != nil {
 			select {
@@ -172,6 +217,7 @@ func (s *Server) work(st *endpointStats, h func(context.Context, *http.Request) 
 		resp, err := h(ctx, r)
 		if err != nil {
 			st.errors.Add(1)
+			var tooBig *http.MaxBytesError
 			switch {
 			case errors.Is(err, context.DeadlineExceeded):
 				s.timeouts.Add(1)
@@ -179,13 +225,33 @@ func (s *Server) work(st *endpointStats, h func(context.Context, *http.Request) 
 			case errors.Is(err, context.Canceled):
 				// The client is gone; the status is for the access log.
 				writeJSON(w, statusClientClosedRequest, apiError{"client closed request"})
+			case errors.As(err, &tooBig):
+				writeJSON(w, http.StatusRequestEntityTooLarge,
+					apiError{fmt.Sprintf("request body exceeds %d bytes", tooBig.Limit)})
+			case isBackendFailure(err):
+				// An injected fault or contained panic that degradation
+				// could not absorb: the server, not the request, is the
+				// problem.
+				writeJSON(w, http.StatusServiceUnavailable, apiError{err.Error()})
 			default:
 				writeJSON(w, http.StatusBadRequest, apiError{err.Error()})
 			}
 			return
 		}
+		if dg, ok := resp.(degrader); ok {
+			if d := dg.degradation(); d.Degraded() {
+				w.Header().Set(DegradedHeader, degradedHeaderValue(d))
+			}
+		}
 		writeJSON(w, http.StatusOK, resp)
 	}
+}
+
+// isBackendFailure reports whether err is a backend fault — an injected
+// fault or a contained panic — rather than a bad request.
+func isBackendFailure(err error) bool {
+	var pe *fault.PanicError
+	return fault.IsInjected(err) || errors.As(err, &pe)
 }
 
 // request is the decoded form of a work request, from either query
@@ -222,8 +288,12 @@ func (s *Server) decodeRequest(r *http.Request) (request, error) {
 	}
 	req.Set = q.Get("set")
 	if r.Method == http.MethodPost && r.Body != nil && r.ContentLength != 0 {
-		if err := json.NewDecoder(r.Body).Decode(&req); err != nil {
-			return req, fmt.Errorf("bad JSON body: %v", err)
+		dec := json.NewDecoder(r.Body)
+		// Reject unknown fields: a typo like "entites" would otherwise
+		// silently run a different query than the client intended.
+		dec.DisallowUnknownFields()
+		if err := dec.Decode(&req); err != nil {
+			return req, fmt.Errorf("bad JSON body: %w", err)
 		}
 	}
 	if strings.TrimSpace(req.Query) == "" {
@@ -273,8 +343,15 @@ type searchResponse struct {
 	Set      string       `json:"set,omitempty"`
 	K        int          `json:"k"`
 	Results  []resultJSON `json:"results"`
-	TookMs   float64      `json:"took_ms"`
+	// Degraded reports what graceful degradation did to this request
+	// (dropped shards/runs, expansion fallbacks, retries); omitted when
+	// nothing happened. See sqe.Degradation for the field contract.
+	Degraded *sqe.Degradation `json:"degraded,omitempty"`
+	TookMs   float64          `json:"took_ms"`
 }
+
+// degradation implements degrader for the X-SQE-Degraded header.
+func (r *searchResponse) degradation() *sqe.Degradation { return r.Degraded }
 
 // recordPipeline merges one request's pipeline stats into the server
 // aggregate that /metrics exports.
@@ -295,6 +372,15 @@ func (s *Server) runDo(ctx context.Context, req sqe.SearchRequest) (*sqe.SearchR
 		return nil, err
 	}
 	s.recordPipeline(resp.Stats)
+	if d := resp.Degraded; d != nil {
+		if d.Degraded() {
+			s.degraded.Add(1)
+		}
+		s.degRetries.Add(int64(d.Retries))
+		s.degFallbacks.Add(int64(d.ExpansionFallbacks))
+		s.droppedShards.Add(int64(len(d.DroppedShards)))
+		s.droppedRuns.Add(int64(len(d.DroppedRuns)))
+	}
 	return resp, nil
 }
 
@@ -320,6 +406,7 @@ func (s *Server) handleSearch(ctx context.Context, r *http.Request) (any, error)
 		Set:      req.Set,
 		K:        req.K,
 		Results:  toResultJSON(resp.Results),
+		Degraded: resp.Degraded,
 		TookMs:   float64(time.Since(start).Microseconds()) / 1000,
 	}, nil
 }
@@ -335,10 +422,11 @@ func (s *Server) handleBaseline(ctx context.Context, r *http.Request) (any, erro
 		return nil, err
 	}
 	return &searchResponse{
-		Query:   req.Query,
-		K:       req.K,
-		Results: toResultJSON(resp.Results),
-		TookMs:  float64(time.Since(start).Microseconds()) / 1000,
+		Query:    req.Query,
+		K:        req.K,
+		Results:  toResultJSON(resp.Results),
+		Degraded: resp.Degraded,
+		TookMs:   float64(time.Since(start).Microseconds()) / 1000,
 	}, nil
 }
 

@@ -1,0 +1,36 @@
+package wikixml
+
+import (
+	"strings"
+	"testing"
+)
+
+// FuzzWikiXMLParse feeds arbitrary bytes to the dump importer. The
+// contract under hostile input: return an error or a result — never
+// panic, never hang (MaxPages bounds the walk) — and parse
+// deterministically.
+func FuzzWikiXMLParse(f *testing.F) {
+	f.Add(sampleDump)
+	f.Add(`<mediawiki><page><title>A</title><ns>0</ns><revision><text>[[B|b]] [[Category:C]]</text></revision></page></mediawiki>`)
+	f.Add(`<mediawiki><page><title>R</title><ns>0</ns><redirect title="A"/><revision><text>#REDIRECT [[A]]</text></revision></page></mediawiki>`)
+	f.Add(`<?xml version="1.0"?><mediawiki><page><title>Trunc`)
+	f.Add(`<page><title></title><ns>zzz</ns></page>`)
+	f.Add("no xml here")
+	f.Add("")
+	f.Fuzz(func(t *testing.T, data string) {
+		res, err := Parse(strings.NewReader(data), Options{MaxPages: 64})
+		if err != nil {
+			return // rejecting garbage is fine; panicking is not
+		}
+		if res == nil {
+			t.Fatal("nil result with nil error")
+		}
+		again, err := Parse(strings.NewReader(data), Options{MaxPages: 64})
+		if err != nil {
+			t.Fatalf("accepted once, rejected on re-parse: %v", err)
+		}
+		if again.Stats != res.Stats {
+			t.Fatalf("non-deterministic parse: stats %+v then %+v", res.Stats, again.Stats)
+		}
+	})
+}

@@ -9,6 +9,7 @@ import (
 	"time"
 
 	"repro/internal/core"
+	"repro/internal/fault"
 	"repro/internal/prf"
 	"repro/internal/search"
 )
@@ -87,8 +88,16 @@ type SearchResponse struct {
 	Stats *PipelineStats
 	// Expansion is the expansion used to build the final query: the
 	// single run's for an explicit MotifSet, the combined (T&S) run's
-	// for SQE_C. Nil for Baseline requests, which expand nothing.
+	// for SQE_C. Nil for Baseline requests, which expand nothing — and
+	// for requests whose expansion was degraded to the unexpanded
+	// query (see Degraded.ExpansionFallbacks), or whose T&S run was
+	// dropped from an SQE_C splice.
 	Expansion *Expansion
+	// Degraded reports what graceful degradation did to this request:
+	// dropped shards or SQE_C runs, expansion fallbacks, transient-
+	// fault retries. Nil when nothing happened — always nil on engines
+	// built without WithDegradation.
+	Degraded *Degradation
 }
 
 // Do runs one retrieval through the SQE pipeline. It is the primary
@@ -107,15 +116,19 @@ func (e *Engine) Do(ctx context.Context, req SearchRequest) (*SearchResponse, er
 	if req.CollectStats {
 		ps = &PipelineStats{}
 	}
+	var deg *Degradation
+	if e.degrade != nil {
+		deg = &Degradation{}
+	}
 	resp := &SearchResponse{}
 	var err error
 	switch {
 	case req.Baseline:
-		resp.Results, err = e.doBaseline(ctx, req.Query, req.K, req.PRF, ps)
+		resp.Results, err = e.doBaseline(ctx, req.Query, req.K, req.PRF, ps, deg)
 	case req.MotifSet == 0:
-		resp.Results, resp.Expansion, err = e.doC(ctx, req.Query, req.EntityTitles, req.K, ps)
+		resp.Results, resp.Expansion, err = e.doC(ctx, req.Query, req.EntityTitles, req.K, ps, deg)
 	default:
-		resp.Results, resp.Expansion, err = e.doSet(ctx, req.MotifSet, req.Query, req.EntityTitles, req.K, req.PRF, ps)
+		resp.Results, resp.Expansion, err = e.doSet(ctx, req.MotifSet, req.Query, req.EntityTitles, req.K, req.PRF, ps, deg)
 	}
 	if err != nil {
 		return nil, err
@@ -124,14 +137,18 @@ func (e *Engine) Do(ctx context.Context, req SearchRequest) (*SearchResponse, er
 		ps.Queries++
 		resp.Stats = ps
 	}
+	if deg != nil && !deg.empty() {
+		resp.Degraded = deg
+	}
 	return resp, nil
 }
 
 // doSet runs one motif configuration end to end: entity resolution,
 // (cached) motif expansion, three-part query construction, optional PRF
 // reformulation, retrieval. Stage timings and evaluator counters
-// accumulate into ps when non-nil.
-func (e *Engine) doSet(ctx context.Context, set MotifSet, query string, entityTitles []string, k int, prfCfg *PRFConfig, ps *PipelineStats) ([]Result, *Expansion, error) {
+// accumulate into ps when non-nil; degradation events accumulate into
+// deg when non-nil (see Engine.buildQuery and Engine.retrieve).
+func (e *Engine) doSet(ctx context.Context, set MotifSet, query string, entityTitles []string, k int, prfCfg *PRFConfig, ps *PipelineStats, deg *Degradation) ([]Result, *Expansion, error) {
 	start := time.Now()
 	nodes, err := e.resolveEntities(query, entityTitles)
 	if ps != nil {
@@ -143,9 +160,10 @@ func (e *Engine) doSet(ctx context.Context, set MotifSet, query string, entityTi
 	if err := ctx.Err(); err != nil {
 		return nil, nil, err
 	}
-	qg := e.expander.BuildQueryGraphCachedStats(nodes, set, e.cache, ps)
-	exp := e.expansionOf(qg)
-	node := e.expander.BuildQueryStats(query, qg, ps)
+	node, exp, err := e.buildQuery(ctx, query, nodes, set, ps, deg)
+	if err != nil {
+		return nil, nil, err
+	}
 	if prfCfg != nil {
 		// The feedback pass is a small fixed-depth retrieval over the
 		// unsharded searcher; it contributes to query construction, not
@@ -156,12 +174,16 @@ func (e *Engine) doSet(ctx context.Context, set MotifSet, query string, entityTi
 			ps.Stages.QueryBuild += time.Since(start)
 		}
 	}
-	res, err := e.retrieveTimed(ctx, node, k, ps)
+	res, err := e.retrieveTimed(ctx, node, k, ps, deg)
 	if err != nil {
 		return nil, nil, err
 	}
 	return res, exp, nil
 }
+
+// sqecRunNames are the paper's names for SQE_C's runs, in splice order;
+// Degradation.DroppedRuns uses them.
+var sqecRunNames = [3]string{"T", "TS", "S"}
 
 // doC runs the paper's SQE_C combination: three independent runs (T,
 // T&S, S) spliced at ranks 5 and 200. With the engine's worker count
@@ -169,14 +191,41 @@ func (e *Engine) doSet(ctx context.Context, set MotifSet, query string, entityTi
 // semaphore; per-run stats are accumulated privately and merged in run
 // order, so output and stats are byte-identical to the sequential path.
 // The returned Expansion is the combined (T&S) run's.
-func (e *Engine) doC(ctx context.Context, query string, entityTitles []string, k int, ps *PipelineStats) ([]Result, *Expansion, error) {
+//
+// With degradation enabled each run is guarded (fault hook, panic
+// containment, transient retry), and under PartialSQEC a failed run is
+// dropped from the splice — the survivors still cover their rank bands,
+// and Degradation.DroppedRuns names the missing lists. All three runs
+// failing fails the request with the first run's error.
+func (e *Engine) doC(ctx context.Context, query string, entityTitles []string, k int, ps *PipelineStats, deg *Degradation) ([]Result, *Expansion, error) {
 	var runs [3][]Result
 	var exps [3]*Expansion
 	var errs [3]error
+	// Each run records degradation privately; the records merge in run
+	// order below, so parallel and sequential SQE_C report identically.
+	var degs [3]*Degradation
+	runOne := func(i int, set MotifSet, ps *PipelineStats) {
+		if deg == nil {
+			runs[i], exps[i], errs[i] = e.doSet(ctx, set, query, entityTitles, k, nil, ps, nil)
+			return
+		}
+		degs[i] = &Degradation{}
+		errs[i] = retryTransient(ctx, e.degrade, degs[i], func() error {
+			return guardPanic(func() error {
+				if err := fault.Check(fault.SQECRun); err != nil {
+					return err
+				}
+				var err error
+				runs[i], exps[i], err = e.doSet(ctx, set, query, entityTitles, k, nil, ps, degs[i])
+				return err
+			})
+		})
+	}
+	partial := deg != nil && e.degrade.PartialSQEC
 	if e.workers <= 1 {
 		for i, set := range sqecSets {
-			runs[i], exps[i], errs[i] = e.doSet(ctx, set, query, entityTitles, k, nil, ps)
-			if errs[i] != nil {
+			runOne(i, set, ps)
+			if errs[i] != nil && !partial {
 				return nil, nil, errs[i]
 			}
 		}
@@ -192,7 +241,7 @@ func (e *Engine) doC(ctx context.Context, query string, entityTitles []string, k
 				defer wg.Done()
 				e.sem <- struct{}{}
 				defer func() { <-e.sem }()
-				runs[i], exps[i], errs[i] = e.doSet(ctx, set, query, entityTitles, k, nil, pss[i])
+				runOne(i, set, pss[i])
 			}(i, set)
 		}
 		wg.Wait()
@@ -201,11 +250,34 @@ func (e *Engine) doC(ctx context.Context, query string, entityTitles []string, k
 				ps.Add(p)
 			}
 		}
+	}
+	if deg != nil {
+		for _, d := range degs {
+			deg.add(d)
+		}
+	}
+	var firstErr error
+	failed := 0
+	for _, err := range errs {
+		if err != nil {
+			failed++
+			if firstErr == nil {
+				firstErr = err
+			}
+		}
+	}
+	if firstErr != nil {
 		// First error in run order, so parallel failures are reported
-		// identically to sequential ones.
-		for _, err := range errs {
+		// identically to sequential ones. A cancelled parent context is
+		// the caller's signal and is never degraded into a partial
+		// splice; neither is a request with no surviving run.
+		if !partial || failed == len(errs) || ctx.Err() != nil {
+			return nil, nil, firstErr
+		}
+		for i, err := range errs {
 			if err != nil {
-				return nil, nil, err
+				runs[i], exps[i] = nil, nil
+				deg.DroppedRuns = append(deg.DroppedRuns, sqecRunNames[i])
 			}
 		}
 	}
@@ -214,7 +286,7 @@ func (e *Engine) doC(ctx context.Context, query string, entityTitles []string, k
 
 // doBaseline runs the plain query-likelihood baseline (QL_Q), optionally
 // with PRF on top.
-func (e *Engine) doBaseline(ctx context.Context, query string, k int, prfCfg *PRFConfig, ps *PipelineStats) ([]Result, error) {
+func (e *Engine) doBaseline(ctx context.Context, query string, k int, prfCfg *PRFConfig, ps *PipelineStats, deg *Degradation) ([]Result, error) {
 	start := time.Now()
 	node := e.expander.QLQuery(query)
 	if prfCfg != nil {
@@ -223,7 +295,7 @@ func (e *Engine) doBaseline(ctx context.Context, query string, k int, prfCfg *PR
 	if ps != nil {
 		ps.Stages.QueryBuild += time.Since(start)
 	}
-	return e.retrieveTimed(ctx, node, k, ps)
+	return e.retrieveTimed(ctx, node, k, ps, deg)
 }
 
 // expansionOf converts the expander's query graph into the public
@@ -246,30 +318,68 @@ func (e *Engine) expansionOf(qg core.QueryGraph) *Expansion {
 // retrieve routes a retrieval to the sharded searcher when the engine
 // was built with WithShards (the legacy scorer has no sharded variant
 // and keeps the unsharded path). Results are bit-identical either way.
-func (e *Engine) retrieve(ctx context.Context, node search.Node, k int) ([]Result, error) {
+// With degradation enabled (deg non-nil) the sharded path runs with
+// per-shard deadlines, transient retries and — under PartialShards —
+// partial merges, while the unsharded path gets panic containment and
+// transient retries (there is no partial result to salvage from a
+// single index).
+func (e *Engine) retrieve(ctx context.Context, node search.Node, k int, deg *Degradation) ([]Result, error) {
 	if e.sharded != nil && !e.searcher.UseLegacyScorer {
+		if deg != nil && e.degrade != nil {
+			res, pi, err := e.sharded.SearchDegraded(ctx, node, k, e.searchDegradeOptions())
+			deg.absorb(pi)
+			return res, err
+		}
 		return e.sharded.SearchContext(ctx, node, k)
+	}
+	if deg != nil && e.degrade != nil {
+		var res []Result
+		err := retryTransient(ctx, e.degrade, deg, func() error {
+			return guardPanic(func() error {
+				var err error
+				res, err = e.searcher.SearchContext(ctx, node, k)
+				return err
+			})
+		})
+		return res, err
 	}
 	return e.searcher.SearchContext(ctx, node, k)
 }
 
 // retrieveStats is retrieve with evaluator instrumentation (including
 // per-shard timings on a sharded engine).
-func (e *Engine) retrieveStats(ctx context.Context, node search.Node, k int) ([]Result, SearchStats, error) {
+func (e *Engine) retrieveStats(ctx context.Context, node search.Node, k int, deg *Degradation) ([]Result, SearchStats, error) {
 	if e.sharded != nil && !e.searcher.UseLegacyScorer {
+		if deg != nil && e.degrade != nil {
+			res, st, pi, err := e.sharded.SearchDegradedWithStats(ctx, node, k, e.searchDegradeOptions())
+			deg.absorb(pi)
+			return res, st, err
+		}
 		return e.sharded.SearchWithStatsContext(ctx, node, k)
+	}
+	if deg != nil && e.degrade != nil {
+		var res []Result
+		var st SearchStats
+		err := retryTransient(ctx, e.degrade, deg, func() error {
+			return guardPanic(func() error {
+				var err error
+				res, st, err = e.searcher.SearchWithStatsContext(ctx, node, k)
+				return err
+			})
+		})
+		return res, st, err
 	}
 	return e.searcher.SearchWithStatsContext(ctx, node, k)
 }
 
 // retrieveTimed runs the routed retrieval, attributing wall-clock and
 // evaluator counters to ps when non-nil.
-func (e *Engine) retrieveTimed(ctx context.Context, node search.Node, k int, ps *PipelineStats) ([]Result, error) {
+func (e *Engine) retrieveTimed(ctx context.Context, node search.Node, k int, ps *PipelineStats, deg *Degradation) ([]Result, error) {
 	if ps == nil {
-		return e.retrieve(ctx, node, k)
+		return e.retrieve(ctx, node, k, deg)
 	}
 	start := time.Now()
-	res, st, err := e.retrieveStats(ctx, node, k)
+	res, st, err := e.retrieveStats(ctx, node, k, deg)
 	ps.Stages.Retrieval += time.Since(start)
 	ps.Search.Add(st)
 	ps.Retrievals++

@@ -111,8 +111,9 @@ func TestDoParityWithDeprecatedMethods(t *testing.T) {
 }
 
 // TestDoStatsParity pins the stats contracts: Do counts one query per
-// call; the deprecated set path leaves Queries to the caller; the
-// deprecated SQE_C path counts like Do.
+// call and every deprecated wrapper — the set path included — counts
+// the same way, so aggregating across entry points into one
+// PipelineStats stays coherent.
 func TestDoStatsParity(t *testing.T) {
 	e := demo(t)
 	eng := e.Engine
@@ -148,12 +149,25 @@ func TestDoStatsParity(t *testing.T) {
 	if _, err := eng.SearchSetStats(MotifTS, q.Text, q.EntityTitles, 20, &psSet); err != nil {
 		t.Fatal(err)
 	}
-	if psSet.Queries != 0 {
-		t.Fatalf("legacy set path must not count queries, got %d", psSet.Queries)
+	if psSet.Queries != 1 {
+		t.Fatalf("legacy set path must count one query like Do, got %d", psSet.Queries)
 	}
 	if psSet.Retrievals != 1 || psSet.Features != doSet.Stats.Features ||
 		psSet.Search.CandidatesExamined != doSet.Stats.Search.CandidatesExamined {
 		t.Fatalf("legacy set counters %+v != Do %+v", psSet, *doSet.Stats)
+	}
+
+	// The legacy quirk paths (k <= 0, set == 0) bypass Do but must count
+	// queries identically.
+	var psQuirk PipelineStats
+	if _, err := eng.SearchSetStats(MotifTS, q.Text, q.EntityTitles, 0, &psQuirk); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := eng.SearchSetStats(0, q.Text, q.EntityTitles, 20, &psQuirk); err != nil {
+		t.Fatal(err)
+	}
+	if psQuirk.Queries != 2 {
+		t.Fatalf("legacy quirk paths must count one query each, got %d", psQuirk.Queries)
 	}
 }
 

@@ -181,6 +181,10 @@ type Engine struct {
 	// engine is unsharded. Results are bit-identical to the unsharded
 	// searcher — see internal/search.ShardedSearcher.
 	sharded *search.ShardedSearcher
+	// degrade, when non-nil, enables graceful degradation in Do (see
+	// WithDegradation and DegradationPolicy); nil keeps the strict
+	// all-or-nothing behaviour.
+	degrade *DegradationPolicy
 }
 
 // Option configures an Engine at construction (see NewEngine).
@@ -372,7 +376,7 @@ func (e *Engine) ParseQueryContext(ctx context.Context, query string, k int) ([]
 	if err != nil {
 		return nil, err
 	}
-	return e.retrieve(ctx, node, k)
+	return e.retrieve(ctx, node, k, nil)
 }
 
 // resolveEntities maps entity titles to query nodes; unknown titles are
@@ -446,9 +450,11 @@ func (e *Engine) SearchSetStats(set MotifSet, query string, entityTitles []strin
 	return e.SearchSetStatsContext(context.Background(), set, query, entityTitles, k, ps)
 }
 
-// SearchSetStatsContext is SearchSetStats under a context. Unlike Do,
-// it leaves PipelineStats.Queries untouched (its callers historically
-// counted queries themselves).
+// SearchSetStatsContext is SearchSetStats under a context. Like Do, it
+// counts one query into PipelineStats.Queries per call. (It historically
+// left Queries to the caller while Do counted it — aggregating the two
+// entry points into one PipelineStats double- or under-counted; the
+// wrappers now share Do's behaviour.)
 //
 // Deprecated: use Do with an explicit MotifSet and CollectStats.
 func (e *Engine) SearchSetStatsContext(ctx context.Context, set MotifSet, query string, entityTitles []string, k int, ps *PipelineStats) ([]Result, error) {
@@ -456,8 +462,14 @@ func (e *Engine) SearchSetStatsContext(ctx context.Context, set MotifSet, query 
 		// Legacy quirks Do rejects or reinterprets: a non-positive k runs
 		// the pipeline and retrieves nothing, and a zero set means "no
 		// motifs", not Do's SQE_C default.
-		res, _, err := e.doSet(ctx, set, query, entityTitles, k, nil, ps)
-		return res, err
+		res, _, err := e.doSet(ctx, set, query, entityTitles, k, nil, ps, nil)
+		if err != nil {
+			return nil, err
+		}
+		if ps != nil {
+			ps.Queries++
+		}
+		return res, nil
 	}
 	resp, err := e.Do(ctx, SearchRequest{
 		Query: query, EntityTitles: entityTitles, MotifSet: set, K: k,
@@ -467,9 +479,7 @@ func (e *Engine) SearchSetStatsContext(ctx context.Context, set MotifSet, query 
 		return nil, err
 	}
 	if ps != nil {
-		st := *resp.Stats
-		st.Queries = 0
-		ps.Add(&st)
+		ps.Add(resp.Stats)
 	}
 	return resp.Results, nil
 }
@@ -515,7 +525,7 @@ func (e *Engine) SearchWithStatsContext(ctx context.Context, query string, entit
 	if k <= 0 {
 		// Legacy behaviour: the pipeline runs (and counts a query) but
 		// retrieves nothing; Do rejects non-positive k instead.
-		res, _, err := e.doC(ctx, query, entityTitles, k, ps)
+		res, _, err := e.doC(ctx, query, entityTitles, k, ps, nil)
 		if err != nil {
 			return nil, err
 		}
@@ -550,7 +560,7 @@ func (e *Engine) BaselineSearch(query string, k int) ([]Result, error) {
 // Deprecated: use Do with Baseline set.
 func (e *Engine) BaselineSearchContext(ctx context.Context, query string, k int) ([]Result, error) {
 	if k <= 0 {
-		return e.doBaseline(ctx, query, k, nil, nil)
+		return e.doBaseline(ctx, query, k, nil, nil, nil)
 	}
 	resp, err := e.Do(ctx, SearchRequest{Query: query, K: k, Baseline: true})
 	if err != nil {
@@ -574,7 +584,7 @@ func (e *Engine) SearchPRF(set MotifSet, query string, entityTitles []string, cf
 //
 // Deprecated: use Do with an explicit MotifSet and PRF.
 func (e *Engine) SearchPRFContext(ctx context.Context, set MotifSet, query string, entityTitles []string, cfg PRFConfig, k int) ([]Result, error) {
-	res, _, err := e.doSet(ctx, set, query, entityTitles, k, normalizePRF(cfg), nil)
+	res, _, err := e.doSet(ctx, set, query, entityTitles, k, normalizePRF(cfg), nil, nil)
 	return res, err
 }
 
@@ -592,7 +602,7 @@ func (e *Engine) BaselineSearchPRF(query string, cfg PRFConfig, k int) ([]Result
 //
 // Deprecated: use Do with Baseline and PRF.
 func (e *Engine) BaselineSearchPRFContext(ctx context.Context, query string, cfg PRFConfig, k int) ([]Result, error) {
-	return e.doBaseline(ctx, query, k, normalizePRF(cfg), nil)
+	return e.doBaseline(ctx, query, k, normalizePRF(cfg), nil, nil)
 }
 
 // normalizePRF maps the out-of-range PRF values the legacy methods
