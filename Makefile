@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: build test race vet fmt bench bench-shards bench-pruning bench-check shard-parity serve-smoke chaos fuzz verify
+.PHONY: build test race vet fmt bench bench-shards bench-pruning bench-expansion bench-check shard-parity serve-smoke precompute-smoke chaos fuzz verify
 
 build:
 	$(GO) build ./...
@@ -37,6 +37,13 @@ bench-shards:
 bench-pruning:
 	$(GO) run ./cmd/sqe-bench -scale small -exp pruning -pruning-json BENCH_pruning.json
 
+# Cold vs warm-LRU vs precomputed-store expansion latency on the
+# expanded-query workload, with the store round-tripped through its
+# binary format; regenerates the committed BENCH_expansion.json
+# artifact that bench-check gates on (>=10x store-vs-cold floor).
+bench-expansion:
+	$(GO) run ./cmd/sqe-bench -scale small -exp expansion -expansion-json BENCH_expansion.json
+
 # The benchmark regression gate: validates the committed BENCH_*.json
 # artifacts (bit-identity flags, >=2x documents-scored reduction) and
 # re-runs the pruning bench to demand its deterministic counters match
@@ -54,6 +61,19 @@ shard-parity:
 # checks, including per-shard metrics) and exits.
 serve-smoke:
 	$(GO) run ./cmd/sqe-serve -smoke -shards 4
+
+# The offline-precompute gate: builds an expansion store over the tiny
+# demo KB (with self-check: every stored entry re-verified against live
+# expansion), then boots sqe-serve with the store attached — once
+# uncached so the store serves lookups directly, once with the default
+# cache so boot-time warming is exercised — and demands byte-identical
+# results vs live expansion over every demo query (see runSmoke's
+# precomputed check in cmd/sqe-serve).
+precompute-smoke:
+	$(GO) run ./cmd/sqe-precompute -scale small -out /tmp/sqe-precompute-smoke.store -force -selfcheck
+	$(GO) run ./cmd/sqe-serve -smoke -cache 0 -precomputed /tmp/sqe-precompute-smoke.store
+	$(GO) run ./cmd/sqe-serve -smoke -shards 2 -precomputed /tmp/sqe-precompute-smoke.store
+	@rm -f /tmp/sqe-precompute-smoke.store
 
 # The chaos gate: the fault-injection registry's unit tests plus the
 # chaos harness (seeded random faults at every registered point against
@@ -73,5 +93,5 @@ fuzz:
 	$(GO) test -fuzz FuzzIndexDecode -fuzztime 30s -run '^$$' ./internal/index/
 
 # The full gate run before every commit.
-verify: vet fmt build race test shard-parity bench-check serve-smoke chaos
+verify: vet fmt build race test shard-parity bench-check serve-smoke precompute-smoke chaos
 	@echo "verify: OK"

@@ -1,8 +1,8 @@
 // Command bench-check is the repository's benchmark regression gate,
 // run by `make verify`. It validates the committed benchmark artifacts
-// (BENCH_pruning.json, BENCH_shards.json) and — unless -fresh=false —
-// re-runs the pruning bench to compare its DETERMINISTIC counters
-// against the committed numbers.
+// (BENCH_pruning.json, BENCH_shards.json, BENCH_expansion.json) and —
+// unless -fresh=false — re-runs the pruning bench to compare its
+// DETERMINISTIC counters against the committed numbers.
 //
 // What is gated, and how hard:
 //
@@ -17,6 +17,11 @@
 //     artifact: the synthetic environment is seeded, so any drift
 //     means evaluator behaviour changed without regenerating the
 //     artifact (`make bench-pruning`).
+//   - The precomputed-expansion store's lookup speedup is a hard floor
+//     (-min-store-speedup, default 10x): the store exists to make
+//     expansion a hash lookup, and a lookup in the cold-expansion cost
+//     class means the subsystem regressed. The ratio comes from one
+//     machine in one run, so load largely cancels out of it.
 //   - Wall-clock gets only a wide sanity band (-max-slowdown, default
 //     3x, fresh run only): ns/query on a loaded CI box routinely
 //     swings 2x either way, so the band exists to catch catastrophic
@@ -43,7 +48,9 @@ func main() {
 	log.SetPrefix("bench-check: ")
 	pruningPath := flag.String("pruning", "BENCH_pruning.json", "committed pruning bench artifact")
 	shardsPath := flag.String("shards", "BENCH_shards.json", "committed shard bench artifact")
+	expansionPath := flag.String("expansion", "BENCH_expansion.json", "committed expansion bench artifact")
 	minReduction := flag.Float64("min-reduction", 2.0, "documents-scored reduction floor every model must sustain")
+	minStoreSpeedup := flag.Float64("min-store-speedup", 10.0, "precomputed-store lookup must beat cold expansion by at least this factor")
 	maxSlowdown := flag.Float64("max-slowdown", 3.0, "fresh-run wall-clock band: pruned ns/query must stay under full x this")
 	fresh := flag.Bool("fresh", true, "re-run the pruning bench and compare deterministic counters")
 	flag.Parse()
@@ -98,6 +105,29 @@ func main() {
 		} else {
 			ok("%s/S=%d: identical to unsharded", *shardsPath, row.Shards)
 		}
+	}
+
+	// Committed expansion artifact: byte-identity of the lookup paths is
+	// absolute; the store-vs-cold speedup is a ratio measured on one
+	// machine in one run (load cancels out of the ratio), so it gets a
+	// hard floor rather than an exact match. No fresh re-run: the bench
+	// has no deterministic work counters beyond the identity flag, and
+	// the serving-layer parity is exercised by `make precompute-smoke`.
+	var expansion experiments.ExpansionBenchResult
+	if err := loadJSON(*expansionPath, &expansion); err != nil {
+		log.Fatal(err)
+	}
+	switch {
+	case !expansion.Identical:
+		fail("%s: committed run's lookup paths were not bit-identical to cold expansion", *expansionPath)
+	case expansion.Entries == 0 || expansion.Workload == 0:
+		fail("%s: empty workload (%d pairs, %d entries)", *expansionPath, expansion.Workload, expansion.Entries)
+	case expansion.SpeedupStoreVsCold < *minStoreSpeedup:
+		fail("%s: precomputed lookup only %.1fx faster than cold expansion — below the %.1fx floor",
+			*expansionPath, expansion.SpeedupStoreVsCold, *minStoreSpeedup)
+	default:
+		ok("%s: bit-identical, store %.1fx and warm LRU %.1fx vs cold (floor %.1fx)",
+			*expansionPath, expansion.SpeedupStoreVsCold, expansion.SpeedupLRUVsCold, *minStoreSpeedup)
 	}
 
 	// Fresh run: regenerate the seeded environment and demand the

@@ -3,9 +3,10 @@
 //
 // Usage:
 //
-//	sqe-bench [-scale small|default] [-exp all|fig2|tab1|fig5|tab2|fig6|tab3|tab4|stages|shards|pruning]
+//	sqe-bench [-scale small|default] [-exp all|fig2|tab1|fig5|tab2|fig6|tab3|tab4|stages|shards|pruning|expansion]
 //	          [-shards 1,2,4,8] [-shards-json BENCH_shards.json]
 //	          [-pruning-json BENCH_pruning.json]
+//	          [-expansion-json BENCH_expansion.json]
 package main
 
 import (
@@ -24,11 +25,12 @@ func main() {
 	log.SetFlags(0)
 	log.SetPrefix("sqe-bench: ")
 	scaleFlag := flag.String("scale", "default", "environment scale: small|default")
-	expFlag := flag.String("exp", "all", "experiment: all or substring list of fig2,tab1,fig5,tab2,fig6,tab3,tab4,stages,ablation,mining,summary,shards,pruning")
+	expFlag := flag.String("exp", "all", "experiment: all or substring list of fig2,tab1,fig5,tab2,fig6,tab3,tab4,stages,ablation,mining,summary,shards,pruning,expansion")
 	trecFlag := flag.String("trec", "", "directory to export TREC qrels/run files into")
 	shardsFlag := flag.String("shards", "1,2,4,8", "comma-separated shard counts for -exp shards")
 	shardsJSON := flag.String("shards-json", "", "file to write the shard bench result to as JSON")
 	pruningJSON := flag.String("pruning-json", "", "file to write the pruning bench result to as JSON")
+	expansionJSON := flag.String("expansion-json", "", "file to write the expansion bench result to as JSON")
 	flag.Parse()
 
 	scale := dataset.ScaleDefault
@@ -157,6 +159,22 @@ func main() {
 				log.Fatal(err)
 			}
 			fmt.Printf("wrote %s\n", *pruningJSON)
+		}
+	}
+	if want("expansion") {
+		// Cold vs warm-LRU vs precomputed-store expansion latency (see
+		// README "Precomputed expansions").
+		eb := experiments.ExpansionBench(suite, suite.ImageCLEF, 3)
+		fmt.Println(eb)
+		if *expansionJSON != "" {
+			data, err := eb.JSON()
+			if err != nil {
+				log.Fatal(err)
+			}
+			if err := os.WriteFile(*expansionJSON, append(data, '\n'), 0o644); err != nil {
+				log.Fatal(err)
+			}
+			fmt.Printf("wrote %s\n", *expansionJSON)
 		}
 	}
 	if *trecFlag != "" {

@@ -49,6 +49,7 @@ import (
 	"net/url"
 	"os"
 	"os/signal"
+	"reflect"
 	"strings"
 	"syscall"
 	"time"
@@ -69,6 +70,7 @@ func main() {
 	workers := flag.Int("workers", 0, "concurrent SQE_C runs engine-wide (0 = GOMAXPROCS, 1 = sequential)")
 	shards := flag.Int("shards", 1, "index shards evaluated in parallel per retrieval (1 = unsharded)")
 	degrade := flag.Bool("degrade", true, "enable graceful degradation (partial shard merges, expansion fallback, partial SQE_C, transient retries)")
+	precomputed := flag.String("precomputed", "", "path to a precomputed expansion store built by sqe-precompute (dropped with a warning if its KB hash mismatches)")
 	smoke := flag.Bool("smoke", false, "boot on an ephemeral port, self-test every endpoint, exit")
 	chaos := flag.Bool("chaos", false, "boot on an ephemeral port, hammer the work endpoints under fault injection, exit")
 	chaosSeed := flag.Int64("chaos-seed", 1, "fault-schedule seed for -chaos")
@@ -89,9 +91,20 @@ func main() {
 	if *degrade || *chaos {
 		opts = append(opts, sqe.WithDegradation(sqe.DefaultDegradation()))
 	}
+	if *precomputed != "" {
+		store, err := sqe.OpenExpansionStore(*precomputed)
+		if err != nil {
+			log.Fatalf("precomputed store: %v", err)
+		}
+		log.Printf("loaded precomputed expansion store %s (%d entries)", *precomputed, store.Len())
+		opts = append(opts, sqe.WithPrecomputedExpansions(store))
+	}
 	env, err := sqe.GenerateDemo(scale, opts...)
 	if err != nil {
 		log.Fatal(err)
+	}
+	if st, ok := env.Engine.ExpansionStoreStats(); ok && st.Stale {
+		log.Printf("WARNING: precomputed store %s was built over a different KB; dropped (serving live expansions)", *precomputed)
 	}
 	srv := serve.New(serve.Config{
 		Engine:      env.Engine,
@@ -100,7 +113,7 @@ func main() {
 	})
 
 	if *smoke {
-		if err := runSmoke(srv, env); err != nil {
+		if err := runSmoke(srv, env, *precomputed != ""); err != nil {
 			log.Fatalf("SMOKE FAIL: %v", err)
 		}
 		log.Println("SMOKE OK")
@@ -138,7 +151,11 @@ func main() {
 
 // runSmoke boots the server on an ephemeral loopback port and drives one
 // request through every endpoint, checking status and payload shape.
-func runSmoke(srv *serve.Server, env *sqe.DemoEnv) error {
+// With a precomputed store attached (hasStore) it additionally demands
+// the store be non-stale, byte-identical to live expansion over every
+// demo query, actually consulted (hits > 0), and visible in /metrics —
+// the Makefile's precompute-smoke target runs exactly this.
+func runSmoke(srv *serve.Server, env *sqe.DemoEnv, hasStore bool) error {
 	ln, err := net.Listen("tcp", "127.0.0.1:0")
 	if err != nil {
 		return err
@@ -176,7 +193,17 @@ func runSmoke(srv *serve.Server, env *sqe.DemoEnv) error {
 			return nil
 		}},
 		{"metrics", "/metrics", func(b []byte) error {
-			want := []string{"sqe_http_requests_total", "sqe_pipeline_retrievals_total", "sqe_expansion_cache_hits_total"}
+			want := []string{"sqe_http_requests_total", "sqe_pipeline_retrievals_total"}
+			if _, ok := env.Engine.ExpansionCacheStats(); ok {
+				want = append(want, "sqe_expansion_cache_hits_total")
+			}
+			if hasStore {
+				want = append(want,
+					"sqe_expansion_store_hits_total",
+					"sqe_expansion_store_misses_total",
+					"sqe_expansion_store_entries",
+					"sqe_expansion_store_stale 0")
+			}
 			if env.Engine.Shards() > 1 {
 				want = append(want, `sqe_search_shard_seconds_total{shard="0"}`)
 			}
@@ -207,6 +234,63 @@ func runSmoke(srv *serve.Server, env *sqe.DemoEnv) error {
 		}
 		log.Printf("  ok %-12s %s", c.name, c.path)
 	}
+	if hasStore {
+		if err := checkStoreParity(env); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// checkStoreParity compares the store-backed serving engine against a
+// freshly built live-expansion engine over the same graph and index:
+// every demo query, every motif configuration (SQE_C plus the three
+// explicit sets), byte-identical results. It then demands the store (or
+// the cache warmed from it) actually served lookups.
+func checkStoreParity(env *sqe.DemoEnv) error {
+	st, ok := env.Engine.ExpansionStoreStats()
+	if !ok {
+		return errors.New("precomputed: flag set but engine reports no store")
+	}
+	if st.Stale {
+		return errors.New("precomputed: store is stale for this KB")
+	}
+	live := sqe.NewEngine(env.Engine.Graph(), env.Engine.Index())
+	ctx := context.Background()
+	compared := 0
+	for i := range env.Queries {
+		q := &env.Queries[i]
+		if len(q.EntityTitles) == 0 {
+			continue
+		}
+		for _, set := range []sqe.MotifSet{0 /* SQE_C */, sqe.MotifT, sqe.MotifTS, sqe.MotifS} {
+			req := sqe.SearchRequest{Query: q.Text, EntityTitles: q.EntityTitles, MotifSet: set, K: 20}
+			want, err := live.Do(ctx, req)
+			if err != nil {
+				return fmt.Errorf("precomputed: live %s: %v", q.ID, err)
+			}
+			got, err := env.Engine.Do(ctx, req)
+			if err != nil {
+				return fmt.Errorf("precomputed: stored %s: %v", q.ID, err)
+			}
+			if !reflect.DeepEqual(want.Results, got.Results) {
+				return fmt.Errorf("precomputed: query %s set %v: store-served results differ from live expansion", q.ID, set)
+			}
+			compared++
+		}
+	}
+	if compared == 0 {
+		return errors.New("precomputed: no demo queries with entities to compare")
+	}
+	st, _ = env.Engine.ExpansionStoreStats()
+	if st.Hits == 0 {
+		// With an expansion cache configured the engine warms it from the
+		// store at boot, so lookups legitimately land there instead.
+		if cs, ok := env.Engine.ExpansionCacheStats(); !ok || cs.Hits == 0 {
+			return errors.New("precomputed: store attached but never consulted")
+		}
+	}
+	log.Printf("  ok precomputed  parity over %d request configurations (%d store hits)", compared, st.Hits)
 	return nil
 }
 

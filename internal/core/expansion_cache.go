@@ -3,9 +3,9 @@ package core
 import (
 	"container/list"
 	"encoding/binary"
+	"math"
 	"sort"
 	"sync"
-	"time"
 
 	"repro/internal/fault"
 	"repro/internal/kb"
@@ -22,16 +22,14 @@ import (
 // The cache is a sharded LRU: the key hashes to one of the shards, each
 // shard holds its own mutex, recency list and map, so concurrent
 // requests rarely contend on the same lock. Entries are keyed by the
-// *sorted* query-node set plus the motif set and the expander knobs that
-// change the output (MaxFeatures, UniformFeatureWeights) — permutations
-// of the same entity set share one cached expansion. A hit returns the
-// stored QueryGraph verbatim (shared slices, bit-identical to the miss
-// that populated it); callers must treat cached graphs as immutable,
-// which every consumer of BuildQueryGraph already does.
-//
-// Toggling matcher-level ablations (reciprocity, category conditions)
-// changes expansion output without changing the key; do that only with a
-// fresh cache (or none), as the experiments code does.
+// *sorted* query-node list plus the motif set and the complete expander
+// configuration (see ExpansionKey) — permutations of the same entity
+// set share one cached expansion, while toggling any knob that shapes
+// the output (including the matcher-level reciprocity and category
+// ablations) changes the key and misses. A hit returns the stored
+// QueryGraph verbatim (shared slices, bit-identical to the miss that
+// populated it); callers must treat cached graphs as immutable, which
+// every consumer of BuildQueryGraph already does.
 type ExpansionCache struct {
 	shards [cacheShards]cacheShard
 }
@@ -72,18 +70,26 @@ func (s *CacheStats) Add(o CacheStats) {
 	s.Entries += o.Entries
 }
 
-// NewExpansionCache returns a cache bounded to capacity entries in
-// total. capacity < cacheShards is rounded up so every shard can hold at
-// least one entry.
+// NewExpansionCache returns a cache bounded to exactly capacity entries
+// in total: each shard gets ⌊capacity/16⌋ and the remainder is spread
+// one entry each over the first capacity%16 shards. (Rounding every
+// shard up, as this used to do, let a cache bounded to N hold up to
+// 16·⌈N/16⌉ entries — 16x the bound for N<16.) Shards whose share is
+// zero cache nothing; keys hashing there rebuild their expansion every
+// time, which only costs work, never correctness.
 func NewExpansionCache(capacity int) *ExpansionCache {
-	perShard := (capacity + cacheShards - 1) / cacheShards
-	if perShard < 1 {
-		perShard = 1
+	if capacity < 0 {
+		capacity = 0
 	}
+	base, rem := capacity/cacheShards, capacity%cacheShards
 	c := &ExpansionCache{}
 	for i := range c.shards {
+		per := base
+		if i < rem {
+			per++
+		}
 		c.shards[i] = cacheShard{
-			capacity: perShard,
+			capacity: per,
 			ll:       list.New(),
 			entries:  make(map[string]*list.Element),
 		}
@@ -135,6 +141,11 @@ func (c *ExpansionCache) Put(key string, qg QueryGraph) {
 		return
 	}
 	s := c.shard(key)
+	if s.capacity == 0 {
+		// This shard's share of the total bound is zero (capacity < 16);
+		// storing anything would exceed the cache's advertised size.
+		return
+	}
 	s.mu.Lock()
 	defer s.mu.Unlock()
 	if el, ok := s.entries[key]; ok {
@@ -181,19 +192,49 @@ func (c *ExpansionCache) Stats() CacheStats {
 	return st
 }
 
-// expansionKey encodes (sorted query nodes, motif set, output-shaping
-// expander knobs) into a compact string key.
-func (e *Expander) expansionKey(queryNodes []kb.NodeID, set motif.Set) string {
+// ExpansionKey encodes (sorted query nodes, motif set, complete
+// expander configuration) into a compact string key. The completeness
+// invariant: every knob that can change what this Expander produces for
+// queryNodes is in the key, so an entry can never be served under a
+// configuration other than the one that built it — the property that
+// lets keys outlive the process in the precomputed expansion store
+// (DESIGN.md §5h). Concretely the key covers:
+//
+//   - the motif set and the sorted query-node list. Duplicate nodes are
+//     deliberately kept: BuildQueryGraph([a,a,b]) differs from
+//     BuildQueryGraph([a,b]) — the repeated node's motif instances are
+//     counted once per occurrence and its title enters the entity part
+//     twice — so [a,a,b] and [a,b] must not share an entry (see
+//     TestExpansionKeyKeepsDuplicateNodes).
+//   - the expander knobs MaxFeatures and UniformFeatureWeights, which
+//     shape the feature list itself.
+//   - the matcher ablation switches (RequireReciprocal, UseCategories),
+//     which change Expand's output. These used to be missing — toggling
+//     an ablation against a live cache silently returned stale graphs.
+//   - the part Weights and TitleWindowSlack. These shape BuildQuery,
+//     not the stored QueryGraph, but keying them means one key string
+//     fully identifies the expansion configuration an entry was built
+//     under — the conservative choice for entries that outlive a
+//     process and may be consulted by a differently-configured server.
+//     Weights are keyed in normalized form, so the zero value and the
+//     explicit default weights share entries, as they share behaviour.
+func (e *Expander) ExpansionKey(queryNodes []kb.NodeID, set motif.Set) string {
 	sorted := append([]kb.NodeID(nil), queryNodes...)
 	sort.Slice(sorted, func(i, j int) bool { return sorted[i] < sorted[j] })
-	buf := make([]byte, 0, 2+10+4*len(sorted))
+	buf := make([]byte, 0, 2+20+24+4*len(sorted))
 	buf = append(buf, byte(set))
 	flags := byte(0)
 	if e.UniformFeatureWeights {
-		flags = 1
+		flags |= 1
 	}
+	flags |= e.matcher.ConditionBits() << 1
 	buf = append(buf, flags)
 	buf = binary.AppendVarint(buf, int64(e.MaxFeatures))
+	buf = binary.AppendVarint(buf, int64(e.TitleWindowSlack))
+	w := e.Weights.normalized()
+	for _, f := range [3]float64{w.Query, w.Entities, w.Expansion} {
+		buf = binary.LittleEndian.AppendUint64(buf, math.Float64bits(f))
+	}
 	for _, n := range sorted {
 		buf = binary.AppendVarint(buf, int64(n))
 	}
@@ -201,29 +242,21 @@ func (e *Expander) expansionKey(queryNodes []kb.NodeID, set motif.Set) string {
 }
 
 // canonicalGraph returns qg in the cache's canonical storage form:
-// query nodes sorted ascending, features in SortFeatures order
-// (descending weight, ascending article). BuildQueryGraph already
-// emits canonical features, so the sort is a defensive no-op there;
-// slices are copied only when they actually need reordering, and the
-// input graph is never mutated.
+// query nodes sorted ascending, features exactly as BuildQueryGraph
+// emitted them. The feature order is already canonical by construction
+// — motif.foldMatches sums instance counts across query nodes and sorts
+// by (|m_a| desc, article asc), so the slice is a pure function of the
+// node *multiset*, independent of the caller's permutation. It must be
+// stored verbatim, not re-sorted: under UniformFeatureWeights every
+// weight collapses to 1 and a weight-major re-sort would scramble the
+// |m_a| order, perturbing the downstream floating-point summation order
+// and breaking hit/miss byte-identity at the ULP level.
 func canonicalGraph(qg QueryGraph) QueryGraph {
 	nodeLess := func(i, j int) bool { return qg.QueryNodes[i] < qg.QueryNodes[j] }
 	if !sort.SliceIsSorted(qg.QueryNodes, nodeLess) {
 		sorted := append([]kb.NodeID(nil), qg.QueryNodes...)
 		sort.Slice(sorted, func(i, j int) bool { return sorted[i] < sorted[j] })
 		qg.QueryNodes = sorted
-	}
-	fs := qg.Features
-	featLess := func(i, j int) bool {
-		if fs[i].Weight != fs[j].Weight {
-			return fs[i].Weight > fs[j].Weight
-		}
-		return fs[i].Article < fs[j].Article
-	}
-	if !sort.SliceIsSorted(fs, featLess) {
-		sorted := append([]Feature(nil), fs...)
-		SortFeatures(sorted)
-		qg.Features = sorted
 	}
 	return qg
 }
@@ -240,19 +273,7 @@ func canonicalGraph(qg QueryGraph) QueryGraph {
 // order (which fixes the entity part's child order and therefore the
 // floating-point summation order downstream) is always the caller's.
 func (e *Expander) BuildQueryGraphCached(queryNodes []kb.NodeID, set motif.Set, c *ExpansionCache) QueryGraph {
-	if c == nil {
-		return e.BuildQueryGraph(queryNodes, set)
-	}
-	key := e.expansionKey(queryNodes, set)
-	if qg, ok := c.Get(key); ok {
-		return QueryGraph{
-			QueryNodes: append([]kb.NodeID(nil), queryNodes...),
-			Features:   qg.Features,
-		}
-	}
-	qg := e.BuildQueryGraph(queryNodes, set)
-	c.Put(key, canonicalGraph(qg))
-	return qg
+	return e.BuildQueryGraphStored(queryNodes, set, c, nil)
 }
 
 // BuildQueryGraphCachedStats is BuildQueryGraphCached with the motif
@@ -260,14 +281,5 @@ func (e *Expander) BuildQueryGraphCached(queryNodes []kb.NodeID, set motif.Set, 
 // nil). Cache hits still account their (tiny) lookup time to the motif
 // stage, so stage percentages stay truthful under caching.
 func (e *Expander) BuildQueryGraphCachedStats(queryNodes []kb.NodeID, set motif.Set, c *ExpansionCache, ps *PipelineStats) QueryGraph {
-	if c == nil {
-		return e.BuildQueryGraphStats(queryNodes, set, ps)
-	}
-	start := time.Now()
-	qg := e.BuildQueryGraphCached(queryNodes, set, c)
-	if ps != nil {
-		ps.Stages.MotifSearch += time.Since(start)
-		ps.Features += len(qg.Features)
-	}
-	return qg
+	return e.BuildQueryGraphStoredStats(queryNodes, set, c, nil, ps)
 }

@@ -77,8 +77,8 @@ func TestExpansionCacheKeySeparatesSetsAndKnobs(t *testing.T) {
 func TestExpansionCachePermutationsShareEntry(t *testing.T) {
 	e, _ := cacheTestExpander(t)
 	nodes := []kb.NodeID{1, 0}
-	key1 := e.expansionKey(nodes, motif.SetTS)
-	key2 := e.expansionKey([]kb.NodeID{0, 1}, motif.SetTS)
+	key1 := e.ExpansionKey(nodes, motif.SetTS)
+	key2 := e.ExpansionKey([]kb.NodeID{0, 1}, motif.SetTS)
 	if key1 != key2 {
 		t.Errorf("permuted node sets should share a key: %q vs %q", key1, key2)
 	}
@@ -141,32 +141,54 @@ func TestExpansionCachePermutedHitMatchesColdMiss(t *testing.T) {
 	}
 }
 
-// TestCanonicalGraph pins the storage form: unsorted nodes and features
-// come back sorted without mutating the input graph's slices.
+// TestCanonicalGraph pins the storage form: unsorted nodes come back
+// sorted without mutating the input graph's slices, while the feature
+// slice is preserved verbatim — the builder's (|m_a| desc, article asc)
+// order is already canonical, and re-sorting it would scramble graphs
+// whose weights are uniform (see canonicalGraph).
 func TestCanonicalGraph(t *testing.T) {
+	feats := []Feature{
+		{Article: 5, Weight: 1},
+		{Article: 9, Weight: 4},
+		{Article: 4, Weight: 4},
+	}
 	in := QueryGraph{
 		QueryNodes: []kb.NodeID{3, 1, 2},
-		Features: []Feature{
-			{Article: 5, Weight: 1},
-			{Article: 9, Weight: 4},
-			{Article: 4, Weight: 4},
-		},
+		Features:   feats,
 	}
 	got := canonicalGraph(in)
 	if want := []kb.NodeID{1, 2, 3}; !reflect.DeepEqual(got.QueryNodes, want) {
 		t.Fatalf("QueryNodes = %v, want %v", got.QueryNodes, want)
 	}
-	wantF := []Feature{{Article: 4, Weight: 4}, {Article: 9, Weight: 4}, {Article: 5, Weight: 1}}
-	if !reflect.DeepEqual(got.Features, wantF) {
-		t.Fatalf("Features = %+v, want %+v", got.Features, wantF)
+	if &got.Features[0] != &feats[0] || !reflect.DeepEqual(got.Features, feats) {
+		t.Fatalf("Features must pass through untouched: %+v", got.Features)
 	}
-	if in.QueryNodes[0] != 3 || in.Features[0].Article != 5 {
+	if in.QueryNodes[0] != 3 {
 		t.Fatalf("canonicalGraph mutated its input: %+v", in)
 	}
 	// An already-canonical graph passes through with its slices shared.
 	again := canonicalGraph(got)
 	if &again.QueryNodes[0] != &got.QueryNodes[0] || &again.Features[0] != &got.Features[0] {
 		t.Fatal("canonical input should not be copied")
+	}
+}
+
+// TestUniformWeightsHitIsBitIdentical is the regression behind
+// canonicalGraph's no-re-sort rule: under UniformFeatureWeights every
+// weight is 1, so a weight-major re-sort in storage would reorder
+// features and perturb downstream summation order; hit and miss must
+// stay byte-identical.
+func TestUniformWeightsHitIsBitIdentical(t *testing.T) {
+	e, nodes := cacheTestExpander(t)
+	e.UniformFeatureWeights = true
+	c := NewExpansionCache(64)
+	miss := e.BuildQueryGraphCached(nodes, motif.SetTS, c)
+	hit := e.BuildQueryGraphCached(nodes, motif.SetTS, c)
+	if !reflect.DeepEqual(miss, hit) {
+		t.Fatalf("uniform-weight hit differs from miss: %+v vs %+v", miss, hit)
+	}
+	if !reflect.DeepEqual(hit, e.BuildQueryGraph(nodes, motif.SetTS)) {
+		t.Fatal("uniform-weight hit differs from uncached build")
 	}
 }
 
@@ -234,6 +256,119 @@ func TestExpansionCacheConcurrent(t *testing.T) {
 	st := c.Stats()
 	if st.Hits+st.Misses != 8*200 {
 		t.Errorf("lookups %d != 1600", st.Hits+st.Misses)
+	}
+}
+
+// TestExpansionKeyCoversEveryKnob is the regression test for the key
+// completeness invariant: flipping ANY knob that can change what the
+// expander produces — including the matcher-level ablations the key
+// used to omit — must change the key, so a live cache can never serve
+// an entry built under a different configuration.
+func TestExpansionKeyCoversEveryKnob(t *testing.T) {
+	e, nodes := cacheTestExpander(t)
+	flips := []struct {
+		name string
+		flip func(e *Expander)
+	}{
+		{"MaxFeatures", func(e *Expander) { e.MaxFeatures = 7 }},
+		{"UniformFeatureWeights", func(e *Expander) { e.UniformFeatureWeights = true }},
+		{"TitleWindowSlack", func(e *Expander) { e.TitleWindowSlack = 2 }},
+		{"Weights", func(e *Expander) { e.Weights = PartWeights{Query: 2, Entities: 1, Expansion: 1} }},
+		{"RequireReciprocal", func(e *Expander) { e.Matcher().RequireReciprocal = false }},
+		{"UseCategories", func(e *Expander) { e.Matcher().UseCategories = false }},
+	}
+	base := e.ExpansionKey(nodes, motif.SetTS)
+	for _, f := range flips {
+		e2 := NewExpander(e.graph, analysis.Standard())
+		f.flip(e2)
+		if key := e2.ExpansionKey(nodes, motif.SetTS); key == base {
+			t.Errorf("flipping %s did not change the expansion key", f.name)
+		}
+	}
+	// And through the cache: every flip must miss, never return the
+	// entry a differently-configured expander stored.
+	c := NewExpansionCache(64)
+	e.BuildQueryGraphCached(nodes, motif.SetTS, c)
+	for i, f := range flips {
+		e2 := NewExpander(e.graph, analysis.Standard())
+		f.flip(e2)
+		e2.BuildQueryGraphCached(nodes, motif.SetTS, c)
+		if st := c.Stats(); st.Misses != int64(2+i) || st.Hits != 0 {
+			t.Fatalf("after flipping %s: stats %+v, want %d misses / 0 hits", f.name, st, 2+i)
+		}
+	}
+	// The zero Weights value and the explicit defaults behave
+	// identically, so they must share a key.
+	e3 := NewExpander(e.graph, analysis.Standard())
+	e3.Weights = DefaultPartWeights
+	if e3.ExpansionKey(nodes, motif.SetTS) != base {
+		t.Error("explicit default weights should share the zero value's key")
+	}
+}
+
+// TestExpansionKeyAblationHitIsCorrect pins the end-to-end behaviour the
+// old key got wrong: build through a cache, flip a matcher ablation,
+// build again through the SAME cache — the second result must equal a
+// fresh uncached build under the flipped configuration, not the cached
+// graph from the original one.
+func TestExpansionKeyAblationHitIsCorrect(t *testing.T) {
+	e, nodes := cacheTestExpander(t)
+	c := NewExpansionCache(64)
+	withCats := e.BuildQueryGraphCached(nodes, motif.SetTS, c)
+	e.Matcher().UseCategories = false
+	got := e.BuildQueryGraphCached(nodes, motif.SetTS, c)
+	want := NewExpander(e.graph, analysis.Standard()) // fresh, no cache
+	want.Matcher().UseCategories = false
+	if fresh := want.BuildQueryGraph(nodes, motif.SetTS); !reflect.DeepEqual(got, fresh) {
+		t.Fatalf("ablation toggle served a stale cache entry: got %+v, want %+v (pre-toggle entry was %+v)",
+			got, fresh, withCats)
+	}
+}
+
+// TestExpansionKeyKeepsDuplicateNodes pins the satellite question "do
+// [a,a,b] and [a,b] expand identically?" — they do not (the duplicated
+// node's motif instances are counted per occurrence, and its title
+// enters the entity part twice), so the key must keep duplicates and
+// the two sets must not share a cache entry.
+func TestExpansionKeyKeepsDuplicateNodes(t *testing.T) {
+	e, nodes := cacheTestExpander(t)
+	a := nodes[0]
+	dup := []kb.NodeID{a, a}
+	qgOnce := e.BuildQueryGraph(nodes, motif.SetTS)
+	qgTwice := e.BuildQueryGraph(dup, motif.SetTS)
+	if len(qgOnce.Features) == 0 || len(qgTwice.Features) == 0 {
+		t.Fatal("fixture produced no expansion features")
+	}
+	if qgTwice.Features[0].Weight != 2*qgOnce.Features[0].Weight {
+		t.Fatalf("duplicate query node should double |m_a|: %v vs %v",
+			qgTwice.Features[0], qgOnce.Features[0])
+	}
+	if e.ExpansionKey(nodes, motif.SetTS) == e.ExpansionKey(dup, motif.SetTS) {
+		t.Fatal("[a] and [a,a] expand differently but share an expansion key")
+	}
+	c := NewExpansionCache(64)
+	e.BuildQueryGraphCached(nodes, motif.SetTS, c)
+	hit := e.BuildQueryGraphCached(dup, motif.SetTS, c)
+	if !reflect.DeepEqual(hit, qgTwice) {
+		t.Fatalf("duplicate-node build through cache = %+v, want %+v", hit, qgTwice)
+	}
+	if st := c.Stats(); st.Misses != 2 || st.Hits != 0 {
+		t.Fatalf("duplicate-node set shared an entry: %+v", st)
+	}
+}
+
+// TestExpansionCacheCapacityExact is the regression test for the
+// per-shard rounding bug: a cache bounded to N must hold exactly N
+// entries once saturated — not 16·⌈N/16⌉.
+func TestExpansionCacheCapacityExact(t *testing.T) {
+	for _, n := range []int{1, 10, 16, 17} {
+		c := NewExpansionCache(n)
+		for i := 0; i < 2000; i++ {
+			c.Put(fmt.Sprintf("key-%d", i), QueryGraph{})
+		}
+		if got := c.Len(); got != n {
+			t.Errorf("capacity %d: saturated cache holds %d entries", n, got)
+		}
 	}
 }
 

@@ -1,0 +1,488 @@
+package core
+
+import (
+	"bufio"
+	"encoding/binary"
+	"fmt"
+	"hash/crc32"
+	"io"
+	"math"
+	"os"
+	"path/filepath"
+	"sort"
+	"sync/atomic"
+	"time"
+
+	"repro/internal/fault"
+	"repro/internal/kb"
+	"repro/internal/motif"
+)
+
+// PrecomputedStore is the offline entity→expansion store of DESIGN.md
+// §5h: motif expansion depends only on the KB, never on the query text
+// ("Massive Query Expansion by Exploiting Graph Knowledge Bases"), so
+// expansions can be built once offline (cmd/sqe-precompute) and served
+// as a hash lookup. Entries are keyed by the complete ExpansionKey —
+// sorted entity set, motif set, and every expander/matcher knob — so a
+// store can never hand a server a graph built under a different
+// configuration: a config mismatch changes the key and simply misses.
+//
+// The store is immutable after open and safe for concurrent lookups;
+// the hit/miss counters are atomic.
+//
+// On-disk format ("SQEPX\x01"):
+//
+//	magic "SQEPX\x01"
+//	8 bytes LE: KB content hash (kb.ContentHash of the graph the
+//	            expansions were built over)
+//	uvarint record count
+//	per record:
+//	    uvarint len(key),     key bytes
+//	    uvarint len(payload), payload bytes
+//	    4 bytes LE: IEEE CRC32 over key ‖ payload
+//	EOF (trailing bytes are an error)
+//
+// payload encodes one canonical QueryGraph:
+//
+//	uvarint node count, delta-uvarint node IDs (sorted ascending,
+//	duplicates kept — see ExpansionKey)
+//	uvarint feature count, per feature: uvarint article ID,
+//	8 bytes LE float64 bits of the weight (bit-exact round-trip)
+//
+// Records are written in sorted key order, so the same entries always
+// produce byte-identical files — which is what lets sqe-precompute's
+// incremental rebuild compare content hashes instead of bytes. Every
+// length prefix is bounds-checked before allocation and every record
+// checksummed, mirroring the corruption discipline of internal/index's
+// decoder and internal/kb/io.go: a truncated or bit-flipped store file
+// fails to open cleanly, it never serves garbage.
+type PrecomputedStore struct {
+	kbHash  uint64
+	entries map[string]QueryGraph
+
+	hits   atomic.Int64
+	misses atomic.Int64
+}
+
+var storeMagic = []byte("SQEPX\x01")
+
+// Allocation and sanity caps for length prefixes read from untrusted
+// store bytes (cf. internal/index's maxPrealloc).
+const (
+	storeMaxRecords = 1 << 24
+	storeMaxKeyLen  = 1 << 16
+	storeMaxPayload = 1 << 24
+)
+
+// StoreStats are the store's monotonic lookup counters plus its size.
+// Stale is set by consumers (the Engine) that were handed a store whose
+// KB hash did not match the serving KB and therefore dropped it; the
+// store itself never reports stale.
+type StoreStats struct {
+	Hits    int64
+	Misses  int64
+	Entries int64
+	Stale   bool
+}
+
+// KBHash returns the content hash of the KB graph the store was built
+// over (see kb.ContentHash).
+func (s *PrecomputedStore) KBHash() uint64 { return s.kbHash }
+
+// Len returns the number of precomputed entries.
+func (s *PrecomputedStore) Len() int { return len(s.entries) }
+
+// Stats snapshots the lookup counters.
+func (s *PrecomputedStore) Stats() StoreStats {
+	return StoreStats{
+		Hits:    s.hits.Load(),
+		Misses:  s.misses.Load(),
+		Entries: int64(len(s.entries)),
+	}
+}
+
+// Lookup returns the precomputed canonical graph for key. Like the
+// expansion cache, an injected cache fault degrades the lookup to a
+// miss — a failing store backend slows requests down (they rebuild the
+// expansion live), it never fails them.
+func (s *PrecomputedStore) Lookup(key string) (QueryGraph, bool) {
+	if fault.Check(fault.ExpansionCache) != nil {
+		return QueryGraph{}, false
+	}
+	qg, ok := s.entries[key]
+	if !ok {
+		s.misses.Add(1)
+		return QueryGraph{}, false
+	}
+	s.hits.Add(1)
+	return qg, true
+}
+
+// Range iterates the store's entries (in unspecified order), stopping
+// early when fn returns false. The graphs are the store's canonical
+// copies — treat them as immutable.
+func (s *PrecomputedStore) Range(fn func(key string, qg QueryGraph) bool) {
+	for k, qg := range s.entries {
+		if !fn(k, qg) {
+			return
+		}
+	}
+}
+
+// PrecomputeEntries materialises store entries for the cross product of
+// entitySets × motif sets under e's configuration: each entry is keyed
+// by the complete ExpansionKey and holds the canonical form of a fresh
+// BuildQueryGraph. Duplicate entity sets fold into one entry. Empty
+// expansions are stored too — a hit on an empty graph still saves the
+// motif search that would rediscover its emptiness.
+func PrecomputeEntries(e *Expander, entitySets [][]kb.NodeID, sets []motif.Set) map[string]QueryGraph {
+	out := make(map[string]QueryGraph, len(entitySets)*len(sets))
+	for _, nodes := range entitySets {
+		for _, set := range sets {
+			key := e.ExpansionKey(nodes, set)
+			if _, ok := out[key]; ok {
+				continue
+			}
+			out[key] = canonicalGraph(e.BuildQueryGraph(nodes, set))
+		}
+	}
+	return out
+}
+
+// WriteStore writes entries to w in the store format, in sorted key
+// order (deterministic bytes for identical content).
+func WriteStore(w io.Writer, kbHash uint64, entries map[string]QueryGraph) error {
+	keys := make([]string, 0, len(entries))
+	for k := range entries {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+
+	bw := bufio.NewWriter(w)
+	if _, err := bw.Write(storeMagic); err != nil {
+		return err
+	}
+	var u64 [8]byte
+	binary.LittleEndian.PutUint64(u64[:], kbHash)
+	if _, err := bw.Write(u64[:]); err != nil {
+		return err
+	}
+	var vbuf [binary.MaxVarintLen64]byte
+	writeUvarint := func(x uint64) error {
+		n := binary.PutUvarint(vbuf[:], x)
+		_, err := bw.Write(vbuf[:n])
+		return err
+	}
+	if err := writeUvarint(uint64(len(keys))); err != nil {
+		return err
+	}
+	for _, k := range keys {
+		if len(k) > storeMaxKeyLen {
+			return fmt.Errorf("core: store key length %d exceeds limit %d", len(k), storeMaxKeyLen)
+		}
+		payload := appendGraphPayload(nil, entries[k])
+		if len(payload) > storeMaxPayload {
+			return fmt.Errorf("core: store payload length %d exceeds limit %d", len(payload), storeMaxPayload)
+		}
+		if err := writeUvarint(uint64(len(k))); err != nil {
+			return err
+		}
+		if _, err := bw.WriteString(k); err != nil {
+			return err
+		}
+		if err := writeUvarint(uint64(len(payload))); err != nil {
+			return err
+		}
+		if _, err := bw.Write(payload); err != nil {
+			return err
+		}
+		crc := crc32.NewIEEE()
+		crc.Write([]byte(k))
+		crc.Write(payload)
+		var c [4]byte
+		binary.LittleEndian.PutUint32(c[:], crc.Sum32())
+		if _, err := bw.Write(c[:]); err != nil {
+			return err
+		}
+	}
+	return bw.Flush()
+}
+
+// WriteStoreFile writes the store to path atomically: a temp file in
+// the same directory, fsync'd, then renamed over path — a crashed or
+// interrupted build never leaves a half-written store where a server
+// would find it.
+func WriteStoreFile(path string, kbHash uint64, entries map[string]QueryGraph) error {
+	tmp, err := os.CreateTemp(filepath.Dir(path), ".sqe-store-*")
+	if err != nil {
+		return err
+	}
+	defer os.Remove(tmp.Name())
+	if err := WriteStore(tmp, kbHash, entries); err != nil {
+		tmp.Close()
+		return err
+	}
+	if err := tmp.Sync(); err != nil {
+		tmp.Close()
+		return err
+	}
+	if err := tmp.Close(); err != nil {
+		return err
+	}
+	return os.Rename(tmp.Name(), path)
+}
+
+// OpenStoreFile opens and fully validates a store file.
+func OpenStoreFile(path string) (*PrecomputedStore, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, err
+	}
+	defer f.Close()
+	st, err := ReadStore(f)
+	if err != nil {
+		return nil, fmt.Errorf("%s: %w", path, err)
+	}
+	return st, nil
+}
+
+// ReadStore reads a store previously written by WriteStore, validating
+// magic, every length prefix and every record checksum. Any truncation
+// or corruption is an error — the store is all-or-nothing.
+func ReadStore(r io.Reader) (*PrecomputedStore, error) {
+	br := bufio.NewReader(r)
+	head := make([]byte, len(storeMagic))
+	if _, err := io.ReadFull(br, head); err != nil {
+		return nil, fmt.Errorf("core: store magic: %w", err)
+	}
+	if string(head) != string(storeMagic) {
+		return nil, fmt.Errorf("core: bad store magic %q", head)
+	}
+	var u64 [8]byte
+	if _, err := io.ReadFull(br, u64[:]); err != nil {
+		return nil, fmt.Errorf("core: store KB hash: %w", err)
+	}
+	st := &PrecomputedStore{kbHash: binary.LittleEndian.Uint64(u64[:])}
+	count, err := binary.ReadUvarint(br)
+	if err != nil {
+		return nil, fmt.Errorf("core: store record count: %w", err)
+	}
+	if count > storeMaxRecords {
+		return nil, fmt.Errorf("core: store record count %d exceeds limit %d", count, storeMaxRecords)
+	}
+	st.entries = make(map[string]QueryGraph, prestoreAlloc(count))
+	for i := uint64(0); i < count; i++ {
+		keyLen, err := binary.ReadUvarint(br)
+		if err != nil {
+			return nil, fmt.Errorf("core: store record %d key length: %w", i, err)
+		}
+		if keyLen > storeMaxKeyLen {
+			return nil, fmt.Errorf("core: store record %d: key length %d exceeds limit %d", i, keyLen, storeMaxKeyLen)
+		}
+		key := make([]byte, keyLen)
+		if _, err := io.ReadFull(br, key); err != nil {
+			return nil, fmt.Errorf("core: store record %d key: %w", i, err)
+		}
+		payloadLen, err := binary.ReadUvarint(br)
+		if err != nil {
+			return nil, fmt.Errorf("core: store record %d payload length: %w", i, err)
+		}
+		if payloadLen > storeMaxPayload {
+			return nil, fmt.Errorf("core: store record %d: payload length %d exceeds limit %d", i, payloadLen, storeMaxPayload)
+		}
+		payload := make([]byte, payloadLen)
+		if _, err := io.ReadFull(br, payload); err != nil {
+			return nil, fmt.Errorf("core: store record %d payload: %w", i, err)
+		}
+		var c [4]byte
+		if _, err := io.ReadFull(br, c[:]); err != nil {
+			return nil, fmt.Errorf("core: store record %d checksum: %w", i, err)
+		}
+		crc := crc32.NewIEEE()
+		crc.Write(key)
+		crc.Write(payload)
+		if got, want := crc.Sum32(), binary.LittleEndian.Uint32(c[:]); got != want {
+			return nil, fmt.Errorf("core: store record %d: checksum mismatch (got %08x, want %08x)", i, got, want)
+		}
+		qg, err := decodeGraphPayload(payload)
+		if err != nil {
+			return nil, fmt.Errorf("core: store record %d: %w", i, err)
+		}
+		k := string(key)
+		if _, dup := st.entries[k]; dup {
+			return nil, fmt.Errorf("core: store record %d: duplicate key", i)
+		}
+		st.entries[k] = qg
+	}
+	// The record count is authoritative; trailing bytes mean the file
+	// was not produced by WriteStore (or was corrupted in a way the
+	// per-record checks cannot see).
+	if _, err := br.ReadByte(); err != io.EOF {
+		return nil, fmt.Errorf("core: store has trailing bytes after %d records", count)
+	}
+	return st, nil
+}
+
+// prestoreAlloc caps the map's initial size hint against hostile counts
+// (the map still grows to the real size as records arrive).
+func prestoreAlloc(n uint64) int {
+	const limit = 1 << 16
+	if n > limit {
+		return limit
+	}
+	return int(n)
+}
+
+// appendGraphPayload encodes qg (which must be canonical: sorted query
+// nodes) into the store's payload form.
+func appendGraphPayload(buf []byte, qg QueryGraph) []byte {
+	buf = binary.AppendUvarint(buf, uint64(len(qg.QueryNodes)))
+	prev := kb.NodeID(0)
+	for i, n := range qg.QueryNodes {
+		d := uint64(n)
+		if i > 0 {
+			d = uint64(n - prev) // sorted ascending, duplicates give delta 0
+		}
+		buf = binary.AppendUvarint(buf, d)
+		prev = n
+	}
+	buf = binary.AppendUvarint(buf, uint64(len(qg.Features)))
+	for _, f := range qg.Features {
+		buf = binary.AppendUvarint(buf, uint64(f.Article))
+		buf = binary.LittleEndian.AppendUint64(buf, math.Float64bits(f.Weight))
+	}
+	return buf
+}
+
+// decodeGraphPayload is the strict inverse of appendGraphPayload: it
+// must consume the payload exactly and rejects counts the remaining
+// bytes cannot possibly satisfy before allocating for them.
+func decodeGraphPayload(payload []byte) (QueryGraph, error) {
+	var qg QueryGraph
+	rest := payload
+	readUvarint := func(what string) (uint64, error) {
+		v, n := binary.Uvarint(rest)
+		if n <= 0 {
+			return 0, fmt.Errorf("payload truncated at %s", what)
+		}
+		rest = rest[n:]
+		return v, nil
+	}
+	numNodes, err := readUvarint("node count")
+	if err != nil {
+		return qg, err
+	}
+	// Every node takes at least one byte.
+	if numNodes > uint64(len(rest)) {
+		return qg, fmt.Errorf("payload claims %d nodes in %d bytes", numNodes, len(rest))
+	}
+	if numNodes > 0 {
+		qg.QueryNodes = make([]kb.NodeID, 0, numNodes)
+		prev := kb.NodeID(0)
+		for i := uint64(0); i < numNodes; i++ {
+			d, err := readUvarint("node")
+			if err != nil {
+				return qg, err
+			}
+			n := kb.NodeID(d)
+			if i > 0 {
+				n = prev + kb.NodeID(d)
+			}
+			if n < 0 {
+				return qg, fmt.Errorf("node %d out of range", n)
+			}
+			qg.QueryNodes = append(qg.QueryNodes, n)
+			prev = n
+		}
+	}
+	numFeatures, err := readUvarint("feature count")
+	if err != nil {
+		return qg, err
+	}
+	// Every feature takes at least 9 bytes (1 varint + 8 weight).
+	if numFeatures > uint64(len(rest))/9 {
+		return qg, fmt.Errorf("payload claims %d features in %d bytes", numFeatures, len(rest))
+	}
+	if numFeatures > 0 {
+		qg.Features = make([]Feature, 0, numFeatures)
+		for i := uint64(0); i < numFeatures; i++ {
+			a, err := readUvarint("feature article")
+			if err != nil {
+				return qg, err
+			}
+			if a > uint64(math.MaxInt32) {
+				return qg, fmt.Errorf("feature article %d out of range", a)
+			}
+			if len(rest) < 8 {
+				return qg, fmt.Errorf("payload truncated at feature weight")
+			}
+			w := math.Float64frombits(binary.LittleEndian.Uint64(rest))
+			rest = rest[8:]
+			qg.Features = append(qg.Features, Feature{Article: kb.NodeID(a), Weight: w})
+		}
+	}
+	if len(rest) != 0 {
+		return qg, fmt.Errorf("payload has %d trailing bytes", len(rest))
+	}
+	return qg, nil
+}
+
+// BuildQueryGraphStored is the full lookup chain behind serving-time
+// expansion: sharded LRU cache, then the precomputed store, then a live
+// BuildQueryGraph (which populates the cache). Either tier may be nil.
+// All three paths return byte-identical graphs for the caller's exact
+// node order — cache and store both hold canonical graphs and hits
+// rebind the caller's query-node permutation, exactly as
+// BuildQueryGraphCached always has.
+//
+// A store hit is NOT copied into the LRU cache: the store lookup is
+// already O(1) on an immutable map, so promoting it would only
+// duplicate memory and evict entries the store cannot serve.
+func (e *Expander) BuildQueryGraphStored(queryNodes []kb.NodeID, set motif.Set, c *ExpansionCache, st *PrecomputedStore) QueryGraph {
+	if c == nil && st == nil {
+		return e.BuildQueryGraph(queryNodes, set)
+	}
+	key := e.ExpansionKey(queryNodes, set)
+	if c != nil {
+		if qg, ok := c.Get(key); ok {
+			return rebindQueryNodes(qg, queryNodes)
+		}
+	}
+	if st != nil {
+		if qg, ok := st.Lookup(key); ok {
+			return rebindQueryNodes(qg, queryNodes)
+		}
+	}
+	qg := e.BuildQueryGraph(queryNodes, set)
+	if c != nil {
+		c.Put(key, canonicalGraph(qg))
+	}
+	return qg
+}
+
+// BuildQueryGraphStoredStats is BuildQueryGraphStored with the motif
+// stage timed and the feature count recorded into ps (which may be
+// nil); lookup hits account their (tiny) cost to the motif stage, so
+// stage percentages stay truthful under caching and precomputation.
+func (e *Expander) BuildQueryGraphStoredStats(queryNodes []kb.NodeID, set motif.Set, c *ExpansionCache, st *PrecomputedStore, ps *PipelineStats) QueryGraph {
+	if c == nil && st == nil {
+		return e.BuildQueryGraphStats(queryNodes, set, ps)
+	}
+	start := time.Now()
+	qg := e.BuildQueryGraphStored(queryNodes, set, c, st)
+	if ps != nil {
+		ps.Stages.MotifSearch += time.Since(start)
+		ps.Features += len(qg.Features)
+	}
+	return qg
+}
+
+// rebindQueryNodes returns the canonical stored graph bound to the
+// caller's own query-node order (which fixes the entity part's child
+// order and therefore the floating-point summation order downstream).
+func rebindQueryNodes(qg QueryGraph, queryNodes []kb.NodeID) QueryGraph {
+	return QueryGraph{
+		QueryNodes: append([]kb.NodeID(nil), queryNodes...),
+		Features:   qg.Features,
+	}
+}

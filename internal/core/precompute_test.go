@@ -1,0 +1,268 @@
+package core
+
+import (
+	"bytes"
+	"math/rand"
+	"os"
+	"path/filepath"
+	"reflect"
+	"testing"
+
+	"repro/internal/kb"
+	"repro/internal/motif"
+)
+
+var storeTestSets = []motif.Set{motif.SetT, motif.SetS, motif.SetTS}
+
+// storeTestEntries precomputes entries for every motif set over the
+// cache-test KB: the motif-bearing node alone, a two-node set, and a
+// node with an empty expansion.
+func storeTestEntries(t *testing.T) (*Expander, map[string]QueryGraph, [][]kb.NodeID) {
+	t.Helper()
+	e, nodes := cacheTestExpander(t)
+	entitySets := [][]kb.NodeID{
+		nodes,
+		{nodes[0], 1},
+		{2}, // a category node: expansion is empty but still stored
+	}
+	return e, PrecomputeEntries(e, entitySets, storeTestSets), entitySets
+}
+
+// TestStoreRoundTrip is the tentpole acceptance check at the store
+// layer: write → read → Lookup must hand back graphs byte-identical
+// (DeepEqual over scores, ordering, feature lists) to a fresh
+// BuildQueryGraph, for every entity set × motif set, including the
+// empty expansion.
+func TestStoreRoundTrip(t *testing.T) {
+	e, entries, entitySets := storeTestEntries(t)
+	const kbHash uint64 = 0xdeadbeefcafef00d
+
+	var buf bytes.Buffer
+	if err := WriteStore(&buf, kbHash, entries); err != nil {
+		t.Fatal(err)
+	}
+	st, err := ReadStore(bytes.NewReader(buf.Bytes()))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st.KBHash() != kbHash {
+		t.Errorf("KBHash = %#x, want %#x", st.KBHash(), kbHash)
+	}
+	if st.Len() != len(entries) {
+		t.Errorf("Len = %d, want %d", st.Len(), len(entries))
+	}
+	for _, nodes := range entitySets {
+		for _, set := range storeTestSets {
+			fresh := e.BuildQueryGraph(nodes, set)
+			stored := e.BuildQueryGraphStored(nodes, set, nil, st)
+			if !reflect.DeepEqual(fresh, stored) {
+				t.Errorf("nodes %v set %v: stored %+v differs from fresh %+v", nodes, set, stored, fresh)
+			}
+		}
+	}
+	wantHits := int64(len(entitySets) * len(storeTestSets))
+	if s := st.Stats(); s.Hits != wantHits || s.Misses != 0 {
+		t.Errorf("stats = %+v, want %d hits / 0 misses", s, wantHits)
+	}
+
+	// The writer is deterministic: same entries, same bytes.
+	var buf2 bytes.Buffer
+	if err := WriteStore(&buf2, kbHash, entries); err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(buf.Bytes(), buf2.Bytes()) {
+		t.Error("two writes of the same entries produced different bytes")
+	}
+}
+
+// TestStoreRebindsCallerNodeOrder: a store hit must return the caller's
+// exact node permutation (entries are stored canonically sorted), so a
+// store-served request is byte-identical to a live one for any
+// permutation.
+func TestStoreRebindsCallerNodeOrder(t *testing.T) {
+	e, entries, _ := storeTestEntries(t)
+	var buf bytes.Buffer
+	if err := WriteStore(&buf, 1, entries); err != nil {
+		t.Fatal(err)
+	}
+	st, err := ReadStore(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	perm := []kb.NodeID{1, 0} // reversed relative to canonical order
+	fresh := e.BuildQueryGraph(perm, motif.SetTS)
+	stored := e.BuildQueryGraphStored(perm, motif.SetTS, nil, st)
+	if !reflect.DeepEqual(fresh, stored) {
+		t.Errorf("permuted store hit %+v differs from fresh build %+v", stored, fresh)
+	}
+	if s := st.Stats(); s.Hits != 1 {
+		t.Errorf("permutation should hit the canonical entry: %+v", s)
+	}
+}
+
+// TestStoreLookupChain pins the tier order of BuildQueryGraphStored:
+// LRU cache first, then the store, then a live build that populates
+// the cache (and only the cache).
+func TestStoreLookupChain(t *testing.T) {
+	e, entries, _ := storeTestEntries(t)
+	var buf bytes.Buffer
+	if err := WriteStore(&buf, 1, entries); err != nil {
+		t.Fatal(err)
+	}
+	st, err := ReadStore(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	c := NewExpansionCache(64)
+	nodes := []kb.NodeID{0}
+
+	// First build: cache misses, store hits; nothing copied to cache.
+	e.BuildQueryGraphStored(nodes, motif.SetTS, c, st)
+	if s := st.Stats(); s.Hits != 1 {
+		t.Fatalf("store should serve the first request: %+v", s)
+	}
+	if cs := c.Stats(); cs.Misses != 1 || cs.Entries != 0 {
+		t.Fatalf("store hits must not populate the cache: %+v", cs)
+	}
+
+	// A key absent from the store builds live and lands in the cache...
+	e.MaxFeatures = 1 // changes the key; the store was built without it
+	e.BuildQueryGraphStored(nodes, motif.SetTS, c, st)
+	if s := st.Stats(); s.Misses != 1 {
+		t.Fatalf("reconfigured expander must miss the store: %+v", s)
+	}
+	if cs := c.Stats(); cs.Entries != 1 {
+		t.Fatalf("live build should populate the cache: %+v", cs)
+	}
+	// ...and the cache, not the store, serves it from then on.
+	e.BuildQueryGraphStored(nodes, motif.SetTS, c, st)
+	if cs, s := c.Stats(), st.Stats(); cs.Hits != 1 || s.Misses != 1 {
+		t.Fatalf("cache should serve ahead of the store: cache %+v store %+v", cs, s)
+	}
+}
+
+// TestStoreCorruptionRobust mirrors kb.TestDecodeCorruptionRobust:
+// flipped or truncated store bytes must fail cleanly — the reader may
+// return an error (the expected outcome given per-record checksums) but
+// must never panic or serve a half-read store.
+func TestStoreCorruptionRobust(t *testing.T) {
+	_, entries, _ := storeTestEntries(t)
+	var buf bytes.Buffer
+	if err := WriteStore(&buf, 42, entries); err != nil {
+		t.Fatal(err)
+	}
+	valid := buf.Bytes()
+	rng := rand.New(rand.NewSource(42))
+	for trial := 0; trial < 500; trial++ {
+		data := append([]byte(nil), valid...)
+		switch trial % 3 {
+		case 0: // flip a byte
+			data[rng.Intn(len(data))] ^= byte(1 + rng.Intn(255))
+		case 1: // truncate
+			data = data[:rng.Intn(len(data))]
+		case 2: // flip several bytes
+			for i := 0; i < 4; i++ {
+				data[rng.Intn(len(data))] ^= byte(1 + rng.Intn(255))
+			}
+		}
+		func() {
+			defer func() {
+				if r := recover(); r != nil {
+					t.Fatalf("trial %d: reader panicked: %v", trial, r)
+				}
+			}()
+			st, err := ReadStore(bytes.NewReader(data))
+			// A flip confined to the 8-byte KB hash yields a valid store
+			// with a different hash; anything else must error. Either
+			// way a non-nil store must be fully populated.
+			if err == nil && st.Len() != len(entries) {
+				t.Fatalf("trial %d: corrupted store read back %d of %d entries without error", trial, st.Len(), len(entries))
+			}
+		}()
+	}
+}
+
+// TestStoreRejectsTrailingBytes: the record count is authoritative and
+// appended garbage is an error, not silently ignored.
+func TestStoreRejectsTrailingBytes(t *testing.T) {
+	_, entries, _ := storeTestEntries(t)
+	var buf bytes.Buffer
+	if err := WriteStore(&buf, 1, entries); err != nil {
+		t.Fatal(err)
+	}
+	buf.WriteByte(0)
+	if _, err := ReadStore(&buf); err == nil {
+		t.Fatal("trailing byte accepted")
+	}
+}
+
+// TestStoreRejectsBadMagic: a file in some other format (here: a KB
+// graph header) is rejected up front.
+func TestStoreRejectsBadMagic(t *testing.T) {
+	if _, err := ReadStore(bytes.NewReader([]byte("SQEKB\x01garbage"))); err == nil {
+		t.Fatal("foreign magic accepted")
+	}
+}
+
+// TestStoreFileRoundTripAndOpenErrors covers the file-level API:
+// WriteStoreFile → OpenStoreFile round-trips, a missing path errors,
+// and a bit-flipped file on disk is rejected at open.
+func TestStoreFileRoundTripAndOpenErrors(t *testing.T) {
+	_, entries, _ := storeTestEntries(t)
+	dir := t.TempDir()
+	path := filepath.Join(dir, "expansions.store")
+	if err := WriteStoreFile(path, 7, entries); err != nil {
+		t.Fatal(err)
+	}
+	st, err := OpenStoreFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st.KBHash() != 7 || st.Len() != len(entries) {
+		t.Errorf("reopened store: hash %#x len %d, want 7 / %d", st.KBHash(), st.Len(), len(entries))
+	}
+	// No temp files left behind by the atomic write.
+	matches, _ := filepath.Glob(filepath.Join(dir, ".sqe-store-*"))
+	if len(matches) != 0 {
+		t.Errorf("atomic write left temp files: %v", matches)
+	}
+
+	if _, err := OpenStoreFile(filepath.Join(dir, "missing.store")); err == nil {
+		t.Error("missing file accepted")
+	}
+
+	data, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	data[len(data)-3] ^= 0xff // inside the last record's checksum
+	bad := filepath.Join(dir, "bad.store")
+	if err := os.WriteFile(bad, data, 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := OpenStoreFile(bad); err == nil {
+		t.Error("bit-flipped file accepted")
+	}
+}
+
+// TestPrecomputeEntriesFoldsDuplicates: duplicate entity sets (and
+// permutations of one set) share a single entry, and empty expansions
+// are stored rather than skipped.
+func TestPrecomputeEntriesFoldsDuplicates(t *testing.T) {
+	e, nodes := cacheTestExpander(t)
+	entries := PrecomputeEntries(e, [][]kb.NodeID{
+		{nodes[0], 1},
+		{1, nodes[0]}, // permutation: same canonical key
+		{2},           // empty expansion
+	}, []motif.Set{motif.SetTS})
+	if len(entries) != 2 {
+		t.Fatalf("got %d entries, want 2 (permutations fold)", len(entries))
+	}
+	empty, ok := entries[e.ExpansionKey([]kb.NodeID{2}, motif.SetTS)]
+	if !ok {
+		t.Fatal("empty expansion not stored")
+	}
+	if len(empty.Features) != 0 {
+		t.Fatalf("expected empty feature list, got %+v", empty.Features)
+	}
+}

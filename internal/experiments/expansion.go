@@ -1,0 +1,173 @@
+package experiments
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"reflect"
+	"runtime"
+	"strings"
+	"time"
+
+	"repro/internal/core"
+	"repro/internal/dataset"
+	"repro/internal/kb"
+	"repro/internal/motif"
+)
+
+// expansionBenchSets are the motif configurations measured: SQE_C's
+// three runs, the same set cmd/sqe-precompute materialises.
+var expansionBenchSets = []motif.Set{motif.SetT, motif.SetTS, motif.SetS}
+
+// ExpansionBenchResult compares the three ways a serving engine can
+// answer an expansion — a cold motif search, a warm sharded-LRU hit,
+// and a precomputed-store lookup — on one dataset's manual-entity
+// workload. Timings are single-threaded wall-clock per expansion;
+// Identical asserts both lookup paths returned graphs byte-identical
+// (reflect.DeepEqual: nodes, features, weights, ordering) to the cold
+// build on every (entity set, motif set) pair.
+type ExpansionBenchResult struct {
+	Dataset    string `json:"dataset"`
+	GOMAXPROCS int    `json:"gomaxprocs"`
+	Reps       int    `json:"reps"`
+	// Workload is the number of (entity set, motif set) pairs measured;
+	// Entries and StoreBytes describe the store built from them.
+	Workload   int   `json:"workload"`
+	Entries    int   `json:"store_entries"`
+	StoreBytes int64 `json:"store_bytes"`
+	// Ns* are nanoseconds per expansion for each serving path.
+	NsCold    float64 `json:"ns_per_expansion_cold"`
+	NsWarmLRU float64 `json:"ns_per_expansion_warm_lru"`
+	NsStore   float64 `json:"ns_per_expansion_store"`
+	// Speedups are cold/<path>; wall-clock, so the regression gate holds
+	// them to a floor rather than an exact value.
+	SpeedupLRUVsCold   float64 `json:"speedup_lru_vs_cold"`
+	SpeedupStoreVsCold float64 `json:"speedup_store_vs_cold"`
+	// Identical is absolute: any divergence is a correctness bug, never
+	// noise (cmd/bench-check fails the build on it).
+	Identical bool `json:"identical_to_cold"`
+}
+
+// ExpansionBench measures cold vs. warm-LRU vs. precomputed-store
+// expansion latency on inst's manual-entity workload. The store is
+// round-tripped through its binary encoding (write + read back), so the
+// measured lookups — and the identity check — exercise exactly what a
+// rebooted server would serve. Lookup passes run lookupScale times more
+// iterations than cold passes: a hash lookup is ~ns-scale and needs the
+// extra iterations for a stable per-op figure.
+func ExpansionBench(s *Suite, inst *dataset.Instance, reps int) *ExpansionBenchResult {
+	if reps <= 0 {
+		reps = 3
+	}
+	const lookupScale = 50
+	r := s.NewRunner(inst)
+
+	type pair struct {
+		nodes []kb.NodeID
+		set   motif.Set
+	}
+	var workload []pair
+	var entitySets [][]kb.NodeID
+	for qi := range inst.Queries {
+		q := &inst.Queries[qi]
+		nodes := r.Entities(q, true)
+		if len(nodes) == 0 {
+			continue
+		}
+		entitySets = append(entitySets, nodes)
+		for _, set := range expansionBenchSets {
+			workload = append(workload, pair{nodes, set})
+		}
+	}
+
+	out := &ExpansionBenchResult{
+		Dataset:    inst.Name,
+		GOMAXPROCS: runtime.GOMAXPROCS(0),
+		Reps:       reps,
+		Workload:   len(workload),
+		Identical:  true,
+	}
+
+	// Reference graphs: one cold build per pair, the byte-identity
+	// baseline for both lookup paths.
+	cold := make([]core.QueryGraph, len(workload))
+	for i, p := range workload {
+		cold[i] = r.Expander.BuildQueryGraph(p.nodes, p.set)
+	}
+
+	// Precomputed store, round-tripped through the binary format.
+	entries := core.PrecomputeEntries(r.Expander, entitySets, expansionBenchSets)
+	var buf bytes.Buffer
+	if err := core.WriteStore(&buf, kb.ContentHash(s.World.Graph), entries); err != nil {
+		// The in-memory writer only fails on oversized records, which a
+		// generated workload cannot produce.
+		panic(fmt.Sprintf("experiments: write store: %v", err))
+	}
+	out.Entries = len(entries)
+	out.StoreBytes = int64(buf.Len())
+	store, err := core.ReadStore(&buf)
+	if err != nil {
+		panic(fmt.Sprintf("experiments: read store: %v", err))
+	}
+
+	// Warm LRU: capacity comfortably above the workload, prefilled.
+	cache := core.NewExpansionCache(4 * len(entries))
+	for _, p := range workload {
+		r.Expander.BuildQueryGraphCached(p.nodes, p.set, cache)
+	}
+
+	for i, p := range workload {
+		if !reflect.DeepEqual(cold[i], r.Expander.BuildQueryGraphCached(p.nodes, p.set, cache)) {
+			out.Identical = false
+		}
+		if !reflect.DeepEqual(cold[i], r.Expander.BuildQueryGraphStored(p.nodes, p.set, nil, store)) {
+			out.Identical = false
+		}
+	}
+
+	time1 := func(passes int, f func(p pair)) float64 {
+		start := time.Now()
+		for rep := 0; rep < passes; rep++ {
+			for _, p := range workload {
+				f(p)
+			}
+		}
+		return float64(time.Since(start)) / float64(passes*len(workload))
+	}
+	out.NsCold = time1(reps, func(p pair) {
+		_ = r.Expander.BuildQueryGraph(p.nodes, p.set)
+	})
+	out.NsWarmLRU = time1(reps*lookupScale, func(p pair) {
+		_ = r.Expander.BuildQueryGraphCached(p.nodes, p.set, cache)
+	})
+	out.NsStore = time1(reps*lookupScale, func(p pair) {
+		_ = r.Expander.BuildQueryGraphStored(p.nodes, p.set, nil, store)
+	})
+	if out.NsWarmLRU > 0 {
+		out.SpeedupLRUVsCold = out.NsCold / out.NsWarmLRU
+	}
+	if out.NsStore > 0 {
+		out.SpeedupStoreVsCold = out.NsCold / out.NsStore
+	}
+	return out
+}
+
+// JSON renders the result as indented JSON (the BENCH_expansion.json
+// artifact written by `make bench-expansion`).
+func (r *ExpansionBenchResult) JSON() ([]byte, error) {
+	return json.MarshalIndent(r, "", "  ")
+}
+
+func (r *ExpansionBenchResult) String() string {
+	var sb strings.Builder
+	fmt.Fprintf(&sb, "expansion serving paths, %s (%d pairs, %d store entries, %d bytes, %d reps, GOMAXPROCS=%d):\n",
+		r.Dataset, r.Workload, r.Entries, r.StoreBytes, r.Reps, r.GOMAXPROCS)
+	mark := "bit-identical"
+	if !r.Identical {
+		mark = "GRAPHS DIVERGED"
+	}
+	fmt.Fprintf(&sb, "  cold motif search %9.0f ns/expansion\n", r.NsCold)
+	fmt.Fprintf(&sb, "  warm LRU hit      %9.0f ns/expansion (%.1fx vs cold)\n", r.NsWarmLRU, r.SpeedupLRUVsCold)
+	fmt.Fprintf(&sb, "  precomputed store %9.0f ns/expansion (%.1fx vs cold)  %s\n", r.NsStore, r.SpeedupStoreVsCold, mark)
+	return sb.String()
+}

@@ -1,0 +1,26 @@
+package kb
+
+import "hash/fnv"
+
+// ContentHash returns a 64-bit FNV-1a hash of the graph's canonical
+// binary encoding (the exact bytes Encode writes). Two graphs hash
+// equal iff their encodings are byte-identical, which — because the
+// encoding is deterministic over the builder's canonical node order and
+// sorted adjacency rows — makes the hash a content fingerprint: the
+// precomputed expansion store records it at build time and consumers
+// reject a store whose KB has since changed (DESIGN.md §5h).
+//
+// Cost is one streaming encode pass (no allocation beyond Encode's
+// buffers); callers hash once at startup or build time, never per
+// query.
+func ContentHash(g *Graph) uint64 {
+	h := fnv.New64a()
+	// An fnv hash never returns a write error, and Encode has no other
+	// failure mode.
+	_ = Encode(h, g)
+	return h.Sum64()
+}
+
+// ContentHash is the method form of the package function, for callers
+// holding a graph through a type alias (sqe.Graph).
+func (g *Graph) ContentHash() uint64 { return ContentHash(g) }

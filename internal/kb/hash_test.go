@@ -1,0 +1,35 @@
+package kb
+
+import "testing"
+
+// TestContentHashIsContentFingerprint: identical builds hash equal,
+// and any content change — an extra link — changes the hash.
+func TestContentHashIsContentFingerprint(t *testing.T) {
+	build := func(extraLink bool) *Graph {
+		b := NewBuilder(4)
+		a, err := b.AddArticle("A")
+		if err != nil {
+			t.Fatal(err)
+		}
+		c, err := b.AddArticle("B")
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := b.AddLink(a, c); err != nil {
+			t.Fatal(err)
+		}
+		if extraLink {
+			if err := b.AddLink(c, a); err != nil {
+				t.Fatal(err)
+			}
+		}
+		return b.Build()
+	}
+	h1, h2 := ContentHash(build(false)), ContentHash(build(false))
+	if h1 != h2 {
+		t.Errorf("identical graphs hash differently: %#x vs %#x", h1, h2)
+	}
+	if h3 := ContentHash(build(true)); h3 == h1 {
+		t.Errorf("different graphs share hash %#x", h1)
+	}
+}

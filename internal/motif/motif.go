@@ -91,6 +91,22 @@ func NewMatcher(g *kb.Graph) *Matcher {
 	return &Matcher{g: g, RequireReciprocal: true, UseCategories: true}
 }
 
+// ConditionBits packs the matcher's ablation switches into a bitmask.
+// Both switches change Expand's output, so any cache or store key over
+// expansion results must include these bits — see
+// core.(*Expander).ExpansionKey, whose completeness invariant rests on
+// this method staying in sync with the exported fields above.
+func (m *Matcher) ConditionBits() uint8 {
+	var b uint8
+	if m.RequireReciprocal {
+		b |= 1
+	}
+	if m.UseCategories {
+		b |= 2
+	}
+	return b
+}
+
 // Expand runs motif search from the given query nodes and returns all
 // matches sorted by descending |m_a| (ties: ascending article ID).
 // Query nodes themselves are never reported as expansion nodes.
