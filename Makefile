@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: build test race vet fmt bench bench-shards bench-pruning bench-expansion bench-check shard-parity serve-smoke precompute-smoke chaos fuzz verify
+.PHONY: build test race vet fmt bench bench-shards bench-pruning bench-expansion bench-check shard-parity serve-smoke precompute-smoke distributed-smoke load-smoke chaos fuzz verify
 
 build:
 	$(GO) build ./...
@@ -75,6 +75,25 @@ precompute-smoke:
 	$(GO) run ./cmd/sqe-serve -smoke -shards 2 -precomputed /tmp/sqe-precompute-smoke.store
 	@rm -f /tmp/sqe-precompute-smoke.store
 
+# The multi-process gate: re-execs sqe-serve as real shard server
+# processes (shard 0 with two replicas, shard 1 with one), boots a
+# coordinator over them, and demands bit-identity against single-
+# process WithShards(2), clean behaviour under RPC-boundary chaos,
+# replica failover without degradation, and dead-shard degradation
+# surfaced end to end over HTTP (see runDistributedSmoke in
+# cmd/sqe-serve).
+distributed-smoke:
+	$(GO) run ./cmd/sqe-serve -distributed-smoke
+
+# The serving-layer load gate: sqe-load boots the full distributed
+# stack in-process (real RPC shard servers on loopback TCP + the
+# coordinator + HTTP), offers a fixed open-loop rate, regenerates the
+# committed BENCH_distributed.json latency/SLO artifact, and
+# bench-check validates it (zero errors, zero degradation, p99 SLO).
+load-smoke:
+	$(GO) run ./cmd/sqe-load -self-serve -rate 150 -duration 3s -out BENCH_distributed.json
+	$(GO) run ./cmd/bench-check -fresh=false
+
 # The chaos gate: the fault-injection registry's unit tests plus the
 # chaos harness (seeded random faults at every registered point against
 # a sharded, cached, degradation-enabled engine) under -race, then the
@@ -93,5 +112,5 @@ fuzz:
 	$(GO) test -fuzz FuzzIndexDecode -fuzztime 30s -run '^$$' ./internal/index/
 
 # The full gate run before every commit.
-verify: vet fmt build race test shard-parity bench-check serve-smoke precompute-smoke chaos
+verify: vet fmt build race test shard-parity bench-check serve-smoke precompute-smoke distributed-smoke load-smoke chaos
 	@echo "verify: OK"

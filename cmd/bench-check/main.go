@@ -1,8 +1,9 @@
 // Command bench-check is the repository's benchmark regression gate,
 // run by `make verify`. It validates the committed benchmark artifacts
-// (BENCH_pruning.json, BENCH_shards.json, BENCH_expansion.json) and —
-// unless -fresh=false — re-runs the pruning bench to compare its
-// DETERMINISTIC counters against the committed numbers.
+// (BENCH_pruning.json, BENCH_shards.json, BENCH_expansion.json,
+// BENCH_distributed.json) and — unless -fresh=false — re-runs the
+// pruning bench to compare its DETERMINISTIC counters against the
+// committed numbers.
 //
 // What is gated, and how hard:
 //
@@ -49,6 +50,7 @@ func main() {
 	pruningPath := flag.String("pruning", "BENCH_pruning.json", "committed pruning bench artifact")
 	shardsPath := flag.String("shards", "BENCH_shards.json", "committed shard bench artifact")
 	expansionPath := flag.String("expansion", "BENCH_expansion.json", "committed expansion bench artifact")
+	distributedPath := flag.String("distributed", "BENCH_distributed.json", "committed sqe-load artifact (empty = skip)")
 	minReduction := flag.Float64("min-reduction", 2.0, "documents-scored reduction floor every model must sustain")
 	minStoreSpeedup := flag.Float64("min-store-speedup", 10.0, "precomputed-store lookup must beat cold expansion by at least this factor")
 	maxSlowdown := flag.Float64("max-slowdown", 3.0, "fresh-run wall-clock band: pruned ns/query must stay under full x this")
@@ -128,6 +130,35 @@ func main() {
 	default:
 		ok("%s: bit-identical, store %.1fx and warm LRU %.1fx vs cold (floor %.1fx)",
 			*expansionPath, expansion.SpeedupStoreVsCold, expansion.SpeedupLRUVsCold, *minStoreSpeedup)
+	}
+
+	// Committed distributed-load artifact (written by sqe-load, usually
+	// via `make load-smoke`): the correctness fields are the contract —
+	// an open-loop run with zero transport errors, zero degradation on a
+	// healthy topology, and the p99 SLO verdict holding. The latency
+	// numbers themselves are one machine's measurement and are only
+	// gated through that (generous) SLO flag, mirroring the wall-clock
+	// policy above.
+	if *distributedPath != "" {
+		var dist experiments.LoadBenchResult
+		if err := loadJSON(*distributedPath, &dist); err != nil {
+			log.Fatal(err)
+		}
+		switch {
+		case !dist.OpenLoop:
+			fail("%s: run was not open-loop; the offered-rate discipline is part of the artifact's meaning", *distributedPath)
+		case dist.Requests == 0 || dist.Completed == 0:
+			fail("%s: empty run (%d requests, %d completed)", *distributedPath, dist.Requests, dist.Completed)
+		case dist.Errors > 0:
+			fail("%s: %d transport/status errors — a healthy topology must serve every request", *distributedPath, dist.Errors)
+		case dist.Degraded > 0:
+			fail("%s: %d degraded responses with every shard up", *distributedPath, dist.Degraded)
+		case !dist.SLOMet || dist.P99Ms > dist.SLOp99Ms:
+			fail("%s: p99 %.2fms missed the %.0fms SLO", *distributedPath, dist.P99Ms, dist.SLOp99Ms)
+		default:
+			ok("%s: %d/%d open-loop requests ok, p99 %.2fms within the %.0fms SLO",
+				*distributedPath, dist.Completed, dist.Requests, dist.P99Ms, dist.SLOp99Ms)
+		}
 	}
 
 	// Fresh run: regenerate the seeded environment and demand the

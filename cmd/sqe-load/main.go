@@ -1,0 +1,250 @@
+// Command sqe-load is an open-loop load generator for the sqe serving
+// layer: it fires /v1/search and /v1/baseline requests on a fixed clock
+// — NOT waiting for completions, so a slowing server faces the same
+// offered rate a real client population would — and reports the latency
+// distribution (p50/p90/p99, cumulative histogram) plus error, shed and
+// degraded counts as a JSON artifact.
+//
+// Usage:
+//
+//	sqe-load -url http://host:8344 [-rate 100] [-duration 10s] [-k 10]
+//	         [-scale small] [-slo-p99 500ms] [-out BENCH_distributed.json]
+//	sqe-load -self-serve [-shards 2] ...
+//
+// -url targets a running sqe-serve (any mode). -self-serve instead
+// boots the full distributed stack in this process: N shard servers on
+// loopback TCP (the real RPC wire protocol), a coordinator engine over
+// them, and the HTTP layer — so `make load-smoke` measures the whole
+// serving path with zero external orchestration. The artifact
+// (BENCH_distributed.json) is gated by cmd/bench-check: zero errors,
+// zero degradation on a healthy topology, and p99 within the SLO.
+package main
+
+import (
+	"context"
+	"flag"
+	"fmt"
+	"io"
+	"log"
+	"net"
+	"net/http"
+	"net/url"
+	"os"
+	"runtime"
+	"sort"
+	"strings"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	sqe "repro"
+	"repro/internal/experiments"
+	"repro/internal/index"
+	"repro/internal/rpc"
+	"repro/internal/search"
+	"repro/internal/serve"
+)
+
+func main() {
+	log.SetFlags(0)
+	log.SetPrefix("sqe-load: ")
+	target := flag.String("url", "", "base URL of a running sqe-serve (e.g. http://127.0.0.1:8344)")
+	selfServe := flag.Bool("self-serve", false, "boot shard servers + coordinator + HTTP in-process and load-test that")
+	shards := flag.Int("shards", 2, "shard count for -self-serve")
+	rate := flag.Float64("rate", 100, "offered request rate per second (open loop)")
+	duration := flag.Duration("duration", 10*time.Second, "generation window")
+	k := flag.Int("k", 10, "result depth per request")
+	scaleFlag := flag.String("scale", "small", "demo corpus scale: small|default (supplies the query mix)")
+	sloP99 := flag.Duration("slo-p99", 500*time.Millisecond, "p99 latency SLO the run is gated against")
+	out := flag.String("out", "", "write the JSON artifact here (e.g. BENCH_distributed.json)")
+	flag.Parse()
+
+	if (*target == "") == !*selfServe {
+		log.Fatal("exactly one of -url or -self-serve is required")
+	}
+	scale := sqe.DemoSmall
+	if *scaleFlag == "default" {
+		scale = sqe.DemoDefault
+	}
+	log.Println("generating demo environment …")
+	env, err := sqe.GenerateDemo(scale)
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	base := *target
+	targetDesc := *target
+	if *selfServe {
+		var cleanup func()
+		base, cleanup, err = bootSelfServe(env, *shards)
+		if err != nil {
+			log.Fatal(err)
+		}
+		defer cleanup()
+		targetDesc = fmt.Sprintf("self-serve distributed S=%d", *shards)
+	}
+
+	res := run(base, targetDesc, env, *rate, *duration, *k, *sloP99)
+	fmt.Print(res.String())
+	if *out != "" {
+		data, err := res.JSON()
+		if err != nil {
+			log.Fatal(err)
+		}
+		if err := os.WriteFile(*out, append(data, '\n'), 0o644); err != nil {
+			log.Fatal(err)
+		}
+		log.Printf("wrote %s", *out)
+	}
+	if !res.SLOMet {
+		log.Fatalf("SLO MISSED: p99 %.2fms > %.0fms or errors present", res.P99Ms, res.SLOp99Ms)
+	}
+}
+
+// bootSelfServe stands up the whole distributed serving path in one
+// process: real RPC shard servers on loopback TCP, a coordinator engine
+// over replica groups, and the HTTP layer on an ephemeral port.
+func bootSelfServe(env *sqe.DemoEnv, shards int) (base string, cleanup func(), err error) {
+	var closers []func()
+	cleanup = func() {
+		for i := len(closers) - 1; i >= 0; i-- {
+			closers[i]()
+		}
+	}
+	sh := index.NewSharded(env.Engine.Index(), shards)
+	groups := make([]*rpc.Group, sh.NumShards())
+	for i := range groups {
+		srv := rpc.NewServer()
+		search.NewShardService(sh.Shard(i), i, sh.NumShards()).Register(srv)
+		ln, lerr := net.Listen("tcp", "127.0.0.1:0")
+		if lerr != nil {
+			cleanup()
+			return "", nil, lerr
+		}
+		go func() { _ = srv.Serve(ln) }()
+		closers = append(closers, srv.Close)
+		c := rpc.NewClient(ln.Addr().String(), rpc.ClientOptions{MaxRetries: -1})
+		closers = append(closers, c.Close)
+		groups[i] = rpc.NewGroup([]*rpc.Client{c}, rpc.GroupOptions{})
+	}
+	remote, err := search.NewRemoteSharded(context.Background(), groups)
+	if err != nil {
+		cleanup()
+		return "", nil, err
+	}
+	eng := sqe.NewEngine(env.Engine.Graph(), env.Engine.Index(),
+		sqe.WithExpansionCache(4096),
+		sqe.WithDistributedSearcher(remote),
+		sqe.WithDegradation(sqe.DefaultDegradation()))
+	httpLn, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		cleanup()
+		return "", nil, err
+	}
+	httpSrv := &http.Server{Handler: serve.New(serve.Config{Engine: eng})}
+	go func() { _ = httpSrv.Serve(httpLn) }()
+	closers = append(closers, func() { _ = httpSrv.Close() })
+	log.Printf("self-serve: %d shard servers + coordinator + HTTP on %s", shards, httpLn.Addr())
+	return "http://" + httpLn.Addr().String(), cleanup, nil
+}
+
+// sample is one request's outcome.
+type sample struct {
+	ms       float64
+	status   int
+	degraded bool
+	err      bool
+}
+
+// run drives the open loop: one request per tick for the duration, each
+// in its own goroutine, then drains and summarises.
+func run(base, targetDesc string, env *sqe.DemoEnv, rate float64, duration time.Duration, k int, sloP99 time.Duration) *experiments.LoadBenchResult {
+	// Pre-build the request mix: SQE_C searches over every demo query
+	// plus baselines, round-robined by the ticker.
+	var paths []string
+	for i := range env.Queries {
+		q := &env.Queries[i]
+		params := fmt.Sprintf("q=%s&entities=%s&k=%d",
+			url.QueryEscape(q.Text), url.QueryEscape(strings.Join(q.EntityTitles, ",")), k)
+		paths = append(paths,
+			"/v1/search?"+params,
+			"/v1/baseline?q="+url.QueryEscape(q.Text)+fmt.Sprintf("&k=%d", k))
+	}
+
+	client := &http.Client{
+		Timeout: 30 * time.Second,
+		// The open loop can hold many requests in flight; do not let the
+		// default two-per-host idle cap serialise them.
+		Transport: &http.Transport{MaxIdleConnsPerHost: 256},
+	}
+	interval := time.Duration(float64(time.Second) / rate)
+	ticker := time.NewTicker(interval)
+	defer ticker.Stop()
+	stop := time.After(duration)
+
+	var wg sync.WaitGroup
+	var fired atomic.Int64
+	samples := make(chan sample, int(rate*duration.Seconds())*2+16)
+	log.Printf("offering %.0f req/s for %s against %s …", rate, duration, base)
+loop:
+	for i := 0; ; i++ {
+		select {
+		case <-stop:
+			break loop
+		case <-ticker.C:
+			fired.Add(1)
+			path := paths[i%len(paths)]
+			wg.Add(1)
+			go func() {
+				defer wg.Done()
+				start := time.Now()
+				resp, err := client.Get(base + path)
+				s := sample{ms: float64(time.Since(start).Microseconds()) / 1000}
+				if err != nil {
+					s.err = true
+				} else {
+					_, _ = io.Copy(io.Discard, resp.Body)
+					resp.Body.Close()
+					s.status = resp.StatusCode
+					s.degraded = resp.Header.Get(serve.DegradedHeader) != ""
+					// Latency is re-measured after the body drain so the
+					// sample covers the full response, not just headers.
+					s.ms = float64(time.Since(start).Microseconds()) / 1000
+				}
+				samples <- s
+			}()
+		}
+	}
+	wg.Wait()
+	close(samples)
+
+	res := &experiments.LoadBenchResult{
+		Target:     targetDesc,
+		OpenLoop:   true,
+		RateHz:     rate,
+		DurationS:  duration.Seconds(),
+		GOMAXPROCS: runtime.GOMAXPROCS(0),
+		Requests:   fired.Load(),
+		SLOp99Ms:   float64(sloP99.Microseconds()) / 1000,
+	}
+	var okMs []float64
+	for s := range samples {
+		switch {
+		case s.err:
+			res.Errors++
+		case s.status == http.StatusOK:
+			res.Completed++
+			okMs = append(okMs, s.ms)
+			if s.degraded {
+				res.Degraded++
+			}
+		case s.status == http.StatusTooManyRequests:
+			res.Shed++
+		default:
+			res.Errors++
+		}
+	}
+	sort.Float64s(okMs)
+	res.LoadPercentiles(okMs)
+	return res
+}

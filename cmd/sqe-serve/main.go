@@ -1,19 +1,36 @@
 // Command sqe-serve boots the HTTP serving layer (internal/serve) over
 // the demo environment: the full SQE_C pipeline with parallel motif-set
-// runs, an expansion cache, per-request deadlines, max-in-flight load
-// shedding and Prometheus metrics.
+// runs, an expansion cache, per-request deadlines, admission control
+// and Prometheus metrics.
 //
 // Usage:
 //
-//	sqe-serve [-addr :8344] [-scale small|default] [-timeout 10s]
-//	          [-max-inflight 64] [-cache 4096] [-workers 0] [-shards 1]
+//	sqe-serve [-mode serve|shard|coordinator] [-addr :8344]
+//	          [-scale small|default] [-timeout 10s] [-max-inflight 64]
+//	          [-queue 0] [-cache 4096] [-workers 0] [-shards 1]
 //	          [-degrade] [-smoke] [-chaos] [-chaos-seed 1]
+//	          [-distributed-smoke]
 //
-// Endpoints (see internal/serve):
+// Modes (the tentpole topology — see DESIGN.md §5i):
 //
-//	GET /search?q=cable+cars&entities=Cable+car&k=10     SQE_C search
-//	GET /expand?q=…&entities=…&set=TS                    expansion only
-//	GET /baseline?q=…&k=10                               QL_Q baseline
+//	-mode serve        (default) one process, optional in-process shards
+//	                   (-shards N).
+//	-mode shard -shard i/N
+//	                   serve slice i of an N-way round-robin partition
+//	                   over the RPC protocol (shard.info/stats/eval) on
+//	                   -addr. No HTTP; one process per shard.
+//	-mode coordinator -shards host:a,host:b,...
+//	                   serve the HTTP API, fanning retrieval out to the
+//	                   listed shard servers (order = shard index).
+//	                   Replicas of one shard are separated by "|":
+//	                   "a1|a2,b" is shard 0 on {a1,a2}, shard 1 on b.
+//
+// HTTP endpoints (see internal/serve); the unversioned paths still work
+// but answer with a Deprecation header:
+//
+//	GET /v1/search?q=cable+cars&entities=Cable+car&k=10  SQE_C search
+//	GET /v1/expand?q=…&entities=…&set=TS                 expansion only
+//	GET /v1/baseline?q=…&k=10                            QL_Q baseline
 //	GET /healthz                                          liveness
 //	GET /metrics                                          Prometheus text
 //
@@ -28,12 +45,18 @@
 // -chaos runs the chaos smoke instead of serving: with graceful
 // degradation enabled it arms the fault-injection registry (seeded by
 // -chaos-seed) with error, latency and panic policies at every
-// registered point, hammers /search and /baseline, and demands every
-// response be well-formed — 200 with results (degraded or not) or a
-// clean 5xx error envelope; no hangs, no crashes. It then disarms the
-// registry, replays a request, and verifies the response is fault-free
-// again. The Makefile's chaos target runs this after the -race chaos
-// tests.
+// registered point, hammers /v1/search and /v1/baseline, and demands
+// every response be well-formed — 200 with results (degraded or not) or
+// a clean 5xx typed error envelope; no hangs, no crashes. It then
+// disarms the registry, replays a request, and verifies the response is
+// fault-free again. The Makefile's chaos target runs this after the
+// -race chaos tests.
+//
+// -distributed-smoke re-execs this binary as real shard server
+// processes (os.Executable), boots a coordinator over them, and runs
+// the multi-process gate: bit-identity against single-process sharding,
+// replica failover, and dead-shard degradation surfaced end to end over
+// HTTP. The Makefile's distributed-smoke target runs exactly this.
 package main
 
 import (
@@ -50,43 +73,82 @@ import (
 	"os"
 	"os/signal"
 	"reflect"
+	"strconv"
 	"strings"
 	"syscall"
 	"time"
 
 	sqe "repro"
 	"repro/internal/fault"
+	"repro/internal/search"
 	"repro/internal/serve"
 )
 
 func main() {
 	log.SetFlags(0)
 	log.SetPrefix("sqe-serve: ")
+	mode := flag.String("mode", "serve", "process role: serve | shard | coordinator")
 	addr := flag.String("addr", ":8344", "listen address")
 	scaleFlag := flag.String("scale", "small", "demo corpus scale: small|default")
 	timeout := flag.Duration("timeout", 10*time.Second, "per-request deadline (0 = default, negative = off)")
 	maxInFlight := flag.Int("max-inflight", 64, "work requests evaluating concurrently before shedding 429s")
+	queueDepth := flag.Int("queue", 0, "admission-queue depth: requests that wait for a slot instead of shedding (0 = shed immediately)")
+	queueTimeout := flag.Duration("queue-timeout", 0, "max time a queued request waits for a slot (0 = 100ms default when -queue > 0)")
 	cacheSize := flag.Int("cache", 4096, "expansion cache entries (0 = off)")
 	workers := flag.Int("workers", 0, "concurrent SQE_C runs engine-wide (0 = GOMAXPROCS, 1 = sequential)")
-	shards := flag.Int("shards", 1, "index shards evaluated in parallel per retrieval (1 = unsharded)")
+	shards := flag.String("shards", "1", "mode=serve: in-process shard count; mode=coordinator: comma-separated shard server addresses (replicas of one shard separated by |)")
+	shardSpec := flag.String("shard", "", "mode=shard: which partition slice this process serves, as i/N (e.g. 0/2)")
 	degrade := flag.Bool("degrade", true, "enable graceful degradation (partial shard merges, expansion fallback, partial SQE_C, transient retries)")
 	precomputed := flag.String("precomputed", "", "path to a precomputed expansion store built by sqe-precompute (dropped with a warning if its KB hash mismatches)")
 	smoke := flag.Bool("smoke", false, "boot on an ephemeral port, self-test every endpoint, exit")
 	chaos := flag.Bool("chaos", false, "boot on an ephemeral port, hammer the work endpoints under fault injection, exit")
 	chaosSeed := flag.Int64("chaos-seed", 1, "fault-schedule seed for -chaos")
+	distSmoke := flag.Bool("distributed-smoke", false, "spawn shard processes + coordinator, run the multi-process parity and chaos gate, exit")
 	flag.Parse()
 
 	scale := sqe.DemoSmall
 	if *scaleFlag == "default" {
 		scale = sqe.DemoDefault
 	}
+
+	if *distSmoke {
+		if err := runDistributedSmoke(scale, *scaleFlag); err != nil {
+			log.Fatalf("DISTRIBUTED SMOKE FAIL: %v", err)
+		}
+		log.Println("DISTRIBUTED SMOKE OK")
+		return
+	}
+	if *mode == "shard" {
+		if err := runShardServer(scale, *shardSpec, *addr); err != nil {
+			log.Fatal(err)
+		}
+		return
+	}
+
 	log.Println("generating demo environment …")
 	opts := []sqe.Option{sqe.WithExpansionCache(*cacheSize)}
 	if *workers != 0 {
 		opts = append(opts, sqe.WithSQECWorkers(*workers))
 	}
-	if *shards > 1 {
-		opts = append(opts, sqe.WithShards(*shards))
+	var remote *search.RemoteSharded
+	switch *mode {
+	case "serve":
+		n, err := strconv.Atoi(*shards)
+		if err != nil {
+			log.Fatalf("-shards %q: mode=serve wants an in-process shard count", *shards)
+		}
+		if n > 1 {
+			opts = append(opts, sqe.WithShards(n))
+		}
+	case "coordinator":
+		var err error
+		if remote, err = dialShardGroups(*shards); err != nil {
+			log.Fatal(err)
+		}
+		defer remote.Close()
+		opts = append(opts, sqe.WithDistributedSearcher(remote))
+	default:
+		log.Fatalf("unknown -mode %q (serve, shard or coordinator)", *mode)
 	}
 	if *degrade || *chaos {
 		opts = append(opts, sqe.WithDegradation(sqe.DefaultDegradation()))
@@ -107,9 +169,11 @@ func main() {
 		log.Printf("WARNING: precomputed store %s was built over a different KB; dropped (serving live expansions)", *precomputed)
 	}
 	srv := serve.New(serve.Config{
-		Engine:      env.Engine,
-		Timeout:     *timeout,
-		MaxInFlight: *maxInFlight,
+		Engine:       env.Engine,
+		Timeout:      *timeout,
+		MaxInFlight:  *maxInFlight,
+		QueueDepth:   *queueDepth,
+		QueueTimeout: *queueTimeout,
 	})
 
 	if *smoke {
@@ -132,8 +196,12 @@ func main() {
 	defer stop()
 	errc := make(chan error, 1)
 	go func() { errc <- httpSrv.ListenAndServe() }()
-	log.Printf("serving %s on %s (%d queries in corpus; try /search?q=%s)",
-		env.DatasetName, *addr, len(env.Queries), url.QueryEscape(env.Queries[0].Text))
+	role := "single-process"
+	if remote != nil {
+		role = fmt.Sprintf("coordinator over %d shard servers", remote.NumShards())
+	}
+	log.Printf("serving %s on %s as %s (%d queries in corpus; try /v1/search?q=%s)",
+		env.DatasetName, *addr, role, len(env.Queries), url.QueryEscape(env.Queries[0].Text))
 	select {
 	case err := <-errc:
 		log.Fatal(err)
@@ -171,9 +239,9 @@ func runSmoke(srv *serve.Server, env *sqe.DemoEnv, hasStore bool) error {
 		name, path string
 		check      func(body []byte) error
 	}{
-		{"search", "/search?" + params + "&k=10", wantResults},
-		{"search set=T", "/search?" + params + "&k=5&set=T", wantResults},
-		{"expand", "/expand?" + params, func(b []byte) error {
+		{"search", "/v1/search?" + params + "&k=10", wantResults},
+		{"search set=T", "/v1/search?" + params + "&k=5&set=T", wantResults},
+		{"expand", "/v1/expand?" + params, func(b []byte) error {
 			var resp struct {
 				QueryNodeTitles []string `json:"query_node_titles"`
 			}
@@ -185,7 +253,8 @@ func runSmoke(srv *serve.Server, env *sqe.DemoEnv, hasStore bool) error {
 			}
 			return nil
 		}},
-		{"baseline", "/baseline?" + params + "&k=10", wantResults},
+		{"baseline", "/v1/baseline?" + params + "&k=10", wantResults},
+		{"legacy alias", "/search?" + params + "&k=10", wantResults},
 		{"healthz", "/healthz", func(b []byte) error {
 			if !strings.Contains(string(b), `"ok"`) {
 				return fmt.Errorf("unexpected body %s", b)
@@ -345,9 +414,9 @@ func runChaos(srv *serve.Server, env *sqe.DemoEnv, seed int64) error {
 	q := env.Queries[0]
 	params := "q=" + url.QueryEscape(q.Text) + "&entities=" + url.QueryEscape(strings.Join(q.EntityTitles, ","))
 	paths := []string{
-		"/search?" + params + "&k=10",
-		"/search?" + params + "&k=5&set=T",
-		"/baseline?" + params + "&k=10",
+		"/v1/search?" + params + "&k=10",
+		"/v1/search?" + params + "&k=5&set=T",
+		"/v1/baseline?" + params + "&k=10",
 	}
 
 	const iters = 60
@@ -374,9 +443,12 @@ func runChaos(srv *serve.Server, env *sqe.DemoEnv, seed int64) error {
 			}
 		case resp.StatusCode >= 500:
 			var envl struct {
-				Error string `json:"error"`
+				Error struct {
+					Code    string `json:"code"`
+					Message string `json:"message"`
+				} `json:"error"`
 			}
-			if err := json.Unmarshal(body, &envl); err != nil || envl.Error == "" {
+			if err := json.Unmarshal(body, &envl); err != nil || envl.Error.Code == "" || envl.Error.Message == "" {
 				return fmt.Errorf("GET %s: HTTP %d with malformed error envelope %q", path, resp.StatusCode, body)
 			}
 			counts.failed++

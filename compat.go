@@ -1,0 +1,209 @@
+package sqe
+
+// This file is the deprecated pre-Do method matrix, kept in one place
+// as thin delegations onto Do (and, for the legacy quirks Do rejects,
+// onto the internal doSet/doC/doBaseline drivers). New code should call
+// Do; everything here exists so old callers keep compiling and keep
+// their historical behaviour:
+//
+//   - a non-positive k runs the pipeline and retrieves nothing (Do
+//     rejects k <= 0);
+//   - a zero MotifSet in the SearchSet family means "no motifs", where
+//     Do's zero MotifSet selects the SQE_C combination;
+//   - the PRF wrappers silently clamp out-of-range feedback parameters
+//     (normalizePRF) instead of failing validation.
+
+import "context"
+
+// SearchSet runs the full SQE pipeline with one motif configuration:
+// expansion, three-part query construction, retrieval.
+//
+// Deprecated: use Do with an explicit MotifSet.
+func (e *Engine) SearchSet(set MotifSet, query string, entityTitles []string, k int) ([]Result, error) {
+	return e.SearchSetStatsContext(context.Background(), set, query, entityTitles, k, nil)
+}
+
+// SearchSetContext is SearchSet under a context deadline; cancellation
+// aborts retrieval mid-evaluation.
+//
+// Deprecated: use Do with an explicit MotifSet.
+func (e *Engine) SearchSetContext(ctx context.Context, set MotifSet, query string, entityTitles []string, k int) ([]Result, error) {
+	return e.SearchSetStatsContext(ctx, set, query, entityTitles, k, nil)
+}
+
+// SearchSetStats is SearchSet with per-stage instrumentation: entity
+// linking, motif search, query build and retrieval timings plus the
+// evaluator's counters are accumulated into ps (which may be nil).
+//
+// Deprecated: use Do with an explicit MotifSet and CollectStats.
+func (e *Engine) SearchSetStats(set MotifSet, query string, entityTitles []string, k int, ps *PipelineStats) ([]Result, error) {
+	return e.SearchSetStatsContext(context.Background(), set, query, entityTitles, k, ps)
+}
+
+// SearchSetStatsContext is SearchSetStats under a context. Like Do, it
+// counts one query into PipelineStats.Queries per call. (It historically
+// left Queries to the caller while Do counted it — aggregating the two
+// entry points into one PipelineStats double- or under-counted; the
+// wrappers now share Do's behaviour.)
+//
+// Deprecated: use Do with an explicit MotifSet and CollectStats.
+func (e *Engine) SearchSetStatsContext(ctx context.Context, set MotifSet, query string, entityTitles []string, k int, ps *PipelineStats) ([]Result, error) {
+	if k <= 0 || set == 0 {
+		// Legacy quirks Do rejects or reinterprets: a non-positive k runs
+		// the pipeline and retrieves nothing, and a zero set means "no
+		// motifs", not Do's SQE_C default.
+		res, _, err := e.doSet(ctx, set, query, entityTitles, k, nil, ps, nil)
+		if err != nil {
+			return nil, err
+		}
+		if ps != nil {
+			ps.Queries++
+		}
+		return res, nil
+	}
+	resp, err := e.Do(ctx, SearchRequest{
+		Query: query, EntityTitles: entityTitles, MotifSet: set, K: k,
+		CollectStats: ps != nil,
+	})
+	if err != nil {
+		return nil, err
+	}
+	if ps != nil {
+		ps.Add(resp.Stats)
+	}
+	return resp.Results, nil
+}
+
+// Search runs the paper's SQE_C configuration: the first five results
+// come from the triangular-motif expansion, results through rank 200
+// from the combined expansion, and the remainder from the square-motif
+// expansion.
+//
+// When a document surfaces in more than one of the three runs, the
+// Result (and score) of the first run in T → T&S → S order is kept —
+// see core.SpliceResultsC for the tie rule.
+//
+// Deprecated: use Do (the zero MotifSet selects SQE_C).
+func (e *Engine) Search(query string, entityTitles []string, k int) ([]Result, error) {
+	return e.SearchWithStatsContext(context.Background(), query, entityTitles, k, nil)
+}
+
+// SearchContext is Search under a context deadline; cancellation aborts
+// the in-flight retrievals mid-evaluation.
+//
+// Deprecated: use Do (the zero MotifSet selects SQE_C).
+func (e *Engine) SearchContext(ctx context.Context, query string, entityTitles []string, k int) ([]Result, error) {
+	return e.SearchWithStatsContext(ctx, query, entityTitles, k, nil)
+}
+
+// SearchWithStats is Search (the full SQE_C pipeline) with per-stage
+// instrumentation accumulated into ps (which may be nil): the three
+// per-set expansions and retrievals are all attributed to their stages.
+//
+// Deprecated: use Do with CollectStats.
+func (e *Engine) SearchWithStats(query string, entityTitles []string, k int, ps *PipelineStats) ([]Result, error) {
+	return e.SearchWithStatsContext(context.Background(), query, entityTitles, k, ps)
+}
+
+// SearchWithStatsContext is SearchWithStats under a context.
+//
+// Deprecated: use Do with CollectStats.
+func (e *Engine) SearchWithStatsContext(ctx context.Context, query string, entityTitles []string, k int, ps *PipelineStats) ([]Result, error) {
+	if k <= 0 {
+		// Legacy behaviour: the pipeline runs (and counts a query) but
+		// retrieves nothing; Do rejects non-positive k instead.
+		res, _, err := e.doC(ctx, query, entityTitles, k, ps, nil)
+		if err != nil {
+			return nil, err
+		}
+		if ps != nil {
+			ps.Queries++
+		}
+		return res, nil
+	}
+	resp, err := e.Do(ctx, SearchRequest{
+		Query: query, EntityTitles: entityTitles, K: k,
+		CollectStats: ps != nil,
+	})
+	if err != nil {
+		return nil, err
+	}
+	if ps != nil {
+		ps.Add(resp.Stats)
+	}
+	return resp.Results, nil
+}
+
+// BaselineSearch runs the plain query-likelihood baseline (QL_Q): the
+// user's query with no expansion.
+//
+// Deprecated: use Do with Baseline set.
+func (e *Engine) BaselineSearch(query string, k int) ([]Result, error) {
+	return e.BaselineSearchContext(context.Background(), query, k)
+}
+
+// BaselineSearchContext is BaselineSearch under a context deadline.
+//
+// Deprecated: use Do with Baseline set.
+func (e *Engine) BaselineSearchContext(ctx context.Context, query string, k int) ([]Result, error) {
+	if k <= 0 {
+		return e.doBaseline(ctx, query, k, nil, nil, nil)
+	}
+	resp, err := e.Do(ctx, SearchRequest{Query: query, K: k, Baseline: true})
+	if err != nil {
+		return nil, err
+	}
+	return resp.Results, nil
+}
+
+// SearchPRF applies pseudo-relevance feedback (Lavrenko relevance model)
+// on top of the SQE expansion for one motif set — the paper's
+// orthogonality experiment (Section 4.3).
+//
+// Deprecated: use Do with an explicit MotifSet and PRF.
+func (e *Engine) SearchPRF(set MotifSet, query string, entityTitles []string, cfg PRFConfig, k int) ([]Result, error) {
+	return e.SearchPRFContext(context.Background(), set, query, entityTitles, cfg, k)
+}
+
+// SearchPRFContext is SearchPRF under a context. The context governs the
+// final retrieval; the feedback pass (a small fixed-depth retrieval) is
+// not interruptible.
+//
+// Deprecated: use Do with an explicit MotifSet and PRF.
+func (e *Engine) SearchPRFContext(ctx context.Context, set MotifSet, query string, entityTitles []string, cfg PRFConfig, k int) ([]Result, error) {
+	res, _, err := e.doSet(ctx, set, query, entityTitles, k, normalizePRF(cfg), nil, nil)
+	return res, err
+}
+
+// BaselineSearchPRF applies pseudo-relevance feedback to the plain
+// user query with no expansion — the paper's PRF_Q configuration, whose
+// collapse on vocabulary-mismatched collections Section 4.3 demonstrates.
+//
+// Deprecated: use Do with Baseline and PRF.
+func (e *Engine) BaselineSearchPRF(query string, cfg PRFConfig, k int) ([]Result, error) {
+	return e.BaselineSearchPRFContext(context.Background(), query, cfg, k)
+}
+
+// BaselineSearchPRFContext is BaselineSearchPRF under a context (final
+// retrieval only, as in SearchPRFContext).
+//
+// Deprecated: use Do with Baseline and PRF.
+func (e *Engine) BaselineSearchPRFContext(ctx context.Context, query string, cfg PRFConfig, k int) ([]Result, error) {
+	return e.doBaseline(ctx, query, k, normalizePRF(cfg), nil, nil)
+}
+
+// normalizePRF maps the out-of-range PRF values the legacy methods
+// silently accepted (prf applies its own defaults for non-positive
+// counts) onto values Do's validation admits, preserving behaviour.
+func normalizePRF(cfg PRFConfig) *PRFConfig {
+	if cfg.FbDocs < 0 {
+		cfg.FbDocs = 0
+	}
+	if cfg.FbTerms < 0 {
+		cfg.FbTerms = 0
+	}
+	if cfg.OrigWeight < 0 || cfg.OrigWeight != cfg.OrigWeight {
+		cfg.OrigWeight = 0
+	}
+	return &cfg
+}

@@ -1,6 +1,7 @@
 package sqe
 
 import (
+	"context"
 	"fmt"
 	"math"
 	"testing"
@@ -67,21 +68,24 @@ func TestDAATMatchesLegacyOnDemoSmall(t *testing.T) {
 	}
 }
 
-// TestEngineLegacyScorerToggle checks the Engine-level flag drives the
+// TestEngineLegacyScorerToggle checks the Engine-level option drives the
 // same pipeline to identical results.
 func TestEngineLegacyScorerToggle(t *testing.T) {
 	env := demo(t)
 	q := env.Queries[0]
-	daat, err := env.Engine.Search(q.Text, q.EntityTitles, 10)
+	req := SearchRequest{Query: q.Text, EntityTitles: q.EntityTitles, K: 10}
+	daatResp, err := env.Engine.Do(context.Background(), req)
 	if err != nil {
 		t.Fatal(err)
 	}
-	env.Engine.SetLegacyScorer(true)
-	legacy, err := env.Engine.Search(q.Text, q.EntityTitles, 10)
-	env.Engine.SetLegacyScorer(false)
+	// The scorer choice is construction-time configuration now; build a
+	// second engine over the same graph and index with the legacy scorer.
+	legacyEng := NewEngine(env.Engine.Graph(), env.Engine.Index(), WithLegacyScorer())
+	legacyResp, err := legacyEng.Do(context.Background(), req)
 	if err != nil {
 		t.Fatal(err)
 	}
+	daat, legacy := daatResp.Results, legacyResp.Results
 	if len(daat) != len(legacy) {
 		t.Fatalf("result counts differ: %d vs %d", len(daat), len(legacy))
 	}
@@ -98,13 +102,17 @@ func TestEngineLegacyScorerToggle(t *testing.T) {
 func TestSearchWithStatsPopulates(t *testing.T) {
 	env := demo(t)
 	q := env.Queries[0]
-	ps := &PipelineStats{}
-	res, err := env.Engine.SearchWithStats(q.Text, q.EntityTitles, 10, ps)
+	req := SearchRequest{Query: q.Text, EntityTitles: q.EntityTitles, K: 10, CollectStats: true}
+	resp, err := env.Engine.Do(context.Background(), req)
 	if err != nil {
 		t.Fatal(err)
 	}
+	res, ps := resp.Results, resp.Stats
 	if len(res) == 0 {
 		t.Fatal("no results")
+	}
+	if ps == nil {
+		t.Fatal("CollectStats returned no stats")
 	}
 	if ps.Queries != 1 || ps.Retrievals != 3 {
 		t.Errorf("Queries=%d Retrievals=%d, want 1/3", ps.Queries, ps.Retrievals)
@@ -119,13 +127,15 @@ func TestSearchWithStatsPopulates(t *testing.T) {
 		t.Errorf("Total() = %v", ps.Stages.Total())
 	}
 	// Stats must not change what is returned.
-	plain, err := env.Engine.Search(q.Text, q.EntityTitles, 10)
+	noStats := req
+	noStats.CollectStats = false
+	plain, err := env.Engine.Do(context.Background(), noStats)
 	if err != nil {
 		t.Fatal(err)
 	}
 	for i := range res {
-		if res[i] != plain[i] {
-			t.Errorf("rank %d differs with stats attached: %v vs %v", i, res[i], plain[i])
+		if res[i] != plain.Results[i] {
+			t.Errorf("rank %d differs with stats attached: %v vs %v", i, res[i], plain.Results[i])
 		}
 	}
 }

@@ -109,7 +109,7 @@ func PrecisionAt(results []Result, relevant map[string]bool, k int) float64 {
 
 // NewEntityDictionary returns an empty entity-linking dictionary using
 // the engine's text pipeline; fill it with AddTitle/AddSurface and
-// install it with Engine.SetLinker.
+// install it with the WithLinker option.
 func NewEntityDictionary(e *Engine) *entitylink.Dictionary {
 	return entitylink.NewDictionary(e.Index().Analyzer())
 }

@@ -53,19 +53,6 @@ func TestGoldenRetrieval(t *testing.T) {
 	// sharded. Both are diffed against the same golden file — shard
 	// parity is part of the pinned contract (the cross-shard statistics
 	// override makes sharded scores bit-identical to unsharded).
-	env1, err := GenerateDemo(DemoSmall)
-	if err != nil {
-		t.Fatalf("GenerateDemo: %v", err)
-	}
-	env4, err := GenerateDemo(DemoSmall, WithShards(4))
-	if err != nil {
-		t.Fatalf("GenerateDemo shards=4: %v", err)
-	}
-	queries := env1.Queries
-	if len(queries) > 3 {
-		queries = queries[:3]
-	}
-
 	models := []struct {
 		name   string
 		model  RetrievalModel
@@ -89,8 +76,23 @@ func TestGoldenRetrieval(t *testing.T) {
 
 	ctx := context.Background()
 	for _, m := range models {
-		env1.Engine.SetRetrievalModel(m.model, m.params)
-		env4.Engine.SetRetrievalModel(m.model, m.params)
+		// The retrieval model is construction-time configuration (the
+		// mutating Set* wrappers are gone), so generate a fresh pair of
+		// demo environments per model: unsharded and 4-way sharded over
+		// the identical fixture — demo generation is deterministic, so
+		// every pair sees the same corpus and queries.
+		env1, err := GenerateDemo(DemoSmall, WithRetrievalModel(m.model, m.params))
+		if err != nil {
+			t.Fatalf("GenerateDemo: %v", err)
+		}
+		env4, err := GenerateDemo(DemoSmall, WithShards(4), WithRetrievalModel(m.model, m.params))
+		if err != nil {
+			t.Fatalf("GenerateDemo shards=4: %v", err)
+		}
+		queries := env1.Queries
+		if len(queries) > 3 {
+			queries = queries[:3]
+		}
 		for _, mode := range modes {
 			t.Run(m.name+"/"+mode.name, func(t *testing.T) {
 				got := goldenFile{Model: m.name, Mode: mode.name, K: k}

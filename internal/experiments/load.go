@@ -1,0 +1,107 @@
+package experiments
+
+import (
+	"encoding/json"
+	"fmt"
+	"strings"
+)
+
+// LoadBucket is one latency-histogram bucket: Count observations at or
+// under LeMs milliseconds (cumulative, Prometheus-style).
+type LoadBucket struct {
+	LeMs  float64 `json:"le_ms"`
+	Count int64   `json:"count"`
+}
+
+// LoadBenchResult is the artifact cmd/sqe-load writes
+// (BENCH_distributed.json) and cmd/bench-check gates. The correctness
+// fields — zero transport errors, zero degraded responses on a healthy
+// topology, the SLO verdict — are the contract; the latency numbers
+// themselves are one machine's measurement and are gated only through
+// the SLO flag, which uses a deliberately generous bound.
+type LoadBenchResult struct {
+	// Target describes what was load-tested ("self-serve distributed
+	// S=2" or an external URL).
+	Target string `json:"target"`
+	// OpenLoop records the generator discipline: requests fire on the
+	// clock regardless of completions, so a slow server accumulates
+	// in-flight work instead of silently lowering the offered rate.
+	OpenLoop   bool    `json:"open_loop"`
+	RateHz     float64 `json:"rate_hz"`
+	DurationS  float64 `json:"duration_s"`
+	GOMAXPROCS int     `json:"gomaxprocs"`
+
+	Requests  int64 `json:"requests"`
+	Completed int64 `json:"completed"`
+	// Errors counts transport failures and non-2xx/non-429 statuses.
+	Errors int64 `json:"errors"`
+	// Shed counts 429s from admission control — backpressure, not
+	// failure, so they are tallied separately.
+	Shed int64 `json:"shed"`
+	// Degraded counts 200s whose results were degraded.
+	Degraded int64 `json:"degraded"`
+
+	P50Ms float64 `json:"p50_ms"`
+	P90Ms float64 `json:"p90_ms"`
+	P99Ms float64 `json:"p99_ms"`
+	MaxMs float64 `json:"max_ms"`
+
+	// SLOp99Ms is the p99 bound the run was gated against; SLOMet is
+	// the verdict over the successful requests' latency distribution.
+	SLOp99Ms float64 `json:"slo_p99_ms"`
+	SLOMet   bool    `json:"slo_met"`
+
+	Histogram []LoadBucket `json:"histogram"`
+}
+
+// JSON renders the artifact.
+func (r *LoadBenchResult) JSON() ([]byte, error) {
+	return json.MarshalIndent(r, "", "  ")
+}
+
+func (r *LoadBenchResult) String() string {
+	var sb strings.Builder
+	fmt.Fprintf(&sb, "load %s: %.0f req/s for %.1fs (open loop)\n", r.Target, r.RateHz, r.DurationS)
+	fmt.Fprintf(&sb, "  %d requests: %d completed, %d errors, %d shed, %d degraded\n",
+		r.Requests, r.Completed, r.Errors, r.Shed, r.Degraded)
+	fmt.Fprintf(&sb, "  latency p50 %.2fms  p90 %.2fms  p99 %.2fms  max %.2fms\n",
+		r.P50Ms, r.P90Ms, r.P99Ms, r.MaxMs)
+	verdict := "MET"
+	if !r.SLOMet {
+		verdict = "MISSED"
+	}
+	fmt.Fprintf(&sb, "  SLO p99 <= %.0fms: %s\n", r.SLOp99Ms, verdict)
+	return sb.String()
+}
+
+// LoadPercentiles fills the percentile and histogram fields from the
+// sorted successful-request latencies (milliseconds). Exported so the
+// generator and tests share one definition of the artifact's numbers.
+func (r *LoadBenchResult) LoadPercentiles(sortedMs []float64) {
+	pct := func(p float64) float64 {
+		if len(sortedMs) == 0 {
+			return 0
+		}
+		i := int(p * float64(len(sortedMs)-1))
+		return sortedMs[i]
+	}
+	r.P50Ms, r.P90Ms, r.P99Ms = pct(0.50), pct(0.90), pct(0.99)
+	if n := len(sortedMs); n > 0 {
+		r.MaxMs = sortedMs[n-1]
+	}
+	bounds := []float64{0.5, 1, 2, 5, 10, 25, 50, 100, 250, 500, 1000}
+	r.Histogram = make([]LoadBucket, 0, len(bounds)+1)
+	for _, le := range bounds {
+		var count int64
+		for _, v := range sortedMs {
+			if v > le {
+				break
+			}
+			count++
+		}
+		r.Histogram = append(r.Histogram, LoadBucket{LeMs: le, Count: count})
+	}
+	// The +Inf bucket, rendered as le_ms 0 would be ambiguous; use -1.
+	r.Histogram = append(r.Histogram, LoadBucket{LeMs: -1, Count: int64(len(sortedMs))})
+	r.SLOMet = r.P99Ms <= r.SLOp99Ms && r.Errors == 0
+}

@@ -8,12 +8,16 @@ package fault_test
 import (
 	"context"
 	"fmt"
+	"net"
 	"reflect"
 	"testing"
 	"time"
 
 	sqe "repro"
 	"repro/internal/fault"
+	"repro/internal/index"
+	"repro/internal/rpc"
+	"repro/internal/search"
 )
 
 func demoEnv(t *testing.T, opts ...sqe.Option) *sqe.DemoEnv {
@@ -29,6 +33,38 @@ func demoEnv(t *testing.T, opts ...sqe.Option) *sqe.DemoEnv {
 // single-fault schedule maps to exactly one degradation event.
 func directedPolicy() sqe.DegradationPolicy {
 	return sqe.DegradationPolicy{PartialShards: true, ExpansionFallback: true, PartialSQEC: true}
+}
+
+// remoteEngine builds a second engine over env's corpus whose retrieval
+// fans out over real RPC to in-process shard servers on loopback, so the
+// rpc.client_call and rpc.server_handle fault points sit on the request
+// path. Queries in the chaos mix carry explicit entity titles, so the
+// engine needs no linker.
+func remoteEngine(t *testing.T, env *sqe.DemoEnv, shards int, pol sqe.DegradationPolicy) *sqe.Engine {
+	t.Helper()
+	sh := index.NewSharded(env.Engine.Index(), shards)
+	groups := make([]*rpc.Group, sh.NumShards())
+	for i := range groups {
+		srv := rpc.NewServer()
+		search.NewShardService(sh.Shard(i), i, sh.NumShards()).Register(srv)
+		ln, err := net.Listen("tcp", "127.0.0.1:0")
+		if err != nil {
+			t.Fatalf("listen: %v", err)
+		}
+		go srv.Serve(ln)
+		t.Cleanup(func() { srv.Close() })
+		// Client-level retries stay off: the degradation layer owns
+		// retries, the same wiring the coordinator binary uses.
+		c := rpc.NewClient(ln.Addr().String(), rpc.ClientOptions{MaxRetries: -1})
+		t.Cleanup(func() { c.Close() })
+		groups[i] = rpc.NewGroup([]*rpc.Client{c}, rpc.GroupOptions{})
+	}
+	rs, err := search.NewRemoteSharded(context.Background(), groups)
+	if err != nil {
+		t.Fatalf("NewRemoteSharded: %v", err)
+	}
+	return sqe.NewEngine(env.Engine.Graph(), env.Engine.Index(),
+		sqe.WithDistributedSearcher(rs), sqe.WithDegradation(pol))
 }
 
 // chaosRequests builds a request mix over the demo queries: the full
@@ -57,20 +93,31 @@ func TestChaosEngineUnderRandomFaults(t *testing.T) {
 	defer fault.Disarm()
 	env := demoEnv(t, sqe.WithShards(4), sqe.WithExpansionCache(256),
 		sqe.WithDegradation(sqe.DefaultDegradation()))
+	// A second engine over the same corpus retrieves through real RPC
+	// shard servers, putting the rpc.* fault points on the request path;
+	// the distributed parity contract says both engines answer every
+	// request bit-identically.
+	engines := []*sqe.Engine{env.Engine, remoteEngine(t, env, 2, sqe.DefaultDegradation())}
 	reqs := chaosRequests(env)
 	ctx := context.Background()
 
 	fault.Disarm()
 	base := make([]*sqe.SearchResponse, len(reqs))
 	for i, r := range reqs {
-		resp, err := env.Engine.Do(ctx, r)
-		if err != nil {
-			t.Fatalf("baseline request %d: %v", i, err)
+		for ei, eng := range engines {
+			resp, err := eng.Do(ctx, r)
+			if err != nil {
+				t.Fatalf("baseline request %d (engine %d): %v", i, ei, err)
+			}
+			if resp.Degraded != nil {
+				t.Fatalf("baseline request %d (engine %d) degraded with no registry armed: %+v", i, ei, resp.Degraded)
+			}
+			if ei == 0 {
+				base[i] = resp
+			} else if !reflect.DeepEqual(resp.Results, base[i].Results) {
+				t.Fatalf("baseline request %d: distributed results diverge from in-process", i)
+			}
 		}
-		if resp.Degraded != nil {
-			t.Fatalf("baseline request %d degraded with no registry armed: %+v", i, resp.Degraded)
-		}
-		base[i] = resp
 	}
 
 	reg := fault.NewRegistry(7)
@@ -94,7 +141,7 @@ func TestChaosEngineUnderRandomFaults(t *testing.T) {
 		go func(w int) {
 			for i := 0; i < iters; i++ {
 				req := reqs[(w+i)%len(reqs)]
-				resp, err := env.Engine.Do(ctx, req)
+				resp, err := engines[(w+i)%len(engines)].Do(ctx, req)
 				if err != nil {
 					continue // failing is allowed under chaos; hanging and panicking are not
 				}
@@ -134,15 +181,17 @@ func TestChaosEngineUnderRandomFaults(t *testing.T) {
 
 	fault.Disarm()
 	for i, r := range reqs {
-		resp, err := env.Engine.Do(ctx, r)
-		if err != nil {
-			t.Fatalf("post-disarm request %d: %v", i, err)
-		}
-		if resp.Degraded != nil {
-			t.Fatalf("post-disarm request %d still degraded: %+v", i, resp.Degraded)
-		}
-		if !reflect.DeepEqual(resp.Results, base[i].Results) {
-			t.Fatalf("post-disarm request %d: results differ from the pre-chaos baseline", i)
+		for ei, eng := range engines {
+			resp, err := eng.Do(ctx, r)
+			if err != nil {
+				t.Fatalf("post-disarm request %d (engine %d): %v", i, ei, err)
+			}
+			if resp.Degraded != nil {
+				t.Fatalf("post-disarm request %d (engine %d) still degraded: %+v", i, ei, resp.Degraded)
+			}
+			if !reflect.DeepEqual(resp.Results, base[i].Results) {
+				t.Fatalf("post-disarm request %d (engine %d): results differ from the pre-chaos baseline", i, ei)
+			}
 		}
 	}
 }

@@ -60,11 +60,22 @@ const (
 	// SQECRun fires at the start of each of SQE_C's three sub-runs — a
 	// failing run of the combination.
 	SQECRun Point = "engine.sqec_run"
+	// RPCClient fires before each RPC call attempt on the coordinator
+	// side — a refused, slow, or truncated connection to a shard server.
+	// Injected errors surface as transport errors, so the client's
+	// bounded retry and the replica group's failover engage exactly as
+	// they would for a real network fault.
+	RPCClient Point = "rpc.client_call"
+	// RPCServer fires before a shard server dispatches a request to its
+	// handler — a shard process that accepts connections but fails
+	// requests. Injected errors surface as application errors (the
+	// server answered), exercising the non-retryable path.
+	RPCServer Point = "rpc.server_handle"
 )
 
 // Points returns the registered point catalog (a fresh copy).
 func Points() []Point {
-	return []Point{IndexPostings, ShardEval, MotifExpand, ExpansionCache, SQECRun}
+	return []Point{IndexPostings, ShardEval, MotifExpand, ExpansionCache, SQECRun, RPCClient, RPCServer}
 }
 
 // Policy configures the faults one point injects. The zero value

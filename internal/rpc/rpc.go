@@ -1,0 +1,514 @@
+// Package rpc is the wire layer of multi-node serving: a minimal
+// framed-message RPC over TCP connecting the search coordinator to
+// shard-server processes (see search.RemoteSharded and cmd/sqe-serve's
+// shard/coordinator modes). The repo takes no dependencies, so the
+// protocol is deliberately small:
+//
+//	frame   := length(uint32, big-endian) payload(length bytes)
+//	payload := JSON
+//
+// A connection carries a sequence of request/response round trips in
+// lock step (no multiplexing — the coordinator pools connections
+// instead, which keeps both ends trivially correct). Requests name a
+// method and carry a JSON body; responses carry either a body or a
+// typed error:
+//
+//	request  {"method": "shard.eval", "body": {…}}
+//	response {"ok": true,  "body": {…}}
+//	response {"ok": false, "error": {"code": "…", "message": "…"}}
+//
+// JSON is safe for the engine's bit-identity guarantee: Go's encoder
+// emits the shortest float64 representation that round-trips exactly,
+// so statistics and scores cross the wire without loss.
+//
+// Failure handling is layered the same way the single-process engine
+// layers it:
+//
+//   - Client.Call applies a per-attempt timeout and retries transport
+//     errors (refused connections, timeouts, truncated frames) a
+//     bounded number of times with linear backoff. Every registered
+//     method is a pure read, so retrying after an ambiguous failure is
+//     safe.
+//   - Group fans a call over a replica set: sequential failover on
+//     error, plus an optional hedge — if the primary has not answered
+//     within HedgeDelay, the same call starts on the next replica and
+//     the first answer wins.
+//   - Application errors (a handler returning an error) come back as
+//     *ServerError and are never retried or hedged around: the replica
+//     answered; asking again or asking a twin would answer the same.
+//
+// The fault points rpc.client_call and rpc.server_handle let the chaos
+// harness inject refused/slow/truncated calls deterministically.
+package rpc
+
+import (
+	"context"
+	"encoding/binary"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"io"
+	"net"
+	"sync"
+	"time"
+
+	"repro/internal/fault"
+)
+
+// MaxFrame caps a frame's payload size (default 64 MiB). A frame header
+// announcing more than this is treated as a corrupt stream, not an
+// allocation request.
+const MaxFrame = 64 << 20
+
+// writeFrame writes one length-prefixed payload.
+func writeFrame(w io.Writer, payload []byte) error {
+	if len(payload) > MaxFrame {
+		return fmt.Errorf("rpc: frame of %d bytes exceeds MaxFrame", len(payload))
+	}
+	var hdr [4]byte
+	binary.BigEndian.PutUint32(hdr[:], uint32(len(payload)))
+	if _, err := w.Write(hdr[:]); err != nil {
+		return err
+	}
+	_, err := w.Write(payload)
+	return err
+}
+
+// readFrame reads one length-prefixed payload.
+func readFrame(r io.Reader) ([]byte, error) {
+	var hdr [4]byte
+	if _, err := io.ReadFull(r, hdr[:]); err != nil {
+		return nil, err
+	}
+	n := binary.BigEndian.Uint32(hdr[:])
+	if n > MaxFrame {
+		return nil, fmt.Errorf("rpc: frame header announces %d bytes, exceeding MaxFrame", n)
+	}
+	payload := make([]byte, n)
+	if _, err := io.ReadFull(r, payload); err != nil {
+		return nil, err
+	}
+	return payload, nil
+}
+
+// request is the client→server payload.
+type request struct {
+	Method string          `json:"method"`
+	Body   json.RawMessage `json:"body,omitempty"`
+}
+
+// response is the server→client payload.
+type response struct {
+	OK    bool            `json:"ok"`
+	Body  json.RawMessage `json:"body,omitempty"`
+	Error *wireError      `json:"error,omitempty"`
+}
+
+// wireError is the typed error envelope an application failure crosses
+// the wire as.
+type wireError struct {
+	Code    string `json:"code"`
+	Message string `json:"message"`
+}
+
+// ServerError is an application-level error returned by the remote
+// handler. It is terminal for the call: the server processed the
+// request and answered — retrying or failing over to a replica would
+// produce the same answer.
+type ServerError struct {
+	Code    string
+	Message string
+}
+
+// Error implements error.
+func (e *ServerError) Error() string {
+	return fmt.Sprintf("rpc: server error %s: %s", e.Code, e.Message)
+}
+
+// TransportError is a transport-level failure: dial refused, attempt
+// deadline exceeded, connection reset, truncated or corrupt frame. The
+// remote may or may not have seen the request; since every method is a
+// pure read, the client retries these.
+type TransportError struct {
+	Addr string
+	Op   string // "dial", "send", "recv"
+	Err  error
+}
+
+// Error implements error.
+func (e *TransportError) Error() string {
+	return fmt.Sprintf("rpc: %s %s: %v", e.Op, e.Addr, e.Err)
+}
+
+// Unwrap exposes the underlying cause (net.Error, context errors, …).
+func (e *TransportError) Unwrap() error { return e.Err }
+
+// IsTransport reports whether err is (or wraps) a transport failure —
+// the class the degradation layer maps to a dead/slow replica.
+func IsTransport(err error) bool {
+	var te *TransportError
+	return errors.As(err, &te)
+}
+
+// Handler serves one method: decode the raw body, do the work, return a
+// result to be JSON-encoded (or an error, which crosses the wire as a
+// ServerError).
+type Handler func(ctx context.Context, body json.RawMessage) (any, error)
+
+// Server dispatches framed requests to registered handlers. Construct
+// with NewServer, register with Handle, then Serve a listener.
+type Server struct {
+	mu       sync.Mutex
+	handlers map[string]Handler
+	conns    map[net.Conn]struct{}
+	ln       net.Listener
+	closed   bool
+}
+
+// NewServer returns an empty server.
+func NewServer() *Server {
+	return &Server{
+		handlers: make(map[string]Handler),
+		conns:    make(map[net.Conn]struct{}),
+	}
+}
+
+// Handle registers h for method; registering after Serve started is not
+// synchronised and must be completed first.
+func (s *Server) Handle(method string, h Handler) { s.handlers[method] = h }
+
+// Serve accepts connections on ln until Close. Each connection is
+// served by its own goroutine, one request at a time.
+func (s *Server) Serve(ln net.Listener) error {
+	s.mu.Lock()
+	s.ln = ln
+	s.mu.Unlock()
+	for {
+		conn, err := ln.Accept()
+		if err != nil {
+			s.mu.Lock()
+			closed := s.closed
+			s.mu.Unlock()
+			if closed {
+				return nil
+			}
+			return err
+		}
+		s.mu.Lock()
+		s.conns[conn] = struct{}{}
+		s.mu.Unlock()
+		go s.serveConn(conn)
+	}
+}
+
+// Close stops accepting and closes every open connection.
+func (s *Server) Close() {
+	s.mu.Lock()
+	s.closed = true
+	if s.ln != nil {
+		_ = s.ln.Close()
+	}
+	for c := range s.conns {
+		_ = c.Close()
+	}
+	s.mu.Unlock()
+}
+
+// serveConn runs the request/response loop of one connection.
+func (s *Server) serveConn(conn net.Conn) {
+	defer func() {
+		s.mu.Lock()
+		delete(s.conns, conn)
+		s.mu.Unlock()
+		_ = conn.Close()
+	}()
+	for {
+		payload, err := readFrame(conn)
+		if err != nil {
+			return // client went away or stream corrupt; nothing to answer
+		}
+		var req request
+		if err := json.Unmarshal(payload, &req); err != nil {
+			_ = s.reply(conn, response{Error: &wireError{Code: "bad_request", Message: err.Error()}})
+			return
+		}
+		resp := s.dispatch(req)
+		if err := s.reply(conn, resp); err != nil {
+			return
+		}
+	}
+}
+
+// dispatch runs one request through the fault hook and its handler,
+// containing handler panics into error responses so one bad request
+// cannot kill the shard process.
+func (s *Server) dispatch(req request) (resp response) {
+	defer func() {
+		if v := recover(); v != nil {
+			resp = response{Error: &wireError{Code: "panic", Message: fmt.Sprint(v)}}
+		}
+	}()
+	if err := fault.Check(fault.RPCServer); err != nil {
+		return response{Error: &wireError{Code: "injected_fault", Message: err.Error()}}
+	}
+	h, ok := s.handlers[req.Method]
+	if !ok {
+		return response{Error: &wireError{Code: "unknown_method", Message: fmt.Sprintf("no handler for %q", req.Method)}}
+	}
+	out, err := h(context.Background(), req.Body)
+	if err != nil {
+		return response{Error: &wireError{Code: "handler_error", Message: err.Error()}}
+	}
+	body, err := json.Marshal(out)
+	if err != nil {
+		return response{Error: &wireError{Code: "encode_error", Message: err.Error()}}
+	}
+	return response{OK: true, Body: body}
+}
+
+func (s *Server) reply(conn net.Conn, resp response) error {
+	payload, err := json.Marshal(resp)
+	if err != nil {
+		return err
+	}
+	return writeFrame(conn, payload)
+}
+
+// ClientOptions parameterise a Client; zero values select the noted
+// defaults.
+type ClientOptions struct {
+	// DialTimeout bounds connection establishment (default 2s).
+	DialTimeout time.Duration
+	// CallTimeout bounds each call attempt end to end — send + wait +
+	// receive (default 5s). The caller's context can tighten it further.
+	CallTimeout time.Duration
+	// MaxRetries re-runs a call that failed with a transport error up
+	// to this many extra times (default 1; negative disables).
+	MaxRetries int
+	// RetryBackoff is the base delay between retries; attempt i waits
+	// i×RetryBackoff (default 2ms).
+	RetryBackoff time.Duration
+	// MaxIdleConns bounds the pooled idle connections (default 4).
+	MaxIdleConns int
+}
+
+func (o ClientOptions) withDefaults() ClientOptions {
+	if o.DialTimeout == 0 {
+		o.DialTimeout = 2 * time.Second
+	}
+	if o.CallTimeout == 0 {
+		o.CallTimeout = 5 * time.Second
+	}
+	if o.MaxRetries == 0 {
+		o.MaxRetries = 1
+	}
+	if o.MaxRetries < 0 {
+		o.MaxRetries = 0
+	}
+	if o.RetryBackoff == 0 {
+		o.RetryBackoff = 2 * time.Millisecond
+	}
+	if o.MaxIdleConns == 0 {
+		o.MaxIdleConns = 4
+	}
+	return o
+}
+
+// CallStats are a client's monotonic counters.
+type CallStats struct {
+	// Calls counts Call invocations (not attempts).
+	Calls int64
+	// Attempts counts wire attempts, including retries.
+	Attempts int64
+	// Retries counts re-attempts after transport errors.
+	Retries int64
+	// Failures counts Calls that ultimately failed.
+	Failures int64
+}
+
+// Client calls one address. Safe for concurrent use; connections are
+// pooled per client.
+type Client struct {
+	addr string
+	opts ClientOptions
+
+	mu    sync.Mutex
+	idle  []net.Conn
+	stats CallStats
+}
+
+// NewClient returns a client for addr. No connection is made until the
+// first Call.
+func NewClient(addr string, opts ClientOptions) *Client {
+	return &Client{addr: addr, opts: opts.withDefaults()}
+}
+
+// Addr returns the address this client calls.
+func (c *Client) Addr() string { return c.addr }
+
+// Stats snapshots the client's counters.
+func (c *Client) Stats() CallStats {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.stats
+}
+
+// Close drops every pooled connection.
+func (c *Client) Close() {
+	c.mu.Lock()
+	for _, conn := range c.idle {
+		_ = conn.Close()
+	}
+	c.idle = nil
+	c.mu.Unlock()
+}
+
+// getConn pops a pooled connection or dials a fresh one.
+func (c *Client) getConn(ctx context.Context) (net.Conn, bool, error) {
+	c.mu.Lock()
+	if n := len(c.idle); n > 0 {
+		conn := c.idle[n-1]
+		c.idle = c.idle[:n-1]
+		c.mu.Unlock()
+		return conn, true, nil
+	}
+	c.mu.Unlock()
+	d := net.Dialer{Timeout: c.opts.DialTimeout}
+	conn, err := d.DialContext(ctx, "tcp", c.addr)
+	if err != nil {
+		return nil, false, &TransportError{Addr: c.addr, Op: "dial", Err: err}
+	}
+	return conn, false, nil
+}
+
+// putConn returns a healthy connection to the pool (or closes it when
+// the pool is full).
+func (c *Client) putConn(conn net.Conn) {
+	c.mu.Lock()
+	if len(c.idle) < c.opts.MaxIdleConns {
+		c.idle = append(c.idle, conn)
+		c.mu.Unlock()
+		return
+	}
+	c.mu.Unlock()
+	_ = conn.Close()
+}
+
+// Call invokes method with req, decoding the response body into out
+// (which may be nil to discard it). Transport failures are retried up
+// to MaxRetries times; *ServerError is terminal.
+func (c *Client) Call(ctx context.Context, method string, req any, out any) error {
+	c.mu.Lock()
+	c.stats.Calls++
+	c.mu.Unlock()
+	var err error
+	for attempt := 0; attempt <= c.opts.MaxRetries; attempt++ {
+		if attempt > 0 {
+			c.mu.Lock()
+			c.stats.Retries++
+			c.mu.Unlock()
+			if c.opts.RetryBackoff > 0 {
+				t := time.NewTimer(time.Duration(attempt) * c.opts.RetryBackoff)
+				cancelled := false
+				select {
+				case <-ctx.Done():
+					t.Stop()
+					err = ctx.Err()
+					cancelled = true
+				case <-t.C:
+				}
+				if cancelled {
+					break
+				}
+			}
+		}
+		err = c.attempt(ctx, method, req, out)
+		if err == nil || !IsTransport(err) || ctx.Err() != nil {
+			break
+		}
+	}
+	if err != nil {
+		c.mu.Lock()
+		c.stats.Failures++
+		c.mu.Unlock()
+	}
+	return err
+}
+
+// attempt runs one wire attempt under the per-attempt timeout. A
+// pooled connection that fails on send is assumed stale (the server
+// may have closed it between calls) and the attempt is re-run once on
+// a fresh connection before the failure counts.
+func (c *Client) attempt(ctx context.Context, method string, req any, out any) error {
+	c.mu.Lock()
+	c.stats.Attempts++
+	c.mu.Unlock()
+	if err := fault.Check(fault.RPCClient); err != nil {
+		return &TransportError{Addr: c.addr, Op: "send", Err: err}
+	}
+	body, err := json.Marshal(req)
+	if err != nil {
+		return fmt.Errorf("rpc: encode request: %w", err)
+	}
+	payload, err := json.Marshal(request{Method: method, Body: body})
+	if err != nil {
+		return fmt.Errorf("rpc: encode frame: %w", err)
+	}
+	for {
+		conn, pooled, err := c.getConn(ctx)
+		if err != nil {
+			return err
+		}
+		err = c.roundTrip(ctx, conn, payload, out)
+		if err == nil {
+			c.putConn(conn)
+			return nil
+		}
+		_ = conn.Close()
+		// A stale pooled connection surfaces as an immediate transport
+		// error; retry the attempt once on a fresh dial before failing.
+		if pooled && IsTransport(err) && ctx.Err() == nil {
+			pooledRetry := &TransportError{}
+			if errors.As(err, &pooledRetry) && pooledRetry.Op != "dial" {
+				continue
+			}
+		}
+		return err
+	}
+}
+
+// roundTrip writes one frame and reads one response on conn, under the
+// attempt deadline.
+func (c *Client) roundTrip(ctx context.Context, conn net.Conn, payload []byte, out any) error {
+	deadline := time.Now().Add(c.opts.CallTimeout)
+	if d, ok := ctx.Deadline(); ok && d.Before(deadline) {
+		deadline = d
+	}
+	if err := conn.SetDeadline(deadline); err != nil {
+		return &TransportError{Addr: c.addr, Op: "send", Err: err}
+	}
+	if err := writeFrame(conn, payload); err != nil {
+		return &TransportError{Addr: c.addr, Op: "send", Err: err}
+	}
+	respPayload, err := readFrame(conn)
+	if err != nil {
+		return &TransportError{Addr: c.addr, Op: "recv", Err: err}
+	}
+	var resp response
+	if err := json.Unmarshal(respPayload, &resp); err != nil {
+		return &TransportError{Addr: c.addr, Op: "recv", Err: err}
+	}
+	if !resp.OK {
+		we := resp.Error
+		if we == nil {
+			we = &wireError{Code: "unknown", Message: "server returned failure with no error"}
+		}
+		return &ServerError{Code: we.Code, Message: we.Message}
+	}
+	if out != nil {
+		if err := json.Unmarshal(resp.Body, out); err != nil {
+			return &TransportError{Addr: c.addr, Op: "recv", Err: fmt.Errorf("decode response body: %w", err)}
+		}
+	}
+	return nil
+}

@@ -1,0 +1,434 @@
+package rpc
+
+import (
+	"context"
+	"encoding/binary"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"net"
+	"sync/atomic"
+	"testing"
+	"time"
+)
+
+// startServer boots a Server on an ephemeral port and returns its
+// address; handlers are registered by the caller before Serve via the
+// setup callback.
+func startServer(t *testing.T, setup func(*Server)) string {
+	t.Helper()
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	s := NewServer()
+	if setup != nil {
+		setup(s)
+	}
+	go func() { _ = s.Serve(ln) }()
+	t.Cleanup(s.Close)
+	return ln.Addr().String()
+}
+
+type echoReq struct {
+	X float64 `json:"x"`
+	S string  `json:"s"`
+}
+
+func echoHandler(ctx context.Context, body json.RawMessage) (any, error) {
+	var req echoReq
+	if err := json.Unmarshal(body, &req); err != nil {
+		return nil, err
+	}
+	return req, nil
+}
+
+func TestCallRoundTripPreservesFloats(t *testing.T) {
+	addr := startServer(t, func(s *Server) { s.Handle("echo", echoHandler) })
+	c := NewClient(addr, ClientOptions{})
+	defer c.Close()
+
+	// A float with no short decimal representation must round-trip
+	// bit-exactly — the engine's bit-identity guarantee rides on this.
+	in := echoReq{X: 0.1 + 0.2, S: "motif"}
+	var out echoReq
+	if err := c.Call(context.Background(), "echo", in, &out); err != nil {
+		t.Fatal(err)
+	}
+	if out != in {
+		t.Fatalf("round trip changed payload: got %+v want %+v", out, in)
+	}
+	if st := c.Stats(); st.Calls != 1 || st.Attempts != 1 || st.Retries != 0 {
+		t.Fatalf("stats = %+v, want 1 call, 1 attempt, 0 retries", st)
+	}
+}
+
+func TestCallReusesPooledConnection(t *testing.T) {
+	var conns int32
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	s := NewServer()
+	s.Handle("echo", echoHandler)
+	go func() {
+		for {
+			conn, err := ln.Accept()
+			if err != nil {
+				return
+			}
+			atomic.AddInt32(&conns, 1)
+			go s.serveConn(conn)
+		}
+	}()
+	t.Cleanup(func() { _ = ln.Close(); s.Close() })
+
+	c := NewClient(ln.Addr().String(), ClientOptions{})
+	defer c.Close()
+	for i := 0; i < 5; i++ {
+		var out echoReq
+		if err := c.Call(context.Background(), "echo", echoReq{X: float64(i)}, &out); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if n := atomic.LoadInt32(&conns); n != 1 {
+		t.Fatalf("5 sequential calls used %d connections, want 1 (pooling broken)", n)
+	}
+}
+
+func TestServerErrorIsTerminal(t *testing.T) {
+	var handled int32
+	addr := startServer(t, func(s *Server) {
+		s.Handle("fail", func(ctx context.Context, body json.RawMessage) (any, error) {
+			atomic.AddInt32(&handled, 1)
+			return nil, errors.New("no such shard")
+		})
+	})
+	c := NewClient(addr, ClientOptions{MaxRetries: 3})
+	defer c.Close()
+
+	err := c.Call(context.Background(), "fail", nil, nil)
+	var se *ServerError
+	if !errors.As(err, &se) {
+		t.Fatalf("err = %v, want *ServerError", err)
+	}
+	if se.Code != "handler_error" || se.Message != "no such shard" {
+		t.Fatalf("server error = %+v", se)
+	}
+	if IsTransport(err) {
+		t.Fatal("ServerError classified as transport")
+	}
+	if n := atomic.LoadInt32(&handled); n != 1 {
+		t.Fatalf("handler ran %d times, want 1 (application errors must not retry)", n)
+	}
+}
+
+func TestUnknownMethod(t *testing.T) {
+	addr := startServer(t, func(s *Server) { s.Handle("echo", echoHandler) })
+	c := NewClient(addr, ClientOptions{})
+	defer c.Close()
+	err := c.Call(context.Background(), "nope", nil, nil)
+	var se *ServerError
+	if !errors.As(err, &se) || se.Code != "unknown_method" {
+		t.Fatalf("err = %v, want ServerError{unknown_method}", err)
+	}
+}
+
+func TestHandlerPanicContained(t *testing.T) {
+	addr := startServer(t, func(s *Server) {
+		s.Handle("boom", func(ctx context.Context, body json.RawMessage) (any, error) {
+			panic("kaput")
+		})
+		s.Handle("echo", echoHandler)
+	})
+	c := NewClient(addr, ClientOptions{})
+	defer c.Close()
+	err := c.Call(context.Background(), "boom", nil, nil)
+	var se *ServerError
+	if !errors.As(err, &se) || se.Code != "panic" {
+		t.Fatalf("err = %v, want ServerError{panic}", err)
+	}
+	// The connection and the server survive the panic.
+	var out echoReq
+	if err := c.Call(context.Background(), "echo", echoReq{S: "alive"}, &out); err != nil {
+		t.Fatalf("server dead after contained panic: %v", err)
+	}
+}
+
+func TestRefusedConnectionIsTransportAndRetried(t *testing.T) {
+	// Grab an ephemeral port and close it: connections are refused.
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	addr := ln.Addr().String()
+	_ = ln.Close()
+
+	c := NewClient(addr, ClientOptions{MaxRetries: 2, RetryBackoff: time.Millisecond})
+	defer c.Close()
+	err = c.Call(context.Background(), "echo", nil, nil)
+	if !IsTransport(err) {
+		t.Fatalf("refused connection: err = %v, want transport error", err)
+	}
+	var te *TransportError
+	if !errors.As(err, &te) || te.Op != "dial" {
+		t.Fatalf("err = %v, want dial transport error", err)
+	}
+	if st := c.Stats(); st.Attempts != 3 || st.Retries != 2 || st.Failures != 1 {
+		t.Fatalf("stats = %+v, want 3 attempts / 2 retries / 1 failure", st)
+	}
+}
+
+func TestAttemptTimeoutIsTransport(t *testing.T) {
+	// A server that accepts and reads but never answers.
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { _ = ln.Close() })
+	go func() {
+		for {
+			conn, err := ln.Accept()
+			if err != nil {
+				return
+			}
+			go func() {
+				buf := make([]byte, 1024)
+				for {
+					if _, err := conn.Read(buf); err != nil {
+						return
+					}
+				}
+			}()
+		}
+	}()
+
+	c := NewClient(ln.Addr().String(), ClientOptions{
+		CallTimeout:  30 * time.Millisecond,
+		MaxRetries:   1,
+		RetryBackoff: time.Millisecond,
+	})
+	defer c.Close()
+	start := time.Now()
+	err = c.Call(context.Background(), "echo", nil, nil)
+	if !IsTransport(err) {
+		t.Fatalf("timeout: err = %v, want transport error", err)
+	}
+	var te *TransportError
+	if !errors.As(err, &te) || te.Op != "recv" {
+		t.Fatalf("err = %v, want recv transport error", err)
+	}
+	var ne net.Error
+	if !errors.As(err, &ne) || !ne.Timeout() {
+		t.Fatalf("err = %v, want wrapped net timeout", err)
+	}
+	if el := time.Since(start); el > 2*time.Second {
+		t.Fatalf("two 30ms attempts took %v", el)
+	}
+	if st := c.Stats(); st.Attempts != 2 {
+		t.Fatalf("stats = %+v, want 2 attempts", st)
+	}
+}
+
+func TestMidStreamTruncationIsTransport(t *testing.T) {
+	// A server that sends half a frame header and closes.
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { _ = ln.Close() })
+	go func() {
+		for {
+			conn, err := ln.Accept()
+			if err != nil {
+				return
+			}
+			go func() {
+				if _, err := readFrame(conn); err == nil {
+					// Announce a 100-byte payload, deliver 3 bytes, hang up.
+					var hdr [4]byte
+					binary.BigEndian.PutUint32(hdr[:], 100)
+					_, _ = conn.Write(hdr[:])
+					_, _ = conn.Write([]byte{1, 2, 3})
+				}
+				_ = conn.Close()
+			}()
+		}
+	}()
+
+	c := NewClient(ln.Addr().String(), ClientOptions{MaxRetries: 1, RetryBackoff: time.Millisecond})
+	defer c.Close()
+	err = c.Call(context.Background(), "echo", echoReq{}, nil)
+	if !IsTransport(err) {
+		t.Fatalf("truncation: err = %v, want transport error", err)
+	}
+	var te *TransportError
+	if !errors.As(err, &te) || te.Op != "recv" {
+		t.Fatalf("err = %v, want recv transport error", err)
+	}
+}
+
+func TestOversizedFrameRejected(t *testing.T) {
+	// A server that announces a frame beyond MaxFrame.
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { _ = ln.Close() })
+	go func() {
+		conn, err := ln.Accept()
+		if err != nil {
+			return
+		}
+		_, _ = readFrame(conn)
+		var hdr [4]byte
+		binary.BigEndian.PutUint32(hdr[:], MaxFrame+1)
+		_, _ = conn.Write(hdr[:])
+	}()
+
+	c := NewClient(ln.Addr().String(), ClientOptions{MaxRetries: -1})
+	defer c.Close()
+	err = c.Call(context.Background(), "echo", nil, nil)
+	if !IsTransport(err) {
+		t.Fatalf("oversized frame: err = %v, want transport error", err)
+	}
+}
+
+func TestCallHonorsContextCancellation(t *testing.T) {
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	addr := ln.Addr().String()
+	_ = ln.Close()
+
+	// Long backoff + cancelled context: Call must return promptly with
+	// the context error instead of sleeping out its retry schedule.
+	c := NewClient(addr, ClientOptions{MaxRetries: 5, RetryBackoff: time.Hour})
+	defer c.Close()
+	ctx, cancel := context.WithCancel(context.Background())
+	done := make(chan error, 1)
+	go func() { done <- c.Call(ctx, "echo", nil, nil) }()
+	time.Sleep(10 * time.Millisecond)
+	cancel()
+	select {
+	case err := <-done:
+		if err == nil {
+			t.Fatal("Call succeeded against a closed port")
+		}
+	case <-time.After(5 * time.Second):
+		t.Fatal("Call did not return after context cancellation")
+	}
+}
+
+func TestGroupFailoverOnRefused(t *testing.T) {
+	// Replica 0 refuses; replica 1 answers.
+	dead, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	deadAddr := dead.Addr().String()
+	_ = dead.Close()
+	liveAddr := startServer(t, func(s *Server) { s.Handle("echo", echoHandler) })
+
+	g := NewGroup([]*Client{
+		NewClient(deadAddr, ClientOptions{MaxRetries: -1}),
+		NewClient(liveAddr, ClientOptions{}),
+	}, GroupOptions{})
+	defer g.Close()
+
+	out, err := g.Call(context.Background(), "echo", echoReq{S: "failover"},
+		func() any { return &echoReq{} })
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := out.(*echoReq).S; got != "failover" {
+		t.Fatalf("got %q from failover replica", got)
+	}
+	if st := g.Stats(); st.Failovers != 1 {
+		t.Fatalf("group stats = %+v, want 1 failover", st)
+	}
+}
+
+func TestGroupAllReplicasDownReturnsFirstError(t *testing.T) {
+	var addrs []*Client
+	for i := 0; i < 2; i++ {
+		ln, err := net.Listen("tcp", "127.0.0.1:0")
+		if err != nil {
+			t.Fatal(err)
+		}
+		addr := ln.Addr().String()
+		_ = ln.Close()
+		addrs = append(addrs, NewClient(addr, ClientOptions{MaxRetries: -1}))
+	}
+	g := NewGroup(addrs, GroupOptions{})
+	defer g.Close()
+	_, err := g.Call(context.Background(), "echo", nil, nil)
+	if !IsTransport(err) {
+		t.Fatalf("all replicas down: err = %v, want transport error", err)
+	}
+}
+
+func TestGroupHedgesSlowPrimary(t *testing.T) {
+	// Primary answers after 300ms; secondary answers immediately. With a
+	// 20ms hedge delay the call should finish well before the primary.
+	slow := startServer(t, func(s *Server) {
+		s.Handle("echo", func(ctx context.Context, body json.RawMessage) (any, error) {
+			time.Sleep(300 * time.Millisecond)
+			return echoReq{S: "slow"}, nil
+		})
+	})
+	fast := startServer(t, func(s *Server) {
+		s.Handle("echo", func(ctx context.Context, body json.RawMessage) (any, error) {
+			return echoReq{S: "fast"}, nil
+		})
+	})
+	g := NewGroup([]*Client{
+		NewClient(slow, ClientOptions{}),
+		NewClient(fast, ClientOptions{}),
+	}, GroupOptions{HedgeDelay: 20 * time.Millisecond})
+	defer g.Close()
+
+	start := time.Now()
+	out, err := g.Call(context.Background(), "echo", echoReq{}, func() any { return &echoReq{} })
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := out.(*echoReq).S; got != "fast" {
+		t.Fatalf("hedge winner = %q, want the fast replica", got)
+	}
+	if el := time.Since(start); el > 250*time.Millisecond {
+		t.Fatalf("hedged call took %v — waited for the slow primary", el)
+	}
+	if st := g.Stats(); st.Hedges != 1 {
+		t.Fatalf("group stats = %+v, want 1 hedge", st)
+	}
+}
+
+func TestGroupServerErrorNotFailedOver(t *testing.T) {
+	var secondary int32
+	failing := startServer(t, func(s *Server) {
+		s.Handle("echo", func(ctx context.Context, body json.RawMessage) (any, error) {
+			return nil, fmt.Errorf("bad query")
+		})
+	})
+	other := startServer(t, func(s *Server) {
+		s.Handle("echo", func(ctx context.Context, body json.RawMessage) (any, error) {
+			atomic.AddInt32(&secondary, 1)
+			return echoReq{}, nil
+		})
+	})
+	g := NewGroup([]*Client{
+		NewClient(failing, ClientOptions{}),
+		NewClient(other, ClientOptions{}),
+	}, GroupOptions{})
+	defer g.Close()
+	_, err := g.Call(context.Background(), "echo", nil, func() any { return &echoReq{} })
+	var se *ServerError
+	if !errors.As(err, &se) {
+		t.Fatalf("err = %v, want ServerError", err)
+	}
+	if n := atomic.LoadInt32(&secondary); n != 0 {
+		t.Fatalf("secondary handled %d calls after a deterministic application error", n)
+	}
+}

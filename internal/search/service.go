@@ -1,0 +1,238 @@
+package search
+
+import (
+	"context"
+	"encoding/json"
+	"fmt"
+
+	"repro/internal/index"
+	"repro/internal/rpc"
+)
+
+// The RPC methods a shard server exposes. See DESIGN.md §5i for the
+// two-phase protocol they implement.
+const (
+	MethodInfo  = "shard.info"
+	MethodStats = "shard.stats"
+	MethodEval  = "shard.eval"
+)
+
+// InfoResponse is the handshake: it identifies the shard and carries
+// the shard-local corpus totals the coordinator sums into the global
+// collection statistics (integer sums, so the totals match the
+// unsharded index bit for bit).
+type InfoResponse struct {
+	Shard     int   `json:"shard"`
+	NumShards int   `json:"num_shards"`
+	NumDocs   int   `json:"num_docs"`
+	TotalToks int64 `json:"total_toks"`
+}
+
+// StatsRequest asks a shard to flatten a query against its local index
+// and report per-leaf collection statistics (phase A of a search).
+type StatsRequest struct {
+	Query WireNode `json:"query"`
+}
+
+// LeafStats are one leaf's shard-local collection statistics.
+type LeafStats struct {
+	CF int64   `json:"cf"`
+	DF float64 `json:"df"`
+}
+
+// StatsResponse carries the per-leaf statistics in flatten order. The
+// leaf count doubles as the cross-shard consistency check: flatten is
+// structure-driven, so every shard must produce the same count.
+type StatsResponse struct {
+	Leaves []LeafStats `json:"leaves"`
+}
+
+// LeafOverride is the global statistics the coordinator pushes down for
+// one leaf in phase B: the exact cross-shard sums plus the globally
+// floored collection probability.
+type LeafOverride struct {
+	CF       int64   `json:"cf"`
+	DF       float64 `json:"df"`
+	CollProb float64 `json:"coll_prob"`
+}
+
+// EvalRequest asks a shard to evaluate a query under coordinator-
+// supplied global statistics (phase B). The shard re-flattens the tree
+// (stateless — no per-query state survives between the two phases),
+// overrides each leaf's statistics with Overrides, scores with a
+// scorer built from the global NumDocs/TotalToks, and returns its local
+// top k remapped to global DocIDs.
+type EvalRequest struct {
+	Query WireNode `json:"query"`
+	K     int      `json:"k"`
+	// Model and params pin the scoring function; the shard applies them
+	// verbatim (no local defaults beyond ModelParams.withDefaults, which
+	// the coordinator has already resolved).
+	Model          int     `json:"model"`
+	Mu             float64 `json:"mu"`
+	Lambda         float64 `json:"lambda"`
+	K1             float64 `json:"k1"`
+	B              float64 `json:"b"`
+	DisablePruning bool    `json:"disable_pruning,omitempty"`
+	// Global collection statistics. The shard derives avgDocLen as
+	// float64(TotalToks)/float64(NumDocs) — the same expression
+	// index.Sharded.AvgDocLen evaluates, so the scorer closure is built
+	// over bit-identical inputs.
+	NumDocs   int            `json:"num_docs"`
+	TotalToks int64          `json:"total_toks"`
+	Overrides []LeafOverride `json:"overrides"`
+	WantStats bool           `json:"want_stats,omitempty"`
+}
+
+// WireResult is one ranked document crossing the wire; Doc is the
+// GLOBAL DocID (the shard remaps before answering).
+type WireResult struct {
+	Doc   int64   `json:"doc"`
+	Name  string  `json:"name"`
+	Score float64 `json:"score"`
+}
+
+// WireEvalStats are the shard evaluator's deterministic counters.
+type WireEvalStats struct {
+	CandidatesExamined int64 `json:"candidates_examined"`
+	PostingsAdvanced   int64 `json:"postings_advanced"`
+	DocsSkipped        int64 `json:"docs_skipped"`
+	BoundEvaluations   int64 `json:"bound_evaluations"`
+	HeapPushes         int64 `json:"heap_pushes"`
+	HeapEvictions      int64 `json:"heap_evictions"`
+}
+
+// EvalResponse carries a shard's top-k slice of the global ranking.
+type EvalResponse struct {
+	Results []WireResult   `json:"results"`
+	Stats   *WireEvalStats `json:"stats,omitempty"`
+}
+
+// ShardService serves one shard of the corpus over RPC: the shard's
+// slice of an index.Sharded partition, evaluated by the same package-
+// internal machinery (flatten, buildScorer, searchDAAT/searchMaxScore)
+// the in-process ShardedSearcher uses — which is what makes the
+// distributed scores bit-identical to single-process sharding.
+type ShardService struct {
+	local     *Searcher
+	shard     int
+	numShards int
+}
+
+// NewShardService wraps shard `shard` of a `numShards`-way round-robin
+// partition. ix must be the *index.Index produced by
+// index.NewSharded(full, numShards).Shard(shard) — the same partition
+// function the coordinator's parity baseline uses.
+func NewShardService(ix *index.Index, shard, numShards int) *ShardService {
+	if shard < 0 || shard >= numShards {
+		panic(fmt.Sprintf("search: shard %d out of range of %d", shard, numShards))
+	}
+	return &ShardService{local: &Searcher{ix: ix}, shard: shard, numShards: numShards}
+}
+
+// Register installs the shard methods on srv.
+func (svc *ShardService) Register(srv *rpc.Server) {
+	srv.Handle(MethodInfo, svc.handleInfo)
+	srv.Handle(MethodStats, svc.handleStats)
+	srv.Handle(MethodEval, svc.handleEval)
+}
+
+func (svc *ShardService) handleInfo(ctx context.Context, body json.RawMessage) (any, error) {
+	return InfoResponse{
+		Shard:     svc.shard,
+		NumShards: svc.numShards,
+		NumDocs:   svc.local.ix.NumDocs(),
+		TotalToks: svc.local.ix.TotalTokens(),
+	}, nil
+}
+
+func (svc *ShardService) handleStats(ctx context.Context, body json.RawMessage) (any, error) {
+	var req StatsRequest
+	if err := json.Unmarshal(body, &req); err != nil {
+		return nil, err
+	}
+	q, err := DecodeNode(req.Query)
+	if err != nil {
+		return nil, err
+	}
+	var leaves []leaf
+	svc.local.flatten(q, 1, &leaves)
+	resp := StatsResponse{Leaves: make([]LeafStats, len(leaves))}
+	for i := range leaves {
+		resp.Leaves[i] = LeafStats{CF: leaves[i].cf, DF: leaves[i].df}
+	}
+	return resp, nil
+}
+
+func (svc *ShardService) handleEval(ctx context.Context, body json.RawMessage) (any, error) {
+	var req EvalRequest
+	if err := json.Unmarshal(body, &req); err != nil {
+		return nil, err
+	}
+	q, err := DecodeNode(req.Query)
+	if err != nil {
+		return nil, err
+	}
+	if req.K <= 0 {
+		return EvalResponse{}, nil
+	}
+	var leaves []leaf
+	svc.local.flatten(q, 1, &leaves)
+	if len(leaves) != len(req.Overrides) {
+		// The coordinator derived the overrides from this query's flatten
+		// on other shards; a count mismatch means this shard was built
+		// against a different analyzer and scoring would be silently
+		// wrong — same invariant as the in-process leaf-count check.
+		return nil, fmt.Errorf("shard %d flattened %d leaves, coordinator supplied %d overrides",
+			svc.shard, len(leaves), len(req.Overrides))
+	}
+	if len(leaves) == 0 {
+		return EvalResponse{}, nil
+	}
+	for i := range leaves {
+		o := req.Overrides[i]
+		leaves[i].cf, leaves[i].df, leaves[i].collProb = o.CF, o.DF, o.CollProb
+	}
+	params := ModelParams{Mu: req.Mu, Lambda: req.Lambda, K1: req.K1, B: req.B}
+	var avgDocLen float64
+	if req.NumDocs > 0 {
+		avgDocLen = float64(req.TotalToks) / float64(req.NumDocs)
+	}
+	cs := collStats{numDocs: float64(req.NumDocs), avgDocLen: avgDocLen}
+	score := buildScorer(Model(req.Model), params, cs)
+
+	var sst *SearchStats
+	if req.WantStats {
+		sst = &SearchStats{}
+	}
+	var res []Result
+	if req.DisablePruning {
+		res, err = searchDAAT(ctx, svc.local.ix, leaves, req.K, score, sst)
+	} else {
+		pb := derivePruneBounds(Model(req.Model), params, cs, svc.local.ix.MinDocLen(), leaves)
+		res, err = searchMaxScore(ctx, svc.local.ix, leaves, req.K, score, pb, sst)
+	}
+	if err != nil {
+		return nil, err
+	}
+	resp := EvalResponse{Results: make([]WireResult, len(res))}
+	for i, r := range res {
+		// Remap local→global exactly like index.Sharded.GlobalDoc.
+		resp.Results[i] = WireResult{
+			Doc:   int64(r.Doc)*int64(svc.numShards) + int64(svc.shard),
+			Name:  r.Name,
+			Score: r.Score,
+		}
+	}
+	if sst != nil {
+		resp.Stats = &WireEvalStats{
+			CandidatesExamined: sst.CandidatesExamined,
+			PostingsAdvanced:   sst.PostingsAdvanced,
+			DocsSkipped:        sst.DocsSkipped,
+			BoundEvaluations:   sst.BoundEvaluations,
+			HeapPushes:         sst.HeapPushes,
+			HeapEvictions:      sst.HeapEvictions,
+		}
+	}
+	return resp, nil
+}

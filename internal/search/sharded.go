@@ -4,7 +4,6 @@ import (
 	"context"
 	"fmt"
 	"sort"
-	"sync"
 	"time"
 
 	"repro/internal/index"
@@ -287,30 +286,5 @@ func (ss *ShardedSearcher) search(ctx context.Context, q Node, k int, st *Search
 // semaphore (if any) has free slots and the caller's goroutine
 // otherwise. It never blocks on the semaphore — see the Sem field.
 func (ss *ShardedSearcher) forEachShard(n int, f func(i int)) {
-	if n == 1 {
-		f(0)
-		return
-	}
-	var wg sync.WaitGroup
-	for i := 1; i < n; i++ {
-		if ss.Sem == nil {
-			wg.Add(1)
-			go func(i int) { defer wg.Done(); f(i) }(i)
-			continue
-		}
-		select {
-		case ss.Sem <- struct{}{}:
-			wg.Add(1)
-			go func(i int) {
-				defer func() { <-ss.Sem; wg.Done() }()
-				f(i)
-			}(i)
-		default:
-			f(i)
-		}
-	}
-	// Shard 0 always runs on the caller's goroutine, after the others
-	// have been launched.
-	f(0)
-	wg.Wait()
+	fanOutShards(ss.Sem, n, f)
 }

@@ -1,6 +1,7 @@
 package serve
 
 import (
+	"encoding/json"
 	"net/http"
 	"strconv"
 	"strings"
@@ -42,7 +43,8 @@ func TestErrorPaths(t *testing.T) {
 		target      string
 		body        string
 		wantStatus  int
-		wantErr     string             // substring of the error envelope
+		wantCode    string             // typed envelope code
+		wantErr     string             // substring of the error message
 		wantMetrics map[string]float64 // absolute values on a fresh server
 	}{
 		{
@@ -51,6 +53,7 @@ func TestErrorPaths(t *testing.T) {
 			target:     "/search",
 			body:       `{"query": "cable cars",`,
 			wantStatus: http.StatusBadRequest,
+			wantCode:   CodeBadRequest,
 			wantErr:    "bad JSON body",
 			wantMetrics: map[string]float64{
 				`sqe_http_requests_total{endpoint="search"}`: 1,
@@ -63,6 +66,7 @@ func TestErrorPaths(t *testing.T) {
 			target:     "/search",
 			body:       `{"query": "cable cars", "entites": ["Cable car"]}`,
 			wantStatus: http.StatusBadRequest,
+			wantCode:   CodeBadRequest,
 			wantErr:    `unknown field`,
 		},
 		{
@@ -71,6 +75,7 @@ func TestErrorPaths(t *testing.T) {
 			target:     "/baseline",
 			body:       `{"query": "cable cars", "k": "ten"}`,
 			wantStatus: http.StatusBadRequest,
+			wantCode:   CodeBadRequest,
 			wantErr:    "bad JSON body",
 			wantMetrics: map[string]float64{
 				`sqe_http_errors_total{endpoint="baseline"}`: 1,
@@ -83,6 +88,7 @@ func TestErrorPaths(t *testing.T) {
 			target:     "/search",
 			body:       bigBody,
 			wantStatus: http.StatusRequestEntityTooLarge,
+			wantCode:   CodeBodyTooLarge,
 			wantErr:    "request body exceeds 64 bytes",
 			wantMetrics: map[string]float64{
 				`sqe_http_errors_total{endpoint="search"}`: 1,
@@ -91,15 +97,17 @@ func TestErrorPaths(t *testing.T) {
 		{
 			name:       "missing query",
 			method:     http.MethodGet,
-			target:     "/search?k=10",
+			target:     "/v1/search?k=10",
 			wantStatus: http.StatusBadRequest,
+			wantCode:   CodeBadRequest,
 			wantErr:    "missing query",
 		},
 		{
 			name:       "method not allowed",
 			method:     http.MethodDelete,
-			target:     "/search?q=x",
+			target:     "/v1/search?q=x",
 			wantStatus: http.StatusMethodNotAllowed,
+			wantCode:   CodeMethodNotAllowed,
 			wantErr:    "use GET or POST",
 		},
 		{
@@ -110,8 +118,9 @@ func TestErrorPaths(t *testing.T) {
 				return func() { <-s.limiter }
 			},
 			method:     http.MethodGet,
-			target:     "/search?q=whatever",
+			target:     "/v1/search?q=whatever",
 			wantStatus: http.StatusTooManyRequests,
+			wantCode:   CodeOverloaded,
 			wantErr:    "max in-flight",
 			wantMetrics: map[string]float64{
 				"sqe_http_shed_total":                      1,
@@ -122,8 +131,9 @@ func TestErrorPaths(t *testing.T) {
 			name:       "deadline exceeded",
 			cfg:        Config{Timeout: time.Nanosecond},
 			method:     http.MethodGet,
-			target:     "/search?q=whatever",
+			target:     "/v1/search?q=whatever",
 			wantStatus: http.StatusGatewayTimeout,
+			wantCode:   CodeTimeout,
 			wantErr:    "timed out",
 			wantMetrics: map[string]float64{
 				"sqe_http_timeouts_total": 1,
@@ -143,8 +153,15 @@ func TestErrorPaths(t *testing.T) {
 			if ct := w.Header().Get("Content-Type"); !strings.HasPrefix(ct, "application/json") {
 				t.Errorf("error response content-type %q, want JSON envelope", ct)
 			}
-			if !strings.Contains(w.Body.String(), c.wantErr) {
-				t.Errorf("error envelope %s does not mention %q", w.Body.String(), c.wantErr)
+			var env apiError
+			if err := json.Unmarshal(w.Body.Bytes(), &env); err != nil {
+				t.Fatalf("error body is not the typed envelope: %v\n%s", err, w.Body.String())
+			}
+			if env.Err.Code != c.wantCode {
+				t.Errorf("envelope code %q, want %q", env.Err.Code, c.wantCode)
+			}
+			if !strings.Contains(env.Err.Message, c.wantErr) {
+				t.Errorf("envelope message %q does not mention %q", env.Err.Message, c.wantErr)
 			}
 			for name, want := range c.wantMetrics {
 				if got := metricValue(t, s, name); got != want {
@@ -176,7 +193,7 @@ func TestDegradedResponseSurfacing(t *testing.T) {
 	s, q := degradingServer(t)
 	fault.Arm(fault.NewRegistry(31).Set(fault.ShardEval, fault.Policy{ErrRate: 1, MaxFaults: 1}))
 
-	w := do(t, s, http.MethodGet, "/baseline?q="+paramEscape(q.Text)+"&k=10", "")
+	w := do(t, s, http.MethodGet, "/v1/baseline?q="+paramEscape(q.Text)+"&k=10", "")
 	if w.Code != http.StatusOK {
 		t.Fatalf("status %d, want 200 with a partial merge: %s", w.Code, w.Body.String())
 	}
@@ -203,7 +220,7 @@ func TestDegradedResponseSurfacing(t *testing.T) {
 
 	// Disarmed, the same request serves clean: no header, no field.
 	fault.Disarm()
-	w = do(t, s, http.MethodGet, "/baseline?q="+paramEscape(q.Text)+"&k=10", "")
+	w = do(t, s, http.MethodGet, "/v1/baseline?q="+paramEscape(q.Text)+"&k=10", "")
 	if w.Code != http.StatusOK {
 		t.Fatalf("post-disarm status %d: %s", w.Code, w.Body.String())
 	}
@@ -223,7 +240,7 @@ func TestBackendFailureIs503(t *testing.T) {
 	s, q := degradingServer(t)
 	fault.Arm(fault.NewRegistry(37).Set(fault.ShardEval, fault.Policy{ErrRate: 1}))
 
-	w := do(t, s, http.MethodGet, "/baseline?q="+paramEscape(q.Text)+"&k=10", "")
+	w := do(t, s, http.MethodGet, "/v1/baseline?q="+paramEscape(q.Text)+"&k=10", "")
 	if w.Code != http.StatusServiceUnavailable {
 		t.Fatalf("status %d, want 503: %s", w.Code, w.Body.String())
 	}

@@ -39,12 +39,20 @@ func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
 	fmt.Fprintf(&sb, "sqe_http_errors_total{endpoint=\"search\"} %d\n", s.search.errors.Load())
 	fmt.Fprintf(&sb, "sqe_http_errors_total{endpoint=\"expand\"} %d\n", s.expand.errors.Load())
 	fmt.Fprintf(&sb, "sqe_http_errors_total{endpoint=\"baseline\"} %d\n", s.baseline.errors.Load())
-	counter("sqe_http_shed_total", "Requests shed with 429 by the max-in-flight limiter.")
+	counter("sqe_http_shed_total", "Requests shed with 429 by admission control.")
 	fmt.Fprintf(&sb, "sqe_http_shed_total %d\n", s.shed.Load())
+	counter("sqe_http_queue_waits_total", "Requests that waited in the admission queue for an in-flight slot.")
+	fmt.Fprintf(&sb, "sqe_http_queue_waits_total %d\n", s.queueWaits.Load())
+	counter("sqe_http_queue_timeouts_total", "Queued requests shed after waiting QueueTimeout without a slot.")
+	fmt.Fprintf(&sb, "sqe_http_queue_timeouts_total %d\n", s.queueTimeouts.Load())
+	counter("sqe_http_deprecated_requests_total", "Requests served through a deprecated unversioned path alias.")
+	fmt.Fprintf(&sb, "sqe_http_deprecated_requests_total %d\n", s.deprecated.Load())
 	counter("sqe_http_timeouts_total", "Requests that hit the per-request deadline (504).")
 	fmt.Fprintf(&sb, "sqe_http_timeouts_total %d\n", s.timeouts.Load())
 	gauge("sqe_http_in_flight", "Work requests currently evaluating.")
 	fmt.Fprintf(&sb, "sqe_http_in_flight %d\n", s.inFlight.Load())
+	gauge("sqe_http_queued", "Work requests currently waiting in the admission queue.")
+	fmt.Fprintf(&sb, "sqe_http_queued %d\n", s.queueLen.Load())
 	gauge("sqe_uptime_seconds", "Seconds since the server started.")
 	fmt.Fprintf(&sb, "sqe_uptime_seconds %g\n", time.Since(s.start).Seconds())
 
@@ -113,23 +121,24 @@ func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
 	fmt.Fprintf(&sb, "sqe_search_heap_evictions_total %d\n", ps.Search.HeapEvictions)
 
 	// Per-shard evaluator breakdown; present only on sharded engines.
+	// Each family emits its series in ascending shard index — one family
+	// at a time, never interleaved across families — so successive
+	// scrapes diff line-for-line deterministically.
 	if len(ps.Search.Shards) > 0 {
-		counter("sqe_search_shard_seconds_total", "Cumulative evaluation wall-clock per index shard.")
-		for i, sh := range ps.Search.Shards {
-			fmt.Fprintf(&sb, "sqe_search_shard_seconds_total{shard=\"%d\"} %g\n", i, sh.Elapsed.Seconds())
+		shardFamily := func(name, help string, value func(sh sqe.ShardSearchStats) string) {
+			counter(name, help)
+			for i := 0; i < len(ps.Search.Shards); i++ {
+				fmt.Fprintf(&sb, "%s{shard=\"%d\"} %s\n", name, i, value(ps.Search.Shards[i]))
+			}
 		}
-		counter("sqe_search_shard_candidates_examined_total", "Distinct documents scored per index shard.")
-		for i, sh := range ps.Search.Shards {
-			fmt.Fprintf(&sb, "sqe_search_shard_candidates_examined_total{shard=\"%d\"} %d\n", i, sh.CandidatesExamined)
-		}
-		counter("sqe_search_shard_postings_advanced_total", "Posting-cursor advances per index shard.")
-		for i, sh := range ps.Search.Shards {
-			fmt.Fprintf(&sb, "sqe_search_shard_postings_advanced_total{shard=\"%d\"} %d\n", i, sh.PostingsAdvanced)
-		}
-		counter("sqe_search_shard_docs_skipped_total", "Postings entries skipped by pruning per index shard.")
-		for i, sh := range ps.Search.Shards {
-			fmt.Fprintf(&sb, "sqe_search_shard_docs_skipped_total{shard=\"%d\"} %d\n", i, sh.DocsSkipped)
-		}
+		shardFamily("sqe_search_shard_seconds_total", "Cumulative evaluation wall-clock per index shard.",
+			func(sh sqe.ShardSearchStats) string { return fmt.Sprintf("%g", sh.Elapsed.Seconds()) })
+		shardFamily("sqe_search_shard_candidates_examined_total", "Distinct documents scored per index shard.",
+			func(sh sqe.ShardSearchStats) string { return fmt.Sprintf("%d", sh.CandidatesExamined) })
+		shardFamily("sqe_search_shard_postings_advanced_total", "Posting-cursor advances per index shard.",
+			func(sh sqe.ShardSearchStats) string { return fmt.Sprintf("%d", sh.PostingsAdvanced) })
+		shardFamily("sqe_search_shard_docs_skipped_total", "Postings entries skipped by pruning per index shard.",
+			func(sh sqe.ShardSearchStats) string { return fmt.Sprintf("%d", sh.DocsSkipped) })
 	}
 
 	if cs, ok := s.cfg.Engine.ExpansionCacheStats(); ok {

@@ -1,22 +1,41 @@
 // Package serve is the HTTP serving layer over an sqe.Engine: the
 // ROADMAP's production-traffic north star needs more than a library —
 // it needs an endpoint with per-request deadlines, load shedding and
-// observability. The server exposes
+// observability. The API is versioned; v1 is the current surface:
 //
-//	POST/GET /search    — the paper's SQE_C pipeline (or one motif set)
-//	POST/GET /expand    — motif expansion only (query graph features)
-//	POST/GET /baseline  — the non-expanded QL_Q baseline
-//	GET      /healthz   — liveness + uptime
-//	GET      /metrics   — Prometheus text metrics (pipeline stages,
-//	                      evaluator counters, expansion cache, HTTP)
+//	POST/GET /v1/search    — the paper's SQE_C pipeline (or one motif set)
+//	POST/GET /v1/expand    — motif expansion only (query graph features)
+//	POST/GET /v1/baseline  — the non-expanded QL_Q baseline
+//	GET      /healthz      — liveness + uptime (unversioned by design:
+//	                         probes outlive API versions)
+//	GET      /metrics      — Prometheus text metrics (pipeline stages,
+//	                         evaluator counters, expansion cache, HTTP)
+//
+// The original unversioned paths (/search, /expand, /baseline) remain
+// as aliases onto the same handlers — responses are byte-identical —
+// but every reply through them carries a Deprecation header and a Link
+// to the v1 successor, so clients can be found and migrated before the
+// aliases are removed.
 //
 // Work endpoints accept either query parameters (?q=…&entities=a,b&k=10)
 // or a JSON body ({"query": …, "entities": […], "k": …}); responses are
-// JSON. Every work request runs under the configured timeout and the
-// engine's context-aware entry points, so a deadline or a disconnected
-// client aborts retrieval mid-evaluation instead of finishing work
-// nobody will read. A max-in-flight limiter sheds excess load with 429
-// before it queues, keeping tail latency bounded under overload.
+// JSON. Errors use one typed envelope on every endpoint and version:
+//
+//	{"error": {"code": "bad_request", "message": "missing query …"}}
+//
+// with a small closed set of codes (see the Code* constants) so clients
+// can branch on code instead of parsing prose. Every work request runs
+// under the configured timeout and the engine's context-aware entry
+// points, so a deadline or a disconnected client aborts retrieval
+// mid-evaluation instead of finishing work nobody will read.
+//
+// Admission control is two-stage: a max-in-flight limiter bounds the
+// requests evaluating concurrently, and an optional bounded wait queue
+// (Config.QueueDepth/QueueTimeout) absorbs short bursts by holding
+// excess requests briefly for a slot instead of failing them. Anything
+// beyond the queue — or queued longer than the deadline — is shed with
+// 429 and Retry-After, keeping tail latency bounded under overload. The
+// default remains queue-free: shed immediately at max in-flight.
 package serve
 
 import (
@@ -49,8 +68,20 @@ type Config struct {
 	// disables).
 	Timeout time.Duration
 	// MaxInFlight bounds concurrently evaluating work requests; excess
-	// requests are shed immediately with 429 (default 64; <0 disables).
+	// requests are shed with 429 (default 64; <0 disables) — immediately
+	// when no queue is configured, otherwise after the queue is exhausted.
 	MaxInFlight int
+	// QueueDepth bounds how many requests may wait for an in-flight slot
+	// when the limiter is saturated, instead of being shed on arrival. A
+	// short bounded queue rides out bursts without the unbounded-queue
+	// failure mode (every queued request eventually timing out). Default
+	// 0: no queue, shed immediately — the pre-queue behaviour.
+	QueueDepth int
+	// QueueTimeout bounds how long a queued request waits for a slot
+	// before being shed with 429 (default 100ms when QueueDepth > 0).
+	// Waiting longer than the client would tolerate only converts
+	// overload into timeouts, so keep it a fraction of Timeout.
+	QueueTimeout time.Duration
 	// MaxBodyBytes caps a work request's body; oversized bodies are
 	// rejected with 413 (default 1 MiB; <0 disables).
 	MaxBodyBytes int64
@@ -68,6 +99,9 @@ func (c Config) withDefaults() Config {
 	}
 	if c.MaxInFlight == 0 {
 		c.MaxInFlight = 64
+	}
+	if c.QueueDepth > 0 && c.QueueTimeout == 0 {
+		c.QueueTimeout = 100 * time.Millisecond
 	}
 	if c.MaxBodyBytes == 0 {
 		c.MaxBodyBytes = 1 << 20
@@ -92,9 +126,13 @@ type Server struct {
 	expand   endpointStats
 	baseline endpointStats
 
-	shed     atomic.Int64
-	timeouts atomic.Int64
-	inFlight atomic.Int64
+	shed          atomic.Int64
+	timeouts      atomic.Int64
+	inFlight      atomic.Int64
+	queueLen      atomic.Int64 // requests currently waiting for a slot
+	queueWaits    atomic.Int64 // requests that entered the wait queue
+	queueTimeouts atomic.Int64 // queued requests shed after QueueTimeout
+	deprecated    atomic.Int64 // requests served through a legacy alias
 
 	// Degradation counters, folded from SearchResponse.Degraded by every
 	// work request that goes through runDo.
@@ -121,12 +159,31 @@ func New(cfg Config) *Server {
 	if cfg.MaxInFlight > 0 {
 		s.limiter = make(chan struct{}, cfg.MaxInFlight)
 	}
-	s.mux.HandleFunc("/search", s.work(&s.search, s.handleSearch))
-	s.mux.HandleFunc("/expand", s.work(&s.expand, s.handleExpand))
-	s.mux.HandleFunc("/baseline", s.work(&s.baseline, s.handleBaseline))
+	for name, h := range map[string]http.HandlerFunc{
+		"search":   s.work(&s.search, s.handleSearch),
+		"expand":   s.work(&s.expand, s.handleExpand),
+		"baseline": s.work(&s.baseline, s.handleBaseline),
+	} {
+		s.mux.HandleFunc("/v1/"+name, h)
+		// The pre-versioning path serves the identical handler — bodies
+		// are byte-for-byte the same — plus the deprecation headers.
+		s.mux.HandleFunc("/"+name, s.deprecatedAlias(name, h))
+	}
 	s.mux.HandleFunc("/healthz", s.handleHealthz)
 	s.mux.HandleFunc("/metrics", s.handleMetrics)
 	return s
+}
+
+// deprecatedAlias wraps a v1 handler for its legacy unversioned path:
+// same handler, same body, plus the RFC 8594 Deprecation header and a
+// successor-version Link clients can follow to migrate.
+func (s *Server) deprecatedAlias(name string, h http.HandlerFunc) http.HandlerFunc {
+	return func(w http.ResponseWriter, r *http.Request) {
+		s.deprecated.Add(1)
+		w.Header().Set("Deprecation", "true")
+		w.Header().Set("Link", "</v1/"+name+">; rel=\"successor-version\"")
+		h(w, r)
+	}
 }
 
 // ServeHTTP implements http.Handler.
@@ -134,9 +191,43 @@ func (s *Server) ServeHTTP(w http.ResponseWriter, r *http.Request) {
 	s.mux.ServeHTTP(w, r)
 }
 
-// apiError is the JSON error envelope every non-200 response carries.
+// Error codes carried by the JSON error envelope. The set is closed and
+// versioned with the API: clients branch on code, messages stay free to
+// improve.
+const (
+	// CodeBadRequest: the request itself is malformed (missing query,
+	// bad JSON, unknown motif set, unknown entity title).
+	CodeBadRequest = "bad_request"
+	// CodeMethodNotAllowed: work endpoints accept only GET and POST.
+	CodeMethodNotAllowed = "method_not_allowed"
+	// CodeOverloaded: shed by admission control (max in-flight reached
+	// and, if a queue is configured, the queue full or timed out).
+	CodeOverloaded = "overloaded"
+	// CodeTimeout: the per-request deadline elapsed mid-evaluation.
+	CodeTimeout = "timeout"
+	// CodeClientClosed: the client disconnected before the response.
+	CodeClientClosed = "client_closed"
+	// CodeBodyTooLarge: the request body exceeded MaxBodyBytes.
+	CodeBodyTooLarge = "body_too_large"
+	// CodeBackendUnavailable: a backend failure degradation could not
+	// absorb — the server, not the request, is the problem.
+	CodeBackendUnavailable = "backend_unavailable"
+)
+
+// apiError is the typed JSON error envelope every non-200 response
+// carries: {"error": {"code": …, "message": …}}.
 type apiError struct {
-	Error string `json:"error"`
+	Err errorBody `json:"error"`
+}
+
+type errorBody struct {
+	Code    string `json:"code"`
+	Message string `json:"message"`
+}
+
+// writeError renders the typed envelope.
+func writeError(w http.ResponseWriter, status int, code, message string) {
+	writeJSON(w, status, apiError{Err: errorBody{Code: code, Message: message}})
 }
 
 func writeJSON(w http.ResponseWriter, status int, v any) {
@@ -177,35 +268,74 @@ func degradedHeaderValue(d *sqe.Degradation) string {
 	return strings.Join(parts, " ")
 }
 
+// admit runs admission control for one work request. It returns a
+// release function and true when the request may evaluate; otherwise it
+// has already written the 429 and returns false. With the limiter
+// saturated and a queue configured, the request waits — bounded by
+// QueueDepth slots and QueueTimeout — for capacity instead of failing a
+// burst the server could have absorbed a few milliseconds later.
+func (s *Server) admit(w http.ResponseWriter, r *http.Request, st *endpointStats) (release func(), ok bool) {
+	if s.limiter == nil {
+		return func() {}, true
+	}
+	select {
+	case s.limiter <- struct{}{}:
+		return func() { <-s.limiter }, true
+	default:
+	}
+	message := "server at max in-flight requests"
+	if s.cfg.QueueDepth > 0 {
+		if n := s.queueLen.Add(1); n <= int64(s.cfg.QueueDepth) {
+			s.queueWaits.Add(1)
+			t := time.NewTimer(s.cfg.QueueTimeout)
+			defer t.Stop()
+			select {
+			case s.limiter <- struct{}{}:
+				s.queueLen.Add(-1)
+				return func() { <-s.limiter }, true
+			case <-t.C:
+				s.queueLen.Add(-1)
+				s.queueTimeouts.Add(1)
+				message = "server at max in-flight requests (queue wait timed out)"
+			case <-r.Context().Done():
+				s.queueLen.Add(-1)
+				st.errors.Add(1)
+				writeError(w, statusClientClosedRequest, CodeClientClosed, "client closed request")
+				return nil, false
+			}
+		} else {
+			s.queueLen.Add(-1)
+			message = "server at max in-flight requests (queue full)"
+		}
+	}
+	s.shed.Add(1)
+	st.errors.Add(1)
+	w.Header().Set("Retry-After", "1")
+	writeError(w, http.StatusTooManyRequests, CodeOverloaded, message)
+	return nil, false
+}
+
 // work wraps a handler with the serving policies: method check,
-// max-in-flight shedding, the body-size cap, the per-request timeout,
-// counters, the mapping from context/fault errors to HTTP statuses, and
-// the degraded-response header.
+// admission control (max-in-flight plus the optional bounded queue),
+// the body-size cap, the per-request timeout, counters, the mapping
+// from context/fault errors to HTTP statuses and error codes, and the
+// degraded-response header.
 func (s *Server) work(st *endpointStats, h func(context.Context, *http.Request) (any, error)) http.HandlerFunc {
 	return func(w http.ResponseWriter, r *http.Request) {
 		st.requests.Add(1)
 		if r.Method != http.MethodGet && r.Method != http.MethodPost {
 			st.errors.Add(1)
-			writeJSON(w, http.StatusMethodNotAllowed, apiError{"use GET or POST"})
+			writeError(w, http.StatusMethodNotAllowed, CodeMethodNotAllowed, "use GET or POST")
 			return
 		}
 		if s.cfg.MaxBodyBytes > 0 && r.Body != nil {
 			r.Body = http.MaxBytesReader(w, r.Body, s.cfg.MaxBodyBytes)
 		}
-		if s.limiter != nil {
-			select {
-			case s.limiter <- struct{}{}:
-				defer func() { <-s.limiter }()
-			default:
-				// Shed instead of queueing: under overload a bounded
-				// queue only converts excess load into timeouts.
-				s.shed.Add(1)
-				st.errors.Add(1)
-				w.Header().Set("Retry-After", "1")
-				writeJSON(w, http.StatusTooManyRequests, apiError{"server at max in-flight requests"})
-				return
-			}
+		release, ok := s.admit(w, r, st)
+		if !ok {
+			return
 		}
+		defer release()
 		s.inFlight.Add(1)
 		defer s.inFlight.Add(-1)
 		ctx := r.Context()
@@ -221,20 +351,20 @@ func (s *Server) work(st *endpointStats, h func(context.Context, *http.Request) 
 			switch {
 			case errors.Is(err, context.DeadlineExceeded):
 				s.timeouts.Add(1)
-				writeJSON(w, http.StatusGatewayTimeout, apiError{"request timed out"})
+				writeError(w, http.StatusGatewayTimeout, CodeTimeout, "request timed out")
 			case errors.Is(err, context.Canceled):
 				// The client is gone; the status is for the access log.
-				writeJSON(w, statusClientClosedRequest, apiError{"client closed request"})
+				writeError(w, statusClientClosedRequest, CodeClientClosed, "client closed request")
 			case errors.As(err, &tooBig):
-				writeJSON(w, http.StatusRequestEntityTooLarge,
-					apiError{fmt.Sprintf("request body exceeds %d bytes", tooBig.Limit)})
+				writeError(w, http.StatusRequestEntityTooLarge, CodeBodyTooLarge,
+					fmt.Sprintf("request body exceeds %d bytes", tooBig.Limit))
 			case isBackendFailure(err):
 				// An injected fault or contained panic that degradation
 				// could not absorb: the server, not the request, is the
 				// problem.
-				writeJSON(w, http.StatusServiceUnavailable, apiError{err.Error()})
+				writeError(w, http.StatusServiceUnavailable, CodeBackendUnavailable, err.Error())
 			default:
-				writeJSON(w, http.StatusBadRequest, apiError{err.Error()})
+				writeError(w, http.StatusBadRequest, CodeBadRequest, err.Error())
 			}
 			return
 		}

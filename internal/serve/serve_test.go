@@ -1,6 +1,7 @@
 package serve
 
 import (
+	"context"
 	"encoding/json"
 	"net/http"
 	"net/http/httptest"
@@ -59,7 +60,7 @@ func decodeSearch(t *testing.T, w *httptest.ResponseRecorder) searchResponse {
 
 func TestSearchEndpoint(t *testing.T) {
 	s, q := testServer(t, Config{})
-	w := do(t, s, http.MethodGet, "/search?q="+paramEscape(q.Text)+"&entities="+paramEscape(entitiesParam(q))+"&k=10", "")
+	w := do(t, s, http.MethodGet, "/v1/search?q="+paramEscape(q.Text)+"&entities="+paramEscape(entitiesParam(q))+"&k=10", "")
 	if w.Code != http.StatusOK {
 		t.Fatalf("status %d: %s", w.Code, w.Body.String())
 	}
@@ -71,18 +72,19 @@ func TestSearchEndpoint(t *testing.T) {
 		t.Errorf("bad envelope: %+v", resp)
 	}
 	// The GET answer must match the engine called directly.
-	want, err := s.cfg.Engine.Search(q.Text, q.EntityTitles, 10)
+	want, err := s.cfg.Engine.Do(context.Background(),
+		sqe.SearchRequest{Query: q.Text, EntityTitles: q.EntityTitles, K: 10})
 	if err != nil {
 		t.Fatal(err)
 	}
-	for i, r := range want {
+	for i, r := range want.Results {
 		if resp.Results[i].Name != r.Name {
 			t.Fatalf("rank %d: got %q want %q", i+1, resp.Results[i].Name, r.Name)
 		}
 	}
 	// POST JSON body form.
 	body, _ := json.Marshal(request{Query: q.Text, Entities: q.EntityTitles, K: 10})
-	w = do(t, s, http.MethodPost, "/search", string(body))
+	w = do(t, s, http.MethodPost, "/v1/search", string(body))
 	if w.Code != http.StatusOK {
 		t.Fatalf("POST status %d: %s", w.Code, w.Body.String())
 	}
@@ -90,7 +92,7 @@ func TestSearchEndpoint(t *testing.T) {
 		t.Error("POST JSON answer diverges from GET answer")
 	}
 	// Single motif set.
-	w = do(t, s, http.MethodGet, "/search?q="+paramEscape(q.Text)+"&entities="+paramEscape(entitiesParam(q))+"&set=T", "")
+	w = do(t, s, http.MethodGet, "/v1/search?q="+paramEscape(q.Text)+"&entities="+paramEscape(entitiesParam(q))+"&set=T", "")
 	if w.Code != http.StatusOK {
 		t.Fatalf("set=T status %d: %s", w.Code, w.Body.String())
 	}
@@ -101,7 +103,7 @@ func TestSearchEndpoint(t *testing.T) {
 
 func TestBaselineEndpoint(t *testing.T) {
 	s, q := testServer(t, Config{})
-	w := do(t, s, http.MethodGet, "/baseline?q="+paramEscape(q.Text)+"&k=5", "")
+	w := do(t, s, http.MethodGet, "/v1/baseline?q="+paramEscape(q.Text)+"&k=5", "")
 	if w.Code != http.StatusOK {
 		t.Fatalf("status %d: %s", w.Code, w.Body.String())
 	}
@@ -112,7 +114,7 @@ func TestBaselineEndpoint(t *testing.T) {
 
 func TestExpandEndpoint(t *testing.T) {
 	s, q := testServer(t, Config{})
-	w := do(t, s, http.MethodGet, "/expand?q="+paramEscape(q.Text)+"&entities="+paramEscape(entitiesParam(q)), "")
+	w := do(t, s, http.MethodGet, "/v1/expand?q="+paramEscape(q.Text)+"&entities="+paramEscape(entitiesParam(q)), "")
 	if w.Code != http.StatusOK {
 		t.Fatalf("status %d: %s", w.Code, w.Body.String())
 	}
@@ -134,7 +136,7 @@ func TestHealthzAndMetrics(t *testing.T) {
 		t.Fatalf("healthz status %d", w.Code)
 	}
 	// Serve one query so the pipeline counters are non-zero.
-	if w := do(t, s, http.MethodGet, "/search?q="+paramEscape(q.Text)+"&entities="+paramEscape(entitiesParam(q)), ""); w.Code != http.StatusOK {
+	if w := do(t, s, http.MethodGet, "/v1/search?q="+paramEscape(q.Text)+"&entities="+paramEscape(entitiesParam(q)), ""); w.Code != http.StatusOK {
 		t.Fatalf("search status %d: %s", w.Code, w.Body.String())
 	}
 	w := do(t, s, http.MethodGet, "/metrics", "")
@@ -168,10 +170,10 @@ func TestShardMetrics(t *testing.T) {
 	envOnce.Do(func() { env = sqe.MustGenerateDemo(sqe.DemoSmall) })
 	eng := sqe.NewEngine(env.Engine.Graph(), env.Engine.Index(), sqe.WithShards(4))
 	s, q := testServer(t, Config{Engine: eng})
-	if w := do(t, s, http.MethodGet, "/search?q="+paramEscape(q.Text)+"&entities="+paramEscape(entitiesParam(q))+"&set=TS", ""); w.Code != http.StatusOK {
+	if w := do(t, s, http.MethodGet, "/v1/search?q="+paramEscape(q.Text)+"&entities="+paramEscape(entitiesParam(q))+"&set=TS", ""); w.Code != http.StatusOK {
 		t.Fatalf("search status %d: %s", w.Code, w.Body.String())
 	}
-	if w := do(t, s, http.MethodGet, "/baseline?q="+paramEscape(q.Text), ""); w.Code != http.StatusOK {
+	if w := do(t, s, http.MethodGet, "/v1/baseline?q="+paramEscape(q.Text), ""); w.Code != http.StatusOK {
 		t.Fatalf("baseline status %d: %s", w.Code, w.Body.String())
 	}
 	body := do(t, s, http.MethodGet, "/metrics", "").Body.String()
@@ -199,20 +201,20 @@ func TestBadRequests(t *testing.T) {
 	cases := []struct {
 		name, target string
 	}{
-		{"missing query", "/search"},
-		{"bad k", "/search?q=x&k=abc"},
-		{"unknown set", "/search?q=x&set=XYZ"},
-		{"unknown entity", "/search?q=x&entities=No+Such+Article"},
+		{"missing query", "/v1/search"},
+		{"bad k", "/v1/search?q=x&k=abc"},
+		{"unknown set", "/v1/search?q=x&set=XYZ"},
+		{"unknown entity", "/v1/search?q=x&entities=No+Such+Article"},
 	}
 	for _, c := range cases {
 		if w := do(t, s, http.MethodGet, c.target, ""); w.Code != http.StatusBadRequest {
 			t.Errorf("%s: status %d, want 400", c.name, w.Code)
 		}
 	}
-	if w := do(t, s, http.MethodDelete, "/search?q="+paramEscape(q.Text), ""); w.Code != http.StatusMethodNotAllowed {
+	if w := do(t, s, http.MethodDelete, "/v1/search?q="+paramEscape(q.Text), ""); w.Code != http.StatusMethodNotAllowed {
 		t.Errorf("DELETE: status %d, want 405", w.Code)
 	}
-	if w := do(t, s, http.MethodPost, "/search?q=x", "{not json"); w.Code != http.StatusBadRequest {
+	if w := do(t, s, http.MethodPost, "/v1/search?q=x", "{not json"); w.Code != http.StatusBadRequest {
 		t.Errorf("bad JSON body: status %d, want 400", w.Code)
 	}
 }
@@ -222,7 +224,7 @@ func TestMaxInFlightSheds(t *testing.T) {
 	// Occupy the only slot directly, then any work request must shed.
 	s.limiter <- struct{}{}
 	defer func() { <-s.limiter }()
-	w := do(t, s, http.MethodGet, "/search?q="+paramEscape(q.Text)+"&entities="+paramEscape(entitiesParam(q)), "")
+	w := do(t, s, http.MethodGet, "/v1/search?q="+paramEscape(q.Text)+"&entities="+paramEscape(entitiesParam(q)), "")
 	if w.Code != http.StatusTooManyRequests {
 		t.Fatalf("status %d, want 429: %s", w.Code, w.Body.String())
 	}
@@ -240,7 +242,7 @@ func TestMaxInFlightSheds(t *testing.T) {
 
 func TestRequestTimeout(t *testing.T) {
 	s, q := testServer(t, Config{Timeout: time.Nanosecond})
-	w := do(t, s, http.MethodGet, "/search?q="+paramEscape(q.Text)+"&entities="+paramEscape(entitiesParam(q)), "")
+	w := do(t, s, http.MethodGet, "/v1/search?q="+paramEscape(q.Text)+"&entities="+paramEscape(entitiesParam(q)), "")
 	if w.Code != http.StatusGatewayTimeout {
 		t.Fatalf("status %d, want 504: %s", w.Code, w.Body.String())
 	}

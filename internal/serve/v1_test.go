@@ -1,0 +1,224 @@
+package serve
+
+import (
+	"bytes"
+	"encoding/json"
+	"net/http"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+
+	sqe "repro"
+)
+
+// stripTook re-marshals a JSON body with the took_ms timing field
+// removed (map marshalling sorts keys), so two responses can be compared
+// byte-for-byte modulo the one field that legitimately differs per
+// request.
+func stripTook(t *testing.T, body []byte) []byte {
+	t.Helper()
+	var m map[string]json.RawMessage
+	if err := json.Unmarshal(body, &m); err != nil {
+		t.Fatalf("bad JSON body: %v\n%s", err, body)
+	}
+	delete(m, "took_ms")
+	out, err := json.Marshal(m)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return out
+}
+
+// TestV1LegacyParity: the unversioned paths are aliases onto the exact
+// v1 handlers — same engine, byte-identical bodies (modulo took_ms) —
+// distinguished only by the Deprecation/Link headers on the legacy side.
+func TestV1LegacyParity(t *testing.T) {
+	s, q := testServer(t, Config{})
+	for _, ep := range []struct{ name, params string }{
+		{"search", "?q=" + paramEscape(q.Text) + "&entities=" + paramEscape(entitiesParam(q)) + "&k=10"},
+		{"baseline", "?q=" + paramEscape(q.Text) + "&k=5"},
+		{"expand", "?q=" + paramEscape(q.Text) + "&entities=" + paramEscape(entitiesParam(q))},
+	} {
+		t.Run(ep.name, func(t *testing.T) {
+			v1 := do(t, s, http.MethodGet, "/v1/"+ep.name+ep.params, "")
+			legacy := do(t, s, http.MethodGet, "/"+ep.name+ep.params, "")
+			if v1.Code != http.StatusOK || legacy.Code != v1.Code {
+				t.Fatalf("status v1=%d legacy=%d: %s", v1.Code, legacy.Code, legacy.Body.String())
+			}
+			if got, want := stripTook(t, legacy.Body.Bytes()), stripTook(t, v1.Body.Bytes()); !bytes.Equal(got, want) {
+				t.Errorf("legacy body diverges from v1:\nlegacy: %s\nv1:     %s", got, want)
+			}
+			if dep := legacy.Header().Get("Deprecation"); dep != "true" {
+				t.Errorf("legacy alias Deprecation header = %q, want \"true\"", dep)
+			}
+			wantLink := "</v1/" + ep.name + ">; rel=\"successor-version\""
+			if link := legacy.Header().Get("Link"); link != wantLink {
+				t.Errorf("legacy alias Link header = %q, want %q", link, wantLink)
+			}
+			if dep := v1.Header().Get("Deprecation"); dep != "" {
+				t.Errorf("v1 response carries Deprecation header %q", dep)
+			}
+			if link := v1.Header().Get("Link"); link != "" {
+				t.Errorf("v1 response carries Link header %q", link)
+			}
+		})
+	}
+	if n := s.deprecated.Load(); n != 3 {
+		t.Errorf("deprecated-alias counter = %d, want 3", n)
+	}
+}
+
+// TestErrorParityAcrossVersions: error envelopes are identical on both
+// surfaces — same status, same typed {"error":{"code","message"}} body.
+func TestErrorParityAcrossVersions(t *testing.T) {
+	s, _ := testServer(t, Config{})
+	for _, target := range []string{"/search?k=abc", "/v1/search?k=abc"} {
+		w := do(t, s, http.MethodGet, target, "")
+		if w.Code != http.StatusBadRequest {
+			t.Fatalf("%s: status %d, want 400", target, w.Code)
+		}
+		var env apiError
+		if err := json.Unmarshal(w.Body.Bytes(), &env); err != nil {
+			t.Fatalf("%s: not the typed envelope: %v", target, err)
+		}
+		if env.Err.Code != CodeBadRequest {
+			t.Errorf("%s: code %q, want %q", target, env.Err.Code, CodeBadRequest)
+		}
+	}
+	v1 := do(t, s, http.MethodGet, "/v1/search?k=abc", "")
+	legacy := do(t, s, http.MethodGet, "/search?k=abc", "")
+	if !bytes.Equal(v1.Body.Bytes(), legacy.Body.Bytes()) {
+		t.Errorf("error bodies diverge:\nlegacy: %s\nv1:     %s", legacy.Body.String(), v1.Body.String())
+	}
+}
+
+// TestAdmissionQueueAdmits: with the limiter saturated and a queue
+// configured, a request waits for the slot instead of shedding, and is
+// admitted the moment it frees.
+func TestAdmissionQueueAdmits(t *testing.T) {
+	s, q := testServer(t, Config{MaxInFlight: 1, QueueDepth: 1, QueueTimeout: 5 * time.Second})
+	s.limiter <- struct{}{} // occupy the only slot
+	var wg sync.WaitGroup
+	var code int
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		w := do(t, s, http.MethodGet, "/v1/search?q="+paramEscape(q.Text)+"&entities="+paramEscape(entitiesParam(q)), "")
+		code = w.Code
+	}()
+	// Wait until the request is queued, then free the slot.
+	for i := 0; s.queueLen.Load() == 0 && i < 1000; i++ {
+		time.Sleep(time.Millisecond)
+	}
+	if s.queueLen.Load() != 1 {
+		t.Fatal("request never entered the admission queue")
+	}
+	<-s.limiter
+	wg.Wait()
+	if code != http.StatusOK {
+		t.Fatalf("queued request finished %d, want 200", code)
+	}
+	if s.queueWaits.Load() != 1 {
+		t.Errorf("queue-wait counter = %d, want 1", s.queueWaits.Load())
+	}
+	if s.shed.Load() != 0 {
+		t.Errorf("shed counter = %d, want 0 — the queue should have absorbed the burst", s.shed.Load())
+	}
+}
+
+// TestAdmissionQueueTimeout: a queued request that never gets a slot
+// sheds with 429 after QueueTimeout and moves the timeout counter.
+func TestAdmissionQueueTimeout(t *testing.T) {
+	s, q := testServer(t, Config{MaxInFlight: 1, QueueDepth: 1, QueueTimeout: 5 * time.Millisecond})
+	s.limiter <- struct{}{}
+	defer func() { <-s.limiter }()
+	w := do(t, s, http.MethodGet, "/v1/search?q="+paramEscape(q.Text), "")
+	if w.Code != http.StatusTooManyRequests {
+		t.Fatalf("status %d, want 429: %s", w.Code, w.Body.String())
+	}
+	var env apiError
+	if err := json.Unmarshal(w.Body.Bytes(), &env); err != nil {
+		t.Fatal(err)
+	}
+	if env.Err.Code != CodeOverloaded || !strings.Contains(env.Err.Message, "queue wait timed out") {
+		t.Errorf("envelope %+v, want overloaded + queue wait timed out", env.Err)
+	}
+	if s.queueTimeouts.Load() != 1 {
+		t.Errorf("queue-timeout counter = %d, want 1", s.queueTimeouts.Load())
+	}
+	if s.queueLen.Load() != 0 {
+		t.Errorf("queue gauge = %d after shed, want 0", s.queueLen.Load())
+	}
+}
+
+// TestAdmissionQueueFull: requests beyond QueueDepth shed immediately
+// rather than waiting — the queue is bounded by design.
+func TestAdmissionQueueFull(t *testing.T) {
+	s, q := testServer(t, Config{MaxInFlight: 1, QueueDepth: 1, QueueTimeout: 5 * time.Second})
+	s.limiter <- struct{}{}
+	var wg sync.WaitGroup
+	wg.Add(1)
+	go func() { // fills the single queue slot
+		defer wg.Done()
+		do(t, s, http.MethodGet, "/v1/search?q="+paramEscape(q.Text)+"&entities="+paramEscape(entitiesParam(q)), "")
+	}()
+	for i := 0; s.queueLen.Load() == 0 && i < 1000; i++ {
+		time.Sleep(time.Millisecond)
+	}
+	w := do(t, s, http.MethodGet, "/v1/search?q="+paramEscape(q.Text), "")
+	if w.Code != http.StatusTooManyRequests {
+		t.Fatalf("status %d, want 429: %s", w.Code, w.Body.String())
+	}
+	if !strings.Contains(w.Body.String(), "queue full") {
+		t.Errorf("envelope %s, want a queue-full shed", w.Body.String())
+	}
+	<-s.limiter // let the queued request through
+	wg.Wait()
+}
+
+// TestShardMetricLabelOrder: each per-shard family emits its series in
+// ascending shard index, one family at a time, so successive scrapes
+// diff line-for-line deterministically.
+func TestShardMetricLabelOrder(t *testing.T) {
+	envOnce.Do(func() { env = sqe.MustGenerateDemo(sqe.DemoSmall) })
+	eng := sqe.NewEngine(env.Engine.Graph(), env.Engine.Index(), sqe.WithShards(4))
+	s, q := testServer(t, Config{Engine: eng})
+	if w := do(t, s, http.MethodGet, "/v1/search?q="+paramEscape(q.Text)+"&entities="+paramEscape(entitiesParam(q))+"&set=TS", ""); w.Code != http.StatusOK {
+		t.Fatalf("search status %d: %s", w.Code, w.Body.String())
+	}
+	body := do(t, s, http.MethodGet, "/metrics", "").Body.String()
+	// Collect every sample line carrying a shard label, in emission order.
+	type sample struct{ family, shard string }
+	var got []sample
+	for _, line := range strings.Split(body, "\n") {
+		if !strings.HasPrefix(line, "sqe_search_shard_") || strings.HasPrefix(line, "#") {
+			continue
+		}
+		open := strings.Index(line, "{shard=\"")
+		close := strings.Index(line, "\"}")
+		if open < 0 || close < 0 {
+			t.Fatalf("malformed shard sample: %q", line)
+		}
+		got = append(got, sample{line[:open], line[open+len("{shard=\"") : close]})
+	}
+	var want []sample
+	for _, fam := range []string{
+		"sqe_search_shard_seconds_total",
+		"sqe_search_shard_candidates_examined_total",
+		"sqe_search_shard_postings_advanced_total",
+		"sqe_search_shard_docs_skipped_total",
+	} {
+		for _, sh := range []string{"0", "1", "2", "3"} {
+			want = append(want, sample{fam, sh})
+		}
+	}
+	if len(got) != len(want) {
+		t.Fatalf("shard sample lines = %d, want %d:\n%+v", len(got), len(want), got)
+	}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("shard sample %d = %+v, want %+v (unstable label order)", i, got[i], want[i])
+		}
+	}
+}

@@ -197,6 +197,11 @@ var sqecRunNames = [3]string{"T", "TS", "S"}
 // dropped from the splice — the survivors still cover their rank bands,
 // and Degradation.DroppedRuns names the missing lists. All three runs
 // failing fails the request with the first run's error.
+// sqecSets is the run order of the SQE_C combination: triangular alone,
+// both motifs, square alone — the splice in core.SpliceResultsC keys off
+// this order.
+var sqecSets = [3]MotifSet{MotifT, MotifTS, MotifS}
+
 func (e *Engine) doC(ctx context.Context, query string, entityTitles []string, k int, ps *PipelineStats, deg *Degradation) ([]Result, *Expansion, error) {
 	var runs [3][]Result
 	var exps [3]*Expansion

@@ -125,9 +125,10 @@ func TestEngineShardedLegacyScorer(t *testing.T) {
 	q := e.Queries[0]
 	ref := NewEngine(e.Engine.Graph(), e.Engine.Index())
 	leg := NewEngine(e.Engine.Graph(), e.Engine.Index(), WithShards(4), WithLegacyScorer())
-	want, _ := ref.Search(q.Text, q.EntityTitles, 10)
-	got, err := leg.Search(q.Text, q.EntityTitles, 10)
-	if err != nil || !reflect.DeepEqual(want, got) {
+	req := SearchRequest{Query: q.Text, EntityTitles: q.EntityTitles, K: 10}
+	want, _ := ref.Do(context.Background(), req)
+	got, err := leg.Do(context.Background(), req)
+	if err != nil || !reflect.DeepEqual(want.Results, got.Results) {
 		t.Fatalf("legacy+sharded diverges (err=%v)", err)
 	}
 }

@@ -88,6 +88,9 @@ type (
 	ModelParams = search.ModelParams
 	// SearchStats carries the retrieval evaluator's per-query counters.
 	SearchStats = search.SearchStats
+	// ShardSearchStats is one shard's slice of a sharded retrieval's
+	// counters (SearchStats.Shards).
+	ShardSearchStats = search.ShardStats
 	// PipelineStats aggregates per-stage timings (entity linking, motif
 	// search, query build, retrieval) and evaluator counters.
 	PipelineStats = core.PipelineStats
@@ -194,9 +197,11 @@ type Engine struct {
 	// unsharded).
 	shards int
 	// sharded is the parallel per-shard retrieval path; nil when the
-	// engine is unsharded. Results are bit-identical to the unsharded
-	// searcher — see internal/search.ShardedSearcher.
-	sharded *search.ShardedSearcher
+	// engine is unsharded. It is either the in-process ShardedSearcher
+	// (WithShards) or an RPC coordinator over shard-server processes
+	// (WithDistributedSearcher); both return results bit-identical to
+	// the unsharded searcher — see internal/search.Distributed.
+	sharded search.Distributed
 	// degrade, when non-nil, enables graceful degradation in Do (see
 	// WithDegradation and DegradationPolicy); nil keeps the strict
 	// all-or-nothing behaviour.
@@ -320,6 +325,29 @@ func WithShards(n int) Option {
 	return func(e *Engine) { e.shards = n }
 }
 
+// DistributedSearcher is the engine-facing contract of sharded
+// retrieval: the in-process sharded searcher and the RPC coordinator
+// over shard-server processes both satisfy it, and both are
+// bit-identical to the unsharded engine.
+type DistributedSearcher = search.Distributed
+
+// WithDistributedSearcher installs a pre-built distributed retrieval
+// backend — typically an RPC coordinator over shard-server processes
+// (search.NewRemoteSharded; see cmd/sqe-serve's coordinator mode). The
+// engine mirrors its retrieval configuration (model, parameters,
+// pruning, worker pool) onto the backend at construction, exactly as it
+// does for WithShards, so distributed scores stay bit-identical to the
+// single-process engine over the same corpus and shard count.
+//
+// The shard servers must hold the same corpus partitioned with the same
+// round-robin function (index.NewSharded) and the same analyzer — the
+// coordinator verifies shard identity at handshake and leaf-count
+// agreement per query, and `make distributed-smoke` enforces the full
+// bit-identity end to end. Takes precedence over WithShards.
+func WithDistributedSearcher(d DistributedSearcher) Option {
+	return func(e *Engine) { e.sharded = d }
+}
+
 // NewEngine builds an Engine over a KB graph and a document index,
 // configured by the given options. The returned Engine is safe for
 // concurrent use.
@@ -352,17 +380,21 @@ func NewEngine(g *Graph, ix *Index, opts ...Option) *Engine {
 			})
 		}
 	}
-	if e.shards > 1 {
+	if e.sharded == nil && e.shards > 1 {
 		if sh := index.NewSharded(ix, e.shards); sh.NumShards() > 1 {
 			e.sharded = search.NewShardedSearcher(sh)
-			// Mirror the retrieval configuration the options set on the
-			// unsharded searcher; the two paths must score identically.
-			e.sharded.Mu = e.searcher.Mu
-			e.sharded.Model = e.searcher.Model
-			e.sharded.Params = e.searcher.Params
-			e.sharded.DisablePruning = e.searcher.DisablePruning
-			e.sharded.Sem = e.sem
 		}
+	}
+	if e.sharded != nil {
+		// Mirror the retrieval configuration the options set on the
+		// unsharded searcher; the two paths must score identically.
+		e.sharded.Configure(search.ShardConfig{
+			Mu:             e.searcher.Mu,
+			Model:          e.searcher.Model,
+			Params:         e.searcher.Params,
+			DisablePruning: e.searcher.DisablePruning,
+			Sem:            e.sem,
+		})
 	}
 	return e
 }
@@ -370,7 +402,7 @@ func NewEngine(g *Graph, ix *Index, opts ...Option) *Engine {
 // Shards returns the engine's effective shard count (1 when unsharded).
 func (e *Engine) Shards() int {
 	if e.sharded != nil {
-		return e.sharded.Sharded().NumShards()
+		return e.sharded.NumShards()
 	}
 	return 1
 }
@@ -404,44 +436,6 @@ func (e *Engine) ExpansionStoreStats() (stats StoreStats, ok bool) {
 		return StoreStats{}, false
 	}
 }
-
-// SetLinker installs an entity-linking dictionary.
-//
-// Deprecated: pass WithLinker to NewEngine instead. Mutating a live
-// Engine is not synchronised and must not race with searches.
-func (e *Engine) SetLinker(dict *entitylink.Dictionary) {
-	e.linker = entitylink.NewLinker(dict)
-}
-
-// SetDirichletMu overrides the smoothing parameter μ (default 2500).
-//
-// Deprecated: pass WithDirichletMu to NewEngine instead. Mutating a live
-// Engine is not synchronised and must not race with searches.
-func (e *Engine) SetDirichletMu(mu float64) {
-	e.searcher.Mu = mu
-	if e.sharded != nil {
-		e.sharded.Mu = mu
-	}
-}
-
-// SetRetrievalModel switches the scoring function.
-//
-// Deprecated: pass WithRetrievalModel to NewEngine instead. Mutating a
-// live Engine is not synchronised and must not race with searches.
-func (e *Engine) SetRetrievalModel(m RetrievalModel, params ModelParams) {
-	e.searcher.Model = m
-	e.searcher.Params = params
-	if e.sharded != nil {
-		e.sharded.Model = m
-		e.sharded.Params = params
-	}
-}
-
-// SetLegacyScorer toggles the pre-DAAT map-and-sort evaluator.
-//
-// Deprecated: pass WithLegacyScorer to NewEngine instead. Mutating a
-// live Engine is not synchronised and must not race with searches.
-func (e *Engine) SetLegacyScorer(on bool) { e.searcher.UseLegacyScorer = on }
 
 // ParseQuery parses an Indri-like structured query (#weight/#combine/
 // #1/#uwN/quotes) with the engine's analyzer and retrieves the top k.
@@ -502,202 +496,6 @@ func (e *Engine) ExpandContext(ctx context.Context, query string, entityTitles [
 	}
 	qg := e.expander.BuildQueryGraphStored(nodes, set, e.cache, e.precomputed)
 	return e.expansionOf(qg), nil
-}
-
-// SearchSet runs the full SQE pipeline with one motif configuration:
-// expansion, three-part query construction, retrieval.
-//
-// Deprecated: use Do with an explicit MotifSet.
-func (e *Engine) SearchSet(set MotifSet, query string, entityTitles []string, k int) ([]Result, error) {
-	return e.SearchSetStatsContext(context.Background(), set, query, entityTitles, k, nil)
-}
-
-// SearchSetContext is SearchSet under a context deadline; cancellation
-// aborts retrieval mid-evaluation.
-//
-// Deprecated: use Do with an explicit MotifSet.
-func (e *Engine) SearchSetContext(ctx context.Context, set MotifSet, query string, entityTitles []string, k int) ([]Result, error) {
-	return e.SearchSetStatsContext(ctx, set, query, entityTitles, k, nil)
-}
-
-// SearchSetStats is SearchSet with per-stage instrumentation: entity
-// linking, motif search, query build and retrieval timings plus the
-// evaluator's counters are accumulated into ps (which may be nil).
-//
-// Deprecated: use Do with an explicit MotifSet and CollectStats.
-func (e *Engine) SearchSetStats(set MotifSet, query string, entityTitles []string, k int, ps *PipelineStats) ([]Result, error) {
-	return e.SearchSetStatsContext(context.Background(), set, query, entityTitles, k, ps)
-}
-
-// SearchSetStatsContext is SearchSetStats under a context. Like Do, it
-// counts one query into PipelineStats.Queries per call. (It historically
-// left Queries to the caller while Do counted it — aggregating the two
-// entry points into one PipelineStats double- or under-counted; the
-// wrappers now share Do's behaviour.)
-//
-// Deprecated: use Do with an explicit MotifSet and CollectStats.
-func (e *Engine) SearchSetStatsContext(ctx context.Context, set MotifSet, query string, entityTitles []string, k int, ps *PipelineStats) ([]Result, error) {
-	if k <= 0 || set == 0 {
-		// Legacy quirks Do rejects or reinterprets: a non-positive k runs
-		// the pipeline and retrieves nothing, and a zero set means "no
-		// motifs", not Do's SQE_C default.
-		res, _, err := e.doSet(ctx, set, query, entityTitles, k, nil, ps, nil)
-		if err != nil {
-			return nil, err
-		}
-		if ps != nil {
-			ps.Queries++
-		}
-		return res, nil
-	}
-	resp, err := e.Do(ctx, SearchRequest{
-		Query: query, EntityTitles: entityTitles, MotifSet: set, K: k,
-		CollectStats: ps != nil,
-	})
-	if err != nil {
-		return nil, err
-	}
-	if ps != nil {
-		ps.Add(resp.Stats)
-	}
-	return resp.Results, nil
-}
-
-// Search runs the paper's SQE_C configuration: the first five results
-// come from the triangular-motif expansion, results through rank 200
-// from the combined expansion, and the remainder from the square-motif
-// expansion.
-//
-// When a document surfaces in more than one of the three runs, the
-// Result (and score) of the first run in T → T&S → S order is kept —
-// see core.SpliceResultsC for the tie rule.
-//
-// Deprecated: use Do (the zero MotifSet selects SQE_C).
-func (e *Engine) Search(query string, entityTitles []string, k int) ([]Result, error) {
-	return e.SearchWithStatsContext(context.Background(), query, entityTitles, k, nil)
-}
-
-// SearchContext is Search under a context deadline; cancellation aborts
-// the in-flight retrievals mid-evaluation.
-//
-// Deprecated: use Do (the zero MotifSet selects SQE_C).
-func (e *Engine) SearchContext(ctx context.Context, query string, entityTitles []string, k int) ([]Result, error) {
-	return e.SearchWithStatsContext(ctx, query, entityTitles, k, nil)
-}
-
-// SearchWithStats is Search (the full SQE_C pipeline) with per-stage
-// instrumentation accumulated into ps (which may be nil): the three
-// per-set expansions and retrievals are all attributed to their stages.
-//
-// Deprecated: use Do with CollectStats.
-func (e *Engine) SearchWithStats(query string, entityTitles []string, k int, ps *PipelineStats) ([]Result, error) {
-	return e.SearchWithStatsContext(context.Background(), query, entityTitles, k, ps)
-}
-
-// sqecSets are SQE_C's three runs in splice order.
-var sqecSets = [3]MotifSet{MotifT, MotifTS, MotifS}
-
-// SearchWithStatsContext is SearchWithStats under a context.
-//
-// Deprecated: use Do with CollectStats.
-func (e *Engine) SearchWithStatsContext(ctx context.Context, query string, entityTitles []string, k int, ps *PipelineStats) ([]Result, error) {
-	if k <= 0 {
-		// Legacy behaviour: the pipeline runs (and counts a query) but
-		// retrieves nothing; Do rejects non-positive k instead.
-		res, _, err := e.doC(ctx, query, entityTitles, k, ps, nil)
-		if err != nil {
-			return nil, err
-		}
-		if ps != nil {
-			ps.Queries++
-		}
-		return res, nil
-	}
-	resp, err := e.Do(ctx, SearchRequest{
-		Query: query, EntityTitles: entityTitles, K: k,
-		CollectStats: ps != nil,
-	})
-	if err != nil {
-		return nil, err
-	}
-	if ps != nil {
-		ps.Add(resp.Stats)
-	}
-	return resp.Results, nil
-}
-
-// BaselineSearch runs the plain query-likelihood baseline (QL_Q): the
-// user's query with no expansion.
-//
-// Deprecated: use Do with Baseline set.
-func (e *Engine) BaselineSearch(query string, k int) ([]Result, error) {
-	return e.BaselineSearchContext(context.Background(), query, k)
-}
-
-// BaselineSearchContext is BaselineSearch under a context deadline.
-//
-// Deprecated: use Do with Baseline set.
-func (e *Engine) BaselineSearchContext(ctx context.Context, query string, k int) ([]Result, error) {
-	if k <= 0 {
-		return e.doBaseline(ctx, query, k, nil, nil, nil)
-	}
-	resp, err := e.Do(ctx, SearchRequest{Query: query, K: k, Baseline: true})
-	if err != nil {
-		return nil, err
-	}
-	return resp.Results, nil
-}
-
-// SearchPRF applies pseudo-relevance feedback (Lavrenko relevance model)
-// on top of the SQE expansion for one motif set — the paper's
-// orthogonality experiment (Section 4.3).
-//
-// Deprecated: use Do with an explicit MotifSet and PRF.
-func (e *Engine) SearchPRF(set MotifSet, query string, entityTitles []string, cfg PRFConfig, k int) ([]Result, error) {
-	return e.SearchPRFContext(context.Background(), set, query, entityTitles, cfg, k)
-}
-
-// SearchPRFContext is SearchPRF under a context. The context governs the
-// final retrieval; the feedback pass (a small fixed-depth retrieval) is
-// not interruptible.
-//
-// Deprecated: use Do with an explicit MotifSet and PRF.
-func (e *Engine) SearchPRFContext(ctx context.Context, set MotifSet, query string, entityTitles []string, cfg PRFConfig, k int) ([]Result, error) {
-	res, _, err := e.doSet(ctx, set, query, entityTitles, k, normalizePRF(cfg), nil, nil)
-	return res, err
-}
-
-// BaselineSearchPRF applies pseudo-relevance feedback to the plain
-// user query with no expansion — the paper's PRF_Q configuration, whose
-// collapse on vocabulary-mismatched collections Section 4.3 demonstrates.
-//
-// Deprecated: use Do with Baseline and PRF.
-func (e *Engine) BaselineSearchPRF(query string, cfg PRFConfig, k int) ([]Result, error) {
-	return e.BaselineSearchPRFContext(context.Background(), query, cfg, k)
-}
-
-// BaselineSearchPRFContext is BaselineSearchPRF under a context (final
-// retrieval only, as in SearchPRFContext).
-//
-// Deprecated: use Do with Baseline and PRF.
-func (e *Engine) BaselineSearchPRFContext(ctx context.Context, query string, cfg PRFConfig, k int) ([]Result, error) {
-	return e.doBaseline(ctx, query, k, normalizePRF(cfg), nil, nil)
-}
-
-// normalizePRF maps the out-of-range PRF values the legacy methods
-// silently accepted (prf applies its own defaults for non-positive
-// counts) onto values Do's validation admits, preserving behaviour.
-func normalizePRF(cfg PRFConfig) *PRFConfig {
-	if cfg.FbDocs < 0 {
-		cfg.FbDocs = 0
-	}
-	if cfg.FbTerms < 0 {
-		cfg.FbTerms = 0
-	}
-	if cfg.OrigWeight < 0 || cfg.OrigWeight != cfg.OrigWeight {
-		cfg.OrigWeight = 0
-	}
-	return &cfg
 }
 
 // Expander exposes the underlying expander for advanced configuration

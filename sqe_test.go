@@ -1,6 +1,7 @@
 package sqe
 
 import (
+	"context"
 	"strings"
 	"sync"
 	"testing"
@@ -71,18 +72,19 @@ func TestExpandReturnsFeatures(t *testing.T) {
 
 func TestSearchImprovesOverBaseline(t *testing.T) {
 	e := demo(t)
+	ctx := context.Background()
 	var base, sqe float64
 	for _, q := range e.Queries {
-		b, err := e.Engine.BaselineSearch(q.Text, 10)
+		b, err := e.Engine.Do(ctx, SearchRequest{Query: q.Text, K: 10, Baseline: true})
 		if err != nil {
 			t.Fatal(err)
 		}
-		s, err := e.Engine.Search(q.Text, q.EntityTitles, 10)
+		s, err := e.Engine.Do(ctx, SearchRequest{Query: q.Text, EntityTitles: q.EntityTitles, K: 10})
 		if err != nil {
 			t.Fatal(err)
 		}
-		base += PrecisionAt(b, q.Relevant, 10)
-		sqe += PrecisionAt(s, q.Relevant, 10)
+		base += PrecisionAt(b.Results, q.Relevant, 10)
+		sqe += PrecisionAt(s.Results, q.Relevant, 10)
 	}
 	if sqe <= base {
 		t.Errorf("SQE P@10 sum %.2f not above baseline %.2f", sqe, base)
@@ -93,10 +95,13 @@ func TestSearchSetConfigurations(t *testing.T) {
 	e := demo(t)
 	q := e.Queries[0]
 	for _, set := range []MotifSet{MotifT, MotifS, MotifTS} {
-		res, err := e.Engine.SearchSet(set, q.Text, q.EntityTitles, 20)
+		resp, err := e.Engine.Do(context.Background(), SearchRequest{
+			Query: q.Text, EntityTitles: q.EntityTitles, MotifSet: set, K: 20,
+		})
 		if err != nil {
 			t.Fatalf("set %v: %v", set, err)
 		}
+		res := resp.Results
 		if len(res) == 0 {
 			t.Fatalf("set %v returned nothing", set)
 		}
@@ -111,12 +116,14 @@ func TestSearchSetConfigurations(t *testing.T) {
 func TestSearchSplicesWithoutDuplicates(t *testing.T) {
 	e := demo(t)
 	q := e.Queries[0]
-	res, err := e.Engine.Search(q.Text, q.EntityTitles, 300)
+	resp, err := e.Engine.Do(context.Background(), SearchRequest{
+		Query: q.Text, EntityTitles: q.EntityTitles, K: 300,
+	})
 	if err != nil {
 		t.Fatal(err)
 	}
 	seen := map[string]bool{}
-	for _, r := range res {
+	for _, r := range resp.Results {
 		if seen[r.Name] {
 			t.Fatalf("duplicate %s in spliced results", r.Name)
 		}
@@ -146,8 +153,10 @@ func TestUnknownEntityTitle(t *testing.T) {
 	if _, err := e.Engine.Expand("x", []string{"No Such Article"}, MotifT); err == nil {
 		t.Error("unknown entity title should error")
 	}
-	if _, err := e.Engine.Search("x", []string{"No Such Article"}, 5); err == nil {
-		t.Error("unknown entity title should error in Search")
+	if _, err := e.Engine.Do(context.Background(), SearchRequest{
+		Query: "x", EntityTitles: []string{"No Such Article"}, K: 5,
+	}); err == nil {
+		t.Error("unknown entity title should error in Do")
 	}
 }
 
@@ -171,11 +180,14 @@ func TestCategoryAsEntityRejected(t *testing.T) {
 func TestSearchPRF(t *testing.T) {
 	e := demo(t)
 	q := e.Queries[0]
-	res, err := e.Engine.SearchPRF(MotifTS, q.Text, q.EntityTitles, PRFConfig{FbDocs: 5, FbTerms: 10, OrigWeight: 0.5}, 10)
+	resp, err := e.Engine.Do(context.Background(), SearchRequest{
+		Query: q.Text, EntityTitles: q.EntityTitles, MotifSet: MotifTS, K: 10,
+		PRF: &PRFConfig{FbDocs: 5, FbTerms: 10, OrigWeight: 0.5},
+	})
 	if err != nil {
 		t.Fatal(err)
 	}
-	if len(res) == 0 {
+	if len(resp.Results) == 0 {
 		t.Error("PRF search returned nothing")
 	}
 }
@@ -194,40 +206,42 @@ func TestPrecisionAtHelper(t *testing.T) {
 	}
 }
 
-// TestSetDirichletMu exercises the deprecated mutator wrapper; the
-// options form is covered by TestEngineOptions.
-func TestSetDirichletMu(t *testing.T) {
+// TestWithDirichletMu checks the μ option actually reaches the scorer:
+// two engines over the same corpus differing only in μ must score
+// differently.
+func TestWithDirichletMu(t *testing.T) {
 	e := demo(t)
 	q := e.Queries[0]
-	before, err := e.Engine.BaselineSearch(q.Text, 5)
+	ctx := context.Background()
+	req := SearchRequest{Query: q.Text, K: 5, Baseline: true}
+	before, err := e.Engine.Do(ctx, req)
 	if err != nil {
 		t.Fatal(err)
 	}
-	e.Engine.SetDirichletMu(10)
-	after, err := e.Engine.BaselineSearch(q.Text, 5)
+	tuned := NewEngine(e.Engine.Graph(), e.Engine.Index(), WithDirichletMu(10))
+	after, err := tuned.Do(ctx, req)
 	if err != nil {
 		t.Fatal(err)
 	}
-	e.Engine.SetDirichletMu(0) // restore default
-	if len(before) == 0 || len(after) == 0 {
+	if len(before.Results) == 0 || len(after.Results) == 0 {
 		t.Fatal("searches returned nothing")
 	}
-	if before[0].Score == after[0].Score {
+	if before.Results[0].Score == after.Results[0].Score {
 		t.Error("changing μ should change scores")
 	}
 }
 
 func TestNewEntityDictionary(t *testing.T) {
-	// Fresh environment: this test swaps the engine's linker, which must
-	// not leak into the shared demo env other tests use.
 	e := MustGenerateDemo(DemoSmall)
 	d := NewEntityDictionary(e.Engine)
 	var title string
 	g := e.Engine.Graph()
 	g.Articles(func(id NodeID) bool { title = g.Title(id); return false })
 	d.AddTitle(title, g.ByTitle(title), 1)
-	e.Engine.SetLinker(d)
-	exp, err := e.Engine.Expand(title, nil, MotifTS)
+	// The linker is construction-time configuration; build an engine over
+	// the same graph and index that links through the custom dictionary.
+	eng := NewEngine(g, e.Engine.Index(), WithLinker(d))
+	exp, err := eng.Expand(title, nil, MotifTS)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -236,30 +250,32 @@ func TestNewEntityDictionary(t *testing.T) {
 	}
 }
 
-func TestSetRetrievalModel(t *testing.T) {
+func TestWithRetrievalModel(t *testing.T) {
 	e := MustGenerateDemo(DemoSmall)
 	q := e.Queries[0]
-	dirichlet, err := e.Engine.BaselineSearch(q.Text, 5)
+	ctx := context.Background()
+	req := SearchRequest{Query: q.Text, K: 5, Baseline: true}
+	dirichlet, err := e.Engine.Do(ctx, req)
 	if err != nil {
 		t.Fatal(err)
 	}
-	e.Engine.SetRetrievalModel(ModelBM25, ModelParams{})
-	bm25, err := e.Engine.BaselineSearch(q.Text, 5)
+	bm25Eng := NewEngine(e.Engine.Graph(), e.Engine.Index(), WithRetrievalModel(ModelBM25, ModelParams{}))
+	bm25, err := bm25Eng.Do(ctx, req)
 	if err != nil {
 		t.Fatal(err)
 	}
-	if len(dirichlet) == 0 || len(bm25) == 0 {
+	if len(dirichlet.Results) == 0 || len(bm25.Results) == 0 {
 		t.Fatal("searches returned nothing")
 	}
-	if dirichlet[0].Score == bm25[0].Score {
+	if dirichlet.Results[0].Score == bm25.Results[0].Score {
 		t.Error("model switch had no effect on scores")
 	}
 	// SQE still works under BM25.
-	res, err := e.Engine.Search(q.Text, q.EntityTitles, 10)
+	resp, err := bm25Eng.Do(ctx, SearchRequest{Query: q.Text, EntityTitles: q.EntityTitles, K: 10})
 	if err != nil {
 		t.Fatal(err)
 	}
-	if len(res) == 0 {
+	if len(resp.Results) == 0 {
 		t.Error("SQE under BM25 returned nothing")
 	}
 }

@@ -1,6 +1,7 @@
 package sqe
 
 import (
+	"context"
 	"strings"
 	"testing"
 )
@@ -28,9 +29,8 @@ func TestImportWikiXMLEndToEnd(t *testing.T) {
 	ib.Add("d1", "the funicular railway climbs steeply")
 	ib.Add("d2", "a cable car in the fog")
 	ib.Add("d3", "boats in the harbor")
-	eng := NewEngine(imp.Graph, ib.Build())
-	eng.SetLinker(imp.Dictionary)
-	eng.SetDirichletMu(10)
+	eng := NewEngine(imp.Graph, ib.Build(),
+		WithLinker(imp.Dictionary), WithDirichletMu(10))
 
 	// Automatic linking through the anchor dictionary ("cable railway
 	// car" was an anchor for Cable car; the title itself links too).
@@ -56,16 +56,16 @@ func TestImportWikiXMLEndToEnd(t *testing.T) {
 		t.Errorf("Funicular not among features: %+v", exp.Features)
 	}
 
-	res, err := eng.Search("cable car rides", nil, 3)
+	resp, err := eng.Do(context.Background(), SearchRequest{Query: "cable car rides", K: 3})
 	if err != nil {
 		t.Fatal(err)
 	}
 	names := map[string]bool{}
-	for _, r := range res {
+	for _, r := range resp.Results {
 		names[r.Name] = true
 	}
 	if !names["d1"] || !names["d2"] {
-		t.Errorf("expanded search missed documents: %v", res)
+		t.Errorf("expanded search missed documents: %v", resp.Results)
 	}
 }
 
