@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: build test race vet fmt bench bench-shards bench-pruning bench-expansion bench-check shard-parity serve-smoke precompute-smoke distributed-smoke load-smoke chaos fuzz verify
+.PHONY: build test race vet fmt bench bench-shards bench-pruning bench-expansion bench-blockmax bench-check shard-parity index-parity serve-smoke precompute-smoke distributed-smoke load-smoke chaos fuzz verify
 
 build:
 	$(GO) build ./...
@@ -44,6 +44,15 @@ bench-pruning:
 bench-expansion:
 	$(GO) run ./cmd/sqe-bench -scale small -exp expansion -expansion-json BENCH_expansion.json
 
+# Block-Max MaxScore vs exhaustive DAAT over an mmap'd FormatV2 file,
+# on the suite's largest corpus at benchmark (default) scale — block
+# skipping is a long-postings-list mechanism, so this is the scale the
+# speedup claim is made at. Regenerates the committed
+# BENCH_blockmax.json artifact that bench-check gates on (bit-identity,
+# >=2x documents-scored reduction, >=1x wall-clock speedup floor).
+bench-blockmax:
+	$(GO) run ./cmd/sqe-bench -scale default -exp blockmax -blockmax-json BENCH_blockmax.json
+
 # The benchmark regression gate: validates the committed BENCH_*.json
 # artifacts (bit-identity flags, >=2x documents-scored reduction) and
 # re-runs the pruning bench to demand its deterministic counters match
@@ -55,6 +64,20 @@ bench-check:
 # engine-level differential tests across shard counts and models.
 shard-parity:
 	$(GO) test -run 'Sharded' -count=1 . ./internal/index/... ./internal/search/...
+
+# The on-disk format gate: the v1-vs-v2-vs-memory differential tests
+# (engine-level across models, request shapes and shard counts; plus
+# the Block-Max-over-v2 evaluator differentials), then sqe-serve
+# serving the demo corpus from freshly written v1 and v2 files through
+# index.Open — the v2 one an mmap with lazy per-block decode.
+index-parity:
+	$(GO) test -count=1 -run 'TestEngineFormatParity' .
+	$(GO) test -count=1 -run 'TestV2|TestOpen|TestBuilderWriteFile|TestBuildHelper|TestBlockMax' ./internal/index/ ./internal/search/
+	$(GO) run ./cmd/sqe-serve -write-index /tmp/sqe-index-parity.v1 -index-format v1
+	$(GO) run ./cmd/sqe-serve -smoke -index /tmp/sqe-index-parity.v1
+	$(GO) run ./cmd/sqe-serve -write-index /tmp/sqe-index-parity.v2 -index-format v2
+	$(GO) run ./cmd/sqe-serve -smoke -shards 2 -index /tmp/sqe-index-parity.v2
+	@rm -f /tmp/sqe-index-parity.v1 /tmp/sqe-index-parity.v2
 
 # Boots sqe-serve on the demo corpus with a sharded engine, drives one
 # in-process request through every endpoint (200 + non-empty payload
@@ -110,7 +133,9 @@ chaos:
 fuzz:
 	$(GO) test -fuzz FuzzWikiXMLParse -fuzztime 30s -run '^$$' ./internal/wikixml/
 	$(GO) test -fuzz FuzzIndexDecode -fuzztime 30s -run '^$$' ./internal/index/
+	$(GO) test -fuzz FuzzBlockDecode -fuzztime 30s -run '^$$' ./internal/index/
+	$(GO) test -fuzz FuzzOpenV2 -fuzztime 30s -run '^$$' ./internal/index/
 
 # The full gate run before every commit.
-verify: vet fmt build race test shard-parity bench-check serve-smoke precompute-smoke distributed-smoke load-smoke chaos
+verify: vet fmt build race test shard-parity index-parity bench-check serve-smoke precompute-smoke distributed-smoke load-smoke chaos
 	@echo "verify: OK"

@@ -1,9 +1,9 @@
 // Command bench-check is the repository's benchmark regression gate,
 // run by `make verify`. It validates the committed benchmark artifacts
-// (BENCH_pruning.json, BENCH_shards.json, BENCH_expansion.json,
-// BENCH_distributed.json) and — unless -fresh=false — re-runs the
-// pruning bench to compare its DETERMINISTIC counters against the
-// committed numbers.
+// (BENCH_pruning.json, BENCH_blockmax.json, BENCH_shards.json,
+// BENCH_expansion.json, BENCH_distributed.json) and — unless
+// -fresh=false — re-runs the pruning and block-max benches to compare
+// their DETERMINISTIC counters against the committed numbers.
 //
 // What is gated, and how hard:
 //
@@ -13,6 +13,11 @@
 //   - Documents-scored reduction is a hard floor (-min-reduction,
 //     default 2x): pruning that stops paying for itself is a
 //     regression even if nothing is wrong numerically.
+//   - The committed block-max wall-clock speedup is a hard floor
+//     (-min-blockmax-speedup, default 1x): the artifact's claim is that
+//     Block-Max pruning never loses to exhaustive DAAT on the benchmark
+//     corpus, for any model. The ratio is min-of-rounds interleaved on
+//     one machine, so load cancels out of it.
 //   - The deterministic work counters (documents scored, postings
 //     skipped) of a fresh run must EXACTLY match the committed
 //     artifact: the synthetic environment is seeded, so any drift
@@ -48,11 +53,13 @@ func main() {
 	log.SetFlags(0)
 	log.SetPrefix("bench-check: ")
 	pruningPath := flag.String("pruning", "BENCH_pruning.json", "committed pruning bench artifact")
+	blockmaxPath := flag.String("blockmax", "BENCH_blockmax.json", "committed block-max bench artifact")
 	shardsPath := flag.String("shards", "BENCH_shards.json", "committed shard bench artifact")
 	expansionPath := flag.String("expansion", "BENCH_expansion.json", "committed expansion bench artifact")
 	distributedPath := flag.String("distributed", "BENCH_distributed.json", "committed sqe-load artifact (empty = skip)")
 	minReduction := flag.Float64("min-reduction", 2.0, "documents-scored reduction floor every model must sustain")
 	minStoreSpeedup := flag.Float64("min-store-speedup", 10.0, "precomputed-store lookup must beat cold expansion by at least this factor")
+	minBlockMaxSpeedup := flag.Float64("min-blockmax-speedup", 1.0, "committed block-max wall-clock speedup floor: pruned must not lose to exhaustive for any model")
 	maxSlowdown := flag.Float64("max-slowdown", 3.0, "fresh-run wall-clock band: pruned ns/query must stay under full x this")
 	fresh := flag.Bool("fresh", true, "re-run the pruning bench and compare deterministic counters")
 	flag.Parse()
@@ -89,6 +96,44 @@ func main() {
 		default:
 			ok("%s/%s: bit-identical, %.2fx fewer documents scored (floor %.2fx)",
 				*pruningPath, row.Model, row.Reduction, *minReduction)
+		}
+	}
+
+	// Committed block-max artifact. The identity flag and the
+	// work-counter sanity are absolute, like the pruning rows. The
+	// wall-clock speedup ALSO gets a hard floor here — the one committed
+	// ratio gate in the file — because the artifact's reason to exist is
+	// the claim that Block-Max pruning does not lose to the exhaustive
+	// evaluator on the benchmark corpus for any retrieval model. The
+	// ratio comes from interleaved min-of-rounds passes on one machine,
+	// so machine load largely cancels out of it (same policy as the
+	// store speedup floor above).
+	var blockmax experiments.BlockMaxBenchResult
+	if err := loadJSON(*blockmaxPath, &blockmax); err != nil {
+		log.Fatal(err)
+	}
+	if len(blockmax.Rows) == 0 {
+		fail("%s: no rows", *blockmaxPath)
+	}
+	for _, row := range blockmax.Rows {
+		switch {
+		case !row.Identical:
+			fail("%s/%s: committed run was not bit-identical (pruned vs exhaustive vs in-memory)", *blockmaxPath, row.Model)
+		case row.DocsScoredPruned > row.DocsScoredFull:
+			fail("%s/%s: pruned path scored more documents (%d) than the exhaustive one (%d)",
+				*blockmaxPath, row.Model, row.DocsScoredPruned, row.DocsScoredFull)
+		case row.Reduction < *minReduction:
+			fail("%s/%s: documents-scored reduction %.2fx below the %.2fx floor",
+				*blockmaxPath, row.Model, row.Reduction, *minReduction)
+		case row.BlockBoundEvals == 0:
+			fail("%s/%s: per-block bounds were never consulted — the Block-Max tier is dead on this workload",
+				*blockmaxPath, row.Model)
+		case row.Speedup < *minBlockMaxSpeedup:
+			fail("%s/%s: wall-clock speedup %.2fx below the %.2fx floor — pruning lost to the exhaustive evaluator",
+				*blockmaxPath, row.Model, row.Speedup, *minBlockMaxSpeedup)
+		default:
+			ok("%s/%s: bit-identical, %.2fx fewer documents scored, %.2fx faster (floor %.2fx)",
+				*blockmaxPath, row.Model, row.Reduction, row.Speedup, *minBlockMaxSpeedup)
 		}
 	}
 
@@ -194,6 +239,54 @@ func main() {
 					row.Model, row.NsPrunedPerQry, row.NsFullPerQry, *maxSlowdown)
 			default:
 				ok("fresh/%s: counters match artifact, wall clock within %.1fx band", row.Model, *maxSlowdown)
+			}
+		}
+	}
+
+	// Fresh block-max run, at the artifact's own (benchmark) scale: the
+	// deterministic counters — documents scored, postings skipped, block
+	// bounds consulted — must match the committed artifact exactly, and
+	// the identity flag must hold over the freshly written v2 file. The
+	// wall clock gets only the sanity band; the ≥1x speedup floor above
+	// applies to the committed min-of-rounds numbers, not to a one-round
+	// run on a possibly loaded box.
+	if *fresh {
+		suite, err := experiments.NewSuite(dataset.ScaleDefault)
+		if err != nil {
+			log.Fatal(err)
+		}
+		got, err := experiments.BlockMaxBench(suite, experiments.DefaultBlockMaxInstance(suite), blockmax.K, 1)
+		if err != nil {
+			log.Fatal(err)
+		}
+		if got.Dataset != blockmax.Dataset {
+			fail("fresh-blockmax: instance %q, artifact has %q", got.Dataset, blockmax.Dataset)
+		}
+		if len(got.Rows) != len(blockmax.Rows) {
+			fail("fresh-blockmax: %d rows, artifact has %d", len(got.Rows), len(blockmax.Rows))
+		}
+		for i, row := range got.Rows {
+			if i >= len(blockmax.Rows) {
+				break
+			}
+			want := blockmax.Rows[i]
+			switch {
+			case row.Model != want.Model:
+				fail("fresh-blockmax/%s: artifact row %d is %s — row order changed", row.Model, i, want.Model)
+			case !row.Identical:
+				fail("fresh-blockmax/%s: results diverged (pruned vs exhaustive vs in-memory)", row.Model)
+			case row.DocsScoredFull != want.DocsScoredFull ||
+				row.DocsScoredPruned != want.DocsScoredPruned ||
+				row.DocsSkipped != want.DocsSkipped ||
+				row.BlockBoundEvals != want.BlockBoundEvals:
+				fail("fresh-blockmax/%s: counters (full=%d pruned=%d skipped=%d blocks=%d) != artifact (full=%d pruned=%d skipped=%d blocks=%d); evaluator behaviour changed — regenerate with `make bench-blockmax`",
+					row.Model, row.DocsScoredFull, row.DocsScoredPruned, row.DocsSkipped, row.BlockBoundEvals,
+					want.DocsScoredFull, want.DocsScoredPruned, want.DocsSkipped, want.BlockBoundEvals)
+			case row.NsPrunedPerQry > row.NsFullPerQry*(*maxSlowdown):
+				fail("fresh-blockmax/%s: pruned %.0f ns/query vs full %.0f — beyond the %.1fx sanity band",
+					row.Model, row.NsPrunedPerQry, row.NsFullPerQry, *maxSlowdown)
+			default:
+				ok("fresh-blockmax/%s: counters match artifact, wall clock within %.1fx band", row.Model, *maxSlowdown)
 			}
 		}
 	}

@@ -3,10 +3,11 @@
 //
 // Usage:
 //
-//	sqe-bench [-scale small|default] [-exp all|fig2|tab1|fig5|tab2|fig6|tab3|tab4|stages|shards|pruning|expansion]
+//	sqe-bench [-scale small|default] [-exp all|fig2|tab1|fig5|tab2|fig6|tab3|tab4|stages|shards|pruning|expansion|blockmax]
 //	          [-shards 1,2,4,8] [-shards-json BENCH_shards.json]
 //	          [-pruning-json BENCH_pruning.json]
 //	          [-expansion-json BENCH_expansion.json]
+//	          [-blockmax-json BENCH_blockmax.json]
 package main
 
 import (
@@ -25,12 +26,13 @@ func main() {
 	log.SetFlags(0)
 	log.SetPrefix("sqe-bench: ")
 	scaleFlag := flag.String("scale", "default", "environment scale: small|default")
-	expFlag := flag.String("exp", "all", "experiment: all or substring list of fig2,tab1,fig5,tab2,fig6,tab3,tab4,stages,ablation,mining,summary,shards,pruning,expansion")
+	expFlag := flag.String("exp", "all", "experiment: all or substring list of fig2,tab1,fig5,tab2,fig6,tab3,tab4,stages,ablation,mining,summary,shards,pruning,expansion,blockmax")
 	trecFlag := flag.String("trec", "", "directory to export TREC qrels/run files into")
 	shardsFlag := flag.String("shards", "1,2,4,8", "comma-separated shard counts for -exp shards")
 	shardsJSON := flag.String("shards-json", "", "file to write the shard bench result to as JSON")
 	pruningJSON := flag.String("pruning-json", "", "file to write the pruning bench result to as JSON")
 	expansionJSON := flag.String("expansion-json", "", "file to write the expansion bench result to as JSON")
+	blockmaxJSON := flag.String("blockmax-json", "", "file to write the block-max bench result to as JSON")
 	flag.Parse()
 
 	scale := dataset.ScaleDefault
@@ -175,6 +177,26 @@ func main() {
 				log.Fatal(err)
 			}
 			fmt.Printf("wrote %s\n", *expansionJSON)
+		}
+	}
+	if want("blockmax") {
+		// Block-Max MaxScore vs exhaustive DAAT over an mmap'd FormatV2
+		// file, on the suite's largest corpus — block skipping is a
+		// long-postings-list mechanism (see README "Block-Max pruning").
+		bm, err := experiments.BlockMaxBench(suite, experiments.DefaultBlockMaxInstance(suite), 10, 5)
+		if err != nil {
+			log.Fatal(err)
+		}
+		fmt.Println(bm)
+		if *blockmaxJSON != "" {
+			data, err := bm.JSON()
+			if err != nil {
+				log.Fatal(err)
+			}
+			if err := os.WriteFile(*blockmaxJSON, append(data, '\n'), 0o644); err != nil {
+				log.Fatal(err)
+			}
+			fmt.Printf("wrote %s\n", *blockmaxJSON)
 		}
 	}
 	if *trecFlag != "" {

@@ -14,6 +14,7 @@ import (
 	"os"
 	"os/exec"
 	"os/signal"
+	"path/filepath"
 	"reflect"
 	"strconv"
 	"strings"
@@ -28,23 +29,36 @@ import (
 	"repro/internal/serve"
 )
 
-// runShardServer is -mode shard: it regenerates the (deterministic)
-// demo corpus, carves out slice i of an N-way round-robin partition —
-// the same partition function the coordinator's parity baseline uses —
-// and serves it over the RPC protocol until SIGINT/SIGTERM. The bound
+// runShardServer is -mode shard: it obtains the corpus index — from an
+// on-disk file via index.Open when indexPath is set (mmap'd, lazily
+// decoded for v2), by regenerating the (deterministic) demo corpus
+// otherwise — carves out slice i of an N-way round-robin partition (the
+// same partition function the coordinator's parity baseline uses) and
+// serves it over the RPC protocol until SIGINT/SIGTERM. The bound
 // address is printed to stdout as "LISTEN <addr>" so a supervisor (or
 // the distributed smoke) can pass :0 and discover the port.
-func runShardServer(scale sqe.DemoScale, spec, addr string) error {
+func runShardServer(scale sqe.DemoScale, spec, addr, indexPath string) error {
 	shard, numShards, err := parseShardSpec(spec)
 	if err != nil {
 		return err
 	}
-	log.Printf("generating demo environment for shard %d/%d …", shard, numShards)
-	env, err := sqe.GenerateDemo(scale)
-	if err != nil {
-		return err
+	var full *index.Index
+	if indexPath != "" {
+		if full, err = index.Open(indexPath); err != nil {
+			return fmt.Errorf("-index %s: %w", indexPath, err)
+		}
+		defer full.Close()
+		log.Printf("shard %d/%d serving from on-disk index %s (%d docs)",
+			shard, numShards, indexPath, full.NumDocs())
+	} else {
+		log.Printf("generating demo environment for shard %d/%d …", shard, numShards)
+		env, err := sqe.GenerateDemo(scale)
+		if err != nil {
+			return err
+		}
+		full = env.Engine.Index()
 	}
-	sh := index.NewSharded(env.Engine.Index(), numShards)
+	sh := index.NewSharded(full, numShards)
 	srv := rpc.NewServer()
 	search.NewShardService(sh.Shard(shard), shard, numShards).Register(srv)
 	ln, err := net.Listen("tcp", addr)
@@ -130,8 +144,9 @@ func (p *shardProc) kill() {
 
 // spawnShard re-execs this binary as a shard server on an ephemeral
 // port and waits for its LISTEN line.
-func spawnShard(exe, scaleFlag, spec string) (*shardProc, error) {
-	cmd := exec.Command(exe, "-mode", "shard", "-shard", spec, "-addr", "127.0.0.1:0", "-scale", scaleFlag)
+func spawnShard(exe, scaleFlag, spec string, extraArgs ...string) (*shardProc, error) {
+	args := append([]string{"-mode", "shard", "-shard", spec, "-addr", "127.0.0.1:0", "-scale", scaleFlag}, extraArgs...)
+	cmd := exec.Command(exe, args...)
 	cmd.Stderr = os.Stderr
 	out, err := cmd.StdoutPipe()
 	if err != nil {
@@ -183,7 +198,11 @@ func spawnShard(exe, scaleFlag, spec string) (*shardProc, error) {
 //     responses complete (the group fails over), not degraded;
 //  5. dead shard — killing shard 1's only server degrades responses per
 //     the PR 5 semantics (stats-phase exclusion, surfaced end to end:
-//     Degraded JSON field, X-SQE-Degraded header, 200 status).
+//     Degraded JSON field, X-SQE-Degraded header, 200 status);
+//  6. on-disk v2 leg — the index is written to a FormatV2 file, a fresh
+//     shard topology boots with -index (each process index.Opens the
+//     mmap'd file instead of regenerating the corpus), and rankings
+//     stay bit-identical to the single-process engine.
 func runDistributedSmoke(scale sqe.DemoScale, scaleFlag string) error {
 	exe, err := os.Executable()
 	if err != nil {
@@ -398,5 +417,66 @@ func runDistributedSmoke(scale sqe.DemoScale, scaleFlag string) error {
 		return fmt.Errorf("dead shard: expected a stats-phase exclusion, got %v", dresp.Degraded.ShardErrors)
 	}
 	log.Println("  ok degradation   dead shard excluded per PR 5 semantics, surfaced in header + body")
+
+	// 6. The on-disk leg: same coordinator topology, but every shard
+	// process serves slices of an mmap'd FormatV2 file instead of a
+	// regenerated in-memory corpus.
+	dir, err := os.MkdirTemp("", "sqe-dist-v2")
+	if err != nil {
+		return err
+	}
+	defer os.RemoveAll(dir)
+	v2Path := filepath.Join(dir, "index.v2")
+	if err := index.WriteFile(v2Path, env.Engine.Index(), index.FormatV2); err != nil {
+		return err
+	}
+	log.Printf("spawning v2-file shard servers over %s …", v2Path)
+	var v2procs []*shardProc
+	defer func() {
+		for _, p := range v2procs {
+			p.kill()
+		}
+	}()
+	for _, spec := range []string{"0/2", "1/2"} {
+		p, err := spawnShard(exe, scaleFlag, spec, "-index", v2Path)
+		if err != nil {
+			return err
+		}
+		v2procs = append(v2procs, p)
+		log.Printf("  shard %s up on %s (v2 file)", spec, p.addr)
+	}
+	v2remote, err := dialShardGroups(v2procs[0].addr + "," + v2procs[1].addr)
+	if err != nil {
+		return err
+	}
+	defer v2remote.Close()
+	v2dist := sqe.NewEngine(env.Engine.Graph(), env.Engine.Index(),
+		sqe.WithDistributedSearcher(v2remote),
+		sqe.WithDegradation(sqe.DefaultDegradation()))
+	v2compared := 0
+	for i := range env.Queries {
+		qq := &env.Queries[i]
+		for _, req := range []sqe.SearchRequest{
+			{Query: qq.Text, EntityTitles: qq.EntityTitles, K: 10},
+			{Query: qq.Text, K: 10, Baseline: true},
+		} {
+			want, err := env.Engine.Do(ctx, req)
+			if err != nil {
+				return fmt.Errorf("v2 parity: single-process %s: %v", qq.ID, err)
+			}
+			got, err := v2dist.Do(ctx, req)
+			if err != nil {
+				return fmt.Errorf("v2 parity: distributed %s: %v", qq.ID, err)
+			}
+			if got.Degraded != nil {
+				return fmt.Errorf("v2 parity: %s degraded with all shards up: %+v", qq.ID, got.Degraded)
+			}
+			if !reflect.DeepEqual(want.Results, got.Results) {
+				return fmt.Errorf("v2 parity: query %s: v2-file shard ranking differs from single-process", qq.ID)
+			}
+			v2compared++
+		}
+	}
+	log.Printf("  ok v2 index      %d request configurations bit-identical over mmap'd v2 shard processes", v2compared)
 	return nil
 }

@@ -10,6 +10,16 @@
 //	          [-queue 0] [-cache 4096] [-workers 0] [-shards 1]
 //	          [-degrade] [-smoke] [-chaos] [-chaos-seed 1]
 //	          [-distributed-smoke]
+//	          [-index file] [-write-index file] [-index-format v2]
+//
+// On-disk index (DESIGN.md §5j): -write-index builds the demo corpus,
+// writes its index to the given path in -index-format (v1 or v2,
+// default v2) and exits. -index makes -mode serve and -mode shard
+// retrieve from that file via index.Open — for v2 an mmap with lazy
+// per-block decode — instead of the in-memory demo index; everything
+// else (knowledge graph, expansion, queries) still comes from the
+// deterministic demo environment, so the file must describe the same
+// corpus at the same -scale (checked at boot).
 //
 // Modes (the tentpole topology — see DESIGN.md §5i):
 //
@@ -80,9 +90,58 @@ import (
 
 	sqe "repro"
 	"repro/internal/fault"
+	"repro/internal/index"
 	"repro/internal/search"
 	"repro/internal/serve"
 )
+
+// runWriteIndex is -write-index: build the deterministic demo corpus,
+// write its index image to path in the requested on-disk format
+// (atomic temp+fsync+rename inside index.WriteFile) and exit.
+func runWriteIndex(scale sqe.DemoScale, path, format string) error {
+	var f index.Format
+	switch format {
+	case "v1":
+		f = index.FormatV1
+	case "v2":
+		f = index.FormatV2
+	default:
+		return fmt.Errorf("-index-format %q: want v1 or v2", format)
+	}
+	log.Println("generating demo environment …")
+	env, err := sqe.GenerateDemo(scale)
+	if err != nil {
+		return err
+	}
+	if err := index.WriteFile(path, env.Engine.Index(), f); err != nil {
+		return err
+	}
+	fi, err := os.Stat(path)
+	if err != nil {
+		return err
+	}
+	log.Printf("wrote %s index of %s (%d docs) to %s (%d bytes)",
+		format, env.DatasetName, env.Engine.Index().NumDocs(), path, fi.Size())
+	return nil
+}
+
+// openServingIndex opens an on-disk index for serving and insists it
+// describes the same corpus as the demo environment the rest of the
+// pipeline (graph, expansion, queries) was generated from — serving a
+// mismatched file would return confidently wrong rankings.
+func openServingIndex(path string, want *index.Index) (*index.Index, error) {
+	disk, err := index.Open(path)
+	if err != nil {
+		return nil, fmt.Errorf("-index %s: %w", path, err)
+	}
+	if disk.NumDocs() != want.NumDocs() {
+		disk.Close()
+		return nil, fmt.Errorf("-index %s: %d docs, demo corpus at this -scale has %d — wrong file or wrong -scale",
+			path, disk.NumDocs(), want.NumDocs())
+	}
+	log.Printf("serving retrieval from on-disk index %s (%d docs)", path, disk.NumDocs())
+	return disk, nil
+}
 
 func main() {
 	log.SetFlags(0)
@@ -100,6 +159,9 @@ func main() {
 	shardSpec := flag.String("shard", "", "mode=shard: which partition slice this process serves, as i/N (e.g. 0/2)")
 	degrade := flag.Bool("degrade", true, "enable graceful degradation (partial shard merges, expansion fallback, partial SQE_C, transient retries)")
 	precomputed := flag.String("precomputed", "", "path to a precomputed expansion store built by sqe-precompute (dropped with a warning if its KB hash mismatches)")
+	indexPath := flag.String("index", "", "serve retrieval from this on-disk index file (written by -write-index) instead of the in-memory demo index")
+	writeIndex := flag.String("write-index", "", "write the demo corpus index to this path and exit")
+	indexFormat := flag.String("index-format", "v2", "on-disk format for -write-index: v1|v2")
 	smoke := flag.Bool("smoke", false, "boot on an ephemeral port, self-test every endpoint, exit")
 	chaos := flag.Bool("chaos", false, "boot on an ephemeral port, hammer the work endpoints under fault injection, exit")
 	chaosSeed := flag.Int64("chaos-seed", 1, "fault-schedule seed for -chaos")
@@ -111,6 +173,12 @@ func main() {
 		scale = sqe.DemoDefault
 	}
 
+	if *writeIndex != "" {
+		if err := runWriteIndex(scale, *writeIndex, *indexFormat); err != nil {
+			log.Fatal(err)
+		}
+		return
+	}
 	if *distSmoke {
 		if err := runDistributedSmoke(scale, *scaleFlag); err != nil {
 			log.Fatalf("DISTRIBUTED SMOKE FAIL: %v", err)
@@ -119,7 +187,7 @@ func main() {
 		return
 	}
 	if *mode == "shard" {
-		if err := runShardServer(scale, *shardSpec, *addr); err != nil {
+		if err := runShardServer(scale, *shardSpec, *addr, *indexPath); err != nil {
 			log.Fatal(err)
 		}
 		return
@@ -164,6 +232,17 @@ func main() {
 	env, err := sqe.GenerateDemo(scale, opts...)
 	if err != nil {
 		log.Fatal(err)
+	}
+	if *indexPath != "" {
+		if *mode != "serve" {
+			log.Fatalf("-index applies to -mode serve and -mode shard, not %q", *mode)
+		}
+		disk, err := openServingIndex(*indexPath, env.Engine.Index())
+		if err != nil {
+			log.Fatal(err)
+		}
+		defer disk.Close()
+		env.Engine = sqe.NewEngine(env.Engine.Graph(), disk, opts...)
 	}
 	if st, ok := env.Engine.ExpansionStoreStats(); ok && st.Stale {
 		log.Printf("WARNING: precomputed store %s was built over a different KB; dropped (serving live expansions)", *precomputed)

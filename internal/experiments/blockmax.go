@@ -1,0 +1,235 @@
+package experiments
+
+import (
+	"encoding/json"
+	"fmt"
+	"os"
+	"path/filepath"
+	"runtime"
+	"strings"
+	"time"
+
+	"repro/internal/dataset"
+	"repro/internal/index"
+	"repro/internal/motif"
+	"repro/internal/search"
+)
+
+// BlockMaxBenchRow is one retrieval model's Block-Max measurement: the
+// exhaustive and the pruned evaluator running over the SAME mmap'd
+// FormatV2 index, so the ratio isolates the evaluator rather than the
+// storage format.
+type BlockMaxBenchRow struct {
+	Model string `json:"model"`
+	// DocsScoredFull / DocsScoredPruned count documents fully scored
+	// across the workload; deterministic for a fixed dataset seed.
+	DocsScoredFull   int64   `json:"docs_scored_full"`
+	DocsScoredPruned int64   `json:"docs_scored_pruned"`
+	Reduction        float64 `json:"docs_scored_reduction"`
+	DocsSkipped      int64   `json:"docs_skipped"`
+	// BlockBoundEvals counts consultations of per-block maxima — the
+	// v2 block directory actually steering the evaluator. Zero would
+	// mean the Block-Max tier never engaged on this workload.
+	BlockBoundEvals int64 `json:"block_bound_evals"`
+	// NsFullPerQry / NsPrunedPerQry are min-of-rounds wall clocks (see
+	// BlockMaxBench): interleaved rounds, best round kept, which is the
+	// standard way to strip scheduler noise from a ratio of two
+	// same-machine measurements.
+	NsFullPerQry   float64 `json:"ns_per_query_full"`
+	NsPrunedPerQry float64 `json:"ns_per_query_pruned"`
+	Speedup        float64 `json:"speedup_vs_full"`
+	// Identical asserts both that the pruned evaluator matched the
+	// exhaustive one and that the v2 file served the same scores as the
+	// in-memory index — bit-exact, no tolerance.
+	Identical bool `json:"identical_to_full"`
+}
+
+// BlockMaxBenchResult is the BENCH_blockmax.json artifact: Block-Max
+// MaxScore versus exhaustive DAAT on the expanded SQE_T&S workload of
+// one dataset instance, served from an mmap'd FormatV2 file.
+type BlockMaxBenchResult struct {
+	Dataset    string `json:"dataset"`
+	GOMAXPROCS int    `json:"gomaxprocs"`
+	K          int    `json:"k"`
+	Rounds     int    `json:"rounds"`
+	Queries    int    `json:"queries"`
+	// FileBytes and OpenNs describe the v2 artifact itself: the size of
+	// the written index image and the time index.Open took to validate
+	// headers + CRCs and map it (postings stay lazy).
+	FileBytes int64              `json:"file_bytes"`
+	OpenNs    int64              `json:"open_ns"`
+	Rows      []BlockMaxBenchRow `json:"rows"`
+}
+
+// BlockMaxBench rounds the instance's index through a FormatV2 file,
+// opens it (mmap, lazy per-block decode) and times top-k retrieval of
+// every query's expanded SQE_T&S form with the exhaustive and the
+// Block-Max-pruned evaluator, per retrieval model.
+//
+// Timing discipline: one warm-up pass per evaluator (materialises the
+// lazy postings and the phrase positions once — both evaluators share
+// that cost), then `rounds` interleaved full/pruned rounds, keeping the
+// MINIMUM total per evaluator. Interleaving makes the two measurements
+// see the same machine state; min-of-rounds is the lowest-noise robust
+// statistic for a ratio (the minimum is the run least disturbed by the
+// scheduler, and both sides get the same treatment).
+func BlockMaxBench(s *Suite, inst *dataset.Instance, k, rounds int) (*BlockMaxBenchResult, error) {
+	if k <= 0 {
+		k = 10
+	}
+	if rounds <= 0 {
+		rounds = 5
+	}
+	r := s.NewRunner(inst)
+	queries := inst.Queries
+	nodes := make([]search.Node, len(queries))
+	for qi := range queries {
+		q := &queries[qi]
+		qg := r.Expander.BuildQueryGraph(r.Entities(q, true), motif.SetTS)
+		nodes[qi] = r.Expander.BuildQuery(q.Text, qg)
+	}
+
+	dir, err := os.MkdirTemp("", "blockmax")
+	if err != nil {
+		return nil, err
+	}
+	defer os.RemoveAll(dir)
+	path := filepath.Join(dir, "index.v2")
+	if err := index.WriteFile(path, inst.Index, index.FormatV2); err != nil {
+		return nil, err
+	}
+	fi, err := os.Stat(path)
+	if err != nil {
+		return nil, err
+	}
+	openStart := time.Now()
+	disk, err := index.Open(path)
+	if err != nil {
+		return nil, err
+	}
+	openNs := time.Since(openStart).Nanoseconds()
+	defer disk.Close()
+
+	out := &BlockMaxBenchResult{
+		Dataset:    inst.Name,
+		GOMAXPROCS: runtime.GOMAXPROCS(0),
+		K:          k,
+		Rounds:     rounds,
+		Queries:    len(queries),
+		FileBytes:  fi.Size(),
+		OpenNs:     openNs,
+	}
+	models := []struct {
+		name  string
+		model search.Model
+	}{
+		{"dirichlet", search.ModelDirichlet},
+		{"jelinek-mercer", search.ModelJelinekMercer},
+		{"bm25", search.ModelBM25},
+	}
+	for _, m := range models {
+		full := search.NewSearcher(disk)
+		full.Model = m.model
+		full.DisablePruning = true
+		pruned := search.NewSearcher(disk)
+		pruned.Model = m.model
+		mem := search.NewSearcher(inst.Index)
+		mem.Model = m.model
+		mem.DisablePruning = true
+
+		// Counting pass: deterministic work counters plus the two-way
+		// identity check (pruned-over-v2 vs exhaustive-over-v2 vs
+		// exhaustive-over-memory).
+		row := BlockMaxBenchRow{Model: m.name, Identical: true}
+		for _, n := range nodes {
+			fres, fst := full.SearchWithStats(n, k)
+			pres, pst := pruned.SearchWithStats(n, k)
+			mres := mem.Search(n, k)
+			row.DocsScoredFull += fst.CandidatesExamined
+			row.DocsScoredPruned += pst.CandidatesExamined
+			row.DocsSkipped += pst.DocsSkipped
+			row.BlockBoundEvals += pst.BlockBoundEvaluations
+			if !sameResults(pres, fres) || !sameResults(fres, mres) {
+				row.Identical = false
+			}
+		}
+
+		pass := func(sr *search.Searcher) time.Duration {
+			start := time.Now()
+			for _, n := range nodes {
+				_ = sr.Search(n, k)
+			}
+			return time.Since(start)
+		}
+		bestFull, bestPruned := time.Duration(1<<62), time.Duration(1<<62)
+		for round := 0; round < rounds; round++ {
+			if d := pass(full); d < bestFull {
+				bestFull = d
+			}
+			if d := pass(pruned); d < bestPruned {
+				bestPruned = d
+			}
+		}
+		row.NsFullPerQry = float64(bestFull.Nanoseconds()) / float64(len(nodes))
+		row.NsPrunedPerQry = float64(bestPruned.Nanoseconds()) / float64(len(nodes))
+		if row.DocsScoredPruned > 0 {
+			row.Reduction = float64(row.DocsScoredFull) / float64(row.DocsScoredPruned)
+		}
+		if row.NsPrunedPerQry > 0 {
+			row.Speedup = row.NsFullPerQry / row.NsPrunedPerQry
+		}
+		out.Rows = append(out.Rows, row)
+	}
+	if err := disk.Err(); err != nil {
+		return nil, fmt.Errorf("blockmax bench: v2 lazy decode recorded an error: %w", err)
+	}
+	return out, nil
+}
+
+func sameResults(a, b []search.Result) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			return false
+		}
+	}
+	return true
+}
+
+// DefaultBlockMaxInstance picks the bench instance: the largest corpus
+// in the suite, because block skipping is a long-postings-list
+// mechanism — on a few thousand documents most lists fit in one or two
+// 128-document blocks and there is nothing to skip over.
+func DefaultBlockMaxInstance(s *Suite) *dataset.Instance {
+	best := s.ImageCLEF
+	for _, inst := range s.Instances() {
+		if inst.Index.NumDocs() > best.Index.NumDocs() {
+			best = inst
+		}
+	}
+	return best
+}
+
+// JSON renders the result as indented JSON (the BENCH_blockmax.json
+// artifact written by `make bench-blockmax`).
+func (r *BlockMaxBenchResult) JSON() ([]byte, error) {
+	return json.MarshalIndent(r, "", "  ")
+}
+
+func (r *BlockMaxBenchResult) String() string {
+	var sb strings.Builder
+	fmt.Fprintf(&sb, "block-max maxscore over mmap'd v2, %s (%d queries, k=%d, %d rounds, %d file bytes, open %v, GOMAXPROCS=%d):\n",
+		r.Dataset, r.Queries, r.K, r.Rounds, r.FileBytes, time.Duration(r.OpenNs).Round(time.Microsecond), r.GOMAXPROCS)
+	for _, row := range r.Rows {
+		mark := "bit-identical"
+		if !row.Identical {
+			mark = "RESULTS DIVERGED"
+		}
+		fmt.Fprintf(&sb, "  %-15s docs scored %8d -> %8d (%.2fx fewer, %d skipped, %d block bounds)  %8.0f -> %8.0f ns/query (%.2fx)  %s\n",
+			row.Model, row.DocsScoredFull, row.DocsScoredPruned, row.Reduction,
+			row.DocsSkipped, row.BlockBoundEvals, row.NsFullPerQry, row.NsPrunedPerQry, row.Speedup, mark)
+	}
+	return sb.String()
+}

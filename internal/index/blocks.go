@@ -1,0 +1,140 @@
+package index
+
+// Block-level score-bound metadata for Block-Max pruning. A postings
+// list is viewed as consecutive fixed-size blocks of DefaultBlockSize
+// postings (the last block may be short); every block carries the same
+// summary TermBounds keeps for the whole list, plus the block's last
+// document. The pruned evaluator in internal/search uses the per-block
+// summaries as a middle tier between the O(1) whole-list bound and the
+// exact per-posting contribution: a candidate that survives the
+// whole-list test can often be rejected by the (much tighter) bound of
+// the single block that could contain it, without touching the postings
+// at all. The v2 on-disk format (v2.go) stores these summaries in its
+// block directory so an mmap-loaded index prunes without decoding; for
+// in-memory indexes they are derived lazily here, exactly like
+// ensureBounds derives the whole-list summaries.
+
+// DefaultBlockSize is the number of postings per block. 128 keeps the
+// per-block metadata under 1% of a typical compressed block while
+// giving the evaluator skip granularity fine enough that one heavy
+// posting does not poison a long list's bound.
+const DefaultBlockSize = 128
+
+// BlockBounds summarises one block of a postings list: the embedded
+// TermBounds fields describe exactly the postings of this block (so the
+// same per-model bound derivations apply unchanged), and LastDoc is the
+// block's final document — the key the evaluator locates blocks by.
+// The zero value is the correct summary of an empty block.
+type BlockBounds struct {
+	// LastDoc is the largest DocID in the block.
+	LastDoc DocID
+	TermBounds
+}
+
+// blockBoundsOf splits p into blocks of size bs and summarises each.
+func blockBoundsOf(p *Postings, docLens []int32, bs int) []BlockBounds {
+	if len(p.Docs) == 0 {
+		return nil
+	}
+	nb := (len(p.Docs) + bs - 1) / bs
+	out := make([]BlockBounds, nb)
+	for b := 0; b < nb; b++ {
+		lo := b * bs
+		hi := lo + bs
+		if hi > len(p.Docs) {
+			hi = len(p.Docs)
+		}
+		sub := Postings{Docs: p.Docs[lo:hi], Freqs: p.Freqs[lo:hi]}
+		out[b] = BlockBounds{
+			LastDoc:    p.Docs[hi-1],
+			TermBounds: boundsOf(&sub, docLens),
+		}
+	}
+	return out
+}
+
+// mergeBlockBounds recomposes the whole-list summary from per-block
+// summaries. Block order is posting order and ties keep the earliest
+// block (whose own argmax kept the earliest posting), so the merged
+// ratio pair is the same pair boundsOf derives from the full list.
+func mergeBlockBounds(blocks []BlockBounds) TermBounds {
+	var t TermBounds
+	for i, b := range blocks {
+		if b.MaxTF > t.MaxTF {
+			t.MaxTF = b.MaxTF
+		}
+		if i == 0 || b.MinDL < t.MinDL {
+			t.MinDL = b.MinDL
+		}
+		if i == 0 || int64(b.MaxRatioTF)*int64(t.MaxRatioDL) > int64(t.MaxRatioTF)*int64(b.MaxRatioDL) {
+			t.MaxRatioTF, t.MaxRatioDL = b.MaxRatioTF, b.MaxRatioDL
+		}
+	}
+	return t
+}
+
+// blockSizeOf returns the index's block size (DefaultBlockSize unless
+// SetBlockSize or a v2 file chose another).
+func (ix *Index) blockSizeOf() int {
+	if ix.blockSize > 0 {
+		return ix.blockSize
+	}
+	return DefaultBlockSize
+}
+
+// BlockSize returns the posting count per block used by this index's
+// block-level summaries.
+func (ix *Index) BlockSize() int { return ix.blockSizeOf() }
+
+// SetBlockSize overrides the block size used when deriving block-level
+// summaries (and when writing the index in FormatV2). It exists for
+// tests and tuning experiments that need many short blocks on small
+// corpora; it must be called before the first search / block-bound
+// access — once the summaries exist the call is rejected.
+func (ix *Index) SetBlockSize(n int) error {
+	if n < 1 || n > maxBlockSize {
+		return errBlockSizeRange(n)
+	}
+	if ix.blockBounds != nil {
+		return errBlockSizeLate
+	}
+	ix.blockSize = n
+	return nil
+}
+
+// ensureBlockBounds derives every term's block summaries exactly once.
+// A v2 load pre-populates them from the file's block directory, in
+// which case the first call finds them present and keeps them.
+func (ix *Index) ensureBlockBounds() {
+	ix.blockOnce.Do(func() {
+		if ix.blockBounds != nil {
+			return
+		}
+		bs := ix.blockSizeOf()
+		bb := make([][]BlockBounds, len(ix.postings))
+		for i := range ix.postings {
+			bb[i] = blockBoundsOf(&ix.postings[i], ix.docLens, bs)
+		}
+		ix.blockBounds = bb
+	})
+}
+
+// BlockBoundsFor returns the block summaries of an analyzed term in
+// posting order; ok is false for out-of-vocabulary terms. The slice is
+// shared with the index and must not be modified.
+func (ix *Index) BlockBoundsFor(term string) ([]BlockBounds, bool) {
+	id, ok := ix.terms[term]
+	if !ok {
+		return nil, false
+	}
+	ix.ensureBlockBounds()
+	return ix.blockBounds[id], true
+}
+
+// PostingsBlockBounds summarises a query-materialised postings list
+// (phrase or unordered-window) block by block against this index's
+// document lengths, so positional leaves get Block-Max metadata as
+// tight as stored terms'.
+func (ix *Index) PostingsBlockBounds(p *Postings) []BlockBounds {
+	return blockBoundsOf(p, ix.docLens, ix.blockSizeOf())
+}

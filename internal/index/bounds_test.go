@@ -83,13 +83,13 @@ func TestMinDocLenEmptyIndex(t *testing.T) {
 func TestBoundsRoundTrip(t *testing.T) {
 	ix := boundsIndex(t)
 	var buf bytes.Buffer
-	if err := Encode(&buf, ix); err != nil {
+	if err := encodeV1(&buf, ix); err != nil {
 		t.Fatal(err)
 	}
 	if !bytes.HasPrefix(buf.Bytes(), indexMagic) {
 		t.Fatalf("encoded file does not start with the v2 magic")
 	}
-	got, err := Decode(bytes.NewReader(buf.Bytes()))
+	got, err := decodeV1(bytes.NewReader(buf.Bytes()))
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -105,9 +105,10 @@ func TestBoundsRoundTrip(t *testing.T) {
 	}
 }
 
-// encodeV1 writes ix in the version-1 format (no bounds section) so the
-// decoder's back-compat path can be pinned without checked-in fixtures.
-func encodeV1(t *testing.T, ix *Index) []byte {
+// encodeStreamNoBounds writes ix in the original "SQEIX\x01" stream
+// revision (no bounds section) so the decoder's back-compat path can be
+// pinned without checked-in fixtures.
+func encodeStreamNoBounds(t *testing.T, ix *Index) []byte {
 	t.Helper()
 	var buf bytes.Buffer
 	bw := bufio.NewWriter(&buf)
@@ -161,7 +162,7 @@ func encodeV1(t *testing.T, ix *Index) []byte {
 // and the bounds are recomputed from the decoded postings.
 func TestDecodeV1Compat(t *testing.T) {
 	ix := boundsIndex(t)
-	got, err := Decode(bytes.NewReader(encodeV1(t, ix)))
+	got, err := decodeV1(bytes.NewReader(encodeStreamNoBounds(t, ix)))
 	if err != nil {
 		t.Fatalf("v1 decode: %v", err)
 	}
@@ -183,11 +184,11 @@ func TestDecodeV1Compat(t *testing.T) {
 func TestDecodeRejectsCorruptBounds(t *testing.T) {
 	ix := boundsIndex(t)
 	var buf bytes.Buffer
-	if err := Encode(&buf, ix); err != nil {
+	if err := encodeV1(&buf, ix); err != nil {
 		t.Fatal(err)
 	}
 	good := buf.Bytes()
-	if _, err := Decode(bytes.NewReader(good)); err != nil {
+	if _, err := decodeV1(bytes.NewReader(good)); err != nil {
 		t.Fatalf("sanity: %v", err)
 	}
 	// The last uvarints of the stream are the final term's bounds; a
@@ -198,7 +199,7 @@ func TestDecodeRejectsCorruptBounds(t *testing.T) {
 	for off := len(good) - 1; off >= len(good)-8 && off > 0; off-- {
 		bad := append([]byte(nil), good...)
 		bad[off] ^= 0x01
-		got, err := Decode(bytes.NewReader(bad))
+		got, err := decodeV1(bytes.NewReader(bad))
 		if err == nil {
 			// A flip that happens to produce the same decoded values is
 			// acceptable only if the bounds still match the postings.

@@ -19,7 +19,7 @@ func TestIndexDecodeCorruptionRobust(t *testing.T) {
 	b.Add("d3", "graffiti on brick walls downtown")
 	ix := b.Build()
 	var buf bytes.Buffer
-	if err := Encode(&buf, ix); err != nil {
+	if err := encodeV1(&buf, ix); err != nil {
 		t.Fatal(err)
 	}
 	valid := buf.Bytes()
@@ -42,7 +42,7 @@ func TestIndexDecodeCorruptionRobust(t *testing.T) {
 					t.Fatalf("trial %d: decoder panicked: %v", trial, r)
 				}
 			}()
-			got, err := Decode(bytes.NewReader(data))
+			got, err := decodeV1(bytes.NewReader(data))
 			if err != nil || got == nil {
 				return
 			}
@@ -109,7 +109,7 @@ func TestDecodeHostileLengthPrefixes(t *testing.T) {
 		var before, after runtime.MemStats
 		runtime.GC()
 		runtime.ReadMemStats(&before)
-		got, err := Decode(bytes.NewReader(data))
+		got, err := decodeV1(bytes.NewReader(data))
 		runtime.ReadMemStats(&after)
 		if err == nil {
 			t.Errorf("%s: decoded %v, want error", name, got)

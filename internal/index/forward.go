@@ -16,6 +16,7 @@ func (ix *Index) DocVector(doc DocID) []TermFreq {
 }
 
 func (ix *Index) buildForward() {
+	ix.materializeAll() // inversion walks every postings row
 	ix.forward = make([][]TermFreq, len(ix.docNames))
 	for tid := range ix.postings {
 		p := &ix.postings[tid]

@@ -17,7 +17,7 @@ func fuzzSeedIndex(f *testing.F) []byte {
 	b.Add("DocB", "the tram shares rails with the cable car")
 	b.Add("DocC", "funicular railways and cable cars")
 	var buf bytes.Buffer
-	if err := Encode(&buf, b.Build()); err != nil {
+	if err := encodeV1(&buf, b.Build()); err != nil {
 		f.Fatal(err)
 	}
 	return buf.Bytes()
@@ -41,15 +41,15 @@ func FuzzIndexDecode(f *testing.F) {
 	// not allocate multi-GB up front.
 	f.Add(append(append([]byte{}, "SQEIX\x02\x03"...), 0xff, 0xff, 0xff, 0xff, 0xff, 0xff, 0xff, 0xff, 0x7f))
 	f.Fuzz(func(t *testing.T, data []byte) {
-		ix, err := Decode(bytes.NewReader(data))
+		ix, err := decodeV1(bytes.NewReader(data))
 		if err != nil {
 			return // rejecting corrupt input is the job; panicking is not
 		}
 		var out bytes.Buffer
-		if err := Encode(&out, ix); err != nil {
+		if err := encodeV1(&out, ix); err != nil {
 			t.Fatalf("decoded index does not re-encode: %v", err)
 		}
-		if _, err := Decode(bytes.NewReader(out.Bytes())); err != nil {
+		if _, err := decodeV1(bytes.NewReader(out.Bytes())); err != nil {
 			t.Fatalf("accepted index fails its own round trip: %v", err)
 		}
 	})

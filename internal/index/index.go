@@ -57,11 +57,65 @@ type Index struct {
 
 	// Per-term score-bound metadata (see bounds.go). Computed lazily on
 	// first use — shard indexes are assembled by struct literal and must
-	// not pay the scan unless pruning runs — or eagerly by Decode, which
-	// derives the values during its postings walk.
+	// not pay the scan unless pruning runs — or eagerly by decodeV1,
+	// which derives the values during its postings walk.
 	boundsOnce sync.Once
 	termBounds []TermBounds
 	minDocLen  int32
+
+	// Block-level score-bound metadata (see blocks.go), derived lazily
+	// like termBounds or loaded eagerly from a v2 file's block directory.
+	blockOnce   sync.Once
+	blockBounds [][]BlockBounds
+	blockSize   int // 0 means DefaultBlockSize
+
+	// lazy is the mmap-backed postings source of a FormatV2 index (see
+	// v2.go); nil for in-memory indexes. When set, ix.postings starts as
+	// zero values and each term's row is decoded on first PostingsFor.
+	lazy *lazyPostings
+}
+
+// Close releases the resources of an index loaded from a FormatV2 file
+// (the mmap region); it is a no-op for in-memory indexes. Postings rows
+// already materialised remain valid (they are copies), but the index
+// must not be searched for terms not yet touched after Close.
+func (ix *Index) Close() error {
+	if ix.lazy == nil {
+		return nil
+	}
+	return ix.lazy.close()
+}
+
+// Err reports the first corruption the lazy decoder hit (nil for
+// in-memory indexes and healthy files). Open's integrity checks make
+// this unreachable for randomly corrupted files; it is the
+// defense-in-depth surface for the residual cases (see v2.go).
+func (ix *Index) Err() error {
+	if ix.lazy == nil {
+		return nil
+	}
+	return ix.lazy.err()
+}
+
+// materializeAll forces every lazily-backed postings row into memory —
+// the full-index walks (sharding, forward vectors, re-encoding) need
+// the real rows, not the on-demand view.
+func (ix *Index) materializeAll() {
+	if ix.lazy == nil {
+		return
+	}
+	for id := range ix.postings {
+		ix.termPostings(int32(id))
+	}
+}
+
+// termPostings returns term id's postings row, decoding it first when
+// the index is backed by a v2 file.
+func (ix *Index) termPostings(id int32) *Postings {
+	if lz := ix.lazy; lz != nil {
+		lz.once[id].Do(func() { lz.materialize(ix, id) })
+	}
+	return &ix.postings[id]
 }
 
 // Analyzer returns the analyzer documents were indexed with; queries must
@@ -101,7 +155,7 @@ func (ix *Index) PostingsFor(term string) *Postings {
 	if !ok {
 		return nil
 	}
-	return &ix.postings[id]
+	return ix.termPostings(id)
 }
 
 // CollectionProb returns the collection language-model probability

@@ -9,7 +9,9 @@ import (
 	"repro/internal/analysis"
 )
 
-// Binary index format:
+// FormatV1, the original stream encoding (see open.go for the unified
+// Open/WriteFile entry points that negotiate between this and the
+// block-compressed FormatV2 in v2.go):
 //
 //	magic "SQEIX\x02"
 //	byte analyzer flags (bit0 stopwords, bit1 stemming)
@@ -18,18 +20,18 @@ import (
 //	    uvarint len(text), text
 //	    uvarint numPostings; per posting:
 //	        delta-uvarint doc, uvarint freq, delta-uvarint positions
-//	    uvarint MaxTF, MinDL, MaxRatioTF, MaxRatioDL   (v2 only)
+//	    uvarint MaxTF, MinDL, MaxRatioTF, MaxRatioDL   ("SQEIX\x02" only)
 //
 // TotalTokens is reconstructed from the doc lengths on load.
 //
-// Version 2 appends each term's TermBounds after its postings so loads
-// skip the bound-derivation scan. The values are fully redundant with
-// the postings, and the decoder exploits that: it re-derives them during
-// the postings walk it does anyway and rejects the file on any mismatch,
-// so a corrupt or hostile bounds section can never make the pruned
-// evaluator drop documents (score-safety survives untrusted input).
-// Version 1 files (no bounds section) still load; their summaries are
-// recomputed from the decoded postings.
+// The "SQEIX\x02" revision appends each term's TermBounds after its
+// postings so loads skip the bound-derivation scan. The values are
+// fully redundant with the postings, and the decoder exploits that: it
+// re-derives them during the postings walk it does anyway and rejects
+// the file on any mismatch, so a corrupt or hostile bounds section can
+// never make the pruned evaluator drop documents (score-safety survives
+// untrusted input). "SQEIX\x01" files (no bounds section) still load;
+// their summaries are recomputed from the decoded postings.
 
 var (
 	indexMagic   = []byte("SQEIX\x02")
@@ -51,9 +53,12 @@ func prealloc(n uint64) int {
 	return int(n)
 }
 
-// Encode writes the index in the binary format.
-func Encode(w io.Writer, ix *Index) error {
-	ix.ensureBounds() // the v2 trailer of every term table entry
+// encodeV1 writes the index in the FormatV1 stream encoding. Callers go
+// through WriteFile; the encoder walks every postings row, so a lazily
+// backed index is materialised first.
+func encodeV1(w io.Writer, ix *Index) error {
+	ix.materializeAll()
+	ix.ensureBounds() // the bounds trailer of every term table entry
 	bw := bufio.NewWriter(w)
 	if _, err := bw.Write(indexMagic); err != nil {
 		return err
@@ -138,8 +143,9 @@ func Encode(w io.Writer, ix *Index) error {
 	return bw.Flush()
 }
 
-// Decode reads an index previously written by Encode.
-func Decode(r io.Reader) (*Index, error) {
+// decodeV1 reads an index previously written by encodeV1. Callers go
+// through Open, which dispatches on the magic.
+func decodeV1(r io.Reader) (*Index, error) {
 	br := bufio.NewReader(r)
 	head := make([]byte, len(indexMagic))
 	if _, err := io.ReadFull(br, head); err != nil {

@@ -19,10 +19,10 @@ func TestIndexEncodeDecodeRoundTrip(t *testing.T) {
 	ix := b.Build()
 
 	var buf bytes.Buffer
-	if err := Encode(&buf, ix); err != nil {
+	if err := encodeV1(&buf, ix); err != nil {
 		t.Fatal(err)
 	}
-	got, err := Decode(&buf)
+	got, err := decodeV1(&buf)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -56,15 +56,15 @@ func assertIndexesEqual(t *testing.T, a, b *Index) {
 }
 
 func TestIndexDecodeErrors(t *testing.T) {
-	if _, err := Decode(bytes.NewReader([]byte("garbage!"))); err == nil {
+	if _, err := decodeV1(bytes.NewReader([]byte("garbage!"))); err == nil {
 		t.Error("garbage should fail")
 	}
-	if _, err := Decode(bytes.NewReader(indexMagic)); err == nil {
+	if _, err := decodeV1(bytes.NewReader(indexMagic)); err == nil {
 		t.Error("truncated should fail")
 	}
 	// Corrupt body: valid header then junk.
 	data := append(append([]byte{}, indexMagic...), 0, 0xFF, 0xFF, 0xFF, 0xFF, 0xFF, 0xFF, 0xFF, 0xFF, 0xFF, 0x01)
-	if _, err := Decode(bytes.NewReader(data)); err == nil {
+	if _, err := decodeV1(bytes.NewReader(data)); err == nil {
 		t.Error("absurd doc count should fail")
 	}
 }
@@ -86,10 +86,10 @@ func TestIndexRoundTripProperty(t *testing.T) {
 		}
 		ix := b.Build()
 		var buf bytes.Buffer
-		if err := Encode(&buf, ix); err != nil {
+		if err := encodeV1(&buf, ix); err != nil {
 			return false
 		}
-		got, err := Decode(&buf)
+		got, err := decodeV1(&buf)
 		if err != nil {
 			return false
 		}

@@ -1,0 +1,16 @@
+//go:build !unix
+
+package index
+
+import "os"
+
+// mmapFile on platforms without a wired-up mmap falls back to reading
+// the file into memory; the format and all validation behave
+// identically, only the shared-page-cache property is lost.
+func mmapFile(path string) ([]byte, func() error, error) {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return nil, nil, err
+	}
+	return data, func() error { return nil }, nil
+}

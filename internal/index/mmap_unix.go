@@ -1,0 +1,35 @@
+//go:build unix
+
+package index
+
+import (
+	"os"
+	"syscall"
+)
+
+// mmapFile maps path read-only. The returned close function unmaps the
+// region; the file descriptor is closed before returning (the mapping
+// survives it). Empty files map to an empty slice with a no-op close.
+func mmapFile(path string) ([]byte, func() error, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, nil, err
+	}
+	defer f.Close()
+	fi, err := f.Stat()
+	if err != nil {
+		return nil, nil, err
+	}
+	size := fi.Size()
+	if size == 0 {
+		return nil, func() error { return nil }, nil
+	}
+	if size != int64(int(size)) {
+		return nil, nil, syscall.EFBIG
+	}
+	data, err := syscall.Mmap(int(f.Fd()), 0, int(size), syscall.PROT_READ, syscall.MAP_SHARED)
+	if err != nil {
+		return nil, nil, &os.PathError{Op: "mmap", Path: path, Err: err}
+	}
+	return data, func() error { return syscall.Munmap(data) }, nil
+}

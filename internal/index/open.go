@@ -1,0 +1,193 @@
+package index
+
+import (
+	"fmt"
+	"os"
+	"path/filepath"
+
+	"repro/internal/analysis"
+)
+
+// The unified on-disk entry points. Every index file is opened through
+// Open — which sniffs the header magic and negotiates the format — and
+// written through WriteFile/Builder.WriteFile, which pick the encoding
+// from an explicit Format and commit atomically (temp + fsync +
+// rename, the same discipline as the expansion store). The stream-level
+// encoders behind them (encodeV1/decodeV1 in io.go, encodeV2/openV2 in
+// v2.go) are package-internal; README.md carries the migration table
+// from the old exported Encode/Decode pair.
+
+// Format selects an on-disk index encoding.
+type Format int
+
+const (
+	// FormatV1 is the original stream format ("SQEIX"): one delta+varint
+	// postings walk per term with a validated bounds trailer. Decoding
+	// materialises the whole index in memory — simple, but startup and
+	// resident set scale with the corpus.
+	FormatV1 Format = 1
+	// FormatV2 is the block-compressed format ("SQEBX"): sectioned
+	// layout (doc table, term dictionary, block directory, postings
+	// blocks) designed to be mmap'd. Open returns instantly after
+	// validating the metadata sections and checksumming the blocks;
+	// postings decode lazily per term, and the block directory carries
+	// the per-block Block-Max metadata the pruned evaluator skips with.
+	FormatV2 Format = 2
+)
+
+// String implements fmt.Stringer.
+func (f Format) String() string {
+	switch f {
+	case FormatV1:
+		return "v1"
+	case FormatV2:
+		return "v2"
+	default:
+		return fmt.Sprintf("Format(%d)", int(f))
+	}
+}
+
+// openOptions collects Open's behaviour switches.
+type openOptions struct {
+	verify bool
+}
+
+// OpenOption customises Open.
+type OpenOption func(*openOptions)
+
+// WithVerify makes Open of a FormatV2 file decode and validate every
+// postings block up front instead of lazily, failing Open on the first
+// inconsistency. This forfeits the instant-startup property and is
+// meant for files of untrusted provenance and for integrity tooling;
+// the default validation (metadata cross-checks + a full CRC scan)
+// already rejects any flip/truncate corruption. FormatV1 files always
+// decode (and hence fully validate) on Open.
+func WithVerify() OpenOption {
+	return func(o *openOptions) { o.verify = true }
+}
+
+// Open loads an index file in whichever format its magic declares:
+// FormatV1 decodes into memory, FormatV2 maps the file and decodes
+// postings lazily per term. Close the returned index when done (a no-op
+// for v1).
+func Open(path string, opts ...OpenOption) (*Index, error) {
+	var o openOptions
+	for _, opt := range opts {
+		opt(&o)
+	}
+	magic, err := sniffMagic(path)
+	if err != nil {
+		return nil, err
+	}
+	switch magic {
+	case string(indexMagic), string(indexMagicV1):
+		f, err := os.Open(path)
+		if err != nil {
+			return nil, err
+		}
+		defer f.Close()
+		ix, err := decodeV1(f)
+		if err != nil {
+			return nil, fmt.Errorf("%s: %w", path, err)
+		}
+		return ix, nil
+	case string(indexMagicV2):
+		data, closeFn, err := mmapFile(path)
+		if err != nil {
+			return nil, err
+		}
+		ix, err := openV2(data, closeFn)
+		if err != nil {
+			return nil, fmt.Errorf("%s: %w", path, err)
+		}
+		if o.verify {
+			ix.materializeAll()
+			if err := ix.Err(); err != nil {
+				ix.Close()
+				return nil, fmt.Errorf("%s: verify: %w", path, err)
+			}
+		}
+		return ix, nil
+	default:
+		return nil, fmt.Errorf("%s: not an index file (magic %q)", path, magic)
+	}
+}
+
+// sniffMagic reads the 6-byte header that identifies the format.
+func sniffMagic(path string) (string, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return "", err
+	}
+	defer f.Close()
+	head := make([]byte, len(indexMagic))
+	n, err := f.Read(head)
+	if n < len(head) {
+		if err == nil {
+			err = fmt.Errorf("short file")
+		}
+		return "", fmt.Errorf("%s: reading magic: %w", path, err)
+	}
+	return string(head), nil
+}
+
+// WriteFile writes ix to path in the given format, atomically: the
+// bytes land in a temp file in the target directory, are fsynced, and
+// replace path via rename, so a crash mid-write can never leave a
+// half-written index behind the path.
+func WriteFile(path string, ix *Index, format Format) error {
+	tmp, err := os.CreateTemp(filepath.Dir(path), ".sqe-index-*")
+	if err != nil {
+		return err
+	}
+	defer os.Remove(tmp.Name())
+	var werr error
+	switch format {
+	case FormatV1:
+		werr = encodeV1(tmp, ix)
+	case FormatV2:
+		werr = encodeV2(tmp, ix)
+	default:
+		werr = fmt.Errorf("index: unknown format %v", format)
+	}
+	if werr != nil {
+		tmp.Close()
+		return werr
+	}
+	if err := tmp.Sync(); err != nil {
+		tmp.Close()
+		return err
+	}
+	if err := tmp.Close(); err != nil {
+		return err
+	}
+	return os.Rename(tmp.Name(), path)
+}
+
+// WriteFile builds the index and writes it to path in one step,
+// returning the built index. The Builder must not be used afterwards
+// (same contract as Build).
+func (b *Builder) WriteFile(path string, format Format) (*Index, error) {
+	ix := b.Build()
+	if err := WriteFile(path, ix, format); err != nil {
+		return nil, err
+	}
+	return ix, nil
+}
+
+// Document is one input document for Build.
+type Document struct {
+	Name string
+	Text string
+}
+
+// Build indexes docs with the given analyzer — the convenience form of
+// the NewBuilder/Add/Build cycle for callers that already hold the
+// corpus in memory.
+func Build(a analysis.Analyzer, docs []Document) *Index {
+	b := NewBuilder(a)
+	for _, d := range docs {
+		b.Add(d.Name, d.Text)
+	}
+	return b.Build()
+}

@@ -34,6 +34,9 @@ func NewSharded(ix *Index, n int) *Sharded {
 	if n < 1 {
 		n = 1
 	}
+	// Splitting walks every postings row; a v2-backed index must decode
+	// them first (shards themselves are plain in-memory indexes).
+	ix.materializeAll()
 	sh := &Sharded{numDocs: ix.NumDocs(), totalToks: ix.totalToks}
 	if n == 1 {
 		sh.shards = []*Index{ix}

@@ -1,0 +1,743 @@
+package index
+
+import (
+	"bufio"
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"hash/crc32"
+	"io"
+	"sync"
+	"sync/atomic"
+
+	"repro/internal/analysis"
+)
+
+// FormatV2: the block-compressed, mmap-able on-disk index.
+//
+//	magic "SQEBX\x01"
+//	byte analyzer flags (bit0 stopwords, bit1 stemming)
+//	4 × uint64 LE section lengths: docs, terms, blockdir, postings
+//	uint32 LE crc32 of everything above (magic through lengths)
+//	docs section     (crc32-trailed)
+//	terms section    (crc32-trailed)
+//	blockdir section (crc32-trailed)
+//	postings section (per-block crc32s live in the block directory)
+//
+// Each metadata section ends with the IEEE CRC32 (LE) of its payload;
+// the stated section length includes those 4 bytes. Section payloads:
+//
+//	docs:   uvarint numDocs; per doc: uvarint len(name), name, uvarint docLen
+//	terms:  uvarint numTerms; uvarint blockSize; per term:
+//	        uvarint len(text), text, uvarint df, uvarint cf,
+//	        uvarint MaxTF, MinDL, MaxRatioTF, MaxRatioDL
+//	dir:    per term, per block (numBlocks = ceil(df/blockSize)):
+//	        uvarint lastDoc delta (absolute for the term's first block),
+//	        uvarint MaxTF, MinDL, MaxRatioTF, MaxRatioDL,
+//	        uvarint compressed byte length, uint32 LE crc32 of the bytes
+//
+// Block byte offsets are the running sum of the directory's lengths, in
+// directory order, from the start of the postings section; the sum must
+// land exactly on the section's end. Every block encodes:
+//
+//	docs:      delta-uvarints; the first document is delta-coded against
+//	           the previous block's lastDoc (absolute in the term's first
+//	           block), later ones against their predecessor, all deltas
+//	           strictly positive past the first
+//	freqs:     uvarint per document
+//	positions: per document, freq delta-uvarints (first absolute)
+//
+// Loading (openV2) eagerly decodes only the three metadata sections —
+// O(vocabulary + blocks), no per-posting work — cross-validates them
+// (stored whole-list bounds must equal the merge of the stored block
+// bounds; directory lengths must tile the postings section exactly) and
+// CRC-scans the postings blocks, so flip/truncate corruption anywhere
+// in the file fails Open deterministically. Postings rows decode lazily
+// per term on first use; the decoder re-derives each block's bound
+// summary from the decoded postings and ADOPTS the derived values on
+// disagreement (recording the event via Index.Err) — combined with the
+// search layer materialising a term before reading its bounds, a
+// well-formed file whose bounds lie cannot make score-safe pruning drop
+// documents. Open(..., WithVerify()) additionally forces every term
+// through that decoder up front, the right mode for untrusted files.
+
+var indexMagicV2 = []byte("SQEBX\x01")
+
+const (
+	// maxBlockSize bounds the stored block size; anything larger is a
+	// hostile header (a block must fit comfortably in decode buffers).
+	maxBlockSize = 1 << 20
+	// maxFreq mirrors decodeV1's per-posting frequency cap.
+	maxFreq = 1 << 24
+	// maxPosition bounds decoded token positions so hostile deltas
+	// cannot overflow int32 accumulation.
+	maxPosition = 1 << 30
+)
+
+var errBlockSizeLate = errors.New("index: SetBlockSize after block summaries were derived")
+
+func errBlockSizeRange(n int) error {
+	return fmt.Errorf("index: block size %d outside [1, %d]", n, maxBlockSize)
+}
+
+// lazyPostings is the decode-on-demand postings source behind a
+// FormatV2 index: the mmap'd postings section plus the block directory
+// locating and checksumming every block.
+type lazyPostings struct {
+	post    []byte        // postings section (a view into the mapping)
+	extents []blockExtent // one per block, directory order
+	starts  []int32       // per term: first extent index; len numTerms+1
+	once    []sync.Once   // per term
+	df      []int32       // per term: stored document frequency
+	cf      []int64       // per term: stored collection frequency
+	blockSz int
+
+	closeFn  func() error
+	closed   atomic.Bool
+	firstErr atomic.Pointer[error]
+}
+
+// blockExtent locates one compressed block inside the postings section.
+type blockExtent struct {
+	off  int64
+	size int32
+	crc  uint32
+}
+
+func (lz *lazyPostings) close() error {
+	if !lz.closed.CompareAndSwap(false, true) {
+		return nil
+	}
+	if lz.closeFn == nil {
+		return nil
+	}
+	return lz.closeFn()
+}
+
+func (lz *lazyPostings) err() error {
+	if p := lz.firstErr.Load(); p != nil {
+		return *p
+	}
+	return nil
+}
+
+func (lz *lazyPostings) record(err error) {
+	lz.firstErr.CompareAndSwap(nil, &err)
+}
+
+// materialize decodes term id's blocks into ix.postings[id]. Called
+// under the term's sync.Once. Structural failures leave the row empty
+// (the term scores as if absent) and are recorded — unreachable in
+// practice behind Open's CRC scan, but the decoder refuses to guess.
+// Bound summaries that disagree with the decoded postings are replaced
+// by the derived (exact) values, keeping pruning score-safe even when a
+// CRC-consistent file lies about them.
+func (lz *lazyPostings) materialize(ix *Index, id int32) {
+	if lz.closed.Load() {
+		lz.record(fmt.Errorf("index: term %d materialised after Close", id))
+		return
+	}
+	df := int(lz.df[id])
+	if df == 0 {
+		return
+	}
+	var p Postings
+	p.Docs = make([]DocID, 0, prealloc(uint64(df)))
+	p.Freqs = make([]int32, 0, prealloc(uint64(df)))
+	p.Positions = make([][]int32, 0, prealloc(uint64(df)))
+	base := DocID(-1) // first block's first doc is absolute
+	dirty := false
+	for b := lz.starts[id]; b < lz.starts[id+1]; b++ {
+		blk := int(b - lz.starts[id])
+		ext := lz.extents[b]
+		buf := lz.post[ext.off : ext.off+int64(ext.size)]
+		if crc32.ChecksumIEEE(buf) != ext.crc {
+			lz.record(fmt.Errorf("index: term %q block %d checksum mismatch", ix.termText[id], blk))
+			ix.postings[id] = Postings{}
+			return
+		}
+		want := &ix.blockBounds[id][blk]
+		n := lz.blockSz
+		if rest := df - blk*lz.blockSz; rest < n {
+			n = rest
+		}
+		derived, err := decodeBlock(buf, base, n, int32(len(ix.docLens)), ix.docLens, &p)
+		if err != nil {
+			lz.record(fmt.Errorf("index: term %q block %d: %w", ix.termText[id], blk, err))
+			ix.postings[id] = Postings{}
+			return
+		}
+		if derived != *want {
+			*want = derived
+			dirty = true
+		}
+		base = p.Docs[len(p.Docs)-1]
+	}
+	if dirty {
+		// The directory lied (possible only for a deliberately crafted
+		// file — Open's CRC scan ties it to its stored bytes, not to the
+		// postings). The decoded postings are authoritative: rebuild the
+		// whole-list summary from the corrected blocks and surface the
+		// event. Search materialises a term before reading its bounds,
+		// so the corrected values are the ones pruning sees.
+		ix.termBounds[id] = mergeBlockBounds(ix.blockBounds[id])
+		lz.record(fmt.Errorf("index: term %q stored block bounds disagreed with postings (corrected)", ix.termText[id]))
+	}
+	if got := p.CollectionFreq(); got != lz.cf[id] {
+		lz.record(fmt.Errorf("index: term %q stored cf %d != decoded %d", ix.termText[id], lz.cf[id], got))
+	}
+	ix.postings[id] = p
+}
+
+// decodeBlock decodes one compressed block (exactly n postings) into p,
+// validating structure as it goes: documents strictly ascend from base
+// and stay inside the corpus, frequencies sit in (0, maxFreq], every
+// position list has freq entries below maxPosition, and the block's
+// bytes are consumed exactly. It returns the bound summary derived from
+// what it decoded.
+func decodeBlock(buf []byte, base DocID, n int, numDocs int32, docLens []int32, p *Postings) (BlockBounds, error) {
+	var bb BlockBounds
+	pos := 0
+	read := func() (uint64, error) {
+		v, w := binary.Uvarint(buf[pos:])
+		if w <= 0 {
+			return 0, errors.New("truncated uvarint")
+		}
+		pos += w
+		return v, nil
+	}
+	start := len(p.Docs)
+	prev := base
+	for i := 0; i < n; i++ {
+		dd, err := read()
+		if err != nil {
+			return bb, fmt.Errorf("doc %d: %w", i, err)
+		}
+		var doc DocID
+		if prev < 0 {
+			doc = DocID(dd)
+		} else {
+			if dd == 0 {
+				return bb, fmt.Errorf("doc %d: zero delta", i)
+			}
+			doc = prev + DocID(dd)
+		}
+		if doc < 0 || doc >= DocID(numDocs) || doc < prev {
+			return bb, fmt.Errorf("doc %d: id %d outside corpus of %d", i, doc, numDocs)
+		}
+		prev = doc
+		p.Docs = append(p.Docs, doc)
+	}
+	for i := 0; i < n; i++ {
+		f, err := read()
+		if err != nil {
+			return bb, fmt.Errorf("freq %d: %w", i, err)
+		}
+		if f == 0 || f > maxFreq {
+			return bb, fmt.Errorf("freq %d: invalid value %d", i, f)
+		}
+		p.Freqs = append(p.Freqs, int32(f))
+	}
+	for i := 0; i < n; i++ {
+		f := p.Freqs[start+i]
+		plist := make([]int32, 0, prealloc(uint64(f)))
+		prevPos := int32(0)
+		for j := int32(0); j < f; j++ {
+			pd, err := read()
+			if err != nil {
+				return bb, fmt.Errorf("position %d/%d: %w", i, j, err)
+			}
+			pp := int32(pd)
+			if j > 0 {
+				pp = prevPos + int32(pd)
+			}
+			if pd > maxPosition || pp < 0 || pp > maxPosition {
+				return bb, fmt.Errorf("position %d/%d: value out of range", i, j)
+			}
+			prevPos = pp
+			plist = append(plist, pp)
+		}
+		p.Positions = append(p.Positions, plist)
+	}
+	if pos != len(buf) {
+		return bb, fmt.Errorf("%d trailing bytes", len(buf)-pos)
+	}
+	sub := Postings{Docs: p.Docs[start:], Freqs: p.Freqs[start:]}
+	bb = BlockBounds{LastDoc: prev, TermBounds: boundsOf(&sub, docLens)}
+	return bb, nil
+}
+
+// encodeBlock appends the block encoding of postings rows [lo, hi) of p
+// to dst, delta-coding the first document against base (absolute when
+// base < 0).
+func encodeBlock(dst []byte, p *Postings, lo, hi int, base DocID) []byte {
+	var tmp [binary.MaxVarintLen64]byte
+	put := func(x uint64) {
+		n := binary.PutUvarint(tmp[:], x)
+		dst = append(dst, tmp[:n]...)
+	}
+	prev := base
+	for i := lo; i < hi; i++ {
+		doc := p.Docs[i]
+		if prev < 0 {
+			put(uint64(doc))
+		} else {
+			put(uint64(doc - prev))
+		}
+		prev = doc
+	}
+	for i := lo; i < hi; i++ {
+		put(uint64(p.Freqs[i]))
+	}
+	for i := lo; i < hi; i++ {
+		prevPos := int32(0)
+		for j, pos := range p.Positions[i] {
+			pd := uint64(pos)
+			if j > 0 {
+				pd = uint64(pos - prevPos)
+			}
+			prevPos = pos
+			put(pd)
+		}
+	}
+	return dst
+}
+
+// crcTrail appends a section payload's IEEE CRC32 (LE), producing the
+// on-disk form of a metadata section.
+func crcTrail(payload []byte) []byte {
+	var tail [4]byte
+	binary.LittleEndian.PutUint32(tail[:], crc32.ChecksumIEEE(payload))
+	return append(payload, tail[:]...)
+}
+
+// encodeV2 writes ix in FormatV2. The index must be fully materialised
+// (the writer walks every postings row); encode-side callers guarantee
+// that via materializeAll.
+func encodeV2(w io.Writer, ix *Index) error {
+	ix.materializeAll()
+	ix.ensureBounds()
+	ix.ensureBlockBounds()
+	bs := ix.blockSizeOf()
+
+	var tmp [binary.MaxVarintLen64]byte
+	appendUvarint := func(dst []byte, x uint64) []byte {
+		n := binary.PutUvarint(tmp[:], x)
+		return append(dst, tmp[:n]...)
+	}
+
+	// Docs section.
+	var docs []byte
+	docs = appendUvarint(docs, uint64(len(ix.docNames)))
+	for d, name := range ix.docNames {
+		docs = appendUvarint(docs, uint64(len(name)))
+		docs = append(docs, name...)
+		docs = appendUvarint(docs, uint64(ix.docLens[d]))
+	}
+	docs = crcTrail(docs)
+
+	// Terms section.
+	var terms []byte
+	terms = appendUvarint(terms, uint64(len(ix.termText)))
+	terms = appendUvarint(terms, uint64(bs))
+	for tid, text := range ix.termText {
+		p := &ix.postings[tid]
+		terms = appendUvarint(terms, uint64(len(text)))
+		terms = append(terms, text...)
+		terms = appendUvarint(terms, uint64(len(p.Docs)))
+		terms = appendUvarint(terms, uint64(p.CollectionFreq()))
+		b := ix.termBounds[tid]
+		for _, v := range [4]int32{b.MaxTF, b.MinDL, b.MaxRatioTF, b.MaxRatioDL} {
+			terms = appendUvarint(terms, uint64(v))
+		}
+	}
+	terms = crcTrail(terms)
+
+	// Block directory + postings sections, built together.
+	var dir, post []byte
+	var crcBuf [4]byte
+	for tid := range ix.termText {
+		p := &ix.postings[tid]
+		prevLast := DocID(-1)
+		for b, blk := range ix.blockBounds[tid] {
+			lo := b * bs
+			hi := lo + bs
+			if hi > len(p.Docs) {
+				hi = len(p.Docs)
+			}
+			base := DocID(-1)
+			if b > 0 {
+				base = prevLast
+			}
+			start := len(post)
+			post = encodeBlock(post, p, lo, hi, base)
+			blkBytes := post[start:]
+			if b == 0 {
+				dir = appendUvarint(dir, uint64(blk.LastDoc))
+			} else {
+				dir = appendUvarint(dir, uint64(blk.LastDoc-prevLast))
+			}
+			prevLast = blk.LastDoc
+			for _, v := range [4]int32{blk.MaxTF, blk.MinDL, blk.MaxRatioTF, blk.MaxRatioDL} {
+				dir = appendUvarint(dir, uint64(v))
+			}
+			dir = appendUvarint(dir, uint64(len(blkBytes)))
+			binary.LittleEndian.PutUint32(crcBuf[:], crc32.ChecksumIEEE(blkBytes))
+			dir = append(dir, crcBuf[:]...)
+		}
+	}
+	dir = crcTrail(dir)
+
+	// Header, CRC-trailed like the metadata sections so a flipped flags
+	// byte or length cannot open quietly.
+	var flags byte
+	if ix.analyzer.RemoveStopwords {
+		flags |= 1
+	}
+	if ix.analyzer.Stem {
+		flags |= 2
+	}
+	head := append([]byte(nil), indexMagicV2...)
+	head = append(head, flags)
+	var u64 [8]byte
+	for _, n := range [4]int{len(docs), len(terms), len(dir), len(post)} {
+		binary.LittleEndian.PutUint64(u64[:], uint64(n))
+		head = append(head, u64[:]...)
+	}
+	head = crcTrail(head)
+
+	bw := bufio.NewWriter(w)
+	for _, sec := range [][]byte{head, docs, terms, dir, post} {
+		if _, err := bw.Write(sec); err != nil {
+			return err
+		}
+	}
+	return bw.Flush()
+}
+
+// sectionReader walks one CRC-trailed metadata section.
+type sectionReader struct {
+	buf  []byte
+	pos  int
+	name string
+}
+
+func newSection(data []byte, name string) (*sectionReader, error) {
+	if len(data) < 4 {
+		return nil, fmt.Errorf("index: %s section too short (%d bytes)", name, len(data))
+	}
+	payload, tail := data[:len(data)-4], data[len(data)-4:]
+	if crc32.ChecksumIEEE(payload) != binary.LittleEndian.Uint32(tail) {
+		return nil, fmt.Errorf("index: %s section checksum mismatch", name)
+	}
+	return &sectionReader{buf: payload, name: name}, nil
+}
+
+func (s *sectionReader) uvarint(what string) (uint64, error) {
+	v, w := binary.Uvarint(s.buf[s.pos:])
+	if w <= 0 {
+		return 0, fmt.Errorf("index: %s section: truncated %s", s.name, what)
+	}
+	s.pos += w
+	return v, nil
+}
+
+func (s *sectionReader) bytes(n uint64, what string) ([]byte, error) {
+	if n > uint64(len(s.buf)-s.pos) {
+		return nil, fmt.Errorf("index: %s section: %s length %d overruns section", s.name, what, n)
+	}
+	b := s.buf[s.pos : s.pos+int(n)]
+	s.pos += int(n)
+	return b, nil
+}
+
+func (s *sectionReader) u32() (uint32, error) {
+	if len(s.buf)-s.pos < 4 {
+		return 0, fmt.Errorf("index: %s section: truncated u32", s.name)
+	}
+	v := binary.LittleEndian.Uint32(s.buf[s.pos:])
+	s.pos += 4
+	return v, nil
+}
+
+func (s *sectionReader) done() error {
+	if s.pos != len(s.buf) {
+		return fmt.Errorf("index: %s section: %d trailing bytes", s.name, len(s.buf)-s.pos)
+	}
+	return nil
+}
+
+// openV2 builds a lazily-decoding Index over a complete FormatV2 image
+// (an mmap'd file; closeFn unmaps it). On any validation failure the
+// mapping is closed and an error returned.
+func openV2(data []byte, closeFn func() error) (*Index, error) {
+	ix, err := parseV2(data, closeFn)
+	if err != nil {
+		if closeFn != nil {
+			closeFn()
+		}
+		return nil, err
+	}
+	return ix, nil
+}
+
+func parseV2(data []byte, closeFn func() error) (*Index, error) {
+	headLen := len(indexMagicV2) + 1 + 4*8 + 4
+	if len(data) < headLen {
+		return nil, fmt.Errorf("index: file too short (%d bytes)", len(data))
+	}
+	if string(data[:len(indexMagicV2)]) != string(indexMagicV2) {
+		return nil, fmt.Errorf("index: bad magic %q", data[:len(indexMagicV2)])
+	}
+	if crc32.ChecksumIEEE(data[:headLen-4]) != binary.LittleEndian.Uint32(data[headLen-4:]) {
+		return nil, errors.New("index: header checksum mismatch")
+	}
+	flags := data[len(indexMagicV2)]
+	var secLen [4]uint64
+	off := len(indexMagicV2) + 1
+	var total uint64 = uint64(headLen)
+	for i := range secLen {
+		secLen[i] = binary.LittleEndian.Uint64(data[off:])
+		off += 8
+		total += secLen[i]
+		if total > uint64(len(data)) {
+			return nil, fmt.Errorf("index: section lengths overrun file (%d > %d)", total, len(data))
+		}
+	}
+	if total != uint64(len(data)) {
+		return nil, fmt.Errorf("index: sections cover %d of %d bytes", total, len(data))
+	}
+	off += 4 // the header CRC; sections start after it
+	cut := func(n uint64) []byte {
+		b := data[off : off+int(n)]
+		off += int(n)
+		return b
+	}
+	docsSec, termsSec, dirSec := cut(secLen[0]), cut(secLen[1]), cut(secLen[2])
+	post := cut(secLen[3])
+
+	ix := &Index{
+		analyzer: analysis.Analyzer{RemoveStopwords: flags&1 != 0, Stem: flags&2 != 0},
+		terms:    make(map[string]int32),
+	}
+
+	// Docs.
+	ds, err := newSection(docsSec, "docs")
+	if err != nil {
+		return nil, err
+	}
+	numDocs, err := ds.uvarint("doc count")
+	if err != nil {
+		return nil, err
+	}
+	if numDocs > 1<<31 {
+		return nil, fmt.Errorf("index: doc count %d exceeds limit", numDocs)
+	}
+	ix.docNames = make([]string, 0, prealloc(numDocs))
+	ix.docLens = make([]int32, 0, prealloc(numDocs))
+	for d := uint64(0); d < numDocs; d++ {
+		nl, err := ds.uvarint("doc name length")
+		if err != nil {
+			return nil, err
+		}
+		if nl > 1<<16 {
+			return nil, fmt.Errorf("index: doc name length %d exceeds limit", nl)
+		}
+		name, err := ds.bytes(nl, "doc name")
+		if err != nil {
+			return nil, err
+		}
+		dl, err := ds.uvarint("doc length")
+		if err != nil {
+			return nil, err
+		}
+		if dl > 1<<31 {
+			return nil, fmt.Errorf("index: doc %d length %d out of range", d, dl)
+		}
+		ix.docNames = append(ix.docNames, string(name))
+		ix.docLens = append(ix.docLens, int32(dl))
+		ix.totalToks += int64(dl)
+	}
+	if err := ds.done(); err != nil {
+		return nil, err
+	}
+
+	// Terms.
+	ts, err := newSection(termsSec, "terms")
+	if err != nil {
+		return nil, err
+	}
+	numTerms, err := ts.uvarint("term count")
+	if err != nil {
+		return nil, err
+	}
+	if numTerms > 1<<31 {
+		return nil, fmt.Errorf("index: term count %d exceeds limit", numTerms)
+	}
+	bsz, err := ts.uvarint("block size")
+	if err != nil {
+		return nil, err
+	}
+	if bsz < 1 || bsz > maxBlockSize {
+		return nil, errBlockSizeRange(int(bsz))
+	}
+	bs := int(bsz)
+	ix.blockSize = bs
+	ix.termText = make([]string, 0, prealloc(numTerms))
+	ix.termBounds = make([]TermBounds, 0, prealloc(numTerms))
+	dfs := make([]int32, 0, prealloc(numTerms))
+	cfs := make([]int64, 0, prealloc(numTerms))
+	totalBlocks := 0
+	for t := uint64(0); t < numTerms; t++ {
+		tl, err := ts.uvarint("term length")
+		if err != nil {
+			return nil, err
+		}
+		if tl > 1<<16 {
+			return nil, fmt.Errorf("index: term length %d exceeds limit", tl)
+		}
+		tb, err := ts.bytes(tl, "term")
+		if err != nil {
+			return nil, err
+		}
+		text := string(tb)
+		if _, dup := ix.terms[text]; dup {
+			return nil, fmt.Errorf("index: duplicate term %q", text)
+		}
+		df, err := ts.uvarint("df")
+		if err != nil {
+			return nil, err
+		}
+		if df > numDocs {
+			return nil, fmt.Errorf("index: term %q has %d postings for %d docs", text, df, numDocs)
+		}
+		cf, err := ts.uvarint("cf")
+		if err != nil {
+			return nil, err
+		}
+		if cf < df || cf > df*maxFreq {
+			return nil, fmt.Errorf("index: term %q cf %d inconsistent with df %d", text, cf, df)
+		}
+		var b TermBounds
+		for _, field := range [4]*int32{&b.MaxTF, &b.MinDL, &b.MaxRatioTF, &b.MaxRatioDL} {
+			v, err := ts.uvarint("bound")
+			if err != nil {
+				return nil, err
+			}
+			if v > 1<<31-1 {
+				return nil, fmt.Errorf("index: term %q bound value %d out of range", text, v)
+			}
+			*field = int32(v)
+		}
+		ix.terms[text] = int32(t)
+		ix.termText = append(ix.termText, text)
+		ix.termBounds = append(ix.termBounds, b)
+		dfs = append(dfs, int32(df))
+		cfs = append(cfs, int64(cf))
+		totalBlocks += (int(df) + bs - 1) / bs
+	}
+	if err := ts.done(); err != nil {
+		return nil, err
+	}
+
+	// Block directory.
+	dirs, err := newSection(dirSec, "blockdir")
+	if err != nil {
+		return nil, err
+	}
+	lz := &lazyPostings{
+		post:    post,
+		extents: make([]blockExtent, 0, totalBlocks),
+		starts:  make([]int32, len(ix.termText)+1),
+		once:    make([]sync.Once, len(ix.termText)),
+		blockSz: bs,
+		closeFn: closeFn,
+	}
+	flatBounds := make([]BlockBounds, 0, totalBlocks)
+	ix.blockBounds = make([][]BlockBounds, len(ix.termText))
+	var postOff int64
+	for tid := range ix.termText {
+		lz.starts[tid] = int32(len(lz.extents))
+		nb := (int(dfs[tid]) + bs - 1) / bs
+		prevLast := DocID(-1)
+		from := len(flatBounds)
+		for b := 0; b < nb; b++ {
+			ld, err := dirs.uvarint("lastDoc")
+			if err != nil {
+				return nil, err
+			}
+			var last DocID
+			if b == 0 {
+				last = DocID(ld)
+			} else {
+				if ld == 0 {
+					return nil, fmt.Errorf("index: term %q block %d repeats lastDoc", ix.termText[tid], b)
+				}
+				last = prevLast + DocID(ld)
+			}
+			if last < 0 || uint64(last) >= numDocs {
+				return nil, fmt.Errorf("index: term %q block %d lastDoc %d outside corpus", ix.termText[tid], b, last)
+			}
+			prevLast = last
+			var bb BlockBounds
+			bb.LastDoc = last
+			for _, field := range [4]*int32{&bb.MaxTF, &bb.MinDL, &bb.MaxRatioTF, &bb.MaxRatioDL} {
+				v, err := dirs.uvarint("block bound")
+				if err != nil {
+					return nil, err
+				}
+				if v > 1<<31-1 {
+					return nil, fmt.Errorf("index: term %q block bound %d out of range", ix.termText[tid], v)
+				}
+				*field = int32(v)
+			}
+			blen, err := dirs.uvarint("block length")
+			if err != nil {
+				return nil, err
+			}
+			if blen == 0 || blen > uint64(len(post))-uint64(postOff) {
+				return nil, fmt.Errorf("index: term %q block %d length %d overruns postings section", ix.termText[tid], b, blen)
+			}
+			crc, err := dirs.u32()
+			if err != nil {
+				return nil, err
+			}
+			lz.extents = append(lz.extents, blockExtent{off: postOff, size: int32(blen), crc: crc})
+			flatBounds = append(flatBounds, bb)
+			postOff += int64(blen)
+		}
+		ix.blockBounds[tid] = flatBounds[from:len(flatBounds):len(flatBounds)]
+		// The whole-list summary must be exactly the merge of its blocks;
+		// a mismatch means one of the two CRC-valid sections lies.
+		if dfs[tid] > 0 && mergeBlockBounds(ix.blockBounds[tid]) != ix.termBounds[tid] {
+			return nil, fmt.Errorf("index: term %q stored bounds disagree with its block directory", ix.termText[tid])
+		}
+		if dfs[tid] == 0 && ix.termBounds[tid] != (TermBounds{}) {
+			return nil, fmt.Errorf("index: empty term %q has non-zero bounds", ix.termText[tid])
+		}
+	}
+	lz.starts[len(ix.termText)] = int32(len(lz.extents))
+	if err := dirs.done(); err != nil {
+		return nil, err
+	}
+	if postOff != int64(len(post)) {
+		return nil, fmt.Errorf("index: block directory covers %d of %d postings bytes", postOff, len(post))
+	}
+
+	// CRC-scan the postings blocks: pure sequential checksumming, no
+	// decode, no allocation — this is what turns random corruption
+	// anywhere in the file into a deterministic Open failure while
+	// startup stays free of per-posting work.
+	for i, ext := range lz.extents {
+		if crc32.ChecksumIEEE(post[ext.off:ext.off+int64(ext.size)]) != ext.crc {
+			return nil, fmt.Errorf("index: postings block %d checksum mismatch", i)
+		}
+	}
+
+	ix.minDocLen = minDocLenOf(ix.docLens)
+	ix.postings = make([]Postings, len(ix.termText))
+	lz.df = dfs
+	lz.cf = cfs
+	ix.lazy = lz
+	return ix, nil
+}

@@ -1,0 +1,320 @@
+package index
+
+import (
+	"bytes"
+	"fmt"
+	"math/rand"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"repro/internal/analysis"
+)
+
+func writeRaw(path string, content []byte) error {
+	return os.WriteFile(path, content, 0o644)
+}
+
+// randomIndex builds a seeded corpus with a skewed vocabulary, so lists
+// span many blocks when the block size is forced small.
+func randomIndex(t *testing.T, docs, seed int) *Index {
+	t.Helper()
+	rng := rand.New(rand.NewSource(int64(seed)))
+	vocab := []string{"a", "a", "a", "b", "b", "c", "d", "e", "f", "g", "h", "z"}
+	b := NewBuilder(analysis.Analyzer{})
+	for d := 0; d < docs; d++ {
+		n := 1 + rng.Intn(24)
+		var sb strings.Builder
+		for i := 0; i < n; i++ {
+			sb.WriteString(vocab[rng.Intn(len(vocab))])
+			sb.WriteByte(' ')
+		}
+		b.Add(fmt.Sprintf("D%05d", d), sb.String())
+	}
+	return b.Build()
+}
+
+// assertSameIndex demands got (fully materialised) equals want in every
+// observable: corpus shape, postings rows, bounds, block summaries.
+func assertSameIndex(t *testing.T, label string, got, want *Index) {
+	t.Helper()
+	if got.NumDocs() != want.NumDocs() || got.NumTerms() != want.NumTerms() || got.TotalTokens() != want.TotalTokens() {
+		t.Fatalf("%s: shape %v vs %v", label, got, want)
+	}
+	for d := 0; d < want.NumDocs(); d++ {
+		if got.DocName(DocID(d)) != want.DocName(DocID(d)) || got.DocLen(DocID(d)) != want.DocLen(DocID(d)) {
+			t.Fatalf("%s: doc %d diverges", label, d)
+		}
+	}
+	for tid, text := range want.termText {
+		gp := got.PostingsFor(text)
+		wp := &want.postings[tid]
+		if gp == nil {
+			t.Fatalf("%s: term %q missing", label, text)
+		}
+		if len(gp.Docs) != len(wp.Docs) {
+			t.Fatalf("%s: term %q df %d vs %d", label, text, len(gp.Docs), len(wp.Docs))
+		}
+		for i := range wp.Docs {
+			if gp.Docs[i] != wp.Docs[i] || gp.Freqs[i] != wp.Freqs[i] {
+				t.Fatalf("%s: term %q posting %d diverges", label, text, i)
+			}
+			if len(gp.Positions[i]) != len(wp.Positions[i]) {
+				t.Fatalf("%s: term %q positions %d diverge", label, text, i)
+			}
+			for j := range wp.Positions[i] {
+				if gp.Positions[i][j] != wp.Positions[i][j] {
+					t.Fatalf("%s: term %q position %d/%d diverges", label, text, i, j)
+				}
+			}
+		}
+		gb, _ := got.BoundsFor(text)
+		wb, _ := want.BoundsFor(text)
+		if gb != wb {
+			t.Fatalf("%s: term %q bounds %+v vs %+v", label, text, gb, wb)
+		}
+		gbb, _ := got.BlockBoundsFor(text)
+		wbb, _ := want.BlockBoundsFor(text)
+		if len(gbb) != len(wbb) {
+			t.Fatalf("%s: term %q has %d blocks, want %d", label, text, len(gbb), len(wbb))
+		}
+		for i := range wbb {
+			if gbb[i] != wbb[i] {
+				t.Fatalf("%s: term %q block %d bounds %+v vs %+v", label, text, i, gbb[i], wbb[i])
+			}
+		}
+	}
+	if got.MinDocLen() != want.MinDocLen() {
+		t.Fatalf("%s: MinDocLen %d vs %d", label, got.MinDocLen(), want.MinDocLen())
+	}
+}
+
+// TestV2RoundTrip: write FormatV2, Open (lazy mmap), observe an index
+// identical to the in-memory original — across block sizes that force
+// single-posting, mid-size, and whole-list blocks.
+func TestV2RoundTrip(t *testing.T) {
+	for _, bs := range []int{1, 3, DefaultBlockSize, 1 << 14} {
+		ix := randomIndex(t, 200, 42)
+		if err := ix.SetBlockSize(bs); err != nil {
+			t.Fatal(err)
+		}
+		path := filepath.Join(t.TempDir(), "ix.v2")
+		if err := WriteFile(path, ix, FormatV2); err != nil {
+			t.Fatalf("bs=%d: write: %v", bs, err)
+		}
+		got, err := Open(path)
+		if err != nil {
+			t.Fatalf("bs=%d: open: %v", bs, err)
+		}
+		if got.BlockSize() != bs {
+			t.Fatalf("bs=%d: loaded block size %d", bs, got.BlockSize())
+		}
+		assertSameIndex(t, fmt.Sprintf("bs=%d", bs), got, ix)
+		if err := got.Err(); err != nil {
+			t.Fatalf("bs=%d: corruption recorded on honest file: %v", bs, err)
+		}
+		if err := got.Close(); err != nil {
+			t.Fatalf("bs=%d: close: %v", bs, err)
+		}
+	}
+}
+
+// TestV2OpenIsLazy: Open must not decode postings; the first
+// PostingsFor does.
+func TestV2OpenIsLazy(t *testing.T) {
+	ix := randomIndex(t, 300, 7)
+	path := filepath.Join(t.TempDir(), "ix.v2")
+	if err := WriteFile(path, ix, FormatV2); err != nil {
+		t.Fatal(err)
+	}
+	got, err := Open(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer got.Close()
+	for tid := range got.postings {
+		if got.postings[tid].Docs != nil {
+			t.Fatalf("term %d decoded at Open", tid)
+		}
+	}
+	p := got.PostingsFor("a")
+	if p == nil || len(p.Docs) == 0 {
+		t.Fatal("PostingsFor(a) did not materialise")
+	}
+	// Bounds and block bounds are available without materialisation.
+	if _, ok := got.BoundsFor("b"); !ok {
+		t.Fatal("BoundsFor(b) missing")
+	}
+	if bb, ok := got.BlockBoundsFor("b"); !ok || len(bb) == 0 {
+		t.Fatal("BlockBoundsFor(b) missing")
+	}
+}
+
+// TestV2WithVerify: eager verification accepts a good file and still
+// yields an identical index.
+func TestV2WithVerify(t *testing.T) {
+	ix := randomIndex(t, 150, 11)
+	path := filepath.Join(t.TempDir(), "ix.v2")
+	if err := WriteFile(path, ix, FormatV2); err != nil {
+		t.Fatal(err)
+	}
+	got, err := Open(path, WithVerify())
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer got.Close()
+	assertSameIndex(t, "verify", got, ix)
+}
+
+// TestOpenNegotiatesV1: Open loads FormatV1 files (both stream
+// revisions) through the same entry point.
+func TestOpenNegotiatesV1(t *testing.T) {
+	ix := randomIndex(t, 80, 13)
+	dir := t.TempDir()
+	v1 := filepath.Join(dir, "ix.v1")
+	if err := WriteFile(v1, ix, FormatV1); err != nil {
+		t.Fatal(err)
+	}
+	got, err := Open(v1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	assertSameIndex(t, "v1", got, ix)
+	if got.Close() != nil {
+		t.Fatal("v1 Close must be a no-op")
+	}
+}
+
+// TestOpenRejectsGarbage: unknown magic and short files error cleanly.
+func TestOpenRejectsGarbage(t *testing.T) {
+	dir := t.TempDir()
+	for name, content := range map[string][]byte{
+		"garbage": []byte("NOTANINDEXFILE"),
+		"short":   []byte("SQ"),
+		"empty":   nil,
+	} {
+		p := filepath.Join(dir, name)
+		if err := writeRaw(p, content); err != nil {
+			t.Fatal(err)
+		}
+		if _, err := Open(p); err == nil {
+			t.Fatalf("%s: accepted", name)
+		}
+	}
+}
+
+// TestV2ShardingAndForward: the full-index walks behind sharding and
+// forward vectors transparently materialise a lazy index.
+func TestV2ShardingAndForward(t *testing.T) {
+	ix := randomIndex(t, 120, 17)
+	path := filepath.Join(t.TempDir(), "ix.v2")
+	if err := WriteFile(path, ix, FormatV2); err != nil {
+		t.Fatal(err)
+	}
+	got, err := Open(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer got.Close()
+	sh := NewSharded(got, 4)
+	wantSh := NewSharded(ix, 4)
+	for s := 0; s < 4; s++ {
+		if sh.Shard(s).NumDocs() != wantSh.Shard(s).NumDocs() {
+			t.Fatalf("shard %d: %d docs, want %d", s, sh.Shard(s).NumDocs(), wantSh.Shard(s).NumDocs())
+		}
+	}
+	for d := 0; d < 10; d++ {
+		gv, wv := got.DocVector(DocID(d)), ix.DocVector(DocID(d))
+		if len(gv) != len(wv) {
+			t.Fatalf("doc %d forward vector %d entries, want %d", d, len(gv), len(wv))
+		}
+	}
+}
+
+// TestV2RoundTripThroughV1: v1 -> v2 -> v1 preserves the bytes (the
+// formats describe the same index exactly).
+func TestV2RoundTripThroughV1(t *testing.T) {
+	ix := randomIndex(t, 90, 23)
+	var v1a bytes.Buffer
+	if err := encodeV1(&v1a, ix); err != nil {
+		t.Fatal(err)
+	}
+	path := filepath.Join(t.TempDir(), "ix.v2")
+	if err := WriteFile(path, ix, FormatV2); err != nil {
+		t.Fatal(err)
+	}
+	got, err := Open(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer got.Close()
+	var v1b bytes.Buffer
+	if err := encodeV1(&v1b, got); err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(v1a.Bytes(), v1b.Bytes()) {
+		t.Fatal("v1 bytes diverge after a v2 round trip")
+	}
+}
+
+// TestV2EmptyIndex: an empty corpus round-trips.
+func TestV2EmptyIndex(t *testing.T) {
+	ix := NewBuilder(analysis.Analyzer{}).Build()
+	path := filepath.Join(t.TempDir(), "ix.v2")
+	if err := WriteFile(path, ix, FormatV2); err != nil {
+		t.Fatal(err)
+	}
+	got, err := Open(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer got.Close()
+	if got.NumDocs() != 0 || got.NumTerms() != 0 {
+		t.Fatalf("empty index reopened as %v", got)
+	}
+}
+
+// TestBuilderWriteFile: the one-step build+persist entry point.
+func TestBuilderWriteFile(t *testing.T) {
+	b := NewBuilder(analysis.Analyzer{})
+	b.Add("D0", "x y x")
+	b.Add("D1", "y z")
+	path := filepath.Join(t.TempDir(), "ix.v2")
+	built, err := b.WriteFile(path, FormatV2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, err := Open(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer got.Close()
+	assertSameIndex(t, "builder", got, built)
+}
+
+// TestBuildHelper: index.Build is NewBuilder/Add/Build.
+func TestBuildHelper(t *testing.T) {
+	ix := Build(analysis.Analyzer{}, []Document{{Name: "D0", Text: "p q"}, {Name: "D1", Text: "q r q"}})
+	if ix.NumDocs() != 2 || ix.NumTerms() != 3 {
+		t.Fatalf("Build produced %v", ix)
+	}
+	if p := ix.PostingsFor("q"); p == nil || p.CollectionFreq() != 3 {
+		t.Fatalf("Build postings wrong: %+v", p)
+	}
+}
+
+// TestSetBlockSizeGuards: range and too-late errors.
+func TestSetBlockSizeGuards(t *testing.T) {
+	ix := randomIndex(t, 10, 29)
+	if err := ix.SetBlockSize(0); err == nil {
+		t.Fatal("block size 0 accepted")
+	}
+	if err := ix.SetBlockSize(maxBlockSize + 1); err == nil {
+		t.Fatal("oversized block size accepted")
+	}
+	ix.ensureBlockBounds()
+	if err := ix.SetBlockSize(64); err == nil {
+		t.Fatal("SetBlockSize after derivation accepted")
+	}
+}

@@ -40,6 +40,7 @@ func (s *Searcher) Explain(q Node, doc index.DocID) Explanation {
 	var leaves []leaf
 	var names []string
 	s.flattenNamed(q, 1, &leaves, &names)
+	prepareLeaves(s.Model, collStats{numDocs: float64(s.ix.NumDocs()), avgDocLen: s.ix.AvgDocLen()}, leaves)
 	score := s.newScorer()
 	dl := float64(s.ix.DocLen(doc))
 	ex := Explanation{Doc: doc, Name: s.ix.DocName(doc)}

@@ -50,7 +50,13 @@ import (
 //     what gives this test teeth: with whole-list upper bounds alone a
 //     single essential match already implies bound ≥ prefix[ness] ≥ θ —
 //     by construction of the partition — and nothing would ever be
-//     filtered.
+//     filtered. An inconclusive first test refines in two tiers:
+//     Block-Max (swap each non-essential whole-list bound for the bound
+//     of the one ~128-posting block that could contain the candidate —
+//     a block-directory lookup, no postings touched), then exact
+//     (gallop the cursor and evaluate the real delta). Most rejections
+//     resolve at the block tier, which is what lets the filter win even
+//     for models whose whole-list bounds are loose.
 //
 // θ only rises, so the non-essential prefix only grows; the partition
 // is recomputed just after threshold increases, and each filter check
@@ -81,6 +87,50 @@ type pruneBounds struct {
 	exactBG       bool
 	bgConst, wSum float64
 	mu            float64
+	// Block-Max metadata: blockUB[i][b] bounds leaf i's delta for any
+	// document in its b-th postings block — the same derivation as ub[i]
+	// applied to the block's own summary, so blockUB[i][b] ≤ ub[i] and
+	// the candidate filter can swap a whole-list bound for the (much
+	// tighter) bound of the one block that could hold the candidate
+	// WITHOUT touching the postings. blockLast[i][b] is that block's last
+	// document, the key blocks are located by. Both are nil for leaves
+	// with no block summaries (empty or unbounded); the filter then keeps
+	// the whole-list bound, which degrades pruning but never safety.
+	//
+	// The per-leaf arrays are built LAZILY, on a leaf's first tier-2
+	// consultation (buildBlockBounds): essential leaves and leaves the
+	// filter never reaches — most of them, on typical queries — never pay
+	// the O(#blocks) construction, which profiling showed rivals the
+	// whole filter's win on cheap-scoring models like BM25.
+	blockUB   [][]float64
+	blockLast [][]index.DocID
+	// argmax maps a block or whole-list summary to the (tf, dl) at which
+	// deltaExact attains the summary's maximum delta under this model;
+	// retained from derivation for the lazy per-block builds. Nil on
+	// hand-built bounds — block refinement then stays off.
+	argmax func(b index.TermBounds) (int32, float64)
+}
+
+// buildBlockBounds fills blockUB[li]/blockLast[li] from leaf li's block
+// summaries, or leaves them nil when the leaf has no usable blocks (no
+// summaries, unbounded, or empty postings). Called once per consulted
+// leaf; idempotence is the caller's job (searchMaxScore's built bitmap).
+func (pb *pruneBounds) buildBlockBounds(l *leaf, li int) {
+	if pb.argmax == nil || !l.bounded || l.bounds.MaxTF == 0 || len(l.blocks) == 0 {
+		return
+	}
+	// Even a single-block list profits: the directory proves delta 0 for
+	// any candidate past its last document.
+	ubs := make([]float64, len(l.blocks))
+	lasts := make([]index.DocID, len(l.blocks))
+	for bi, bb := range l.blocks {
+		lasts[bi] = bb.LastDoc
+		if bb.MaxTF > 0 {
+			btf, bdl := pb.argmax(bb.TermBounds)
+			ubs[bi] = pb.deltaExact(l, btf, bdl)
+		}
+	}
+	pb.blockUB[li], pb.blockLast[li] = ubs, lasts
 }
 
 // derivePruneBounds computes the per-leaf bounds for a model at query-
@@ -134,9 +184,11 @@ func derivePruneBounds(model Model, params ModelParams, cs collStats, minDocLen 
 			avgdl = 1
 		}
 		pb.deltaExact = func(l *leaf, tf int32, dl float64) float64 {
-			idf := math.Log((cs.numDocs-l.df+0.5)/(l.df+0.5) + 1)
+			// l.idf was cached by prepareLeaves — the candidate filter
+			// calls this per matching leaf, and recomputing the log here
+			// used to dominate the filter's cost under BM25.
 			t := float64(tf)
-			return l.weight * idf * (t * (k1 + 1)) / (t + k1*(1-bp+bp*dl/avgdl))
+			return l.weight * l.idf * (t * (k1 + 1)) / (t + k1*(1-bp+bp*dl/avgdl))
 		}
 		argmax = func(b index.TermBounds) (int32, float64) {
 			return b.MaxTF, float64(b.MinDL)
@@ -159,6 +211,9 @@ func derivePruneBounds(model Model, params ModelParams, cs collStats, minDocLen 
 			return b.MaxTF, 1 // the Dirichlet delta is dl-independent
 		}
 	}
+	pb.argmax = argmax
+	pb.blockUB = make([][]float64, len(leaves))
+	pb.blockLast = make([][]index.DocID, len(leaves))
 	for i := range leaves {
 		l := &leaves[i]
 		switch {
@@ -169,9 +224,64 @@ func derivePruneBounds(model Model, params ModelParams, cs collStats, minDocLen 
 		default:
 			tf, dl := argmax(l.bounds)
 			pb.ub[i] = pb.deltaExact(l, tf, dl)
+			// Per-block bounds are NOT built here: buildBlockBounds runs
+			// lazily on a leaf's first tier-2 consultation.
 		}
 	}
 	return pb
+}
+
+// minPruneMass is the per-query postings mass below which the pruned
+// evaluator cannot recoup its setup (partition sort, bound arrays,
+// filter bookkeeping): at this size even scoring everything touches so
+// few postings that searchDAAT wins outright.
+const minPruneMass = 64
+
+// minPruneLeaves is the leaf-count floor below which MaxScore falls
+// back to exhaustive DAAT. The candidate filter's reject path costs a
+// pass over the essential leaves plus bound bookkeeping — the same
+// order of work as simply scoring the candidate when the query has only
+// a handful of leaves. Measured on the benchmark corpora, raw keyword
+// queries (2–5 leaves) run 1.4–1.9x SLOWER pruned than exhaustive for
+// every model, while heavily expanded SQE queries (~30 leaves) win:
+// with few leaves the ub partition cannot push enough mass into the
+// non-essential set to pay for the filter. Eight is comfortably between
+// the two regimes.
+const minPruneLeaves = 8
+
+// pruneWorthwhile is the cost-based evaluator choice: it predicts from
+// the flattened leaves and their bound statistics whether MaxScore can
+// beat exhaustive DAAT on this query, and falls back to DAAT when it
+// cannot. The prediction is cheap and deliberately coarse — pruning is
+// skipped only when it cannot help or measurably loses:
+//
+//   - a query with fewer than minPruneLeaves leaves cannot move enough
+//     bound mass into the non-essential set for skipping to outrun the
+//     filter's own per-candidate cost (a single leaf is the extreme:
+//     everything essential, nothing ever skipped);
+//   - a query whose total postings mass is tiny is cheaper to score
+//     exhaustively than to sort and bound;
+//   - leaves whose bounds are all infinite (no safe summary) or all
+//     zero (every list empty) stay permanently essential, so the filter
+//     never fires.
+//
+// Falling back changes counters only (DocsSkipped and the bound/block
+// counters stay 0, PostingsAdvanced equals the full mass — exactly the
+// accounting identity the differential tests assert); results are
+// bit-identical on either path by the score-safety argument above.
+func pruneWorthwhile(leaves []leaf, pb *pruneBounds) bool {
+	if len(leaves) < minPruneLeaves {
+		return false
+	}
+	var mass int64
+	finite := false
+	for i := range leaves {
+		mass += int64(len(leaves[i].postings.Docs))
+		if pb.ub[i] > 0 && !math.IsInf(pb.ub[i], 1) {
+			finite = true
+		}
+	}
+	return finite && mass >= minPruneMass
 }
 
 // pruneSlack is the safety margin added to a bound before comparing it
@@ -221,8 +331,29 @@ func searchMaxScore(ctx context.Context, ix *index.Index, leaves []leaf, k int, 
 		rank[li] = m
 	}
 
+	if pb.blockUB == nil || pb.blockLast == nil {
+		// Hand-built bounds (tests, future callers): no block metadata,
+		// the filter falls back to whole-list bounds everywhere.
+		pb.blockUB = make([][]float64, n)
+		pb.blockLast = make([][]index.DocID, n)
+	}
+
 	cur := make([]int, n)
 	curDoc := make([]index.DocID, n)
+	// blockHint[i] is the block the candidate filter last located for
+	// leaf i; candidates only ascend, so hints only move forward and the
+	// directory walk is amortised O(#blocks) per leaf. candUB[i] is the
+	// filter's current per-leaf contribution estimate for the candidate
+	// under test (valid only for the entries the filter touched).
+	// blockBuilt[i] records that leaf i's lazy per-block bounds were
+	// constructed (possibly as "none usable" — blockUB[i] stays nil).
+	blockHint := make([]int, n)
+	candUB := make([]float64, n)
+	blockBuilt := make([]bool, n)
+	// matched collects the essential leaves holding the candidate under
+	// test, so a rejection can consume exactly those entries without a
+	// second scan over the essential set.
+	matched := make([]int, 0, n)
 	next := exhausted
 	for li := range leaves {
 		docs := leaves[li].postings.Docs
@@ -241,13 +372,119 @@ func searchMaxScore(ctx context.Context, ix *index.Index, leaves []leaf, k int, 
 	ness := 0          // leaves order[:ness] are non-essential
 	nonEssDelta := 0.0 // Σ bounds of order[:ness], maintained as ness grows
 	var iters int64    // loop trips, for the cancellation cadence
-	var advanced, cands, skipped, boundEvals int64
+	var advanced, cands, skipped, boundEvals, blockBoundEvals int64
 	flushStats := func() {
 		if st != nil {
 			st.PostingsAdvanced += advanced
 			st.CandidatesExamined += cands
 			st.DocsSkipped += skipped
 			st.BoundEvaluations += boundEvals
+			st.BlockBoundEvaluations += blockBoundEvals
+		}
+	}
+
+	// canRangeSkip gates the block-range skip below: it needs a real
+	// bound derivation (argmax) and every leaf safely bounded — one +Inf
+	// bound makes every range bound +Inf, so attempts could never
+	// succeed and would only burn directory walks.
+	canRangeSkip := pb.argmax != nil
+	for i := 0; canRangeSkip && i < n; i++ {
+		if math.IsInf(pb.ub[i], 1) {
+			canRangeSkip = false
+		}
+	}
+	// Range-skip attempts are pure speculation: sound either way, but a
+	// failed attempt costs a directory walk. Whether spans near the merge
+	// frontier can lose against θ is a property of the whole query shape
+	// (θ versus the sum of typical block bounds), so failures are heavily
+	// autocorrelated. Exponential backoff — after f consecutive failed
+	// calls, sit out 2^f-1 rejections — caps the waste at a vanishing
+	// fraction of rejections on hopeless workloads while re-probing often
+	// enough to catch a rising θ unlocking skips mid-query.
+	rsFails := 0
+	var rsWait int64
+	// rangeSkip is the block-skipping heart of Block-Max MaxScore: called
+	// after a rejected candidate, it bounds EVERY document in the span
+	// (start, boundary] at once — bg plus, per leaf, the bound of the one
+	// block that could hold a document of that span — where boundary is
+	// the nearest block edge across the leaves. If the span provably
+	// loses against θ, the essential cursors gallop straight past it and
+	// no document in it is ever enumerated as a candidate; the loop then
+	// tries the next span. Safety: a span document c matching leaf i
+	// satisfies c ≥ max(start, curDoc[i]) and c ≤ boundary ≤ that leaf's
+	// located block end, so c lies IN the located block and its delta is
+	// ≤ that block's bound (leaves with no directory contribute their
+	// whole-list ub; absent matches contribute 0 ≤ any bound). θ only
+	// rises, so a span rejected now stays rejected. Returns whether any
+	// cursor moved (callers reuse a precomputed frontier otherwise).
+	rangeSkip := func(start index.DocID) bool {
+		moved := false
+		for {
+			rb := pb.bg
+			boundary := exhausted
+			// Consult leaves in DESCENDING whole-list-bound order: on the
+			// (common) failed attempt the running bound crosses θ within a
+			// few leaves and the attempt exits without walking the rest of
+			// the directories. rb only grows, so an early exit is sound.
+			failed := false
+			for oi := n - 1; oi >= 0; oi-- {
+				li := order[oi]
+				d := curDoc[li]
+				if d == exhausted {
+					continue // nothing left to match: contributes exactly 0
+				}
+				lo := start
+				if d > lo {
+					lo = d
+				}
+				if !blockBuilt[li] {
+					blockBuilt[li] = true
+					pb.buildBlockBounds(&leaves[li], li)
+				}
+				lasts := pb.blockLast[li]
+				if lasts == nil {
+					rb += pb.ub[li] // no directory: whole-list bound holds
+				} else {
+					bh := blockHint[li]
+					for bh < len(lasts) && lasts[bh] < lo {
+						bh++
+					}
+					blockHint[li] = bh
+					blockBoundEvals++
+					if bh == len(lasts) {
+						continue // past the final block: never matches again
+					}
+					rb += pb.blockUB[li][bh]
+					if lasts[bh] < boundary {
+						boundary = lasts[bh]
+					}
+				}
+				if !(rb+pruneSlack(rb, threshold) < threshold) {
+					failed = true
+					break
+				}
+			}
+			boundEvals++
+			if failed || boundary == exhausted {
+				return moved
+			}
+			// Every document in (start-1, boundary] is beaten: gallop the
+			// essential cursors past the span without enumerating it.
+			for _, li := range order[ness:] {
+				if d := curDoc[li]; d != exhausted && d <= boundary {
+					l := &leaves[li]
+					i := index.Advance(l.postings.Docs, cur[li], boundary+1)
+					skipped += int64(i - cur[li])
+					cur[li] = i
+					if i < len(l.postings.Docs) {
+						curDoc[li] = l.postings.Docs[i]
+					} else {
+						curDoc[li] = exhausted
+					}
+					moved = true
+				}
+			}
+			start = boundary + 1
 		}
 	}
 
@@ -280,61 +517,147 @@ func searchMaxScore(ctx context.Context, ix *index.Index, leaves []leaf, k int, 
 				bound = pb.bgConst - pb.wSum*math.Log(dl+pb.mu)
 			}
 			bound += nonEssDelta
+			// One pass: sum the exact contributions of matching essential
+			// leaves, remember them, and precompute the frontier a
+			// rejection would leave behind (each match peeked one entry
+			// ahead WITHOUT committing the advance). The peeked frontier is
+			// valid as long as nothing else moves a cursor; tier 3 and a
+			// successful range skip invalidate it (frontierStale).
+			matched = matched[:0]
+			pendingNext := exhausted
+			frontierStale := false
 			for _, li := range order[ness:] {
-				if curDoc[li] == doc {
+				d := curDoc[li]
+				if d == doc {
 					l := &leaves[li]
 					bound += pb.deltaExact(l, l.postings.Freqs[cur[li]], dl)
-				}
-			}
-			boundEvals++
-			// Progressive refinement: while the bound is inconclusive,
-			// replace the largest non-essential upper bound still in it
-			// with that leaf's exact contribution, galloping its cursor
-			// to the candidate (a gallop the scoring loop would perform
-			// anyway if the candidate survives). The loop ends when the
-			// candidate provably loses or the bound has become its exact
-			// score — a genuine contender worth full evaluation.
-			for m := ness; bound+pruneSlack(bound, threshold) >= threshold && m > 0; {
-				m--
-				li := order[m]
-				l := &leaves[li]
-				d := curDoc[li]
-				if d < doc {
-					i := index.Advance(l.postings.Docs, cur[li], doc)
-					skipped += int64(i - cur[li])
-					cur[li] = i
-					if i < len(l.postings.Docs) {
+					matched = append(matched, li)
+					if i := cur[li] + 1; i < len(l.postings.Docs) {
 						d = l.postings.Docs[i]
 					} else {
 						d = exhausted
 					}
-					curDoc[li] = d
 				}
-				bound -= pb.ub[li]
+				if d < pendingNext {
+					pendingNext = d
+				}
+			}
+			boundEvals++
+			// Tier 2 — Block-Max refinement: while the bound is
+			// inconclusive, replace a non-essential leaf's whole-list
+			// bound with the bound of the single block that could contain
+			// this candidate, located through the block directory with the
+			// leaf's monotone hint. No cursor moves and no postings rows
+			// are touched — under an mmap'd v2 index the directory is the
+			// only memory read. A cursor already at or past the candidate
+			// is better still: its delta is exact (the posting sits under
+			// the cursor, or provably absent). Every replacement can only
+			// shrink the bound, so breaking out on a provable loss is safe.
+			m := ness
+			for bound+pruneSlack(bound, threshold) >= threshold && m > 0 {
+				m--
+				li := order[m]
+				d := curDoc[li]
+				val := pb.ub[li]
+				switch {
+				case d > doc:
+					// The cursor passed doc without stopping: the candidate
+					// is in none of this leaf's remaining postings.
+					val = 0
+				case d == doc:
+					l := &leaves[li]
+					val = pb.deltaExact(l, l.postings.Freqs[cur[li]], dl)
+				default:
+					if !blockBuilt[li] {
+						blockBuilt[li] = true
+						pb.buildBlockBounds(&leaves[li], li)
+					}
+					if lasts := pb.blockLast[li]; lasts != nil {
+						bh := blockHint[li]
+						for bh < len(lasts) && lasts[bh] < doc {
+							bh++
+						}
+						blockHint[li] = bh
+						if bh < len(lasts) {
+							val = pb.blockUB[li][bh]
+						} else {
+							val = 0 // past the final block: never matches again
+						}
+						blockBoundEvals++
+					}
+				}
+				candUB[li] = val
+				bound += val - pb.ub[li]
+				boundEvals++
+			}
+			// Tier 3 — exact refinement: if the block bounds were not
+			// decisive, replace them with exact contributions, galloping
+			// each cursor to the candidate (a gallop the scoring loop
+			// would perform anyway if the candidate survives). Leaves
+			// whose tier-2 value is already exact — cursor at/past doc, or
+			// the directory proved a zero delta — are skipped. The loop
+			// ends when the candidate provably loses or the bound has
+			// become its exact score: a genuine contender worth full
+			// evaluation.
+			for m2 := ness; bound+pruneSlack(bound, threshold) >= threshold && m2 > m; {
+				m2--
+				li := order[m2]
+				if curDoc[li] >= doc || candUB[li] == 0 {
+					continue
+				}
+				l := &leaves[li]
+				i := index.Advance(l.postings.Docs, cur[li], doc)
+				skipped += int64(i - cur[li])
+				cur[li] = i
+				d := exhausted
+				if i < len(l.postings.Docs) {
+					d = l.postings.Docs[i]
+				}
+				curDoc[li] = d
+				bound -= candUB[li]
 				if d == doc {
-					bound += pb.deltaExact(l, l.postings.Freqs[cur[li]], dl)
+					bound += pb.deltaExact(l, l.postings.Freqs[i], dl)
 				}
 				boundEvals++
 			}
 			if bound+pruneSlack(bound, threshold) < threshold {
-				next = exhausted
-				for _, li := range order[ness:] {
-					d := curDoc[li]
-					if d == doc {
-						i := cur[li] + 1
-						cur[li] = i
-						if docs := leaves[li].postings.Docs; i < len(docs) {
-							d = docs[i]
-						} else {
-							d = exhausted
-						}
-						curDoc[li] = d
-						advanced++
+				// Consume exactly the entries the filter pass matched (the
+				// tiers moved only non-essential cursors, which never sit on
+				// doc here and never feed the frontier).
+				for _, li := range matched {
+					i := cur[li] + 1
+					cur[li] = i
+					if docs := leaves[li].postings.Docs; i < len(docs) {
+						curDoc[li] = docs[i]
+					} else {
+						curDoc[li] = exhausted
 					}
-					if d < next {
-						next = d
+					advanced++
+				}
+				// With the rejected candidate consumed, try to disprove
+				// whole spans before enumerating the next candidate.
+				if canRangeSkip {
+					if rsWait > 0 {
+						rsWait--
+					} else if rangeSkip(doc + 1) {
+						frontierStale = true
+						rsFails = 0
+					} else {
+						if rsFails < 6 {
+							rsFails++
+						}
+						rsWait = 1<<rsFails - 1
 					}
 				}
+				if frontierStale {
+					pendingNext = exhausted
+					for _, li := range order[ness:] {
+						if d := curDoc[li]; d < pendingNext {
+							pendingNext = d
+						}
+					}
+				}
+				next = pendingNext
 				continue
 			}
 		}

@@ -34,6 +34,10 @@ func prunedPair(ix *index.Index, model Model, params ModelParams, mu float64) (p
 		s.Mu = mu
 	}
 	full.DisablePruning = true
+	// The differential corpora are tiny and the queries short — exactly
+	// what the cost model routes to DAAT. Force the pruned evaluator so
+	// the differentials actually exercise it.
+	pruned.forcePrune = true
 	return pruned, full
 }
 
@@ -180,7 +184,12 @@ func TestMaxScoreCounterInvariants(t *testing.T) {
 func TestMaxScoreActuallyPrunes(t *testing.T) {
 	ix := buildSkewedIndex(2000, 11)
 	s := NewSearcher(ix)
-	q := Combine(Term{Text: "z"}, Term{Text: "a"}, Term{Text: "b"})
+	// Enough leaves that the cost model keeps pruning on (a query this
+	// size is the regime MaxScore is for; short keyword queries route to
+	// exhaustive DAAT by design — see pruneWorthwhile).
+	q := Combine(Term{Text: "z"}, Term{Text: "a"}, Term{Text: "b"},
+		Term{Text: "c"}, Term{Text: "d"}, Term{Text: "e"},
+		Term{Text: "f"}, Term{Text: "g"})
 	_, st := s.SearchWithStats(q, 5)
 	if st.DocsSkipped == 0 {
 		t.Fatalf("no postings skipped on a 2000-doc skewed corpus: %v", st)

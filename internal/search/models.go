@@ -87,12 +87,32 @@ func (s *Searcher) resolveParams() ModelParams {
 	return params
 }
 
-// newScorer builds the scoring closure for the searcher's model.
+// newScorer builds the scoring closure for the searcher's model. The
+// caller must run prepareLeaves over its flattened leaves first (the
+// BM25 closure reads the cached idf).
 func (s *Searcher) newScorer() scorer {
 	return buildScorer(s.Model, s.resolveParams(), collStats{
 		numDocs:   float64(s.ix.NumDocs()),
 		avgDocLen: s.ix.AvgDocLen(),
 	})
+}
+
+// prepareLeaves fills the per-leaf scoring caches that depend on the
+// model and the (possibly overridden) collection statistics — today
+// just BM25's idf. It MUST run after any cross-shard statistics
+// override (the sharded evaluators rewrite df) and before the scorer or
+// the bound machinery touches the leaves: both read l.idf instead of
+// recomputing the log per posting. The cached value is the exact
+// expression the scorer previously evaluated inline, so scores are
+// bit-identical — the same double, computed once.
+func prepareLeaves(model Model, cs collStats, leaves []leaf) {
+	if model != ModelBM25 {
+		return
+	}
+	for i := range leaves {
+		l := &leaves[i]
+		l.idf = math.Log((cs.numDocs-l.df+0.5)/(l.df+0.5) + 1)
+	}
 }
 
 // buildScorer builds the scoring closure for a model from explicit
@@ -113,7 +133,6 @@ func buildScorer(model Model, params ModelParams, cs collStats) scorer {
 		}
 	case ModelBM25:
 		k1, b := params.K1, params.B
-		n := cs.numDocs
 		avgdl := cs.avgDocLen
 		if avgdl == 0 {
 			avgdl = 1
@@ -122,9 +141,10 @@ func buildScorer(model Model, params ModelParams, cs collStats) scorer {
 			if tf == 0 {
 				return 0 // BM25 has no background mass
 			}
-			idf := math.Log((n-l.df+0.5)/(l.df+0.5) + 1)
+			// l.idf was cached by prepareLeaves (same expression, computed
+			// once per leaf instead of once per scored posting).
 			t := float64(tf)
-			return l.weight * idf * (t * (k1 + 1)) / (t + k1*(1-b+b*docLen/avgdl))
+			return l.weight * l.idf * (t * (k1 + 1)) / (t + k1*(1-b+b*docLen/avgdl))
 		}
 	default:
 		mu := params.Mu

@@ -423,6 +423,7 @@ func (rs *RemoteSharded) search(ctx context.Context, q Node, k int, st *SearchSt
 			st.PostingsAdvanced += ws.PostingsAdvanced
 			st.DocsSkipped += ws.DocsSkipped
 			st.BoundEvaluations += ws.BoundEvaluations
+			st.BlockBoundEvaluations += ws.BlockBoundEvaluations
 			st.HeapPushes += ws.HeapPushes
 			st.HeapEvictions += ws.HeapEvictions
 			st.Shards[i] = ShardStats{

@@ -42,6 +42,11 @@ type Searcher struct {
 	// — so the switch exists for debugging, for the full-evaluation side
 	// of benchmarks, and for tests that assert exhaustive-path counters.
 	DisablePruning bool
+	// forcePrune bypasses the cost-based evaluator choice and runs
+	// MaxScore whenever pruning is enabled at all. Test-only: the
+	// differential suites exercise the pruned evaluator on corpora and
+	// queries the cost model would (correctly) route to DAAT.
+	forcePrune bool
 }
 
 // NewSearcher returns a Searcher over ix with the default μ.
@@ -71,6 +76,17 @@ type leaf struct {
 	// for any future leaf type that cannot produce one.
 	bounds  index.TermBounds
 	bounded bool
+	// blocks are the Block-Max summaries of the postings, one per fixed-
+	// size block in posting order (nil for empty leaves). Same sourcing
+	// split as bounds: term leaves share the index's metadata (which a v2
+	// file carries precomputed in its block directory), positional leaves
+	// summarise their materialised postings.
+	blocks []index.BlockBounds
+	// idf caches BM25's per-leaf inverse document frequency so the hot
+	// scoring and bound paths do not recompute the log per posting. It is
+	// filled by prepareLeaves AFTER any collection-statistics override
+	// (the sharded evaluators rewrite df first); zero for other models.
+	idf float64
 }
 
 // flatten walks the query tree multiplying normalised weights down to the
@@ -88,23 +104,25 @@ func (s *Searcher) flatten(n Node, w float64, out *[]leaf) {
 		}
 		var p index.Postings
 		var b index.TermBounds
+		var bb []index.BlockBounds
 		if pp := s.ix.PostingsFor(x.Text); pp != nil {
 			p = *pp
 			b, _ = s.ix.BoundsFor(x.Text)
+			bb, _ = s.ix.BlockBoundsFor(x.Text)
 		}
-		*out = append(*out, newLeaf(s.ix, w, p, b))
+		*out = append(*out, newLeaf(s.ix, w, p, b, bb))
 	case Phrase:
 		if len(x.Terms) == 0 {
 			return
 		}
 		p := s.ix.PhrasePostings(x.Terms)
-		*out = append(*out, newLeaf(s.ix, w, p, s.ix.PostingsBounds(&p)))
+		*out = append(*out, newLeaf(s.ix, w, p, s.ix.PostingsBounds(&p), s.ix.PostingsBlockBounds(&p)))
 	case Unordered:
 		if len(x.Terms) == 0 {
 			return
 		}
 		p := s.ix.UnorderedWindowPostings(x.Terms, x.Width)
-		*out = append(*out, newLeaf(s.ix, w, p, s.ix.PostingsBounds(&p)))
+		*out = append(*out, newLeaf(s.ix, w, p, s.ix.PostingsBounds(&p), s.ix.PostingsBlockBounds(&p)))
 	case Weighted:
 		var total float64
 		for _, c := range x.Children {
@@ -125,7 +143,7 @@ func (s *Searcher) flatten(n Node, w float64, out *[]leaf) {
 
 // newLeaf fills a leaf's collection statistics from the index it was
 // flattened against.
-func newLeaf(ix *index.Index, w float64, p index.Postings, b index.TermBounds) leaf {
+func newLeaf(ix *index.Index, w float64, p index.Postings, b index.TermBounds, bb []index.BlockBounds) leaf {
 	cf := p.CollectionFreq()
 	return leaf{
 		weight:   w,
@@ -135,6 +153,7 @@ func newLeaf(ix *index.Index, w float64, p index.Postings, b index.TermBounds) l
 		df:       float64(len(p.Docs)),
 		bounds:   b,
 		bounded:  true,
+		blocks:   bb,
 	}
 }
 
@@ -211,6 +230,7 @@ func (s *Searcher) search(ctx context.Context, q Node, k int, st *SearchStats) (
 	}
 	params := s.resolveParams()
 	cs := collStats{numDocs: float64(s.ix.NumDocs()), avgDocLen: s.ix.AvgDocLen()}
+	prepareLeaves(s.Model, cs, leaves)
 	score := buildScorer(s.Model, params, cs)
 	if s.UseLegacyScorer {
 		return s.searchLegacy(ctx, leaves, k, score, st)
@@ -219,6 +239,9 @@ func (s *Searcher) search(ctx context.Context, q Node, k int, st *SearchStats) (
 		return searchDAAT(ctx, s.ix, leaves, k, score, st)
 	}
 	pb := derivePruneBounds(s.Model, params, cs, s.ix.MinDocLen(), leaves)
+	if !s.forcePrune && !pruneWorthwhile(leaves, pb) {
+		return searchDAAT(ctx, s.ix, leaves, k, score, st)
+	}
 	return searchMaxScore(ctx, s.ix, leaves, k, score, pb, st)
 }
 
@@ -288,7 +311,9 @@ func (s *Searcher) searchLegacy(ctx context.Context, leaves []leaf, k int, score
 func (s *Searcher) ScoreDoc(q Node, doc index.DocID) float64 {
 	var leaves []leaf
 	s.flatten(q, 1, &leaves)
-	score := s.newScorer()
+	cs := collStats{numDocs: float64(s.ix.NumDocs()), avgDocLen: s.ix.AvgDocLen()}
+	prepareLeaves(s.Model, cs, leaves)
+	score := buildScorer(s.Model, s.resolveParams(), cs)
 	dl := float64(s.ix.DocLen(doc))
 	total := 0.0
 	for li := range leaves {

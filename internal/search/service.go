@@ -94,12 +94,13 @@ type WireResult struct {
 
 // WireEvalStats are the shard evaluator's deterministic counters.
 type WireEvalStats struct {
-	CandidatesExamined int64 `json:"candidates_examined"`
-	PostingsAdvanced   int64 `json:"postings_advanced"`
-	DocsSkipped        int64 `json:"docs_skipped"`
-	BoundEvaluations   int64 `json:"bound_evaluations"`
-	HeapPushes         int64 `json:"heap_pushes"`
-	HeapEvictions      int64 `json:"heap_evictions"`
+	CandidatesExamined    int64 `json:"candidates_examined"`
+	PostingsAdvanced      int64 `json:"postings_advanced"`
+	DocsSkipped           int64 `json:"docs_skipped"`
+	BoundEvaluations      int64 `json:"bound_evaluations"`
+	BlockBoundEvaluations int64 `json:"block_bound_evaluations"`
+	HeapPushes            int64 `json:"heap_pushes"`
+	HeapEvictions         int64 `json:"heap_evictions"`
 }
 
 // EvalResponse carries a shard's top-k slice of the global ranking.
@@ -199,6 +200,7 @@ func (svc *ShardService) handleEval(ctx context.Context, body json.RawMessage) (
 		avgDocLen = float64(req.TotalToks) / float64(req.NumDocs)
 	}
 	cs := collStats{numDocs: float64(req.NumDocs), avgDocLen: avgDocLen}
+	prepareLeaves(Model(req.Model), cs, leaves)
 	score := buildScorer(Model(req.Model), params, cs)
 
 	var sst *SearchStats
@@ -208,8 +210,9 @@ func (svc *ShardService) handleEval(ctx context.Context, body json.RawMessage) (
 	var res []Result
 	if req.DisablePruning {
 		res, err = searchDAAT(ctx, svc.local.ix, leaves, req.K, score, sst)
+	} else if pb := derivePruneBounds(Model(req.Model), params, cs, svc.local.ix.MinDocLen(), leaves); !pruneWorthwhile(leaves, pb) {
+		res, err = searchDAAT(ctx, svc.local.ix, leaves, req.K, score, sst)
 	} else {
-		pb := derivePruneBounds(Model(req.Model), params, cs, svc.local.ix.MinDocLen(), leaves)
 		res, err = searchMaxScore(ctx, svc.local.ix, leaves, req.K, score, pb, sst)
 	}
 	if err != nil {
@@ -226,12 +229,13 @@ func (svc *ShardService) handleEval(ctx context.Context, body json.RawMessage) (
 	}
 	if sst != nil {
 		resp.Stats = &WireEvalStats{
-			CandidatesExamined: sst.CandidatesExamined,
-			PostingsAdvanced:   sst.PostingsAdvanced,
-			DocsSkipped:        sst.DocsSkipped,
-			BoundEvaluations:   sst.BoundEvaluations,
-			HeapPushes:         sst.HeapPushes,
-			HeapEvictions:      sst.HeapEvictions,
+			CandidatesExamined:    sst.CandidatesExamined,
+			PostingsAdvanced:      sst.PostingsAdvanced,
+			DocsSkipped:           sst.DocsSkipped,
+			BoundEvaluations:      sst.BoundEvaluations,
+			BlockBoundEvaluations: sst.BlockBoundEvaluations,
+			HeapPushes:            sst.HeapPushes,
+			HeapEvictions:         sst.HeapEvictions,
 		}
 	}
 	return resp, nil

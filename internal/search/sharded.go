@@ -46,6 +46,9 @@ type ShardedSearcher struct {
 	// surface its local top k for the merge regardless of what other
 	// shards hold. Results are bit-identical either way.
 	DisablePruning bool
+	// forcePrune mirrors Searcher.forcePrune for the per-shard
+	// evaluators (test-only; see searcher.go).
+	forcePrune bool
 	// Sem, when non-nil, bounds how many shard evaluations run on extra
 	// goroutines (it is shared with the engine's SQE_C run pool). The
 	// fan-out only try-acquires: when the pool is saturated the shard
@@ -170,6 +173,11 @@ func (ss *ShardedSearcher) search(ctx context.Context, q Node, k int, st *Search
 		numDocs:   float64(ss.sh.NumDocs()),
 		avgDocLen: ss.sh.AvgDocLen(),
 	}
+	// Per-leaf caches derive from the GLOBAL df just written, so every
+	// shard scores with the same cached values (bit-identity again).
+	for s := 0; s < n; s++ {
+		prepareLeaves(ss.Model, cs, shardLeaves[s])
+	}
 	score := buildScorer(ss.Model, params, cs)
 
 	// Phase 3: per-shard DAAT evaluation into bounded top-k heaps, then
@@ -197,10 +205,13 @@ func (ss *ShardedSearcher) search(ctx context.Context, q Node, k int, st *Search
 			}
 			// Bounds derive AFTER the global-stats override, so the bound
 			// arithmetic sees the same collProb/df the scorer does, while
-			// the postings summaries (MaxTF, MinDL, ratio pair) and the
-			// minimum document length stay shard-local — bounds only need
-			// to dominate the documents this shard can produce.
+			// the postings summaries (MaxTF, MinDL, ratio pair, per-block)
+			// and the minimum document length stay shard-local — bounds
+			// only need to dominate the documents this shard can produce.
 			pb := derivePruneBounds(ss.Model, params, cs, ss.sh.Shard(i).MinDocLen(), shardLeaves[i])
+			if !ss.forcePrune && !pruneWorthwhile(shardLeaves[i], pb) {
+				return searchDAAT(sctx, ss.sh.Shard(i), shardLeaves[i], k, score, sst)
+			}
 			return searchMaxScore(sctx, ss.sh.Shard(i), shardLeaves[i], k, score, pb, sst)
 		})
 		if sst != nil {
@@ -218,6 +229,7 @@ func (ss *ShardedSearcher) search(ctx context.Context, q Node, k int, st *Search
 			st.PostingsAdvanced += sst.PostingsAdvanced
 			st.DocsSkipped += sst.DocsSkipped
 			st.BoundEvaluations += sst.BoundEvaluations
+			st.BlockBoundEvaluations += sst.BlockBoundEvaluations
 			st.HeapPushes += sst.HeapPushes
 			st.HeapEvictions += sst.HeapEvictions
 			st.Shards[i] = ShardStats{

@@ -35,9 +35,16 @@ type SearchStats struct {
 	DocsSkipped int64
 	// BoundEvaluations counts score-bound tests against the running
 	// top-k threshold: one per candidate upper-bound check once the
-	// heap is full, plus one per essential/non-essential re-partition
-	// after a threshold increase.
+	// heap is full, one per refinement step inside the candidate
+	// filter, plus one per essential/non-essential re-partition after a
+	// threshold increase.
 	BoundEvaluations int64
+	// BlockBoundEvaluations counts the Block-Max lookups within those
+	// refinements: candidate-filter steps that consulted the block
+	// directory (located a leaf's block for the candidate and read its
+	// bound) instead of galloping the postings. Zero on the unpruned and
+	// legacy paths, and on indexes without block metadata.
+	BlockBoundEvaluations int64
 	// HeapPushes counts insertions into the bounded top-k heap while it
 	// was still filling.
 	HeapPushes int64
@@ -79,6 +86,7 @@ func (s *SearchStats) Add(o SearchStats) {
 	s.PostingsAdvanced += o.PostingsAdvanced
 	s.DocsSkipped += o.DocsSkipped
 	s.BoundEvaluations += o.BoundEvaluations
+	s.BlockBoundEvaluations += o.BlockBoundEvaluations
 	s.HeapPushes += o.HeapPushes
 	s.HeapEvictions += o.HeapEvictions
 	s.Elapsed += o.Elapsed
@@ -96,7 +104,7 @@ func (s *SearchStats) Add(o SearchStats) {
 
 // String renders the counters compactly.
 func (s SearchStats) String() string {
-	return fmt.Sprintf("leaves=%d cands=%d advanced=%d skipped=%d bound-evals=%d pushes=%d evictions=%d elapsed=%v",
+	return fmt.Sprintf("leaves=%d cands=%d advanced=%d skipped=%d bound-evals=%d block-evals=%d pushes=%d evictions=%d elapsed=%v",
 		s.Leaves, s.CandidatesExamined, s.PostingsAdvanced, s.DocsSkipped, s.BoundEvaluations,
-		s.HeapPushes, s.HeapEvictions, s.Elapsed.Round(time.Microsecond))
+		s.BlockBoundEvaluations, s.HeapPushes, s.HeapEvictions, s.Elapsed.Round(time.Microsecond))
 }

@@ -115,6 +115,8 @@ func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
 	fmt.Fprintf(&sb, "sqe_search_docs_skipped_total %d\n", ps.Search.DocsSkipped)
 	counter("sqe_search_bound_evaluations_total", "Score-bound tests against the top-k threshold (per-candidate checks plus leaf re-partitions).")
 	fmt.Fprintf(&sb, "sqe_search_bound_evaluations_total %d\n", ps.Search.BoundEvaluations)
+	counter("sqe_search_block_bound_evaluations_total", "Block-Max directory lookups inside the candidate filter.")
+	fmt.Fprintf(&sb, "sqe_search_block_bound_evaluations_total %d\n", ps.Search.BlockBoundEvaluations)
 	counter("sqe_search_heap_pushes_total", "Insertions into the bounded top-k heap.")
 	fmt.Fprintf(&sb, "sqe_search_heap_pushes_total %d\n", ps.Search.HeapPushes)
 	counter("sqe_search_heap_evictions_total", "Candidates that displaced the current k-th best.")
