@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: build test race vet fmt bench bench-shards bench-pruning bench-expansion bench-blockmax bench-check shard-parity index-parity serve-smoke precompute-smoke distributed-smoke load-smoke chaos fuzz verify
+.PHONY: build test race vet fmt bench bench-shards bench-pruning bench-expansion bench-blockmax bench-hotpath bench-check shard-parity index-parity serve-smoke precompute-smoke distributed-smoke load-smoke chaos fuzz verify
 
 build:
 	$(GO) build ./...
@@ -52,6 +52,18 @@ bench-expansion:
 # >=2x documents-scored reduction, >=1x wall-clock speedup floor).
 bench-blockmax:
 	$(GO) run ./cmd/sqe-bench -scale default -exp blockmax -blockmax-json BENCH_blockmax.json
+
+# Streaming per-block cursors + pooled scratch vs the eager whole-term
+# hot path (PR 8's configuration), on CHiC 2012 at benchmark (default)
+# scale: cold time-to-first-result per leg, warm p50/p99, allocs/query
+# with the scratch pool off vs on, and the decoded-block fraction.
+# Regenerates the committed BENCH_hotpath.json artifact that
+# bench-check gates on (three-way bit-identity, <60% of blocks decoded
+# and >=1.3x cold speedup on the quoted Dirichlet row, >=10x allocation
+# reduction); bench-check's fresh leg re-runs this bench inside
+# `make verify`, so the wiring into verify and CI is through it.
+bench-hotpath:
+	$(GO) run ./cmd/sqe-bench -scale default -exp hotpath -hotpath-json BENCH_hotpath.json
 
 # The benchmark regression gate: validates the committed BENCH_*.json
 # artifacts (bit-identity flags, >=2x documents-scored reduction) and

@@ -1,9 +1,10 @@
 // Command bench-check is the repository's benchmark regression gate,
 // run by `make verify`. It validates the committed benchmark artifacts
 // (BENCH_pruning.json, BENCH_blockmax.json, BENCH_shards.json,
-// BENCH_expansion.json, BENCH_distributed.json) and — unless
-// -fresh=false — re-runs the pruning and block-max benches to compare
-// their DETERMINISTIC counters against the committed numbers.
+// BENCH_expansion.json, BENCH_distributed.json, BENCH_hotpath.json)
+// and — unless -fresh=false — re-runs the pruning, block-max and
+// hot-path benches to compare their DETERMINISTIC counters against the
+// committed numbers.
 //
 // What is gated, and how hard:
 //
@@ -28,6 +29,14 @@
 //     expansion a hash lookup, and a lookup in the cold-expansion cost
 //     class means the subsystem regressed. The ratio comes from one
 //     machine in one run, so load largely cancels out of it.
+//   - The committed hot-path artifact carries the streaming-cursor
+//     claims: bit-identity absolute on every row; the decoded-block
+//     fraction must stay under -max-decoded-fraction (default 0.60) and
+//     the cold streaming-vs-eager speedup at or above
+//     -min-hotpath-speedup (default 1.3) on the quoted (Dirichlet) row;
+//     the pooled-scratch allocation reduction must hold
+//     -min-alloc-reduction (default 10x) on every row. The ratios are
+//     min-of-rounds interleaved on one machine, so load cancels out.
 //   - Wall-clock gets only a wide sanity band (-max-slowdown, default
 //     3x, fresh run only): ns/query on a loaded CI box routinely
 //     swings 2x either way, so the band exists to catch catastrophic
@@ -57,9 +66,13 @@ func main() {
 	shardsPath := flag.String("shards", "BENCH_shards.json", "committed shard bench artifact")
 	expansionPath := flag.String("expansion", "BENCH_expansion.json", "committed expansion bench artifact")
 	distributedPath := flag.String("distributed", "BENCH_distributed.json", "committed sqe-load artifact (empty = skip)")
+	hotpathPath := flag.String("hotpath", "BENCH_hotpath.json", "committed streaming hot-path bench artifact")
 	minReduction := flag.Float64("min-reduction", 2.0, "documents-scored reduction floor every model must sustain")
 	minStoreSpeedup := flag.Float64("min-store-speedup", 10.0, "precomputed-store lookup must beat cold expansion by at least this factor")
 	minBlockMaxSpeedup := flag.Float64("min-blockmax-speedup", 1.0, "committed block-max wall-clock speedup floor: pruned must not lose to exhaustive for any model")
+	minHotpathSpeedup := flag.Float64("min-hotpath-speedup", 1.3, "committed cold streaming-vs-eager speedup floor on the quoted (dirichlet) hot-path row")
+	maxDecodedFraction := flag.Float64("max-decoded-fraction", 0.60, "committed decoded-block fraction ceiling on the quoted (dirichlet) hot-path row")
+	minAllocReduction := flag.Float64("min-alloc-reduction", 10.0, "pooled scratch must cut allocations per query by at least this factor, every model")
 	maxSlowdown := flag.Float64("max-slowdown", 3.0, "fresh-run wall-clock band: pruned ns/query must stay under full x this")
 	fresh := flag.Bool("fresh", true, "re-run the pruning bench and compare deterministic counters")
 	flag.Parse()
@@ -206,6 +219,47 @@ func main() {
 		}
 	}
 
+	// Committed hot-path artifact: three-way bit-identity (streaming
+	// pruned vs exhaustive-over-v2 vs exhaustive-over-memory) is
+	// absolute on every row, as is the pooled-scratch allocation floor —
+	// the pool either eliminates per-query allocation or it regressed.
+	// The decode-granularity claims — most blocks never decoded, cold
+	// first-result faster than the eager whole-term materialiser — are
+	// gated on the row the README quotes (Dirichlet, the paper's primary
+	// model): the other models keep their fractions printed here, but
+	// their block-visit pattern is a property of the scoring
+	// distribution, not of the cursor machinery under test. Both ratios
+	// are interleaved min-of-rounds numbers from one machine, so load
+	// cancels out (same policy as the block-max speedup floor).
+	var hot experiments.HotpathBenchResult
+	if err := loadJSON(*hotpathPath, &hot); err != nil {
+		log.Fatal(err)
+	}
+	if len(hot.Rows) == 0 {
+		fail("%s: no rows", *hotpathPath)
+	}
+	for _, row := range hot.Rows {
+		quoted := row.Model == "dirichlet"
+		switch {
+		case !row.Identical:
+			fail("%s/%s: committed run was not bit-identical (streaming vs exhaustive vs in-memory)", *hotpathPath, row.Model)
+		case row.BlocksTotal == 0 || row.BlocksDecoded == 0:
+			fail("%s/%s: streaming decoded no blocks at all — the cursor tier is dead on this workload", *hotpathPath, row.Model)
+		case row.AllocReduction < *minAllocReduction:
+			fail("%s/%s: pooled scratch only cut allocations %.1fx (%.1f -> %.1f per query) — below the %.1fx floor",
+				*hotpathPath, row.Model, row.AllocReduction, row.AllocsUnpooled, row.AllocsPooled, *minAllocReduction)
+		case quoted && row.DecodedFraction >= *maxDecodedFraction:
+			fail("%s/%s: streaming decoded %.1f%% of blocks — at or above the %.0f%% ceiling",
+				*hotpathPath, row.Model, 100*row.DecodedFraction, 100**maxDecodedFraction)
+		case quoted && row.SpeedupCold < *minHotpathSpeedup:
+			fail("%s/%s: cold streaming speedup %.2fx below the %.2fx floor — block cursors lost to eager materialisation",
+				*hotpathPath, row.Model, row.SpeedupCold, *minHotpathSpeedup)
+		default:
+			ok("%s/%s: bit-identical, %.1f%% of blocks decoded, cold %.2fx vs eager, allocs/query %.1fx down",
+				*hotpathPath, row.Model, 100*row.DecodedFraction, row.SpeedupCold, row.AllocReduction)
+		}
+	}
+
 	// Fresh run: regenerate the seeded environment and demand the
 	// deterministic counters match the artifact exactly. One rep is
 	// enough — reps only smooth the (ungated) wall clock.
@@ -287,6 +341,50 @@ func main() {
 					row.Model, row.NsPrunedPerQry, row.NsFullPerQry, *maxSlowdown)
 			default:
 				ok("fresh-blockmax/%s: counters match artifact, wall clock within %.1fx band", row.Model, *maxSlowdown)
+			}
+		}
+
+		// Fresh hot-path run over the same benchmark-scale suite: the
+		// decoded/total block counters are fully deterministic (seeded
+		// corpus, fixed bench block size, pruning decisions made on exact
+		// counters), so they must match the committed artifact exactly,
+		// as must the bench's block size and projected-workload width.
+		// Ratios and percentiles are this machine's one-round numbers:
+		// the cold legs get only the sanity band, the committed floors
+		// above stay the real gate.
+		hotFresh, err := experiments.HotpathBench(suite, experiments.DefaultHotpathInstance(suite), hot.K, 1)
+		if err != nil {
+			log.Fatal(err)
+		}
+		if hotFresh.Dataset != hot.Dataset {
+			fail("fresh-hotpath: instance %q, artifact has %q", hotFresh.Dataset, hot.Dataset)
+		}
+		if hotFresh.BlockSize != hot.BlockSize || hotFresh.TermQueries != hot.TermQueries {
+			fail("fresh-hotpath: bench shape (block size %d, %d projected queries) != artifact (%d, %d); regenerate with `make bench-hotpath`",
+				hotFresh.BlockSize, hotFresh.TermQueries, hot.BlockSize, hot.TermQueries)
+		}
+		if len(hotFresh.Rows) != len(hot.Rows) {
+			fail("fresh-hotpath: %d rows, artifact has %d", len(hotFresh.Rows), len(hot.Rows))
+		}
+		for i, row := range hotFresh.Rows {
+			if i >= len(hot.Rows) {
+				break
+			}
+			want := hot.Rows[i]
+			switch {
+			case row.Model != want.Model:
+				fail("fresh-hotpath/%s: artifact row %d is %s — row order changed", row.Model, i, want.Model)
+			case !row.Identical:
+				fail("fresh-hotpath/%s: results diverged (streaming vs exhaustive vs in-memory)", row.Model)
+			case row.BlocksDecoded != want.BlocksDecoded || row.BlocksTotal != want.BlocksTotal:
+				fail("fresh-hotpath/%s: decoded %d of %d blocks, artifact says %d of %d; cursor behaviour changed — regenerate with `make bench-hotpath`",
+					row.Model, row.BlocksDecoded, row.BlocksTotal, want.BlocksDecoded, want.BlocksTotal)
+			case row.NsColdStreamPerQry > row.NsColdEagerPerQry*(*maxSlowdown):
+				fail("fresh-hotpath/%s: cold streaming %.0f ns/query vs eager %.0f — beyond the %.1fx sanity band",
+					row.Model, row.NsColdStreamPerQry, row.NsColdEagerPerQry, *maxSlowdown)
+			default:
+				ok("fresh-hotpath/%s: %.1f%% of blocks decoded matches artifact, wall clock within %.1fx band",
+					row.Model, 100*row.DecodedFraction, *maxSlowdown)
 			}
 		}
 	}

@@ -3,11 +3,12 @@
 //
 // Usage:
 //
-//	sqe-bench [-scale small|default] [-exp all|fig2|tab1|fig5|tab2|fig6|tab3|tab4|stages|shards|pruning|expansion|blockmax]
+//	sqe-bench [-scale small|default] [-exp all|fig2|tab1|fig5|tab2|fig6|tab3|tab4|stages|shards|pruning|expansion|blockmax|hotpath]
 //	          [-shards 1,2,4,8] [-shards-json BENCH_shards.json]
 //	          [-pruning-json BENCH_pruning.json]
 //	          [-expansion-json BENCH_expansion.json]
 //	          [-blockmax-json BENCH_blockmax.json]
+//	          [-hotpath-json BENCH_hotpath.json]
 package main
 
 import (
@@ -26,13 +27,14 @@ func main() {
 	log.SetFlags(0)
 	log.SetPrefix("sqe-bench: ")
 	scaleFlag := flag.String("scale", "default", "environment scale: small|default")
-	expFlag := flag.String("exp", "all", "experiment: all or substring list of fig2,tab1,fig5,tab2,fig6,tab3,tab4,stages,ablation,mining,summary,shards,pruning,expansion,blockmax")
+	expFlag := flag.String("exp", "all", "experiment: all or substring list of fig2,tab1,fig5,tab2,fig6,tab3,tab4,stages,ablation,mining,summary,shards,pruning,expansion,blockmax,hotpath")
 	trecFlag := flag.String("trec", "", "directory to export TREC qrels/run files into")
 	shardsFlag := flag.String("shards", "1,2,4,8", "comma-separated shard counts for -exp shards")
 	shardsJSON := flag.String("shards-json", "", "file to write the shard bench result to as JSON")
 	pruningJSON := flag.String("pruning-json", "", "file to write the pruning bench result to as JSON")
 	expansionJSON := flag.String("expansion-json", "", "file to write the expansion bench result to as JSON")
 	blockmaxJSON := flag.String("blockmax-json", "", "file to write the block-max bench result to as JSON")
+	hotpathJSON := flag.String("hotpath-json", "", "file to write the hot-path bench result to as JSON")
 	flag.Parse()
 
 	scale := dataset.ScaleDefault
@@ -197,6 +199,26 @@ func main() {
 				log.Fatal(err)
 			}
 			fmt.Printf("wrote %s\n", *blockmaxJSON)
+		}
+	}
+	if want("hotpath") {
+		// Streaming per-block cursors + pooled evaluation scratch vs the
+		// eager whole-term hot path, on CHiC 2012 (see README "Streaming
+		// hot path").
+		hp, err := experiments.HotpathBench(suite, experiments.DefaultHotpathInstance(suite), 10, 5)
+		if err != nil {
+			log.Fatal(err)
+		}
+		fmt.Println(hp)
+		if *hotpathJSON != "" {
+			data, err := hp.JSON()
+			if err != nil {
+				log.Fatal(err)
+			}
+			if err := os.WriteFile(*hotpathJSON, append(data, '\n'), 0o644); err != nil {
+				log.Fatal(err)
+			}
+			fmt.Printf("wrote %s\n", *hotpathJSON)
 		}
 	}
 	if *trecFlag != "" {

@@ -1,0 +1,138 @@
+package index
+
+import (
+	"bytes"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+// TestCloseIdempotent: Close must be safe to call any number of times,
+// on every index kind — in-memory (no-op), v1 (no-op: fully decoded),
+// and v2 (first call unmaps, later calls return nil without touching
+// the dead mapping).
+func TestCloseIdempotent(t *testing.T) {
+	mem := randomIndex(t, 50, 3)
+	for i := 0; i < 3; i++ {
+		if err := mem.Close(); err != nil {
+			t.Fatalf("in-memory close #%d: %v", i, err)
+		}
+	}
+
+	dir := t.TempDir()
+	for _, format := range []Format{FormatV1, FormatV2} {
+		path := filepath.Join(dir, "ix."+format.String())
+		if err := WriteFile(path, mem, format); err != nil {
+			t.Fatal(err)
+		}
+		ix, err := Open(path)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for i := 0; i < 3; i++ {
+			if err := ix.Close(); err != nil {
+				t.Fatalf("%v close #%d: %v", format, i, err)
+			}
+		}
+	}
+}
+
+// TestUseAfterCloseMaterialize: touching a not-yet-materialised term
+// after Close must record the canonical error and score the term as
+// absent — never read the unmapped region.
+func TestUseAfterCloseMaterialize(t *testing.T) {
+	ix := randomIndex(t, 100, 17)
+	path := filepath.Join(t.TempDir(), "ix.v2")
+	if err := WriteFile(path, ix, FormatV2); err != nil {
+		t.Fatal(err)
+	}
+	got, err := Open(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Materialise one term before Close: its copy must survive.
+	pre := got.PostingsFor("a")
+	if pre == nil || len(pre.Docs) == 0 {
+		t.Fatal("pre-close materialisation failed")
+	}
+	preDocs := len(pre.Docs)
+	if err := got.Close(); err != nil {
+		t.Fatal(err)
+	}
+	// The already-materialised row is a heap copy and stays valid.
+	if p := got.PostingsFor("a"); p == nil || len(p.Docs) != preDocs {
+		t.Fatal("materialised row did not survive Close")
+	}
+	// A fresh term cannot decode any more: empty row + recorded error.
+	if p := got.PostingsFor("b"); p != nil && len(p.Docs) != 0 {
+		t.Fatalf("post-close materialisation produced %d postings", len(p.Docs))
+	}
+	err = got.Err()
+	if err == nil {
+		t.Fatal("post-close materialisation left Err() nil")
+	}
+	if !strings.Contains(err.Error(), "after Close") {
+		t.Fatalf("recorded %v, want the after-Close error", err)
+	}
+}
+
+// TestUseAfterCloseStreamCursor: a streaming cursor reset or advanced
+// after Close must exhaust with the recorded error, not read unmapped
+// memory. Covers both orders: cursor created after Close, and a live
+// parked cursor whose index closes under it.
+func TestUseAfterCloseStreamCursor(t *testing.T) {
+	src := randomIndex(t, 150, 23)
+	if err := src.SetBlockSize(4); err != nil {
+		t.Fatal(err)
+	}
+	var buf bytes.Buffer
+	if err := encodeV2(&buf, src); err != nil {
+		t.Fatal(err)
+	}
+
+	// Cursor created after Close: starts exhausted, error recorded.
+	ix := openV2Heap(t, buf.Bytes())
+	id, ok := ix.StreamableTerm("a")
+	if !ok {
+		t.Fatal("term a not streamable")
+	}
+	if err := ix.Close(); err != nil {
+		t.Fatal(err)
+	}
+	var c TermCursor
+	c.ResetStream(ix, id)
+	if c.Doc() != DocEnd {
+		t.Fatalf("post-close ResetStream parked on %d", c.Doc())
+	}
+	err := ix.Err()
+	if err == nil || !strings.Contains(err.Error(), "after Close") {
+		t.Fatalf("recorded %v, want the after-Close error", err)
+	}
+
+	// Live parked cursor, index closes under it: the next decode-forcing
+	// call degrades the cursor instead of touching the dead mapping.
+	ix2 := openV2Heap(t, append([]byte(nil), buf.Bytes()...))
+	id2, _ := ix2.StreamableTerm("a")
+	var c2 TermCursor
+	c2.ResetStream(ix2, id2)
+	firstDoc := c2.Doc()
+	if firstDoc == DocEnd || c2.Decoded != 0 {
+		t.Fatalf("sanity: parked at %d decoded=%d", firstDoc, c2.Decoded)
+	}
+	if err := ix2.Close(); err != nil {
+		t.Fatal(err)
+	}
+	if got := c2.Freq(); got != 0 {
+		t.Fatalf("Freq after Close = %d, want 0 (degraded)", got)
+	}
+	if c2.Doc() != DocEnd {
+		t.Fatal("cursor survived its index's Close")
+	}
+	if err := ix2.Err(); err == nil || !strings.Contains(err.Error(), "after Close") {
+		t.Fatalf("recorded %v, want the after-Close error", err)
+	}
+	// Further motion on the dead cursor is inert.
+	if c2.Next() != DocEnd || c2.Advance(firstDoc+1) != DocEnd || c2.PeekNext() != DocEnd {
+		t.Fatal("dead cursor moved")
+	}
+}

@@ -118,6 +118,40 @@ func (ix *Index) termPostings(id int32) *Postings {
 	return &ix.postings[id]
 }
 
+// StreamableTerm reports whether term can be served by a streaming
+// block cursor — the index is backed by a FormatV2 file — and returns
+// its ID. The stored per-term stats and bounds (StoredTermStats,
+// StoredTermBounds) are then readable without decoding any postings.
+func (ix *Index) StreamableTerm(term string) (int32, bool) {
+	if ix.lazy == nil {
+		return 0, false
+	}
+	id, ok := ix.terms[term]
+	return id, ok
+}
+
+// StoredTermStats returns term id's stored document and collection
+// frequencies without decoding its postings. Only valid on an index for
+// which StreamableTerm reported true.
+func (ix *Index) StoredTermStats(id int32) (df int, cf int64) {
+	return int(ix.lazy.df[id]), ix.lazy.cf[id]
+}
+
+// StoredTermBounds returns term id's whole-list and per-block bound
+// summaries as loaded (and cross-validated) by Open, without decoding
+// its postings. Only valid on an index for which StreamableTerm
+// reported true.
+func (ix *Index) StoredTermBounds(id int32) (TermBounds, []BlockBounds) {
+	return ix.termBounds[id], ix.blockBounds[id]
+}
+
+// PostingsByID returns term id's postings row, decoding it first when
+// the index is backed by a v2 file. Shared with the index; do not
+// modify.
+func (ix *Index) PostingsByID(id int32) *Postings {
+	return ix.termPostings(id)
+}
+
 // Analyzer returns the analyzer documents were indexed with; queries must
 // use the same one.
 func (ix *Index) Analyzer() analysis.Analyzer { return ix.analyzer }

@@ -52,14 +52,19 @@ import (
 // (stored whole-list bounds must equal the merge of the stored block
 // bounds; directory lengths must tile the postings section exactly) and
 // CRC-scans the postings blocks, so flip/truncate corruption anywhere
-// in the file fails Open deterministically. Postings rows decode lazily
-// per term on first use; the decoder re-derives each block's bound
-// summary from the decoded postings and ADOPTS the derived values on
-// disagreement (recording the event via Index.Err) — combined with the
-// search layer materialising a term before reading its bounds, a
-// well-formed file whose bounds lie cannot make score-safe pruning drop
-// documents. Open(..., WithVerify()) additionally forces every term
-// through that decoder up front, the right mode for untrusted files.
+// in the file fails Open deterministically. Postings are then served
+// two ways. Whole-row materialisation (termPostings) decodes a term on
+// first use; that decoder re-derives each block's bound summary from
+// the decoded postings and ADOPTS the derived values on disagreement
+// (recording the event via Index.Err). Streaming block cursors
+// (TermCursor.ResetStream, stream.go) instead decode one block at a
+// time and TRUST the stored, CRC-tied, Open-cross-validated directory
+// for block selection and score bounds — they re-derive each decoded
+// block's summary and record a disagreement via Index.Err, so a
+// CRC-consistent file whose bounds lie is detected the moment a lied-
+// about block is decoded and the query degrades rather than silently
+// dropping documents. Open(..., WithVerify()) forces every term through
+// the full decoder up front, the right mode for untrusted files.
 
 var indexMagicV2 = []byte("SQEBX\x01")
 
@@ -91,6 +96,7 @@ type lazyPostings struct {
 	df      []int32       // per term: stored document frequency
 	cf      []int64       // per term: stored collection frequency
 	blockSz int
+	crcOK   []uint32 // 1 bit per extent: block CRC re-verified since Open
 
 	closeFn  func() error
 	closed   atomic.Bool
@@ -102,6 +108,30 @@ type blockExtent struct {
 	off  int64
 	size int32
 	crc  uint32
+}
+
+// verifyBlock checksums extent slot's bytes against the directory at
+// most once per slot since Open. Open already bulk-verified every block,
+// so the per-decode check only defends against the mapping changing
+// under a live index — a once-per-block property, not a per-decode one.
+// The first decode of a block (eager or streaming) re-verifies its CRC
+// and sets the sticky bit; every later decode of the same block skips
+// straight to parsing, which is what keeps repeated streaming decodes
+// of a hot block off the checksum path.
+func (lz *lazyPostings) verifyBlock(slot int, buf []byte) bool {
+	word, bit := &lz.crcOK[slot>>5], uint32(1)<<(slot&31)
+	if atomic.LoadUint32(word)&bit != 0 {
+		return true
+	}
+	if crc32.ChecksumIEEE(buf) != lz.extents[slot].crc {
+		return false
+	}
+	for {
+		old := atomic.LoadUint32(word)
+		if atomic.CompareAndSwapUint32(word, old, old|bit) {
+			return true
+		}
+	}
 }
 
 func (lz *lazyPostings) close() error {
@@ -151,7 +181,7 @@ func (lz *lazyPostings) materialize(ix *Index, id int32) {
 		blk := int(b - lz.starts[id])
 		ext := lz.extents[b]
 		buf := lz.post[ext.off : ext.off+int64(ext.size)]
-		if crc32.ChecksumIEEE(buf) != ext.crc {
+		if !lz.verifyBlock(int(b), buf) {
 			lz.record(fmt.Errorf("index: term %q block %d checksum mismatch", ix.termText[id], blk))
 			ix.postings[id] = Postings{}
 			return
@@ -189,14 +219,33 @@ func (lz *lazyPostings) materialize(ix *Index, id int32) {
 	ix.postings[id] = p
 }
 
-// decodeBlock decodes one compressed block (exactly n postings) into p,
-// validating structure as it goes: documents strictly ascend from base
-// and stay inside the corpus, frequencies sit in (0, maxFreq], every
-// position list has freq entries below maxPosition, and the block's
-// bytes are consumed exactly. It returns the bound summary derived from
-// what it decoded.
+// decodeBlock decodes one compressed block (exactly n postings) into p
+// and returns the bound summary derived from what it decoded. The
+// materialiser's whole-row form of decodeBlockInto.
 func decodeBlock(buf []byte, base DocID, n int, numDocs int32, docLens []int32, p *Postings) (BlockBounds, error) {
 	var bb BlockBounds
+	start := len(p.Docs)
+	if err := decodeBlockInto(buf, base, n, numDocs, &p.Docs, &p.Freqs, &p.Positions); err != nil {
+		return bb, err
+	}
+	last := base // n == 0 decodes nothing; keep the caller's base
+	if len(p.Docs) > start {
+		last = p.Docs[len(p.Docs)-1]
+	}
+	sub := Postings{Docs: p.Docs[start:], Freqs: p.Freqs[start:]}
+	bb = BlockBounds{LastDoc: last, TermBounds: boundsOf(&sub, docLens)}
+	return bb, nil
+}
+
+// decodeBlockInto decodes one compressed block (exactly n postings),
+// appending documents and frequencies to *docs and *freqs, validating
+// structure as it goes: documents strictly ascend from base and stay
+// inside the corpus, frequencies sit in (0, maxFreq], every position
+// list has freq entries below maxPosition, and the block's bytes are
+// consumed exactly. A nil positions pointer validates and discards the
+// position data without allocating — the streaming cursor's mode, which
+// keeps per-block decode zero-allocation in steady state.
+func decodeBlockInto(buf []byte, base DocID, n int, numDocs int32, docs *[]DocID, freqs *[]int32, positions *[][]int32) error {
 	pos := 0
 	read := func() (uint64, error) {
 		v, w := binary.Uvarint(buf[pos:])
@@ -206,65 +255,70 @@ func decodeBlock(buf []byte, base DocID, n int, numDocs int32, docLens []int32, 
 		pos += w
 		return v, nil
 	}
-	start := len(p.Docs)
+	fstart := len(*freqs)
 	prev := base
 	for i := 0; i < n; i++ {
 		dd, err := read()
 		if err != nil {
-			return bb, fmt.Errorf("doc %d: %w", i, err)
+			return fmt.Errorf("doc %d: %w", i, err)
 		}
 		var doc DocID
 		if prev < 0 {
 			doc = DocID(dd)
 		} else {
 			if dd == 0 {
-				return bb, fmt.Errorf("doc %d: zero delta", i)
+				return fmt.Errorf("doc %d: zero delta", i)
 			}
 			doc = prev + DocID(dd)
 		}
 		if doc < 0 || doc >= DocID(numDocs) || doc < prev {
-			return bb, fmt.Errorf("doc %d: id %d outside corpus of %d", i, doc, numDocs)
+			return fmt.Errorf("doc %d: id %d outside corpus of %d", i, doc, numDocs)
 		}
 		prev = doc
-		p.Docs = append(p.Docs, doc)
+		*docs = append(*docs, doc)
 	}
 	for i := 0; i < n; i++ {
 		f, err := read()
 		if err != nil {
-			return bb, fmt.Errorf("freq %d: %w", i, err)
+			return fmt.Errorf("freq %d: %w", i, err)
 		}
 		if f == 0 || f > maxFreq {
-			return bb, fmt.Errorf("freq %d: invalid value %d", i, f)
+			return fmt.Errorf("freq %d: invalid value %d", i, f)
 		}
-		p.Freqs = append(p.Freqs, int32(f))
+		*freqs = append(*freqs, int32(f))
 	}
 	for i := 0; i < n; i++ {
-		f := p.Freqs[start+i]
-		plist := make([]int32, 0, prealloc(uint64(f)))
+		f := (*freqs)[fstart+i]
+		var plist []int32
+		if positions != nil {
+			plist = make([]int32, 0, prealloc(uint64(f)))
+		}
 		prevPos := int32(0)
 		for j := int32(0); j < f; j++ {
 			pd, err := read()
 			if err != nil {
-				return bb, fmt.Errorf("position %d/%d: %w", i, j, err)
+				return fmt.Errorf("position %d/%d: %w", i, j, err)
 			}
 			pp := int32(pd)
 			if j > 0 {
 				pp = prevPos + int32(pd)
 			}
 			if pd > maxPosition || pp < 0 || pp > maxPosition {
-				return bb, fmt.Errorf("position %d/%d: value out of range", i, j)
+				return fmt.Errorf("position %d/%d: value out of range", i, j)
 			}
 			prevPos = pp
-			plist = append(plist, pp)
+			if positions != nil {
+				plist = append(plist, pp)
+			}
 		}
-		p.Positions = append(p.Positions, plist)
+		if positions != nil {
+			*positions = append(*positions, plist)
+		}
 	}
 	if pos != len(buf) {
-		return bb, fmt.Errorf("%d trailing bytes", len(buf)-pos)
+		return fmt.Errorf("%d trailing bytes", len(buf)-pos)
 	}
-	sub := Postings{Docs: p.Docs[start:], Freqs: p.Freqs[start:]}
-	bb = BlockBounds{LastDoc: prev, TermBounds: boundsOf(&sub, docLens)}
-	return bb, nil
+	return nil
 }
 
 // encodeBlock appends the block encoding of postings rows [lo, hi) of p
@@ -738,6 +792,7 @@ func parseV2(data []byte, closeFn func() error) (*Index, error) {
 	ix.postings = make([]Postings, len(ix.termText))
 	lz.df = dfs
 	lz.cf = cfs
+	lz.crcOK = make([]uint32, (len(lz.extents)+31)/32)
 	ix.lazy = lz
 	return ix, nil
 }

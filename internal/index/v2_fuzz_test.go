@@ -25,6 +25,27 @@ func FuzzBlockDecode(f *testing.F) {
 	f.Add([]byte{}, int64(-1), 0)
 	f.Add([]byte{0x00}, int64(-1), 1)
 	f.Add([]byte{0xff, 0xff, 0xff, 0xff, 0xff, 0xff, 0xff, 0xff, 0x7f}, int64(-1), 1)
+	// Mid-block offsets: what the decoder sees when a block-directory
+	// entry points INTO a block instead of at its start (a CRC-consistent
+	// hostile directory). The suffix of an honest encoding re-parses as a
+	// different varint stream; the decoder must reject or re-validate it
+	// like any other input — both the eager materialiser and the
+	// streaming cursor route through this same decoder (see
+	// TestStreamErrorTaxonomyMatchesEager for the parity check).
+	{
+		p := Postings{
+			Docs:      []DocID{3, 5, 9, 21},
+			Freqs:     []int32{2, 1, 3, 1},
+			Positions: [][]int32{{0, 7}, {4}, {1, 2, 3}, {8}},
+		}
+		enc := encodeBlock(nil, &p, 0, len(p.Docs), -1)
+		for _, off := range []int{1, 2, 3, len(enc) / 2, len(enc) - 1} {
+			if off > 0 && off < len(enc) {
+				f.Add(enc[off:], int64(-1), len(p.Docs))
+				f.Add(enc[off:], int64(2), len(p.Docs)-1)
+			}
+		}
+	}
 
 	const numDocs = 64
 	docLens := make([]int32, numDocs)

@@ -51,7 +51,7 @@ func TestSearchContextCancelledMidEvaluation(t *testing.T) {
 	s.flatten(q, 1, &leaves)
 	score := s.newScorer()
 	cancel()
-	if _, err := searchDAAT(ctx, s.ix, leaves, 10, score, nil); !errors.Is(err, context.Canceled) {
+	if _, err := searchDAAT(ctx, s.ix, leaves, 10, score, nil, nil); !errors.Is(err, context.Canceled) {
 		t.Errorf("DAAT: want context.Canceled, got %v", err)
 	}
 	if _, err := s.searchLegacy(ctx, leaves, 10, score, nil); !errors.Is(err, context.Canceled) {

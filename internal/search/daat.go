@@ -2,7 +2,6 @@ package search
 
 import (
 	"context"
-	"math"
 
 	"repro/internal/fault"
 	"repro/internal/index"
@@ -11,7 +10,7 @@ import (
 // exhausted is the sentinel document a drained cursor parks on; it
 // compares above every real DocID, so the running minimum naturally
 // ignores finished leaves.
-const exhausted = index.DocID(math.MaxInt32)
+const exhausted = index.DocEnd
 
 // searchDAAT is the document-at-a-time evaluator: the leaves' postings
 // cursors are merged in document order and every candidate goes through
@@ -33,25 +32,38 @@ const exhausted = index.DocID(math.MaxInt32)
 // finishing a retrieval nobody will read; the cancelled call returns
 // ctx.Err() and no results.
 // searchDAAT is a free function over an explicit index so the sharded
-// evaluator can drive it per shard with globally-statted leaves.
-func searchDAAT(ctx context.Context, ix *index.Index, leaves []leaf, k int, score scorer, st *SearchStats) ([]Result, error) {
+// evaluator can drive it per shard with globally-statted leaves. sc is
+// the caller's pooled scratch; nil self-acquires one for the call.
+func searchDAAT(ctx context.Context, ix *index.Index, leaves []leaf, k int, score scorer, st *SearchStats, sc *evalScratch) ([]Result, error) {
+	if sc == nil {
+		sc = getScratch()
+		defer putScratch(sc)
+	}
 	n := len(leaves)
-	cur := make([]int, n)
-	curDoc := make([]index.DocID, n)
+	curs := sc.cursors(ix, leaves)
+	curDoc := grow(sc.curDoc, n)
+	sc.curDoc = curDoc
 	next := exhausted
-	for li := range leaves {
-		docs := leaves[li].postings.Docs
-		if len(docs) == 0 {
-			curDoc[li] = exhausted
-			continue
-		}
-		curDoc[li] = docs[0]
-		if docs[0] < next {
-			next = docs[0]
+	for li := range curs {
+		d := curs[li].Doc()
+		curDoc[li] = d
+		if d < next {
+			next = d
 		}
 	}
-	h := topK{docs: make([]index.DocID, 0, k), scores: make([]float64, 0, k), k: k}
+	h := topK{docs: sc.heapDocs[:0], scores: sc.heapScores[:0], k: k}
+	defer func() { sc.heapDocs, sc.heapScores = h.docs[:0], h.scores[:0] }()
 	var advanced, cands int64
+	flushStats := func() {
+		if st != nil {
+			st.PostingsAdvanced += advanced
+			st.CandidatesExamined += cands
+			for li := range curs {
+				st.BlocksDecoded += curs[li].Decoded
+				st.BlocksTotal += int64(curs[li].NumBlocks())
+			}
+		}
+	}
 	for next != exhausted {
 		if cands%cancelCheckEvery == 0 {
 			err := ctx.Err()
@@ -59,10 +71,7 @@ func searchDAAT(ctx context.Context, ix *index.Index, leaves []leaf, k int, scor
 				err = fault.Check(fault.IndexPostings)
 			}
 			if err != nil {
-				if st != nil {
-					st.PostingsAdvanced += advanced
-					st.CandidatesExamined += cands
-				}
+				flushStats()
 				return nil, err
 			}
 		}
@@ -74,16 +83,9 @@ func searchDAAT(ctx context.Context, ix *index.Index, leaves []leaf, k int, scor
 			d := curDoc[li]
 			var tf int32
 			if d == doc {
-				l := &leaves[li]
-				i := cur[li]
-				tf = l.postings.Freqs[i]
-				i++
-				cur[li] = i
-				if i < len(l.postings.Docs) {
-					d = l.postings.Docs[i]
-				} else {
-					d = exhausted
-				}
+				c := &curs[li]
+				tf = c.Freq()
+				d = c.Next()
 				curDoc[li] = d
 				advanced++
 			}
@@ -98,10 +100,7 @@ func searchDAAT(ctx context.Context, ix *index.Index, leaves []leaf, k int, scor
 		cands++
 		h.offer(doc, total, st)
 	}
-	if st != nil {
-		st.PostingsAdvanced += advanced
-		st.CandidatesExamined += cands
-	}
+	flushStats()
 	return h.drain(ix), nil
 }
 

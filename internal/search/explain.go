@@ -40,6 +40,10 @@ func (s *Searcher) Explain(q Node, doc index.DocID) Explanation {
 	var leaves []leaf
 	var names []string
 	s.flattenNamed(q, 1, &leaves, &names)
+	// Explain walks materialised postings rows directly (findDoc over
+	// l.postings.Docs), so streaming leaves are resolved eagerly here —
+	// this is a debugging path, not the query hot path.
+	s.materializeLeaves(leaves)
 	prepareLeaves(s.Model, collStats{numDocs: float64(s.ix.NumDocs()), avgDocLen: s.ix.AvgDocLen()}, leaves)
 	score := s.newScorer()
 	dl := float64(s.ix.DocLen(doc))

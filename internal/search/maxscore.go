@@ -109,6 +109,38 @@ type pruneBounds struct {
 	// retained from derivation for the lazy per-block builds. Nil on
 	// hand-built bounds — block refinement then stays off.
 	argmax func(b index.TermBounds) (int32, float64)
+	// sc, when non-nil, supplies reusable row backings for the lazy
+	// per-block builds (pooled scratch); nil falls back to allocating.
+	sc *evalScratch
+	// dlFree marks a model whose deltaExact ignores dl entirely
+	// (Dirichlet: document length cancels out of the delta), letting the
+	// per-leaf memo below key on tf alone.
+	dlFree bool
+	// Per-leaf one-entry memo of the filter's last deltaExact input and
+	// output (memoTF[li] == -1: empty). Candidate term frequencies are
+	// Zipfian — overwhelmingly 1 — so consecutive consultations of a
+	// leaf repeat the same input, and reusing the previously computed
+	// float for an equal input is bit-exact: deltaExact is pure. Nil on
+	// hand-built or unpooled bounds; delta then always computes.
+	memoTF  []int32
+	memoDL  []float64
+	memoVal []float64
+}
+
+// delta is deltaExact behind the per-leaf one-entry memo.
+func (pb *pruneBounds) delta(l *leaf, li int, tf int32, dl float64) float64 {
+	if pb.memoTF != nil && pb.memoTF[li] == tf && (pb.dlFree || pb.memoDL[li] == dl) {
+		return pb.memoVal[li]
+	}
+	v := pb.deltaExact(l, tf, dl)
+	if pb.memoTF != nil {
+		pb.memoTF[li] = tf
+		if !pb.dlFree {
+			pb.memoDL[li] = dl
+		}
+		pb.memoVal[li] = v
+	}
+	return v
 }
 
 // buildBlockBounds fills blockUB[li]/blockLast[li] from leaf li's block
@@ -121,13 +153,32 @@ func (pb *pruneBounds) buildBlockBounds(l *leaf, li int) {
 	}
 	// Even a single-block list profits: the directory proves delta 0 for
 	// any candidate past its last document.
-	ubs := make([]float64, len(l.blocks))
-	lasts := make([]index.DocID, len(l.blocks))
+	var ubs []float64
+	var lasts []index.DocID
+	if pb.sc != nil {
+		ubs, lasts = pb.sc.blockRow(li, len(l.blocks))
+	} else {
+		ubs = make([]float64, len(l.blocks))
+		lasts = make([]index.DocID, len(l.blocks))
+	}
+	// Consecutive blocks overwhelmingly share an argmax — under Zipfian
+	// frequencies most blocks have MaxTF 1, and the Dirichlet argmax
+	// ignores dl entirely — so a one-entry memo removes nearly all of
+	// the per-block deltaExact (log) calls. Reusing the previously
+	// computed float for equal inputs is bit-exact: deltaExact is pure.
+	var memoTF int32
+	var memoDL, memoUB float64
+	memoOK := false
 	for bi, bb := range l.blocks {
 		lasts[bi] = bb.LastDoc
 		if bb.MaxTF > 0 {
 			btf, bdl := pb.argmax(bb.TermBounds)
-			ubs[bi] = pb.deltaExact(l, btf, bdl)
+			if !memoOK || btf != memoTF || bdl != memoDL {
+				memoTF, memoDL = btf, bdl
+				memoUB = pb.deltaExact(l, btf, bdl)
+				memoOK = true
+			}
+			ubs[bi] = memoUB
 		}
 	}
 	pb.blockUB[li], pb.blockLast[li] = ubs, lasts
@@ -160,8 +211,37 @@ func (pb *pruneBounds) buildBlockBounds(l *leaf, li int) {
 //
 // All weights are positive (flatten drops non-positive ones), which
 // every "maximise each summand independently" step above relies on.
-func derivePruneBounds(model Model, params ModelParams, cs collStats, minDocLen int32, leaves []leaf) *pruneBounds {
-	pb := &pruneBounds{ub: make([]float64, len(leaves))}
+//
+// sc, when non-nil, supplies the bounds struct and its array backings
+// from pooled scratch (reset here); nil allocates fresh — the mode
+// hand-built test bounds and one-shot callers use.
+func derivePruneBounds(model Model, params ModelParams, cs collStats, minDocLen int32, leaves []leaf, sc *evalScratch) *pruneBounds {
+	var pb *pruneBounds
+	if sc != nil {
+		pb = &sc.pb
+		*pb = pruneBounds{
+			ub:        grow(pb.ub, len(leaves)),
+			blockUB:   grow(pb.blockUB, len(leaves)),
+			blockLast: grow(pb.blockLast, len(leaves)),
+			memoTF:    grow(pb.memoTF, len(leaves)),
+			memoDL:    grow(pb.memoDL, len(leaves)),
+			memoVal:   grow(pb.memoVal, len(leaves)),
+			sc:        sc,
+		}
+		// The MaxTF == 0 case below leaves ub entries untouched and the
+		// lazy block builder assumes unbuilt rows are nil: reused
+		// backings must present as freshly made. memoTF -1 marks the
+		// filter memo empty (no real tf is negative); memoDL/memoVal are
+		// only read behind a matching memoTF.
+		for i := range pb.ub {
+			pb.ub[i] = 0
+			pb.blockUB[i] = nil
+			pb.blockLast[i] = nil
+			pb.memoTF[i] = -1
+		}
+	} else {
+		pb = &pruneBounds{ub: make([]float64, len(leaves))}
+	}
 	// argmax maps a whole-list summary to the (tf, dl) at which
 	// deltaExact attains the list's maximum delta under this model.
 	var argmax func(b index.TermBounds) (int32, float64)
@@ -207,13 +287,16 @@ func derivePruneBounds(model Model, params ModelParams, cs collStats, minDocLen 
 		pb.deltaExact = func(l *leaf, tf int32, dl float64) float64 {
 			return l.weight * math.Log(1+float64(tf)/(mu*l.collProb))
 		}
+		pb.dlFree = true // the Dirichlet delta is dl-independent
 		argmax = func(b index.TermBounds) (int32, float64) {
-			return b.MaxTF, 1 // the Dirichlet delta is dl-independent
+			return b.MaxTF, 1
 		}
 	}
 	pb.argmax = argmax
-	pb.blockUB = make([][]float64, len(leaves))
-	pb.blockLast = make([][]index.DocID, len(leaves))
+	if sc == nil {
+		pb.blockUB = make([][]float64, len(leaves))
+		pb.blockLast = make([][]index.DocID, len(leaves))
+	}
 	for i := range leaves {
 		l := &leaves[i]
 		switch {
@@ -276,7 +359,7 @@ func pruneWorthwhile(leaves []leaf, pb *pruneBounds) bool {
 	var mass int64
 	finite := false
 	for i := range leaves {
-		mass += int64(len(leaves[i].postings.Docs))
+		mass += int64(leaves[i].nPost)
 		if pb.ub[i] > 0 && !math.IsInf(pb.ub[i], 1) {
 			finite = true
 		}
@@ -303,27 +386,34 @@ func pruneSlack(bound, threshold float64) float64 {
 
 // searchMaxScore is searchDAAT with MaxScore pruning. Same contract and
 // bit-identical results; see the file comment for the safety argument.
-func searchMaxScore(ctx context.Context, ix *index.Index, leaves []leaf, k int, score scorer, pb *pruneBounds, st *SearchStats) ([]Result, error) {
+// sc is the caller's pooled scratch (pb normally lives inside it); nil
+// self-acquires one for the call.
+func searchMaxScore(ctx context.Context, ix *index.Index, leaves []leaf, k int, score scorer, pb *pruneBounds, st *SearchStats, sc *evalScratch) ([]Result, error) {
 	if k <= 0 {
 		return nil, nil
+	}
+	if sc == nil {
+		sc = getScratch()
+		defer putScratch(sc)
 	}
 	n := len(leaves)
 
 	// order lists leaf indices by ascending bound (ties: leaf order);
 	// prefix[m] = bg + Σ bounds of order[:m+1]; rank inverts order. The
 	// first ness entries of order are the current non-essential set.
-	order := make([]int, n)
+	// The comparator is a total order, so the (unstable) sort produces
+	// one well-defined permutation.
+	order := grow(sc.order, n)
+	sc.order = order
 	for i := range order {
 		order[i] = i
 	}
-	sort.Slice(order, func(a, b int) bool {
-		if pb.ub[order[a]] != pb.ub[order[b]] {
-			return pb.ub[order[a]] < pb.ub[order[b]]
-		}
-		return order[a] < order[b]
-	})
-	prefix := make([]float64, n)
-	rank := make([]int, n)
+	sc.sorter = ubSorter{order: order, ub: pb.ub}
+	sort.Sort(&sc.sorter)
+	prefix := grow(sc.prefix, n)
+	sc.prefix = prefix
+	rank := grow(sc.rank, n)
+	sc.rank = rank
 	cum := pb.bg
 	for m, li := range order {
 		cum += pb.ub[li]
@@ -338,8 +428,9 @@ func searchMaxScore(ctx context.Context, ix *index.Index, leaves []leaf, k int, 
 		pb.blockLast = make([][]index.DocID, n)
 	}
 
-	cur := make([]int, n)
-	curDoc := make([]index.DocID, n)
+	curs := sc.cursors(ix, leaves)
+	curDoc := grow(sc.curDoc, n)
+	sc.curDoc = curDoc
 	// blockHint[i] is the block the candidate filter last located for
 	// leaf i; candidates only ascend, so hints only move forward and the
 	// directory walk is amortised O(#blocks) per leaf. candUB[i] is the
@@ -347,27 +438,32 @@ func searchMaxScore(ctx context.Context, ix *index.Index, leaves []leaf, k int, 
 	// under test (valid only for the entries the filter touched).
 	// blockBuilt[i] records that leaf i's lazy per-block bounds were
 	// constructed (possibly as "none usable" — blockUB[i] stays nil).
-	blockHint := make([]int, n)
-	candUB := make([]float64, n)
-	blockBuilt := make([]bool, n)
+	blockHint := grow(sc.blockHint, n)
+	sc.blockHint = blockHint
+	candUB := grow(sc.candUB, n)
+	sc.candUB = candUB
+	blockBuilt := grow(sc.blockBuilt, n)
+	sc.blockBuilt = blockBuilt
+	for i := 0; i < n; i++ {
+		blockHint[i] = 0
+		blockBuilt[i] = false
+	}
 	// matched collects the essential leaves holding the candidate under
 	// test, so a rejection can consume exactly those entries without a
 	// second scan over the essential set.
-	matched := make([]int, 0, n)
+	matched := sc.matched[:0]
+	defer func() { sc.matched = matched[:0] }()
 	next := exhausted
-	for li := range leaves {
-		docs := leaves[li].postings.Docs
-		if len(docs) == 0 {
-			curDoc[li] = exhausted
-			continue
-		}
-		curDoc[li] = docs[0]
-		if docs[0] < next {
-			next = docs[0]
+	for li := range curs {
+		d := curs[li].Doc()
+		curDoc[li] = d
+		if d < next {
+			next = d
 		}
 	}
 
-	h := topK{docs: make([]index.DocID, 0, k), scores: make([]float64, 0, k), k: k}
+	h := topK{docs: sc.heapDocs[:0], scores: sc.heapScores[:0], k: k}
+	defer func() { sc.heapDocs, sc.heapScores = h.docs[:0], h.scores[:0] }()
 	threshold := math.Inf(-1)
 	ness := 0          // leaves order[:ness] are non-essential
 	nonEssDelta := 0.0 // Σ bounds of order[:ness], maintained as ness grows
@@ -380,6 +476,10 @@ func searchMaxScore(ctx context.Context, ix *index.Index, leaves []leaf, k int, 
 			st.DocsSkipped += skipped
 			st.BoundEvaluations += boundEvals
 			st.BlockBoundEvaluations += blockBoundEvals
+			for li := range curs {
+				st.BlocksDecoded += curs[li].Decoded
+				st.BlocksTotal += int64(curs[li].NumBlocks())
+			}
 		}
 	}
 
@@ -469,18 +569,15 @@ func searchMaxScore(ctx context.Context, ix *index.Index, leaves []leaf, k int, 
 				return moved
 			}
 			// Every document in (start-1, boundary] is beaten: gallop the
-			// essential cursors past the span without enumerating it.
+			// essential cursors past the span without enumerating it. A
+			// streaming cursor consults its block directory here, so the
+			// skipped-over blocks are never decoded.
 			for _, li := range order[ness:] {
 				if d := curDoc[li]; d != exhausted && d <= boundary {
-					l := &leaves[li]
-					i := index.Advance(l.postings.Docs, cur[li], boundary+1)
-					skipped += int64(i - cur[li])
-					cur[li] = i
-					if i < len(l.postings.Docs) {
-						curDoc[li] = l.postings.Docs[i]
-					} else {
-						curDoc[li] = exhausted
-					}
+					c := &curs[li]
+					r0 := c.Rank()
+					curDoc[li] = c.Advance(boundary + 1)
+					skipped += int64(c.Rank() - r0)
 					moved = true
 				}
 			}
@@ -529,14 +626,10 @@ func searchMaxScore(ctx context.Context, ix *index.Index, leaves []leaf, k int, 
 			for _, li := range order[ness:] {
 				d := curDoc[li]
 				if d == doc {
-					l := &leaves[li]
-					bound += pb.deltaExact(l, l.postings.Freqs[cur[li]], dl)
+					c := &curs[li]
+					bound += pb.delta(&leaves[li], li, c.Freq(), dl)
 					matched = append(matched, li)
-					if i := cur[li] + 1; i < len(l.postings.Docs) {
-						d = l.postings.Docs[i]
-					} else {
-						d = exhausted
-					}
+					d = c.PeekNext()
 				}
 				if d < pendingNext {
 					pendingNext = d
@@ -565,8 +658,7 @@ func searchMaxScore(ctx context.Context, ix *index.Index, leaves []leaf, k int, 
 					// is in none of this leaf's remaining postings.
 					val = 0
 				case d == doc:
-					l := &leaves[li]
-					val = pb.deltaExact(l, l.postings.Freqs[cur[li]], dl)
+					val = pb.delta(&leaves[li], li, curs[li].Freq(), dl)
 				default:
 					if !blockBuilt[li] {
 						blockBuilt[li] = true
@@ -605,18 +697,14 @@ func searchMaxScore(ctx context.Context, ix *index.Index, leaves []leaf, k int, 
 				if curDoc[li] >= doc || candUB[li] == 0 {
 					continue
 				}
-				l := &leaves[li]
-				i := index.Advance(l.postings.Docs, cur[li], doc)
-				skipped += int64(i - cur[li])
-				cur[li] = i
-				d := exhausted
-				if i < len(l.postings.Docs) {
-					d = l.postings.Docs[i]
-				}
+				c := &curs[li]
+				r0 := c.Rank()
+				d := c.Advance(doc)
+				skipped += int64(c.Rank() - r0)
 				curDoc[li] = d
 				bound -= candUB[li]
 				if d == doc {
-					bound += pb.deltaExact(l, l.postings.Freqs[i], dl)
+					bound += pb.delta(&leaves[li], li, c.Freq(), dl)
 				}
 				boundEvals++
 			}
@@ -625,13 +713,7 @@ func searchMaxScore(ctx context.Context, ix *index.Index, leaves []leaf, k int, 
 				// tiers moved only non-essential cursors, which never sit on
 				// doc here and never feed the frontier).
 				for _, li := range matched {
-					i := cur[li] + 1
-					cur[li] = i
-					if docs := leaves[li].postings.Docs; i < len(docs) {
-						curDoc[li] = docs[i]
-					} else {
-						curDoc[li] = exhausted
-					}
+					curDoc[li] = curs[li].Next()
 					advanced++
 				}
 				// With the rejected candidate consumed, try to disprove
@@ -672,26 +754,16 @@ func searchMaxScore(ctx context.Context, ix *index.Index, leaves []leaf, k int, 
 				// seek; the postings rows jumped over are documents this
 				// leaf never scored — the work pruning saved.
 				if d < doc {
-					i := index.Advance(l.postings.Docs, cur[li], doc)
-					skipped += int64(i - cur[li])
-					cur[li] = i
-					if i < len(l.postings.Docs) {
-						d = l.postings.Docs[i]
-					} else {
-						d = exhausted
-					}
+					c := &curs[li]
+					r0 := c.Rank()
+					d = c.Advance(doc)
+					skipped += int64(c.Rank() - r0)
 					curDoc[li] = d
 				}
 				if d == doc {
-					i := cur[li]
-					tf = l.postings.Freqs[i]
-					i++
-					cur[li] = i
-					if i < len(l.postings.Docs) {
-						curDoc[li] = l.postings.Docs[i]
-					} else {
-						curDoc[li] = exhausted
-					}
+					c := &curs[li]
+					tf = c.Freq()
+					curDoc[li] = c.Next()
 					advanced++
 				}
 				// Contribute in leaf order like searchDAAT — but do not
@@ -701,15 +773,9 @@ func searchMaxScore(ctx context.Context, ix *index.Index, leaves []leaf, k int, 
 			}
 			// Essential: the same fused consume-and-advance as searchDAAT.
 			if d == doc {
-				i := cur[li]
-				tf = l.postings.Freqs[i]
-				i++
-				cur[li] = i
-				if i < len(l.postings.Docs) {
-					d = l.postings.Docs[i]
-				} else {
-					d = exhausted
-				}
+				c := &curs[li]
+				tf = c.Freq()
+				d = c.Next()
 				curDoc[li] = d
 				advanced++
 			}
@@ -751,7 +817,7 @@ func searchMaxScore(ctx context.Context, ix *index.Index, leaves []leaf, k int, 
 	// wholesale — searchDAAT would have advanced through every one.
 	for li := range leaves {
 		if rank[li] < ness {
-			skipped += int64(len(leaves[li].postings.Docs) - cur[li])
+			skipped += int64(curs[li].Len() - curs[li].Rank())
 		}
 	}
 	flushStats()

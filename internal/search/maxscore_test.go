@@ -225,20 +225,20 @@ func TestMaxScoreUnboundedLeafFallback(t *testing.T) {
 	params := s.resolveParams()
 	cs := collStats{numDocs: float64(ix.NumDocs()), avgDocLen: ix.AvgDocLen()}
 	score := buildScorer(s.Model, params, cs)
-	pb := derivePruneBounds(s.Model, params, cs, ix.MinDocLen(), leaves)
+	pb := derivePruneBounds(s.Model, params, cs, ix.MinDocLen(), leaves, nil)
 	for i, ub := range pb.ub {
 		if !math.IsInf(ub, 1) {
 			t.Fatalf("leaf %d: unbounded leaf got finite bound %v", i, ub)
 		}
 	}
 	var pst, fst SearchStats
-	got, err := searchMaxScore(context.Background(), ix, leaves, 10, score, pb, &pst)
+	got, err := searchMaxScore(context.Background(), ix, leaves, 10, score, pb, &pst, nil)
 	if err != nil {
 		t.Fatal(err)
 	}
 	var fullLeaves []leaf
 	s.flatten(Combine(Term{Text: "a"}, Term{Text: "b"}, Term{Text: "z"}), 1, &fullLeaves)
-	want, err := searchDAAT(context.Background(), ix, fullLeaves, 10, score, &fst)
+	want, err := searchDAAT(context.Background(), ix, fullLeaves, 10, score, &fst, nil)
 	if err != nil {
 		t.Fatal(err)
 	}

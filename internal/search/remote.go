@@ -405,7 +405,11 @@ func (rs *RemoteSharded) search(ctx context.Context, q Node, k int, st *SearchSt
 
 	// Merge by the global result ordering and truncate — phase 4
 	// verbatim. Shards answered with global DocIDs and resolved names.
-	var all []Result
+	// Like the in-process coordinator, the merge runs in a pooled
+	// backing; only the final ≤ k slice is copied out.
+	msc := getScratch()
+	defer putScratch(msc)
+	all := msc.merged[:0]
 	if st != nil {
 		st.Shards = make([]ShardStats, n)
 	}
@@ -424,6 +428,8 @@ func (rs *RemoteSharded) search(ctx context.Context, q Node, k int, st *SearchSt
 			st.DocsSkipped += ws.DocsSkipped
 			st.BoundEvaluations += ws.BoundEvaluations
 			st.BlockBoundEvaluations += ws.BlockBoundEvaluations
+			st.BlocksDecoded += ws.BlocksDecoded
+			st.BlocksTotal += ws.BlocksTotal
 			st.HeapPushes += ws.HeapPushes
 			st.HeapEvictions += ws.HeapEvictions
 			st.Shards[i] = ShardStats{
@@ -434,14 +440,15 @@ func (rs *RemoteSharded) search(ctx context.Context, q Node, k int, st *SearchSt
 			}
 		}
 	}
-	sort.Slice(all, func(i, j int) bool {
-		if all[i].Score != all[j].Score {
-			return all[i].Score > all[j].Score
-		}
-		return all[i].Doc < all[j].Doc
-	})
+	msc.merged = all
+	sort.Sort(&resultSorter{all})
 	if len(all) > k {
 		all = all[:k]
 	}
-	return all, nil
+	if len(all) == 0 {
+		return nil, nil
+	}
+	out := make([]Result, len(all))
+	copy(out, all)
+	return out, nil
 }

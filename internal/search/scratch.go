@@ -1,0 +1,210 @@
+package search
+
+import (
+	"sync"
+	"sync/atomic"
+
+	"repro/internal/index"
+)
+
+// evalScratch is the pooled per-query evaluation state: every slice the
+// evaluators (searchDAAT, searchMaxScore, derivePruneBounds) used to
+// allocate per call — cursor array, candidate/bound/order/prefix
+// vectors, top-k heap backing, the prune-bound struct with its lazy
+// per-block UB tables, and the coordinator-merge buffer. A query takes
+// one scratch from the pool (reset-on-get), threads it through the
+// whole evaluation, and returns it on every exit path including
+// cancellation and degradation; in steady state a query's hot path
+// performs no evaluator allocations at all.
+//
+// Ownership: a scratch is single-goroutine for the duration of one
+// evaluation; the per-shard evaluators each take their own. Nothing
+// returned to the caller may alias scratch memory — results are drained
+// into fresh slices — which is what putScratch's invariants rely on.
+type evalScratch struct {
+	leaves []leaf
+	curs   []index.TermCursor
+	curDoc []index.DocID
+
+	// MaxScore partition state.
+	order      []int
+	rank       []int
+	prefix     []float64
+	blockHint  []int
+	candUB     []float64
+	blockBuilt []bool
+	matched    []int
+
+	// topK heap backing.
+	heapDocs   []index.DocID
+	heapScores []float64
+
+	// Prune bounds plus the reusable per-leaf block-bound rows its lazy
+	// builder hands out (indexed by leaf position, not term).
+	pb            pruneBounds
+	blockUBRows   [][]float64
+	blockLastRows [][]index.DocID
+
+	sorter ubSorter
+
+	// merged backs the sharded/remote coordinators' k·S merge buffer.
+	merged []Result
+}
+
+var scratchPool = sync.Pool{New: func() any { return new(evalScratch) }}
+
+// scratchPoolingOff disables reuse when set (each get allocates a fresh
+// scratch, puts drop it) — the control leg of the hotpath benchmark's
+// allocation measurements. Zero value: pooling on.
+var scratchPoolingOff atomic.Bool
+
+// SetScratchPooling toggles evaluator-scratch pooling at runtime.
+// Pooling is on by default; turning it off makes every query allocate
+// fresh evaluator state, which is only useful for benchmarking the
+// pool's effect.
+func SetScratchPooling(on bool) { scratchPoolingOff.Store(!on) }
+
+func getScratch() *evalScratch {
+	if scratchPoolingOff.Load() {
+		return new(evalScratch)
+	}
+	return scratchPool.Get().(*evalScratch)
+}
+
+// putScratch returns sc to the pool after dropping every reference that
+// could pin an index, an mmap region, or a caller-visible result across
+// requests. Backing arrays (including the cursors' decode windows) are
+// retained — they are the pool's value.
+func putScratch(sc *evalScratch) {
+	if sc == nil {
+		return
+	}
+	full := sc.leaves[:cap(sc.leaves)]
+	for i := range full {
+		full[i] = leaf{}
+	}
+	sc.leaves = sc.leaves[:0]
+	fullCurs := sc.curs[:cap(sc.curs)]
+	for i := range fullCurs {
+		fullCurs[i].Release()
+	}
+	sc.pb.deltaExact = nil
+	sc.pb.argmax = nil
+	sc.pb.sc = nil
+	for i := range sc.pb.blockUB {
+		sc.pb.blockUB[i] = nil
+	}
+	for i := range sc.pb.blockLast {
+		sc.pb.blockLast[i] = nil
+	}
+	fullMerged := sc.merged[:cap(sc.merged)]
+	for i := range fullMerged {
+		fullMerged[i] = Result{}
+	}
+	sc.merged = sc.merged[:0]
+	sc.sorter = ubSorter{}
+	if scratchPoolingOff.Load() {
+		return
+	}
+	scratchPool.Put(sc)
+}
+
+// grow returns s with length n, reusing its backing when it fits.
+// Contents are unspecified — callers overwrite (or explicitly zero)
+// every entry they read.
+func grow[T any](s []T, n int) []T {
+	if cap(s) < n {
+		return make([]T, n)
+	}
+	return s[:n]
+}
+
+// cursors returns len(leaves) freshly-reset cursors: streaming leaves
+// get block cursors over ix, everything else a window over its
+// materialised row. Growing the array copies the existing cursor
+// structs so their decode-window backings survive.
+func (sc *evalScratch) cursors(ix *index.Index, leaves []leaf) []index.TermCursor {
+	n := len(leaves)
+	if cap(sc.curs) < n {
+		next := make([]index.TermCursor, n)
+		copy(next, sc.curs[:cap(sc.curs)])
+		sc.curs = next
+	} else {
+		sc.curs = sc.curs[:n]
+	}
+	for li := range leaves {
+		l := &leaves[li]
+		if l.stream {
+			sc.curs[li].ResetStream(ix, l.streamID)
+		} else {
+			sc.curs[li].Reset(&l.postings)
+		}
+	}
+	return sc.curs
+}
+
+// blockRow hands the lazy block-bound builder a zeroed UB row and a
+// last-doc row of length nb for leaf position li, reusing backings
+// from earlier queries.
+func (sc *evalScratch) blockRow(li, nb int) ([]float64, []index.DocID) {
+	for li >= len(sc.blockUBRows) {
+		sc.blockUBRows = append(sc.blockUBRows, nil)
+		sc.blockLastRows = append(sc.blockLastRows, nil)
+	}
+	ub := sc.blockUBRows[li]
+	if cap(ub) < nb {
+		ub = make([]float64, nb)
+	} else {
+		ub = ub[:nb]
+		for i := range ub {
+			ub[i] = 0
+		}
+	}
+	sc.blockUBRows[li] = ub
+	last := sc.blockLastRows[li]
+	if cap(last) < nb {
+		last = make([]index.DocID, nb)
+	} else {
+		last = last[:nb]
+	}
+	sc.blockLastRows[li] = last
+	return ub, last
+}
+
+// ubSorter sorts a leaf-index permutation by ascending upper bound with
+// leaf order breaking ties — a total order, so every sort algorithm
+// produces the same permutation (bit-identity does not depend on
+// sort.Sort internals). Pointer receiver: converting *ubSorter to
+// sort.Interface does not allocate.
+type ubSorter struct {
+	order []int
+	ub    []float64
+}
+
+func (s *ubSorter) Len() int { return len(s.order) }
+
+func (s *ubSorter) Less(a, b int) bool {
+	if s.ub[s.order[a]] != s.ub[s.order[b]] {
+		return s.ub[s.order[a]] < s.ub[s.order[b]]
+	}
+	return s.order[a] < s.order[b]
+}
+
+func (s *ubSorter) Swap(a, b int) { s.order[a], s.order[b] = s.order[b], s.order[a] }
+
+// resultSorter orders merged results by the global ranking (score desc,
+// DocID asc). Pointer receiver for the same no-allocation reason as
+// ubSorter; the order is total, so the permutation is algorithm-
+// independent.
+type resultSorter struct{ r []Result }
+
+func (s *resultSorter) Len() int { return len(s.r) }
+
+func (s *resultSorter) Less(a, b int) bool {
+	if s.r[a].Score != s.r[b].Score {
+		return s.r[a].Score > s.r[b].Score
+	}
+	return s.r[a].Doc < s.r[b].Doc
+}
+
+func (s *resultSorter) Swap(a, b int) { s.r[a], s.r[b] = s.r[b], s.r[a] }

@@ -47,6 +47,12 @@ type Searcher struct {
 	// differential suites exercise the pruned evaluator on corpora and
 	// queries the cost model would (correctly) route to DAAT.
 	forcePrune bool
+	// DisableStreaming makes term leaves of a v2-backed index
+	// materialise their whole postings row up front (the pre-streaming
+	// behaviour) instead of decoding block-by-block through a streaming
+	// cursor. Results are bit-identical either way; the switch exists
+	// for the eager side of benchmarks and for differential tests.
+	DisableStreaming bool
 }
 
 // NewSearcher returns a Searcher over ix with the default μ.
@@ -87,6 +93,18 @@ type leaf struct {
 	// filled by prepareLeaves AFTER any collection-statistics override
 	// (the sharded evaluators rewrite df first); zero for other models.
 	idf float64
+	// stream marks a term leaf of a v2-backed index that the evaluators
+	// walk through a streaming block cursor instead of a materialised
+	// postings row: postings stays empty and streamID names the term.
+	// Paths that need the real row (legacy oracle, ScoreDoc, Explain)
+	// convert via materializeLeaves first.
+	stream   bool
+	streamID int32
+	// nPost is the leaf's postings count independent of materialisation
+	// (len(postings.Docs) for materialised leaves, the stored df for
+	// streaming ones) — what cost decisions consult instead of touching
+	// rows.
+	nPost int
 }
 
 // flatten walks the query tree multiplying normalised weights down to the
@@ -101,6 +119,15 @@ func (s *Searcher) flatten(n Node, w float64, out *[]leaf) {
 	case Term:
 		if x.Text == "" {
 			return
+		}
+		if !s.DisableStreaming {
+			if id, ok := s.ix.StreamableTerm(x.Text); ok {
+				// v2-backed term leaf: stats and bounds come from the
+				// stored (Open-cross-validated) metadata; the postings
+				// stay on disk until a block cursor touches them.
+				*out = append(*out, newStreamLeaf(s.ix, w, id))
+				return
+			}
 		}
 		var p index.Postings
 		var b index.TermBounds
@@ -154,6 +181,42 @@ func newLeaf(ix *index.Index, w float64, p index.Postings, b index.TermBounds, b
 		bounds:   b,
 		bounded:  true,
 		blocks:   bb,
+		nPost:    len(p.Docs),
+	}
+}
+
+// newStreamLeaf builds a streaming term leaf from the stored metadata
+// of a v2-backed index — no postings are decoded here.
+func newStreamLeaf(ix *index.Index, w float64, id int32) leaf {
+	df, cf := ix.StoredTermStats(id)
+	b, bb := ix.StoredTermBounds(id)
+	return leaf{
+		weight:   w,
+		collProb: ix.FloorProb(cf),
+		cf:       cf,
+		df:       float64(df),
+		bounds:   b,
+		bounded:  true,
+		blocks:   bb,
+		stream:   true,
+		streamID: id,
+		nPost:    df,
+	}
+}
+
+// materializeLeaves converts streaming leaves into materialised ones in
+// place, for the paths that walk postings rows directly (the legacy
+// oracle, ScoreDoc, Explain).
+func (s *Searcher) materializeLeaves(leaves []leaf) {
+	for li := range leaves {
+		l := &leaves[li]
+		if !l.stream {
+			continue
+		}
+		if p := s.ix.PostingsByID(l.streamID); p != nil {
+			l.postings = *p
+		}
+		l.stream = false
 	}
 }
 
@@ -214,8 +277,14 @@ func (s *Searcher) search(ctx context.Context, q Node, k int, st *SearchStats) (
 	if err := ctx.Err(); err != nil {
 		return nil, err
 	}
-	var leaves []leaf
+	// One pooled scratch covers the whole evaluation — leaf vector,
+	// cursors, bounds, heap — and goes back on every exit path (the
+	// defer) including cancellation.
+	sc := getScratch()
+	defer putScratch(sc)
+	leaves := sc.leaves[:0]
 	s.flatten(q, 1, &leaves)
+	sc.leaves = leaves
 	if len(leaves) == 0 {
 		return nil, nil
 	}
@@ -233,16 +302,17 @@ func (s *Searcher) search(ctx context.Context, q Node, k int, st *SearchStats) (
 	prepareLeaves(s.Model, cs, leaves)
 	score := buildScorer(s.Model, params, cs)
 	if s.UseLegacyScorer {
+		s.materializeLeaves(leaves)
 		return s.searchLegacy(ctx, leaves, k, score, st)
 	}
 	if s.DisablePruning {
-		return searchDAAT(ctx, s.ix, leaves, k, score, st)
+		return searchDAAT(ctx, s.ix, leaves, k, score, st, sc)
 	}
-	pb := derivePruneBounds(s.Model, params, cs, s.ix.MinDocLen(), leaves)
+	pb := derivePruneBounds(s.Model, params, cs, s.ix.MinDocLen(), leaves, sc)
 	if !s.forcePrune && !pruneWorthwhile(leaves, pb) {
-		return searchDAAT(ctx, s.ix, leaves, k, score, st)
+		return searchDAAT(ctx, s.ix, leaves, k, score, st, sc)
 	}
-	return searchMaxScore(ctx, s.ix, leaves, k, score, pb, st)
+	return searchMaxScore(ctx, s.ix, leaves, k, score, pb, st, sc)
 }
 
 // searchLegacy is the original term-at-a-time evaluator: accumulate a
@@ -311,6 +381,7 @@ func (s *Searcher) searchLegacy(ctx context.Context, leaves []leaf, k int, score
 func (s *Searcher) ScoreDoc(q Node, doc index.DocID) float64 {
 	var leaves []leaf
 	s.flatten(q, 1, &leaves)
+	s.materializeLeaves(leaves)
 	cs := collStats{numDocs: float64(s.ix.NumDocs()), avgDocLen: s.ix.AvgDocLen()}
 	prepareLeaves(s.Model, cs, leaves)
 	score := buildScorer(s.Model, s.resolveParams(), cs)

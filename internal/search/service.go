@@ -99,6 +99,8 @@ type WireEvalStats struct {
 	DocsSkipped           int64 `json:"docs_skipped"`
 	BoundEvaluations      int64 `json:"bound_evaluations"`
 	BlockBoundEvaluations int64 `json:"block_bound_evaluations"`
+	BlocksDecoded         int64 `json:"blocks_decoded"`
+	BlocksTotal           int64 `json:"blocks_total"`
 	HeapPushes            int64 `json:"heap_pushes"`
 	HeapEvictions         int64 `json:"heap_evictions"`
 }
@@ -207,13 +209,16 @@ func (svc *ShardService) handleEval(ctx context.Context, body json.RawMessage) (
 	if req.WantStats {
 		sst = &SearchStats{}
 	}
+	// One pooled scratch per eval request, returned on every exit path.
+	sc := getScratch()
+	defer putScratch(sc)
 	var res []Result
 	if req.DisablePruning {
-		res, err = searchDAAT(ctx, svc.local.ix, leaves, req.K, score, sst)
-	} else if pb := derivePruneBounds(Model(req.Model), params, cs, svc.local.ix.MinDocLen(), leaves); !pruneWorthwhile(leaves, pb) {
-		res, err = searchDAAT(ctx, svc.local.ix, leaves, req.K, score, sst)
+		res, err = searchDAAT(ctx, svc.local.ix, leaves, req.K, score, sst, sc)
+	} else if pb := derivePruneBounds(Model(req.Model), params, cs, svc.local.ix.MinDocLen(), leaves, sc); !pruneWorthwhile(leaves, pb) {
+		res, err = searchDAAT(ctx, svc.local.ix, leaves, req.K, score, sst, sc)
 	} else {
-		res, err = searchMaxScore(ctx, svc.local.ix, leaves, req.K, score, pb, sst)
+		res, err = searchMaxScore(ctx, svc.local.ix, leaves, req.K, score, pb, sst, sc)
 	}
 	if err != nil {
 		return nil, err
@@ -234,6 +239,8 @@ func (svc *ShardService) handleEval(ctx context.Context, body json.RawMessage) (
 			DocsSkipped:           sst.DocsSkipped,
 			BoundEvaluations:      sst.BoundEvaluations,
 			BlockBoundEvaluations: sst.BlockBoundEvaluations,
+			BlocksDecoded:         sst.BlocksDecoded,
+			BlocksTotal:           sst.BlocksTotal,
 			HeapPushes:            sst.HeapPushes,
 			HeapEvictions:         sst.HeapEvictions,
 		}

@@ -199,20 +199,26 @@ func (ss *ShardedSearcher) search(ctx context.Context, q Node, k int, st *Search
 			sst = &shardStats[i]
 			start = time.Now()
 		}
+		// One pooled scratch per shard evaluation, returned when the
+		// shard is done — including after degradation retries (the
+		// evaluators reset every scratch field they read, so a retry
+		// reusing the same scratch is safe).
+		sc := getScratch()
+		defer putScratch(sc)
 		res, retries, err := evalShardDegraded(ctx, opts, func(sctx context.Context) ([]Result, error) {
 			if ss.DisablePruning {
-				return searchDAAT(sctx, ss.sh.Shard(i), shardLeaves[i], k, score, sst)
+				return searchDAAT(sctx, ss.sh.Shard(i), shardLeaves[i], k, score, sst, sc)
 			}
 			// Bounds derive AFTER the global-stats override, so the bound
 			// arithmetic sees the same collProb/df the scorer does, while
 			// the postings summaries (MaxTF, MinDL, ratio pair, per-block)
 			// and the minimum document length stay shard-local — bounds
 			// only need to dominate the documents this shard can produce.
-			pb := derivePruneBounds(ss.Model, params, cs, ss.sh.Shard(i).MinDocLen(), shardLeaves[i])
+			pb := derivePruneBounds(ss.Model, params, cs, ss.sh.Shard(i).MinDocLen(), shardLeaves[i], sc)
 			if !ss.forcePrune && !pruneWorthwhile(shardLeaves[i], pb) {
-				return searchDAAT(sctx, ss.sh.Shard(i), shardLeaves[i], k, score, sst)
+				return searchDAAT(sctx, ss.sh.Shard(i), shardLeaves[i], k, score, sst, sc)
 			}
-			return searchMaxScore(sctx, ss.sh.Shard(i), shardLeaves[i], k, score, pb, sst)
+			return searchMaxScore(sctx, ss.sh.Shard(i), shardLeaves[i], k, score, pb, sst, sc)
 		})
 		if sst != nil {
 			sst.Elapsed = time.Since(start)
@@ -230,6 +236,8 @@ func (ss *ShardedSearcher) search(ctx context.Context, q Node, k int, st *Search
 			st.DocsSkipped += sst.DocsSkipped
 			st.BoundEvaluations += sst.BoundEvaluations
 			st.BlockBoundEvaluations += sst.BlockBoundEvaluations
+			st.BlocksDecoded += sst.BlocksDecoded
+			st.BlocksTotal += sst.BlocksTotal
 			st.HeapPushes += sst.HeapPushes
 			st.HeapEvictions += sst.HeapEvictions
 			st.Shards[i] = ShardStats{
@@ -275,23 +283,28 @@ func (ss *ShardedSearcher) search(ctx context.Context, q Node, k int, st *Search
 
 	// Phase 4: merge the ≤ S·k survivors by the global result ordering
 	// and truncate. Document names were resolved per shard (shards carry
-	// the original names), so survivors are complete Results already.
-	var all []Result
+	// the original names), so survivors are complete Results already. The
+	// merge accumulates into a pooled backing; only the final ≤ k slice is
+	// copied out (results outlive the scratch).
+	msc := getScratch()
+	defer putScratch(msc)
+	all := msc.merged[:0]
 	for i := range outs {
 		if !dropped[i] {
 			all = append(all, outs[i].res...)
 		}
 	}
-	sort.Slice(all, func(i, j int) bool {
-		if all[i].Score != all[j].Score {
-			return all[i].Score > all[j].Score
-		}
-		return all[i].Doc < all[j].Doc
-	})
+	msc.merged = all
+	sort.Sort(&resultSorter{all})
 	if len(all) > k {
 		all = all[:k]
 	}
-	return all, nil
+	if len(all) == 0 {
+		return nil, nil
+	}
+	out := make([]Result, len(all))
+	copy(out, all)
+	return out, nil
 }
 
 // forEachShard runs f(0..n-1), using extra goroutines where the

@@ -45,6 +45,15 @@ type SearchStats struct {
 	// bound) instead of galloping the postings. Zero on the unpruned and
 	// legacy paths, and on indexes without block metadata.
 	BlockBoundEvaluations int64
+	// BlocksDecoded counts the postings blocks the streaming cursors
+	// actually decoded, and BlocksTotal the blocks their terms hold in
+	// total — BlocksDecoded/BlocksTotal is the decoded-block fraction,
+	// the measure of how well decode granularity tracked pruning
+	// granularity. Both are zero when no leaf streamed (in-memory and v1
+	// indexes, or streaming disabled); the exhaustive evaluator decodes
+	// every block it is offered, so the fraction approaches 1 there.
+	BlocksDecoded int64
+	BlocksTotal   int64
 	// HeapPushes counts insertions into the bounded top-k heap while it
 	// was still filling.
 	HeapPushes int64
@@ -87,6 +96,8 @@ func (s *SearchStats) Add(o SearchStats) {
 	s.DocsSkipped += o.DocsSkipped
 	s.BoundEvaluations += o.BoundEvaluations
 	s.BlockBoundEvaluations += o.BlockBoundEvaluations
+	s.BlocksDecoded += o.BlocksDecoded
+	s.BlocksTotal += o.BlocksTotal
 	s.HeapPushes += o.HeapPushes
 	s.HeapEvictions += o.HeapEvictions
 	s.Elapsed += o.Elapsed
@@ -104,7 +115,7 @@ func (s *SearchStats) Add(o SearchStats) {
 
 // String renders the counters compactly.
 func (s SearchStats) String() string {
-	return fmt.Sprintf("leaves=%d cands=%d advanced=%d skipped=%d bound-evals=%d block-evals=%d pushes=%d evictions=%d elapsed=%v",
+	return fmt.Sprintf("leaves=%d cands=%d advanced=%d skipped=%d bound-evals=%d block-evals=%d blocks=%d/%d pushes=%d evictions=%d elapsed=%v",
 		s.Leaves, s.CandidatesExamined, s.PostingsAdvanced, s.DocsSkipped, s.BoundEvaluations,
-		s.BlockBoundEvaluations, s.HeapPushes, s.HeapEvictions, s.Elapsed.Round(time.Microsecond))
+		s.BlockBoundEvaluations, s.BlocksDecoded, s.BlocksTotal, s.HeapPushes, s.HeapEvictions, s.Elapsed.Round(time.Microsecond))
 }
