@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: build test race vet fmt bench bench-shards bench-pruning bench-expansion bench-blockmax bench-hotpath bench-check shard-parity index-parity serve-smoke precompute-smoke distributed-smoke load-smoke chaos fuzz verify
+.PHONY: build test race vet fmt bench bench-shards bench-pruning bench-expansion bench-blockmax bench-hotpath bench-check shard-parity index-parity segment-parity serve-smoke precompute-smoke ingest-smoke distributed-smoke load-smoke chaos fuzz verify
 
 build:
 	$(GO) build ./...
@@ -91,6 +91,19 @@ index-parity:
 	$(GO) run ./cmd/sqe-serve -smoke -shards 2 -index /tmp/sqe-index-parity.v2
 	@rm -f /tmp/sqe-index-parity.v1 /tmp/sqe-index-parity.v2
 
+# The live-index bit-identity gate (DESIGN.md §5l): the LSM segmented
+# engine vs a monolithic index over the same surviving documents —
+# models × raw/expanded × shard counts × flush sizes, post-delete and
+# post-compaction, mutation visibility, the golden-corpus leg — plus
+# the index-while-chaos harness and the crash/restart/torn-file
+# differential under -race, and the segment/manifest/mmap-leak unit
+# tests (manifest corruption, orphan recovery, snapshot pinning,
+# tombstone stats correction).
+segment-parity:
+	$(GO) test -count=1 -run 'TestSegmented' .
+	$(GO) test -race -count=1 -run 'TestIndexWhileChaos|TestSegmentedCrashRestart' .
+	$(GO) test -count=1 -run 'TestSegmented|TestManifest|TestWriteReadManifest|TestReadManifest|TestCleanOrphans|TestCloseIdempotent|TestOpenCloseLeakFree' ./internal/index/ ./internal/search/
+
 # Boots sqe-serve on the demo corpus with a sharded engine, drives one
 # in-process request through every endpoint (200 + non-empty payload
 # checks, including per-shard metrics) and exits.
@@ -109,6 +122,16 @@ precompute-smoke:
 	$(GO) run ./cmd/sqe-serve -smoke -cache 0 -precomputed /tmp/sqe-precompute-smoke.store
 	$(GO) run ./cmd/sqe-serve -smoke -shards 2 -precomputed /tmp/sqe-precompute-smoke.store
 	@rm -f /tmp/sqe-precompute-smoke.store
+
+# The live-ingest serving gate: boots sqe-serve's live segmented
+# engine over an empty segment directory, streams the demo corpus
+# through POST /v1/ingest in batches under concurrent queries, and
+# demands bit-identical rankings vs the monolithic demo engine, a
+# delete+compact leg against a survivors oracle, the sqe_live_*
+# metrics family, and the POST-only typed envelope (see runIngestSmoke
+# in cmd/sqe-serve).
+ingest-smoke:
+	$(GO) run ./cmd/sqe-serve -ingest-smoke
 
 # The multi-process gate: re-execs sqe-serve as real shard server
 # processes (shard 0 with two replicas, shard 1 with one), boots a
@@ -147,7 +170,8 @@ fuzz:
 	$(GO) test -fuzz FuzzIndexDecode -fuzztime 30s -run '^$$' ./internal/index/
 	$(GO) test -fuzz FuzzBlockDecode -fuzztime 30s -run '^$$' ./internal/index/
 	$(GO) test -fuzz FuzzOpenV2 -fuzztime 30s -run '^$$' ./internal/index/
+	$(GO) test -fuzz FuzzSegmentManifest -fuzztime 30s -run '^$$' ./internal/index/
 
 # The full gate run before every commit.
-verify: vet fmt build race test shard-parity index-parity bench-check serve-smoke precompute-smoke distributed-smoke load-smoke chaos
+verify: vet fmt build race test shard-parity index-parity segment-parity bench-check serve-smoke precompute-smoke ingest-smoke distributed-smoke load-smoke chaos
 	@echo "verify: OK"

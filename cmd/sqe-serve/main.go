@@ -11,6 +11,7 @@
 //	          [-degrade] [-smoke] [-chaos] [-chaos-seed 1]
 //	          [-distributed-smoke]
 //	          [-index file] [-write-index file] [-index-format v2]
+//	          [-ingest] [-segments dir] [-flush-docs 0] [-ingest-smoke]
 //
 // On-disk index (DESIGN.md §5j): -write-index builds the demo corpus,
 // writes its index to the given path in -index-format (v1 or v2,
@@ -38,11 +39,12 @@
 // HTTP endpoints (see internal/serve); the unversioned paths still work
 // but answer with a Deprecation header:
 //
-//	GET /v1/search?q=cable+cars&entities=Cable+car&k=10  SQE_C search
-//	GET /v1/expand?q=…&entities=…&set=TS                 expansion only
-//	GET /v1/baseline?q=…&k=10                            QL_Q baseline
-//	GET /healthz                                          liveness
-//	GET /metrics                                          Prometheus text
+//	GET  /v1/search?q=cable+cars&entities=Cable+car&k=10  SQE_C search
+//	GET  /v1/expand?q=…&entities=…&set=TS                 expansion only
+//	GET  /v1/baseline?q=…&k=10                            QL_Q baseline
+//	POST /v1/ingest                                       live mutations (-ingest)
+//	GET  /healthz                                         liveness
+//	GET  /metrics                                         Prometheus text
 //
 // All work endpoints also accept POST with a JSON body
 // {"query": …, "entities": […], "k": …, "set": …}.
@@ -62,6 +64,24 @@
 // fault-free again. The Makefile's chaos target runs this after the
 // -race chaos tests.
 //
+// -ingest serves a live segmented engine (DESIGN.md §5l) instead of an
+// immutable one: the deterministic demo corpus is streamed into an LSM
+// index rooted at -segments (a fresh temp directory when unset) and
+// POST /v1/ingest then accepts live adds, deletes, flushes and
+// compactions. Passing a persistent -segments path makes the committed
+// segments durable: reopening the directory recovers them from the
+// manifest (including deletes) and skips re-seeding the demo corpus.
+// -flush-docs bounds the in-memory buffer before an automatic flush.
+//
+// -ingest-smoke runs the live-indexing gate instead of serving: it
+// boots a live engine over an empty segment directory on an ephemeral
+// port, streams the demo corpus through POST /v1/ingest in batches
+// while a concurrent reader hammers the search endpoints, then demands
+// bit-identical rankings against the monolithic demo engine, exercises
+// delete+compact through the endpoint against a survivors oracle, and
+// checks the sqe_live_* metrics family. The Makefile's ingest-smoke
+// target (part of `make verify`) runs exactly this.
+//
 // -distributed-smoke re-execs this binary as real shard server
 // processes (os.Executable), boots a coordinator over them, and runs
 // the multi-process gate: bit-identity against single-process sharding,
@@ -70,6 +90,7 @@
 package main
 
 import (
+	"bytes"
 	"context"
 	"encoding/json"
 	"errors"
@@ -85,6 +106,7 @@ import (
 	"reflect"
 	"strconv"
 	"strings"
+	"sync/atomic"
 	"syscall"
 	"time"
 
@@ -166,6 +188,10 @@ func main() {
 	chaos := flag.Bool("chaos", false, "boot on an ephemeral port, hammer the work endpoints under fault injection, exit")
 	chaosSeed := flag.Int64("chaos-seed", 1, "fault-schedule seed for -chaos")
 	distSmoke := flag.Bool("distributed-smoke", false, "spawn shard processes + coordinator, run the multi-process parity and chaos gate, exit")
+	ingest := flag.Bool("ingest", false, "serve a live segmented engine: seed the demo corpus into an LSM index at -segments and accept POST /v1/ingest")
+	segmentsDir := flag.String("segments", "", "-ingest: segment directory (empty = fresh temp dir; a persistent path recovers committed segments across restarts)")
+	flushDocs := flag.Int("flush-docs", 0, "-ingest: buffered documents that trigger an automatic segment flush (0 = package default)")
+	ingestSmoke := flag.Bool("ingest-smoke", false, "boot a live engine on an ephemeral port, stream the corpus via /v1/ingest under concurrent queries, verify parity with the monolithic engine, exit")
 	flag.Parse()
 
 	scale := sqe.DemoSmall
@@ -184,6 +210,13 @@ func main() {
 			log.Fatalf("DISTRIBUTED SMOKE FAIL: %v", err)
 		}
 		log.Println("DISTRIBUTED SMOKE OK")
+		return
+	}
+	if *ingestSmoke {
+		if err := runIngestSmoke(scale, *cacheSize); err != nil {
+			log.Fatalf("INGEST SMOKE FAIL: %v", err)
+		}
+		log.Println("INGEST SMOKE OK")
 		return
 	}
 	if *mode == "shard" {
@@ -229,9 +262,24 @@ func main() {
 		log.Printf("loaded precomputed expansion store %s (%d entries)", *precomputed, store.Len())
 		opts = append(opts, sqe.WithPrecomputedExpansions(store))
 	}
-	env, err := sqe.GenerateDemo(scale, opts...)
+	var env *sqe.DemoEnv
+	var err error
+	if *ingest {
+		if *mode != "serve" {
+			log.Fatalf("-ingest applies to -mode serve, not %q", *mode)
+		}
+		if *indexPath != "" || *shards != "1" {
+			log.Fatal("-ingest is incompatible with -index and -shards (the live engine searches its own segments)")
+		}
+		env, err = buildLiveServing(scale, *segmentsDir, *flushDocs, opts)
+	} else {
+		env, err = sqe.GenerateDemo(scale, opts...)
+	}
 	if err != nil {
 		log.Fatal(err)
+	}
+	if live := env.Engine.Live(); live != nil {
+		defer live.Close()
 	}
 	if *indexPath != "" {
 		if *mode != "serve" {
@@ -292,6 +340,13 @@ func main() {
 		defer cancel()
 		if err := httpSrv.Shutdown(shutCtx); err != nil {
 			log.Fatalf("shutdown: %v", err)
+		}
+		// A live index buffers unflushed documents in memory; make them
+		// durable before Close so a graceful restart loses nothing.
+		if live := env.Engine.Live(); live != nil {
+			if err := live.Flush(); err != nil {
+				log.Printf("WARNING: final flush: %v", err)
+			}
 		}
 	}
 }
@@ -581,5 +636,355 @@ func runChaos(srv *serve.Server, env *sqe.DemoEnv, seed int64) error {
 		return errors.New("post-disarm: response still marked degraded")
 	}
 	log.Printf("  ok post-disarm replay fault-free")
+	return nil
+}
+
+// buildLiveServing is -ingest: open (or create) the segmented index at
+// dir and wrap it in a live engine over the demo knowledge graph. A
+// fresh index is seeded with the demo corpus so the process is
+// immediately searchable; a reopened directory keeps whatever its
+// manifest holds — the corpus is NOT re-seeded, so deletes made through
+// /v1/ingest survive restarts.
+func buildLiveServing(scale sqe.DemoScale, dir string, flushDocs int, opts []sqe.Option) (*sqe.DemoEnv, error) {
+	if dir == "" {
+		var err error
+		if dir, err = os.MkdirTemp("", "sqe-segments-"); err != nil {
+			return nil, err
+		}
+		log.Printf("segment directory %s (pass -segments to persist across restarts)", dir)
+	}
+	env, docs, err := sqe.GenerateDemoLive(scale, dir, flushDocs, opts...)
+	if err != nil {
+		return nil, err
+	}
+	ls, _ := env.Engine.LiveStats()
+	if ls.LiveDocs == 0 && ls.BufferDocs == 0 {
+		log.Printf("seeding live index with %d demo documents …", len(docs))
+		for _, d := range docs {
+			if err := env.Engine.Ingest(d.Name, d.Text); err != nil {
+				return nil, fmt.Errorf("seed %s: %w", d.Name, err)
+			}
+		}
+		if err := env.Engine.Flush(); err != nil {
+			return nil, err
+		}
+		ls, _ = env.Engine.LiveStats()
+	} else {
+		log.Printf("recovered live index from %s", dir)
+	}
+	log.Printf("live index: %d docs in %d segments (%d tombstones)",
+		ls.LiveDocs, ls.DiskSegments, ls.Tombstones)
+	return env, nil
+}
+
+// runIngestSmoke is the live-indexing gate (the Makefile's ingest-smoke
+// target, part of `make verify`). It boots a live engine over an EMPTY
+// segment directory on an ephemeral loopback port, streams the demo
+// corpus through POST /v1/ingest in batches while a concurrent reader
+// hammers the search endpoints (every response it sees — over any
+// half-ingested snapshot — must be well-formed), and then:
+//
+//   - demands bit-identical /v1/search and /v1/baseline rankings
+//     against the monolithic GenerateDemo engine over the same corpus,
+//   - deletes every 7th document and compacts through the endpoint,
+//     re-checking bit-identity against a monolithic survivors oracle
+//     and that no deleted document is still ranked,
+//   - verifies the sqe_live_* metrics family and the ingest endpoint
+//     counters, and the typed 405 envelope on GET.
+func runIngestSmoke(scale sqe.DemoScale, cacheSize int) error {
+	dir, err := os.MkdirTemp("", "sqe-ingest-smoke-")
+	if err != nil {
+		return err
+	}
+	defer os.RemoveAll(dir)
+	opts := []sqe.Option{sqe.WithExpansionCache(cacheSize)}
+	log.Println("generating demo environment …")
+	env, docs, err := sqe.GenerateDemoLive(scale, dir, 64, opts...)
+	if err != nil {
+		return err
+	}
+	defer env.Engine.Live().Close()
+	ref, err := sqe.GenerateDemo(scale, opts...)
+	if err != nil {
+		return err
+	}
+
+	srv := serve.New(serve.Config{Engine: env.Engine})
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		return err
+	}
+	httpSrv := &http.Server{Handler: srv}
+	go func() { _ = httpSrv.Serve(ln) }()
+	defer httpSrv.Close()
+	base := "http://" + ln.Addr().String()
+	client := &http.Client{Timeout: 30 * time.Second}
+
+	type addDoc struct {
+		Name string `json:"name"`
+		Text string `json:"text"`
+	}
+	type ingestReq struct {
+		Add     []addDoc `json:"add,omitempty"`
+		Delete  []string `json:"delete,omitempty"`
+		Flush   bool     `json:"flush,omitempty"`
+		Compact bool     `json:"compact,omitempty"`
+	}
+	type ingestWire struct {
+		Added      int `json:"added"`
+		Deleted    int `json:"deleted"`
+		Segments   int `json:"segments"`
+		BufferDocs int `json:"buffer_docs"`
+		LiveDocs   int `json:"live_docs"`
+		Tombstones int `json:"tombstones"`
+	}
+	post := func(req ingestReq) (ingestWire, error) {
+		var out ingestWire
+		body, err := json.Marshal(req)
+		if err != nil {
+			return out, err
+		}
+		resp, err := client.Post(base+"/v1/ingest", "application/json", bytes.NewReader(body))
+		if err != nil {
+			return out, err
+		}
+		b, err := io.ReadAll(resp.Body)
+		resp.Body.Close()
+		if err != nil {
+			return out, err
+		}
+		if resp.StatusCode != http.StatusOK {
+			return out, fmt.Errorf("POST /v1/ingest: HTTP %d: %s", resp.StatusCode, b)
+		}
+		return out, json.Unmarshal(b, &out)
+	}
+
+	// Concurrent reader: search must stay available and well-formed over
+	// every intermediate snapshot while the corpus streams in. Result
+	// sets legitimately grow request to request; an error status or a
+	// malformed body fails the smoke.
+	q0 := env.Queries[0]
+	params := "q=" + url.QueryEscape(q0.Text) + "&entities=" + url.QueryEscape(strings.Join(q0.EntityTitles, ","))
+	stop := make(chan struct{})
+	readerDone := make(chan struct{})
+	readerErr := make(chan error, 1)
+	var probes atomic.Int64
+	go func() {
+		defer close(readerDone)
+		paths := []string{"/v1/search?" + params + "&k=10", "/v1/baseline?" + params + "&k=10"}
+		for i := 0; ; i++ {
+			select {
+			case <-stop:
+				return
+			default:
+			}
+			resp, err := client.Get(base + paths[i%len(paths)])
+			if err != nil {
+				readerErr <- fmt.Errorf("concurrent reader: %v", err)
+				return
+			}
+			body, err := io.ReadAll(resp.Body)
+			resp.Body.Close()
+			if err != nil || resp.StatusCode != http.StatusOK {
+				readerErr <- fmt.Errorf("concurrent reader: HTTP %d (read err %v): %s", resp.StatusCode, err, body)
+				return
+			}
+			var sr struct {
+				Results []json.RawMessage `json:"results"`
+			}
+			if err := json.Unmarshal(body, &sr); err != nil {
+				readerErr <- fmt.Errorf("concurrent reader: malformed body: %v", err)
+				return
+			}
+			probes.Add(1)
+		}
+	}()
+
+	// Stream the corpus in batches, then flush the tail.
+	const batch = 40
+	total := 0
+	for i := 0; i < len(docs); i += batch {
+		end := i + batch
+		if end > len(docs) {
+			end = len(docs)
+		}
+		add := make([]addDoc, 0, end-i)
+		for _, d := range docs[i:end] {
+			add = append(add, addDoc{Name: d.Name, Text: d.Text})
+		}
+		r, err := post(ingestReq{Add: add})
+		if err != nil {
+			return err
+		}
+		total += r.Added
+	}
+	r, err := post(ingestReq{Flush: true})
+	if err != nil {
+		return err
+	}
+	close(stop)
+	<-readerDone
+	select {
+	case err := <-readerErr:
+		return err
+	default:
+	}
+	if total != len(docs) || r.LiveDocs != len(docs) || r.BufferDocs != 0 {
+		return fmt.Errorf("streamed %d/%d docs but index reports %d live, %d buffered",
+			total, len(docs), r.LiveDocs, r.BufferDocs)
+	}
+	log.Printf("  ok streamed %d docs in %d-doc batches under %d concurrent query probes (%d segments)",
+		total, batch, probes.Load(), r.Segments)
+
+	// checkParity compares live HTTP rankings bit-for-bit (names AND
+	// scores — Go's JSON float encoding round-trips float64 exactly)
+	// against a monolithic oracle engine evaluated in-process.
+	checkParity := func(leg string, oracle *sqe.Engine, deleted map[string]bool) error {
+		ctx := context.Background()
+		compared := 0
+		for i := range env.Queries {
+			q := &env.Queries[i]
+			for _, endpoint := range []string{"search", "baseline"} {
+				p := "q=" + url.QueryEscape(q.Text) + "&k=10"
+				req := sqe.SearchRequest{Query: q.Text, K: 10, Baseline: true}
+				if endpoint == "search" {
+					if len(q.EntityTitles) == 0 {
+						continue
+					}
+					p += "&entities=" + url.QueryEscape(strings.Join(q.EntityTitles, ","))
+					req.EntityTitles = q.EntityTitles
+					req.Baseline = false
+				}
+				want, err := oracle.Do(ctx, req)
+				if err != nil {
+					return fmt.Errorf("%s: oracle %s: %v", leg, q.ID, err)
+				}
+				resp, err := client.Get(base + "/v1/" + endpoint + "?" + p)
+				if err != nil {
+					return fmt.Errorf("%s: GET /v1/%s: %v", leg, endpoint, err)
+				}
+				body, err := io.ReadAll(resp.Body)
+				resp.Body.Close()
+				if err != nil {
+					return fmt.Errorf("%s: read: %v", leg, err)
+				}
+				if resp.StatusCode != http.StatusOK {
+					return fmt.Errorf("%s: GET /v1/%s: HTTP %d: %s", leg, endpoint, resp.StatusCode, body)
+				}
+				var got struct {
+					Results []struct {
+						Name  string  `json:"name"`
+						Score float64 `json:"score"`
+					} `json:"results"`
+				}
+				if err := json.Unmarshal(body, &got); err != nil {
+					return fmt.Errorf("%s: GET /v1/%s: %v", leg, endpoint, err)
+				}
+				if len(got.Results) != len(want.Results) {
+					return fmt.Errorf("%s: %s /v1/%s: %d results, oracle has %d",
+						leg, q.ID, endpoint, len(got.Results), len(want.Results))
+				}
+				for j, gr := range got.Results {
+					if deleted[gr.Name] {
+						return fmt.Errorf("%s: %s /v1/%s: deleted document %s still ranked at %d",
+							leg, q.ID, endpoint, gr.Name, j+1)
+					}
+					if gr.Name != want.Results[j].Name || gr.Score != want.Results[j].Score {
+						return fmt.Errorf("%s: %s /v1/%s rank %d: live %s %v, oracle %s %v",
+							leg, q.ID, endpoint, j+1, gr.Name, gr.Score,
+							want.Results[j].Name, want.Results[j].Score)
+					}
+				}
+				compared++
+			}
+		}
+		if compared == 0 {
+			return fmt.Errorf("%s: no query/endpoint pairs compared", leg)
+		}
+		log.Printf("  ok %s parity over %d endpoint/query pairs", leg, compared)
+		return nil
+	}
+	if err := checkParity("post-ingest", ref.Engine, nil); err != nil {
+		return err
+	}
+
+	// Delete every 7th document and compact the tombstones away, then
+	// re-check bit-identity against a monolithic index over the
+	// survivors only.
+	deleted := map[string]bool{}
+	var delNames []string
+	for i, d := range docs {
+		if i%7 == 0 {
+			deleted[d.Name] = true
+			delNames = append(delNames, d.Name)
+		}
+	}
+	if r, err = post(ingestReq{Delete: delNames, Compact: true}); err != nil {
+		return err
+	}
+	if r.Deleted != len(delNames) || r.Tombstones != 0 || r.Segments != 1 || r.LiveDocs != len(docs)-len(delNames) {
+		return fmt.Errorf("delete+compact: unexpected state %+v (deleted %d of %d)", r, r.Deleted, len(delNames))
+	}
+	b := sqe.NewIndexBuilder()
+	for _, d := range docs {
+		if !deleted[d.Name] {
+			b.Add(d.Name, d.Text)
+		}
+	}
+	oracle := sqe.NewEngine(ref.Engine.Graph(), b.Build(), opts...)
+	if err := checkParity("post-delete", oracle, deleted); err != nil {
+		return err
+	}
+	log.Printf("  ok delete+compact: %d deleted, %d survivors in %d segment(s)",
+		len(delNames), r.LiveDocs, r.Segments)
+
+	// The live gauge/counter family and the ingest endpoint counters
+	// must be exported.
+	resp, err := client.Get(base + "/metrics")
+	if err != nil {
+		return fmt.Errorf("metrics: %v", err)
+	}
+	mbody, err := io.ReadAll(resp.Body)
+	resp.Body.Close()
+	if err != nil {
+		return fmt.Errorf("metrics: read: %v", err)
+	}
+	for _, m := range []string{
+		fmt.Sprintf("sqe_live_docs %d", len(docs)-len(delNames)),
+		fmt.Sprintf("sqe_live_ingested_total %d", len(docs)),
+		fmt.Sprintf("sqe_live_deleted_total %d", len(delNames)),
+		"sqe_live_segments 1",
+		"sqe_live_tombstones 0",
+		"sqe_live_compactions_total 1",
+		`sqe_http_requests_total{endpoint="ingest"}`,
+	} {
+		if !strings.Contains(string(mbody), m) {
+			return fmt.Errorf("metrics: %q missing", m)
+		}
+	}
+	log.Printf("  ok metrics: sqe_live_* family exported")
+
+	// Mutations must be POST-only, with the typed envelope.
+	resp, err = client.Get(base + "/v1/ingest")
+	if err != nil {
+		return fmt.Errorf("GET /v1/ingest: %v", err)
+	}
+	ebody, err := io.ReadAll(resp.Body)
+	resp.Body.Close()
+	if err != nil {
+		return fmt.Errorf("GET /v1/ingest: read: %v", err)
+	}
+	if resp.StatusCode != http.StatusMethodNotAllowed {
+		return fmt.Errorf("GET /v1/ingest: HTTP %d, want 405", resp.StatusCode)
+	}
+	var envl struct {
+		Error struct {
+			Code string `json:"code"`
+		} `json:"error"`
+	}
+	if err := json.Unmarshal(ebody, &envl); err != nil || envl.Error.Code == "" {
+		return fmt.Errorf("GET /v1/ingest: malformed 405 envelope %q", ebody)
+	}
+	log.Printf("  ok GET rejected with typed 405 envelope (%s)", envl.Error.Code)
 	return nil
 }

@@ -49,6 +49,61 @@ type DemoEnv struct {
 // Engine options (WithExpansionCache, WithSQECWorkers, …) are applied to
 // the environment's engine; the demo linker is installed regardless.
 func GenerateDemo(scale DemoScale, opts ...Option) (*DemoEnv, error) {
+	env, _, err := generateDemo(scale, nil, opts...)
+	return env, err
+}
+
+// DemoDoc is one document of the demo corpus, exactly as it was (or is
+// to be) indexed.
+type DemoDoc struct {
+	Name, Text string
+}
+
+// GenerateDemoCorpus is GenerateDemo plus the raw document stream: the
+// returned docs are every indexed document in index order, so a caller
+// can rebuild (or incrementally re-ingest) a corpus guaranteed
+// identical to the environment's index. The ingest smoke and the
+// segment differential tests are built on this.
+func GenerateDemoCorpus(scale DemoScale, opts ...Option) (*DemoEnv, []DemoDoc, error) {
+	return generateDemo(scale, &[]DemoDoc{}, opts...)
+}
+
+// generateDemo builds the demo world and instance, capturing the
+// document stream when docs is non-nil.
+func generateDemo(scale DemoScale, docs *[]DemoDoc, opts ...Option) (*DemoEnv, []DemoDoc, error) {
+	world, inst, captured, err := generateDemoInstance(scale, docs)
+	if err != nil {
+		return nil, nil, err
+	}
+	eng := NewEngine(world.Graph, inst.Index, opts...)
+	eng.linker = dataset.BuildLinker(world, dataset.DefaultLinkerOptions())
+	return demoEnvFrom(world, inst, eng), captured, nil
+}
+
+// GenerateDemoLive builds a demo environment whose engine serves a live
+// (segmented) index rooted at dir instead of the prebuilt immutable
+// one. The live index starts with whatever dir already holds (empty for
+// a fresh directory) — the returned docs are the demo corpus in index
+// order, ready to be streamed in through Engine.Ingest or /v1/ingest;
+// once all are ingested, retrieval is bit-identical to GenerateDemo's
+// engine. flushDocs <= 0 keeps the default flush threshold.
+func GenerateDemoLive(scale DemoScale, dir string, flushDocs int, opts ...Option) (*DemoEnv, []DemoDoc, error) {
+	world, inst, docs, err := generateDemoInstance(scale, &[]DemoDoc{})
+	if err != nil {
+		return nil, nil, err
+	}
+	live, err := OpenLiveIndex(dir, flushDocs)
+	if err != nil {
+		return nil, nil, err
+	}
+	eng := NewLiveEngine(world.Graph, live, opts...)
+	eng.linker = dataset.BuildLinker(world, dataset.DefaultLinkerOptions())
+	return demoEnvFrom(world, inst, eng), docs, nil
+}
+
+// generateDemoInstance generates the world and dataset instance,
+// appending the document stream to docs when non-nil.
+func generateDemoInstance(scale DemoScale, docs *[]DemoDoc) (*wikigen.World, *dataset.Instance, []DemoDoc, error) {
 	cfg := wikigen.DefaultConfig()
 	ds := dataset.ScaleDefault
 	if scale == DemoSmall {
@@ -57,15 +112,26 @@ func GenerateDemo(scale DemoScale, opts ...Option) (*DemoEnv, error) {
 	}
 	world, err := wikigen.Generate(cfg)
 	if err != nil {
-		return nil, err
+		return nil, nil, nil, err
 	}
-	inst, err := dataset.BuildImageCLEF(world, ds)
+	var sink dataset.DocSink
+	if docs != nil {
+		sink = func(name, text string) { *docs = append(*docs, DemoDoc{Name: name, Text: text}) }
+	}
+	ins, err := dataset.BuildWithSink(world, dataset.ImageCLEFProfile(ds), sink)
 	if err != nil {
-		return nil, err
+		return nil, nil, nil, err
 	}
-	eng := NewEngine(world.Graph, inst.Index, opts...)
-	eng.linker = dataset.BuildLinker(world, dataset.DefaultLinkerOptions())
+	var captured []DemoDoc
+	if docs != nil {
+		captured = *docs
+	}
+	return world, ins[0], captured, nil
+}
 
+// demoEnvFrom assembles the public environment from a generated world,
+// instance and engine.
+func demoEnvFrom(world *wikigen.World, inst *dataset.Instance, eng *Engine) *DemoEnv {
 	env := &DemoEnv{Engine: eng, DatasetName: inst.Name}
 	for _, q := range inst.Queries {
 		dq := DemoQuery{ID: q.ID, Text: q.Text, Relevant: inst.Qrels[q.ID]}
@@ -74,7 +140,7 @@ func GenerateDemo(scale DemoScale, opts ...Option) (*DemoEnv, error) {
 		}
 		env.Queries = append(env.Queries, dq)
 	}
-	return env, nil
+	return env
 }
 
 // MustGenerateDemo is GenerateDemo but panics on error; the error paths

@@ -71,11 +71,25 @@ const (
 	// requests. Injected errors surface as application errors (the
 	// server answered), exercising the non-retryable path.
 	RPCServer Point = "rpc.server_handle"
+	// SegmentFlush fires at the start of a live index's buffer flush —
+	// a failing disk write while a segment is being persisted. A flush
+	// that fails here leaves the buffer intact and the segment set
+	// unchanged; the ingest path retries on the next trigger.
+	SegmentFlush Point = "segment.flush"
+	// SegmentMerge fires inside a live index's compaction, both before
+	// the merge starts and after the merged segment file is written but
+	// before the manifest commit — the second site models a crash that
+	// leaves an orphan segment file for recovery to clean up.
+	SegmentMerge Point = "segment.merge"
+	// SegmentManifest fires before a live index's manifest commit — a
+	// failing metadata write. The previous manifest stays in place, so
+	// a restart recovers the pre-mutation segment set.
+	SegmentManifest Point = "segment.manifest"
 )
 
 // Points returns the registered point catalog (a fresh copy).
 func Points() []Point {
-	return []Point{IndexPostings, ShardEval, MotifExpand, ExpansionCache, SQECRun, RPCClient, RPCServer}
+	return []Point{IndexPostings, ShardEval, MotifExpand, ExpansionCache, SQECRun, RPCClient, RPCServer, SegmentFlush, SegmentMerge, SegmentManifest}
 }
 
 // Policy configures the faults one point injects. The zero value

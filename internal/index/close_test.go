@@ -2,16 +2,35 @@ package index
 
 import (
 	"bytes"
+	"os"
 	"path/filepath"
 	"strings"
 	"testing"
+
+	"repro/internal/analysis"
 )
+
+// openFDs counts this process's open file descriptors via /proc/self/fd;
+// ok is false where that interface does not exist (non-Linux).
+func openFDs(t *testing.T) (int, bool) {
+	t.Helper()
+	ents, err := os.ReadDir("/proc/self/fd")
+	if err != nil {
+		return 0, false
+	}
+	return len(ents), true
+}
 
 // TestCloseIdempotent: Close must be safe to call any number of times,
 // on every index kind — in-memory (no-op), v1 (no-op: fully decoded),
 // and v2 (first call unmaps, later calls return nil without touching
-// the dead mapping).
+// the dead mapping). Repeated Closes must release the mapping exactly
+// once: the MappedRegions balance (and, on Linux, the open-FD count)
+// returns to its starting value.
 func TestCloseIdempotent(t *testing.T) {
+	baseRegions := MappedRegions()
+	baseFDs, haveFDs := openFDs(t)
+
 	mem := randomIndex(t, 50, 3)
 	for i := 0; i < 3; i++ {
 		if err := mem.Close(); err != nil {
@@ -33,6 +52,74 @@ func TestCloseIdempotent(t *testing.T) {
 			if err := ix.Close(); err != nil {
 				t.Fatalf("%v close #%d: %v", format, i, err)
 			}
+		}
+	}
+
+	if got := MappedRegions(); got != baseRegions {
+		t.Fatalf("MappedRegions = %d after all Closes, want the starting %d (leaked or double-released a mapping)", got, baseRegions)
+	}
+	if haveFDs {
+		if got, _ := openFDs(t); got > baseFDs {
+			t.Fatalf("open FDs grew from %d to %d across open/close cycles", baseFDs, got)
+		}
+	}
+}
+
+// TestOpenCloseLeakFree: repeated open/close cycles — the bench-style
+// re-Open-per-query pattern — must not accumulate mappings or file
+// descriptors; neither must a segmented index's lifecycle, where
+// snapshot refcounts (not Close calls) release the per-segment mmaps.
+func TestOpenCloseLeakFree(t *testing.T) {
+	mem := randomIndex(t, 80, 5)
+	path := filepath.Join(t.TempDir(), "ix.v2")
+	if err := WriteFile(path, mem, FormatV2); err != nil {
+		t.Fatal(err)
+	}
+	baseRegions := MappedRegions()
+	baseFDs, haveFDs := openFDs(t)
+
+	for i := 0; i < 20; i++ {
+		ix, err := Open(path)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if p := ix.PostingsFor("a"); p == nil {
+			t.Fatal("no postings for a")
+		}
+		if err := ix.Close(); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if got := MappedRegions(); got != baseRegions {
+		t.Fatalf("MappedRegions = %d after open/close cycles, want %d", got, baseRegions)
+	}
+
+	// Segmented lifecycle: flushes map segments, compaction + snapshot
+	// releases unmap the replaced ones, Close releases the rest.
+	dir := t.TempDir()
+	s, err := OpenSegmented(dir, analysis.Analyzer{}, WithFlushDocs(8))
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 40; i++ {
+		if err := s.Ingest("doc", "a b c d"); err != nil {
+			t.Fatal(err)
+		}
+	}
+	sn := s.Acquire()
+	if err := s.Compact(); err != nil {
+		t.Fatal(err)
+	}
+	sn.Release() // last pin on the pre-compaction segments: unmap + delete
+	if err := s.Close(); err != nil {
+		t.Fatal(err)
+	}
+	if got := MappedRegions(); got != baseRegions {
+		t.Fatalf("MappedRegions = %d after segmented lifecycle, want %d", got, baseRegions)
+	}
+	if haveFDs {
+		if got, _ := openFDs(t); got > baseFDs {
+			t.Fatalf("open FDs grew from %d to %d", baseFDs, got)
 		}
 	}
 }

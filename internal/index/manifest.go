@@ -1,0 +1,256 @@
+package index
+
+import (
+	"bytes"
+	"encoding/binary"
+	"fmt"
+	"hash/crc32"
+	"os"
+	"path/filepath"
+	"sort"
+	"strings"
+
+	"repro/internal/fault"
+)
+
+// The segment manifest is the durable root of a live (segmented) index:
+// it names the committed on-disk segments, their tombstones, and the
+// next segment sequence number. Layout:
+//
+//	magic "SQEMF1"
+//	uvarint numSegments; per segment, ascending seq:
+//	    uvarint seq                       (the file is seg-<seq>.v2)
+//	    uvarint numTombstones
+//	    delta-uvarint tombstoned DocIDs   (strictly ascending, local)
+//	uvarint nextSeq                       (> every listed seq)
+//	uint32le CRC-32 (IEEE) of everything above
+//
+// The decoder is strict: bad magic, any CRC mismatch, trailing bytes,
+// non-ascending sequences or tombstones, out-of-range values, and
+// truncation are all errors — a manifest either round-trips exactly or
+// is rejected (FuzzSegmentManifest enforces the round-trip property,
+// the corruption tests the every-byte-flip rejection). Commits go
+// through writeManifest: temp + fsync + rename, so a crash mid-commit
+// leaves the previous manifest in place.
+
+// manifestMagic identifies a segment manifest file.
+var manifestMagic = []byte("SQEMF1")
+
+// manifestName is the manifest's file name inside a segment directory.
+const manifestName = "MANIFEST"
+
+// segTombMax bounds a tombstone DocID (and a doc count) read from a
+// manifest; matches the format-wide document cap.
+const segTombMax = 1 << 30
+
+// manifestEntry describes one committed segment.
+type manifestEntry struct {
+	// Seq is the segment's sequence number; its file is seg-<Seq>.v2.
+	Seq uint64
+	// Tombs are the segment's tombstoned local DocIDs, ascending.
+	Tombs []DocID
+}
+
+// manifest is the decoded manifest state.
+type manifest struct {
+	Segments []manifestEntry
+	// NextSeq is the next unused segment sequence number.
+	NextSeq uint64
+}
+
+// segFileName returns the file name of segment seq.
+func segFileName(seq uint64) string {
+	return fmt.Sprintf("seg-%d.v2", seq)
+}
+
+// encodeManifest renders m in the manifest format. Tombstones must be
+// strictly ascending and segments strictly ascending by Seq (the
+// Segmented mutators maintain both); encode sorts defensively so a
+// round-trip never depends on caller ordering.
+func encodeManifest(m *manifest) []byte {
+	var b bytes.Buffer
+	b.Write(manifestMagic)
+	var tmp [binary.MaxVarintLen64]byte
+	put := func(x uint64) {
+		n := binary.PutUvarint(tmp[:], x)
+		b.Write(tmp[:n])
+	}
+	segs := append([]manifestEntry(nil), m.Segments...)
+	sort.Slice(segs, func(i, j int) bool { return segs[i].Seq < segs[j].Seq })
+	put(uint64(len(segs)))
+	for _, s := range segs {
+		put(s.Seq)
+		put(uint64(len(s.Tombs)))
+		prev := int64(-1)
+		for _, d := range s.Tombs {
+			put(uint64(int64(d) - prev))
+			prev = int64(d)
+		}
+	}
+	put(m.NextSeq)
+	var crc [4]byte
+	binary.LittleEndian.PutUint32(crc[:], crc32.ChecksumIEEE(b.Bytes()))
+	b.Write(crc[:])
+	return b.Bytes()
+}
+
+// decodeManifest parses and fully validates a manifest image.
+func decodeManifest(data []byte) (*manifest, error) {
+	if len(data) < len(manifestMagic)+4 {
+		return nil, fmt.Errorf("manifest: truncated (%d bytes)", len(data))
+	}
+	if !bytes.Equal(data[:len(manifestMagic)], manifestMagic) {
+		return nil, fmt.Errorf("manifest: bad magic %q", data[:len(manifestMagic)])
+	}
+	body, trailer := data[:len(data)-4], data[len(data)-4:]
+	if got, want := crc32.ChecksumIEEE(body), binary.LittleEndian.Uint32(trailer); got != want {
+		return nil, fmt.Errorf("manifest: CRC mismatch (stored %08x, computed %08x)", want, got)
+	}
+	r := body[len(manifestMagic):]
+	get := func() (uint64, error) {
+		v, n := binary.Uvarint(r)
+		if n <= 0 {
+			return 0, fmt.Errorf("manifest: truncated varint")
+		}
+		r = r[n:]
+		return v, nil
+	}
+	nSegs, err := get()
+	if err != nil {
+		return nil, err
+	}
+	if nSegs > segTombMax {
+		return nil, fmt.Errorf("manifest: implausible segment count %d", nSegs)
+	}
+	m := &manifest{Segments: make([]manifestEntry, 0, prealloc(nSegs))}
+	prevSeq := int64(-1)
+	for i := uint64(0); i < nSegs; i++ {
+		seq, err := get()
+		if err != nil {
+			return nil, err
+		}
+		if int64(seq) <= prevSeq || seq > 1<<62 {
+			return nil, fmt.Errorf("manifest: segment seq %d out of order", seq)
+		}
+		prevSeq = int64(seq)
+		nTombs, err := get()
+		if err != nil {
+			return nil, err
+		}
+		if nTombs > segTombMax {
+			return nil, fmt.Errorf("manifest: implausible tombstone count %d", nTombs)
+		}
+		e := manifestEntry{Seq: seq, Tombs: make([]DocID, 0, prealloc(nTombs))}
+		prev := int64(-1)
+		for t := uint64(0); t < nTombs; t++ {
+			delta, err := get()
+			if err != nil {
+				return nil, err
+			}
+			if delta == 0 {
+				return nil, fmt.Errorf("manifest: non-ascending tombstone in segment %d", seq)
+			}
+			d := prev + int64(delta)
+			if d >= segTombMax {
+				return nil, fmt.Errorf("manifest: tombstone %d out of range", d)
+			}
+			prev = d
+			e.Tombs = append(e.Tombs, DocID(d))
+		}
+		m.Segments = append(m.Segments, e)
+	}
+	next, err := get()
+	if err != nil {
+		return nil, err
+	}
+	if int64(next) <= prevSeq || next > 1<<62 {
+		return nil, fmt.Errorf("manifest: nextSeq %d not above the listed segments", next)
+	}
+	m.NextSeq = next
+	if len(r) != 0 {
+		return nil, fmt.Errorf("manifest: %d trailing bytes", len(r))
+	}
+	return m, nil
+}
+
+// writeManifest commits m to dir atomically: temp file in dir, fsync,
+// rename over the manifest path. The fault hook makes commit failures
+// producible on demand; an injected error leaves the previous manifest
+// untouched.
+func writeManifest(dir string, m *manifest) error {
+	if err := fault.Check(fault.SegmentManifest); err != nil {
+		return err
+	}
+	tmp, err := os.CreateTemp(dir, ".sqe-manifest-*")
+	if err != nil {
+		return err
+	}
+	defer os.Remove(tmp.Name())
+	if _, err := tmp.Write(encodeManifest(m)); err != nil {
+		tmp.Close()
+		return err
+	}
+	if err := tmp.Sync(); err != nil {
+		tmp.Close()
+		return err
+	}
+	if err := tmp.Close(); err != nil {
+		return err
+	}
+	return os.Rename(tmp.Name(), filepath.Join(dir, manifestName))
+}
+
+// readManifest loads dir's manifest. A missing manifest is not an error:
+// it is the empty state of a fresh directory.
+func readManifest(dir string) (*manifest, error) {
+	data, err := os.ReadFile(filepath.Join(dir, manifestName))
+	if os.IsNotExist(err) {
+		return &manifest{NextSeq: 1}, nil
+	}
+	if err != nil {
+		return nil, err
+	}
+	m, err := decodeManifest(data)
+	if err != nil {
+		return nil, fmt.Errorf("%s: %w", filepath.Join(dir, manifestName), err)
+	}
+	return m, nil
+}
+
+// cleanOrphans removes segment files and temp files in dir that the
+// manifest does not reference — the debris of a crash between a segment
+// write and its manifest commit (or between a manifest commit and the
+// deletion of compacted inputs). Returns the removed file names.
+func cleanOrphans(dir string, m *manifest) ([]string, error) {
+	live := make(map[string]bool, len(m.Segments))
+	for _, s := range m.Segments {
+		live[segFileName(s.Seq)] = true
+	}
+	entries, err := os.ReadDir(dir)
+	if err != nil {
+		return nil, err
+	}
+	var removed []string
+	for _, e := range entries {
+		name := e.Name()
+		if e.IsDir() || name == manifestName || live[name] {
+			continue
+		}
+		var seq uint64
+		isSeg := false
+		if _, err := fmt.Sscanf(name, "seg-%d.v2", &seq); err == nil && name == segFileName(seq) {
+			isSeg = true
+		}
+		// Temp debris from interrupted commits (index.WriteFile and
+		// writeManifest both stage under a ".sqe-" prefix).
+		isTmp := strings.HasPrefix(name, ".sqe-")
+		if !isSeg && !isTmp {
+			continue
+		}
+		if err := os.Remove(filepath.Join(dir, name)); err != nil {
+			return removed, err
+		}
+		removed = append(removed, name)
+	}
+	return removed, nil
+}

@@ -1,0 +1,17 @@
+package index
+
+import "sync/atomic"
+
+// liveMappings counts the file-backed regions currently open in this
+// process (mmap on unix, the read-into-memory fallback elsewhere).
+// mmapFile increments it; the returned close function decrements it
+// exactly once, however many times it is called.
+var liveMappings atomic.Int64
+
+// MappedRegions returns the number of file-backed index regions
+// currently open. It exists for leak detection: tests that open and
+// close indexes (and the segmented index's snapshot refcounting) assert
+// the count returns to its starting value — a missing or double Close
+// shows up as an imbalance here before it shows up as an fd leak in
+// production.
+func MappedRegions() int64 { return liveMappings.Load() }

@@ -2,15 +2,25 @@
 
 package index
 
-import "os"
+import (
+	"os"
+	"sync"
+)
 
 // mmapFile on platforms without a wired-up mmap falls back to reading
 // the file into memory; the format and all validation behave
-// identically, only the shared-page-cache property is lost.
+// identically, only the shared-page-cache property is lost. The
+// liveMappings counter and close-once discipline match the unix path so
+// MappedRegions means the same thing everywhere.
 func mmapFile(path string) ([]byte, func() error, error) {
 	data, err := os.ReadFile(path)
 	if err != nil {
 		return nil, nil, err
 	}
-	return data, func() error { return nil }, nil
+	liveMappings.Add(1)
+	var once sync.Once
+	return data, func() error {
+		once.Do(func() { liveMappings.Add(-1) })
+		return nil
+	}, nil
 }

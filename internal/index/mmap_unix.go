@@ -4,12 +4,16 @@ package index
 
 import (
 	"os"
+	"sync"
 	"syscall"
 )
 
 // mmapFile maps path read-only. The returned close function unmaps the
 // region; the file descriptor is closed before returning (the mapping
 // survives it). Empty files map to an empty slice with a no-op close.
+// Every mapping registers with the liveMappings counter and the close
+// function is idempotent, so MappedRegions balances exactly — the leak
+// assertions in close_test.go rely on both.
 func mmapFile(path string) ([]byte, func() error, error) {
 	f, err := os.Open(path)
 	if err != nil {
@@ -31,5 +35,14 @@ func mmapFile(path string) ([]byte, func() error, error) {
 	if err != nil {
 		return nil, nil, &os.PathError{Op: "mmap", Path: path, Err: err}
 	}
-	return data, func() error { return syscall.Munmap(data) }, nil
+	liveMappings.Add(1)
+	var once sync.Once
+	return data, func() error {
+		var err error
+		once.Do(func() {
+			liveMappings.Add(-1)
+			err = syscall.Munmap(data)
+		})
+		return err
+	}, nil
 }

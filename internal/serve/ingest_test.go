@@ -1,0 +1,146 @@
+package serve
+
+import (
+	"encoding/json"
+	"fmt"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"testing"
+
+	sqe "repro"
+)
+
+// liveServer builds a Server over a fresh live engine (empty segmented
+// index on the shared demo graph).
+func liveServer(t *testing.T, flushDocs int) *Server {
+	t.Helper()
+	envOnce.Do(func() { env = sqe.MustGenerateDemo(sqe.DemoSmall) })
+	live, err := sqe.OpenLiveIndex(t.TempDir(), flushDocs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { live.Close() })
+	return New(Config{Engine: sqe.NewLiveEngine(env.Engine.Graph(), live)})
+}
+
+func decodeIngest(t *testing.T, w *httptest.ResponseRecorder) ingestResponse {
+	t.Helper()
+	var resp ingestResponse
+	if err := json.Unmarshal(w.Body.Bytes(), &resp); err != nil {
+		t.Fatalf("bad ingest response JSON: %v\nbody: %s", err, w.Body.String())
+	}
+	return resp
+}
+
+func TestIngestEndpoint(t *testing.T) {
+	s := liveServer(t, 8)
+
+	// Add 20 documents and force a flush: 2 committed segments from the
+	// auto-flushes plus one from the explicit flush of the 4-doc tail.
+	var adds []string
+	for i := 0; i < 20; i++ {
+		adds = append(adds, fmt.Sprintf(`{"name":"doc%02d","text":"alpha beta gamma doc%02d"}`, i, i))
+	}
+	w := do(t, s, http.MethodPost, "/v1/ingest", `{"add":[`+strings.Join(adds, ",")+`],"flush":true}`)
+	if w.Code != http.StatusOK {
+		t.Fatalf("status %d: %s", w.Code, w.Body.String())
+	}
+	resp := decodeIngest(t, w)
+	if resp.Added != 20 || !resp.Flushed || resp.LiveDocs != 20 || resp.BufferDocs != 0 || resp.Segments != 3 {
+		t.Fatalf("after add+flush: %+v", resp)
+	}
+
+	// The ingested documents are immediately searchable.
+	w = do(t, s, http.MethodGet, "/v1/baseline?q=alpha&k=5", "")
+	if w.Code != http.StatusOK {
+		t.Fatalf("baseline status %d: %s", w.Code, w.Body.String())
+	}
+	if sr := decodeSearch(t, w); len(sr.Results) == 0 {
+		t.Fatal("baseline over ingested docs returned no results")
+	}
+
+	// Delete two, then compact away the tombstones.
+	w = do(t, s, http.MethodPost, "/v1/ingest", `{"delete":["doc03","doc07","nosuchdoc"],"compact":true}`)
+	if w.Code != http.StatusOK {
+		t.Fatalf("status %d: %s", w.Code, w.Body.String())
+	}
+	resp = decodeIngest(t, w)
+	if resp.Deleted != 2 || !resp.Compacted || resp.LiveDocs != 18 || resp.Tombstones != 0 || resp.Segments != 1 {
+		t.Fatalf("after delete+compact: %+v", resp)
+	}
+
+	// An empty body is a no-op state probe.
+	w = do(t, s, http.MethodPost, "/v1/ingest", "")
+	if w.Code != http.StatusOK {
+		t.Fatalf("status %d: %s", w.Code, w.Body.String())
+	}
+	if resp = decodeIngest(t, w); resp.Added != 0 || resp.LiveDocs != 18 {
+		t.Fatalf("empty-body probe: %+v", resp)
+	}
+
+	// The live gauges and the ingest endpoint counters are exported.
+	w = do(t, s, http.MethodGet, "/metrics", "")
+	body := w.Body.String()
+	for _, want := range []string{
+		"sqe_live_segments 1",
+		"sqe_live_docs 18",
+		"sqe_live_tombstones 0",
+		"sqe_live_ingested_total 20",
+		"sqe_live_deleted_total 2",
+		`sqe_http_requests_total{endpoint="ingest"} 3`,
+	} {
+		if !strings.Contains(body, want) {
+			t.Errorf("metrics missing %q", want)
+		}
+	}
+}
+
+func TestIngestMethodAndBodyErrors(t *testing.T) {
+	s := liveServer(t, 8)
+
+	// GET is rejected with the typed 405 envelope.
+	w := do(t, s, http.MethodGet, "/v1/ingest", "")
+	if w.Code != http.StatusMethodNotAllowed {
+		t.Fatalf("GET status %d, want 405", w.Code)
+	}
+	if code := errorCode(t, w); code != CodeMethodNotAllowed {
+		t.Fatalf("GET error code %q, want %q", code, CodeMethodNotAllowed)
+	}
+
+	// Unknown JSON fields are rejected (a typo must not silently no-op).
+	w = do(t, s, http.MethodPost, "/v1/ingest", `{"ad":[{"name":"x","text":"y"}]}`)
+	if w.Code != http.StatusBadRequest || errorCode(t, w) != CodeBadRequest {
+		t.Fatalf("unknown field: status %d code %q", w.Code, errorCode(t, w))
+	}
+
+	// A document without a name is rejected before anything is applied.
+	w = do(t, s, http.MethodPost, "/v1/ingest", `{"add":[{"name":" ","text":"y"}]}`)
+	if w.Code != http.StatusBadRequest {
+		t.Fatalf("missing name: status %d", w.Code)
+	}
+}
+
+func TestIngestOnImmutableEngine(t *testing.T) {
+	s, _ := testServer(t, Config{})
+	w := do(t, s, http.MethodPost, "/v1/ingest", `{"add":[{"name":"x","text":"y"}]}`)
+	if w.Code != http.StatusBadRequest {
+		t.Fatalf("status %d, want 400 on an immutable engine", w.Code)
+	}
+	if code := errorCode(t, w); code != CodeBadRequest {
+		t.Fatalf("error code %q, want %q", code, CodeBadRequest)
+	}
+	if !strings.Contains(w.Body.String(), "immutable") {
+		t.Fatalf("error message should say the index is immutable: %s", w.Body.String())
+	}
+}
+
+// errorCode extracts the typed envelope's code.
+func errorCode(t *testing.T, w *httptest.ResponseRecorder) string {
+	t.Helper()
+	var e apiError
+	if err := json.Unmarshal(w.Body.Bytes(), &e); err != nil {
+		t.Fatalf("bad error envelope: %v\nbody: %s", err, w.Body.String())
+	}
+	return e.Err.Code
+}

@@ -35,10 +35,12 @@ func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
 	fmt.Fprintf(&sb, "sqe_http_requests_total{endpoint=\"search\"} %d\n", s.search.requests.Load())
 	fmt.Fprintf(&sb, "sqe_http_requests_total{endpoint=\"expand\"} %d\n", s.expand.requests.Load())
 	fmt.Fprintf(&sb, "sqe_http_requests_total{endpoint=\"baseline\"} %d\n", s.baseline.requests.Load())
+	fmt.Fprintf(&sb, "sqe_http_requests_total{endpoint=\"ingest\"} %d\n", s.ingest.requests.Load())
 	counter("sqe_http_errors_total", "HTTP requests answered with a non-200 status, by endpoint.")
 	fmt.Fprintf(&sb, "sqe_http_errors_total{endpoint=\"search\"} %d\n", s.search.errors.Load())
 	fmt.Fprintf(&sb, "sqe_http_errors_total{endpoint=\"expand\"} %d\n", s.expand.errors.Load())
 	fmt.Fprintf(&sb, "sqe_http_errors_total{endpoint=\"baseline\"} %d\n", s.baseline.errors.Load())
+	fmt.Fprintf(&sb, "sqe_http_errors_total{endpoint=\"ingest\"} %d\n", s.ingest.errors.Load())
 	counter("sqe_http_shed_total", "Requests shed with 429 by admission control.")
 	fmt.Fprintf(&sb, "sqe_http_shed_total %d\n", s.shed.Load())
 	counter("sqe_http_queue_waits_total", "Requests that waited in the admission queue for an in-flight slot.")
@@ -141,6 +143,29 @@ func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
 			func(sh sqe.ShardSearchStats) string { return fmt.Sprintf("%d", sh.PostingsAdvanced) })
 		shardFamily("sqe_search_shard_docs_skipped_total", "Postings entries skipped by pruning per index shard.",
 			func(sh sqe.ShardSearchStats) string { return fmt.Sprintf("%d", sh.DocsSkipped) })
+	}
+
+	// Live (segmented) index state; present only on engines built with
+	// NewLiveEngine. The gauges mirror the /v1/ingest response fields so
+	// operators can watch segment growth and tombstone accumulation (and
+	// alert on a stuck compactor) without issuing work requests.
+	if ls, ok := s.cfg.Engine.LiveStats(); ok {
+		gauge("sqe_live_segments", "Committed on-disk segments of the live index.")
+		fmt.Fprintf(&sb, "sqe_live_segments %d\n", ls.DiskSegments)
+		gauge("sqe_live_buffer_docs", "Documents in the unflushed in-memory buffer.")
+		fmt.Fprintf(&sb, "sqe_live_buffer_docs %d\n", ls.BufferDocs)
+		gauge("sqe_live_docs", "Searchable (non-tombstoned) documents in the live index.")
+		fmt.Fprintf(&sb, "sqe_live_docs %d\n", ls.LiveDocs)
+		gauge("sqe_live_tombstones", "Deleted-but-not-yet-compacted documents.")
+		fmt.Fprintf(&sb, "sqe_live_tombstones %d\n", ls.Tombstones)
+		counter("sqe_live_ingested_total", "Documents ingested over the live index's lifetime.")
+		fmt.Fprintf(&sb, "sqe_live_ingested_total %d\n", ls.Ingested)
+		counter("sqe_live_deleted_total", "Documents deleted over the live index's lifetime.")
+		fmt.Fprintf(&sb, "sqe_live_deleted_total %d\n", ls.Deleted)
+		counter("sqe_live_flushes_total", "Buffer flushes committed to disk segments.")
+		fmt.Fprintf(&sb, "sqe_live_flushes_total %d\n", ls.Flushes)
+		counter("sqe_live_compactions_total", "Segment compactions completed.")
+		fmt.Fprintf(&sb, "sqe_live_compactions_total %d\n", ls.Compactions)
 	}
 
 	if cs, ok := s.cfg.Engine.ExpansionCacheStats(); ok {

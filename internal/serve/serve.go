@@ -6,6 +6,8 @@
 //	POST/GET /v1/search    — the paper's SQE_C pipeline (or one motif set)
 //	POST/GET /v1/expand    — motif expansion only (query graph features)
 //	POST/GET /v1/baseline  — the non-expanded QL_Q baseline
+//	POST     /v1/ingest    — live document ingest/delete/flush/compact
+//	                         (engines built with NewLiveEngine only)
 //	GET      /healthz      — liveness + uptime (unversioned by design:
 //	                         probes outlive API versions)
 //	GET      /metrics      — Prometheus text metrics (pipeline stages,
@@ -125,6 +127,7 @@ type Server struct {
 	search   endpointStats
 	expand   endpointStats
 	baseline endpointStats
+	ingest   endpointStats
 
 	shed          atomic.Int64
 	timeouts      atomic.Int64
@@ -169,9 +172,27 @@ func New(cfg Config) *Server {
 		// are byte-for-byte the same — plus the deprecation headers.
 		s.mux.HandleFunc("/"+name, s.deprecatedAlias(name, h))
 	}
+	// Ingest is v1-only (no legacy alias existed) and POST-only: it
+	// mutates the index, so serving it on GET would invite accidental
+	// replays by crawlers and prefetchers.
+	s.mux.HandleFunc("/v1/ingest", s.postOnly(&s.ingest, s.work(&s.ingest, s.handleIngest)))
 	s.mux.HandleFunc("/healthz", s.handleHealthz)
 	s.mux.HandleFunc("/metrics", s.handleMetrics)
 	return s
+}
+
+// postOnly rejects every method but POST with the typed 405 envelope
+// before the request reaches the work wrapper (which would admit GET).
+func (s *Server) postOnly(st *endpointStats, h http.HandlerFunc) http.HandlerFunc {
+	return func(w http.ResponseWriter, r *http.Request) {
+		if r.Method != http.MethodPost {
+			st.requests.Add(1)
+			st.errors.Add(1)
+			writeError(w, http.StatusMethodNotAllowed, CodeMethodNotAllowed, "use POST")
+			return
+		}
+		h(w, r)
+	}
 }
 
 // deprecatedAlias wraps a v1 handler for its legacy unversioned path:
@@ -603,6 +624,97 @@ func (s *Server) handleExpand(ctx context.Context, r *http.Request) (any, error)
 		Features:        features,
 		TookMs:          float64(time.Since(start).Microseconds()) / 1000,
 	}, nil
+}
+
+// ingestDoc is one document on the ingest wire.
+type ingestDoc struct {
+	Name string `json:"name"`
+	Text string `json:"text"`
+}
+
+// ingestRequest is the /v1/ingest body. Operations apply in a fixed
+// order — adds, then deletes, then flush, then compact — so one request
+// can express "replace these documents and persist".
+type ingestRequest struct {
+	Add     []ingestDoc `json:"add"`
+	Delete  []string    `json:"delete"`
+	Flush   bool        `json:"flush"`
+	Compact bool        `json:"compact"`
+}
+
+// ingestResponse reports what was applied plus the live index's state
+// after the request — the same numbers the sqe_live_* metrics export.
+type ingestResponse struct {
+	Added      int     `json:"added"`
+	Deleted    int     `json:"deleted"`
+	Flushed    bool    `json:"flushed,omitempty"`
+	Compacted  bool    `json:"compacted,omitempty"`
+	Segments   int     `json:"segments"`
+	BufferDocs int     `json:"buffer_docs"`
+	LiveDocs   int     `json:"live_docs"`
+	Tombstones int     `json:"tombstones"`
+	TookMs     float64 `json:"took_ms"`
+}
+
+// handleIngest ignores its context: the mutation calls are not
+// context-aware (each is a quick buffer append or a local disk commit
+// that must not be torn by a client disconnect mid-write).
+func (s *Server) handleIngest(_ context.Context, r *http.Request) (any, error) {
+	if s.cfg.Engine.Live() == nil {
+		return nil, errors.New("engine serves an immutable index; ingest requires a live (segmented) deployment")
+	}
+	var req ingestRequest
+	if r.Body != nil && r.ContentLength != 0 {
+		dec := json.NewDecoder(r.Body)
+		dec.DisallowUnknownFields()
+		if err := dec.Decode(&req); err != nil {
+			return nil, fmt.Errorf("bad JSON body: %w", err)
+		}
+	}
+	for i, d := range req.Add {
+		if strings.TrimSpace(d.Name) == "" {
+			return nil, fmt.Errorf("add[%d]: missing document name", i)
+		}
+	}
+	start := time.Now()
+	var out ingestResponse
+	// A failed Ingest has still buffered the document (the error reports
+	// a failed background flush, which retries on the next trigger), so
+	// it counts as added; the error still surfaces so the client knows
+	// durability is behind.
+	for _, d := range req.Add {
+		err := s.cfg.Engine.Ingest(d.Name, d.Text)
+		out.Added++
+		if err != nil {
+			return nil, fmt.Errorf("ingest %q (document buffered, flush pending): %w", d.Name, err)
+		}
+	}
+	for _, name := range req.Delete {
+		n, err := s.cfg.Engine.Delete(name)
+		if err != nil {
+			return nil, fmt.Errorf("delete %q: %w", name, err)
+		}
+		out.Deleted += n
+	}
+	if req.Flush {
+		if err := s.cfg.Engine.Flush(); err != nil {
+			return nil, fmt.Errorf("flush: %w", err)
+		}
+		out.Flushed = true
+	}
+	if req.Compact {
+		if err := s.cfg.Engine.CompactSegments(); err != nil {
+			return nil, fmt.Errorf("compact: %w", err)
+		}
+		out.Compacted = true
+	}
+	st, _ := s.cfg.Engine.LiveStats()
+	out.Segments = st.DiskSegments
+	out.BufferDocs = st.BufferDocs
+	out.LiveDocs = st.LiveDocs
+	out.Tombstones = st.Tombstones
+	out.TookMs = float64(time.Since(start).Microseconds()) / 1000
+	return &out, nil
 }
 
 func (s *Server) handleHealthz(w http.ResponseWriter, r *http.Request) {

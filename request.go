@@ -109,6 +109,12 @@ func (e *Engine) Do(ctx context.Context, req SearchRequest) (*SearchResponse, er
 	if err := req.Validate(); err != nil {
 		return nil, err
 	}
+	if e.live != nil && req.PRF != nil {
+		// PRF reformulates against the engine's unsharded searcher, which
+		// on a live engine wraps an empty placeholder index — feedback
+		// would silently come from no documents.
+		return nil, errors.New("sqe: PRF is not supported on a live (segmented) engine")
+	}
 	if err := ctx.Err(); err != nil {
 		return nil, err
 	}

@@ -1,0 +1,374 @@
+package sqe
+
+import (
+	"context"
+	"encoding/json"
+	"os"
+	"path/filepath"
+	"reflect"
+	"sync"
+	"testing"
+
+	"repro/internal/analysis"
+	"repro/internal/core"
+	"repro/internal/index"
+)
+
+// The segment differential gate: an engine over a live (segmented)
+// index must return rankings and scores bit-identical to an engine over
+// a monolithic index built from the same surviving documents — across
+// retrieval models, raw and expanded query shapes, flush sizes (all
+// buffered, many small segments), delete schedules, and before and
+// after compaction. The monolithic side is additionally checked sharded
+// (S ∈ {1,2,4}), closing the triangle live ≡ monolithic ≡ sharded.
+
+var (
+	segDemoOnce sync.Once
+	segDemoEnv  *DemoEnv
+	segDemoDocs []DemoDoc
+	segDemoErr  error
+)
+
+// segExpCache is shared across every engine in the matrix: expansion
+// depends only on the graph and the query entities, never on the index,
+// so sharing it collapses hundreds of identical motif minings into one
+// each without weakening the retrieval diff.
+var segExpCache = core.NewExpansionCache(4096)
+
+// withSharedExpansionCache installs the shared cross-engine cache.
+func withSharedExpansionCache() Option {
+	return func(e *Engine) { e.cache = segExpCache }
+}
+
+// segDemo returns the shared demo environment plus its captured corpus
+// (every indexed document in index order).
+func segDemo(t *testing.T) (*DemoEnv, []DemoDoc) {
+	t.Helper()
+	segDemoOnce.Do(func() { segDemoEnv, segDemoDocs, segDemoErr = GenerateDemoCorpus(DemoSmall) })
+	if segDemoErr != nil {
+		t.Fatal(segDemoErr)
+	}
+	if len(segDemoDocs) == 0 {
+		t.Fatal("GenerateDemoCorpus captured no documents")
+	}
+	return segDemoEnv, segDemoDocs
+}
+
+// buildLiveEngine opens a fresh live index, streams docs through
+// Engine.Ingest, deletes every doc named in deletes, and optionally
+// compacts the committed segments.
+func buildLiveEngine(t *testing.T, g *Graph, docs []DemoDoc, flushDocs int, deletes []string, compact bool, opts ...Option) *Engine {
+	t.Helper()
+	live, err := OpenLiveIndex(t.TempDir(), flushDocs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { live.Close() })
+	eng := NewLiveEngine(g, live, append([]Option{withSharedExpansionCache()}, opts...)...)
+	for _, d := range docs {
+		if err := eng.Ingest(d.Name, d.Text); err != nil {
+			t.Fatalf("ingest %q: %v", d.Name, err)
+		}
+	}
+	for _, name := range deletes {
+		if _, err := eng.Delete(name); err != nil {
+			t.Fatalf("delete %q: %v", name, err)
+		}
+	}
+	if compact {
+		if err := eng.CompactSegments(); err != nil {
+			t.Fatalf("compact: %v", err)
+		}
+	}
+	return eng
+}
+
+// monolithicEngine builds a classic immutable engine over exactly the
+// given documents, indexed with the same pipeline OpenLiveIndex uses.
+func monolithicEngine(g *Graph, docs []DemoDoc, opts ...Option) *Engine {
+	b := index.NewBuilder(analysis.Standard())
+	for _, d := range docs {
+		b.Add(d.Name, d.Text)
+	}
+	return NewEngine(g, b.Build(), append([]Option{withSharedExpansionCache()}, opts...)...)
+}
+
+// survivors drops every document whose name is in deletes (matching
+// tombstone semantics: all occurrences of the name die).
+func survivors(docs []DemoDoc, deletes []string) []DemoDoc {
+	dead := make(map[string]bool, len(deletes))
+	for _, n := range deletes {
+		dead[n] = true
+	}
+	out := make([]DemoDoc, 0, len(docs))
+	for _, d := range docs {
+		if !dead[d.Name] {
+			out = append(out, d)
+		}
+	}
+	return out
+}
+
+// everyNth returns the names of every n-th document, a deterministic
+// mid-corpus delete schedule.
+func everyNth(docs []DemoDoc, n int) []string {
+	var out []string
+	for i := n - 1; i < len(docs); i += n {
+		out = append(out, docs[i].Name)
+	}
+	return out
+}
+
+// segRequests is the request-shape leg of the matrix: expanded SQE_C,
+// a single motif set, and the raw baseline.
+func segRequests(q DemoQuery) []SearchRequest {
+	return []SearchRequest{
+		{Query: q.Text, EntityTitles: q.EntityTitles, K: 10},
+		{Query: q.Text, EntityTitles: q.EntityTitles, MotifSet: MotifTS, K: 25},
+		{Query: q.Text, K: 25, Baseline: true},
+	}
+}
+
+// TestSegmentedEngineBitIdentical is the root of the differential
+// matrix: retrieval models × flush sizes × delete schedules × pre/post
+// compaction, every leg diffed result-for-result (names, order, float64
+// bit patterns) against a monolithic engine over the survivors.
+func TestSegmentedEngineBitIdentical(t *testing.T) {
+	env, docs := segDemo(t)
+	g := env.Engine.Graph()
+	queries := env.Queries
+	if len(queries) > 3 {
+		queries = queries[:3]
+	}
+	models := []struct {
+		name string
+		opts []Option
+	}{
+		{"dirichlet", nil},
+		{"jelinek-mercer", []Option{WithRetrievalModel(ModelJelinekMercer, ModelParams{Lambda: 0.4})}},
+		{"bm25", []Option{WithRetrievalModel(ModelBM25, ModelParams{})}},
+	}
+	// flush=7 → many small segments plus a buffer tail; a huge threshold
+	// keeps the whole corpus in the mutable buffer.
+	flushes := []int{7, len(docs) + 1}
+	deleteSets := [][]string{nil, everyNth(docs, 5)}
+
+	for _, m := range models {
+		for _, flush := range flushes {
+			for di, deletes := range deleteSets {
+				for _, compact := range []bool{false, true} {
+					if compact && flush > len(docs) {
+						// Nothing is committed at this flush size, so
+						// compaction is a no-op — an identical leg.
+						continue
+					}
+					ref := monolithicEngine(g, survivors(docs, deletes), m.opts...)
+					liveEng := buildLiveEngine(t, g, docs, flush, deletes, compact, m.opts...)
+					for _, q := range queries {
+						for _, req := range segRequests(q) {
+							want, err := ref.Do(context.Background(), req)
+							if err != nil {
+								t.Fatalf("%s flush=%d del=%d compact=%v %s: monolithic: %v", m.name, flush, di, compact, q.ID, err)
+							}
+							got, err := liveEng.Do(context.Background(), req)
+							if err != nil {
+								t.Fatalf("%s flush=%d del=%d compact=%v %s: live: %v", m.name, flush, di, compact, q.ID, err)
+							}
+							if !reflect.DeepEqual(want.Results, got.Results) {
+								t.Fatalf("%s flush=%d del=%d compact=%v %s k=%d set=%v baseline=%v: live results diverge from monolithic",
+									m.name, flush, di, compact, q.ID, req.K, req.MotifSet, req.Baseline)
+							}
+							if !reflect.DeepEqual(want.Expansion, got.Expansion) {
+								t.Fatalf("%s flush=%d del=%d compact=%v %s: expansions diverge", m.name, flush, di, compact, q.ID)
+							}
+						}
+					}
+				}
+			}
+		}
+	}
+}
+
+// TestSegmentedEngineMatchesSharded closes the triangle: one live
+// configuration (small flushes, deletes applied, then compacted) must
+// agree bit-for-bit with sharded monolithic engines at S ∈ {1,2,4}.
+func TestSegmentedEngineMatchesSharded(t *testing.T) {
+	env, docs := segDemo(t)
+	g := env.Engine.Graph()
+	deletes := everyNth(docs, 7)
+	liveEng := buildLiveEngine(t, g, docs, 16, deletes, true)
+	queries := env.Queries
+	if len(queries) > 3 {
+		queries = queries[:3]
+	}
+	for _, s := range []int{1, 2, 4} {
+		ref := monolithicEngine(g, survivors(docs, deletes), WithShards(s))
+		for _, q := range queries {
+			for _, req := range segRequests(q) {
+				want, err := ref.Do(context.Background(), req)
+				if err != nil {
+					t.Fatalf("S=%d %s: sharded: %v", s, q.ID, err)
+				}
+				got, err := liveEng.Do(context.Background(), req)
+				if err != nil {
+					t.Fatalf("S=%d %s: live: %v", s, q.ID, err)
+				}
+				if !reflect.DeepEqual(want.Results, got.Results) {
+					t.Fatalf("S=%d %s k=%d: live diverges from sharded monolithic", s, q.ID, req.K)
+				}
+			}
+		}
+	}
+}
+
+// TestSegmentedEngineMutationVisibility: results must track the
+// document set as it changes — after deleting every doc ranked in a
+// result page, none of them may appear in a re-run of the same query,
+// and re-ingesting them restores the original ranking exactly.
+func TestSegmentedEngineMutationVisibility(t *testing.T) {
+	env, docs := segDemo(t)
+	g := env.Engine.Graph()
+	liveEng := buildLiveEngine(t, g, docs, 32, nil, false)
+	q := env.Queries[0]
+	req := SearchRequest{Query: q.Text, EntityTitles: q.EntityTitles, K: 5}
+	before, err := liveEng.Do(context.Background(), req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(before.Results) == 0 {
+		t.Fatal("no results to delete")
+	}
+	byName := make(map[string]DemoDoc, len(docs))
+	for _, d := range docs {
+		byName[d.Name] = d
+	}
+	for _, r := range before.Results {
+		if _, err := liveEng.Delete(r.Name); err != nil {
+			t.Fatal(err)
+		}
+	}
+	after, err := liveEng.Do(context.Background(), req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	gone := make(map[string]bool)
+	for _, r := range before.Results {
+		gone[r.Name] = true
+	}
+	for _, r := range after.Results {
+		if gone[r.Name] {
+			t.Fatalf("deleted doc %q still ranked", r.Name)
+		}
+	}
+	// Restore in original index order and compare against a monolithic
+	// engine over the corpus with the restored docs appended at the end
+	// (their new index positions).
+	rest := survivors(docs, resultNames(before.Results))
+	for _, r := range before.Results {
+		d := byName[r.Name]
+		if err := liveEng.Ingest(d.Name, d.Text); err != nil {
+			t.Fatal(err)
+		}
+		rest = append(rest, d)
+	}
+	ref := monolithicEngine(g, rest)
+	want, err := ref.Do(context.Background(), req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, err := liveEng.Do(context.Background(), req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(want.Results, got.Results) {
+		t.Fatal("post-reingest results diverge from monolithic over the same docs")
+	}
+}
+
+// resultNames lists the names of a ranked result list.
+func resultNames(rs []Result) []string {
+	out := make([]string, len(rs))
+	for i, r := range rs {
+		out[i] = r.Name
+	}
+	return out
+}
+
+// TestSegmentedEngineRejectsPRF: PRF would silently run its feedback
+// pass against the live engine's placeholder index, so Do must refuse
+// it loudly.
+func TestSegmentedEngineRejectsPRF(t *testing.T) {
+	env, docs := segDemo(t)
+	liveEng := buildLiveEngine(t, env.Engine.Graph(), docs[:10], 4, nil, false)
+	q := env.Queries[0]
+	_, err := liveEng.Do(context.Background(), SearchRequest{
+		Query: q.Text, EntityTitles: q.EntityTitles, K: 5,
+		PRF: &PRFConfig{FbDocs: 3, FbTerms: 5, OrigWeight: 0.5},
+	})
+	if err == nil {
+		t.Fatal("PRF on a live engine succeeded; want rejection")
+	}
+}
+
+// TestSegmentedGoldenRetrieval diffs the live engine against the same
+// pinned golden corpus the monolithic and sharded engines answer to:
+// after ingesting the full demo corpus (no deletes), every model ×
+// raw/expanded leg must reproduce testdata/golden byte-for-byte.
+func TestSegmentedGoldenRetrieval(t *testing.T) {
+	const k = 10
+	env, docs := segDemo(t)
+	queries := env.Queries
+	if len(queries) > 3 {
+		queries = queries[:3]
+	}
+	models := []struct {
+		name   string
+		model  RetrievalModel
+		params ModelParams
+	}{
+		{"dirichlet", ModelDirichlet, ModelParams{}},
+		{"jm", ModelJelinekMercer, ModelParams{}},
+		{"bm25", ModelBM25, ModelParams{}},
+	}
+	modes := []struct {
+		name string
+		req  func(q DemoQuery) SearchRequest
+	}{
+		{"raw", func(q DemoQuery) SearchRequest {
+			return SearchRequest{Query: q.Text, K: k, Baseline: true}
+		}},
+		{"expanded", func(q DemoQuery) SearchRequest {
+			return SearchRequest{Query: q.Text, EntityTitles: q.EntityTitles, K: k}
+		}},
+	}
+	for _, m := range models {
+		liveEng := buildLiveEngine(t, env.Engine.Graph(), docs, 32, nil, false,
+			WithRetrievalModel(m.model, m.params))
+		for _, mode := range modes {
+			path := filepath.Join("testdata", "golden", m.name+"_"+mode.name+".json")
+			raw, err := os.ReadFile(path)
+			if err != nil {
+				t.Fatalf("missing golden %s: %v", path, err)
+			}
+			var want goldenFile
+			if err := json.Unmarshal(raw, &want); err != nil {
+				t.Fatalf("corrupt golden %s: %v", path, err)
+			}
+			for i, q := range queries {
+				if i >= len(want.Queries) {
+					break
+				}
+				resp, err := liveEng.Do(context.Background(), mode.req(q))
+				if err != nil {
+					t.Fatalf("%s/%s %q: %v", m.name, mode.name, q.Text, err)
+				}
+				if want.Queries[i].Query != q.Text {
+					t.Fatalf("golden %s query %d is %q, demo has %q", path, i, want.Queries[i].Query, q.Text)
+				}
+				if err := diffGolden(want.Queries[i].Results, goldenResults(resp.Results)); err != nil {
+					t.Errorf("%s, query %q: live engine diverges from golden: %v", path, q.Text, err)
+				}
+			}
+		}
+	}
+}

@@ -206,6 +206,11 @@ type Engine struct {
 	// WithDegradation and DegradationPolicy); nil keeps the strict
 	// all-or-nothing behaviour.
 	degrade *DegradationPolicy
+	// live, when non-nil, is the segmented index a live engine serves
+	// and mutates (see NewLiveEngine); retrieval then routes through
+	// sharded (a snapshot-pinning segmented searcher) and searcher wraps
+	// an empty placeholder.
+	live *LiveIndex
 }
 
 // Option configures an Engine at construction (see NewEngine).
